@@ -1,0 +1,57 @@
+// Active rules (application 2 in Section 2): rules "if C holds, perform A"
+// are constraints panic :- C whose derivation fires the action. Unlike
+// integrity constraints, the engine may NOT assume conditions held (or
+// failed) before an update, so only update-irrelevance reasoning applies.
+//
+// Build & run:  ./build/examples/active_rules_demo
+
+#include <cstdio>
+
+#include "datalog/parser.h"
+#include "manager/active_rules.h"
+
+using namespace ccpi;  // NOLINT: example brevity
+
+int main() {
+  Database db;
+  ActiveRuleEngine engine(&db);
+
+  // Rule 1: flag over-budget projects.
+  (void)engine.AddRule(
+      "overbudget", *ParseProgram("panic :- spend(P,X) & budget(P,B) & X > B"),
+      [](Database* d) {
+        std::printf("  -> ACTION: freeze spending reviews\n");
+        (void)d->Insert("frozen", {V(1)});
+      });
+  // Rule 2: escalate when a critical project is frozen.
+  (void)engine.AddRule(
+      "escalate", *ParseProgram("panic :- frozen(X) & critical(P)"),
+      [](Database*) { std::printf("  -> ACTION: page the director\n"); });
+
+  (void)db.Insert("budget", {V("apollo"), V(100)});
+  (void)db.Insert("critical", {V("apollo")});
+
+  auto report = [](const char* what,
+                   const ActiveRuleEngine::ProcessResult& r) {
+    std::printf("%s: %zu rules skipped as irrelevant, %zu re-evaluated, "
+                "%zu fired\n",
+                what, r.skipped_irrelevant.size(), r.evaluated.size(),
+                r.fired.size());
+  };
+
+  std::printf("spend(apollo, 50):\n");
+  auto r1 = engine.ProcessUpdate(Update::Insert("spend", {V("apollo"), V(50)}));
+  report("  result", *r1);
+
+  std::printf("spend(apollo, 150):\n");
+  auto r2 =
+      engine.ProcessUpdate(Update::Insert("spend", {V("apollo"), V(150)}));
+  report("  result", *r2);
+
+  // The action inserted frozen(1); feed that cascade back in, as an active
+  // rule executor would.
+  std::printf("cascade frozen(1):\n");
+  auto r3 = engine.ProcessUpdate(Update::Insert("frozen", {V(1)}));
+  report("  result", *r3);
+  return 0;
+}

@@ -1,0 +1,139 @@
+// A narrated tour of the paper, section by section, with the text's own
+// examples executed live. Run it next to the PDF.
+//
+// Build & run:  ./build/examples/paper_walkthrough
+
+#include <cstdio>
+
+#include "containment/cqc.h"
+#include "containment/klug.h"
+#include "core/cqc_form.h"
+#include "core/icq_compiler.h"
+#include "core/local_test.h"
+#include "core/ra_local_test.h"
+#include "core/reduction.h"
+#include "datalog/language_class.h"
+#include "datalog/parser.h"
+#include "eval/engine.h"
+#include "subsumption/subsumption.h"
+#include "updates/independence.h"
+#include "updates/preservation.h"
+#include "updates/rewrite.h"
+
+using namespace ccpi;  // NOLINT: example brevity
+
+namespace {
+
+void Section2() {
+  std::printf("== Section 2: constraints are queries deriving panic ==\n\n");
+  const char* examples[] = {
+      "panic :- emp(E,sales) & emp(E,accounting)",
+      "panic :- emp(E,D,S) & not dept(D) & S < 100",
+      "panic :- emp(E,D,S) & salRange(D,Low,High) & S < Low\n"
+      "panic :- emp(E,D,S) & salRange(D,Low,High) & S > High",
+      "panic :- boss(E,E)\n"
+      "boss(E,M) :- emp(E,D,S) & manager(D,M)\n"
+      "boss(E,F) :- boss(E,G) & boss(G,F)",
+  };
+  int n = 1;
+  for (const char* text : examples) {
+    Program p = *ParseProgram(text);
+    std::printf("Example 2.%d is in class %s:\n%s\n", n++,
+                SyntacticClass(p).ToString().c_str(), p.ToString().c_str());
+  }
+}
+
+void Section3() {
+  std::printf("== Section 3: subsumption = containment (Thm 3.1) ==\n\n");
+  Program tight = *ParseProgram("panic :- emp(E,D,S) & S > 150");
+  Program loose = *ParseProgram("panic :- emp(E,D,S) & S > 100");
+  auto d = Subsumes(tight, {loose});
+  std::printf("cap-150 never needs checking next to cap-100: %s (%s)\n\n",
+              OutcomeToString(d->outcome), d->method.c_str());
+}
+
+void Section4() {
+  std::printf("== Section 4: using the update (Example 4.1) ==\n\n");
+  Program c1 = *ParseProgram("panic :- emp(E,D,S) & not dept(D)");
+  Update u = Update::Insert("dept", {V("toy")});
+  Program c3 = *RewriteAfterInsert(c1, u);
+  std::printf("C1 rewritten for '+dept(toy)' (C3):\n%s", c3.ToString().c_str());
+  auto ind = HoldsAfterUpdate(c1, u, {});
+  std::printf("C3 contained in C1: inserting a department cannot violate "
+              "referential integrity -> %s\n\n", OutcomeToString(ind->outcome));
+
+  std::printf("Figs 4.1/4.2, computed:\n\n%s\n%s\n",
+              RenderPreservationTable(*ComputeInsertionPreservation(),
+                                      "Fig 4.1 (insertion)").c_str(),
+              RenderPreservationTable(*ComputeDeletionPreservation(),
+                                      "Fig 4.2 (deletion)").c_str());
+}
+
+void Section5() {
+  std::printf("== Section 5: using local data ==\n\n");
+  std::printf("Example 5.1 (Ullman Ex 14.7): both mappings needed.\n");
+  CQ c1 = RuleToCQ(*ParseRule("panic :- r(U,V) & r(S,T) & U = T & V = S"));
+  CQ c2 = RuleToCQ(*ParseRule("panic :- r(U,V) & U <= V"));
+  std::printf("  mappings: %zu, contained: %s, klug agrees: %s\n\n",
+              *CountMappings(c1, {c2}),
+              *CqcContained(c1, c2) ? "yes" : "no",
+              *KlugContained(c1, c2) ? "yes" : "no");
+
+  std::printf("Example 5.3 (forbidden intervals):\n");
+  Cqc c = *MakeCqc(*ParseRule("panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y"),
+                   "l");
+  std::printf("  RED((3,6))  = %s\n", Reduce(c, {V(3), V(6)}).ToString().c_str());
+  std::printf("  RED((5,10)) = %s\n", Reduce(c, {V(5), V(10)}).ToString().c_str());
+  std::printf("  RED((4,8))  = %s\n", Reduce(c, {V(4), V(8)}).ToString().c_str());
+  Relation local(2);
+  local.Insert({V(3), V(6)});
+  local.Insert({V(5), V(10)});
+  auto t52 = CompleteLocalTestOnInsert(c, {V(4), V(8)}, local);
+  std::printf("  Thm 5.2 complete local test for +(4,8): %s\n\n",
+              OutcomeToString(t52->outcome));
+
+  std::printf("Example 5.4 (Thm 5.3, arithmetic-free):\n");
+  Rule ex54 = *ParseRule("panic :- l(X,Y,Y) & r(Y,Z,X)");
+  auto abc = CompileRaLocalTest(ex54, "l", {V("a"), V("b"), V("c")});
+  std::printf("  insert (a,b,c): %s\n",
+              abc->trivially_holds ? "test is 'true' (no unification)"
+                                   : "needs evaluation");
+  auto abb = CompileRaLocalTest(ex54, "l", {V("a"), V("b"), V("b")});
+  std::printf("  insert (a,b,b): test is nonempty( %s )\n\n",
+              abb->expr->ToString().c_str());
+}
+
+void Section6() {
+  std::printf("== Section 6: Fig 6.1, recursive interval programs ==\n\n");
+  Rule rule = *ParseRule("panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y");
+  auto comp = *CompileIcq(rule, "l");
+  std::printf("compiled %zu datalog rules; e.g.\n",
+              comp.interval_program.rules.size());
+  for (size_t i = 0; i < 3 && i < comp.interval_program.rules.size(); ++i) {
+    std::printf("  %s\n", comp.interval_program.rules[i].ToString().c_str());
+  }
+  Database db;
+  (void)db.Insert("l", {V(3), V(6)});
+  (void)db.Insert("l", {V(5), V(10)});
+  auto ok = IcqLocalTestOnInsert(comp, db, {V(4), V(8)});
+  std::printf("\nok(4,8) derivable over L = {(3,6),(5,10)}: %s\n",
+              OutcomeToString(*ok));
+  auto no = IcqLocalTestOnInsert(comp, db, {V(4), V(12)});
+  std::printf("ok(4,12): %s (needs the remote site)\n\n",
+              OutcomeToString(*no));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Constraint Checking with Partial Information — PODS 1994\n"
+              "a live walkthrough of the paper's examples\n\n");
+  Section2();
+  Section3();
+  Section4();
+  Section5();
+  Section6();
+  std::printf("(every claim printed above is also a unit test; see "
+              "tests/paper_examples_test.cc)\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+#ifndef CCPI_ARITH_RATIONAL_H_
+#define CCPI_ARITH_RATIONAL_H_
+
+#include <cstdint>
+#include <numeric>
+#include <string>
+
+#include "util/check.h"
+
+namespace ccpi {
+
+/// Exact rational arithmetic for model construction over the dense order.
+/// Denominators stay small (powers of two from midpoint bisection), so
+/// int64 components suffice for the query sizes constraints have.
+class Rational {
+ public:
+  Rational() : num_(0), den_(1) {}
+  explicit Rational(int64_t n) : num_(n), den_(1) {}
+  Rational(int64_t num, int64_t den) : num_(num), den_(den) {
+    CCPI_CHECK(den != 0);
+    Normalize();
+  }
+
+  int64_t num() const { return num_; }
+  int64_t den() const { return den_; }
+  bool IsInteger() const { return den_ == 1; }
+
+  friend Rational operator+(const Rational& a, const Rational& b) {
+    return Rational(a.num_ * b.den_ + b.num_ * a.den_, a.den_ * b.den_);
+  }
+  friend Rational operator-(const Rational& a, const Rational& b) {
+    return Rational(a.num_ * b.den_ - b.num_ * a.den_, a.den_ * b.den_);
+  }
+  friend bool operator==(const Rational& a, const Rational& b) {
+    return a.num_ == b.num_ && a.den_ == b.den_;
+  }
+  friend bool operator<(const Rational& a, const Rational& b) {
+    return a.num_ * b.den_ < b.num_ * a.den_;
+  }
+  friend bool operator<=(const Rational& a, const Rational& b) {
+    return a == b || a < b;
+  }
+
+  /// The exact midpoint of a and b.
+  static Rational Midpoint(const Rational& a, const Rational& b) {
+    return Rational(a.num_ * b.den_ + b.num_ * a.den_, 2 * a.den_ * b.den_);
+  }
+
+  /// Largest integer <= this value.
+  int64_t Floor() const {
+    if (num_ >= 0) return num_ / den_;
+    return -((-num_ + den_ - 1) / den_);
+  }
+
+  std::string ToString() const {
+    if (den_ == 1) return std::to_string(num_);
+    return std::to_string(num_) + "/" + std::to_string(den_);
+  }
+
+ private:
+  void Normalize() {
+    if (den_ < 0) {
+      num_ = -num_;
+      den_ = -den_;
+    }
+    int64_t g = std::gcd(num_ < 0 ? -num_ : num_, den_);
+    if (g > 1) {
+      num_ /= g;
+      den_ /= g;
+    }
+    if (num_ == 0) den_ = 1;
+  }
+
+  int64_t num_;
+  int64_t den_;
+};
+
+}  // namespace ccpi
+
+#endif  // CCPI_ARITH_RATIONAL_H_

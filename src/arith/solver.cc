@@ -1,0 +1,484 @@
+#include "arith/solver.h"
+
+#include <algorithm>
+#include <set>
+
+#include "arith/rational.h"
+#include "util/check.h"
+
+namespace ccpi {
+namespace arith {
+
+namespace {
+
+/// Union-find over term ids.
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    for (size_t i = 0; i < n; ++i) parent_[i] = static_cast<int>(i);
+  }
+  int Find(int x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(int a, int b) { parent_[Find(a)] = Find(b); }
+
+ private:
+  std::vector<int> parent_;
+};
+
+/// The order structure of a conjunction: equivalence classes of terms with
+/// weak/strict edges, constant pinning, and disequalities. Shared by the
+/// satisfiability test and model construction.
+struct OrderGraph {
+  // Distinct terms, indexed by id.
+  std::vector<Term> terms;
+  // scc_of[id] after condensation; edges/neqs are on scc indexes.
+  std::vector<int> scc_of;
+  int num_sccs = 0;
+  // (from, to, strict): from <= to or from < to.
+  std::vector<std::tuple<int, int, bool>> edges;
+  std::vector<std::pair<int, int>> neqs;
+  // Pinned constant per SCC (at most one, else unsat).
+  std::vector<std::optional<Value>> pinned;
+  bool unsat = false;
+};
+
+int InternTerm(const Term& t, std::map<Term, int>* ids,
+               std::vector<Term>* terms) {
+  auto [it, inserted] = ids->emplace(t, static_cast<int>(terms->size()));
+  if (inserted) terms->push_back(t);
+  return it->second;
+}
+
+/// Computes strongly connected components of the digraph given by `adj`
+/// using iterative Tarjan. Returns the number of components and fills
+/// `scc_of` (components are numbered in reverse topological order).
+int TarjanScc(const std::vector<std::vector<int>>& adj,
+              std::vector<int>* scc_of) {
+  int n = static_cast<int>(adj.size());
+  scc_of->assign(n, -1);
+  std::vector<int> index(n, -1), lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<int> stack;
+  int next_index = 0;
+  int num_sccs = 0;
+
+  struct Frame {
+    int node;
+    size_t child;
+  };
+  for (int start = 0; start < n; ++start) {
+    if (index[start] != -1) continue;
+    std::vector<Frame> frames{{start, 0}};
+    index[start] = lowlink[start] = next_index++;
+    stack.push_back(start);
+    on_stack[start] = true;
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      if (f.child < adj[f.node].size()) {
+        int next = adj[f.node][f.child++];
+        if (index[next] == -1) {
+          index[next] = lowlink[next] = next_index++;
+          stack.push_back(next);
+          on_stack[next] = true;
+          frames.push_back({next, 0});
+        } else if (on_stack[next]) {
+          lowlink[f.node] = std::min(lowlink[f.node], index[next]);
+        }
+      } else {
+        if (lowlink[f.node] == index[f.node]) {
+          while (true) {
+            int w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            (*scc_of)[w] = num_sccs;
+            if (w == f.node) break;
+          }
+          ++num_sccs;
+        }
+        int node = f.node;
+        frames.pop_back();
+        if (!frames.empty()) {
+          lowlink[frames.back().node] =
+              std::min(lowlink[frames.back().node], lowlink[node]);
+        }
+      }
+    }
+  }
+  return num_sccs;
+}
+
+/// Builds the order graph of `conj`. Sets graph.unsat when a contradiction
+/// is detected during construction or condensation.
+OrderGraph BuildOrderGraph(const Conjunction& conj) {
+  OrderGraph g;
+  std::map<Term, int> ids;
+
+  // Intern every term; remember constants.
+  for (const Comparison& c : conj) {
+    InternTerm(c.lhs, &ids, &g.terms);
+    InternTerm(c.rhs, &ids, &g.terms);
+  }
+  int n = static_cast<int>(g.terms.size());
+
+  // Union equalities.
+  UnionFind uf(static_cast<size_t>(n));
+  for (const Comparison& c : conj) {
+    if (c.op == CmpOp::kEq) {
+      uf.Union(ids.at(c.lhs), ids.at(c.rhs));
+    }
+  }
+
+  // Raw edges on union-find roots.
+  std::vector<std::tuple<int, int, bool>> raw_edges;
+  std::vector<std::pair<int, int>> raw_neqs;
+  for (const Comparison& c : conj) {
+    int a = uf.Find(ids.at(c.lhs));
+    int b = uf.Find(ids.at(c.rhs));
+    switch (c.op) {
+      case CmpOp::kLt:
+        raw_edges.emplace_back(a, b, true);
+        break;
+      case CmpOp::kLe:
+        raw_edges.emplace_back(a, b, false);
+        break;
+      case CmpOp::kGt:
+        raw_edges.emplace_back(b, a, true);
+        break;
+      case CmpOp::kGe:
+        raw_edges.emplace_back(b, a, false);
+        break;
+      case CmpOp::kNe:
+        raw_neqs.emplace_back(a, b);
+        break;
+      case CmpOp::kEq:
+        break;
+    }
+  }
+
+  // Chain the distinct constants in their true order with strict edges, so
+  // the cycle test sees contradictions like x <= 3 & 4 <= x.
+  std::vector<std::pair<Value, int>> consts;  // value -> root
+  for (int i = 0; i < n; ++i) {
+    if (g.terms[i].is_const()) {
+      consts.emplace_back(g.terms[i].constant(), uf.Find(i));
+    }
+  }
+  std::sort(consts.begin(), consts.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (size_t i = 0; i + 1 < consts.size(); ++i) {
+    if (consts[i].first == consts[i + 1].first) continue;  // same constant
+    raw_edges.emplace_back(consts[i].second, consts[i + 1].second, true);
+  }
+
+  // Condense.
+  std::vector<std::vector<int>> adj(static_cast<size_t>(n));
+  for (const auto& [a, b, strict] : raw_edges) {
+    (void)strict;
+    adj[static_cast<size_t>(a)].push_back(b);
+  }
+  std::vector<int> scc_of_node;
+  int num_sccs = TarjanScc(adj, &scc_of_node);
+
+  g.num_sccs = num_sccs;
+  g.scc_of.resize(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    g.scc_of[static_cast<size_t>(i)] =
+        scc_of_node[static_cast<size_t>(uf.Find(i))];
+  }
+  g.pinned.assign(static_cast<size_t>(num_sccs), std::nullopt);
+  for (int i = 0; i < n; ++i) {
+    if (!g.terms[static_cast<size_t>(i)].is_const()) continue;
+    const Value& v = g.terms[static_cast<size_t>(i)].constant();
+    auto& slot = g.pinned[static_cast<size_t>(g.scc_of[static_cast<size_t>(i)])];
+    if (slot.has_value() && !(*slot == v)) {
+      g.unsat = true;  // two distinct constants provably equal
+      return g;
+    }
+    slot = v;
+  }
+  for (const auto& [a, b, strict] : raw_edges) {
+    int sa = scc_of_node[static_cast<size_t>(a)];
+    int sb = scc_of_node[static_cast<size_t>(b)];
+    if (strict && sa == sb) {
+      g.unsat = true;  // strict edge inside a component
+      return g;
+    }
+    if (sa != sb) g.edges.emplace_back(sa, sb, strict);
+  }
+  for (const auto& [a, b] : raw_neqs) {
+    int sa = scc_of_node[static_cast<size_t>(a)];
+    int sb = scc_of_node[static_cast<size_t>(b)];
+    if (sa == sb) {
+      g.unsat = true;  // x != y with x, y provably equal
+      return g;
+    }
+    g.neqs.emplace_back(sa, sb);
+  }
+  return g;
+}
+
+}  // namespace
+
+bool IsSatisfiable(const Conjunction& conj) {
+  return !BuildOrderGraph(conj).unsat;
+}
+
+std::optional<Conjunction> FindRefutation(
+    const Conjunction& premise, const std::vector<Conjunction>& disjuncts) {
+  if (!IsSatisfiable(premise)) return std::nullopt;
+  // Depth-first choice of one negated comparison per disjunct, pruning
+  // unsatisfiable prefixes. `current` always stays satisfiable.
+  Conjunction current = premise;
+  // Recursion by explicit lambda to keep the stack small.
+  std::optional<Conjunction> found;
+  auto dfs = [&](auto&& self, size_t i) -> bool {
+    if (i == disjuncts.size()) {
+      found = current;
+      return true;
+    }
+    for (const Comparison& atom : disjuncts[i]) {
+      Comparison negated{atom.lhs, Negate(atom.op), atom.rhs};
+      current.push_back(negated);
+      if (IsSatisfiable(current) && self(self, i + 1)) return true;
+      current.pop_back();
+    }
+    return false;
+  };
+  dfs(dfs, 0);
+  return found;
+}
+
+bool Implies(const Conjunction& premise,
+             const std::vector<Conjunction>& disjuncts) {
+  return !FindRefutation(premise, disjuncts).has_value();
+}
+
+std::optional<std::map<std::string, Value>> FindModel(
+    const Conjunction& conj) {
+  OrderGraph g = BuildOrderGraph(conj);
+  if (g.unsat) return std::nullopt;
+  int n = g.num_sccs;
+
+  // Tarjan numbers components in reverse topological order, so processing
+  // sccs in descending index is a topological order of the condensation.
+  // Upper-bound pass (ascending index = reverse topological): the tightest
+  // numeric bound reachable through outgoing edges to pinned components.
+  struct UpperBound {
+    std::optional<Rational> bound;
+    bool open = false;
+  };
+  std::vector<UpperBound> ub(static_cast<size_t>(n));
+  std::vector<std::vector<std::pair<int, bool>>> out(static_cast<size_t>(n));
+  std::vector<std::vector<std::pair<int, bool>>> in(static_cast<size_t>(n));
+  for (const auto& [a, b, strict] : g.edges) {
+    out[static_cast<size_t>(a)].emplace_back(b, strict);
+    in[static_cast<size_t>(b)].emplace_back(a, strict);
+  }
+  auto tighten = [](UpperBound* dst, const Rational& r, bool open) {
+    if (!dst->bound.has_value() || r < *dst->bound ||
+        (r == *dst->bound && open && !dst->open)) {
+      dst->bound = r;
+      dst->open = open;
+    }
+  };
+  for (int s = 0; s < n; ++s) {
+    for (const auto& [succ, strict] : out[static_cast<size_t>(s)]) {
+      // succ has smaller index, so its ub is final.
+      const auto& pin = g.pinned[static_cast<size_t>(succ)];
+      if (pin.has_value() && pin->is_int()) {
+        tighten(&ub[static_cast<size_t>(s)], Rational(pin->AsInt()), strict);
+      }
+      const UpperBound& su = ub[static_cast<size_t>(succ)];
+      if (su.bound.has_value()) {
+        tighten(&ub[static_cast<size_t>(s)], *su.bound, strict || su.open);
+      }
+    }
+  }
+
+  // Assignment pass in topological order (descending index). Numeric values
+  // as rationals; symbol-pinned components carry their symbol.
+  std::vector<std::optional<Rational>> num_val(static_cast<size_t>(n));
+  std::vector<std::optional<std::string>> sym_val(static_cast<size_t>(n));
+  // Disequality partners per component.
+  std::vector<std::vector<int>> neq_of(static_cast<size_t>(n));
+  for (const auto& [a, b] : g.neqs) {
+    neq_of[static_cast<size_t>(a)].push_back(b);
+    neq_of[static_cast<size_t>(b)].push_back(a);
+  }
+
+  for (int s = n - 1; s >= 0; --s) {
+    const auto& pin = g.pinned[static_cast<size_t>(s)];
+    if (pin.has_value()) {
+      if (pin->is_int()) {
+        num_val[static_cast<size_t>(s)] = Rational(pin->AsInt());
+      } else {
+        sym_val[static_cast<size_t>(s)] = pin->AsSymbol();
+      }
+      continue;
+    }
+    // Lower bound from already-assigned predecessors.
+    std::optional<Rational> lo;
+    bool lo_strict = false;
+    std::optional<std::string> sym_lo;
+    bool sym_lo_strict = false;
+    for (const auto& [pred, strict] : in[static_cast<size_t>(s)]) {
+      if (num_val[static_cast<size_t>(pred)].has_value()) {
+        const Rational& pv = *num_val[static_cast<size_t>(pred)];
+        if (!lo.has_value() || *lo < pv) {
+          lo = pv;
+          lo_strict = strict;
+        } else if (*lo == pv) {
+          lo_strict = lo_strict || strict;
+        }
+      } else if (sym_val[static_cast<size_t>(pred)].has_value()) {
+        const std::string& pv = *sym_val[static_cast<size_t>(pred)];
+        if (!sym_lo.has_value() || *sym_lo < pv) {
+          sym_lo = pv;
+          sym_lo_strict = strict;
+        } else if (*sym_lo == pv) {
+          sym_lo_strict = sym_lo_strict || strict;
+        }
+      }
+    }
+    if (sym_lo.has_value()) {
+      // Above a symbol: append to move lexicographically upward. Verified
+      // against all constraints below; failure yields nullopt.
+      sym_val[static_cast<size_t>(s)] =
+          sym_lo_strict ? *sym_lo + "0" : *sym_lo;
+      continue;
+    }
+    // Forbidden numeric values from disequality partners: those already
+    // assigned, and pinned partners whatever their topological position.
+    std::set<std::pair<int64_t, int64_t>> forbidden;
+    for (int partner : neq_of[static_cast<size_t>(s)]) {
+      if (num_val[static_cast<size_t>(partner)].has_value()) {
+        const Rational& r = *num_val[static_cast<size_t>(partner)];
+        forbidden.insert({r.num(), r.den()});
+      } else if (g.pinned[static_cast<size_t>(partner)].has_value() &&
+                 g.pinned[static_cast<size_t>(partner)]->is_int()) {
+        forbidden.insert(
+            {g.pinned[static_cast<size_t>(partner)]->AsInt(), 1});
+      }
+    }
+    auto is_forbidden = [&](const Rational& r) {
+      return forbidden.count({r.num(), r.den()}) > 0;
+    };
+    const UpperBound& hi = ub[static_cast<size_t>(s)];
+    Rational candidate;
+    if (!lo.has_value() && !hi.bound.has_value()) {
+      candidate = Rational(0);
+      while (is_forbidden(candidate)) candidate = candidate + Rational(1);
+    } else if (!hi.bound.has_value()) {
+      // Smallest admissible integer at or above the lower bound.
+      if (lo->IsInteger() && !lo_strict) {
+        candidate = *lo;
+      } else {
+        candidate = Rational(lo->Floor() + 1);
+      }
+      while (is_forbidden(candidate)) candidate = candidate + Rational(1);
+    } else if (!lo.has_value()) {
+      // Upper bound only (such a class has no assigned numeric
+      // predecessors, so going lower is always admissible). Back off by
+      // the class count: later classes squeezed between this value and
+      // the bound by chains of strict edges then still find integer
+      // points.
+      if (hi.bound->IsInteger() && !hi.open) {
+        candidate = *hi.bound;
+      } else if (hi.bound->IsInteger()) {
+        candidate = *hi.bound - Rational(1);
+      } else {
+        candidate = Rational(hi.bound->Floor());
+      }
+      candidate = candidate - Rational(n);
+      while (is_forbidden(candidate)) candidate = candidate - Rational(1);
+    } else {
+      if (*hi.bound < *lo || (*lo == *hi.bound && (lo_strict || hi.open))) {
+        return std::nullopt;  // infeasible under integer pinning
+      }
+      // Prefer an integer point inside the interval; only bisect to a
+      // fractional midpoint when no integer fits (e.g. strictly between
+      // adjacent integer constants).
+      int64_t first =
+          (lo->IsInteger() && !lo_strict) ? lo->Floor() : lo->Floor() + 1;
+      bool found = false;
+      for (int64_t ip = first;; ++ip) {
+        Rational r(ip);
+        bool below_hi = hi.open ? r < *hi.bound : r <= *hi.bound;
+        if (!below_hi) break;
+        if (!is_forbidden(r)) {
+          candidate = r;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        if (*lo == *hi.bound) {
+          if (lo_strict || hi.open || is_forbidden(*lo)) return std::nullopt;
+          candidate = *lo;
+        } else {
+          candidate = Rational::Midpoint(*lo, *hi.bound);
+          while (is_forbidden(candidate)) {
+            candidate = Rational::Midpoint(candidate, *hi.bound);
+          }
+        }
+      }
+    }
+    num_val[static_cast<size_t>(s)] = candidate;
+  }
+
+  // If any component got a non-integer value, the model is only realizable
+  // by scaling, which is valid only in the absence of integer constants.
+  bool needs_scaling = false;
+  for (int s = 0; s < n; ++s) {
+    if (num_val[static_cast<size_t>(s)].has_value() &&
+        !num_val[static_cast<size_t>(s)]->IsInteger()) {
+      needs_scaling = true;
+    }
+  }
+  int64_t scale = 1;
+  if (needs_scaling) {
+    for (int s = 0; s < n; ++s) {
+      const auto& pin = g.pinned[static_cast<size_t>(s)];
+      if (pin.has_value() && pin->is_int()) return std::nullopt;
+    }
+    for (int s = 0; s < n; ++s) {
+      if (num_val[static_cast<size_t>(s)].has_value()) {
+        scale = std::lcm(scale, num_val[static_cast<size_t>(s)]->den());
+      }
+    }
+  }
+
+  // Produce the assignment and verify every comparison under the Value
+  // order (the greedy construction is heuristic in the symbol cases).
+  std::map<std::string, Value> model;
+  auto value_of_scc = [&](int s) -> std::optional<Value> {
+    if (num_val[static_cast<size_t>(s)].has_value()) {
+      const Rational& r = *num_val[static_cast<size_t>(s)];
+      return Value(r.num() * (scale / r.den()));
+    }
+    if (sym_val[static_cast<size_t>(s)].has_value()) {
+      return Value(*sym_val[static_cast<size_t>(s)]);
+    }
+    return std::nullopt;
+  };
+  for (size_t i = 0; i < g.terms.size(); ++i) {
+    if (!g.terms[i].is_var()) continue;
+    std::optional<Value> v = value_of_scc(g.scc_of[i]);
+    if (!v.has_value()) return std::nullopt;
+    model[g.terms[i].var()] = *v;
+  }
+  for (const Comparison& c : conj) {
+    Value a = c.lhs.is_const() ? c.lhs.constant() : model.at(c.lhs.var());
+    Value b = c.rhs.is_const() ? c.rhs.constant() : model.at(c.rhs.var());
+    if (!EvalCmp(a, c.op, b)) return std::nullopt;
+  }
+  return model;
+}
+
+}  // namespace arith
+}  // namespace ccpi

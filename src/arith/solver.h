@@ -1,0 +1,67 @@
+#ifndef CCPI_ARITH_SOLVER_H_
+#define CCPI_ARITH_SOLVER_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "datalog/ast.h"
+#include "relational/value.h"
+
+namespace ccpi {
+namespace arith {
+
+/// A conjunction of arithmetic-comparison subgoals A(C) in the paper's
+/// notation. Terms are datalog variables or constants; the semantics is a
+/// dense total order containing all constants (the paper assumes "<= is a
+/// total order"; completeness arguments need density, i.e., the rationals
+/// rather than the integers — see DESIGN.md).
+using Conjunction = std::vector<Comparison>;
+
+/// Decides whether `conj` has a model over the dense total order.
+///
+/// Algorithm: union-find on equalities; a digraph of weak (<=) and strict
+/// (<) edges on the equivalence classes, including chain edges between the
+/// distinct constants in their true order; UNSAT iff two distinct constants
+/// are equated, a strongly connected component contains a strict edge, or a
+/// != relates two terms in the same component. This criterion is complete
+/// for dense orders.
+bool IsSatisfiable(const Conjunction& conj);
+
+/// Decides validity of  premise => D_1 or ... or D_k  where each D_i is a
+/// conjunction. This is exactly the test of Theorem 5.1:
+///     A(C1) => OR_{h in H} h(A(C2)).
+/// With an empty disjunct list the implication holds iff `premise` is
+/// unsatisfiable (the empty disjunction is false).
+///
+/// Decided by refutation: premise AND NOT D_1 AND ... AND NOT D_k, where
+/// each NOT D_i is a disjunction of single negated comparisons; the search
+/// branches on one choice per disjunct with unsatisfiability pruning.
+bool Implies(const Conjunction& premise,
+             const std::vector<Conjunction>& disjuncts);
+
+/// Like Implies but, when the implication does NOT hold, returns the
+/// refuting conjunction (premise plus one negated atom per disjunct,
+/// jointly satisfiable). Used to build completeness witnesses: a model of
+/// the refutation instantiates C1's body into a database on which C1 fires
+/// and no C2 does. Returns nullopt when the implication is valid.
+std::optional<Conjunction> FindRefutation(
+    const Conjunction& premise, const std::vector<Conjunction>& disjuncts);
+
+/// A model: each variable of `conj` mapped to a concrete Value such that all
+/// comparisons hold under the Value total order.
+///
+/// Only instances whose constants are all integers (or constant-free) are
+/// supported; variables are placed at integer points when possible and at
+/// rational midpoints otherwise, in which case all values are scaled by the
+/// common denominator — valid only when the instance has no constants.
+/// Returns nullopt if `conj` is unsatisfiable or a model cannot be realized
+/// under those restrictions (e.g. symbol constants mixed with strict
+/// between-integer gaps).
+std::optional<std::map<std::string, Value>> FindModel(const Conjunction& conj);
+
+}  // namespace arith
+}  // namespace ccpi
+
+#endif  // CCPI_ARITH_SOLVER_H_

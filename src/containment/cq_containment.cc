@@ -1,0 +1,83 @@
+#include "containment/cq_containment.h"
+
+#include "arith/solver.h"
+#include "containment/mapping.h"
+
+namespace ccpi {
+
+namespace {
+
+Status RequireArithFree(const CQ& q, const char* role) {
+  if (q.HasArithmetic()) {
+    return Status::InvalidArgument(std::string(role) +
+                                   " has arithmetic comparisons; use the "
+                                   "CQC containment test (Theorem 5.1)");
+  }
+  return Status::OK();
+}
+
+Status RequireNegFree(const CQ& q, const char* role) {
+  if (q.HasNegation()) {
+    return Status::InvalidArgument(std::string(role) +
+                                   " has negated subgoals; use "
+                                   "UniformContained or the exact oracle");
+  }
+  return Status::OK();
+}
+
+/// The arithmetic obligations h(A(q2)) for all mappings h of the given
+/// queries, appended to `disjuncts`.
+void CollectObligations(const CQ& q1, const CQ& q2, bool map_negated,
+                        std::vector<arith::Conjunction>* disjuncts) {
+  MappingOptions options;
+  options.map_negated = map_negated;
+  for (const Substitution& h : EnumerateContainmentMappings(q2, q1, options)) {
+    arith::Conjunction mapped;
+    mapped.reserve(q2.comparisons.size());
+    for (const Comparison& c : q2.comparisons) {
+      mapped.push_back(Apply(h, c));
+    }
+    disjuncts->push_back(std::move(mapped));
+  }
+}
+
+}  // namespace
+
+Result<bool> CqContained(const CQ& q1, const CQ& q2) {
+  CCPI_RETURN_IF_ERROR(RequireArithFree(q1, "q1"));
+  CCPI_RETURN_IF_ERROR(RequireArithFree(q2, "q2"));
+  CCPI_RETURN_IF_ERROR(RequireNegFree(q1, "q1"));
+  CCPI_RETURN_IF_ERROR(RequireNegFree(q2, "q2"));
+  return HasContainmentMapping(q2, q1);
+}
+
+Result<bool> UcqContained(const UCQ& u1, const UCQ& u2) {
+  for (const CQ& q1 : u1) {
+    bool found = false;
+    for (const CQ& q2 : u2) {
+      CCPI_ASSIGN_OR_RETURN(bool contained, CqContained(q1, q2));
+      if (contained) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+Result<Outcome> UniformContained(const CQ& q1, const CQ& q2) {
+  return UniformContainedInUnion(q1, UCQ{q2});
+}
+
+Result<Outcome> UniformContainedInUnion(const CQ& q1, const UCQ& u2) {
+  arith::Conjunction premise = q1.comparisons;
+  std::vector<arith::Conjunction> disjuncts;
+  for (const CQ& q2 : u2) {
+    CollectObligations(q1, q2, /*map_negated=*/true, &disjuncts);
+  }
+  if (arith::Implies(premise, disjuncts)) return Outcome::kHolds;
+  return Outcome::kUnknown;
+}
+
+}  // namespace ccpi

@@ -1,0 +1,40 @@
+#ifndef CCPI_CONTAINMENT_CQ_CONTAINMENT_H_
+#define CCPI_CONTAINMENT_CQ_CONTAINMENT_H_
+
+#include "datalog/cq.h"
+#include "util/outcome.h"
+#include "util/status.h"
+
+namespace ccpi {
+
+/// Classical conjunctive-query containment (Chandra and Merlin [1977]):
+/// q1 is contained in q2 iff there is a containment mapping from q2 to q1.
+/// Exact for CQs without negation and without arithmetic; returns
+/// InvalidArgument if either query has them (use CqcContained or the exact
+/// oracle for those).
+Result<bool> CqContained(const CQ& q1, const CQ& q2);
+
+/// Union containment for arithmetic- and negation-free queries (Sagiv and
+/// Yannakakis [1981]): u1 is contained in u2 iff every disjunct of u1 is
+/// contained in SOME single disjunct of u2. (With arithmetic this
+/// per-disjunct reduction is no longer complete — Example 5.3's forbidden
+/// intervals are the paper's counterexample — which is why CQC containment
+/// has its own test.)
+Result<bool> UcqContained(const UCQ& u1, const UCQ& u2);
+
+/// Sound-but-incomplete containment for queries with negated subgoals via
+/// uniform containment: a containment mapping carrying positive subgoals to
+/// positive subgoals and negated subgoals to negated subgoals proves
+/// containment; absence proves nothing. Arithmetic comparisons, when
+/// present, must be implied as in Theorem 5.1 under each candidate mapping.
+/// Returns kHolds or kUnknown.
+Result<Outcome> UniformContained(const CQ& q1, const CQ& q2);
+
+/// Uniform containment of q1 in a union: every mapping from any member
+/// counts; the arithmetic obligations combine disjunctively as in the
+/// union form of Theorem 5.1.
+Result<Outcome> UniformContainedInUnion(const CQ& q1, const UCQ& u2);
+
+}  // namespace ccpi
+
+#endif  // CCPI_CONTAINMENT_CQ_CONTAINMENT_H_

@@ -1,0 +1,152 @@
+#include "containment/cqc.h"
+
+#include <map>
+
+#include "containment/mapping.h"
+#include "util/check.h"
+
+namespace ccpi {
+
+namespace {
+
+/// The structural half of the Theorem 5.1 preconditions: no negation, no
+/// repeated variables among ordinary subgoals, no constants in them.
+/// Fills `bound` with the variables of the ordinary subgoals.
+Status CheckStructure(const CQ& q, std::map<std::string, int>* bound);
+
+}  // namespace
+
+Status CheckTheorem51Form(const CQ& q) {
+  std::map<std::string, int> occurrences;
+  CCPI_RETURN_IF_ERROR(CheckStructure(q, &occurrences));
+  for (const Comparison& c : q.comparisons) {
+    for (const Term* t : {&c.lhs, &c.rhs}) {
+      if (t->is_var() && occurrences.count(t->var()) == 0) {
+        return Status::InvalidArgument(
+            "comparison variable " + t->var() +
+            " does not occur in any ordinary subgoal");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+
+Status CheckStructure(const CQ& q, std::map<std::string, int>* bound) {
+  if (!q.negatives.empty()) {
+    return Status::InvalidArgument(
+        "Theorem 5.1 applies to CQs with arithmetic but without negation");
+  }
+  std::map<std::string, int>& occurrences = *bound;
+  for (const Atom& a : q.positives) {
+    for (const Term& t : a.args) {
+      if (t.is_const()) {
+        return Status::InvalidArgument(
+            "constant " + t.constant().ToString() +
+            " in ordinary subgoal " + a.ToString() +
+            "; normalize first (replace by a fresh variable equated to the "
+            "constant)");
+      }
+      if (++occurrences[t.var()] > 1) {
+        return Status::InvalidArgument(
+            "variable " + t.var() +
+            " repeated among ordinary subgoals; normalize first (Example "
+            "5.2 shows Theorem 5.1 fails otherwise)");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+/// Gathers the disjunction OR_h h(A(member)) over all containment mappings
+/// from every member of u2 into c1.
+Status CollectUnionObligations(const CQ& c1, const UCQ& u2,
+                               std::vector<arith::Conjunction>* disjuncts,
+                               size_t* mapping_count) {
+  CCPI_RETURN_IF_ERROR(CheckTheorem51Form(c1));
+  for (const CQ& c2 : u2) {
+    CCPI_RETURN_IF_ERROR(CheckTheorem51Form(c2));
+    for (const Substitution& h : EnumerateContainmentMappings(c2, c1)) {
+      arith::Conjunction mapped;
+      mapped.reserve(c2.comparisons.size());
+      for (const Comparison& c : c2.comparisons) {
+        // Theorem 5.1 form guarantees every comparison variable occurs in
+        // an ordinary subgoal and is therefore mapped by h.
+        mapped.push_back(Apply(h, c));
+      }
+      disjuncts->push_back(std::move(mapped));
+      if (mapping_count != nullptr) ++*mapping_count;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<bool> CqcContained(const CQ& c1, const CQ& c2) {
+  return CqcContainedInUnion(c1, UCQ{c2});
+}
+
+Result<bool> CqcContainedInUnion(const CQ& c1, const UCQ& u2) {
+  std::vector<arith::Conjunction> disjuncts;
+  CCPI_RETURN_IF_ERROR(CollectUnionObligations(c1, u2, &disjuncts, nullptr));
+  return arith::Implies(c1.comparisons, disjuncts);
+}
+
+Result<std::optional<arith::Conjunction>> CqcRefutation(const CQ& c1,
+                                                        const UCQ& u2) {
+  std::vector<arith::Conjunction> disjuncts;
+  CCPI_RETURN_IF_ERROR(CollectUnionObligations(c1, u2, &disjuncts, nullptr));
+  return arith::FindRefutation(c1.comparisons, disjuncts);
+}
+
+Result<size_t> CountMappings(const CQ& c1, const UCQ& u2) {
+  std::vector<arith::Conjunction> disjuncts;
+  size_t count = 0;
+  CCPI_RETURN_IF_ERROR(CollectUnionObligations(c1, u2, &disjuncts, &count));
+  return count;
+}
+
+Result<bool> CqcContainedInUnionRelaxed(const CQ& c1, const UCQ& u2,
+                                        bool* exact) {
+  *exact = true;
+  std::map<std::string, int> bound1;
+  CCPI_RETURN_IF_ERROR(CheckStructure(c1, &bound1));
+  std::vector<arith::Conjunction> disjuncts;
+  size_t member_index = 0;
+  for (const CQ& member : u2) {
+    // Unbound member variables survive into the obligation, so keep them
+    // from colliding with c1's variable names.
+    CQ c2 = RenameApart(member, "_m" + std::to_string(member_index++));
+    std::map<std::string, int> bound2;
+    CCPI_RETURN_IF_ERROR(CheckStructure(c2, &bound2));
+    // Head variables are pinned by the head-to-head mapping, so they count
+    // as bound for the purposes of applying h to A(c2).
+    for (const Term& t : c2.head.args) {
+      if (t.is_var()) bound2[t.var()] = 1;
+    }
+    for (const Comparison& c : c2.comparisons) {
+      for (const Term* t : {&c.lhs, &c.rhs}) {
+        if (t->is_var() && bound2.count(t->var()) == 0) {
+          // An existential comparison variable on the right: mapping it
+          // nowhere makes the obligation STRONGER than the true (exists-
+          // quantified) one, so the overall test stays sound but is no
+          // longer a decision procedure.
+          *exact = false;
+        }
+      }
+    }
+    for (const Substitution& h : EnumerateContainmentMappings(c2, c1)) {
+      arith::Conjunction mapped;
+      mapped.reserve(c2.comparisons.size());
+      for (const Comparison& c : c2.comparisons) {
+        mapped.push_back(Apply(h, c));
+      }
+      disjuncts.push_back(std::move(mapped));
+    }
+  }
+  return arith::Implies(c1.comparisons, disjuncts);
+}
+
+}  // namespace ccpi

@@ -1,0 +1,61 @@
+#ifndef CCPI_CONTAINMENT_CQC_H_
+#define CCPI_CONTAINMENT_CQC_H_
+
+#include <optional>
+#include <vector>
+
+#include "arith/solver.h"
+#include "datalog/cq.h"
+#include "util/status.h"
+
+namespace ccpi {
+
+/// Verifies the preconditions of Theorem 5.1 on one side of a containment:
+/// no negated subgoals, no variable repeated among the ordinary subgoals,
+/// no constants in ordinary subgoals, and every comparison variable bound
+/// by an ordinary subgoal. (Section 5 lists these; core/cqc_form.h rewrites
+/// arbitrary CQs into this shape by introducing equality comparisons.)
+Status CheckTheorem51Form(const CQ& q);
+
+/// Theorem 5.1: c1 is contained in c2 iff the set H of containment mappings
+/// from O(c2) to O(c1) satisfies  A(c1) => OR_{h in H} h(A(c2)).
+/// Exact for CQCs in Theorem 5.1 form (checked; InvalidArgument otherwise).
+/// Note the empty-H boundary: the empty disjunction is false, so
+/// containment then holds only if A(c1) is unsatisfiable.
+Result<bool> CqcContained(const CQ& c1, const CQ& c2);
+
+/// The union generalization stated after Theorem 5.1: containment mappings
+/// from ANY member of `u2` contribute their obligation to the disjunction.
+/// This is what the complete local test of Theorem 5.2 runs on, and where
+/// plain per-disjunct union containment would be incomplete (Example 5.3).
+Result<bool> CqcContainedInUnion(const CQ& c1, const UCQ& u2);
+
+/// Like CqcContainedInUnion but, when containment FAILS, also returns the
+/// refuting conjunction: A(c1) plus one negated mapped comparison per
+/// mapping, jointly satisfiable. A model of it instantiates O(c1) into a
+/// canonical database on which c1 fires and no member of u2 does — the
+/// completeness witness of the "only if" direction of the proof.
+/// Returns nullopt when containment holds.
+Result<std::optional<arith::Conjunction>> CqcRefutation(const CQ& c1,
+                                                        const UCQ& u2);
+
+/// Relaxed variant used by the program-containment dispatcher on general
+/// unfolded disjuncts. Structural preconditions (no negation, no repeated
+/// variables or constants in ordinary subgoals) still apply to both sides,
+/// but comparison variables bound only by the head are allowed, and a
+/// member of `u2` may even have comparison variables bound by nothing —
+/// in that case the test degrades from a decision procedure to a sound
+/// test and `*exact` is set to false (a true answer is always correct; a
+/// false answer then means "could not prove").
+Result<bool> CqcContainedInUnionRelaxed(const CQ& c1, const UCQ& u2,
+                                        bool* exact);
+
+/// The number of containment mappings examined by CqcContainedInUnion for
+/// this instance — the quantity the paper argues stays small in practice
+/// ("few repetitions of the same predicate"). Exposed for the Theorem 5.1
+/// vs. Klug benchmark.
+Result<size_t> CountMappings(const CQ& c1, const UCQ& u2);
+
+}  // namespace ccpi
+
+#endif  // CCPI_CONTAINMENT_CQC_H_

@@ -1,0 +1,356 @@
+#include "containment/exact.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "containment/linearize.h"
+#include "util/check.h"
+
+namespace ccpi {
+
+namespace {
+
+/// A ground fact over the rank universe.
+using Fact = std::pair<std::string, std::vector<int>>;
+
+/// Plain DPLL with unit propagation. Literals are +-(var+1). Small
+/// instances only; the oracle's limits keep it that way.
+class DpllSolver {
+ public:
+  DpllSolver(size_t num_vars, std::vector<std::vector<int>> clauses)
+      : assign_(num_vars, -1), clauses_(std::move(clauses)) {}
+
+  bool Solve() { return Search(); }
+
+ private:
+  // Returns 1 (satisfied), 0 (falsified), -1 (undecided) for a literal.
+  int LitValue(int lit) const {
+    int var = std::abs(lit) - 1;
+    if (assign_[static_cast<size_t>(var)] == -1) return -1;
+    bool val = assign_[static_cast<size_t>(var)] == 1;
+    return (lit > 0) == val ? 1 : 0;
+  }
+
+  /// Unit-propagates; returns false on conflict. Appends assigned vars to
+  /// `trail` for backtracking.
+  bool Propagate(std::vector<int>* trail) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const std::vector<int>& clause : clauses_) {
+        int undecided = 0;
+        int unit_lit = 0;
+        bool satisfied = false;
+        for (int lit : clause) {
+          int v = LitValue(lit);
+          if (v == 1) {
+            satisfied = true;
+            break;
+          }
+          if (v == -1) {
+            ++undecided;
+            unit_lit = lit;
+          }
+        }
+        if (satisfied) continue;
+        if (undecided == 0) return false;  // conflict
+        if (undecided == 1) {
+          int var = std::abs(unit_lit) - 1;
+          assign_[static_cast<size_t>(var)] = unit_lit > 0 ? 1 : 0;
+          trail->push_back(var);
+          changed = true;
+        }
+      }
+    }
+    return true;
+  }
+
+  bool Search() {
+    std::vector<int> trail;
+    if (!Propagate(&trail)) {
+      Undo(trail);
+      return false;
+    }
+    // Pick the first unassigned variable of an unsatisfied clause.
+    int branch_var = -1;
+    for (const std::vector<int>& clause : clauses_) {
+      bool satisfied = false;
+      int candidate = -1;
+      for (int lit : clause) {
+        int v = LitValue(lit);
+        if (v == 1) {
+          satisfied = true;
+          break;
+        }
+        if (v == -1 && candidate == -1) candidate = std::abs(lit) - 1;
+      }
+      if (!satisfied && candidate != -1) {
+        branch_var = candidate;
+        break;
+      }
+    }
+    if (branch_var == -1) {
+      Undo(trail);
+      return true;  // every clause satisfied
+    }
+    // Most literals are negative (absences of u2's positive subgoals), so
+    // try "tuple absent" first.
+    for (int value : {0, 1}) {
+      assign_[static_cast<size_t>(branch_var)] = value;
+      if (Search()) {
+        Undo(trail);
+        assign_[static_cast<size_t>(branch_var)] = -1;
+        return true;
+      }
+    }
+    assign_[static_cast<size_t>(branch_var)] = -1;
+    Undo(trail);
+    return false;
+  }
+
+  void Undo(const std::vector<int>& trail) {
+    for (int var : trail) assign_[static_cast<size_t>(var)] = -1;
+  }
+
+  std::vector<int8_t> assign_;
+  std::vector<std::vector<int>> clauses_;
+};
+
+void CollectConstants(const CQ& q, std::vector<Value>* out) {
+  auto from_atom = [out](const Atom& a) {
+    for (const Term& t : a.args) {
+      if (t.is_const()) out->push_back(t.constant());
+    }
+  };
+  from_atom(q.head);
+  for (const Atom& a : q.positives) from_atom(a);
+  for (const Atom& a : q.negatives) from_atom(a);
+  for (const Comparison& c : q.comparisons) {
+    if (c.lhs.is_const()) out->push_back(c.lhs.constant());
+    if (c.rhs.is_const()) out->push_back(c.rhs.constant());
+  }
+}
+
+Status CollectArities(const CQ& q, std::map<std::string, size_t>* arities) {
+  auto add = [arities](const Atom& a) -> Status {
+    auto [it, inserted] = arities->emplace(a.pred, a.args.size());
+    if (!inserted && it->second != a.args.size()) {
+      return Status::InvalidArgument("predicate " + a.pred +
+                                     " used with two arities");
+    }
+    return Status::OK();
+  };
+  for (const Atom& a : q.positives) CCPI_RETURN_IF_ERROR(add(a));
+  for (const Atom& a : q.negatives) CCPI_RETURN_IF_ERROR(add(a));
+  return Status::OK();
+}
+
+std::vector<int> FreezeArgs(const Atom& a, const Linearization& lin,
+                            const std::map<std::string, int>& var_rank) {
+  std::vector<int> out;
+  out.reserve(a.args.size());
+  for (const Term& t : a.args) {
+    if (t.is_const()) {
+      out.push_back(lin.RankOf(t));
+    } else {
+      out.push_back(var_rank.at(t.var()));
+    }
+  }
+  return out;
+}
+
+/// One (disjunct, linearization) check: true if a counterexample database
+/// exists under this linearization.
+Result<bool> CounterexampleUnderLinearization(
+    const CQ& q1, const UCQ& u2, const Linearization& lin,
+    const std::map<std::string, size_t>& arities, const ExactLimits& limits) {
+  size_t universe = static_cast<size_t>(lin.num_classes);
+  if (universe > limits.max_universe) {
+    return Status::Unsupported("exact oracle: universe too large");
+  }
+
+  // Frozen facts of q1 (must be present) and frozen negated subgoals
+  // (must be absent).
+  std::set<Fact> present;
+  std::set<Fact> absent;
+  for (const Atom& a : q1.positives) {
+    present.insert({a.pred, FreezeArgs(a, lin, lin.rank_of_var)});
+  }
+  for (const Atom& a : q1.negatives) {
+    absent.insert({a.pred, FreezeArgs(a, lin, lin.rank_of_var)});
+  }
+  for (const Fact& f : absent) {
+    if (present.count(f) > 0) return false;  // q1 cannot fire here
+  }
+  std::vector<int> goal = FreezeArgs(q1.head, lin, lin.rank_of_var);
+
+  // SAT variables: every optional tuple over the universe.
+  std::map<Fact, int> var_of;
+  size_t num_vars = 0;
+  for (const auto& [pred, arity] : arities) {
+    size_t count = 1;
+    for (size_t i = 0; i < arity; ++i) count *= universe;
+    if (num_vars + count > limits.max_sat_variables) {
+      return Status::Unsupported("exact oracle: too many optional tuples");
+    }
+    std::vector<int> tuple(arity, 0);
+    for (size_t n = 0; n < count; ++n) {
+      size_t rem = n;
+      for (size_t i = 0; i < arity; ++i) {
+        tuple[i] = static_cast<int>(rem % universe);
+        rem /= universe;
+      }
+      Fact f{pred, tuple};
+      if (present.count(f) == 0 && absent.count(f) == 0) {
+        var_of.emplace(std::move(f), static_cast<int>(num_vars++));
+      }
+    }
+  }
+
+  // Clauses: NOT (this instantiation of this member fires with goal tuple).
+  std::vector<std::vector<int>> clauses;
+  size_t assignments_tried = 0;
+  for (const CQ& q2 : u2) {
+    if (q2.head.pred != q1.head.pred ||
+        q2.head.args.size() != q1.head.args.size()) {
+      continue;  // can never produce q1's goal tuple
+    }
+    std::vector<std::string> vars2 = q2.Variables();
+    size_t n2 = vars2.size();
+    std::vector<size_t> counter(n2, 0);
+    bool overflow = false;
+    while (!overflow) {
+      if (++assignments_tried > limits.max_clauses) {
+        return Status::Unsupported("exact oracle: too many instantiations");
+      }
+      std::map<std::string, int> var_rank;
+      for (size_t i = 0; i < n2; ++i) {
+        var_rank[vars2[i]] = static_cast<int>(counter[i]);
+      }
+      // Check comparisons and goal-tuple agreement under the rank order.
+      auto rank_of_term = [&](const Term& t) {
+        return t.is_const() ? lin.RankOf(t) : var_rank.at(t.var());
+      };
+      bool feasible = true;
+      for (const Comparison& c : q2.comparisons) {
+        int a = rank_of_term(c.lhs);
+        int b = rank_of_term(c.rhs);
+        bool ok = false;
+        switch (c.op) {
+          case CmpOp::kLt:
+            ok = a < b;
+            break;
+          case CmpOp::kLe:
+            ok = a <= b;
+            break;
+          case CmpOp::kGt:
+            ok = a > b;
+            break;
+          case CmpOp::kGe:
+            ok = a >= b;
+            break;
+          case CmpOp::kEq:
+            ok = a == b;
+            break;
+          case CmpOp::kNe:
+            ok = a != b;
+            break;
+        }
+        if (!ok) {
+          feasible = false;
+          break;
+        }
+      }
+      if (feasible && FreezeArgs(q2.head, lin, var_rank) != goal) {
+        feasible = false;
+      }
+      if (feasible) {
+        std::vector<int> clause;
+        bool clause_true = false;
+        for (const Atom& a : q2.positives) {
+          Fact f{a.pred, FreezeArgs(a, lin, var_rank)};
+          if (absent.count(f) > 0) {
+            clause_true = true;  // this instantiation can never fire
+            break;
+          }
+          if (present.count(f) > 0) continue;  // literal always false
+          clause.push_back(-(var_of.at(f) + 1));
+        }
+        if (!clause_true) {
+          for (const Atom& a : q2.negatives) {
+            Fact f{a.pred, FreezeArgs(a, lin, var_rank)};
+            if (present.count(f) > 0) {
+              clause_true = true;
+              break;
+            }
+            if (absent.count(f) > 0) continue;
+            clause.push_back(var_of.at(f) + 1);
+          }
+        }
+        if (!clause_true) {
+          if (clause.empty()) {
+            // u2 fires on every candidate database: no counterexample.
+            return false;
+          }
+          clauses.push_back(std::move(clause));
+        }
+      }
+      // Advance the mixed-radix counter over q2's variables.
+      overflow = true;
+      for (size_t i = 0; i < n2; ++i) {
+        if (++counter[i] < universe) {
+          overflow = false;
+          break;
+        }
+        counter[i] = 0;
+      }
+    }
+  }
+
+  DpllSolver solver(num_vars, std::move(clauses));
+  return solver.Solve();
+}
+
+}  // namespace
+
+Result<bool> ExactUcqContained(const UCQ& u1, const UCQ& u2,
+                               const ExactLimits& limits) {
+  for (const CQ& q1 : u1) {
+    std::map<std::string, size_t> arities;
+    CCPI_RETURN_IF_ERROR(CollectArities(q1, &arities));
+    for (const CQ& q2 : u2) CCPI_RETURN_IF_ERROR(CollectArities(q2, &arities));
+
+    std::vector<std::string> vars = q1.Variables();
+    std::vector<Value> constants;
+    CollectConstants(q1, &constants);
+    for (const CQ& q2 : u2) CollectConstants(q2, &constants);
+
+    bool contained = true;
+    Status failure = Status::OK();
+    EnumerateLinearizations(
+        vars, constants, q1.comparisons, [&](const Linearization& lin) {
+          Result<bool> counterexample =
+              CounterexampleUnderLinearization(q1, u2, lin, arities, limits);
+          if (!counterexample.ok()) {
+            failure = counterexample.status();
+            return false;
+          }
+          if (*counterexample) {
+            contained = false;
+            return false;
+          }
+          return true;
+        });
+    CCPI_RETURN_IF_ERROR(failure);
+    if (!contained) return false;
+  }
+  return true;
+}
+
+Result<bool> ExactCqContained(const CQ& q1, const CQ& q2,
+                              const ExactLimits& limits) {
+  return ExactUcqContained(UCQ{q1}, UCQ{q2}, limits);
+}
+
+}  // namespace ccpi

@@ -1,0 +1,45 @@
+#ifndef CCPI_CONTAINMENT_EXACT_H_
+#define CCPI_CONTAINMENT_EXACT_H_
+
+#include "datalog/cq.h"
+#include "util/status.h"
+
+namespace ccpi {
+
+/// Resource limits for the exact oracle (it is doubly exponential in the
+/// worst case; the limits turn pathological instances into Unsupported
+/// rather than runaway computation).
+struct ExactLimits {
+  size_t max_universe = 12;          // equivalence classes per linearization
+  size_t max_sat_variables = 4096;   // optional tuples
+  size_t max_clauses = 2000000;      // instantiations of u2 members
+};
+
+/// Exact containment for unions of conjunctive queries with safe negated
+/// subgoals AND arithmetic comparisons — the most general decidable
+/// fragment of Fig 2.1 (nonrecursive). This is the library's ground-truth
+/// oracle: Theorem 5.1, the Klug baseline, uniform containment, and the
+/// complete local tests are all property-tested against it.
+///
+/// Method (small-model argument): a counterexample database can be
+/// restricted to the universe of one instantiation of a disjunct of u1 plus
+/// the constants of both sides. For each disjunct q1 and each linearization
+/// of its variables and the constants consistent with A(q1), the candidate
+/// databases are the supersets of q1's frozen positive subgoals avoiding
+/// its frozen negated subgoals; whether u2 fires on ALL of them is decided
+/// as a SAT problem over the optional tuples (one clause per satisfying
+/// instantiation of each member of u2, solved by DPLL with unit
+/// propagation). Containment holds iff no (disjunct, linearization) admits
+/// a satisfying assignment.
+///
+/// Unlike Theorem 5.1, constants and repeated variables in ordinary
+/// subgoals are allowed here.
+Result<bool> ExactUcqContained(const UCQ& u1, const UCQ& u2,
+                               const ExactLimits& limits = {});
+
+Result<bool> ExactCqContained(const CQ& q1, const CQ& q2,
+                              const ExactLimits& limits = {});
+
+}  // namespace ccpi
+
+#endif  // CCPI_CONTAINMENT_EXACT_H_

@@ -1,0 +1,99 @@
+#include "containment/klug.h"
+
+#include <set>
+
+#include "containment/cqc.h"
+#include "containment/linearize.h"
+#include "eval/engine.h"
+#include "relational/database.h"
+#include "util/check.h"
+
+namespace ccpi {
+
+namespace {
+
+/// Replaces the constants of a comparison by their linearization rank so
+/// the query can be evaluated over the canonical (rank-valued) database.
+Comparison RankComparison(const Comparison& c, const Linearization& lin) {
+  auto conv = [&](const Term& t) {
+    if (t.is_const()) return Term::Const(Value(lin.RankOf(t)));
+    return t;
+  };
+  return Comparison{conv(c.lhs), c.op, conv(c.rhs)};
+}
+
+/// True iff `c2` produces the goal tuple `expected` on the canonical
+/// database of `lin` built from c1's ordinary subgoals. For constraints the
+/// head is 0-ary and `expected` is the empty tuple.
+bool FiresOnCanonical(const CQ& c2, const Database& canonical,
+                      const Linearization& lin, const Tuple& expected) {
+  CQ ranked = c2;
+  for (Comparison& c : ranked.comparisons) c = RankComparison(c, lin);
+  Program program;
+  program.rules.push_back(ranked.ToRule());
+  program.goal = ranked.head.pred;
+  Result<Relation> goal = EvaluateGoal(program, canonical);
+  CCPI_CHECK(goal.ok());
+  return goal->Contains(expected);
+}
+
+}  // namespace
+
+Result<bool> KlugContainedInUnion(const CQ& c1, const UCQ& u2,
+                                  KlugStats* stats) {
+  CCPI_RETURN_IF_ERROR(CheckTheorem51Form(c1));
+  for (const CQ& c2 : u2) {
+    CCPI_RETURN_IF_ERROR(CheckTheorem51Form(c2));
+    if (c2.head.pred != c1.head.pred ||
+        c2.head.args.size() != c1.head.args.size()) {
+      return Status::InvalidArgument("head predicates must agree");
+    }
+  }
+
+  // Elements: c1's variables plus every constant either side compares with.
+  std::vector<std::string> vars = c1.Variables();
+  std::vector<Value> constants;
+  auto collect_consts = [&constants](const arith::Conjunction& conj) {
+    for (const Comparison& c : conj) {
+      if (c.lhs.is_const()) constants.push_back(c.lhs.constant());
+      if (c.rhs.is_const()) constants.push_back(c.rhs.constant());
+    }
+  };
+  collect_consts(c1.comparisons);
+  for (const CQ& c2 : u2) collect_consts(c2.comparisons);
+
+  bool contained = true;
+  EnumerateLinearizations(
+      vars, constants, c1.comparisons, [&](const Linearization& lin) {
+        if (stats != nullptr) ++stats->linearizations;
+        // Canonical database: c1's ordinary subgoals with every term
+        // replaced by its rank.
+        Database canonical;
+        for (const Atom& a : c1.positives) {
+          Tuple t;
+          t.reserve(a.args.size());
+          for (const Term& arg : a.args) t.push_back(Value(lin.RankOf(arg)));
+          Status st = canonical.Insert(a.pred, std::move(t));
+          CCPI_CHECK(st.ok());
+        }
+        Tuple expected;
+        expected.reserve(c1.head.args.size());
+        for (const Term& arg : c1.head.args) {
+          expected.push_back(Value(lin.RankOf(arg)));
+        }
+        for (const CQ& c2 : u2) {
+          if (FiresOnCanonical(c2, canonical, lin, expected)) {
+            return true;  // this linearization is covered; next one
+          }
+        }
+        contained = false;  // counterexample linearization found
+        return false;       // stop enumeration
+      });
+  return contained;
+}
+
+Result<bool> KlugContained(const CQ& c1, const CQ& c2, KlugStats* stats) {
+  return KlugContainedInUnion(c1, UCQ{c2}, stats);
+}
+
+}  // namespace ccpi

@@ -1,0 +1,36 @@
+#ifndef CCPI_CONTAINMENT_KLUG_H_
+#define CCPI_CONTAINMENT_KLUG_H_
+
+#include "datalog/cq.h"
+#include "util/status.h"
+
+namespace ccpi {
+
+/// Statistics of one Klug-style containment run, for the Theorem 5.1 vs.
+/// Klug benchmark (the paper: "Klug's approach in the worst case requires
+/// an exponential number of tests, each of which could take exponential
+/// time").
+struct KlugStats {
+  /// Linearizations of C1's variables consistent with A(C1) that were
+  /// examined (one canonical database each).
+  size_t linearizations = 0;
+};
+
+/// Klug's [1988] containment test for CQs with arithmetic comparisons:
+/// c1 is contained in u2 iff for EVERY linearization of c1's variables and
+/// the constants consistent with A(c1), the canonical database of that
+/// linearization makes some member of u2 produce the goal.
+///
+/// Exact under the same Theorem 5.1 preconditions as CqcContained (checked),
+/// and used as the head-to-head baseline: both algorithms decide the same
+/// relation, with opposite exponential profiles (orders of C1's variables
+/// here, containment mappings there).
+Result<bool> KlugContainedInUnion(const CQ& c1, const UCQ& u2,
+                                  KlugStats* stats = nullptr);
+
+Result<bool> KlugContained(const CQ& c1, const CQ& c2,
+                           KlugStats* stats = nullptr);
+
+}  // namespace ccpi
+
+#endif  // CCPI_CONTAINMENT_KLUG_H_

@@ -1,0 +1,231 @@
+#include "containment/linearize.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace ccpi {
+
+int Linearization::RankOf(const Term& t) const {
+  if (t.is_var()) {
+    auto it = rank_of_var.find(t.var());
+    CCPI_CHECK(it != rank_of_var.end());
+    return it->second;
+  }
+  auto it = rank_of_const.find(t.constant());
+  CCPI_CHECK(it != rank_of_const.end());
+  return it->second;
+}
+
+bool Linearization::Satisfies(const Comparison& c) const {
+  int a = RankOf(c.lhs);
+  int b = RankOf(c.rhs);
+  switch (c.op) {
+    case CmpOp::kLt:
+      return a < b;
+    case CmpOp::kLe:
+      return a <= b;
+    case CmpOp::kGt:
+      return a > b;
+    case CmpOp::kGe:
+      return a >= b;
+    case CmpOp::kEq:
+      return a == b;
+    case CmpOp::kNe:
+      return a != b;
+  }
+  return false;
+}
+
+bool Linearization::SatisfiesAll(const arith::Conjunction& conj) const {
+  for (const Comparison& c : conj) {
+    if (!Satisfies(c)) return false;
+  }
+  return true;
+}
+
+std::string Linearization::ToString() const {
+  std::vector<std::vector<std::string>> classes(
+      static_cast<size_t>(num_classes));
+  for (const auto& [v, r] : rank_of_var) {
+    classes[static_cast<size_t>(r)].push_back(v);
+  }
+  for (const auto& [c, r] : rank_of_const) {
+    classes[static_cast<size_t>(r)].push_back(c.ToString());
+  }
+  std::vector<std::string> parts;
+  parts.reserve(classes.size());
+  for (const auto& cls : classes) parts.push_back("{" + Join(cls, "=") + "}");
+  return Join(parts, " < ");
+}
+
+namespace {
+
+struct Enumerator {
+  const std::vector<std::string>* vars;
+  const arith::Conjunction* conj;
+  const std::function<bool(const Linearization&)>* fn;
+  // Current ordered classes; each class is a list of element labels, where
+  // a label < 0 encodes constant index -(label+1) and a label >= 0 encodes
+  // variable index.
+  std::vector<std::vector<int>> classes;
+  std::vector<Value> sorted_consts;
+  bool stopped = false;
+  bool prune = false;
+  // Comparisons precompiled to element labels for incremental pruning.
+  struct LabeledCmp {
+    int lhs;
+    int rhs;
+    CmpOp op;
+  };
+  std::vector<LabeledCmp> labeled;
+
+  int LabelOf(const Term& t) const {
+    if (t.is_var()) {
+      for (size_t i = 0; i < vars->size(); ++i) {
+        if ((*vars)[i] == t.var()) return static_cast<int>(i);
+      }
+      return std::numeric_limits<int>::min();  // unknown: never checkable
+    }
+    for (size_t i = 0; i < sorted_consts.size(); ++i) {
+      if (sorted_consts[i] == t.constant()) return -static_cast<int>(i) - 1;
+    }
+    return std::numeric_limits<int>::min();
+  }
+
+  void Precompile() {
+    for (const Comparison& c : *conj) {
+      labeled.push_back(LabeledCmp{LabelOf(c.lhs), LabelOf(c.rhs), c.op});
+    }
+  }
+
+  /// Rank (class position) of a label in the current partial placement,
+  /// or -1 if not placed.
+  int RankOf(int label) const {
+    for (size_t r = 0; r < classes.size(); ++r) {
+      for (int member : classes[r]) {
+        if (member == label) return static_cast<int>(r);
+      }
+    }
+    return -1;
+  }
+
+  /// False when a comparison between already-placed elements is violated.
+  /// The relative order of placed classes never changes as later elements
+  /// are inserted, so a violation is permanent.
+  bool PartialConsistent(int placed_vars) const {
+    for (const LabeledCmp& c : labeled) {
+      if (c.lhs == std::numeric_limits<int>::min() ||
+          c.rhs == std::numeric_limits<int>::min()) {
+        continue;
+      }
+      if (c.lhs >= placed_vars || c.rhs >= placed_vars) continue;
+      int a = RankOf(c.lhs);
+      int b = RankOf(c.rhs);
+      if (a < 0 || b < 0) continue;
+      bool ok = false;
+      switch (c.op) {
+        case CmpOp::kLt:
+          ok = a < b;
+          break;
+        case CmpOp::kLe:
+          ok = a <= b;
+          break;
+        case CmpOp::kGt:
+          ok = a > b;
+          break;
+        case CmpOp::kGe:
+          ok = a >= b;
+          break;
+        case CmpOp::kEq:
+          ok = a == b;
+          break;
+        case CmpOp::kNe:
+          ok = a != b;
+          break;
+      }
+      if (!ok) return false;
+    }
+    return true;
+  }
+
+  void Emit() {
+    Linearization lin;
+    lin.num_classes = static_cast<int>(classes.size());
+    for (size_t r = 0; r < classes.size(); ++r) {
+      for (int label : classes[r]) {
+        if (label < 0) {
+          lin.rank_of_const[sorted_consts[static_cast<size_t>(-label - 1)]] =
+              static_cast<int>(r);
+        } else {
+          lin.rank_of_var[(*vars)[static_cast<size_t>(label)]] =
+              static_cast<int>(r);
+        }
+      }
+    }
+    if (!lin.SatisfiesAll(*conj)) return;
+    if (!(*fn)(lin)) stopped = true;
+  }
+
+  void Place(size_t var_idx) {
+    if (stopped) return;
+    if (var_idx == vars->size()) {
+      Emit();
+      return;
+    }
+    int label = static_cast<int>(var_idx);
+    int placed = static_cast<int>(var_idx) + 1;
+    // Join an existing class.
+    for (size_t i = 0; i < classes.size() && !stopped; ++i) {
+      classes[i].push_back(label);
+      if (!prune || PartialConsistent(placed)) Place(var_idx + 1);
+      classes[i].pop_back();
+    }
+    // Open a new class at any gap position.
+    for (size_t i = 0; i <= classes.size() && !stopped; ++i) {
+      classes.insert(classes.begin() + static_cast<ptrdiff_t>(i), {label});
+      if (!prune || PartialConsistent(placed)) Place(var_idx + 1);
+      classes.erase(classes.begin() + static_cast<ptrdiff_t>(i));
+    }
+  }
+};
+
+}  // namespace
+
+void EnumerateLinearizations(
+    const std::vector<std::string>& vars, const std::vector<Value>& constants,
+    const arith::Conjunction& consistent_with,
+    const std::function<bool(const Linearization&)>& fn,
+    const LinearizeOptions& options) {
+  Enumerator e;
+  e.vars = &vars;
+  e.conj = &consistent_with;
+  e.fn = &fn;
+  e.prune = options.prune;
+  // Distinct constants form a fixed ordered backbone of singleton classes.
+  std::set<Value> distinct(constants.begin(), constants.end());
+  e.sorted_consts.assign(distinct.begin(), distinct.end());
+  std::sort(e.sorted_consts.begin(), e.sorted_consts.end());
+  for (size_t i = 0; i < e.sorted_consts.size(); ++i) {
+    e.classes.push_back({-static_cast<int>(i) - 1});
+  }
+  e.Precompile();
+  e.Place(0);
+}
+
+size_t CountLinearizations(const std::vector<std::string>& vars,
+                           const std::vector<Value>& constants,
+                           const arith::Conjunction& consistent_with) {
+  size_t count = 0;
+  EnumerateLinearizations(vars, constants, consistent_with,
+                          [&](const Linearization&) {
+                            ++count;
+                            return true;
+                          });
+  return count;
+}
+
+}  // namespace ccpi

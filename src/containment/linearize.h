@@ -1,0 +1,65 @@
+#ifndef CCPI_CONTAINMENT_LINEARIZE_H_
+#define CCPI_CONTAINMENT_LINEARIZE_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "arith/solver.h"
+#include "datalog/ast.h"
+#include "relational/value.h"
+
+namespace ccpi {
+
+/// A total preorder ("linearization") of a set of variables and constants:
+/// every element is assigned the rank of its equivalence class, ranks
+/// 0..num_classes-1 in increasing order. Distinct constants always occupy
+/// distinct classes, ordered by their true Value order.
+///
+/// This is the object Klug's containment test quantifies over: each
+/// linearization of C1's variables consistent with A(C1) yields one
+/// canonical database.
+struct Linearization {
+  std::map<std::string, int> rank_of_var;
+  std::map<Value, int> rank_of_const;
+  int num_classes = 0;
+
+  /// Rank of a term (variable or constant). The term must be an element.
+  int RankOf(const Term& t) const;
+
+  /// Evaluates a comparison under the rank order.
+  bool Satisfies(const Comparison& c) const;
+  bool SatisfiesAll(const arith::Conjunction& conj) const;
+
+  std::string ToString() const;
+};
+
+struct LinearizeOptions {
+  /// Prune partial placements against `consistent_with` as soon as both
+  /// endpoints of a comparison are placed (the relative order of placed
+  /// classes never changes later, so a violated comparison can never be
+  /// repaired). Dramatically reduces visited nodes when the conjunction is
+  /// restrictive; the worst case stays the ordered Bell numbers.
+  bool prune = true;
+};
+
+/// Enumerates every linearization of `vars` and `constants` that satisfies
+/// `consistent_with`, invoking `fn` for each; `fn` returning false stops the
+/// enumeration early. The number of linearizations grows as the ordered
+/// Bell numbers — exponential in |vars|, which is exactly the cost the
+/// paper attributes to Klug's approach.
+void EnumerateLinearizations(
+    const std::vector<std::string>& vars, const std::vector<Value>& constants,
+    const arith::Conjunction& consistent_with,
+    const std::function<bool(const Linearization&)>& fn,
+    const LinearizeOptions& options = {});
+
+/// Counts linearizations (for the benchmark reports).
+size_t CountLinearizations(const std::vector<std::string>& vars,
+                           const std::vector<Value>& constants,
+                           const arith::Conjunction& consistent_with);
+
+}  // namespace ccpi
+
+#endif  // CCPI_CONTAINMENT_LINEARIZE_H_

@@ -1,0 +1,115 @@
+#include "containment/mapping.h"
+
+#include <optional>
+
+#include "util/check.h"
+
+namespace ccpi {
+
+namespace {
+
+/// Extends `subst` so that Apply(subst, from_atom) == to_atom, or returns
+/// false without touching `subst` on failure.
+bool UnifyOnto(const Atom& from_atom, const Atom& to_atom,
+               Substitution* subst) {
+  if (from_atom.pred != to_atom.pred ||
+      from_atom.args.size() != to_atom.args.size()) {
+    return false;
+  }
+  std::vector<std::pair<std::string, Term>> added;
+  for (size_t i = 0; i < from_atom.args.size(); ++i) {
+    const Term& f = from_atom.args[i];
+    const Term& t = to_atom.args[i];
+    if (f.is_const()) {
+      // A constant maps only to the identical constant.
+      if (!(t.is_const() && t.constant() == f.constant())) {
+        for (const auto& [v, unused] : added) subst->erase(v);
+        return false;
+      }
+      continue;
+    }
+    auto it = subst->find(f.var());
+    if (it == subst->end()) {
+      subst->emplace(f.var(), t);
+      added.emplace_back(f.var(), t);
+    } else if (!(it->second == t)) {
+      for (const auto& [v, unused] : added) subst->erase(v);
+      return false;
+    }
+  }
+  return true;
+}
+
+struct SearchState {
+  const CQ* from = nullptr;
+  const CQ* to = nullptr;
+  bool map_negated = false;
+  // Collect all mappings, or stop at the first one.
+  bool first_only = false;
+  std::vector<Substitution> results = {};
+};
+
+bool SearchNegated(SearchState* state, size_t idx, Substitution* subst);
+
+/// Backtracking over the ordinary positive subgoals of `from`.
+bool SearchPositive(SearchState* state, size_t idx, Substitution* subst) {
+  if (idx == state->from->positives.size()) {
+    if (state->map_negated) return SearchNegated(state, 0, subst);
+    state->results.push_back(*subst);
+    return state->first_only;
+  }
+  const Atom& from_atom = state->from->positives[idx];
+  for (const Atom& to_atom : state->to->positives) {
+    Substitution saved = *subst;
+    if (UnifyOnto(from_atom, to_atom, subst)) {
+      if (SearchPositive(state, idx + 1, subst)) return true;
+    }
+    *subst = std::move(saved);
+  }
+  return false;
+}
+
+bool SearchNegated(SearchState* state, size_t idx, Substitution* subst) {
+  if (idx == state->from->negatives.size()) {
+    state->results.push_back(*subst);
+    return state->first_only;
+  }
+  const Atom& from_atom = state->from->negatives[idx];
+  for (const Atom& to_atom : state->to->negatives) {
+    Substitution saved = *subst;
+    if (UnifyOnto(from_atom, to_atom, subst)) {
+      if (SearchNegated(state, idx + 1, subst)) return true;
+    }
+    *subst = std::move(saved);
+  }
+  return false;
+}
+
+std::optional<Substitution> HeadSeed(const CQ& from, const CQ& to) {
+  Substitution subst;
+  if (!UnifyOnto(from.head, to.head, &subst)) return std::nullopt;
+  return subst;
+}
+
+}  // namespace
+
+std::vector<Substitution> EnumerateContainmentMappings(
+    const CQ& from, const CQ& to, const MappingOptions& options) {
+  std::optional<Substitution> seed = HeadSeed(from, to);
+  if (!seed.has_value()) return {};
+  SearchState state{&from, &to, options.map_negated};
+  SearchPositive(&state, 0, &*seed);
+  return std::move(state.results);
+}
+
+bool HasContainmentMapping(const CQ& from, const CQ& to,
+                           const MappingOptions& options) {
+  std::optional<Substitution> seed = HeadSeed(from, to);
+  if (!seed.has_value()) return false;
+  SearchState state{&from, &to, options.map_negated};
+  state.first_only = true;
+  SearchPositive(&state, 0, &*seed);
+  return !state.results.empty();
+}
+
+}  // namespace ccpi

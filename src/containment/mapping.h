@@ -1,0 +1,33 @@
+#ifndef CCPI_CONTAINMENT_MAPPING_H_
+#define CCPI_CONTAINMENT_MAPPING_H_
+
+#include <vector>
+
+#include "datalog/cq.h"
+
+namespace ccpi {
+
+/// Options for containment-mapping enumeration.
+struct MappingOptions {
+  /// Also require each negated subgoal of `from` to map onto some negated
+  /// subgoal of `to` (the uniform-containment discipline for queries with
+  /// negation; sound but not complete for containment).
+  bool map_negated = false;
+};
+
+/// Enumerates all containment mappings from `from` to `to` (Ullman [1989]):
+/// substitutions h on the variables of `from` such that h maps the head of
+/// `from` to the head of `to` and every ordinary subgoal of `from` onto some
+/// ordinary subgoal of `to`. Constants must match exactly. Comparison
+/// subgoals are ignored here — Theorem 5.1 handles them via the arithmetic
+/// implication over the returned set H.
+std::vector<Substitution> EnumerateContainmentMappings(
+    const CQ& from, const CQ& to, const MappingOptions& options = {});
+
+/// True iff at least one containment mapping exists (short-circuiting).
+bool HasContainmentMapping(const CQ& from, const CQ& to,
+                           const MappingOptions& options = {});
+
+}  // namespace ccpi
+
+#endif  // CCPI_CONTAINMENT_MAPPING_H_

@@ -1,0 +1,46 @@
+#include "containment/normalize.h"
+
+#include <set>
+
+namespace ccpi {
+
+CQ NormalizeToTheorem51Form(const CQ& q) {
+  CQ out = q;
+  std::set<std::string> seen;
+  int counter = 0;
+  auto fresh = [&](const std::string& base) {
+    std::string name;
+    do {
+      name = base + "_n" + std::to_string(counter++);
+    } while (seen.count(name) > 0);
+    seen.insert(name);
+    return name;
+  };
+  for (const std::string& v : q.Variables()) seen.insert(v);
+
+  // Head variables count as first occurrences so the head stays intact.
+  std::set<std::string> used;
+  for (const Term& t : q.head.args) {
+    if (t.is_var()) used.insert(t.var());
+  }
+  for (Atom& a : out.positives) {
+    for (Term& t : a.args) {
+      if (t.is_const()) {
+        std::string name = fresh("Xc");
+        out.comparisons.push_back(
+            Comparison{Term::Var(name), CmpOp::kEq, t});
+        t = Term::Var(name);
+        used.insert(name);
+      } else if (!used.insert(t.var()).second) {
+        std::string name = fresh(t.var());
+        out.comparisons.push_back(
+            Comparison{Term::Var(t.var()), CmpOp::kEq, Term::Var(name)});
+        t = Term::Var(name);
+        used.insert(name);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ccpi

@@ -1,0 +1,24 @@
+#ifndef CCPI_CONTAINMENT_NORMALIZE_H_
+#define CCPI_CONTAINMENT_NORMALIZE_H_
+
+#include "datalog/cq.h"
+#include "util/status.h"
+
+namespace ccpi {
+
+/// Rewrites a CQ into Theorem 5.1 form (Section 5's conditions): no
+/// variable appears twice among the ordinary subgoals and no constants
+/// appear in them. "Rather, multiple occurrences are handled by using
+/// distinct variables and equating them by arithmetic equality
+/// constraints." The rewrite is equivalence-preserving:
+///
+///   panic :- p(X,X)   becomes   panic :- p(X,X_2) & X = X_2
+///   panic :- p(0,Y)   becomes   panic :- p(X_c1,Y) & X_c1 = 0
+///
+/// Head variables keep their first occurrence. Negated subgoals are left
+/// untouched (Theorem 5.1 rejects them downstream).
+CQ NormalizeToTheorem51Form(const CQ& q);
+
+}  // namespace ccpi
+
+#endif  // CCPI_CONTAINMENT_NORMALIZE_H_

@@ -1,0 +1,112 @@
+#include "containment/uniform_recursive.h"
+
+#include <map>
+
+#include "eval/engine.h"
+#include "util/check.h"
+
+namespace ccpi {
+
+namespace {
+
+Status RequirePositiveArithFree(const Program& p, const char* role) {
+  if (p.HasNegation()) {
+    return Status::InvalidArgument(std::string(role) +
+                                   ": uniform containment is implemented "
+                                   "for negation-free programs");
+  }
+  if (p.HasArithmetic()) {
+    return Status::InvalidArgument(std::string(role) +
+                                   ": uniform containment is implemented "
+                                   "for arithmetic-free programs (the "
+                                   "Levy-Sagiv extension is future work)");
+  }
+  return Status::OK();
+}
+
+/// Freezes a term: variables become distinctive symbolic constants.
+Value Freeze(const Term& t) {
+  if (t.is_const()) return t.constant();
+  return Value("frz_" + t.var());
+}
+
+}  // namespace
+
+Result<Outcome> UniformDatalogContained(const Program& p1,
+                                        const Program& p2) {
+  CCPI_RETURN_IF_ERROR(RequirePositiveArithFree(p1, "P1"));
+  CCPI_RETURN_IF_ERROR(RequirePositiveArithFree(p2, "P2"));
+
+  std::set<std::string> p2_idb = p2.IdbPredicates();
+  for (const Rule& rule : p1.rules) {
+    // Freeze the rule body into a database. Facts for predicates P2
+    // derives must be *seeded* into its IDB (uniform containment
+    // quantifies over databases with IDB facts); the rest are EDB.
+    Database edb;
+    Database seed;
+    for (const Literal& l : rule.body) {
+      CCPI_DCHECK(l.is_positive());
+      Tuple t;
+      t.reserve(l.atom.args.size());
+      for (const Term& arg : l.atom.args) t.push_back(Freeze(arg));
+      if (p2_idb.count(l.atom.pred) > 0) {
+        CCPI_RETURN_IF_ERROR(seed.Insert(l.atom.pred, std::move(t)));
+      } else {
+        CCPI_RETURN_IF_ERROR(edb.Insert(l.atom.pred, std::move(t)));
+      }
+    }
+    Tuple head;
+    head.reserve(rule.head.args.size());
+    for (const Term& arg : rule.head.args) head.push_back(Freeze(arg));
+
+    EvalOptions options;
+    options.seed_idb = &seed;
+    CCPI_ASSIGN_OR_RETURN(Database derived, Evaluate(p2, edb, options));
+    bool found = derived.Contains(rule.head.pred, head);
+    if (!found && p2_idb.count(rule.head.pred) == 0) {
+      // P2 never derives this predicate at all; the frozen head could only
+      // come from the body itself (a tautological rule).
+      found = edb.Contains(rule.head.pred, head);
+    }
+    if (!found) return Outcome::kUnknown;
+  }
+  return Outcome::kHolds;
+}
+
+Program MergeConstraintPrograms(const std::vector<Program>& programs) {
+  Program merged;
+  if (!programs.empty()) merged.goal = programs[0].goal;
+  // Helper predicates are scoped to their constraint: if two programs
+  // define the same helper name they must be renamed apart, or the merge
+  // would compute the union of their definitions (a strictly larger
+  // program — unsound as a containment target). Helpers owned by a single
+  // program keep their names, so uniform-containment chases can relate
+  // them to same-named predicates of the subsumed side.
+  std::map<std::string, int> definers;
+  for (const Program& p : programs) {
+    for (const std::string& pred : p.IdbPredicates()) {
+      if (pred != p.goal) definers[pred]++;
+    }
+  }
+  int index = 0;
+  for (const Program& p : programs) {
+    std::string suffix = "_c" + std::to_string(index++);
+    std::map<std::string, std::string> rename;
+    for (const std::string& pred : p.IdbPredicates()) {
+      if (pred != p.goal && definers[pred] > 1) rename[pred] = pred + suffix;
+    }
+    for (Rule rule : p.rules) {
+      auto it = rename.find(rule.head.pred);
+      if (it != rename.end()) rule.head.pred = it->second;
+      for (Literal& l : rule.body) {
+        if (l.is_comparison()) continue;
+        auto bit = rename.find(l.atom.pred);
+        if (bit != rename.end()) l.atom.pred = bit->second;
+      }
+      merged.rules.push_back(std::move(rule));
+    }
+  }
+  return merged;
+}
+
+}  // namespace ccpi

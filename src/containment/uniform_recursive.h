@@ -1,0 +1,38 @@
+#ifndef CCPI_CONTAINMENT_UNIFORM_RECURSIVE_H_
+#define CCPI_CONTAINMENT_UNIFORM_RECURSIVE_H_
+
+#include "datalog/ast.h"
+#include "util/outcome.h"
+#include "util/status.h"
+
+namespace ccpi {
+
+/// Uniform containment of datalog programs (Sagiv [1988]; the paper cites
+/// its Theorem 5.1 generalization to recursive programs via Levy and Sagiv
+/// [1993]). P1 is *uniformly* contained in P2 when P1(D) is a subset of
+/// P2(D) for every database D — including databases with facts for the
+/// derived (IDB) predicates. Uniform containment implies ordinary
+/// containment, and unlike ordinary containment it is decidable for
+/// recursive programs.
+///
+/// Decision procedure (the chase): for each rule of P1, freeze its body —
+/// replace every variable by a fresh symbolic constant — and run P2 to
+/// fixpoint over the frozen facts, seeding P2's own derived predicates
+/// with them; P1 is uniformly contained in P2 iff each frozen head is
+/// derived.
+///
+/// Returns kHolds (uniformly contained, hence contained) or kUnknown
+/// (not uniformly contained — ordinary containment may still hold).
+/// Supports positive programs with arithmetic-free bodies; negation or
+/// comparisons yield InvalidArgument (freezing does not respect them).
+Result<Outcome> UniformDatalogContained(const Program& p1, const Program& p2);
+
+/// Merges constraint programs that share only the goal predicate into one
+/// program computing their union, renaming each program's other IDB
+/// predicates apart so helper names cannot collide. Used to test
+/// containment in a union of recursive constraints.
+Program MergeConstraintPrograms(const std::vector<Program>& programs);
+
+}  // namespace ccpi
+
+#endif  // CCPI_CONTAINMENT_UNIFORM_RECURSIVE_H_

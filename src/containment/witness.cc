@@ -1,0 +1,49 @@
+#include "containment/witness.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ccpi {
+
+std::optional<Database> BuildCanonicalDatabase(
+    const CQ& c1, const arith::Conjunction& refutation) {
+  std::optional<std::map<std::string, Value>> model =
+      arith::FindModel(refutation);
+  if (!model.has_value()) return std::nullopt;
+
+  // Assign fresh distinct integers to variables the refutation leaves
+  // unconstrained; any extension of the model preserves the refutation.
+  int64_t fresh = 0;
+  for (const auto& [var, value] : *model) {
+    (void)var;
+    if (value.is_int()) fresh = std::max(fresh, value.AsInt());
+  }
+  for (const Comparison& c : refutation) {
+    for (const Term* t : {&c.lhs, &c.rhs}) {
+      if (t->is_const() && t->constant().is_int()) {
+        fresh = std::max(fresh, t->constant().AsInt());
+      }
+    }
+  }
+  ++fresh;
+  for (const std::string& v : c1.Variables()) {
+    if (model->count(v) == 0) (*model)[v] = Value(fresh++);
+  }
+
+  Database db;
+  for (const Atom& a : c1.positives) {
+    Tuple t;
+    t.reserve(a.args.size());
+    for (const Term& arg : a.args) {
+      // Theorem 5.1 form: ordinary subgoals contain variables only.
+      CCPI_CHECK(arg.is_var());
+      t.push_back(model->at(arg.var()));
+    }
+    Status st = db.Insert(a.pred, std::move(t));
+    CCPI_CHECK(st.ok());
+  }
+  return db;
+}
+
+}  // namespace ccpi

@@ -1,0 +1,31 @@
+#ifndef CCPI_CONTAINMENT_WITNESS_H_
+#define CCPI_CONTAINMENT_WITNESS_H_
+
+#include <optional>
+
+#include "arith/solver.h"
+#include "datalog/cq.h"
+#include "relational/database.h"
+#include "util/status.h"
+
+namespace ccpi {
+
+/// Materializes the canonical database of the "only if" direction of
+/// Theorem 5.1: given c1 (in Theorem 5.1 form) and a refuting conjunction
+/// from CqcRefutation, finds a concrete model of the refutation and
+/// instantiates c1's ordinary subgoals with it. On the resulting database
+/// c1 produces its goal while no member of the refuted union does — this is
+/// the "state of the information not accessed by the test for which the
+/// constraint ceases to hold" that makes local tests *complete*.
+///
+/// Variables of c1 not mentioned in the refutation are given fresh,
+/// pairwise-distinct integer values (their order is unconstrained).
+/// Returns nullopt when no integer-realizable model exists (the refutation
+/// may only be satisfiable strictly between adjacent integer constants;
+/// the dense-domain semantics is discussed in DESIGN.md).
+std::optional<Database> BuildCanonicalDatabase(
+    const CQ& c1, const arith::Conjunction& refutation);
+
+}  // namespace ccpi
+
+#endif  // CCPI_CONTAINMENT_WITNESS_H_

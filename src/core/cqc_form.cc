@@ -1,0 +1,57 @@
+#include "core/cqc_form.h"
+
+#include "containment/cqc.h"
+#include "containment/normalize.h"
+#include "datalog/safety.h"
+
+namespace ccpi {
+
+CQ Cqc::ToCQ() const {
+  CQ q;
+  q.head = Atom{kPanic, {}};
+  q.positives.push_back(local);
+  for (const Atom& r : remotes) q.positives.push_back(r);
+  q.comparisons = comparisons;
+  return q;
+}
+
+Result<Cqc> MakeCqc(const Rule& rule, const std::string& local_pred) {
+  if (!rule.head.args.empty() || rule.head.pred != kPanic) {
+    return Status::InvalidArgument(
+        "a CQC is a constraint: its head must be the 0-ary panic");
+  }
+  CCPI_RETURN_IF_ERROR(CheckRuleSafety(rule));
+  CQ raw = RuleToCQ(rule);
+  if (raw.HasNegation()) {
+    return Status::InvalidArgument(
+        "CQCs have no negated subgoals (Section 5)");
+  }
+  CQ normalized = NormalizeToTheorem51Form(raw);
+  CCPI_RETURN_IF_ERROR(CheckTheorem51Form(normalized));
+
+  Cqc out;
+  out.local_pred = local_pred;
+  bool have_local = false;
+  for (const Atom& a : normalized.positives) {
+    if (a.pred == local_pred) {
+      if (have_local) {
+        return Status::InvalidArgument(
+            "constraint has several subgoals with the local predicate " +
+            local_pred + "; fold them into one local subgoal first");
+      }
+      out.local = a;
+      have_local = true;
+    } else {
+      out.remotes.push_back(a);
+    }
+  }
+  if (!have_local) {
+    return Status::InvalidArgument("constraint has no subgoal with local "
+                                   "predicate " +
+                                   local_pred);
+  }
+  out.comparisons = normalized.comparisons;
+  return out;
+}
+
+}  // namespace ccpi

@@ -1,0 +1,46 @@
+#ifndef CCPI_CORE_CQC_FORM_H_
+#define CCPI_CORE_CQC_FORM_H_
+
+#include <string>
+#include <vector>
+
+#include "arith/solver.h"
+#include "datalog/cq.h"
+#include "util/status.h"
+
+namespace ccpi {
+
+/// A conjunctive-query constraint in the Section 5 normal form:
+///
+///     panic :- l & r1 & ... & rn & c1 & ... & ck
+///
+/// with one local subgoal l, remote subgoals r_i, and arithmetic
+/// comparisons c_j, where no variable appears twice among the ordinary
+/// subgoals and no constants appear in them (multiple occurrences and
+/// constants are expressed through equality comparisons; MakeCqc performs
+/// this normalization). The update model is insertion of a tuple into the
+/// relation for l.
+struct Cqc {
+  std::string local_pred;
+  Atom local;
+  std::vector<Atom> remotes;
+  arith::Conjunction comparisons;
+
+  size_t local_arity() const { return local.args.size(); }
+
+  /// The equivalent flattened CQ with head `panic`.
+  CQ ToCQ() const;
+  std::string ToString() const { return ToCQ().ToString(); }
+};
+
+/// Builds the normalized CQC from a constraint rule, designating
+/// `local_pred` as the local predicate. Fails if the rule has negation, a
+/// non-0-ary head, no occurrence (or several occurrences) of the local
+/// predicate, or unsafe comparison variables. (The paper notes a
+/// conjunction of local subgoals can be seen as one subgoal l; callers with
+/// several local atoms should fold them into one predicate first.)
+Result<Cqc> MakeCqc(const Rule& rule, const std::string& local_pred);
+
+}  // namespace ccpi
+
+#endif  // CCPI_CORE_CQC_FORM_H_

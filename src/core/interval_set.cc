@@ -1,0 +1,167 @@
+#include "core/interval_set.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ccpi {
+
+std::string Bound::ToString() const {
+  switch (kind) {
+    case Kind::kNegInf:
+      return "-inf";
+    case Kind::kPosInf:
+      return "+inf";
+    case Kind::kFinite:
+      return value.ToString();
+  }
+  return "?";
+}
+
+bool Interval::Empty() const {
+  if (!lo.finite() || !hi.finite()) {
+    // A ray or the whole line is never empty; an inverted pair of
+    // infinities cannot be constructed through the factories.
+    if (lo.kind == Bound::Kind::kPosInf || hi.kind == Bound::Kind::kNegInf) {
+      return true;
+    }
+    return false;
+  }
+  if (lo.value < hi.value) return false;
+  if (hi.value < lo.value) return true;
+  return !(lo.closed && hi.closed);  // single point needs both ends closed
+}
+
+bool Interval::Contains(const Value& v) const {
+  if (lo.finite()) {
+    if (v < lo.value) return false;
+    if (v == lo.value && !lo.closed) return false;
+  } else if (lo.kind == Bound::Kind::kPosInf) {
+    return false;
+  }
+  if (hi.finite()) {
+    if (hi.value < v) return false;
+    if (v == hi.value && !hi.closed) return false;
+  } else if (hi.kind == Bound::Kind::kNegInf) {
+    return false;
+  }
+  return true;
+}
+
+bool LowerBoundLess(const Bound& a, const Bound& b) {
+  if (a.kind != b.kind) {
+    auto order = [](const Bound& x) {
+      switch (x.kind) {
+        case Bound::Kind::kNegInf:
+          return 0;
+        case Bound::Kind::kFinite:
+          return 1;
+        case Bound::Kind::kPosInf:
+          return 2;
+      }
+      return 1;
+    };
+    return order(a) < order(b);
+  }
+  if (!a.finite()) return false;
+  if (a.value != b.value) return a.value < b.value;
+  return a.closed && !b.closed;  // [v.. admits v, (v.. does not
+}
+
+bool UpperBoundLess(const Bound& a, const Bound& b) {
+  if (a.kind != b.kind) {
+    auto order = [](const Bound& x) {
+      switch (x.kind) {
+        case Bound::Kind::kNegInf:
+          return 0;
+        case Bound::Kind::kFinite:
+          return 1;
+        case Bound::Kind::kPosInf:
+          return 2;
+      }
+      return 1;
+    };
+    return order(a) < order(b);
+  }
+  if (!a.finite()) return false;
+  if (a.value != b.value) return a.value < b.value;
+  return !a.closed && b.closed;  // ..v) ends before ..v]
+}
+
+bool Interval::Covers(const Interval& other) const {
+  if (other.Empty()) return true;
+  if (Empty()) return false;
+  // lo <= other.lo and other.hi <= hi in the bound orders.
+  if (LowerBoundLess(other.lo, lo)) return false;
+  if (UpperBoundLess(hi, other.hi)) return false;
+  return true;
+}
+
+bool Connects(const Bound& hi, const Bound& lo) {
+  if (!hi.finite() || !lo.finite()) {
+    // An infinite end always reaches anything on its side.
+    return true;
+  }
+  if (lo.value < hi.value) return true;
+  if (hi.value < lo.value) return false;
+  return hi.closed || lo.closed;
+}
+
+std::string Interval::ToString() const {
+  std::string out = lo.finite() && lo.closed ? "[" : "(";
+  out += lo.ToString();
+  out += ", ";
+  out += hi.ToString();
+  out += hi.finite() && hi.closed ? "]" : ")";
+  return out;
+}
+
+void IntervalSet::Add(Interval interval) {
+  if (interval.Empty()) return;
+  std::vector<Interval> kept;
+  Interval current = std::move(interval);
+  for (Interval& existing : intervals_) {
+    // `existing` stays separate iff a genuine gap lies between it and
+    // `current` on one side; otherwise it is absorbed.
+    bool gap_before = !Connects(existing.hi, current.lo);
+    bool gap_after = !Connects(current.hi, existing.lo);
+    if (gap_before || gap_after) {
+      kept.push_back(std::move(existing));
+      continue;
+    }
+    if (LowerBoundLess(existing.lo, current.lo)) current.lo = existing.lo;
+    if (UpperBoundLess(current.hi, existing.hi)) current.hi = existing.hi;
+  }
+  kept.push_back(std::move(current));
+  std::sort(kept.begin(), kept.end(),
+            [](const Interval& a, const Interval& b) {
+              return LowerBoundLess(a.lo, b.lo);
+            });
+  intervals_ = std::move(kept);
+}
+
+bool IntervalSet::Covers(const Interval& interval) const {
+  if (interval.Empty()) return true;
+  for (const Interval& i : intervals_) {
+    if (i.Covers(interval)) return true;
+  }
+  return false;
+}
+
+bool IntervalSet::Contains(const Value& v) const {
+  for (const Interval& i : intervals_) {
+    if (i.Contains(v)) return true;
+  }
+  return false;
+}
+
+std::string IntervalSet::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < intervals_.size(); ++i) {
+    if (i > 0) out += " U ";
+    out += intervals_[i].ToString();
+  }
+  return out.empty() ? "{}" : out;
+}
+
+}  // namespace ccpi

@@ -1,0 +1,59 @@
+#ifndef CCPI_CORE_LOCAL_TEST_H_
+#define CCPI_CORE_LOCAL_TEST_H_
+
+#include <optional>
+#include <vector>
+
+#include "core/cqc_form.h"
+#include "core/reduction.h"
+#include "relational/database.h"
+#include "relational/relation.h"
+#include "util/outcome.h"
+#include "util/status.h"
+
+namespace ccpi {
+
+/// The verdict of a complete local test, with the evidence that makes it
+/// *complete*: when the answer is kUnknown, `witness_remote` (when
+/// constructible over the integer domain) is a remote-relation state under
+/// which the constraint really is violated after the insertion, even
+/// though it held before.
+struct LocalTestResult {
+  Outcome outcome = Outcome::kUnknown;
+  std::optional<Database> witness_remote;
+  /// Number of reductions RED(s, l, .) in the union tested against.
+  size_t reductions = 0;
+};
+
+/// Theorem 5.2 — the complete local test for preservation of CQC `c` when
+/// tuple `t` is inserted into the local relation `local_relation`,
+/// assuming c held before the update:
+///
+///     RED(t, l, C)  contained in  UNION_{s in L} RED(s, l, C)
+///
+/// decided with the union form of Theorem 5.1. With `assumed` (other CQCs
+/// over the same local predicate, also known to hold before the update),
+/// their reductions by every tuple of L join the union, exactly as the
+/// theorem's extension states.
+///
+/// Outcomes: kHolds — C provably still holds; kViolated — C has no remote
+/// subgoals and t satisfies it outright; kUnknown — some remote state
+/// violates C (see witness_remote).
+Result<LocalTestResult> CompleteLocalTestOnInsert(
+    const Cqc& c, const Tuple& t, const Relation& local_relation,
+    const std::vector<Cqc>& assumed = {});
+
+/// The deletion counterpart, included for API completeness: a CQC has no
+/// negated subgoals, so it is monotone in its local relation — deleting a
+/// tuple from L can only remove derivations of panic. The complete local
+/// test for a deletion is therefore the constant "holds" (the paper's
+/// update model for Section 5 is insertion precisely because deletions are
+/// trivial for this constraint class). Returns kHolds after validating
+/// arities.
+Result<LocalTestResult> CompleteLocalTestOnDelete(const Cqc& c,
+                                                  const Tuple& t,
+                                                  const Relation& local_relation);
+
+}  // namespace ccpi
+
+#endif  // CCPI_CORE_LOCAL_TEST_H_

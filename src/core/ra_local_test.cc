@@ -1,0 +1,166 @@
+#include "core/ra_local_test.h"
+
+#include <map>
+#include <optional>
+
+#include "containment/mapping.h"
+#include "datalog/cq.h"
+#include "util/check.h"
+
+namespace ccpi {
+
+namespace {
+
+/// The distinguished sigma-variable for local position i.
+std::string SigmaVar(size_t i) { return "SIGMA_" + std::to_string(i); }
+
+bool IsSigmaVar(const std::string& name) {
+  return name.rfind("SIGMA_", 0) == 0;
+}
+
+size_t SigmaIndex(const std::string& name) {
+  return static_cast<size_t>(std::stoul(name.substr(6)));
+}
+
+}  // namespace
+
+Result<RaLocalTest> CompileRaLocalTest(const Rule& rule,
+                                       const std::string& local_pred,
+                                       const Tuple& t) {
+  CQ q = RuleToCQ(rule);
+  if (q.HasArithmetic()) {
+    return Status::InvalidArgument(
+        "Theorem 5.3 applies to arithmetic-free CQCs; use the Theorem 5.2 "
+        "test for constraints with comparisons");
+  }
+  if (q.HasNegation()) {
+    return Status::InvalidArgument("CQCs have no negated subgoals");
+  }
+  if (!q.head.args.empty()) {
+    return Status::InvalidArgument("constraint head must be 0-ary panic");
+  }
+  std::optional<Atom> local;
+  std::vector<Atom> remotes;
+  for (const Atom& a : q.positives) {
+    if (a.pred == local_pred) {
+      if (local.has_value()) {
+        return Status::InvalidArgument(
+            "constraint has several local subgoals");
+      }
+      local = a;
+    } else {
+      remotes.push_back(a);
+    }
+  }
+  if (!local.has_value()) {
+    return Status::InvalidArgument("constraint has no subgoal with local "
+                                   "predicate " +
+                                   local_pred);
+  }
+  if (t.size() != local->args.size()) {
+    return Status::InvalidArgument("inserted tuple arity mismatch");
+  }
+
+  RaLocalTest out;
+
+  // Does t unify with l's pattern? Bind each local variable to the first
+  // component seen; constants must match.
+  std::map<std::string, Value> binding;
+  // Pattern conditions on sigma: #i = #first(var), #i = constant.
+  std::vector<RaCondition> pattern;
+  std::map<std::string, size_t> first_pos;
+  for (size_t i = 0; i < local->args.size(); ++i) {
+    const Term& arg = local->args[i];
+    if (arg.is_const()) {
+      if (!(arg.constant() == t[i])) {
+        out.trivially_holds = true;  // RED(t, l, C) does not exist
+        return out;
+      }
+      pattern.push_back(RaCondition{RaOperand::Col(i), CmpOp::kEq,
+                                    RaOperand::Const(arg.constant())});
+      continue;
+    }
+    auto [it, inserted] = first_pos.emplace(arg.var(), i);
+    if (inserted) {
+      binding[arg.var()] = t[i];
+    } else {
+      if (!(binding.at(arg.var()) == t[i])) {
+        out.trivially_holds = true;
+        return out;
+      }
+      pattern.push_back(RaCondition{RaOperand::Col(it->second), CmpOp::kEq,
+                                    RaOperand::Col(i)});
+    }
+  }
+
+  if (remotes.empty()) {
+    // Purely local constraint: inserting a matching t violates it.
+    out.trivially_violated = true;
+    return out;
+  }
+
+  // RED(t): local variables replaced by t's components.
+  CQ red_t;
+  red_t.head = Atom{kPanic, {}};
+  Substitution to_t;
+  for (const auto& [var, value] : binding) to_t[var] = Term::Const(value);
+  for (const Atom& r : remotes) red_t.positives.push_back(Apply(to_t, r));
+
+  // RED(sigma): local variables replaced by sigma markers; the remaining
+  // (remote) variables renamed apart.
+  CQ red_sigma;
+  red_sigma.head = Atom{kPanic, {}};
+  Substitution to_sigma;
+  for (const auto& [var, pos] : first_pos) {
+    to_sigma[var] = Term::Var(SigmaVar(pos));
+  }
+  for (const Atom& r : remotes) {
+    Atom mapped = Apply(to_sigma, r);
+    // Rename the remote variables apart from RED(t)'s.
+    for (Term& arg : mapped.args) {
+      if (arg.is_var() && !IsSigmaVar(arg.var())) {
+        arg = Term::Var(arg.var() + "_q");
+      }
+    }
+    red_sigma.positives.push_back(std::move(mapped));
+  }
+
+  // One select per containment mapping whose sigma images are constants.
+  RaExprPtr scan = RaExpr::Scan(local_pred, t.size());
+  RaExprPtr result;
+  for (const Substitution& h :
+       EnumerateContainmentMappings(red_sigma, red_t)) {
+    std::vector<RaCondition> conds = pattern;
+    bool valid = true;
+    for (const auto& [var, target] : h) {
+      if (!IsSigmaVar(var)) continue;
+      if (!target.is_const()) {
+        // A component of a concrete L-tuple cannot cover a free remote
+        // variable; this mapping yields no test.
+        valid = false;
+        break;
+      }
+      conds.push_back(RaCondition{RaOperand::Col(SigmaIndex(var)), CmpOp::kEq,
+                                  RaOperand::Const(target.constant())});
+    }
+    if (!valid) continue;
+    RaExprPtr select = RaExpr::Select(scan, std::move(conds));
+    result = result == nullptr ? select : RaExpr::Union(result, select);
+  }
+  out.expr = result != nullptr ? result : RaExpr::Empty(t.size());
+  return out;
+}
+
+Result<Outcome> RaLocalTestOnInsert(const Rule& rule,
+                                    const std::string& local_pred,
+                                    const Tuple& t, const Database& db,
+                                    AccessObserver* observer) {
+  CCPI_ASSIGN_OR_RETURN(RaLocalTest test,
+                        CompileRaLocalTest(rule, local_pred, t));
+  if (test.trivially_holds) return Outcome::kHolds;
+  if (test.trivially_violated) return Outcome::kViolated;
+  CCPI_ASSIGN_OR_RETURN(bool nonempty, RaNonempty(*test.expr, db, observer));
+  return nonempty ? Outcome::kHolds : Outcome::kUnknown;
+}
+
+}  // namespace ccpi

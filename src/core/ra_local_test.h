@@ -1,0 +1,58 @@
+#ifndef CCPI_CORE_RA_LOCAL_TEST_H_
+#define CCPI_CORE_RA_LOCAL_TEST_H_
+
+#include <string>
+
+#include "datalog/ast.h"
+#include "ra/ra_eval.h"
+#include "ra/ra_expr.h"
+#include "relational/database.h"
+#include "util/outcome.h"
+#include "util/status.h"
+
+namespace ccpi {
+
+/// The compiled complete local test of Theorem 5.3 for one inserted tuple.
+struct RaLocalTest {
+  /// The inserted tuple cannot unify with the local subgoal's pattern
+  /// (Example 5.4's t = (a,b,c) against l(X,Y,Y)): the insertion can never
+  /// cause a violation and no expression needs evaluating.
+  bool trivially_holds = false;
+  /// The constraint has no remote subgoals and t matches: violated outright.
+  bool trivially_violated = false;
+  /// Otherwise: nonemptiness of this expression over the local database is
+  /// the complete local test — a union of selections over L, one per
+  /// containment mapping from RED(sigma,l,C) to RED(t,l,C).
+  RaExprPtr expr;
+};
+
+/// Theorem 5.3 — for an *arithmetic-free* CQC (here constants and repeated
+/// variables may appear in the local and remote subgoals; no comparisons,
+/// no negation) and an insertion of `t` into `local_pred`, constructs in
+/// time exponential only in the size of the constraint an RA expression
+/// whose nonemptiness over the local relation is the complete local test.
+///
+/// The construction follows the proof sketch: let sigma be a tuple of
+/// variables of L's arity; each containment mapping from RED(sigma,l,C) to
+/// RED(t,l,C) yields a conjunctive condition on sigma's components
+/// (equalities to components of t and the intra-tuple equalities forced by
+/// l's pattern), which becomes one select; the union over mappings is the
+/// test. Example 5.4: inserting (a,b,b) into l for
+///   panic :- l(X,Y,Y) & r(Y,Z,X)
+/// compiles to  sigma[#1=a & #2=b & #3=b](l)  — "whether this tuple already
+/// exists in L".
+Result<RaLocalTest> CompileRaLocalTest(const Rule& rule,
+                                       const std::string& local_pred,
+                                       const Tuple& t);
+
+/// Compiles and evaluates in one step: kHolds, kViolated (local-only
+/// constraint), or kUnknown. `db` must hold the local relation; only the
+/// local relation is read (observable via `observer`).
+Result<Outcome> RaLocalTestOnInsert(const Rule& rule,
+                                    const std::string& local_pred,
+                                    const Tuple& t, const Database& db,
+                                    AccessObserver* observer = nullptr);
+
+}  // namespace ccpi
+
+#endif  // CCPI_CORE_RA_LOCAL_TEST_H_

@@ -1,0 +1,26 @@
+#include "core/reduction.h"
+
+#include "util/check.h"
+
+namespace ccpi {
+
+CQ Reduce(const Cqc& c, const Tuple& t) {
+  CCPI_CHECK(t.size() == c.local_arity());
+  Substitution subst;
+  for (size_t i = 0; i < t.size(); ++i) {
+    // Normal form: local arguments are distinct variables.
+    CCPI_CHECK(c.local.args[i].is_var());
+    subst[c.local.args[i].var()] = Term::Const(t[i]);
+  }
+  CQ out;
+  out.head = Atom{kPanic, {}};
+  out.positives.reserve(c.remotes.size());
+  for (const Atom& r : c.remotes) out.positives.push_back(Apply(subst, r));
+  out.comparisons.reserve(c.comparisons.size());
+  for (const Comparison& cmp : c.comparisons) {
+    out.comparisons.push_back(Apply(subst, cmp));
+  }
+  return out;
+}
+
+}  // namespace ccpi

@@ -1,0 +1,23 @@
+#ifndef CCPI_CORE_REDUCTION_H_
+#define CCPI_CORE_REDUCTION_H_
+
+#include "core/cqc_form.h"
+#include "relational/tuple.h"
+
+namespace ccpi {
+
+/// RED(t, l, C) — the reduction of C by tuple t in its local subgoal
+/// (Section 5, "Instantiating Local Predicates"): substitute the components
+/// of t for the corresponding variables of l and eliminate l. In the
+/// normalized Cqc form the local arguments are distinct variables, so the
+/// reduction always exists; the resulting CQ (over the remote subgoals,
+/// with t's components now appearing as constants in the comparisons) is
+/// again in Theorem 5.1 form.
+///
+/// Example 5.3: for C: panic :- l(X,Y) & r(Z) & X<=Z & Z<=Y,
+/// Reduce(C, (3,6)) is  panic :- r(Z) & 3<=Z & Z<=6.
+CQ Reduce(const Cqc& c, const Tuple& t);
+
+}  // namespace ccpi
+
+#endif  // CCPI_CORE_REDUCTION_H_

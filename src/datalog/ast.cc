@@ -1,0 +1,320 @@
+#include "datalog/ast.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace ccpi {
+
+Term Term::Var(std::string name) {
+  CCPI_CHECK(IsVariableName(name));
+  Term t;
+  t.is_var_ = true;
+  t.var_ = std::move(name);
+  return t;
+}
+
+Term Term::Const(Value v) {
+  Term t;
+  t.is_var_ = false;
+  t.const_ = std::move(v);
+  return t;
+}
+
+const std::string& Term::var() const {
+  CCPI_CHECK(is_var_);
+  return var_;
+}
+
+const Value& Term::constant() const {
+  CCPI_CHECK(!is_var_);
+  return const_;
+}
+
+std::string Term::ToString() const {
+  return is_var_ ? var_ : const_.ToString();
+}
+
+std::string Atom::ToString() const {
+  if (args.empty()) return pred;
+  std::vector<std::string> parts;
+  parts.reserve(args.size());
+  for (const Term& t : args) parts.push_back(t.ToString());
+  return pred + "(" + Join(parts, ",") + ")";
+}
+
+const char* CmpOpToString(CmpOp op) {
+  switch (op) {
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNe:
+      return "<>";
+  }
+  return "?";
+}
+
+CmpOp Flip(CmpOp op) {
+  switch (op) {
+    case CmpOp::kLt:
+      return CmpOp::kGt;
+    case CmpOp::kLe:
+      return CmpOp::kGe;
+    case CmpOp::kGt:
+      return CmpOp::kLt;
+    case CmpOp::kGe:
+      return CmpOp::kLe;
+    case CmpOp::kEq:
+    case CmpOp::kNe:
+      return op;
+  }
+  return op;
+}
+
+CmpOp Negate(CmpOp op) {
+  switch (op) {
+    case CmpOp::kLt:
+      return CmpOp::kGe;
+    case CmpOp::kLe:
+      return CmpOp::kGt;
+    case CmpOp::kGt:
+      return CmpOp::kLe;
+    case CmpOp::kGe:
+      return CmpOp::kLt;
+    case CmpOp::kEq:
+      return CmpOp::kNe;
+    case CmpOp::kNe:
+      return CmpOp::kEq;
+  }
+  return op;
+}
+
+bool EvalCmp(const Value& a, CmpOp op, const Value& b) {
+  switch (op) {
+    case CmpOp::kLt:
+      return a < b;
+    case CmpOp::kLe:
+      return a <= b;
+    case CmpOp::kGt:
+      return a > b;
+    case CmpOp::kGe:
+      return a >= b;
+    case CmpOp::kEq:
+      return a == b;
+    case CmpOp::kNe:
+      return a != b;
+  }
+  return false;
+}
+
+std::string Comparison::ToString() const {
+  return lhs.ToString() + " " + CmpOpToString(op) + " " + rhs.ToString();
+}
+
+Literal Literal::Positive(Atom a) {
+  Literal l;
+  l.kind = Kind::kPositive;
+  l.atom = std::move(a);
+  return l;
+}
+
+Literal Literal::Negated(Atom a) {
+  Literal l;
+  l.kind = Kind::kNegated;
+  l.atom = std::move(a);
+  return l;
+}
+
+Literal Literal::Cmp(Comparison c) {
+  Literal l;
+  l.kind = Kind::kComparison;
+  l.cmp = std::move(c);
+  return l;
+}
+
+std::string Literal::ToString() const {
+  switch (kind) {
+    case Kind::kPositive:
+      return atom.ToString();
+    case Kind::kNegated:
+      return "not " + atom.ToString();
+    case Kind::kComparison:
+      return cmp.ToString();
+  }
+  return "?";
+}
+
+std::string Rule::ToString() const {
+  if (body.empty()) return head.ToString();
+  std::vector<std::string> parts;
+  parts.reserve(body.size());
+  for (const Literal& l : body) parts.push_back(l.ToString());
+  return head.ToString() + " :- " + Join(parts, " & ");
+}
+
+namespace {
+
+void CollectTermVar(const Term& t, std::vector<std::string>* out) {
+  if (t.is_var() &&
+      std::find(out->begin(), out->end(), t.var()) == out->end()) {
+    out->push_back(t.var());
+  }
+}
+
+}  // namespace
+
+void CollectVariables(const Atom& a, std::vector<std::string>* out) {
+  for (const Term& t : a.args) CollectTermVar(t, out);
+}
+
+std::vector<std::string> Rule::Variables() const {
+  std::vector<std::string> vars;
+  CollectVariables(head, &vars);
+  for (const Literal& l : body) {
+    if (l.is_comparison()) {
+      CollectTermVar(l.cmp.lhs, &vars);
+      CollectTermVar(l.cmp.rhs, &vars);
+    } else {
+      CollectVariables(l.atom, &vars);
+    }
+  }
+  return vars;
+}
+
+std::string Program::ToString() const {
+  std::string out;
+  for (const Rule& r : rules) {
+    out += r.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+std::set<std::string> Program::IdbPredicates() const {
+  std::set<std::string> idb;
+  for (const Rule& r : rules) idb.insert(r.head.pred);
+  return idb;
+}
+
+std::set<std::string> Program::EdbPredicates() const {
+  std::set<std::string> idb = IdbPredicates();
+  std::set<std::string> edb;
+  for (const Rule& r : rules) {
+    for (const Literal& l : r.body) {
+      if (!l.is_comparison() && idb.count(l.atom.pred) == 0) {
+        edb.insert(l.atom.pred);
+      }
+    }
+  }
+  return edb;
+}
+
+bool Program::IsRecursive() const {
+  // Depth-first search for a cycle in the predicate dependency graph
+  // restricted to IDB predicates.
+  std::set<std::string> idb = IdbPredicates();
+  std::map<std::string, std::set<std::string>> deps;
+  for (const Rule& r : rules) {
+    for (const Literal& l : r.body) {
+      if (!l.is_comparison() && idb.count(l.atom.pred) > 0) {
+        deps[r.head.pred].insert(l.atom.pred);
+      }
+    }
+  }
+  std::map<std::string, int> color;  // 0 white, 1 gray, 2 black
+  std::vector<std::pair<std::string, bool>> stack;
+  for (const std::string& start : idb) {
+    if (color[start] != 0) continue;
+    stack.push_back({start, false});
+    while (!stack.empty()) {
+      auto [node, done] = stack.back();
+      stack.pop_back();
+      if (done) {
+        color[node] = 2;
+        continue;
+      }
+      if (color[node] == 1) continue;
+      color[node] = 1;
+      stack.push_back({node, true});
+      for (const std::string& next : deps[node]) {
+        if (color[next] == 1) return true;
+        if (color[next] == 0) stack.push_back({next, false});
+      }
+    }
+  }
+  return false;
+}
+
+bool Program::HasNegation() const {
+  for (const Rule& r : rules) {
+    for (const Literal& l : r.body) {
+      if (l.is_negated()) return true;
+    }
+  }
+  return false;
+}
+
+bool Program::HasArithmetic() const {
+  for (const Rule& r : rules) {
+    for (const Literal& l : r.body) {
+      if (l.is_comparison()) return true;
+    }
+  }
+  return false;
+}
+
+Term Apply(const Substitution& s, const Term& t) {
+  if (t.is_var()) {
+    auto it = s.find(t.var());
+    if (it != s.end()) return it->second;
+  }
+  return t;
+}
+
+Atom Apply(const Substitution& s, const Atom& a) {
+  Atom out;
+  out.pred = a.pred;
+  out.args.reserve(a.args.size());
+  for (const Term& t : a.args) out.args.push_back(Apply(s, t));
+  return out;
+}
+
+Comparison Apply(const Substitution& s, const Comparison& c) {
+  return Comparison{Apply(s, c.lhs), c.op, Apply(s, c.rhs)};
+}
+
+Literal Apply(const Substitution& s, const Literal& l) {
+  Literal out = l;
+  if (l.is_comparison()) {
+    out.cmp = Apply(s, l.cmp);
+  } else {
+    out.atom = Apply(s, l.atom);
+  }
+  return out;
+}
+
+Rule Apply(const Substitution& s, const Rule& r) {
+  Rule out;
+  out.head = Apply(s, r.head);
+  out.body.reserve(r.body.size());
+  for (const Literal& l : r.body) out.body.push_back(Apply(s, l));
+  return out;
+}
+
+Rule RenameApart(const Rule& r, const std::string& suffix) {
+  Substitution s;
+  for (const std::string& v : r.Variables()) {
+    s[v] = Term::Var(v + suffix);
+  }
+  return Apply(s, r);
+}
+
+}  // namespace ccpi

@@ -1,0 +1,173 @@
+#ifndef CCPI_DATALOG_AST_H_
+#define CCPI_DATALOG_AST_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "relational/value.h"
+#include "util/status.h"
+
+namespace ccpi {
+
+/// The goal predicate of every constraint query (Section 2 of the paper):
+/// a constraint is a query whose result is the 0-ary predicate `panic`.
+inline constexpr const char* kPanic = "panic";
+
+/// A term: a variable (capitalized identifier, Prolog convention) or a
+/// constant.
+class Term {
+ public:
+  /// Default-constructs the constant 0; required by map-based substitution
+  /// storage. Prefer the named factories.
+  Term() = default;
+
+  /// Constructs the variable `name`. Requires a capitalized identifier.
+  static Term Var(std::string name);
+  /// Constructs a constant term.
+  static Term Const(Value v);
+
+  bool is_var() const { return is_var_; }
+  bool is_const() const { return !is_var_; }
+
+  /// Requires is_var().
+  const std::string& var() const;
+  /// Requires is_const().
+  const Value& constant() const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Term& a, const Term& b) {
+    return a.is_var_ == b.is_var_ && a.var_ == b.var_ &&
+           a.const_ == b.const_;
+  }
+  friend bool operator!=(const Term& a, const Term& b) { return !(a == b); }
+  friend bool operator<(const Term& a, const Term& b) {
+    if (a.is_var_ != b.is_var_) return a.is_var_;
+    if (a.var_ != b.var_) return a.var_ < b.var_;
+    return a.const_ < b.const_;
+  }
+
+ private:
+  bool is_var_ = false;
+  std::string var_;
+  Value const_;
+};
+
+/// An ordinary subgoal or head: predicate applied to terms. A 0-ary atom
+/// (like `panic`) has no argument list.
+struct Atom {
+  std::string pred;
+  std::vector<Term> args;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Atom& a, const Atom& b) {
+    return a.pred == b.pred && a.args == b.args;
+  }
+  friend bool operator!=(const Atom& a, const Atom& b) { return !(a == b); }
+};
+
+/// Arithmetic comparison predicates of the constraint language.
+enum class CmpOp { kLt, kLe, kGt, kGe, kEq, kNe };
+
+/// "<", "<=", ">", ">=", "=", "<>" — the paper's spellings.
+const char* CmpOpToString(CmpOp op);
+/// The op with operands swapped: a OP b === b Flip(OP) a.
+CmpOp Flip(CmpOp op);
+/// The complement over a total order: NOT (a OP b) === a Negate(OP) b.
+CmpOp Negate(CmpOp op);
+/// Evaluates `a OP b` under the total order on Value.
+bool EvalCmp(const Value& a, CmpOp op, const Value& b);
+
+/// An arithmetic-comparison subgoal, e.g. `S < 100` or `X = Y`.
+struct Comparison {
+  Term lhs;
+  CmpOp op;
+  Term rhs;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Comparison& a, const Comparison& b) {
+    return a.lhs == b.lhs && a.op == b.op && a.rhs == b.rhs;
+  }
+};
+
+/// A body literal: positive subgoal, negated subgoal, or comparison.
+struct Literal {
+  enum class Kind { kPositive, kNegated, kComparison };
+
+  static Literal Positive(Atom a);
+  static Literal Negated(Atom a);
+  static Literal Cmp(Comparison c);
+
+  Kind kind = Kind::kPositive;
+  Atom atom;       // valid for kPositive / kNegated
+  Comparison cmp;  // valid for kComparison
+
+  bool is_positive() const { return kind == Kind::kPositive; }
+  bool is_negated() const { return kind == Kind::kNegated; }
+  bool is_comparison() const { return kind == Kind::kComparison; }
+
+  std::string ToString() const;
+
+  friend bool operator==(const Literal& a, const Literal& b) {
+    return a.kind == b.kind && a.atom == b.atom &&
+           (a.kind != Kind::kComparison || a.cmp == b.cmp);
+  }
+};
+
+/// A Horn rule `head :- body`, or a fact when the body is empty.
+struct Rule {
+  Atom head;
+  std::vector<Literal> body;
+
+  std::string ToString() const;
+
+  /// All variables of the rule (head and body), in first-occurrence order.
+  std::vector<std::string> Variables() const;
+};
+
+/// A finite set of rules with a distinguished goal predicate. A constraint
+/// (Section 2) is a Program whose goal is the 0-ary `panic`.
+struct Program {
+  std::vector<Rule> rules;
+  std::string goal = kPanic;
+
+  std::string ToString() const;
+
+  /// Predicates defined by some rule head (IDB predicates).
+  std::set<std::string> IdbPredicates() const;
+  /// Predicates mentioned in bodies but never defined (EDB predicates).
+  std::set<std::string> EdbPredicates() const;
+  /// True if some IDB predicate (transitively) depends on itself.
+  bool IsRecursive() const;
+  /// True if any rule has a negated subgoal.
+  bool HasNegation() const;
+  /// True if any rule has a comparison subgoal.
+  bool HasArithmetic() const;
+};
+
+/// A variable-to-term substitution.
+using Substitution = std::map<std::string, Term>;
+
+/// Applies `s` to a term / atom / comparison / literal / rule. Variables
+/// not bound by `s` are left in place.
+Term Apply(const Substitution& s, const Term& t);
+Atom Apply(const Substitution& s, const Atom& a);
+Comparison Apply(const Substitution& s, const Comparison& c);
+Literal Apply(const Substitution& s, const Literal& l);
+Rule Apply(const Substitution& s, const Rule& r);
+
+/// Renames every variable of `r` by appending `suffix`, producing a rule
+/// variable-disjoint from any rule not using that suffix.
+Rule RenameApart(const Rule& r, const std::string& suffix);
+
+/// Collects the variables of an atom into `out` in order of occurrence,
+/// without duplicates.
+void CollectVariables(const Atom& a, std::vector<std::string>* out);
+
+}  // namespace ccpi
+
+#endif  // CCPI_DATALOG_AST_H_

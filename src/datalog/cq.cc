@@ -1,0 +1,53 @@
+#include "datalog/cq.h"
+
+namespace ccpi {
+
+Rule CQ::ToRule() const {
+  Rule r;
+  r.head = head;
+  for (const Atom& a : positives) r.body.push_back(Literal::Positive(a));
+  for (const Atom& a : negatives) r.body.push_back(Literal::Negated(a));
+  for (const Comparison& c : comparisons) r.body.push_back(Literal::Cmp(c));
+  return r;
+}
+
+CQ RuleToCQ(const Rule& rule) {
+  CQ q;
+  q.head = rule.head;
+  for (const Literal& l : rule.body) {
+    switch (l.kind) {
+      case Literal::Kind::kPositive:
+        q.positives.push_back(l.atom);
+        break;
+      case Literal::Kind::kNegated:
+        q.negatives.push_back(l.atom);
+        break;
+      case Literal::Kind::kComparison:
+        q.comparisons.push_back(l.cmp);
+        break;
+    }
+  }
+  return q;
+}
+
+CQ Apply(const Substitution& s, const CQ& q) {
+  CQ out;
+  out.head = Apply(s, q.head);
+  out.positives.reserve(q.positives.size());
+  for (const Atom& a : q.positives) out.positives.push_back(Apply(s, a));
+  out.negatives.reserve(q.negatives.size());
+  for (const Atom& a : q.negatives) out.negatives.push_back(Apply(s, a));
+  out.comparisons.reserve(q.comparisons.size());
+  for (const Comparison& c : q.comparisons) {
+    out.comparisons.push_back(Apply(s, c));
+  }
+  return out;
+}
+
+CQ RenameApart(const CQ& q, const std::string& suffix) {
+  Substitution s;
+  for (const std::string& v : q.Variables()) s[v] = Term::Var(v + suffix);
+  return Apply(s, q);
+}
+
+}  // namespace ccpi

@@ -1,0 +1,46 @@
+#ifndef CCPI_DATALOG_CQ_H_
+#define CCPI_DATALOG_CQ_H_
+
+#include <string>
+#include <vector>
+
+#include "datalog/ast.h"
+
+namespace ccpi {
+
+/// A single conjunctive query with optional negated subgoals and arithmetic
+/// comparisons — one cell of the Fig 2.1 language cube, in flattened form.
+/// `positives` are the ordinary subgoals O(C); `comparisons` are A(C) in the
+/// paper's notation (Section 5).
+struct CQ {
+  Atom head;
+  std::vector<Atom> positives;
+  std::vector<Atom> negatives;
+  std::vector<Comparison> comparisons;
+
+  /// The equivalent single Rule.
+  Rule ToRule() const;
+  std::string ToString() const { return ToRule().ToString(); }
+
+  /// All variables in first-occurrence order (head first).
+  std::vector<std::string> Variables() const { return ToRule().Variables(); }
+
+  bool HasNegation() const { return !negatives.empty(); }
+  bool HasArithmetic() const { return !comparisons.empty(); }
+};
+
+/// A union of conjunctive queries (all disjuncts share the head predicate).
+using UCQ = std::vector<CQ>;
+
+/// Flattens a rule into a CQ. Purely structural — no renaming.
+CQ RuleToCQ(const Rule& rule);
+
+/// Applies a substitution to every part of the CQ.
+CQ Apply(const Substitution& s, const CQ& q);
+
+/// Renames all variables apart by appending `suffix`.
+CQ RenameApart(const CQ& q, const std::string& suffix);
+
+}  // namespace ccpi
+
+#endif  // CCPI_DATALOG_CQ_H_

@@ -1,0 +1,85 @@
+#include "datalog/language_class.h"
+
+#include "datalog/simplify.h"
+#include "datalog/unfold.h"
+
+namespace ccpi {
+
+const char* ShapeToString(Shape shape) {
+  switch (shape) {
+    case Shape::kSingleCQ:
+      return "CQ";
+    case Shape::kUnionCQ:
+      return "UCQ";
+    case Shape::kRecursive:
+      return "recursive";
+  }
+  return "?";
+}
+
+std::string LanguageClass::ToString() const {
+  std::string out = ShapeToString(shape);
+  if (negation) out += "+neg";
+  if (arithmetic) out += "+arith";
+  return out;
+}
+
+bool LanguageClassLeq(const LanguageClass& a, const LanguageClass& b) {
+  if (static_cast<int>(a.shape) > static_cast<int>(b.shape)) return false;
+  if (a.negation && !b.negation) return false;
+  if (a.arithmetic && !b.arithmetic) return false;
+  return true;
+}
+
+std::vector<LanguageClass> AllLanguageClasses() {
+  std::vector<LanguageClass> out;
+  for (Shape shape : {Shape::kSingleCQ, Shape::kUnionCQ, Shape::kRecursive}) {
+    for (bool negation : {false, true}) {
+      for (bool arithmetic : {false, true}) {
+        out.push_back(LanguageClass{shape, negation, arithmetic});
+      }
+    }
+  }
+  return out;
+}
+
+LanguageClass SyntacticClass(const Program& program) {
+  LanguageClass c;
+  c.negation = program.HasNegation();
+  c.arithmetic = program.HasArithmetic();
+  if (program.IsRecursive()) {
+    c.shape = Shape::kRecursive;
+  } else if (program.rules.size() == 1 &&
+             program.IdbPredicates().count(program.goal) == 1) {
+    c.shape = Shape::kSingleCQ;
+  } else {
+    c.shape = Shape::kUnionCQ;
+  }
+  return c;
+}
+
+LanguageClass ExpressibleClass(const Program& program) {
+  LanguageClass syntactic = SyntacticClass(program);
+  if (syntactic.shape == Shape::kRecursive) return syntactic;
+  Result<UCQ> unfolded = UnfoldToUCQ(program);
+  if (!unfolded.ok()) return syntactic;
+  // Simplify each disjunct (substituting bound equalities, dropping dead
+  // branches) so the class reflects what the program expresses, not
+  // artifacts of unfolding.
+  UCQ live;
+  for (const CQ& q : *unfolded) {
+    std::optional<CQ> s = SimplifyCQ(q);
+    if (s.has_value()) live.push_back(std::move(*s));
+  }
+  LanguageClass c;
+  c.shape = live.size() <= 1 ? Shape::kSingleCQ : Shape::kUnionCQ;
+  c.negation = false;
+  c.arithmetic = false;
+  for (const CQ& q : live) {
+    c.negation = c.negation || q.HasNegation();
+    c.arithmetic = c.arithmetic || q.HasArithmetic();
+  }
+  return c;
+}
+
+}  // namespace ccpi

@@ -1,0 +1,63 @@
+#ifndef CCPI_DATALOG_LANGUAGE_CLASS_H_
+#define CCPI_DATALOG_LANGUAGE_CLASS_H_
+
+#include <string>
+#include <vector>
+
+#include "datalog/ast.h"
+#include "util/status.h"
+
+namespace ccpi {
+
+/// The three "shape" axes of Fig 2.1 in the paper: a single conjunctive
+/// query, a finite union of CQs (equivalently, nonrecursive datalog), or
+/// recursive datalog.
+enum class Shape { kSingleCQ, kUnionCQ, kRecursive };
+
+const char* ShapeToString(Shape shape);
+
+/// One of the 12 cells of Fig 2.1: shape x (+/- negated subgoals) x
+/// (+/- arithmetic comparisons).
+struct LanguageClass {
+  Shape shape = Shape::kSingleCQ;
+  bool negation = false;
+  bool arithmetic = false;
+
+  /// e.g. "CQ", "UCQ+neg", "recursive+neg+arith".
+  std::string ToString() const;
+
+  friend bool operator==(const LanguageClass& a, const LanguageClass& b) {
+    return a.shape == b.shape && a.negation == b.negation &&
+           a.arithmetic == b.arithmetic;
+  }
+  friend bool operator!=(const LanguageClass& a, const LanguageClass& b) {
+    return !(a == b);
+  }
+};
+
+/// Partial order of the Fig 2.1 cube: a <= b iff every feature of a is
+/// available in b (CQ <= UCQ <= recursive on the shape axis; false <= true
+/// on each boolean axis). `a <= b` means every program of class a is also a
+/// program of class b.
+bool LanguageClassLeq(const LanguageClass& a, const LanguageClass& b);
+
+/// All 12 classes in a fixed presentation order (the Fig 2.1 enumeration).
+std::vector<LanguageClass> AllLanguageClasses();
+
+/// The *syntactic* class of a program: shape from its rule structure
+/// (recursive / multiple-rules-or-IDB / single rule over EDB), features from
+/// the literals present. This is the class the program is written in.
+LanguageClass SyntacticClass(const Program& program);
+
+/// The smallest class that can *express* the program: for nonrecursive
+/// programs this unfolds to a UCQ and checks whether a single disjunct
+/// remains (Sagiv–Yannakakis equivalence of nonrecursive datalog and finite
+/// UCQs), and whether negation/arithmetic survive unfolding. When unfolding
+/// is impossible (negation of an existential) the syntactic class is
+/// returned. Note this is a sound upper bound on expressibility, not a
+/// minimization: deciding the true minimal class is as hard as equivalence.
+LanguageClass ExpressibleClass(const Program& program);
+
+}  // namespace ccpi
+
+#endif  // CCPI_DATALOG_LANGUAGE_CLASS_H_

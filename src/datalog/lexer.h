@@ -1,0 +1,50 @@
+#ifndef CCPI_DATALOG_LEXER_H_
+#define CCPI_DATALOG_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ccpi {
+
+/// Token kinds of the paper's constraint syntax.
+enum class TokenKind {
+  kIdent,    // emp, dept, E, D, toy  (case distinguishes var from const)
+  kInt,      // 100, -5
+  kLParen,   // (
+  kRParen,   // )
+  kComma,    // ,
+  kAmp,      // &   (body-literal separator; ',' also accepted)
+  kImplies,  // :-
+  kPeriod,   // .
+  kLt,       // <
+  kLe,       // <=
+  kGt,       // >
+  kGe,       // >=
+  kEq,       // =
+  kNe,       // <> or !=
+  kNewline,  // significant: terminates a rule like '.' does
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;  // for kIdent
+  int64_t number = 0;  // for kInt
+  int line = 1;
+  int column = 1;
+};
+
+/// Splits `input` into tokens. Comments run from '%' or '#' to end of line.
+/// Newlines are emitted as tokens because rules are newline-terminated
+/// (a trailing '.' is also accepted, Prolog-style). A rule may span lines
+/// when the break comes after `:-`, `&`, or `,`— the parser handles that by
+/// skipping newline tokens in those positions.
+Result<std::vector<Token>> Tokenize(std::string_view input);
+
+}  // namespace ccpi
+
+#endif  // CCPI_DATALOG_LEXER_H_

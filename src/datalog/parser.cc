@@ -1,0 +1,174 @@
+#include "datalog/parser.h"
+
+#include <optional>
+
+#include "datalog/lexer.h"
+#include "util/strings.h"
+
+namespace ccpi {
+
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Program> ParseProgramTokens() {
+    Program program;
+    SkipNewlines();
+    while (!At(TokenKind::kEnd)) {
+      CCPI_ASSIGN_OR_RETURN(Rule rule, ParseOneRule());
+      program.rules.push_back(std::move(rule));
+      // A rule ends with '.', a newline, or end of input.
+      if (At(TokenKind::kPeriod)) Advance();
+      if (!At(TokenKind::kNewline) && !At(TokenKind::kEnd)) {
+        return Error("expected end of rule");
+      }
+      SkipNewlines();
+    }
+    return program;
+  }
+
+  Result<Rule> ParseOneRule() {
+    Rule rule;
+    CCPI_ASSIGN_OR_RETURN(rule.head, ParseAtom());
+    if (At(TokenKind::kImplies)) {
+      Advance();
+      SkipNewlines();  // the body may start on the next line
+      while (true) {
+        CCPI_ASSIGN_OR_RETURN(Literal lit, ParseLiteral());
+        rule.body.push_back(std::move(lit));
+        if (At(TokenKind::kAmp) || At(TokenKind::kComma)) {
+          Advance();
+          SkipNewlines();  // literal separators allow line breaks after them
+          continue;
+        }
+        break;
+      }
+    }
+    return rule;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  bool At(TokenKind k) const { return Peek().kind == k; }
+  void Advance() { ++pos_; }
+  void SkipNewlines() {
+    while (At(TokenKind::kNewline)) Advance();
+  }
+
+  Status Error(const std::string& what) const {
+    const Token& t = Peek();
+    return Status::InvalidArgument(what + " at line " +
+                                   std::to_string(t.line) + ", column " +
+                                   std::to_string(t.column));
+  }
+
+  Result<Term> ParseTerm() {
+    if (At(TokenKind::kInt)) {
+      int64_t n = Peek().number;
+      Advance();
+      return Term::Const(Value(n));
+    }
+    if (At(TokenKind::kIdent)) {
+      std::string name = Peek().text;
+      Advance();
+      if (IsVariableName(name)) return Term::Var(std::move(name));
+      return Term::Const(Value(std::move(name)));
+    }
+    return Error("expected term");
+  }
+
+  Result<Atom> ParseAtom() {
+    if (!At(TokenKind::kIdent)) return Error("expected predicate name");
+    Atom atom;
+    atom.pred = Peek().text;
+    if (IsVariableName(atom.pred)) {
+      return Error("predicate name must start lower-case");
+    }
+    Advance();
+    if (At(TokenKind::kLParen)) {
+      Advance();
+      while (true) {
+        CCPI_ASSIGN_OR_RETURN(Term t, ParseTerm());
+        atom.args.push_back(std::move(t));
+        if (At(TokenKind::kComma)) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      if (!At(TokenKind::kRParen)) return Error("expected ')'");
+      Advance();
+    }
+    return atom;
+  }
+
+  std::optional<CmpOp> PeekCmpOp() const {
+    switch (Peek().kind) {
+      case TokenKind::kLt:
+        return CmpOp::kLt;
+      case TokenKind::kLe:
+        return CmpOp::kLe;
+      case TokenKind::kGt:
+        return CmpOp::kGt;
+      case TokenKind::kGe:
+        return CmpOp::kGe;
+      case TokenKind::kEq:
+        return CmpOp::kEq;
+      case TokenKind::kNe:
+        return CmpOp::kNe;
+      default:
+        return std::nullopt;
+    }
+  }
+
+  Result<Literal> ParseLiteral() {
+    // `not atom`
+    if (At(TokenKind::kIdent) && Peek().text == "not") {
+      Advance();
+      CCPI_ASSIGN_OR_RETURN(Atom atom, ParseAtom());
+      return Literal::Negated(std::move(atom));
+    }
+    // An identifier followed by '(' is an ordinary subgoal; a 0-ary subgoal
+    // is an identifier NOT followed by a comparison operator. Otherwise the
+    // literal is a comparison whose left side is a term.
+    if (At(TokenKind::kIdent) && !IsVariableName(Peek().text)) {
+      size_t save = pos_;
+      CCPI_ASSIGN_OR_RETURN(Atom atom, ParseAtom());
+      if (!atom.args.empty() || !PeekCmpOp().has_value()) {
+        return Literal::Positive(std::move(atom));
+      }
+      pos_ = save;  // it was a constant on the left of a comparison
+    }
+    CCPI_ASSIGN_OR_RETURN(Term lhs, ParseTerm());
+    std::optional<CmpOp> op = PeekCmpOp();
+    if (!op.has_value()) return Error("expected comparison operator");
+    Advance();
+    CCPI_ASSIGN_OR_RETURN(Term rhs, ParseTerm());
+    return Literal::Cmp(Comparison{std::move(lhs), *op, std::move(rhs)});
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Program> ParseProgram(std::string_view input) {
+  CCPI_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  Parser parser(std::move(tokens));
+  return parser.ParseProgramTokens();
+}
+
+Result<Rule> ParseRule(std::string_view input) {
+  CCPI_ASSIGN_OR_RETURN(Program program, ParseProgram(input));
+  if (program.rules.size() != 1) {
+    return Status::InvalidArgument("expected exactly one rule, got " +
+                                   std::to_string(program.rules.size()));
+  }
+  return program.rules[0];
+}
+
+}  // namespace ccpi

@@ -1,0 +1,30 @@
+#ifndef CCPI_DATALOG_PARSER_H_
+#define CCPI_DATALOG_PARSER_H_
+
+#include <string_view>
+
+#include "datalog/ast.h"
+#include "util/status.h"
+
+namespace ccpi {
+
+/// Parses a program in the paper's syntax, e.g.:
+///
+///     panic :- emp(E,D,S) & not dept(D) & S < 100
+///     boss(E,M) :- emp(E,D,S) & manager(D,M)
+///     boss(E,F) :- boss(E,G) & boss(G,F)
+///     dept1(toy)
+///
+/// Conventions (Section 2): capitalized identifiers are variables; lower-case
+/// identifiers are symbol constants (including predicate names); integers are
+/// numeric constants. `&` and `,` both separate body literals; rules end at
+/// a newline or `.`; `%`/`#` start a comment. Facts are rules with no body.
+/// The program's goal defaults to `panic`.
+Result<Program> ParseProgram(std::string_view input);
+
+/// Parses exactly one rule (convenience for tests and examples).
+Result<Rule> ParseRule(std::string_view input);
+
+}  // namespace ccpi
+
+#endif  // CCPI_DATALOG_PARSER_H_

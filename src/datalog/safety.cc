@@ -1,0 +1,77 @@
+#include "datalog/safety.h"
+
+#include <set>
+
+namespace ccpi {
+
+namespace {
+
+void InsertVars(const Atom& atom, std::set<std::string>* vars) {
+  for (const Term& t : atom.args) {
+    if (t.is_var()) vars->insert(t.var());
+  }
+}
+
+Status RequireBound(const std::set<std::string>& bound, const Term& t,
+                    const Rule& rule, const char* where) {
+  if (t.is_var() && bound.count(t.var()) == 0) {
+    return Status::InvalidArgument("unsafe rule: variable " + t.var() +
+                                   " occurs only in " + where + " in \"" +
+                                   rule.ToString() + "\"");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status CheckRuleSafety(const Rule& rule) {
+  std::set<std::string> bound;
+  for (const Literal& l : rule.body) {
+    if (l.is_positive()) InsertVars(l.atom, &bound);
+  }
+  // Equality to a bound variable or to a constant also grounds a variable
+  // (X = 5 or X = Y with Y bound). Iterate to a fixpoint.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Literal& l : rule.body) {
+      if (!l.is_comparison() || l.cmp.op != CmpOp::kEq) continue;
+      const Term& a = l.cmp.lhs;
+      const Term& b = l.cmp.rhs;
+      bool a_ground = a.is_const() || bound.count(a.var()) > 0;
+      bool b_ground = b.is_const() || bound.count(b.var()) > 0;
+      if (a_ground && b.is_var() && bound.insert(b.var()).second) {
+        changed = true;
+      }
+      if (b_ground && a.is_var() && bound.insert(a.var()).second) {
+        changed = true;
+      }
+    }
+  }
+  for (const Term& t : rule.head.args) {
+    CCPI_RETURN_IF_ERROR(RequireBound(bound, t, rule, "the head"));
+  }
+  for (const Literal& l : rule.body) {
+    if (l.is_negated()) {
+      for (const Term& t : l.atom.args) {
+        CCPI_RETURN_IF_ERROR(RequireBound(bound, t, rule,
+                                          "a negated subgoal"));
+      }
+    } else if (l.is_comparison()) {
+      CCPI_RETURN_IF_ERROR(RequireBound(bound, l.cmp.lhs, rule,
+                                        "a comparison"));
+      CCPI_RETURN_IF_ERROR(RequireBound(bound, l.cmp.rhs, rule,
+                                        "a comparison"));
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckProgramSafety(const Program& program) {
+  for (const Rule& r : program.rules) {
+    CCPI_RETURN_IF_ERROR(CheckRuleSafety(r));
+  }
+  return Status::OK();
+}
+
+}  // namespace ccpi

@@ -1,0 +1,21 @@
+#ifndef CCPI_DATALOG_SAFETY_H_
+#define CCPI_DATALOG_SAFETY_H_
+
+#include "datalog/ast.h"
+#include "util/status.h"
+
+namespace ccpi {
+
+/// Checks the range-restriction (safety) condition the paper assumes
+/// throughout: in every rule, each variable occurring in the head, in a
+/// negated subgoal, or in a comparison must also occur in a positive
+/// ordinary subgoal of the same rule. Safe rules have finite results and
+/// negation-as-set-difference semantics.
+Status CheckRuleSafety(const Rule& rule);
+
+/// Applies CheckRuleSafety to every rule of the program.
+Status CheckProgramSafety(const Program& program);
+
+}  // namespace ccpi
+
+#endif  // CCPI_DATALOG_SAFETY_H_

@@ -1,0 +1,65 @@
+#include "datalog/simplify.h"
+
+#include <set>
+
+namespace ccpi {
+
+std::optional<CQ> SimplifyCQ(const CQ& q) {
+  CQ out = q;
+  std::set<std::string> head_vars;
+  for (const Term& t : out.head.args) {
+    if (t.is_var()) head_vars.insert(t.var());
+  }
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < out.comparisons.size(); ++i) {
+      const Comparison& c = out.comparisons[i];
+      // Ground comparison: evaluate.
+      if (c.lhs.is_const() && c.rhs.is_const()) {
+        if (!EvalCmp(c.lhs.constant(), c.op, c.rhs.constant())) {
+          return std::nullopt;
+        }
+        out.comparisons.erase(out.comparisons.begin() +
+                              static_cast<ptrdiff_t>(i));
+        changed = true;
+        break;
+      }
+      // Reflexive: X op X.
+      if (c.lhs == c.rhs) {
+        if (c.op == CmpOp::kLt || c.op == CmpOp::kGt || c.op == CmpOp::kNe) {
+          return std::nullopt;
+        }
+        out.comparisons.erase(out.comparisons.begin() +
+                              static_cast<ptrdiff_t>(i));
+        changed = true;
+        break;
+      }
+      if (c.op != CmpOp::kEq) continue;
+      // Equality with a substitutable (non-head) variable side.
+      const Term* var_side = nullptr;
+      const Term* other = nullptr;
+      if (c.lhs.is_var() && head_vars.count(c.lhs.var()) == 0) {
+        var_side = &c.lhs;
+        other = &c.rhs;
+      } else if (c.rhs.is_var() && head_vars.count(c.rhs.var()) == 0) {
+        var_side = &c.rhs;
+        other = &c.lhs;
+      }
+      if (var_side == nullptr) continue;
+      Substitution s;
+      s[var_side->var()] = *other;
+      Comparison removed = c;
+      out.comparisons.erase(out.comparisons.begin() +
+                            static_cast<ptrdiff_t>(i));
+      out = Apply(s, out);
+      (void)removed;
+      changed = true;
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace ccpi

@@ -1,0 +1,25 @@
+#ifndef CCPI_DATALOG_SIMPLIFY_H_
+#define CCPI_DATALOG_SIMPLIFY_H_
+
+#include <optional>
+
+#include "datalog/cq.h"
+
+namespace ccpi {
+
+/// Logical cleanup of a CQ used before classification:
+///  * equality comparisons with a substitutable variable side are applied
+///    as substitutions and dropped (X = toy is not "arithmetic", it is a
+///    binding — only genuine order comparisons and disequalities count);
+///  * ground comparisons between constants are evaluated and dropped;
+///  * trivially-true reflexive comparisons (X <= X) are dropped.
+/// Returns nullopt when the body is unsatisfiable on its face (e.g. a
+/// ground comparison evaluates false, or X < X), i.e. the disjunct is dead.
+///
+/// Variables occurring in the head are never substituted away, so the head
+/// is preserved exactly.
+std::optional<CQ> SimplifyCQ(const CQ& q);
+
+}  // namespace ccpi
+
+#endif  // CCPI_DATALOG_SIMPLIFY_H_

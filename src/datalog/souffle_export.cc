@@ -1,0 +1,241 @@
+#include "datalog/souffle_export.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "util/check.h"
+
+namespace ccpi {
+
+namespace {
+
+/// Union-find for type inference over predicate positions and rule-local
+/// variables.
+class TypeUnion {
+ public:
+  int Node() {
+    parent_.push_back(static_cast<int>(parent_.size()));
+    symbol_.push_back(false);
+    return parent_.back();
+  }
+  int Find(int x) {
+    while (parent_[static_cast<size_t>(x)] != x) {
+      parent_[static_cast<size_t>(x)] =
+          parent_[static_cast<size_t>(parent_[static_cast<size_t>(x)])];
+      x = parent_[static_cast<size_t>(x)];
+    }
+    return x;
+  }
+  void Union(int a, int b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return;
+    parent_[static_cast<size_t>(a)] = b;
+    symbol_[static_cast<size_t>(b)] =
+        symbol_[static_cast<size_t>(b)] || symbol_[static_cast<size_t>(a)];
+  }
+  void MarkSymbol(int x) { symbol_[static_cast<size_t>(Find(x))] = true; }
+  bool IsSymbol(int x) { return symbol_[static_cast<size_t>(Find(x))]; }
+
+ private:
+  std::vector<int> parent_;
+  std::vector<bool> symbol_;
+};
+
+std::string Quote(const Value& v) {
+  if (v.is_int()) return std::to_string(v.AsInt());
+  return "\"" + v.AsSymbol() + "\"";
+}
+
+const char* SouffleOp(CmpOp op) {
+  switch (op) {
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNe:
+      return "!=";
+  }
+  return "?";
+}
+
+bool IsOrderOp(CmpOp op) {
+  return op == CmpOp::kLt || op == CmpOp::kLe || op == CmpOp::kGt ||
+         op == CmpOp::kGe;
+}
+
+}  // namespace
+
+Result<std::string> ExportSouffle(const Program& program,
+                                  const Database* facts) {
+  // --- Collect arities. ----------------------------------------------------
+  std::map<std::string, size_t> arity;
+  auto note_arity = [&arity](const Atom& a) -> Status {
+    auto [it, inserted] = arity.emplace(a.pred, a.args.size());
+    if (!inserted && it->second != a.args.size()) {
+      return Status::InvalidArgument("predicate " + a.pred +
+                                     " used with two arities");
+    }
+    return Status::OK();
+  };
+  for (const Rule& r : program.rules) {
+    CCPI_RETURN_IF_ERROR(note_arity(r.head));
+    for (const Literal& l : r.body) {
+      if (!l.is_comparison()) CCPI_RETURN_IF_ERROR(note_arity(l.atom));
+    }
+  }
+  if (facts != nullptr) {
+    for (const std::string& pred : facts->PredicateNames()) {
+      const Relation& rel = facts->Get(pred, 0);
+      Atom probe{pred, std::vector<Term>(rel.arity(), Term::Const(V(0)))};
+      CCPI_RETURN_IF_ERROR(note_arity(probe));
+    }
+  }
+
+  // --- Type inference. -----------------------------------------------------
+  TypeUnion types;
+  std::map<std::pair<std::string, size_t>, int> pos_node;
+  for (const auto& [pred, n] : arity) {
+    for (size_t c = 0; c < n; ++c) pos_node[{pred, c}] = types.Node();
+  }
+
+  for (const Rule& r : program.rules) {
+    std::map<std::string, int> var_node;
+    auto term_node = [&](const Term& t) -> int {
+      if (t.is_var()) {
+        auto [it, inserted] = var_node.emplace(t.var(), 0);
+        if (inserted) it->second = types.Node();
+        return it->second;
+      }
+      int node = types.Node();
+      if (t.constant().is_symbol()) types.MarkSymbol(node);
+      return node;
+    };
+    auto bind_atom = [&](const Atom& a) {
+      for (size_t c = 0; c < a.args.size(); ++c) {
+        types.Union(term_node(a.args[c]), pos_node.at({a.pred, c}));
+      }
+    };
+    bind_atom(r.head);
+    for (const Literal& l : r.body) {
+      if (l.is_comparison()) {
+        types.Union(term_node(l.cmp.lhs), term_node(l.cmp.rhs));
+      } else {
+        bind_atom(l.atom);
+      }
+    }
+  }
+  if (facts != nullptr) {
+    for (const std::string& pred : facts->PredicateNames()) {
+      const Relation& rel = facts->Get(pred, 0);
+      for (const Tuple& t : rel.rows()) {
+        for (size_t c = 0; c < t.size(); ++c) {
+          if (t[c].is_symbol()) types.MarkSymbol(pos_node.at({pred, c}));
+        }
+      }
+    }
+  }
+
+  // Order comparisons on symbol-typed operands do not transfer: Souffle
+  // orders symbols by internal ordinal, not lexicographically.
+  for (const Rule& r : program.rules) {
+    std::map<std::string, int> var_node;  // rebuild per rule: positions
+    auto probe_type = [&](const Term& t) -> bool {  // true = symbol
+      if (t.is_const()) return t.constant().is_symbol();
+      // A variable's type equals the type of any position it occupies.
+      for (const Literal& l : r.body) {
+        if (l.is_comparison()) continue;
+        for (size_t c = 0; c < l.atom.args.size(); ++c) {
+          if (l.atom.args[c].is_var() && l.atom.args[c].var() == t.var()) {
+            return types.IsSymbol(pos_node.at({l.atom.pred, c}));
+          }
+        }
+      }
+      return false;
+    };
+    for (const Literal& l : r.body) {
+      if (!l.is_comparison() || !IsOrderOp(l.cmp.op)) continue;
+      if (probe_type(l.cmp.lhs) || probe_type(l.cmp.rhs)) {
+        return Status::Unsupported(
+            "order comparison on symbol-typed operands (" +
+            l.cmp.ToString() +
+            ") does not transfer to Souffle's symbol ordering");
+      }
+    }
+  }
+
+  // --- Emission. -------------------------------------------------------
+  std::string out = "// generated by ccpi ExportSouffle\n";
+  for (const auto& [pred, n] : arity) {
+    out += ".decl " + pred + "(";
+    for (size_t c = 0; c < n; ++c) {
+      if (c > 0) out += ", ";
+      out += "c" + std::to_string(c) + ": " +
+             (types.IsSymbol(pos_node.at({pred, c})) ? "symbol" : "number");
+    }
+    out += ")\n";
+  }
+  out += ".output " + program.goal + "\n\n";
+
+  for (const Rule& r : program.rules) {
+    auto atom_text = [&](const Atom& a) {
+      std::string s = a.pred + "(";
+      for (size_t c = 0; c < a.args.size(); ++c) {
+        if (c > 0) s += ", ";
+        s += a.args[c].is_var() ? a.args[c].var()
+                                : Quote(a.args[c].constant());
+      }
+      s += ")";
+      return s;
+    };
+    out += atom_text(r.head);
+    if (!r.body.empty()) {
+      out += " :- ";
+      for (size_t i = 0; i < r.body.size(); ++i) {
+        if (i > 0) out += ", ";
+        const Literal& l = r.body[i];
+        switch (l.kind) {
+          case Literal::Kind::kPositive:
+            out += atom_text(l.atom);
+            break;
+          case Literal::Kind::kNegated:
+            out += "!" + atom_text(l.atom);
+            break;
+          case Literal::Kind::kComparison:
+            out += (l.cmp.lhs.is_var() ? l.cmp.lhs.var()
+                                       : Quote(l.cmp.lhs.constant())) +
+                   " " + SouffleOp(l.cmp.op) + " " +
+                   (l.cmp.rhs.is_var() ? l.cmp.rhs.var()
+                                       : Quote(l.cmp.rhs.constant()));
+            break;
+        }
+      }
+    }
+    out += ".\n";
+  }
+
+  if (facts != nullptr) {
+    out += "\n";
+    for (const std::string& pred : facts->PredicateNames()) {
+      const Relation& rel = facts->Get(pred, 0);
+      for (const Tuple& t : rel.rows()) {
+        out += pred + "(";
+        for (size_t c = 0; c < t.size(); ++c) {
+          if (c > 0) out += ", ";
+          out += Quote(t[c]);
+        }
+        out += ").\n";
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ccpi

@@ -1,0 +1,31 @@
+#ifndef CCPI_DATALOG_SOUFFLE_EXPORT_H_
+#define CCPI_DATALOG_SOUFFLE_EXPORT_H_
+
+#include <string>
+
+#include "datalog/ast.h"
+#include "relational/database.h"
+#include "util/status.h"
+
+namespace ccpi {
+
+/// Renders a program as a Souffle (.dl) source file, so constraints and
+/// the compiled local-test programs (e.g. the Fig 6.1 interval programs)
+/// can be cross-run on a production datalog engine.
+///
+/// Column types are inferred per predicate position: `number` unless some
+/// constant occurring at that position (in the program or in `facts`) is a
+/// symbol, in which case `symbol`. Positions joined by shared variables or
+/// compared with each other unify their types. Comparisons against symbol
+/// constants force `symbol` columns; Souffle orders symbols by internal
+/// ordinal rather than lexicographically, so programs relying on symbol
+/// ORDER (not just (in)equality) are rejected with Unsupported.
+///
+/// The goal predicate is exported with a `.output` directive, facts (when
+/// provided) as inline Souffle facts.
+Result<std::string> ExportSouffle(const Program& program,
+                                  const Database* facts = nullptr);
+
+}  // namespace ccpi
+
+#endif  // CCPI_DATALOG_SOUFFLE_EXPORT_H_

@@ -1,0 +1,200 @@
+#include "datalog/unfold.h"
+
+#include <map>
+#include <set>
+
+#include "util/check.h"
+
+namespace ccpi {
+
+namespace {
+
+CQ BodyToCQ(const Atom& head, const std::vector<Literal>& body) {
+  CQ q;
+  q.head = head;
+  for (const Literal& l : body) {
+    switch (l.kind) {
+      case Literal::Kind::kPositive:
+        q.positives.push_back(l.atom);
+        break;
+      case Literal::Kind::kNegated:
+        q.negatives.push_back(l.atom);
+        break;
+      case Literal::Kind::kComparison:
+        q.comparisons.push_back(l.cmp);
+        break;
+    }
+  }
+  return q;
+}
+
+/// The logical complement of a single literal over a total order.
+Literal NegateLiteral(const Literal& l) {
+  switch (l.kind) {
+    case Literal::Kind::kPositive:
+      return Literal::Negated(l.atom);
+    case Literal::Kind::kNegated:
+      return Literal::Positive(l.atom);
+    case Literal::Kind::kComparison:
+      return Literal::Cmp(
+          Comparison{l.cmp.lhs, Negate(l.cmp.op), l.cmp.rhs});
+  }
+  CCPI_CHECK(false);
+  return l;
+}
+
+struct Unification {
+  // The defining rule's head variables mapped to the caller's terms.
+  Substitution subst;
+  // Residual equalities among caller terms (from repeated head variables or
+  // head constants meeting caller variables).
+  std::vector<Comparison> equalities;
+  // True when two distinct constants met: the rule can never match.
+  bool statically_false = false;
+};
+
+/// Matches a (renamed-apart) rule head against the caller's atom arguments.
+Unification UnifyHead(const Atom& rule_head, const Atom& call) {
+  CCPI_CHECK(rule_head.args.size() == call.args.size());
+  Unification u;
+  for (size_t i = 0; i < rule_head.args.size(); ++i) {
+    const Term& h = rule_head.args[i];
+    const Term& a = call.args[i];
+    if (h.is_var()) {
+      auto it = u.subst.find(h.var());
+      if (it == u.subst.end()) {
+        u.subst[h.var()] = a;
+      } else if (!(it->second == a)) {
+        u.equalities.push_back(Comparison{it->second, CmpOp::kEq, a});
+      }
+    } else if (a.is_const()) {
+      if (!(a.constant() == h.constant())) u.statically_false = true;
+    } else {
+      u.equalities.push_back(Comparison{a, CmpOp::kEq, h});
+    }
+  }
+  return u;
+}
+
+class Unfolder {
+ public:
+  explicit Unfolder(const Program& program) {
+    idb_ = program.IdbPredicates();
+    for (const Rule& r : program.rules) rules_by_pred_[r.head.pred].push_back(r);
+  }
+
+  Result<std::vector<std::vector<Literal>>> Expand(
+      std::vector<Literal> body) {
+    // Locate the first literal mentioning an IDB predicate.
+    size_t idx = body.size();
+    for (size_t i = 0; i < body.size(); ++i) {
+      if (!body[i].is_comparison() && idb_.count(body[i].atom.pred) > 0) {
+        idx = i;
+        break;
+      }
+    }
+    if (idx == body.size()) {
+      return std::vector<std::vector<Literal>>{std::move(body)};
+    }
+    Literal target = body[idx];
+    body.erase(body.begin() + idx);
+    const std::vector<Rule>& defs = rules_by_pred_[target.atom.pred];
+
+    std::vector<std::vector<Literal>> out;
+    if (target.is_positive()) {
+      for (const Rule& def : defs) {
+        Rule renamed = RenameApart(def, FreshSuffix());
+        Unification u = UnifyHead(renamed.head, target.atom);
+        if (u.statically_false) continue;
+        std::vector<Literal> next;
+        for (const Comparison& eq : u.equalities) next.push_back(Literal::Cmp(eq));
+        for (const Literal& l : renamed.body) next.push_back(Apply(u.subst, l));
+        next.insert(next.end(), body.begin(), body.end());
+        CCPI_ASSIGN_OR_RETURN(auto sub, Expand(std::move(next)));
+        for (auto& b : sub) out.push_back(std::move(b));
+      }
+      return out;
+    }
+
+    // Negated IDB subgoal: not (B1 or ... or Bk) expands to the cross
+    // product of one negated literal chosen from each Bi.
+    std::vector<std::vector<Literal>> candidate_sets;
+    for (const Rule& def : defs) {
+      // Existential variables make not-exists inexpressible in UCQ.
+      std::set<std::string> head_vars;
+      for (const Term& t : def.head.args) {
+        if (t.is_var()) head_vars.insert(t.var());
+      }
+      for (const std::string& v : def.Variables()) {
+        if (head_vars.count(v) == 0) {
+          return Status::Unsupported(
+              "cannot unfold negated subgoal not " + target.atom.ToString() +
+              ": defining rule \"" + def.ToString() +
+              "\" has existential variable " + v);
+        }
+      }
+      Unification u = UnifyHead(def.head, target.atom);
+      if (u.statically_false) continue;  // this rule never matches: not() true
+      std::vector<Literal> candidates;
+      for (const Comparison& eq : u.equalities) {
+        candidates.push_back(NegateLiteral(Literal::Cmp(eq)));
+      }
+      for (const Literal& l : def.body) {
+        candidates.push_back(NegateLiteral(Apply(u.subst, l)));
+      }
+      if (candidates.empty()) {
+        // The rule matches unconditionally, so not p(...) is false and this
+        // whole expansion branch is dead.
+        return std::vector<std::vector<Literal>>{};
+      }
+      candidate_sets.push_back(std::move(candidates));
+    }
+    // Cross product of candidate choices.
+    std::vector<std::vector<Literal>> combos = {{}};
+    for (const auto& candidates : candidate_sets) {
+      std::vector<std::vector<Literal>> next;
+      for (const auto& combo : combos) {
+        for (const Literal& c : candidates) {
+          std::vector<Literal> extended = combo;
+          extended.push_back(c);
+          next.push_back(std::move(extended));
+        }
+      }
+      combos = std::move(next);
+    }
+    for (auto& combo : combos) {
+      std::vector<Literal> next = std::move(combo);
+      next.insert(next.end(), body.begin(), body.end());
+      CCPI_ASSIGN_OR_RETURN(auto sub, Expand(std::move(next)));
+      for (auto& b : sub) out.push_back(std::move(b));
+    }
+    return out;
+  }
+
+ private:
+  std::string FreshSuffix() { return "_u" + std::to_string(counter_++); }
+
+  std::set<std::string> idb_;
+  std::map<std::string, std::vector<Rule>> rules_by_pred_;
+  int counter_ = 0;
+};
+
+}  // namespace
+
+Result<UCQ> UnfoldToUCQ(const Program& program) {
+  if (program.IsRecursive()) {
+    return Status::InvalidArgument("cannot unfold a recursive program");
+  }
+  Unfolder unfolder(program);
+  UCQ out;
+  for (const Rule& r : program.rules) {
+    if (r.head.pred != program.goal) continue;
+    CCPI_ASSIGN_OR_RETURN(auto bodies, unfolder.Expand(r.body));
+    for (const auto& body : bodies) {
+      out.push_back(BodyToCQ(r.head, body));
+    }
+  }
+  return out;
+}
+
+}  // namespace ccpi

@@ -1,0 +1,23 @@
+#ifndef CCPI_DISTSIM_COST_MODEL_H_
+#define CCPI_DISTSIM_COST_MODEL_H_
+
+namespace ccpi {
+
+/// Cost weights for data access in the simulated two-site deployment.
+///
+/// The paper motivates local tests by the expense (or impossibility) of
+/// touching remote data; this model makes that expense measurable. Units
+/// are arbitrary; the defaults encode the common three-orders-of-magnitude
+/// gap between a local in-memory read and a WAN round trip.
+struct CostModel {
+  /// Per tuple enumerated from a local relation.
+  double local_tuple_cost = 0.001;
+  /// Per tuple enumerated from a remote relation.
+  double remote_tuple_cost = 0.1;
+  /// Per remote access event (a batch of tuples fetched together).
+  double remote_round_trip_cost = 10.0;
+};
+
+}  // namespace ccpi
+
+#endif  // CCPI_DISTSIM_COST_MODEL_H_

@@ -1,0 +1,14 @@
+#include "distsim/site_db.h"
+
+namespace ccpi {
+
+void SiteDatabase::OnRead(const std::string& pred, size_t count) {
+  if (IsLocal(pred)) {
+    stats_.local_tuples += count;
+  } else {
+    stats_.remote_tuples += count;
+    stats_.remote_trips += 1;
+  }
+}
+
+}  // namespace ccpi

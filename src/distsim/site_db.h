@@ -1,0 +1,68 @@
+#ifndef CCPI_DISTSIM_SITE_DB_H_
+#define CCPI_DISTSIM_SITE_DB_H_
+
+#include <set>
+#include <string>
+
+#include "distsim/cost_model.h"
+#include "eval/engine.h"
+#include "relational/database.h"
+
+namespace ccpi {
+
+/// Access statistics of one evaluation (or one update-checking episode)
+/// over a partitioned database.
+struct AccessStats {
+  size_t local_tuples = 0;
+  size_t remote_tuples = 0;
+  size_t remote_trips = 0;
+
+  double Cost(const CostModel& model) const {
+    return static_cast<double>(local_tuples) * model.local_tuple_cost +
+           static_cast<double>(remote_tuples) * model.remote_tuple_cost +
+           static_cast<double>(remote_trips) * model.remote_round_trip_cost;
+  }
+
+  AccessStats& operator+=(const AccessStats& other) {
+    local_tuples += other.local_tuples;
+    remote_tuples += other.remote_tuples;
+    remote_trips += other.remote_trips;
+    return *this;
+  }
+};
+
+/// A database split into "local" and "remote" predicates, in the sense of
+/// Section 5: the site applying updates holds the local relations; every
+/// read of a remote relation is charged. The class is an AccessObserver —
+/// plug it into EvalOptions (or EvalRa) and it attributes each read to the
+/// right side of the partition.
+class SiteDatabase : public AccessObserver {
+ public:
+  explicit SiteDatabase(std::set<std::string> local_preds)
+      : local_preds_(std::move(local_preds)) {}
+
+  bool IsLocal(const std::string& pred) const {
+    return local_preds_.count(pred) > 0;
+  }
+  const std::set<std::string>& local_preds() const { return local_preds_; }
+
+  Database& db() { return db_; }
+  const Database& db() const { return db_; }
+
+  /// AccessObserver: attributes `count` enumerated tuples of `pred`.
+  /// Each remote read event also counts one round trip.
+  void OnRead(const std::string& pred, size_t count) override;
+
+  /// Statistics accumulated since the last Reset.
+  const AccessStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = AccessStats{}; }
+
+ private:
+  std::set<std::string> local_preds_;
+  Database db_;
+  AccessStats stats_;
+};
+
+}  // namespace ccpi
+
+#endif  // CCPI_DISTSIM_SITE_DB_H_

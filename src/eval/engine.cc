@@ -1,0 +1,357 @@
+#include "eval/engine.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "datalog/safety.h"
+#include "eval/stratify.h"
+#include "util/check.h"
+
+namespace ccpi {
+
+namespace {
+
+using Env = std::map<std::string, Value>;
+
+std::optional<Value> GroundTerm(const Term& t, const Env& env) {
+  if (t.is_const()) return t.constant();
+  auto it = env.find(t.var());
+  if (it == env.end()) return std::nullopt;
+  return it->second;
+}
+
+/// Evaluates one rule against a set of relation sources, invoking `emit`
+/// for every derived head tuple. Literals are scheduled dynamically:
+/// filters (comparisons, negated subgoals) run as soon as they are ground,
+/// equality comparisons bind, and the next join picks the positive subgoal
+/// with the most bound arguments.
+class RuleEval {
+ public:
+  /// `fetch(pred, arity, literal_index)` supplies the relation a positive
+  /// literal reads (the index lets semi-naive evaluation substitute a delta
+  /// relation for one designated occurrence). `lookup(pred, arity)` supplies
+  /// relations for negated subgoals.
+  RuleEval(const Rule& rule,
+           std::function<const Relation*(const std::string&, size_t, size_t)>
+               fetch,
+           std::function<const Relation*(const std::string&, size_t)> lookup,
+           AccessObserver* observer,
+           const std::set<std::string>* edb_preds, bool use_index,
+           std::function<void(Tuple)> emit)
+      : rule_(rule),
+        fetch_(std::move(fetch)),
+        lookup_(std::move(lookup)),
+        observer_(observer),
+        use_index_(use_index),
+        edb_preds_(edb_preds),
+        emit_(std::move(emit)) {}
+
+  void Run() {
+    std::vector<size_t> remaining(rule_.body.size());
+    for (size_t i = 0; i < remaining.size(); ++i) remaining[i] = i;
+    Env env;
+    Step(&env, remaining);
+  }
+
+ private:
+  void Observe(const std::string& pred, size_t count) {
+    if (observer_ != nullptr && edb_preds_->count(pred) > 0) {
+      observer_->OnRead(pred, count);
+    }
+  }
+
+  /// Applies all currently-decidable filters and equality bindings.
+  /// Returns false if a filter failed (dead branch).
+  bool Propagate(Env* env, std::vector<size_t>* remaining) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (size_t pos = 0; pos < remaining->size(); ++pos) {
+        const Literal& lit = rule_.body[(*remaining)[pos]];
+        if (lit.is_comparison()) {
+          std::optional<Value> a = GroundTerm(lit.cmp.lhs, *env);
+          std::optional<Value> b = GroundTerm(lit.cmp.rhs, *env);
+          if (a.has_value() && b.has_value()) {
+            if (!EvalCmp(*a, lit.cmp.op, *b)) return false;
+            remaining->erase(remaining->begin() + pos);
+            --pos;
+            changed = true;
+          } else if (lit.cmp.op == CmpOp::kEq &&
+                     (a.has_value() || b.has_value())) {
+            const Term& unbound = a.has_value() ? lit.cmp.rhs : lit.cmp.lhs;
+            (*env)[unbound.var()] = a.has_value() ? *a : *b;
+            remaining->erase(remaining->begin() + pos);
+            --pos;
+            changed = true;
+          }
+        } else if (lit.is_negated()) {
+          Tuple t;
+          bool ground = true;
+          for (const Term& arg : lit.atom.args) {
+            std::optional<Value> v = GroundTerm(arg, *env);
+            if (!v.has_value()) {
+              ground = false;
+              break;
+            }
+            t.push_back(*v);
+          }
+          if (ground) {
+            const Relation* rel =
+                lookup_(lit.atom.pred, lit.atom.args.size());
+            Observe(lit.atom.pred, 1);
+            if (rel != nullptr && rel->Contains(t)) return false;
+            remaining->erase(remaining->begin() + pos);
+            --pos;
+            changed = true;
+          }
+        }
+      }
+    }
+    return true;
+  }
+
+  void Step(Env* env, std::vector<size_t> remaining) {
+    Env saved = *env;
+    if (!Propagate(env, &remaining)) {
+      *env = saved;
+      return;
+    }
+    // All positive atoms joined and all filters passed?
+    bool has_positive = false;
+    for (size_t idx : remaining) {
+      if (rule_.body[idx].is_positive()) has_positive = true;
+    }
+    if (!has_positive) {
+      // Any leftover literals are non-ground filters; safety guarantees
+      // this cannot happen for safe rules.
+      CCPI_CHECK(remaining.empty());
+      Tuple head;
+      head.reserve(rule_.head.args.size());
+      for (const Term& t : rule_.head.args) {
+        std::optional<Value> v = GroundTerm(t, *env);
+        CCPI_CHECK(v.has_value());
+        head.push_back(*v);
+      }
+      emit_(std::move(head));
+      *env = saved;
+      return;
+    }
+
+    // Pick the positive subgoal with the most bound arguments.
+    size_t best_pos = remaining.size();
+    int best_bound = -1;
+    for (size_t pos = 0; pos < remaining.size(); ++pos) {
+      const Literal& lit = rule_.body[remaining[pos]];
+      if (!lit.is_positive()) continue;
+      int bound = 0;
+      for (const Term& arg : lit.atom.args) {
+        if (GroundTerm(arg, *env).has_value()) ++bound;
+      }
+      if (bound > best_bound) {
+        best_bound = bound;
+        best_pos = pos;
+      }
+    }
+    size_t lit_idx = remaining[best_pos];
+    remaining.erase(remaining.begin() + best_pos);
+    const Atom& atom = rule_.body[lit_idx].atom;
+    const Relation* rel = fetch_(atom.pred, atom.args.size(), lit_idx);
+    if (rel == nullptr || rel->empty()) {
+      *env = saved;
+      return;
+    }
+
+    // Probe on the first bound column if any (and indexing is enabled);
+    // otherwise scan.
+    size_t probe_col = atom.args.size();
+    Value probe_val;
+    if (use_index_) {
+      for (size_t i = 0; i < atom.args.size(); ++i) {
+        std::optional<Value> v = GroundTerm(atom.args[i], *env);
+        if (v.has_value()) {
+          probe_col = i;
+          probe_val = *v;
+          break;
+        }
+      }
+    }
+    auto try_tuple = [&](const Tuple& t) {
+      Env extended = *env;
+      for (size_t i = 0; i < atom.args.size(); ++i) {
+        const Term& arg = atom.args[i];
+        if (arg.is_const()) {
+          if (!(arg.constant() == t[i])) return;
+        } else {
+          auto it = extended.find(arg.var());
+          if (it == extended.end()) {
+            extended[arg.var()] = t[i];
+          } else if (!(it->second == t[i])) {
+            return;
+          }
+        }
+      }
+      Step(&extended, remaining);
+    };
+    // A recursive rule may insert into `rel` while we scan it (the head
+    // predicate can occur in its own body), which invalidates index
+    // postings and may reallocate the row store. Copy postings and access
+    // rows by index so growth during the scan is harmless.
+    if (probe_col < atom.args.size()) {
+      std::vector<size_t> posting = rel->Probe(probe_col, probe_val);
+      Observe(atom.pred, posting.size());
+      for (size_t row : posting) {
+        Tuple t = rel->rows()[row];
+        try_tuple(t);
+      }
+    } else {
+      size_t limit = rel->size();
+      Observe(atom.pred, limit);
+      for (size_t i = 0; i < limit; ++i) {
+        Tuple t = rel->rows()[i];
+        try_tuple(t);
+      }
+    }
+    *env = saved;
+  }
+
+  const Rule& rule_;
+  std::function<const Relation*(const std::string&, size_t, size_t)> fetch_;
+  std::function<const Relation*(const std::string&, size_t)> lookup_;
+  AccessObserver* observer_;
+  bool use_index_;
+  const std::set<std::string>* edb_preds_;
+  std::function<void(Tuple)> emit_;
+};
+
+}  // namespace
+
+Result<Database> Evaluate(const Program& program, const Database& edb,
+                          const EvalOptions& options) {
+  CCPI_RETURN_IF_ERROR(CheckProgramSafety(program));
+  CCPI_ASSIGN_OR_RETURN(Stratification strat, Stratify(program));
+
+  std::set<std::string> idb_preds = program.IdbPredicates();
+  std::set<std::string> edb_preds;
+  for (const Rule& r : program.rules) {
+    for (const Literal& l : r.body) {
+      if (!l.is_comparison() && idb_preds.count(l.atom.pred) == 0) {
+        edb_preds.insert(l.atom.pred);
+      }
+    }
+  }
+
+  Database idb;
+  size_t derived = 0;
+  if (options.seed_idb != nullptr) {
+    // Seed derived relations (the uniform-containment chase evaluates a
+    // program over frozen facts of its own IDB predicates).
+    for (const std::string& pred : options.seed_idb->PredicateNames()) {
+      const Relation& rel = options.seed_idb->Get(pred, 0);
+      for (const Tuple& t : rel.rows()) {
+        CCPI_RETURN_IF_ERROR(idb.Insert(pred, t));
+      }
+    }
+  }
+
+  auto lookup = [&](const std::string& pred, size_t arity) -> const Relation* {
+    if (idb_preds.count(pred) > 0) return &idb.Get(pred, arity);
+    return &edb.Get(pred, arity);
+  };
+
+  for (const std::vector<Rule>& stratum : strat.strata) {
+    std::set<std::string> stratum_preds;
+    for (const Rule& r : stratum) stratum_preds.insert(r.head.pred);
+
+    // Tuples derived in the current iteration, per predicate.
+    Database delta;
+    auto emit = [&](const std::string& pred, Tuple t) {
+      if (idb.GetMutable(pred, t.size())->Insert(t)) {
+        delta.GetMutable(pred, t.size())->Insert(std::move(t));
+        ++derived;
+      }
+    };
+
+    auto run_full_round = [&]() {
+      for (const Rule& rule : stratum) {
+        auto fetch = [&](const std::string& pred, size_t arity,
+                         size_t) -> const Relation* {
+          return lookup(pred, arity);
+        };
+        RuleEval eval(
+            rule, fetch, lookup, options.observer, &edb_preds,
+            options.use_index,
+            [&](Tuple t) { emit(rule.head.pred, std::move(t)); });
+        eval.Run();
+      }
+    };
+
+    // Initial round: every rule against the current (pre-stratum) state.
+    run_full_round();
+
+    if (!options.use_seminaive) {
+      // Naive fixpoint (ablation baseline): full rounds until quiescence.
+      while (delta.TotalTuples() > 0) {
+        if (options.max_derived_tuples != 0 &&
+            derived > options.max_derived_tuples) {
+          return Status::Internal("derivation limit exceeded");
+        }
+        delta = Database();
+        run_full_round();
+      }
+      continue;
+    }
+
+    // Semi-naive iteration: re-evaluate each rule once per recursive
+    // occurrence, with that occurrence reading the previous delta.
+    while (delta.TotalTuples() > 0) {
+      if (options.max_derived_tuples != 0 &&
+          derived > options.max_derived_tuples) {
+        return Status::Internal("derivation limit exceeded");
+      }
+      Database prev_delta = std::move(delta);
+      delta = Database();
+      for (const Rule& rule : stratum) {
+        for (size_t k = 0; k < rule.body.size(); ++k) {
+          const Literal& lit = rule.body[k];
+          if (!lit.is_positive() || stratum_preds.count(lit.atom.pred) == 0) {
+            continue;
+          }
+          if (!prev_delta.Has(lit.atom.pred)) continue;
+          auto fetch = [&](const std::string& pred, size_t arity,
+                           size_t idx) -> const Relation* {
+            if (idx == k) return &prev_delta.Get(pred, arity);
+            return lookup(pred, arity);
+          };
+          RuleEval eval(
+              rule, fetch, lookup, options.observer, &edb_preds,
+              options.use_index,
+              [&](Tuple t) { emit(rule.head.pred, std::move(t)); });
+          eval.Run();
+        }
+      }
+    }
+  }
+  return idb;
+}
+
+Result<Relation> EvaluateGoal(const Program& program, const Database& edb,
+                              const EvalOptions& options) {
+  CCPI_ASSIGN_OR_RETURN(Database idb, Evaluate(program, edb, options));
+  size_t arity = 0;
+  for (const Rule& r : program.rules) {
+    if (r.head.pred == program.goal) arity = r.head.args.size();
+  }
+  return idb.Get(program.goal, arity);
+}
+
+Result<bool> IsViolated(const Program& constraint, const Database& edb,
+                        const EvalOptions& options) {
+  CCPI_ASSIGN_OR_RETURN(Relation goal, EvaluateGoal(constraint, edb, options));
+  return !goal.empty();
+}
+
+}  // namespace ccpi

@@ -1,0 +1,60 @@
+#ifndef CCPI_EVAL_ENGINE_H_
+#define CCPI_EVAL_ENGINE_H_
+
+#include <string>
+
+#include "datalog/ast.h"
+#include "relational/database.h"
+#include "util/status.h"
+
+namespace ccpi {
+
+/// Observer of base-relation reads during evaluation. The distributed-site
+/// simulator implements this to charge local vs. remote access costs: the
+/// paper's motivation is precisely that a test's value depends on *which*
+/// relations it reads.
+class AccessObserver {
+ public:
+  virtual ~AccessObserver() = default;
+  /// `count` tuples of EDB predicate `pred` were enumerated (scanned or
+  /// probed) by the engine.
+  virtual void OnRead(const std::string& pred, size_t count) = 0;
+};
+
+struct EvalOptions {
+  /// If set, receives one callback per EDB enumeration.
+  AccessObserver* observer = nullptr;
+  /// Safety valve for runaway recursive programs (0 = unlimited).
+  size_t max_derived_tuples = 0;
+  /// Tuples seeded into IDB relations before evaluation begins (used by
+  /// the uniform-containment chase, where a program runs over frozen
+  /// facts of its own derived predicates). May be null.
+  const Database* seed_idb = nullptr;
+  /// Ablation switch: false re-evaluates rules against the full state each
+  /// round (naive fixpoint) instead of delta-driven semi-naive rounds.
+  bool use_seminaive = true;
+  /// Ablation switch: false disables index probes (always scan).
+  bool use_index = true;
+};
+
+/// Evaluates a (possibly recursive) stratified datalog program with safe
+/// negation and arithmetic comparisons over `edb`; returns the IDB
+/// relations. Semi-naive iteration within each stratum.
+///
+/// Fails with InvalidArgument for unsafe or unstratifiable programs.
+Result<Database> Evaluate(const Program& program, const Database& edb,
+                          const EvalOptions& options = {});
+
+/// Evaluates and returns the relation of the program's goal predicate.
+Result<Relation> EvaluateGoal(const Program& program, const Database& edb,
+                              const EvalOptions& options = {});
+
+/// For a constraint query (goal `panic`): true iff panic is derivable,
+/// i.e. the database violates the constraint (Section 2: a database
+/// satisfies the constraint iff the query result is empty).
+Result<bool> IsViolated(const Program& constraint, const Database& edb,
+                        const EvalOptions& options = {});
+
+}  // namespace ccpi
+
+#endif  // CCPI_EVAL_ENGINE_H_

@@ -1,0 +1,49 @@
+#include "eval/stratify.h"
+
+#include <algorithm>
+#include <set>
+
+namespace ccpi {
+
+Result<Stratification> Stratify(const Program& program) {
+  std::set<std::string> idb = program.IdbPredicates();
+
+  // stratum_of via fixpoint relaxation:
+  //   head >= positive idb subgoal; head >= 1 + negated idb subgoal.
+  // Unstratifiable programs diverge; bound iterations by |idb| + 1.
+  std::map<std::string, int> stratum;
+  for (const std::string& p : idb) stratum[p] = 0;
+  size_t max_rounds = idb.size() + 1;
+  bool changed = true;
+  size_t rounds = 0;
+  while (changed) {
+    changed = false;
+    if (++rounds > max_rounds + 1) {
+      return Status::InvalidArgument(
+          "program is not stratifiable (recursion through negation)");
+    }
+    for (const Rule& r : program.rules) {
+      int& h = stratum[r.head.pred];
+      for (const Literal& l : r.body) {
+        if (l.is_comparison() || idb.count(l.atom.pred) == 0) continue;
+        int need = stratum[l.atom.pred] + (l.is_negated() ? 1 : 0);
+        if (h < need) {
+          h = need;
+          changed = true;
+        }
+      }
+    }
+  }
+
+  Stratification out;
+  out.stratum_of = stratum;
+  int max_stratum = 0;
+  for (const auto& [p, s] : stratum) max_stratum = std::max(max_stratum, s);
+  out.strata.resize(static_cast<size_t>(max_stratum) + 1);
+  for (const Rule& r : program.rules) {
+    out.strata[static_cast<size_t>(stratum[r.head.pred])].push_back(r);
+  }
+  return out;
+}
+
+}  // namespace ccpi

@@ -1,0 +1,30 @@
+#ifndef CCPI_EVAL_STRATIFY_H_
+#define CCPI_EVAL_STRATIFY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "datalog/ast.h"
+#include "util/status.h"
+
+namespace ccpi {
+
+/// A stratification of a program: IDB predicates grouped into strata such
+/// that positive dependencies stay within or below a stratum and negative
+/// dependencies point strictly below. Rules are assigned the stratum of
+/// their head predicate.
+struct Stratification {
+  /// stratum index per IDB predicate.
+  std::map<std::string, int> stratum_of;
+  /// Rules grouped by stratum, in evaluation order.
+  std::vector<std::vector<Rule>> strata;
+};
+
+/// Computes a stratification, or InvalidArgument if the program has
+/// recursion through negation (not stratifiable).
+Result<Stratification> Stratify(const Program& program);
+
+}  // namespace ccpi
+
+#endif  // CCPI_EVAL_STRATIFY_H_

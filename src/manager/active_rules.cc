@@ -1,0 +1,49 @@
+#include "manager/active_rules.h"
+
+#include "datalog/safety.h"
+#include "eval/engine.h"
+#include "subsumption/program_containment.h"
+#include "updates/rewrite.h"
+
+namespace ccpi {
+
+Status ActiveRuleEngine::AddRule(const std::string& name, Program condition,
+                                 Action action) {
+  CCPI_RETURN_IF_ERROR(CheckProgramSafety(condition));
+  rules_.push_back(ActiveRule{name, std::move(condition), std::move(action)});
+  return Status::OK();
+}
+
+Result<ActiveRuleEngine::ProcessResult> ActiveRuleEngine::ProcessUpdate(
+    const Update& u) {
+  ProcessResult result;
+  CCPI_RETURN_IF_ERROR(u.ApplyTo(db_));
+  for (const ActiveRule& rule : rules_) {
+    // Irrelevance: condition-after == condition-before, with NO assumption
+    // about the prior truth value (unlike integrity constraints).
+    bool irrelevant = false;
+    Result<Program> rewritten = RewriteAfterUpdate(rule.condition, u);
+    if (rewritten.ok()) {
+      Result<ContainmentDecision> fwd =
+          ProgramContainedInUnion(*rewritten, {rule.condition});
+      Result<ContainmentDecision> bwd =
+          ProgramContainedInUnion(rule.condition, {*rewritten});
+      irrelevant = fwd.ok() && bwd.ok() &&
+                   fwd->outcome == Outcome::kHolds &&
+                   bwd->outcome == Outcome::kHolds;
+    }
+    if (irrelevant) {
+      result.skipped_irrelevant.push_back(rule.name);
+      continue;
+    }
+    result.evaluated.push_back(rule.name);
+    CCPI_ASSIGN_OR_RETURN(bool holds, IsViolated(rule.condition, *db_));
+    if (holds) {
+      result.fired.push_back(rule.name);
+      if (rule.action) rule.action(db_);
+    }
+  }
+  return result;
+}
+
+}  // namespace ccpi

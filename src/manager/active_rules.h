@@ -1,0 +1,62 @@
+#ifndef CCPI_MANAGER_ACTIVE_RULES_H_
+#define CCPI_MANAGER_ACTIVE_RULES_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "datalog/ast.h"
+#include "relational/database.h"
+#include "updates/update.h"
+#include "util/status.h"
+
+namespace ccpi {
+
+/// Application 2 of the paper (Section 2): active-database rules
+/// "if C holds, then perform action A", treated as constraints
+/// panic :- C with the action fired on deriving panic.
+///
+/// The key difference from integrity maintenance: because of how active
+/// rules are detected and fired (Ceri–Widom), the engine may NOT assume
+/// the conditions were false (or true) before an update. The only
+/// data-free reasoning available is therefore *irrelevance*: if the
+/// rewritten condition is equivalent to the original (contained both
+/// ways), the update cannot change the condition's value and the rule
+/// need not be re-evaluated.
+class ActiveRuleEngine {
+ public:
+  using Action = std::function<void(Database* db)>;
+
+  explicit ActiveRuleEngine(Database* db) : db_(db) {}
+
+  /// Registers a rule. `condition` is a constraint program (goal panic).
+  Status AddRule(const std::string& name, Program condition, Action action);
+
+  /// Statistics of one ProcessUpdate call.
+  struct ProcessResult {
+    std::vector<std::string> skipped_irrelevant;  // no re-evaluation needed
+    std::vector<std::string> evaluated;           // condition re-evaluated
+    std::vector<std::string> fired;               // condition true: action ran
+  };
+
+  /// Applies the update, re-evaluates the conditions the update is
+  /// relevant to, and fires their actions (in registration order) when the
+  /// condition holds. Actions may modify the database; resulting cascades
+  /// are NOT followed automatically (call ProcessUpdate for the updates an
+  /// action performs, as an active-rule executor would).
+  Result<ProcessResult> ProcessUpdate(const Update& u);
+
+ private:
+  struct ActiveRule {
+    std::string name;
+    Program condition;
+    Action action;
+  };
+
+  Database* db_;
+  std::vector<ActiveRule> rules_;
+};
+
+}  // namespace ccpi
+
+#endif  // CCPI_MANAGER_ACTIVE_RULES_H_

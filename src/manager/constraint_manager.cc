@@ -1,0 +1,286 @@
+#include "manager/constraint_manager.h"
+
+#include "core/cqc_form.h"
+#include "core/icq_compiler.h"
+#include "core/local_test.h"
+#include "core/ra_local_test.h"
+#include "datalog/unfold.h"
+#include "subsumption/subsumption.h"
+#include "updates/independence.h"
+
+namespace ccpi {
+
+const char* TierToString(Tier tier) {
+  switch (tier) {
+    case Tier::kSubsumed:
+      return "subsumed";
+    case Tier::kUnaffected:
+      return "unaffected";
+    case Tier::kIndependence:
+      return "independence";
+    case Tier::kLocalTest:
+      return "local-test";
+    case Tier::kFullCheck:
+      return "full-check";
+  }
+  return "?";
+}
+
+namespace {
+
+bool Mentions(const Program& p, const std::string& pred) {
+  for (const Rule& r : p.rules) {
+    for (const Literal& l : r.body) {
+      if (!l.is_comparison() && l.atom.pred == pred) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<bool> ConstraintManager::AddConstraint(const std::string& name,
+                                              Program constraint) {
+  std::vector<Program> active;
+  for (const Registered& r : constraints_) {
+    if (!r.subsumed) active.push_back(r.program);
+  }
+  bool subsumed = false;
+  if (!active.empty()) {
+    Result<ContainmentDecision> decision = Subsumes(constraint, active);
+    if (decision.ok()) {
+      subsumed = decision->outcome == Outcome::kHolds;
+    } else if (decision.status().code() != StatusCode::kUnsupported) {
+      return decision.status();
+    }
+  }
+  constraints_.push_back(Registered{name, std::move(constraint), subsumed});
+  return subsumed;
+}
+
+struct ConstraintManager::Tier2Artifacts {
+  Rule rule;                            // the unfolded single-CQ form
+  bool arithmetic_free = false;         // Theorem 5.3 applies
+  std::optional<IcqCompilation> icq;    // Fig 6.1 machinery, if applicable
+  std::optional<Cqc> cqc;               // general Theorem 5.2 form
+};
+
+std::shared_ptr<const ConstraintManager::Tier2Artifacts>
+ConstraintManager::PrepareTier2(Registered* r,
+                                const std::string& local_pred) {
+  auto it = r->tier2.find(local_pred);
+  if (it != r->tier2.end()) return it->second;
+
+  std::shared_ptr<const Tier2Artifacts> artifacts;  // null = inapplicable
+  Result<UCQ> unfolded = UnfoldToUCQ(r->program);
+  if (unfolded.ok() && unfolded->size() == 1 &&
+      !(*unfolded)[0].HasNegation()) {
+    auto built = std::make_shared<Tier2Artifacts>();
+    built->rule = (*unfolded)[0].ToRule();
+    built->arithmetic_free = !(*unfolded)[0].HasArithmetic();
+    Result<IcqCompilation> icq = CompileIcq(built->rule, local_pred);
+    if (icq.ok()) built->icq = std::move(*icq);
+    Result<Cqc> cqc = MakeCqc(built->rule, local_pred);
+    if (cqc.ok()) built->cqc = std::move(*cqc);
+    if (built->icq.has_value() || built->cqc.has_value() ||
+        built->arithmetic_free) {
+      artifacts = std::move(built);
+    }
+  }
+  r->tier2.emplace(local_pred, artifacts);
+  return artifacts;
+}
+
+Result<CheckReport> ConstraintManager::CheckOne(Registered* r,
+                                                const Update& u) {
+  CheckReport report;
+  report.constraint = r->name;
+
+  // Tier 1 prefilter: the constraint cannot see the updated relation.
+  if (!Mentions(r->program, u.pred)) {
+    report.outcome = Outcome::kHolds;
+    report.tier = Tier::kUnaffected;
+    return report;
+  }
+
+  // Tier 1: constraints + update only (Section 4).
+  std::vector<Program> assumed;
+  for (const Registered& other : constraints_) {
+    if (!other.subsumed && other.name != r->name) {
+      assumed.push_back(other.program);
+    }
+  }
+  Result<ContainmentDecision> independent =
+      HoldsAfterUpdate(r->program, u, assumed);
+  if (independent.ok() && independent->outcome == Outcome::kHolds) {
+    report.outcome = Outcome::kHolds;
+    report.tier = Tier::kIndependence;
+    return report;
+  }
+  if (!independent.ok() &&
+      independent.status().code() != StatusCode::kUnsupported) {
+    return independent.status();
+  }
+
+  // Tier 2: complete local test with local data — insertions into a local
+  // relation, single-CQ constraints (Sections 5 and 6). The compiled
+  // artifacts are cached per (constraint, predicate).
+  if (u.kind == Update::Kind::kInsert && site_.IsLocal(u.pred)) {
+    std::shared_ptr<const Tier2Artifacts> t2 = PrepareTier2(r, u.pred);
+    if (t2 != nullptr) {
+      const Relation& local = site_.db().Get(u.pred, u.tuple.size());
+      Outcome outcome = Outcome::kUnknown;
+      bool decided = false;
+
+      // Fastest applicable method first: the Fig 6.1 interval machinery,
+      // then the Theorem 5.3 RA test, then the general Theorem 5.2 test.
+      if (t2->icq.has_value()) {
+        Result<Outcome> o = IcqDirectTestOnInsert(*t2->icq, local, u.tuple);
+        if (o.ok()) {
+          outcome = *o;
+          decided = true;
+          site_.OnRead(u.pred, local.size());  // one pass over L
+        }
+      }
+      if (!decided && t2->arithmetic_free) {
+        // The RA evaluator reports its own reads through the observer.
+        Result<Outcome> o = RaLocalTestOnInsert(t2->rule, u.pred, u.tuple,
+                                                site_.db(), &site_);
+        if (o.ok()) {
+          outcome = *o;
+          decided = true;
+        }
+      }
+      if (!decided && t2->cqc.has_value()) {
+        Result<LocalTestResult> o =
+            CompleteLocalTestOnInsert(*t2->cqc, u.tuple, local);
+        if (o.ok()) {
+          outcome = o->outcome;
+          decided = true;
+          site_.OnRead(u.pred, local.size());
+        }
+      }
+      if (decided) {
+        if (outcome != Outcome::kUnknown) {
+          report.outcome = outcome;
+          report.tier = Tier::kLocalTest;
+          return report;
+        }
+      }
+    }
+  }
+
+  report.outcome = Outcome::kUnknown;  // needs the full (remote) check
+  report.tier = Tier::kFullCheck;
+  return report;
+}
+
+Result<std::vector<CheckReport>> ConstraintManager::ApplyUpdate(
+    const Update& u) {
+  std::vector<CheckReport> reports;
+
+  // A no-op update cannot change any constraint.
+  bool noop =
+      (u.kind == Update::Kind::kInsert &&
+       site_.db().Contains(u.pred, u.tuple)) ||
+      (u.kind == Update::Kind::kDelete &&
+       !site_.db().Contains(u.pred, u.tuple));
+
+  std::vector<size_t> need_full;
+  for (size_t i = 0; i < constraints_.size(); ++i) {
+    Registered& r = constraints_[i];
+    if (r.subsumed) {
+      reports.push_back(
+          CheckReport{r.name, Outcome::kHolds, Tier::kSubsumed});
+      stats_.resolved_by[Tier::kSubsumed]++;
+      continue;
+    }
+    if (noop) {
+      reports.push_back(
+          CheckReport{r.name, Outcome::kHolds, Tier::kUnaffected});
+      stats_.resolved_by[Tier::kUnaffected]++;
+      continue;
+    }
+    CCPI_ASSIGN_OR_RETURN(CheckReport report, CheckOne(&r, u));
+    if (report.tier == Tier::kFullCheck) {
+      need_full.push_back(reports.size());
+    } else {
+      stats_.resolved_by[report.tier]++;
+    }
+    reports.push_back(std::move(report));
+  }
+
+  bool violated = false;
+  for (const CheckReport& r : reports) {
+    violated = violated || r.outcome == Outcome::kViolated;
+  }
+
+  if (!need_full.empty() && !violated) {
+    // Tentatively apply, evaluate the undecided constraints on the new
+    // state (remote reads charged), roll back on violation.
+    CCPI_RETURN_IF_ERROR(u.ApplyTo(&site_.db()));
+    for (size_t idx : need_full) {
+      CheckReport& report = reports[idx];
+      const Registered* reg = nullptr;
+      for (const Registered& r : constraints_) {
+        if (r.name == report.constraint) reg = &r;
+      }
+      EvalOptions options;
+      options.observer = &site_;
+      CCPI_ASSIGN_OR_RETURN(bool bad,
+                            IsViolated(reg->program, site_.db(), options));
+      report.outcome = bad ? Outcome::kViolated : Outcome::kHolds;
+      stats_.resolved_by[Tier::kFullCheck]++;
+      violated = violated || bad;
+    }
+    if (violated) {
+      // Roll back.
+      Update inverse = u.kind == Update::Kind::kInsert
+                           ? Update::Delete(u.pred, u.tuple)
+                           : Update::Insert(u.pred, u.tuple);
+      CCPI_RETURN_IF_ERROR(inverse.ApplyTo(&site_.db()));
+    }
+  } else if (!violated && !noop) {
+    CCPI_RETURN_IF_ERROR(u.ApplyTo(&site_.db()));
+  }
+
+  if (violated) stats_.violations++;
+  stats_.access = site_.stats();
+  return reports;
+}
+
+Result<ConstraintManager::TransactionResult> ConstraintManager::ApplyTransaction(
+    const std::vector<Update>& updates) {
+  TransactionResult result;
+  // Remember which updates actually change state, for exact rollback.
+  std::vector<Update> applied;
+  for (const Update& u : updates) {
+    bool noop = (u.kind == Update::Kind::kInsert &&
+                 site_.db().Contains(u.pred, u.tuple)) ||
+                (u.kind == Update::Kind::kDelete &&
+                 !site_.db().Contains(u.pred, u.tuple));
+    CCPI_ASSIGN_OR_RETURN(std::vector<CheckReport> reports, ApplyUpdate(u));
+    bool violated = false;
+    for (const CheckReport& r : reports) {
+      violated = violated || r.outcome == Outcome::kViolated;
+    }
+    result.reports.push_back(std::move(reports));
+    if (violated) {
+      // ApplyUpdate already refused this update; undo the earlier ones in
+      // reverse order.
+      for (auto it = applied.rbegin(); it != applied.rend(); ++it) {
+        Update inverse = it->kind == Update::Kind::kInsert
+                             ? Update::Delete(it->pred, it->tuple)
+                             : Update::Insert(it->pred, it->tuple);
+        CCPI_RETURN_IF_ERROR(inverse.ApplyTo(&site_.db()));
+      }
+      result.committed = false;
+      return result;
+    }
+    if (!noop) applied.push_back(u);
+  }
+  result.committed = true;
+  return result;
+}
+
+}  // namespace ccpi

@@ -1,0 +1,124 @@
+#ifndef CCPI_MANAGER_CONSTRAINT_MANAGER_H_
+#define CCPI_MANAGER_CONSTRAINT_MANAGER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "datalog/ast.h"
+#include "distsim/site_db.h"
+#include "updates/update.h"
+#include "util/outcome.h"
+#include "util/status.h"
+
+namespace ccpi {
+
+/// Which level of the paper's information hierarchy settled a constraint
+/// for one update.
+enum class Tier {
+  kSubsumed,      // level 0: dropped at registration, never checked
+  kUnaffected,    // level 1 prefilter: constraint does not mention the pred
+  kIndependence,  // level 1: constraints + update (Section 4)
+  kLocalTest,     // level 2: constraints + update + local data (Sections 5-6)
+  kFullCheck,     // level 3: full evaluation, remote data included
+};
+
+const char* TierToString(Tier tier);
+
+/// Aggregate statistics across updates.
+struct ManagerStats {
+  std::map<Tier, size_t> resolved_by;
+  size_t violations = 0;
+  AccessStats access;
+};
+
+/// The per-constraint verdict for one update.
+struct CheckReport {
+  std::string constraint;
+  Outcome outcome = Outcome::kUnknown;
+  Tier tier = Tier::kFullCheck;
+};
+
+/// Integrity-constraint manager implementing the paper's tiered checking
+/// discipline (Section 2, "Limits on Available Information"):
+///
+///   T0 at registration: constraints subsumed by the rest are dropped
+///      (Theorem 3.1) — they can never be the first to break.
+///   T1 per update: query-independence using only the constraint and the
+///      update (Section 4). Free of any data access.
+///   T2 per update: the complete local test using local data only
+///      (Theorem 5.2; the Fig 6.1 interval programs and the Theorem 5.3 RA
+///      tests are used through the same entry point when they apply).
+///      Charged at local-access prices.
+///   T3 fallback: full evaluation of the rewritten state, touching remote
+///      relations at remote prices. The only tier that can answer
+///      "violated" for constraints over remote data.
+///
+/// Updates are checked BEFORE being applied; a violated update is rejected
+/// (the database is left unchanged) and reported.
+class ConstraintManager {
+ public:
+  ConstraintManager(std::set<std::string> local_preds, CostModel cost_model)
+      : site_(std::move(local_preds)), cost_model_(cost_model) {}
+
+  /// Registers a constraint. If the already-registered constraints subsume
+  /// it, it is recorded as redundant (never checked) and `subsumed` is set
+  /// in the returned flag.
+  Result<bool> AddConstraint(const std::string& name, Program constraint);
+
+  SiteDatabase& site() { return site_; }
+  const SiteDatabase& site() const { return site_; }
+
+  /// Checks all active constraints against `u`, applies it if no
+  /// violation was found, and reports the verdict per constraint.
+  Result<std::vector<CheckReport>> ApplyUpdate(const Update& u);
+
+  /// The outcome of an atomic multi-update transaction.
+  struct TransactionResult {
+    /// Per-update reports, in order, up to and including the first
+    /// rejected update (later updates are not checked).
+    std::vector<std::vector<CheckReport>> reports;
+    bool committed = false;
+  };
+
+  /// Applies a sequence of updates atomically: each is checked in order
+  /// against the constraints; if any would cause a violation, every
+  /// previously applied update of the sequence is rolled back and the
+  /// database is left exactly as before the call.
+  Result<TransactionResult> ApplyTransaction(const std::vector<Update>& updates);
+
+  const ManagerStats& stats() const { return stats_; }
+
+ private:
+  // Tier-2 artifacts per (constraint, updated local predicate), compiled
+  // once and reused across updates: the unfolded single-CQ form, the
+  // Fig 6.1 interval compilation when applicable, and the normalized CQC
+  // for the general Theorem 5.2 test. Defined in the .cc.
+  struct Tier2Artifacts;
+
+  struct Registered {
+    std::string name;
+    Program program;
+    bool subsumed = false;
+    // Cache keyed by the updated predicate.
+    std::map<std::string, std::shared_ptr<const Tier2Artifacts>> tier2;
+  };
+
+  /// Returns (compiling and caching on first use) the tier-2 artifacts of
+  /// `r` for insertions into `local_pred`; null when tier 2 is
+  /// inapplicable to this constraint.
+  std::shared_ptr<const Tier2Artifacts> PrepareTier2(
+      Registered* r, const std::string& local_pred);
+
+  Result<CheckReport> CheckOne(Registered* r, const Update& u);
+
+  SiteDatabase site_;
+  CostModel cost_model_;
+  std::vector<Registered> constraints_;
+  ManagerStats stats_;
+};
+
+}  // namespace ccpi
+
+#endif  // CCPI_MANAGER_CONSTRAINT_MANAGER_H_

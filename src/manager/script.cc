@@ -1,0 +1,177 @@
+#include "manager/script.h"
+
+#include <sstream>
+
+#include "datalog/parser.h"
+#include "manager/constraint_manager.h"
+
+namespace ccpi {
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  size_t end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+bool EndsWithContinuation(const std::string& line) {
+  if (line.empty()) return false;
+  char last = line.back();
+  if (last == '&' || last == ',') return true;
+  return line.size() >= 2 && line.substr(line.size() - 2) == ":-";
+}
+
+/// Parses "pred(c1, c2, ...)" into a ground atom.
+Result<std::pair<std::string, Tuple>> ParseGroundAtom(
+    const std::string& text) {
+  CCPI_ASSIGN_OR_RETURN(Rule rule, ParseRule(text));
+  if (!rule.body.empty()) {
+    return Status::InvalidArgument("expected a plain fact, got a rule: " +
+                                   text);
+  }
+  Tuple t;
+  t.reserve(rule.head.args.size());
+  for (const Term& arg : rule.head.args) {
+    if (!arg.is_const()) {
+      return Status::InvalidArgument("fact arguments must be constants: " +
+                                     text);
+    }
+    t.push_back(arg.constant());
+  }
+  return std::make_pair(rule.head.pred, std::move(t));
+}
+
+}  // namespace
+
+Result<Script> ParseScript(std::string_view text) {
+  Script script;
+  std::string current_name;
+  std::string current_rules;
+  auto flush_constraint = [&]() -> Status {
+    if (current_name.empty()) return Status::OK();
+    CCPI_ASSIGN_OR_RETURN(Program program, ParseProgram(current_rules));
+    if (program.rules.empty()) {
+      return Status::InvalidArgument("constraint " + current_name +
+                                     " has no rules");
+    }
+    script.constraints.emplace_back(current_name, std::move(program));
+    current_name.clear();
+    current_rules.clear();
+    return Status::OK();
+  };
+
+  std::istringstream in{std::string(text)};
+  std::string raw;
+  bool continuing = false;
+  int line_number = 0;
+  while (std::getline(in, raw)) {
+    ++line_number;
+    size_t comment = raw.find_first_of("#%");
+    if (comment != std::string::npos) raw = raw.substr(0, comment);
+    std::string line = Trim(raw);
+    if (line.empty()) continue;
+
+    // A continuation line of a multi-line rule inside a constraint block.
+    if (continuing) {
+      current_rules += " " + line + "\n";
+      continuing = EndsWithContinuation(line);
+      continue;
+    }
+
+    std::istringstream ls(line);
+    std::string keyword;
+    ls >> keyword;
+    std::string rest = Trim(line.substr(keyword.size()));
+    if (keyword == "local") {
+      CCPI_RETURN_IF_ERROR(flush_constraint());
+      std::string pred;
+      while (ls >> pred) script.local_preds.insert(pred);
+    } else if (keyword == "constraint") {
+      CCPI_RETURN_IF_ERROR(flush_constraint());
+      if (rest.empty()) {
+        return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                       ": constraint needs a name");
+      }
+      current_name = rest;
+    } else if (keyword == "fact") {
+      CCPI_RETURN_IF_ERROR(flush_constraint());
+      CCPI_ASSIGN_OR_RETURN(auto fact, ParseGroundAtom(rest));
+      CCPI_RETURN_IF_ERROR(
+          script.initial.Insert(fact.first, std::move(fact.second)));
+    } else if (keyword == "insert" || keyword == "delete") {
+      CCPI_RETURN_IF_ERROR(flush_constraint());
+      CCPI_ASSIGN_OR_RETURN(auto atom, ParseGroundAtom(rest));
+      script.updates.push_back(keyword == "insert"
+                                   ? Update::Insert(atom.first, atom.second)
+                                   : Update::Delete(atom.first, atom.second));
+    } else {
+      // A rule line of the current constraint.
+      if (current_name.empty()) {
+        return Status::InvalidArgument(
+            "line " + std::to_string(line_number) +
+            ": rule outside a constraint block: " + line);
+      }
+      current_rules += line + "\n";
+      continuing = EndsWithContinuation(line);
+    }
+  }
+  CCPI_RETURN_IF_ERROR(flush_constraint());
+  return script;
+}
+
+Result<ScriptReport> RunScript(const Script& script, const CostModel& costs) {
+  ConstraintManager mgr(script.local_preds, costs);
+  std::ostringstream out;
+  for (const auto& [name, program] : script.constraints) {
+    CCPI_ASSIGN_OR_RETURN(bool subsumed, mgr.AddConstraint(name, program));
+    out << "constraint " << name
+        << (subsumed ? " (redundant: subsumed by earlier constraints)" : "")
+        << "\n";
+  }
+  // Initial facts are installed without checking (the paper's standing
+  // assumption is that constraints hold before the first update).
+  for (const std::string& pred : script.initial.PredicateNames()) {
+    // Get returns the stored relation whatever arity hint is passed.
+    const Relation& rel = script.initial.Get(pred, 0);
+    for (const Tuple& t : rel.rows()) {
+      CCPI_RETURN_IF_ERROR(mgr.site().db().Insert(pred, t));
+    }
+  }
+
+  ScriptReport report;
+  for (const Update& u : script.updates) {
+    CCPI_ASSIGN_OR_RETURN(std::vector<CheckReport> checks,
+                          mgr.ApplyUpdate(u));
+    bool rejected = false;
+    std::string detail;
+    for (const CheckReport& c : checks) {
+      if (c.outcome == Outcome::kViolated) {
+        rejected = true;
+        detail += " violates:" + c.constraint + "(" + TierToString(c.tier) +
+                  ")";
+      }
+    }
+    out << (rejected ? "REJECT " : "apply  ") << u.ToString() << detail
+        << "\n";
+    if (rejected) {
+      ++report.updates_rejected;
+    } else {
+      ++report.updates_applied;
+    }
+  }
+
+  out << "---\n";
+  for (const auto& [tier, count] : mgr.stats().resolved_by) {
+    out << "tier " << TierToString(tier) << ": " << count << " checks\n";
+  }
+  const AccessStats& access = mgr.stats().access;
+  out << "access: " << access.local_tuples << " local tuples, "
+      << access.remote_tuples << " remote tuples in " << access.remote_trips
+      << " trips (cost " << access.Cost(costs) << ")\n";
+  report.text = out.str();
+  return report;
+}
+
+}  // namespace ccpi

@@ -1,0 +1,55 @@
+#ifndef CCPI_MANAGER_SCRIPT_H_
+#define CCPI_MANAGER_SCRIPT_H_
+
+#include <set>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "datalog/ast.h"
+#include "distsim/cost_model.h"
+#include "relational/database.h"
+#include "updates/update.h"
+#include "util/status.h"
+
+namespace ccpi {
+
+/// A declarative constraint-checking workload, the input format of the
+/// `ccpi_check` tool. Line-oriented:
+///
+///     # comments with '#' or '%'
+///     local reserved emp            # predicates held at this site
+///     constraint no-dual            # begins a named constraint...
+///     panic :- assign(E,sales) & assign(E,accounting)
+///     constraint referential        # ...until the next directive
+///     panic :- emp(E,D,S) & not dept(D)
+///     fact emp(ann, cs, 120)        # initial data (not checked)
+///     insert emp(bob, ee, 90)       # update stream, checked in order
+///     delete emp(ann, cs, 120)
+///
+/// Rules may span lines exactly as in ParseProgram (break after `:-`, `&`
+/// or `,`).
+struct Script {
+  std::set<std::string> local_preds;
+  std::vector<std::pair<std::string, Program>> constraints;
+  Database initial;
+  std::vector<Update> updates;
+};
+
+Result<Script> ParseScript(std::string_view text);
+
+/// The outcome of running a script through the ConstraintManager.
+struct ScriptReport {
+  /// Human-readable per-update log plus the tier/access summary.
+  std::string text;
+  size_t updates_applied = 0;
+  size_t updates_rejected = 0;
+};
+
+Result<ScriptReport> RunScript(const Script& script,
+                               const CostModel& costs = {});
+
+}  // namespace ccpi
+
+#endif  // CCPI_MANAGER_SCRIPT_H_

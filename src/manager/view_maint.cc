@@ -1,0 +1,182 @@
+#include "manager/view_maint.h"
+
+#include <optional>
+
+#include "datalog/unfold.h"
+#include "eval/engine.h"
+#include "subsumption/program_containment.h"
+#include "updates/rewrite.h"
+#include "util/check.h"
+
+namespace ccpi {
+
+Result<Outcome> IrrelevantUpdate(const Program& view, const Update& u) {
+  CCPI_ASSIGN_OR_RETURN(Program rewritten, RewriteAfterUpdate(view, u));
+  CCPI_ASSIGN_OR_RETURN(ContainmentDecision fwd,
+                        ProgramContainedInUnion(rewritten, {view}));
+  if (fwd.outcome != Outcome::kHolds) return Outcome::kUnknown;
+  CCPI_ASSIGN_OR_RETURN(ContainmentDecision bwd,
+                        ProgramContainedInUnion(view, {rewritten}));
+  if (bwd.outcome != Outcome::kHolds) return Outcome::kUnknown;
+  return Outcome::kHolds;
+}
+
+Result<bool> ViewChanges(const Program& view, const Update& u,
+                         const Database& db) {
+  CCPI_ASSIGN_OR_RETURN(Relation before, EvaluateGoal(view, db));
+  Database after_db = db;
+  CCPI_RETURN_IF_ERROR(u.ApplyTo(&after_db));
+  CCPI_ASSIGN_OR_RETURN(Relation after, EvaluateGoal(view, after_db));
+  if (before.size() != after.size()) return true;
+  for (const Tuple& t : before.rows()) {
+    if (!after.Contains(t)) return true;
+  }
+  return false;
+}
+
+const char* ViewRefreshTierToString(ViewRefreshTier tier) {
+  switch (tier) {
+    case ViewRefreshTier::kIrrelevant:
+      return "irrelevant";
+    case ViewRefreshTier::kIncremental:
+      return "incremental";
+    case ViewRefreshTier::kFull:
+      return "full";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Unifies a body atom with a concrete tuple: variables bind (consistently
+/// on repeats), constants must match. Returns nullopt on mismatch.
+std::optional<Substitution> BindAtomToTuple(const Atom& atom,
+                                            const Tuple& t) {
+  if (atom.args.size() != t.size()) return std::nullopt;
+  Substitution subst;
+  for (size_t i = 0; i < t.size(); ++i) {
+    const Term& arg = atom.args[i];
+    if (arg.is_const()) {
+      if (!(arg.constant() == t[i])) return std::nullopt;
+    } else {
+      auto [it, inserted] = subst.emplace(arg.var(), Term::Const(t[i]));
+      if (!inserted && !(it->second == Term::Const(t[i]))) {
+        return std::nullopt;
+      }
+    }
+  }
+  return subst;
+}
+
+/// The delta rules of one disjunct for an update to `pred` with tuple `t`:
+/// one rule per occurrence of `pred`, with that occurrence removed and its
+/// variables bound to t. Evaluating them over a database yields exactly the
+/// view tuples whose derivations use t at that occurrence.
+std::vector<Rule> DeltaRules(const CQ& disjunct, const std::string& pred,
+                             const Tuple& t) {
+  std::vector<Rule> out;
+  for (size_t k = 0; k < disjunct.positives.size(); ++k) {
+    if (disjunct.positives[k].pred != pred) continue;
+    std::optional<Substitution> subst =
+        BindAtomToTuple(disjunct.positives[k], t);
+    if (!subst.has_value()) continue;
+    CQ reduced = disjunct;
+    reduced.positives.erase(reduced.positives.begin() +
+                            static_cast<ptrdiff_t>(k));
+    reduced = Apply(*subst, reduced);
+    out.push_back(reduced.ToRule());
+  }
+  return out;
+}
+
+/// True iff the view derives exactly `row` on `db` (heads bound before
+/// evaluation, so only matching derivations are explored).
+Result<bool> IsDerivable(const UCQ& disjuncts, const Tuple& row,
+                         const Database& db) {
+  Program probe;
+  probe.goal = "hit";
+  for (const CQ& d : disjuncts) {
+    std::optional<Substitution> subst = BindAtomToTuple(d.head, row);
+    if (!subst.has_value()) continue;
+    CQ bound = Apply(*subst, d);
+    Rule rule;
+    rule.head = Atom{"hit", {}};
+    rule.body = bound.ToRule().body;
+    probe.rules.push_back(std::move(rule));
+  }
+  if (probe.rules.empty()) return false;
+  return IsViolated(probe, db);
+}
+
+}  // namespace
+
+Result<MaterializedView> MaterializedView::Create(Program view,
+                                                  const Database& db) {
+  CCPI_ASSIGN_OR_RETURN(Relation rows, EvaluateGoal(view, db));
+  return MaterializedView(std::move(view), db, std::move(rows));
+}
+
+Result<ViewRefreshTier> MaterializedView::Apply(const Update& u) {
+  // Tier 1: definition + update only.
+  Result<Outcome> irrelevant = IrrelevantUpdate(view_, u);
+  if (irrelevant.ok() && *irrelevant == Outcome::kHolds) {
+    CCPI_RETURN_IF_ERROR(u.ApplyTo(&base_));
+    return ViewRefreshTier::kIrrelevant;
+  }
+  return RefreshAfter(u);
+}
+
+Result<ViewRefreshTier> MaterializedView::RefreshAfter(const Update& u) {
+  Result<UCQ> unfolded = UnfoldToUCQ(view_);
+  bool incremental_ok = unfolded.ok();
+  if (incremental_ok) {
+    for (const CQ& d : *unfolded) {
+      incremental_ok = incremental_ok && !d.HasNegation();
+    }
+  }
+  if (!incremental_ok) {
+    // Tier 3: full recomputation (recursive or negated views).
+    CCPI_RETURN_IF_ERROR(u.ApplyTo(&base_));
+    CCPI_ASSIGN_OR_RETURN(rows_, EvaluateGoal(view_, base_));
+    return ViewRefreshTier::kFull;
+  }
+
+  if (u.kind == Update::Kind::kInsert) {
+    // New derivations must use the inserted tuple at some occurrence:
+    // evaluate the delta rules over the post-insert state.
+    CCPI_RETURN_IF_ERROR(u.ApplyTo(&base_));
+    for (const CQ& d : *unfolded) {
+      for (Rule& rule : DeltaRules(d, u.pred, u.tuple)) {
+        Program delta;
+        delta.goal = rule.head.pred;
+        delta.rules.push_back(std::move(rule));
+        CCPI_ASSIGN_OR_RETURN(Relation derived,
+                              EvaluateGoal(delta, base_));
+        for (const Tuple& row : derived.rows()) rows_.Insert(row);
+      }
+    }
+    return ViewRefreshTier::kIncremental;
+  }
+
+  // Deletion: candidates are the view tuples with a derivation through the
+  // removed tuple (delta rules over the PRE-delete state); each candidate
+  // survives iff it is re-derivable afterwards.
+  Relation candidates(rows_.arity());
+  for (const CQ& d : *unfolded) {
+    for (Rule& rule : DeltaRules(d, u.pred, u.tuple)) {
+      Program delta;
+      delta.goal = rule.head.pred;
+      delta.rules.push_back(std::move(rule));
+      CCPI_ASSIGN_OR_RETURN(Relation derived, EvaluateGoal(delta, base_));
+      for (const Tuple& row : derived.rows()) candidates.Insert(row);
+    }
+  }
+  CCPI_RETURN_IF_ERROR(u.ApplyTo(&base_));
+  for (const Tuple& row : candidates.rows()) {
+    CCPI_ASSIGN_OR_RETURN(bool still, IsDerivable(*unfolded, row, base_));
+    if (!still) rows_.Erase(row);
+  }
+  return ViewRefreshTier::kIncremental;
+}
+
+}  // namespace ccpi

@@ -1,0 +1,81 @@
+#ifndef CCPI_MANAGER_VIEW_MAINT_H_
+#define CCPI_MANAGER_VIEW_MAINT_H_
+
+#include <string>
+
+#include "datalog/ast.h"
+#include "relational/database.h"
+#include "updates/update.h"
+#include "util/outcome.h"
+#include "util/status.h"
+
+namespace ccpi {
+
+/// Application 3 of the paper (Section 2): view maintenance in the style of
+/// Tompa–Blakeley and Blakeley–Coburn–Larson — "whether and how updates to
+/// D can affect the value of a view V".
+///
+/// IrrelevantUpdate decides, from the view definition and the update alone
+/// (no data), whether the update provably cannot change the view: the
+/// rewritten view (V after the update, expressed over the pre-update state)
+/// must be contained in V and vice versa. kHolds means the materialized
+/// view needs no refresh.
+Result<Outcome> IrrelevantUpdate(const Program& view, const Update& u);
+
+/// The reference maintainer: evaluates the view before and after applying
+/// `u` to a copy of `db` and reports whether the materialization changed.
+/// Used to validate IrrelevantUpdate (an irrelevant update must never
+/// change the view on any database).
+Result<bool> ViewChanges(const Program& view, const Update& u,
+                         const Database& db);
+
+/// How a MaterializedView refresh was resolved — mirroring the paper's
+/// information hierarchy applied to views.
+enum class ViewRefreshTier {
+  kIrrelevant,   // decided from the definition + update, no data touched
+  kIncremental,  // delta rules evaluated (only tuples involving the update)
+  kFull,         // full recomputation
+};
+
+const char* ViewRefreshTierToString(ViewRefreshTier tier);
+
+/// A materialized view maintained incrementally under single-tuple updates
+/// (application 3 of the paper; counting-free delta derivation in the
+/// style of the cited Ceri–Widom / Blakeley et al. work).
+///
+/// Refresh policy per update:
+///  1. if IrrelevantUpdate proves the view unchanged, do nothing;
+///  2. else, for *nonrecursive, negation-free* views, evaluate delta rules:
+///     insertions derive new tuples from rules with one occurrence of the
+///     updated predicate bound to the new tuple; deletions re-derive the
+///     candidate tuples that depended on the removed one;
+///  3. otherwise recompute from scratch.
+class MaterializedView {
+ public:
+  /// `view` is a program whose goal predicate defines the view.
+  static Result<MaterializedView> Create(Program view, const Database& db);
+
+  const Relation& rows() const { return rows_; }
+  const Program& definition() const { return view_; }
+
+  /// Applies `u` to its copy of the base data and refreshes the
+  /// materialization; returns which tier resolved the refresh.
+  Result<ViewRefreshTier> Apply(const Update& u);
+
+  /// The maintainer's base-data replica (for tests and demos).
+  const Database& base() const { return base_; }
+
+ private:
+  MaterializedView(Program view, Database base, Relation rows)
+      : view_(std::move(view)), base_(std::move(base)), rows_(std::move(rows)) {}
+
+  Result<ViewRefreshTier> RefreshAfter(const Update& u);
+
+  Program view_;
+  Database base_;
+  Relation rows_{0};
+};
+
+}  // namespace ccpi
+
+#endif  // CCPI_MANAGER_VIEW_MAINT_H_

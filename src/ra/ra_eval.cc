@@ -1,0 +1,101 @@
+#include "ra/ra_eval.h"
+
+#include "util/check.h"
+
+namespace ccpi {
+
+namespace {
+
+Value OperandValue(const RaOperand& op, const Tuple& t) {
+  return op.is_col ? t[op.col] : op.constant;
+}
+
+bool Holds(const std::vector<RaCondition>& conds, const Tuple& t) {
+  for (const RaCondition& c : conds) {
+    if (!EvalCmp(OperandValue(c.lhs, t), c.op, OperandValue(c.rhs, t))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<Relation> EvalRa(const RaExpr& expr, const Database& db,
+                        AccessObserver* observer) {
+  switch (expr.kind()) {
+    case RaExpr::Kind::kScan: {
+      const Relation& rel = db.Get(expr.pred(), expr.arity());
+      if (rel.arity() != expr.arity()) {
+        return Status::InvalidArgument("scan arity mismatch on " +
+                                       expr.pred());
+      }
+      if (observer != nullptr) observer->OnRead(expr.pred(), rel.size());
+      return rel;
+    }
+    case RaExpr::Kind::kConstRel: {
+      Relation out(expr.arity());
+      for (const Tuple& t : expr.tuples()) out.Insert(t);
+      return out;
+    }
+    case RaExpr::Kind::kSelect: {
+      CCPI_ASSIGN_OR_RETURN(Relation child,
+                            EvalRa(*expr.left(), db, observer));
+      Relation out(expr.arity());
+      for (const Tuple& t : child.rows()) {
+        if (Holds(expr.conditions(), t)) out.Insert(t);
+      }
+      return out;
+    }
+    case RaExpr::Kind::kProject: {
+      CCPI_ASSIGN_OR_RETURN(Relation child,
+                            EvalRa(*expr.left(), db, observer));
+      Relation out(expr.arity());
+      for (const Tuple& t : child.rows()) {
+        Tuple projected;
+        projected.reserve(expr.columns().size());
+        for (size_t c : expr.columns()) projected.push_back(t[c]);
+        out.Insert(std::move(projected));
+      }
+      return out;
+    }
+    case RaExpr::Kind::kProduct: {
+      CCPI_ASSIGN_OR_RETURN(Relation l, EvalRa(*expr.left(), db, observer));
+      CCPI_ASSIGN_OR_RETURN(Relation r, EvalRa(*expr.right(), db, observer));
+      Relation out(expr.arity());
+      for (const Tuple& a : l.rows()) {
+        for (const Tuple& b : r.rows()) {
+          Tuple combined = a;
+          combined.insert(combined.end(), b.begin(), b.end());
+          out.Insert(std::move(combined));
+        }
+      }
+      return out;
+    }
+    case RaExpr::Kind::kUnion: {
+      CCPI_ASSIGN_OR_RETURN(Relation l, EvalRa(*expr.left(), db, observer));
+      CCPI_ASSIGN_OR_RETURN(Relation r, EvalRa(*expr.right(), db, observer));
+      Relation out = std::move(l);
+      for (const Tuple& t : r.rows()) out.Insert(t);
+      return out;
+    }
+    case RaExpr::Kind::kDifference: {
+      CCPI_ASSIGN_OR_RETURN(Relation l, EvalRa(*expr.left(), db, observer));
+      CCPI_ASSIGN_OR_RETURN(Relation r, EvalRa(*expr.right(), db, observer));
+      Relation out(expr.arity());
+      for (const Tuple& t : l.rows()) {
+        if (!r.Contains(t)) out.Insert(t);
+      }
+      return out;
+    }
+  }
+  return Status::Internal("unknown RA node kind");
+}
+
+Result<bool> RaNonempty(const RaExpr& expr, const Database& db,
+                        AccessObserver* observer) {
+  CCPI_ASSIGN_OR_RETURN(Relation rel, EvalRa(expr, db, observer));
+  return !rel.empty();
+}
+
+}  // namespace ccpi

@@ -1,0 +1,25 @@
+#ifndef CCPI_RA_RA_EVAL_H_
+#define CCPI_RA_RA_EVAL_H_
+
+#include "eval/engine.h"
+#include "ra/ra_expr.h"
+#include "relational/database.h"
+#include "util/status.h"
+
+namespace ccpi {
+
+/// Evaluates an RA expression against `db`. Scans of absent relations see
+/// the empty relation. If `observer` is non-null it is told how many tuples
+/// of each base relation were read — the complete local tests of Theorem
+/// 5.3 run entirely over the local relation, and the benchmark harness uses
+/// this hook to demonstrate it.
+Result<Relation> EvalRa(const RaExpr& expr, const Database& db,
+                        AccessObserver* observer = nullptr);
+
+/// Nonemptiness — the form in which Theorem 5.3 phrases its test.
+Result<bool> RaNonempty(const RaExpr& expr, const Database& db,
+                        AccessObserver* observer = nullptr);
+
+}  // namespace ccpi
+
+#endif  // CCPI_RA_RA_EVAL_H_

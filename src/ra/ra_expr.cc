@@ -1,0 +1,114 @@
+#include "ra/ra_expr.h"
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace ccpi {
+
+RaExprPtr RaExpr::Scan(std::string pred, size_t arity) {
+  auto e = std::shared_ptr<RaExpr>(new RaExpr());
+  e->kind_ = Kind::kScan;
+  e->pred_ = std::move(pred);
+  e->arity_ = arity;
+  return e;
+}
+
+RaExprPtr RaExpr::ConstRel(size_t arity, std::vector<Tuple> tuples) {
+  auto e = std::shared_ptr<RaExpr>(new RaExpr());
+  e->kind_ = Kind::kConstRel;
+  e->arity_ = arity;
+  for (const Tuple& t : tuples) CCPI_CHECK(t.size() == arity);
+  e->tuples_ = std::move(tuples);
+  return e;
+}
+
+RaExprPtr RaExpr::Select(RaExprPtr child, std::vector<RaCondition> conds) {
+  CCPI_CHECK(child != nullptr);
+  for (const RaCondition& c : conds) {
+    CCPI_CHECK(!c.lhs.is_col || c.lhs.col < child->arity());
+    CCPI_CHECK(!c.rhs.is_col || c.rhs.col < child->arity());
+  }
+  auto e = std::shared_ptr<RaExpr>(new RaExpr());
+  e->kind_ = Kind::kSelect;
+  e->arity_ = child->arity();
+  e->left_ = std::move(child);
+  e->conditions_ = std::move(conds);
+  return e;
+}
+
+RaExprPtr RaExpr::Project(RaExprPtr child, std::vector<size_t> cols) {
+  CCPI_CHECK(child != nullptr);
+  for (size_t c : cols) CCPI_CHECK(c < child->arity());
+  auto e = std::shared_ptr<RaExpr>(new RaExpr());
+  e->kind_ = Kind::kProject;
+  e->arity_ = cols.size();
+  e->left_ = std::move(child);
+  e->columns_ = std::move(cols);
+  return e;
+}
+
+RaExprPtr RaExpr::Product(RaExprPtr left, RaExprPtr right) {
+  CCPI_CHECK(left != nullptr && right != nullptr);
+  auto e = std::shared_ptr<RaExpr>(new RaExpr());
+  e->kind_ = Kind::kProduct;
+  e->arity_ = left->arity() + right->arity();
+  e->left_ = std::move(left);
+  e->right_ = std::move(right);
+  return e;
+}
+
+RaExprPtr RaExpr::Union(RaExprPtr left, RaExprPtr right) {
+  CCPI_CHECK(left != nullptr && right != nullptr);
+  CCPI_CHECK(left->arity() == right->arity());
+  auto e = std::shared_ptr<RaExpr>(new RaExpr());
+  e->kind_ = Kind::kUnion;
+  e->arity_ = left->arity();
+  e->left_ = std::move(left);
+  e->right_ = std::move(right);
+  return e;
+}
+
+RaExprPtr RaExpr::Difference(RaExprPtr left, RaExprPtr right) {
+  CCPI_CHECK(left != nullptr && right != nullptr);
+  CCPI_CHECK(left->arity() == right->arity());
+  auto e = std::shared_ptr<RaExpr>(new RaExpr());
+  e->kind_ = Kind::kDifference;
+  e->arity_ = left->arity();
+  e->left_ = std::move(left);
+  e->right_ = std::move(right);
+  return e;
+}
+
+std::string RaExpr::ToString() const {
+  switch (kind_) {
+    case Kind::kScan:
+      return pred_;
+    case Kind::kConstRel: {
+      std::vector<std::string> parts;
+      parts.reserve(tuples_.size());
+      for (const Tuple& t : tuples_) parts.push_back(TupleToString(t));
+      return "{" + Join(parts, ", ") + "}";
+    }
+    case Kind::kSelect: {
+      std::vector<std::string> parts;
+      parts.reserve(conditions_.size());
+      for (const RaCondition& c : conditions_) parts.push_back(c.ToString());
+      return "sigma[" + Join(parts, " & ") + "](" + left_->ToString() + ")";
+    }
+    case Kind::kProject: {
+      std::vector<std::string> parts;
+      parts.reserve(columns_.size());
+      for (size_t c : columns_) parts.push_back("#" + std::to_string(c + 1));
+      return "pi[" + Join(parts, ",") + "](" + left_->ToString() + ")";
+    }
+    case Kind::kProduct:
+      return "(" + left_->ToString() + " x " + right_->ToString() + ")";
+    case Kind::kUnion:
+      return "(" + left_->ToString() + " U " + right_->ToString() + ")";
+    case Kind::kDifference:
+      return "(" + left_->ToString() + " - " + right_->ToString() + ")";
+  }
+  return "?";
+}
+
+}  // namespace ccpi

@@ -1,0 +1,99 @@
+#ifndef CCPI_RA_RA_EXPR_H_
+#define CCPI_RA_RA_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "datalog/ast.h"
+#include "relational/tuple.h"
+
+namespace ccpi {
+
+/// One side of a selection/join condition: a column (positional) or a
+/// constant.
+struct RaOperand {
+  static RaOperand Col(size_t col) { return RaOperand{true, col, Value()}; }
+  static RaOperand Const(Value v) {
+    return RaOperand{false, 0, std::move(v)};
+  }
+
+  bool is_col;
+  size_t col;
+  Value constant;
+
+  std::string ToString() const {
+    return is_col ? "#" + std::to_string(col + 1) : constant.ToString();
+  }
+};
+
+/// An atomic condition `lhs op rhs` on the columns of one intermediate
+/// relation.
+struct RaCondition {
+  RaOperand lhs;
+  CmpOp op;
+  RaOperand rhs;
+
+  std::string ToString() const {
+    return lhs.ToString() + CmpOpToString(op) + rhs.ToString();
+  }
+};
+
+class RaExpr;
+using RaExprPtr = std::shared_ptr<const RaExpr>;
+
+/// An immutable relational algebra expression. Theorem 5.3 constructs
+/// expressions of the shape  UNION_i  SELECT_{cond_i}(L) ; the full operator
+/// set (project / product / difference) supports the rest of the library
+/// and the examples.
+class RaExpr {
+ public:
+  enum class Kind {
+    kScan,        // a named base relation
+    kConstRel,    // a literal set of tuples
+    kSelect,      // sigma_cond(child)
+    kProject,     // pi_cols(child)
+    kProduct,     // left x right
+    kUnion,       // left U right (same arity)
+    kDifference,  // left - right (same arity)
+  };
+
+  static RaExprPtr Scan(std::string pred, size_t arity);
+  static RaExprPtr ConstRel(size_t arity, std::vector<Tuple> tuples);
+  static RaExprPtr Select(RaExprPtr child, std::vector<RaCondition> conds);
+  static RaExprPtr Project(RaExprPtr child, std::vector<size_t> cols);
+  static RaExprPtr Product(RaExprPtr left, RaExprPtr right);
+  static RaExprPtr Union(RaExprPtr left, RaExprPtr right);
+  static RaExprPtr Difference(RaExprPtr left, RaExprPtr right);
+
+  /// The empty relation of the given arity.
+  static RaExprPtr Empty(size_t arity) { return ConstRel(arity, {}); }
+
+  Kind kind() const { return kind_; }
+  size_t arity() const { return arity_; }
+  const std::string& pred() const { return pred_; }
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+  const RaExprPtr& left() const { return left_; }
+  const RaExprPtr& right() const { return right_; }
+  const std::vector<RaCondition>& conditions() const { return conditions_; }
+  const std::vector<size_t>& columns() const { return columns_; }
+
+  /// Textbook rendering, e.g. "sigma[#1=a & #2=#3](L) U sigma[#1=b](L)".
+  std::string ToString() const;
+
+ private:
+  RaExpr() = default;
+
+  Kind kind_ = Kind::kScan;
+  size_t arity_ = 0;
+  std::string pred_;
+  std::vector<Tuple> tuples_;
+  RaExprPtr left_;
+  RaExprPtr right_;
+  std::vector<RaCondition> conditions_;
+  std::vector<size_t> columns_;
+};
+
+}  // namespace ccpi
+
+#endif  // CCPI_RA_RA_EXPR_H_

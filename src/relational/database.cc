@@ -1,0 +1,64 @@
+#include "relational/database.h"
+
+namespace ccpi {
+
+Status Database::Insert(const std::string& pred, Tuple t) {
+  auto it = rels_.find(pred);
+  if (it == rels_.end()) {
+    it = rels_.emplace(pred, Relation(t.size())).first;
+  } else if (it->second.arity() != t.size()) {
+    return Status::InvalidArgument("arity mismatch inserting into " + pred);
+  }
+  it->second.Insert(std::move(t));
+  return Status::OK();
+}
+
+Status Database::Erase(const std::string& pred, const Tuple& t) {
+  auto it = rels_.find(pred);
+  if (it == rels_.end()) return Status::OK();
+  if (it->second.arity() != t.size()) {
+    return Status::InvalidArgument("arity mismatch erasing from " + pred);
+  }
+  it->second.Erase(t);
+  return Status::OK();
+}
+
+bool Database::Contains(const std::string& pred, const Tuple& t) const {
+  auto it = rels_.find(pred);
+  return it != rels_.end() && it->second.Contains(t);
+}
+
+const Relation& Database::Get(const std::string& pred, size_t arity) const {
+  auto it = rels_.find(pred);
+  if (it != rels_.end()) return it->second;
+  auto [e, inserted] = empties_.try_emplace(arity, Relation(arity));
+  (void)inserted;
+  return e->second;
+}
+
+Relation* Database::GetMutable(const std::string& pred, size_t arity) {
+  auto it = rels_.find(pred);
+  if (it == rels_.end()) it = rels_.emplace(pred, Relation(arity)).first;
+  return &it->second;
+}
+
+std::vector<std::string> Database::PredicateNames() const {
+  std::vector<std::string> names;
+  names.reserve(rels_.size());
+  for (const auto& [name, rel] : rels_) names.push_back(name);
+  return names;
+}
+
+size_t Database::TotalTuples() const {
+  size_t n = 0;
+  for (const auto& [name, rel] : rels_) n += rel.size();
+  return n;
+}
+
+std::string Database::ToString() const {
+  std::string out;
+  for (const auto& [name, rel] : rels_) out += rel.ToString(name);
+  return out;
+}
+
+}  // namespace ccpi

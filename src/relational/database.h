@@ -1,0 +1,58 @@
+#ifndef CCPI_RELATIONAL_DATABASE_H_
+#define CCPI_RELATIONAL_DATABASE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "relational/relation.h"
+#include "util/status.h"
+
+namespace ccpi {
+
+/// A named collection of relations: predicate name -> Relation.
+///
+/// Predicates are created on first mention with the arity of that mention;
+/// subsequent mentions must agree. A predicate that was never mentioned is
+/// treated as an empty relation of the arity the reader asks for, which is
+/// exactly the paper's convention (a missing EDB relation is empty).
+class Database {
+ public:
+  Database() = default;
+
+  /// Inserts `t` into `pred`, creating the relation if needed.
+  /// Returns InvalidArgument on arity mismatch with an existing relation,
+  /// otherwise OK (idempotent for duplicate tuples).
+  Status Insert(const std::string& pred, Tuple t);
+
+  /// Erases `t` from `pred` if present.
+  Status Erase(const std::string& pred, const Tuple& t);
+
+  bool Contains(const std::string& pred, const Tuple& t) const;
+
+  /// The relation for `pred`, or an empty relation of `arity` if absent.
+  const Relation& Get(const std::string& pred, size_t arity) const;
+
+  /// Mutable relation for `pred`, created with `arity` if absent.
+  Relation* GetMutable(const std::string& pred, size_t arity);
+
+  bool Has(const std::string& pred) const { return rels_.count(pred) > 0; }
+
+  /// Names of all predicates with at least one recorded relation (possibly
+  /// empty after erasures), in sorted order.
+  std::vector<std::string> PredicateNames() const;
+
+  /// Total number of tuples across all relations.
+  size_t TotalTuples() const;
+
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, Relation> rels_;
+  // Arity-keyed empty relations handed out by the const Get.
+  mutable std::map<size_t, Relation> empties_;
+};
+
+}  // namespace ccpi
+
+#endif  // CCPI_RELATIONAL_DATABASE_H_

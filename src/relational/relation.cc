@@ -1,0 +1,63 @@
+#include "relational/relation.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace ccpi {
+
+const std::vector<size_t> Relation::kEmptyPosting;
+
+bool Relation::Insert(Tuple t) {
+  CCPI_CHECK(t.size() == arity_);
+  auto [it, inserted] = set_.insert(t);
+  (void)it;
+  if (!inserted) return false;
+  rows_.push_back(std::move(t));
+  InvalidateIndexes();
+  return true;
+}
+
+bool Relation::Erase(const Tuple& t) {
+  if (set_.erase(t) == 0) return false;
+  auto pos = std::find(rows_.begin(), rows_.end(), t);
+  CCPI_CHECK(pos != rows_.end());
+  rows_.erase(pos);
+  InvalidateIndexes();
+  return true;
+}
+
+bool Relation::Contains(const Tuple& t) const { return set_.count(t) > 0; }
+
+const std::vector<size_t>& Relation::Probe(size_t col, const Value& v) const {
+  CCPI_CHECK(col < arity_);
+  auto [it, built] = indexes_.try_emplace(col);
+  if (built) {
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      it->second[rows_[i][col]].push_back(i);
+    }
+  }
+  auto posting = it->second.find(v);
+  if (posting == it->second.end()) return kEmptyPosting;
+  return posting->second;
+}
+
+void Relation::Clear() {
+  rows_.clear();
+  set_.clear();
+  InvalidateIndexes();
+}
+
+void Relation::InvalidateIndexes() { indexes_.clear(); }
+
+std::string Relation::ToString(const std::string& name) const {
+  std::string out;
+  for (const Tuple& t : rows_) {
+    out += name;
+    out += TupleToString(t);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace ccpi

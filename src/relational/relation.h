@@ -1,0 +1,65 @@
+#ifndef CCPI_RELATIONAL_RELATION_H_
+#define CCPI_RELATIONAL_RELATION_H_
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "relational/tuple.h"
+#include "util/status.h"
+
+namespace ccpi {
+
+/// A set of tuples of a fixed arity, with optional per-column hash indexes.
+///
+/// The store keeps insertion order (benchmarks iterate deterministically) and
+/// a hash set for O(1) duplicate elimination and membership. Column indexes
+/// are built lazily on first probe and invalidated by mutation; the
+/// evaluation engine uses them for index-nested-loop joins.
+class Relation {
+ public:
+  explicit Relation(size_t arity) : arity_(arity) {}
+
+  size_t arity() const { return arity_; }
+  size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  /// Adds a tuple; returns true if it was not already present.
+  /// Aborts if the arity does not match (programming error).
+  bool Insert(Tuple t);
+
+  /// Removes a tuple; returns true if it was present.
+  bool Erase(const Tuple& t);
+
+  bool Contains(const Tuple& t) const;
+
+  /// Stable snapshot of the rows in insertion order (erased rows removed).
+  const std::vector<Tuple>& rows() const { return rows_; }
+
+  /// Row indexes whose column `col` equals `v`. Builds the column index on
+  /// first use. `col` must be < arity().
+  const std::vector<size_t>& Probe(size_t col, const Value& v) const;
+
+  /// Removes all tuples.
+  void Clear();
+
+  std::string ToString(const std::string& name) const;
+
+ private:
+  void InvalidateIndexes();
+
+  size_t arity_;
+  std::vector<Tuple> rows_;
+  std::unordered_set<Tuple, TupleHash> set_;
+  // indexes_[col] maps value -> row positions in rows_.
+  mutable std::unordered_map<
+      size_t, std::unordered_map<Value, std::vector<size_t>, ValueHash>>
+      indexes_;
+  static const std::vector<size_t> kEmptyPosting;
+};
+
+}  // namespace ccpi
+
+#endif  // CCPI_RELATIONAL_RELATION_H_

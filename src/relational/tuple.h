@@ -1,0 +1,40 @@
+#ifndef CCPI_RELATIONAL_TUPLE_H_
+#define CCPI_RELATIONAL_TUPLE_H_
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "relational/value.h"
+
+namespace ccpi {
+
+/// A row: an ordered sequence of constants. Tuples are plain values — cheap
+/// to copy for the short arities typical of constraints.
+using Tuple = std::vector<Value>;
+
+struct TupleHash {
+  size_t operator()(const Tuple& t) const {
+    size_t h = 0x84222325CBF29CE4ULL;
+    for (const Value& v : t) {
+      h ^= v.Hash();
+      h *= 0x100000001B3ULL;
+    }
+    return h;
+  }
+};
+
+/// Renders "(a, 3, b)" in the paper's notation.
+inline std::string TupleToString(const Tuple& t) {
+  std::string out = "(";
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += t[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace ccpi
+
+#endif  // CCPI_RELATIONAL_TUPLE_H_

@@ -1,0 +1,23 @@
+#include "relational/value.h"
+
+namespace ccpi {
+
+std::string Value::ToString() const {
+  if (is_int()) return std::to_string(AsInt());
+  return AsSymbol();
+}
+
+bool operator<(const Value& a, const Value& b) {
+  if (a.is_int() != b.is_int()) return a.is_int();  // ints below symbols
+  if (a.is_int()) return a.AsInt() < b.AsInt();
+  return a.AsSymbol() < b.AsSymbol();
+}
+
+size_t Value::Hash() const {
+  if (is_int()) {
+    return std::hash<int64_t>{}(AsInt()) * 0x9E3779B97F4A7C15ULL;
+  }
+  return std::hash<std::string>{}(AsSymbol());
+}
+
+}  // namespace ccpi

@@ -1,0 +1,67 @@
+#ifndef CCPI_RELATIONAL_VALUE_H_
+#define CCPI_RELATIONAL_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <variant>
+
+namespace ccpi {
+
+/// A database constant: a 64-bit integer or a symbol (interned as a string).
+///
+/// The paper's constraint language compares constants with a total order
+/// (Section 5 assumes "<= is a total order"). We realize that order as:
+/// integers by numeric value, symbols lexicographically, and every integer
+/// below every symbol. Only the *order* of values is ever observable to the
+/// constraint-checking algorithms, so the cross-type convention is harmless;
+/// it merely makes the order total.
+class Value {
+ public:
+  Value() : rep_(int64_t{0}) {}
+  explicit Value(int64_t v) : rep_(v) {}
+  explicit Value(std::string s) : rep_(std::move(s)) {}
+  explicit Value(const char* s) : rep_(std::string(s)) {}
+
+  bool is_int() const { return std::holds_alternative<int64_t>(rep_); }
+  bool is_symbol() const { return !is_int(); }
+
+  /// Requires is_int().
+  int64_t AsInt() const { return std::get<int64_t>(rep_); }
+  /// Requires is_symbol().
+  const std::string& AsSymbol() const { return std::get<std::string>(rep_); }
+
+  /// Renders the value in the paper's syntax: bare integer or bare symbol.
+  std::string ToString() const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.rep_ == b.rep_;
+  }
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+  /// Total order described in the class comment.
+  friend bool operator<(const Value& a, const Value& b);
+  friend bool operator<=(const Value& a, const Value& b) { return !(b < a); }
+  friend bool operator>(const Value& a, const Value& b) { return b < a; }
+  friend bool operator>=(const Value& a, const Value& b) { return !(a < b); }
+
+  size_t Hash() const;
+
+ private:
+  std::variant<int64_t, std::string> rep_;
+};
+
+/// Convenience factories used pervasively by tests and examples. The int
+/// overload keeps literals like V(0) unambiguous (0 is also a null pointer
+/// constant, which would otherwise match the const char* overload).
+inline Value V(int64_t v) { return Value(v); }
+inline Value V(int v) { return Value(static_cast<int64_t>(v)); }
+inline Value V(const char* s) { return Value(s); }
+inline Value V(std::string s) { return Value(std::move(s)); }
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace ccpi
+
+#endif  // CCPI_RELATIONAL_VALUE_H_

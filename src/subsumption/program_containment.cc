@@ -1,0 +1,137 @@
+#include "subsumption/program_containment.h"
+
+#include "containment/cq_containment.h"
+#include "containment/cqc.h"
+#include "containment/exact.h"
+#include "containment/normalize.h"
+#include "containment/uniform_recursive.h"
+#include "datalog/simplify.h"
+#include "datalog/unfold.h"
+
+namespace ccpi {
+
+Result<ContainmentDecision> ProgramContainedInUnion(
+    const Program& p, const std::vector<Program>& qs) {
+  bool recursive = p.IsRecursive();
+  for (const Program& q : qs) recursive = recursive || q.IsRecursive();
+  if (recursive) {
+    // Ordinary containment is undecidable for a recursive subsumed side
+    // (Shmueli [1987]) and 3EXPTIME for nonrecursive-in-recursive
+    // (Chaudhuri and Vardi [1992]). Uniform containment (Sagiv [1988]) is
+    // decidable and SOUND for ordinary containment, so a "holds" verdict
+    // is trustworthy; otherwise the answer is genuinely unknown.
+    //
+    // Structural equality shortcut first: merging renames each program's
+    // helper predicates apart (necessary for soundness when different
+    // constraints reuse a helper name), which hides p's own helpers from
+    // the chase when p literally appears in the union.
+    for (const Program& q : qs) {
+      if (q.goal == p.goal && q.ToString() == p.ToString()) {
+        ContainmentDecision decision;
+        decision.outcome = Outcome::kHolds;
+        decision.exact = false;
+        decision.method = "structural-identity";
+        return decision;
+      }
+    }
+    Result<Outcome> uniform =
+        UniformDatalogContained(p, MergeConstraintPrograms(qs));
+    if (!uniform.ok()) {
+      return Status::Unsupported(
+          "recursive containment: uniform-containment fallback "
+          "inapplicable (" +
+          uniform.status().message() + ")");
+    }
+    ContainmentDecision decision;
+    decision.outcome = *uniform;
+    decision.exact = false;
+    decision.method = "uniform-containment-chase";
+    return decision;
+  }
+
+  // Unfold to unions of CQs and simplify each disjunct (substituting
+  // equality bindings, dropping dead branches). Dead left disjuncts are
+  // trivially contained; dead right disjuncts contribute nothing.
+  CCPI_ASSIGN_OR_RETURN(UCQ up_raw, UnfoldToUCQ(p));
+  UCQ up;
+  for (const CQ& d : up_raw) {
+    std::optional<CQ> s = SimplifyCQ(d);
+    if (s.has_value()) up.push_back(std::move(*s));
+  }
+  UCQ uq;
+  for (const Program& q : qs) {
+    CCPI_ASSIGN_OR_RETURN(UCQ u, UnfoldToUCQ(q));
+    for (const CQ& d : u) {
+      std::optional<CQ> s = SimplifyCQ(d);
+      if (s.has_value()) uq.push_back(std::move(*s));
+    }
+  }
+
+  bool negation = false;
+  bool arithmetic = false;
+  for (const UCQ* u : {&up, &uq}) {
+    for (const CQ& d : *u) {
+      negation = negation || d.HasNegation();
+      arithmetic = arithmetic || d.HasArithmetic();
+    }
+  }
+
+  ContainmentDecision decision;
+  if (!negation && !arithmetic) {
+    CCPI_ASSIGN_OR_RETURN(bool contained, UcqContained(up, uq));
+    decision.outcome = contained ? Outcome::kHolds : Outcome::kUnknown;
+    decision.exact = true;
+    decision.method = "ucq-containment";
+    return decision;
+  }
+  if (!negation) {
+    // Theorem 5.1 (union form) after normalizing to its preconditions.
+    UCQ uq_norm;
+    uq_norm.reserve(uq.size());
+    for (const CQ& d : uq) uq_norm.push_back(NormalizeToTheorem51Form(d));
+    bool all = true;
+    bool exact = true;
+    for (const CQ& d : up) {
+      bool member_exact = true;
+      CCPI_ASSIGN_OR_RETURN(
+          bool contained,
+          CqcContainedInUnionRelaxed(NormalizeToTheorem51Form(d), uq_norm,
+                                     &member_exact));
+      exact = exact && member_exact;
+      if (!contained) {
+        all = false;
+        break;
+      }
+    }
+    decision.outcome = all ? Outcome::kHolds : Outcome::kUnknown;
+    decision.exact = all || exact;  // a "holds" answer is always correct
+    decision.method = "theorem-5.1";
+    return decision;
+  }
+  // Negation present: exact small-model oracle if it fits, else the sound
+  // uniform-containment test.
+  Result<bool> exact = ExactUcqContained(up, uq);
+  if (exact.ok()) {
+    decision.outcome = *exact ? Outcome::kHolds : Outcome::kUnknown;
+    decision.exact = true;
+    decision.method = "exact-oracle";
+    return decision;
+  }
+  if (exact.status().code() != StatusCode::kUnsupported) {
+    return exact.status();
+  }
+  bool all = true;
+  for (const CQ& d : up) {
+    CCPI_ASSIGN_OR_RETURN(Outcome o, UniformContainedInUnion(d, uq));
+    if (o != Outcome::kHolds) {
+      all = false;
+      break;
+    }
+  }
+  decision.outcome = all ? Outcome::kHolds : Outcome::kUnknown;
+  decision.exact = false;
+  decision.method = "uniform-containment";
+  return decision;
+}
+
+}  // namespace ccpi

@@ -1,0 +1,42 @@
+#ifndef CCPI_SUBSUMPTION_PROGRAM_CONTAINMENT_H_
+#define CCPI_SUBSUMPTION_PROGRAM_CONTAINMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "datalog/ast.h"
+#include "util/outcome.h"
+#include "util/status.h"
+
+namespace ccpi {
+
+/// The verdict of a program-containment check, together with how it was
+/// reached. When `exact` is true the method was a decision procedure, so
+/// kUnknown really means "not contained"; when false the method was a sound
+/// test (uniform containment) and kUnknown means exactly that.
+struct ContainmentDecision {
+  Outcome outcome = Outcome::kUnknown;
+  bool exact = false;
+  std::string method;
+};
+
+/// Decides (or soundly tests) whether program `p` is contained in the union
+/// of programs `qs` — the single primitive behind constraint subsumption
+/// (Theorem 3.1) and the query-independent-of-update tests of Section 4.
+///
+/// Dispatch over the Fig 2.1 classes:
+///  * recursive on either side -> Unsupported (undecidable for a recursive
+///    subsumed side per Shmueli [1987]; the nonrecursive-in-recursive cases
+///    of Chaudhuri–Vardi are out of scope);
+///  * nonrecursive, negation-free, arithmetic-free -> Sagiv–Yannakakis
+///    per-disjunct UCQ containment (exact);
+///  * nonrecursive, negation-free, with arithmetic -> Theorem 5.1 in its
+///    union form after normalization (exact);
+///  * with negation -> the exact small-model oracle when it fits its
+///    limits, otherwise uniform containment (sound, may answer kUnknown).
+Result<ContainmentDecision> ProgramContainedInUnion(
+    const Program& p, const std::vector<Program>& qs);
+
+}  // namespace ccpi
+
+#endif  // CCPI_SUBSUMPTION_PROGRAM_CONTAINMENT_H_

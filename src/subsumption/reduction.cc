@@ -1,0 +1,73 @@
+#include "subsumption/reduction.h"
+
+namespace ccpi {
+
+namespace {
+
+/// Renames predicate `from` to `to` throughout the ordinary subgoals of q.
+CQ RenamePredicate(const CQ& q, const std::string& from,
+                   const std::string& to) {
+  CQ out = q;
+  if (out.head.pred == from) out.head.pred = to;
+  for (Atom& a : out.positives) {
+    if (a.pred == from) a.pred = to;
+  }
+  for (Atom& a : out.negatives) {
+    if (a.pred == from) a.pred = to;
+  }
+  return out;
+}
+
+bool BodyMentions(const CQ& q, const std::string& pred) {
+  for (const Atom& a : q.positives) {
+    if (a.pred == pred) return true;
+  }
+  for (const Atom& a : q.negatives) {
+    if (a.pred == pred) return true;
+  }
+  return false;
+}
+
+Program Reduce(const CQ& q, const std::string& head_name) {
+  CQ moved = q;
+  moved.head.pred = head_name;
+  Rule rule;
+  rule.head = Atom{kPanic, {}};
+  rule.body.push_back(Literal::Positive(moved.head));
+  for (const Atom& a : moved.positives) {
+    rule.body.push_back(Literal::Positive(a));
+  }
+  for (const Atom& a : moved.negatives) {
+    rule.body.push_back(Literal::Negated(a));
+  }
+  for (const Comparison& c : moved.comparisons) {
+    rule.body.push_back(Literal::Cmp(c));
+  }
+  Program program;
+  program.rules.push_back(std::move(rule));
+  return program;
+}
+
+std::string FreshHeadName(const CQ& q) {
+  std::string name = q.head.pred;
+  while (BodyMentions(q, name)) name += "_h";
+  return name;
+}
+
+}  // namespace
+
+Program ReduceContainmentToSubsumption(const CQ& q) {
+  return Reduce(q, FreshHeadName(q));
+}
+
+std::pair<Program, Program> ReducePairToSubsumption(const CQ& q,
+                                                    const CQ& r) {
+  // The rename must be consistent: pick a name fresh for both bodies.
+  std::string name = q.head.pred;
+  while (BodyMentions(q, name) || BodyMentions(r, name)) name += "_h";
+  CQ r_renamed = RenamePredicate(r, r.head.pred, r.head.pred);  // copy
+  r_renamed.head.pred = q.head.pred;  // containment requires equal heads
+  return {Reduce(q, name), Reduce(r_renamed, name)};
+}
+
+}  // namespace ccpi

@@ -1,0 +1,30 @@
+#ifndef CCPI_SUBSUMPTION_REDUCTION_H_
+#define CCPI_SUBSUMPTION_REDUCTION_H_
+
+#include <utility>
+
+#include "datalog/cq.h"
+#include "util/status.h"
+
+namespace ccpi {
+
+/// Theorem 3.2's reduction from query containment to constraint
+/// subsumption: for a CQ  h :- B,  rename the head predicate if it occurs
+/// in the body, then "move" the head into the body, producing the
+/// constraint  panic :- h & B. For CQs q and r,
+///     q is contained in r   iff   Reduce(q) is contained in Reduce(r),
+/// i.e. iff {Reduce(r)} subsumes Reduce(q). The rename uses a primed
+/// predicate name so a head predicate occurring in the body cannot absorb
+/// the moved head atom.
+///
+/// This shows constraint subsumption is as hard as containment for any CQ
+/// class closed under adding an ordinary subgoal (the paper's lower bound).
+Program ReduceContainmentToSubsumption(const CQ& q);
+
+/// Applies the reduction to both queries with a consistent head-predicate
+/// rename, returning (Reduce(q), Reduce(r)).
+std::pair<Program, Program> ReducePairToSubsumption(const CQ& q, const CQ& r);
+
+}  // namespace ccpi
+
+#endif  // CCPI_SUBSUMPTION_REDUCTION_H_

@@ -1,0 +1,35 @@
+#include "subsumption/subsumption.h"
+
+#include <set>
+
+namespace ccpi {
+
+Result<ContainmentDecision> Subsumes(const Program& c,
+                                     const std::vector<Program>& others) {
+  return ProgramContainedInUnion(c, others);
+}
+
+Result<std::vector<size_t>> FindRedundantConstraints(
+    const std::vector<Program>& constraints) {
+  std::vector<size_t> redundant;
+  std::set<size_t> removed;
+  for (size_t i = 0; i < constraints.size(); ++i) {
+    std::vector<Program> others;
+    for (size_t j = 0; j < constraints.size(); ++j) {
+      if (j != i && removed.count(j) == 0) others.push_back(constraints[j]);
+    }
+    if (others.empty()) continue;
+    Result<ContainmentDecision> decision = Subsumes(constraints[i], others);
+    if (!decision.ok()) {
+      if (decision.status().code() == StatusCode::kUnsupported) continue;
+      return decision.status();
+    }
+    if (decision->outcome == Outcome::kHolds) {
+      redundant.push_back(i);
+      removed.insert(i);
+    }
+  }
+  return redundant;
+}
+
+}  // namespace ccpi

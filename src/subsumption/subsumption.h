@@ -1,0 +1,34 @@
+#ifndef CCPI_SUBSUMPTION_SUBSUMPTION_H_
+#define CCPI_SUBSUMPTION_SUBSUMPTION_H_
+
+#include <vector>
+
+#include "datalog/ast.h"
+#include "subsumption/program_containment.h"
+#include "util/status.h"
+
+namespace ccpi {
+
+/// Section 3, Theorem 3.1: the constraint set {C1,...,Cn} subsumes C iff,
+/// viewed as programs, C is contained in C1 UNION ... UNION Cn. A subsumed
+/// constraint never needs checking: whenever it is violated, one of the
+/// others already is.
+///
+/// The outcome is kHolds ("subsumed"), or kUnknown; `exact` in the decision
+/// says whether kUnknown means "definitely not subsumed" (decision
+/// procedure ran) or "could not tell" (sound test only).
+Result<ContainmentDecision> Subsumes(const Program& c,
+                                     const std::vector<Program>& others);
+
+/// Returns the indexes of constraints in `constraints` that are subsumed by
+/// the remaining ones (greedy left-to-right sweep; each removed constraint
+/// is not used to justify removing later ones, so the surviving set still
+/// subsumes everything removed). Only exact "holds" verdicts trigger
+/// removal. Constraints whose subsumption check is Unsupported (e.g.
+/// recursive) are always kept.
+Result<std::vector<size_t>> FindRedundantConstraints(
+    const std::vector<Program>& constraints);
+
+}  // namespace ccpi
+
+#endif  // CCPI_SUBSUMPTION_SUBSUMPTION_H_

@@ -1,0 +1,18 @@
+#include "updates/independence.h"
+
+#include "updates/rewrite.h"
+
+namespace ccpi {
+
+Result<ContainmentDecision> HoldsAfterUpdate(
+    const Program& c, const Update& u,
+    const std::vector<Program>& assumed) {
+  CCPI_ASSIGN_OR_RETURN(Program rewritten, RewriteAfterUpdate(c, u));
+  std::vector<Program> rhs;
+  rhs.reserve(assumed.size() + 1);
+  rhs.push_back(c);
+  for (const Program& a : assumed) rhs.push_back(a);
+  return ProgramContainedInUnion(rewritten, rhs);
+}
+
+}  // namespace ccpi

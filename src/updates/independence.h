@@ -1,0 +1,29 @@
+#ifndef CCPI_UPDATES_INDEPENDENCE_H_
+#define CCPI_UPDATES_INDEPENDENCE_H_
+
+#include <vector>
+
+#include "datalog/ast.h"
+#include "subsumption/program_containment.h"
+#include "updates/update.h"
+#include "util/status.h"
+
+namespace ccpi {
+
+/// The level-2 test of the paper's information hierarchy ("query
+/// independent of update", Elkan [1990], Tompa and Blakeley [1988],
+/// Levy and Sagiv [1993]): given that constraint `c` — and possibly the
+/// `assumed` constraints — held before the update, is `c` guaranteed to
+/// hold after it, looking at no data at all?
+///
+/// Method (Section 4, approach 1): build C' = RewriteAfterUpdate(c, u),
+/// which holds before the update iff c holds after it, then test
+/// C' contained in (c UNION assumed). kHolds means the update cannot
+/// introduce a violation.
+Result<ContainmentDecision> HoldsAfterUpdate(
+    const Program& c, const Update& u,
+    const std::vector<Program>& assumed = {});
+
+}  // namespace ccpi
+
+#endif  // CCPI_UPDATES_INDEPENDENCE_H_

@@ -1,0 +1,139 @@
+#include "updates/preservation.h"
+
+#include "datalog/parser.h"
+#include "updates/rewrite.h"
+#include "updates/update.h"
+#include "util/check.h"
+
+namespace ccpi {
+
+namespace {
+
+/// A worst-case representative of the class: the updated predicate p
+/// occurs positively (negated-only occurrences would make some rewrites
+/// easier than the class guarantees) with arity 2 (arity-1 deletions
+/// collapse to a single inequality).
+Result<Program> Representative(const LanguageClass& cls) {
+  std::string text;
+  std::string extras;
+  if (cls.negation) extras += " & not s(X)";
+  if (cls.arithmetic) extras += " & X < Y";
+  switch (cls.shape) {
+    case Shape::kSingleCQ:
+      text = "panic :- p(X,Y) & q(Y,Z)" + extras + "\n";
+      break;
+    case Shape::kUnionCQ:
+      text = "panic :- p(X,Y) & q(Y,Z)" + extras +
+             "\n"
+             "panic :- q(X,X)\n";
+      break;
+    case Shape::kRecursive:
+      text =
+          "panic :- t(X,X)\n"
+          "t(X,Y) :- p(X,Y)" +
+          extras +
+          "\n"
+          "t(X,Y) :- t(X,Z) & t(Z,Y)\n";
+      break;
+  }
+  return ParseProgram(text);
+}
+
+struct Encoding {
+  std::string name;
+  Result<Program> (*rewrite)(const Program&, const Update&);
+};
+
+Result<Program> EncodeInsertHelper(const Program& c, const Update& u) {
+  return RewriteAfterInsert(c, u);
+}
+Result<Program> EncodeInsertInline(const Program& c, const Update& u) {
+  return RewriteAfterInsertInline(c, u);
+}
+Result<Program> EncodeDeleteComparisons(const Program& c, const Update& u) {
+  return RewriteAfterDelete(c, u, DeleteEncoding::kComparisons);
+}
+Result<Program> EncodeDeleteNegation(const Program& c, const Update& u) {
+  return RewriteAfterDelete(c, u, DeleteEncoding::kNegation);
+}
+
+Result<std::vector<PreservationCell>> Compute(
+    const Update& u, const std::vector<Encoding>& encodings,
+    const std::string& impossibility_note) {
+  std::vector<PreservationCell> cells;
+  for (const LanguageClass& cls : AllLanguageClasses()) {
+    CCPI_ASSIGN_OR_RETURN(Program rep, Representative(cls));
+    PreservationCell cell;
+    cell.cls = cls;
+    cell.representative = rep.ToString();
+    LanguageClass best;
+    bool have_best = false;
+    for (const Encoding& enc : encodings) {
+      CCPI_ASSIGN_OR_RETURN(Program rewritten, enc.rewrite(rep, u));
+      // Class membership is syntactic — nonrecursive datalog IS the
+      // union-of-CQs class (Sagiv–Yannakakis) — refined by the unfolded
+      // ExpressibleClass, which can collapse helper predicates back into a
+      // single CQ.
+      for (LanguageClass achieved :
+           {SyntacticClass(rewritten), ExpressibleClass(rewritten)}) {
+        if (!have_best || LanguageClassLeq(achieved, best)) {
+          best = achieved;
+          have_best = true;
+        }
+        if (LanguageClassLeq(achieved, cls)) {
+          cell.preserved = true;
+          cell.achieved_class = achieved.ToString();
+          cell.note = "via " + enc.name;
+          break;
+        }
+      }
+      if (cell.preserved) break;
+    }
+    if (!cell.preserved) {
+      cell.achieved_class = have_best ? best.ToString() : "-";
+      cell.note = impossibility_note;
+    }
+    cells.push_back(std::move(cell));
+  }
+  return cells;
+}
+
+}  // namespace
+
+Result<std::vector<PreservationCell>> ComputeInsertionPreservation() {
+  Update u = Update::Insert("p", {V(7), V(8)});
+  return Compute(
+      u,
+      {{"helper-predicate rules (Theorem 4.2)", &EncodeInsertHelper},
+       {"inline branching (Example 4.1)", &EncodeInsertInline}},
+      "not expressible in class: a positive occurrence of the updated "
+      "predicate forces a genuine union (Theorem 4.1 proves arithmetic or "
+      "extra rules unavoidable even with negation)");
+}
+
+Result<std::vector<PreservationCell>> ComputeDeletionPreservation() {
+  Update u = Update::Delete("p", {V(7), V(8)});
+  return Compute(
+      u,
+      {{"componentwise <> rules (Example 4.2)", &EncodeDeleteComparisons},
+       {"negated marker predicate (isJones trick)", &EncodeDeleteNegation}},
+      "not expressible in class: reflecting a deletion needs <> or "
+      "negation (Theorem 4.3); monotone classes cannot express it");
+}
+
+std::string RenderPreservationTable(const std::vector<PreservationCell>& cells,
+                                    const std::string& title) {
+  std::string out = title + "\n";
+  out += "  class              preserved  achieved-as        encoding/why\n";
+  for (const PreservationCell& cell : cells) {
+    std::string name = cell.cls.ToString();
+    name.resize(19, ' ');
+    std::string mark = cell.preserved ? "( YES )" : "  no   ";
+    std::string achieved = cell.achieved_class;
+    achieved.resize(18, ' ');
+    out += "  " + name + mark + "    " + achieved + " " + cell.note + "\n";
+  }
+  return out;
+}
+
+}  // namespace ccpi

@@ -1,0 +1,44 @@
+#ifndef CCPI_UPDATES_PRESERVATION_H_
+#define CCPI_UPDATES_PRESERVATION_H_
+
+#include <string>
+#include <vector>
+
+#include "datalog/language_class.h"
+#include "util/status.h"
+
+namespace ccpi {
+
+/// One cell of Fig 4.1 / Fig 4.2, computed rather than transcribed: a
+/// worst-case representative constraint of the class is rewritten with
+/// every encoding the library has, and the cell is "preserved" (circled)
+/// iff some encoding lands back inside the class.
+struct PreservationCell {
+  LanguageClass cls;
+  bool preserved = false;
+  /// The representative constraint exercised.
+  std::string representative;
+  /// The class of the best (smallest) rewriting achieved.
+  std::string achieved_class;
+  /// Which encoding achieved it, or why none can (Theorem 4.1 /
+  /// monotonicity for the uncircled cells).
+  std::string note;
+};
+
+/// Fig 4.1 — classes preserved under insertion. The paper circles the
+/// eight union-of-CQ and recursive classes; the four single-CQ classes are
+/// not preserved (Theorem 4.1 proves one instance exactly).
+Result<std::vector<PreservationCell>> ComputeInsertionPreservation();
+
+/// Fig 4.2 — classes preserved under deletion. The paper circles the six
+/// union/recursive classes having negation or arithmetic (Theorem 4.3).
+Result<std::vector<PreservationCell>> ComputeDeletionPreservation();
+
+/// ASCII rendering of a computed matrix in the layout of the paper's
+/// figures (used by bench_fig4_preservation and the docs).
+std::string RenderPreservationTable(const std::vector<PreservationCell>& cells,
+                                    const std::string& title);
+
+}  // namespace ccpi
+
+#endif  // CCPI_UPDATES_PRESERVATION_H_

@@ -1,0 +1,294 @@
+#include "updates/rewrite.h"
+
+#include <set>
+
+#include "util/check.h"
+
+namespace ccpi {
+
+namespace {
+
+/// A helper-predicate name not used by the program ("dept" -> "dept1").
+std::string FreshPredicate(const Program& c, const std::string& base) {
+  std::set<std::string> used = c.IdbPredicates();
+  for (const std::string& p : c.EdbPredicates()) used.insert(p);
+  std::string name = base + "1";
+  while (used.count(name) > 0) name += "1";
+  return name;
+}
+
+/// Renames every body occurrence of predicate `from` to `to`.
+Program RenameBodyPredicate(const Program& c, const std::string& from,
+                            const std::string& to) {
+  Program out = c;
+  for (Rule& r : out.rules) {
+    for (Literal& l : r.body) {
+      if (!l.is_comparison() && l.atom.pred == from) l.atom.pred = to;
+    }
+  }
+  return out;
+}
+
+bool MentionsPredicate(const Program& c, const std::string& pred) {
+  for (const Rule& r : c.rules) {
+    for (const Literal& l : r.body) {
+      if (!l.is_comparison() && l.atom.pred == pred) return true;
+    }
+  }
+  return false;
+}
+
+Status CheckUpdate(const Program& c, const Update& u) {
+  if (c.IdbPredicates().count(u.pred) > 0) {
+    return Status::InvalidArgument(
+        "updates apply to base (EDB) relations; " + u.pred +
+        " is derived by the constraint program");
+  }
+  for (const Rule& r : c.rules) {
+    for (const Literal& l : r.body) {
+      if (!l.is_comparison() && l.atom.pred == u.pred &&
+          l.atom.args.size() != u.tuple.size()) {
+        return Status::InvalidArgument("update arity mismatch on " + u.pred);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+/// Fresh variables V1..Vk for helper-rule heads.
+std::vector<Term> HelperVars(size_t arity) {
+  std::vector<Term> vars;
+  vars.reserve(arity);
+  for (size_t i = 0; i < arity; ++i) {
+    vars.push_back(Term::Var("V" + std::to_string(i + 1)));
+  }
+  return vars;
+}
+
+}  // namespace
+
+Result<Program> RewriteAfterInsert(const Program& c, const Update& u) {
+  CCPI_CHECK(u.kind == Update::Kind::kInsert);
+  CCPI_RETURN_IF_ERROR(CheckUpdate(c, u));
+  if (!MentionsPredicate(c, u.pred)) return c;  // trivially unaffected
+
+  std::string helper = FreshPredicate(c, u.pred);
+  Program out = RenameBodyPredicate(c, u.pred, helper);
+
+  // helper(V...) :- pred(V...)
+  std::vector<Term> vars = HelperVars(u.tuple.size());
+  Rule copy_rule;
+  copy_rule.head = Atom{helper, vars};
+  copy_rule.body.push_back(Literal::Positive(Atom{u.pred, vars}));
+  out.rules.push_back(std::move(copy_rule));
+
+  // helper(t)
+  Rule fact;
+  fact.head.pred = helper;
+  fact.head.args.reserve(u.tuple.size());
+  for (const Value& v : u.tuple) fact.head.args.push_back(Term::Const(v));
+  out.rules.push_back(std::move(fact));
+  return out;
+}
+
+Result<Program> RewriteAfterInsertInline(const Program& c, const Update& u) {
+  CCPI_CHECK(u.kind == Update::Kind::kInsert);
+  CCPI_RETURN_IF_ERROR(CheckUpdate(c, u));
+
+  Program out;
+  out.goal = c.goal;
+  for (const Rule& rule : c.rules) {
+    // Branch points: each positive occurrence chooses between the old
+    // relation and the inserted tuple; each negated occurrence stays and
+    // adds one "some component differs" disjunct choice.
+    std::vector<std::vector<Literal>> bodies = {{}};
+    for (const Literal& l : rule.body) {
+      std::vector<std::vector<Literal>> extended;
+      auto branch = [&](const std::vector<Literal>& additions) {
+        for (const auto& body : bodies) {
+          std::vector<Literal> next = body;
+          next.insert(next.end(), additions.begin(), additions.end());
+          extended.push_back(std::move(next));
+        }
+      };
+      if (l.is_comparison() || l.atom.pred != u.pred) {
+        branch({l});
+      } else if (l.is_positive()) {
+        // Old relation...
+        branch({l});
+        // ...or exactly the inserted tuple: args = t componentwise.
+        std::vector<Literal> equalities;
+        for (size_t i = 0; i < u.tuple.size(); ++i) {
+          equalities.push_back(Literal::Cmp(Comparison{
+              l.atom.args[i], CmpOp::kEq, Term::Const(u.tuple[i])}));
+        }
+        branch(equalities);
+      } else {
+        // not p1(args) = not p(args) AND NOT(args = t); the negated
+        // conjunction branches over which component differs.
+        std::vector<std::vector<Literal>> with_choice;
+        for (size_t i = 0; i < u.tuple.size(); ++i) {
+          for (const auto& body : bodies) {
+            std::vector<Literal> next = body;
+            next.push_back(l);
+            next.push_back(Literal::Cmp(Comparison{
+                l.atom.args[i], CmpOp::kNe, Term::Const(u.tuple[i])}));
+            with_choice.push_back(std::move(next));
+          }
+        }
+        if (u.tuple.empty()) {
+          // 0-ary: not p1() is simply false after inserting (); drop all
+          // branches of this rule.
+          with_choice.clear();
+        }
+        extended = std::move(with_choice);
+      }
+      bodies = std::move(extended);
+    }
+    for (auto& body : bodies) {
+      Rule r;
+      r.head = rule.head;
+      r.body = std::move(body);
+      out.rules.push_back(std::move(r));
+    }
+  }
+  return out;
+}
+
+Result<Program> RewriteAfterDelete(const Program& c, const Update& u,
+                                   DeleteEncoding encoding) {
+  CCPI_CHECK(u.kind == Update::Kind::kDelete);
+  CCPI_RETURN_IF_ERROR(CheckUpdate(c, u));
+  if (!MentionsPredicate(c, u.pred)) return c;
+
+  std::string helper = FreshPredicate(c, u.pred);
+  Program out = RenameBodyPredicate(c, u.pred, helper);
+  std::vector<Term> vars = HelperVars(u.tuple.size());
+
+  if (encoding == DeleteEncoding::kComparisons) {
+    // One rule per component: a tuple survives the deletion iff it differs
+    // from t somewhere (Example 4.2's emp1).
+    for (size_t i = 0; i < u.tuple.size(); ++i) {
+      Rule r;
+      r.head = Atom{helper, vars};
+      r.body.push_back(Literal::Positive(Atom{u.pred, vars}));
+      r.body.push_back(Literal::Cmp(
+          Comparison{vars[i], CmpOp::kNe, Term::Const(u.tuple[i])}));
+      out.rules.push_back(std::move(r));
+    }
+    // A 0-ary predicate minus its only tuple is empty: no helper rules.
+    return out;
+  }
+
+  // Negated-helper encoding ("isJones"): pred minus the deleted tuple.
+  std::string marker = FreshPredicate(out, "isdel_" + u.pred);
+  Rule r;
+  r.head = Atom{helper, vars};
+  r.body.push_back(Literal::Positive(Atom{u.pred, vars}));
+  r.body.push_back(Literal::Negated(Atom{marker, vars}));
+  out.rules.push_back(std::move(r));
+  Rule fact;
+  fact.head.pred = marker;
+  fact.head.args.reserve(u.tuple.size());
+  for (const Value& v : u.tuple) fact.head.args.push_back(Term::Const(v));
+  out.rules.push_back(std::move(fact));
+  return out;
+}
+
+Result<Program> RewriteAfterUpdate(const Program& c, const Update& u) {
+  if (u.kind == Update::Kind::kInsert) return RewriteAfterInsert(c, u);
+  return RewriteAfterDelete(c, u, DeleteEncoding::kComparisons);
+}
+
+Result<Program> RewriteAfterInsertBatch(const Program& c,
+                                        const std::string& pred,
+                                        const std::vector<Tuple>& tuples) {
+  if (tuples.empty()) return c;
+  for (const Tuple& t : tuples) {
+    CCPI_RETURN_IF_ERROR(CheckUpdate(c, Update::Insert(pred, t)));
+    if (t.size() != tuples[0].size()) {
+      return Status::InvalidArgument("batch tuples must share an arity");
+    }
+  }
+  if (!MentionsPredicate(c, pred)) return c;
+
+  std::string helper = FreshPredicate(c, pred);
+  Program out = RenameBodyPredicate(c, pred, helper);
+  std::vector<Term> vars = HelperVars(tuples[0].size());
+  Rule copy_rule;
+  copy_rule.head = Atom{helper, vars};
+  copy_rule.body.push_back(Literal::Positive(Atom{pred, vars}));
+  out.rules.push_back(std::move(copy_rule));
+  for (const Tuple& t : tuples) {
+    Rule fact;
+    fact.head.pred = helper;
+    fact.head.args.reserve(t.size());
+    for (const Value& v : t) fact.head.args.push_back(Term::Const(v));
+    out.rules.push_back(std::move(fact));
+  }
+  return out;
+}
+
+Result<Program> RewriteAfterDeleteBatch(const Program& c,
+                                        const std::string& pred,
+                                        const std::vector<Tuple>& tuples,
+                                        DeleteEncoding encoding) {
+  if (tuples.empty()) return c;
+  for (const Tuple& t : tuples) {
+    CCPI_RETURN_IF_ERROR(CheckUpdate(c, Update::Delete(pred, t)));
+    if (t.size() != tuples[0].size()) {
+      return Status::InvalidArgument("batch tuples must share an arity");
+    }
+  }
+  if (!MentionsPredicate(c, pred)) return c;
+
+  std::string helper = FreshPredicate(c, pred);
+  Program out = RenameBodyPredicate(c, pred, helper);
+  std::vector<Term> vars = HelperVars(tuples[0].size());
+
+  if (encoding == DeleteEncoding::kNegation) {
+    std::string marker = FreshPredicate(out, "isdel_" + pred);
+    Rule r;
+    r.head = Atom{helper, vars};
+    r.body.push_back(Literal::Positive(Atom{pred, vars}));
+    r.body.push_back(Literal::Negated(Atom{marker, vars}));
+    out.rules.push_back(std::move(r));
+    for (const Tuple& t : tuples) {
+      Rule fact;
+      fact.head.pred = marker;
+      fact.head.args.reserve(t.size());
+      for (const Value& v : t) fact.head.args.push_back(Term::Const(v));
+      out.rules.push_back(std::move(fact));
+    }
+    return out;
+  }
+
+  // Comparison encoding: a tuple survives iff it differs from EVERY
+  // deleted tuple at some component — one helper rule per vector of
+  // component choices (arity^|batch| rules in the worst case).
+  size_t arity = tuples[0].size();
+  if (arity == 0) return out;  // deleting the 0-ary tuple empties pred
+  std::vector<size_t> choice(tuples.size(), 0);
+  bool done = false;
+  while (!done) {
+    Rule r;
+    r.head = Atom{helper, vars};
+    r.body.push_back(Literal::Positive(Atom{pred, vars}));
+    for (size_t j = 0; j < tuples.size(); ++j) {
+      r.body.push_back(Literal::Cmp(Comparison{
+          vars[choice[j]], CmpOp::kNe, Term::Const(tuples[j][choice[j]])}));
+    }
+    out.rules.push_back(std::move(r));
+    done = true;
+    for (size_t j = 0; j < choice.size(); ++j) {
+      if (++choice[j] < arity) {
+        done = false;
+        break;
+      }
+      choice[j] = 0;
+    }
+  }
+  return out;
+}
+
+}  // namespace ccpi

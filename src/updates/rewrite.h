@@ -1,0 +1,75 @@
+#ifndef CCPI_UPDATES_REWRITE_H_
+#define CCPI_UPDATES_REWRITE_H_
+
+#include "datalog/ast.h"
+#include "updates/update.h"
+#include "util/status.h"
+
+namespace ccpi {
+
+/// How a deletion is reflected in the rewritten constraint (Example 4.2
+/// presents both encodings).
+enum class DeleteEncoding {
+  /// One rule per tuple component using <>:
+  ///   emp1(E,D,S) :- emp(E,D,S) & E <> jones
+  ///   emp1(E,D,S) :- emp(E,D,S) & D <> shoe
+  ///   emp1(E,D,S) :- emp(E,D,S) & S <> 50
+  kComparisons,
+  /// A negated helper predicate instead of arithmetic ("a similar trick
+  /// that uses negated subgoals"):
+  ///   emp1(E,D,S) :- emp(E,D,S) & not isdel_emp(E,D,S)
+  ///   isdel_emp(jones, shoe, 50)
+  kNegation,
+};
+
+/// Constructs C' such that C' holds on the database BEFORE the update iff C
+/// holds AFTER it (Section 4, "Rewriting Constraints to Reflect Updates").
+///
+/// Insertion uses the Theorem 4.2 helper-predicate encoding from
+/// Example 4.1:
+///   dept1(D) :- dept(D)
+///   dept1(toy)
+/// with every occurrence of the updated predicate renamed to the helper.
+/// This stays within any class that permits adding nonrecursive rules — the
+/// eight circled classes of Fig 4.1.
+Result<Program> RewriteAfterInsert(const Program& c, const Update& u);
+
+/// The inline insertion encoding (no helper predicates): each occurrence of
+/// the updated predicate branches between "the old relation" and "the
+/// inserted tuple". A positive occurrence p(args) splits the rule in two;
+/// a negated occurrence becomes  not p(args) & NOT(args = t), the
+/// single-rule `D <> toy` form of Example 4.1. Theorem 4.1 proves the
+/// resulting arithmetic (or extra disjuncts) cannot be avoided.
+Result<Program> RewriteAfterInsertInline(const Program& c, const Update& u);
+
+/// Constructs C' reflecting a deletion (Theorem 4.3: only the six circled
+/// classes of Fig 4.2 — unions/recursive with negation or arithmetic — can
+/// absorb this rewrite).
+Result<Program> RewriteAfterDelete(const Program& c, const Update& u,
+                                   DeleteEncoding encoding);
+
+/// Dispatches on the update kind; deletions use the comparison encoding.
+Result<Program> RewriteAfterUpdate(const Program& c, const Update& u);
+
+/// Batch generalization of Theorem 4.2: reflects the insertion of a whole
+/// set of tuples into `pred` with one helper predicate carrying one fact
+/// per tuple — the encoding "any language that allows us to add rules"
+/// absorbs verbatim. C' holds before the batch iff C holds after all of
+/// it is applied.
+Result<Program> RewriteAfterInsertBatch(const Program& c,
+                                        const std::string& pred,
+                                        const std::vector<Tuple>& tuples);
+
+/// Batch deletion via the componentwise <> encoding: a tuple survives iff
+/// it differs from EVERY deleted tuple somewhere, so the helper is defined
+/// by the product of per-tuple difference choices, materialized as one
+/// rule per choice vector (exponential in the batch in the worst case —
+/// prefer the negated-marker form below for large batches).
+Result<Program> RewriteAfterDeleteBatch(const Program& c,
+                                        const std::string& pred,
+                                        const std::vector<Tuple>& tuples,
+                                        DeleteEncoding encoding);
+
+}  // namespace ccpi
+
+#endif  // CCPI_UPDATES_REWRITE_H_

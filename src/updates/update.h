@@ -1,0 +1,43 @@
+#ifndef CCPI_UPDATES_UPDATE_H_
+#define CCPI_UPDATES_UPDATE_H_
+
+#include <string>
+
+#include "relational/database.h"
+#include "relational/tuple.h"
+#include "util/status.h"
+
+namespace ccpi {
+
+/// A single-tuple update — the paper's update model throughout Section 4
+/// ("toy is added to the set of departments"; "we delete the tuple
+/// (jones, shoe, 50) from the emp relation").
+struct Update {
+  enum class Kind { kInsert, kDelete };
+
+  static Update Insert(std::string pred, Tuple t) {
+    return Update{Kind::kInsert, std::move(pred), std::move(t)};
+  }
+  static Update Delete(std::string pred, Tuple t) {
+    return Update{Kind::kDelete, std::move(pred), std::move(t)};
+  }
+
+  Kind kind = Kind::kInsert;
+  std::string pred;
+  Tuple tuple;
+
+  /// Applies the update to `db`.
+  Status ApplyTo(Database* db) const {
+    if (kind == Kind::kInsert) return db->Insert(pred, tuple);
+    return db->Erase(pred, tuple);
+  }
+
+  std::string ToString() const {
+    return (kind == Kind::kInsert ? std::string("+") : std::string("-")) +
+           pred + TupleToString(tuple);
+  }
+};
+
+}  // namespace ccpi
+
+#endif  // CCPI_UPDATES_UPDATE_H_

@@ -1,0 +1,34 @@
+#ifndef CCPI_UTIL_CHECK_H_
+#define CCPI_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// \file
+/// Internal invariant-checking macros.
+///
+/// `CCPI_CHECK` is always on and aborts with a diagnostic when the condition
+/// fails; it guards invariants whose violation would make continuing unsafe
+/// (out-of-bounds access, broken normal forms). `CCPI_DCHECK` compiles away in
+/// NDEBUG builds and guards conditions that are cheap to state but expensive
+/// to re-derive for the reader. Neither macro is part of the public error
+/// model: recoverable conditions use ccpi::Status / ccpi::Result instead.
+
+#define CCPI_CHECK(cond)                                                     \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "CCPI_CHECK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+#ifdef NDEBUG
+#define CCPI_DCHECK(cond) \
+  do {                    \
+  } while (0)
+#else
+#define CCPI_DCHECK(cond) CCPI_CHECK(cond)
+#endif
+
+#endif  // CCPI_UTIL_CHECK_H_

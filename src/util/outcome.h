@@ -1,0 +1,31 @@
+#ifndef CCPI_UTIL_OUTCOME_H_
+#define CCPI_UTIL_OUTCOME_H_
+
+namespace ccpi {
+
+/// The answer of a constraint-checking test (Section 2, "Correct and
+/// Complete Tests"): tests respond "yes, the constraint continues to hold"
+/// or "I don't know". The third outcome, "definitely violated", is only
+/// possible when the constraint involves only information the test can see
+/// (e.g. purely local constraints).
+enum class Outcome {
+  kHolds,     // the test proved the constraint still holds
+  kUnknown,   // inconclusive: a state of the unseen data could violate it
+  kViolated,  // provably violated using only the visible information
+};
+
+inline const char* OutcomeToString(Outcome o) {
+  switch (o) {
+    case Outcome::kHolds:
+      return "holds";
+    case Outcome::kUnknown:
+      return "unknown";
+    case Outcome::kViolated:
+      return "violated";
+  }
+  return "?";
+}
+
+}  // namespace ccpi
+
+#endif  // CCPI_UTIL_OUTCOME_H_

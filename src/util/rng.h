@@ -1,0 +1,46 @@
+#ifndef CCPI_UTIL_RNG_H_
+#define CCPI_UTIL_RNG_H_
+
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace ccpi {
+
+/// Deterministic 64-bit PRNG (splitmix64). Used by the property-test and
+/// benchmark workload generators so every run is reproducible from a seed;
+/// never use std::rand or a nondeterministically seeded engine in tests.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform value in [0, bound). `bound` must be positive.
+  uint64_t Below(uint64_t bound) {
+    CCPI_CHECK(bound > 0);
+    return Next() % bound;
+  }
+
+  /// Uniform value in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi) {
+    CCPI_CHECK(lo <= hi);
+    return lo + static_cast<int64_t>(Below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Bernoulli draw: true with probability `num`/`den`.
+  bool Chance(uint64_t num, uint64_t den) { return Below(den) < num; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace ccpi
+
+#endif  // CCPI_UTIL_RNG_H_

@@ -1,0 +1,31 @@
+#include "util/status.h"
+
+namespace ccpi {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "Invalid argument";
+    case StatusCode::kUnsupported:
+      return "Unsupported";
+    case StatusCode::kNotFound:
+      return "Not found";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace ccpi

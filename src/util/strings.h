@@ -1,0 +1,22 @@
+#ifndef CCPI_UTIL_STRINGS_H_
+#define CCPI_UTIL_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ccpi {
+
+/// Joins the elements of `parts` with `sep` ("a", "b" -> "a,b").
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// True if `s` starts with an upper-case ASCII letter. Following the paper's
+/// Prolog convention, such identifiers denote variables.
+bool IsVariableName(std::string_view s);
+
+/// True if `s` is a lexically valid identifier ([A-Za-z_][A-Za-z0-9_]*).
+bool IsIdentifier(std::string_view s);
+
+}  // namespace ccpi
+
+#endif  // CCPI_UTIL_STRINGS_H_

@@ -1,0 +1,322 @@
+#include <gtest/gtest.h>
+
+#include "arith/rational.h"
+#include "arith/solver.h"
+#include "datalog/ast.h"
+#include "util/rng.h"
+
+namespace ccpi {
+namespace arith {
+namespace {
+
+Term Var(const char* name) { return Term::Var(name); }
+Term C(int64_t v) { return Term::Const(Value(v)); }
+Term Sym(const char* s) { return Term::Const(Value(s)); }
+
+Comparison Cmp(Term lhs, CmpOp op, Term rhs) {
+  return Comparison{std::move(lhs), op, std::move(rhs)};
+}
+
+TEST(RationalTest, Arithmetic) {
+  Rational half(1, 2);
+  EXPECT_EQ(half + half, Rational(1));
+  EXPECT_LT(Rational(1, 3), half);
+  EXPECT_EQ(Rational::Midpoint(Rational(0), Rational(1)), half);
+  EXPECT_EQ(Rational(4, 2), Rational(2));
+  EXPECT_TRUE(Rational(2).IsInteger());
+  EXPECT_FALSE(half.IsInteger());
+  EXPECT_EQ(Rational(-3, -6), half);
+  EXPECT_EQ(Rational(3, -6).ToString(), "-1/2");
+}
+
+TEST(SolverTest, EmptyIsSatisfiable) {
+  EXPECT_TRUE(IsSatisfiable({}));
+}
+
+TEST(SolverTest, SimpleChain) {
+  EXPECT_TRUE(IsSatisfiable({Cmp(Var("X"), CmpOp::kLt, Var("Y")),
+                             Cmp(Var("Y"), CmpOp::kLt, Var("Z"))}));
+}
+
+TEST(SolverTest, StrictCycleUnsat) {
+  EXPECT_FALSE(IsSatisfiable({Cmp(Var("X"), CmpOp::kLt, Var("Y")),
+                              Cmp(Var("Y"), CmpOp::kLt, Var("X"))}));
+}
+
+TEST(SolverTest, WeakCycleSat) {
+  // X <= Y <= X forces equality, which is fine.
+  EXPECT_TRUE(IsSatisfiable({Cmp(Var("X"), CmpOp::kLe, Var("Y")),
+                             Cmp(Var("Y"), CmpOp::kLe, Var("X"))}));
+}
+
+TEST(SolverTest, WeakCycleWithNeqUnsat) {
+  EXPECT_FALSE(IsSatisfiable({Cmp(Var("X"), CmpOp::kLe, Var("Y")),
+                              Cmp(Var("Y"), CmpOp::kLe, Var("X")),
+                              Cmp(Var("X"), CmpOp::kNe, Var("Y"))}));
+}
+
+TEST(SolverTest, WeakCycleWithStrictInsideUnsat) {
+  EXPECT_FALSE(IsSatisfiable({Cmp(Var("X"), CmpOp::kLe, Var("Y")),
+                              Cmp(Var("Y"), CmpOp::kLt, Var("X"))}));
+}
+
+TEST(SolverTest, EqualityMergesAndPropagates) {
+  // X = Y, Y < Z, Z < X is a strict cycle through the merged class.
+  EXPECT_FALSE(IsSatisfiable({Cmp(Var("X"), CmpOp::kEq, Var("Y")),
+                              Cmp(Var("Y"), CmpOp::kLt, Var("Z")),
+                              Cmp(Var("Z"), CmpOp::kLt, Var("X"))}));
+}
+
+TEST(SolverTest, DistinctConstantsEquatedUnsat) {
+  EXPECT_FALSE(IsSatisfiable({Cmp(Var("X"), CmpOp::kEq, C(1)),
+                              Cmp(Var("X"), CmpOp::kEq, C(2))}));
+}
+
+TEST(SolverTest, ConstantOrderRespected) {
+  // X <= 3 and 4 <= X contradict through the constant chain.
+  EXPECT_FALSE(IsSatisfiable({Cmp(Var("X"), CmpOp::kLe, C(3)),
+                              Cmp(C(4), CmpOp::kLe, Var("X"))}));
+  EXPECT_TRUE(IsSatisfiable({Cmp(Var("X"), CmpOp::kLe, C(4)),
+                             Cmp(C(3), CmpOp::kLe, Var("X"))}));
+}
+
+TEST(SolverTest, DenseBetweenAdjacentIntegers) {
+  // Over the dense order 3 < X < 4 is satisfiable (by a rational).
+  EXPECT_TRUE(IsSatisfiable({Cmp(C(3), CmpOp::kLt, Var("X")),
+                             Cmp(Var("X"), CmpOp::kLt, C(4))}));
+}
+
+TEST(SolverTest, SymbolConstants) {
+  EXPECT_TRUE(IsSatisfiable({Cmp(Var("D"), CmpOp::kNe, Sym("toy"))}));
+  EXPECT_FALSE(IsSatisfiable({Cmp(Var("D"), CmpOp::kEq, Sym("toy")),
+                              Cmp(Var("D"), CmpOp::kEq, Sym("shoe"))}));
+  // Symbols order above integers in the Value order.
+  EXPECT_FALSE(IsSatisfiable({Cmp(Sym("a"), CmpOp::kLt, C(5))}));
+}
+
+TEST(SolverTest, NeqOnSameConstantUnsat) {
+  EXPECT_FALSE(IsSatisfiable({Cmp(C(7), CmpOp::kNe, C(7))}));
+  EXPECT_TRUE(IsSatisfiable({Cmp(C(7), CmpOp::kNe, C(8))}));
+}
+
+// --- Implication (the Theorem 5.1 test) ----------------------------------
+
+TEST(ImpliesTest, Example51FromThePaper) {
+  // U=T & V=S  =>  U <= V  or  S <= T   simplifies to U<=V or V<=U: valid.
+  Conjunction premise = {Cmp(Var("U"), CmpOp::kEq, Var("T")),
+                         Cmp(Var("V"), CmpOp::kEq, Var("S"))};
+  std::vector<Conjunction> disjuncts = {
+      {Cmp(Var("U"), CmpOp::kLe, Var("V"))},
+      {Cmp(Var("S"), CmpOp::kLe, Var("T"))}};
+  EXPECT_TRUE(Implies(premise, disjuncts));
+  // Either disjunct alone is NOT implied — the point of Example 5.1.
+  EXPECT_FALSE(Implies(premise, {disjuncts[0]}));
+  EXPECT_FALSE(Implies(premise, {disjuncts[1]}));
+}
+
+TEST(ImpliesTest, EmptyDisjunctionNeedsUnsatPremise) {
+  EXPECT_FALSE(Implies({Cmp(Var("X"), CmpOp::kLe, Var("Y"))}, {}));
+  EXPECT_TRUE(Implies({Cmp(Var("X"), CmpOp::kLt, Var("X"))}, {}));
+}
+
+TEST(ImpliesTest, EmptyDisjunctIsTrue) {
+  // An empty conjunction disjunct is vacuously true.
+  EXPECT_TRUE(Implies({Cmp(Var("X"), CmpOp::kLe, Var("Y"))},
+                      {Conjunction{}}));
+}
+
+TEST(ImpliesTest, TransitivityValid) {
+  Conjunction premise = {Cmp(Var("X"), CmpOp::kLt, Var("Y")),
+                         Cmp(Var("Y"), CmpOp::kLt, Var("Z"))};
+  EXPECT_TRUE(Implies(premise, {{Cmp(Var("X"), CmpOp::kLt, Var("Z"))}}));
+  EXPECT_FALSE(Implies(premise, {{Cmp(Var("Z"), CmpOp::kLt, Var("X"))}}));
+}
+
+TEST(ImpliesTest, TotalityDisjunction) {
+  // Valid with an empty premise: X <= Y or Y <= X.
+  EXPECT_TRUE(Implies({}, {{Cmp(Var("X"), CmpOp::kLe, Var("Y"))},
+                           {Cmp(Var("Y"), CmpOp::kLe, Var("X"))}}));
+  EXPECT_FALSE(Implies({}, {{Cmp(Var("X"), CmpOp::kLt, Var("Y"))},
+                            {Cmp(Var("Y"), CmpOp::kLt, Var("X"))}}));
+}
+
+TEST(ImpliesTest, IntervalCoverage) {
+  // The forbidden-interval reduction of Example 5.3:
+  // 4<=Z & Z<=8  =>  (3<=Z & Z<=6) or (5<=Z & Z<=10).
+  Conjunction premise = {Cmp(C(4), CmpOp::kLe, Var("Z")),
+                         Cmp(Var("Z"), CmpOp::kLe, C(8))};
+  std::vector<Conjunction> covering = {
+      {Cmp(C(3), CmpOp::kLe, Var("Z")), Cmp(Var("Z"), CmpOp::kLe, C(6))},
+      {Cmp(C(5), CmpOp::kLe, Var("Z")), Cmp(Var("Z"), CmpOp::kLe, C(10))}};
+  EXPECT_TRUE(Implies(premise, covering));
+  // Neither interval alone covers [4,8].
+  EXPECT_FALSE(Implies(premise, {covering[0]}));
+  EXPECT_FALSE(Implies(premise, {covering[1]}));
+  // With a gap ((3..6) and (7..10)) coverage of [4,8] fails at e.g. 6.5.
+  std::vector<Conjunction> gappy = {
+      {Cmp(C(3), CmpOp::kLe, Var("Z")), Cmp(Var("Z"), CmpOp::kLe, C(6))},
+      {Cmp(C(7), CmpOp::kLe, Var("Z")), Cmp(Var("Z"), CmpOp::kLe, C(10))}};
+  EXPECT_FALSE(Implies(premise, gappy));
+}
+
+TEST(ImpliesTest, RefutationIsSatisfiableAndRefuting) {
+  Conjunction premise = {Cmp(C(4), CmpOp::kLe, Var("Z")),
+                         Cmp(Var("Z"), CmpOp::kLe, C(8))};
+  std::vector<Conjunction> gappy = {
+      {Cmp(C(3), CmpOp::kLe, Var("Z")), Cmp(Var("Z"), CmpOp::kLe, C(6))},
+      {Cmp(C(7), CmpOp::kLe, Var("Z")), Cmp(Var("Z"), CmpOp::kLe, C(10))}};
+  auto refutation = FindRefutation(premise, gappy);
+  ASSERT_TRUE(refutation.has_value());
+  EXPECT_TRUE(IsSatisfiable(*refutation));
+  // The refutation must contain the premise plus one negated atom per
+  // disjunct.
+  EXPECT_EQ(refutation->size(), premise.size() + gappy.size());
+}
+
+TEST(ImpliesTest, SymbolConstantsInImplication) {
+  // D = toy implies D <> shoe over the total order on symbols.
+  Conjunction premise = {Cmp(Var("D"), CmpOp::kEq, Sym("toy"))};
+  EXPECT_TRUE(Implies(premise, {{Cmp(Var("D"), CmpOp::kNe, Sym("shoe"))}}));
+  EXPECT_FALSE(Implies(premise, {{Cmp(Var("D"), CmpOp::kNe, Sym("toy"))}}));
+}
+
+TEST(ImpliesTest, ManyDisjunctsPrune) {
+  // 12 gap-free unit intervals cover [0,12]; removing any one leaves a gap.
+  Conjunction premise = {Cmp(C(0), CmpOp::kLe, Var("Z")),
+                         Cmp(Var("Z"), CmpOp::kLe, C(12))};
+  std::vector<Conjunction> tiles;
+  for (int i = 0; i < 12; ++i) {
+    tiles.push_back({Cmp(C(i), CmpOp::kLe, Var("Z")),
+                     Cmp(Var("Z"), CmpOp::kLe, C(i + 1))});
+  }
+  EXPECT_TRUE(Implies(premise, tiles));
+  std::vector<Conjunction> missing(tiles.begin() + 1, tiles.end());
+  EXPECT_FALSE(Implies(premise, missing));  // [0,1) uncovered
+}
+
+TEST(ImpliesTest, PremiseVariablesNotInDisjuncts) {
+  // Extra premise structure must not confuse the refutation search.
+  Conjunction premise = {Cmp(Var("A"), CmpOp::kLt, Var("B")),
+                         Cmp(Var("B"), CmpOp::kLt, Var("C")),
+                         Cmp(Var("Z"), CmpOp::kGe, Var("C"))};
+  EXPECT_TRUE(Implies(premise, {{Cmp(Var("A"), CmpOp::kLt, Var("Z"))}}));
+  EXPECT_FALSE(Implies(premise, {{Cmp(Var("Z"), CmpOp::kLe, Var("B"))}}));
+}
+
+// --- Model construction ---------------------------------------------------
+
+TEST(ModelTest, SimpleChainModel) {
+  Conjunction conj = {Cmp(Var("X"), CmpOp::kLt, Var("Y")),
+                      Cmp(Var("Y"), CmpOp::kLt, Var("Z"))};
+  auto model = FindModel(conj);
+  ASSERT_TRUE(model.has_value());
+  EXPECT_LT(model->at("X"), model->at("Y"));
+  EXPECT_LT(model->at("Y"), model->at("Z"));
+}
+
+TEST(ModelTest, PinnedConstants) {
+  Conjunction conj = {Cmp(Var("X"), CmpOp::kEq, C(5)),
+                      Cmp(Var("X"), CmpOp::kLt, Var("Y")),
+                      Cmp(Var("Y"), CmpOp::kLt, C(10))};
+  auto model = FindModel(conj);
+  ASSERT_TRUE(model.has_value());
+  EXPECT_EQ(model->at("X"), V(5));
+  EXPECT_LT(model->at("X"), model->at("Y"));
+  EXPECT_LT(model->at("Y"), V(10));
+}
+
+TEST(ModelTest, UnsatHasNoModel) {
+  EXPECT_FALSE(FindModel({Cmp(Var("X"), CmpOp::kLt, Var("X"))}).has_value());
+}
+
+TEST(ModelTest, NeqAvoidance) {
+  Conjunction conj = {Cmp(Var("X"), CmpOp::kNe, Var("Y")),
+                      Cmp(Var("X"), CmpOp::kNe, Var("Z")),
+                      Cmp(Var("Y"), CmpOp::kNe, Var("Z"))};
+  auto model = FindModel(conj);
+  ASSERT_TRUE(model.has_value());
+  EXPECT_NE(model->at("X"), model->at("Y"));
+  EXPECT_NE(model->at("X"), model->at("Z"));
+  EXPECT_NE(model->at("Y"), model->at("Z"));
+}
+
+TEST(ModelTest, ScalingWithoutConstants) {
+  // A chain of strict inequalities between equated endpoints forces
+  // fractional midpoints; with no constants the model scales to integers.
+  Conjunction conj = {Cmp(Var("A"), CmpOp::kLt, Var("B")),
+                      Cmp(Var("B"), CmpOp::kLt, Var("C")),
+                      Cmp(Var("A"), CmpOp::kNe, Var("C"))};
+  auto model = FindModel(conj);
+  ASSERT_TRUE(model.has_value());
+  EXPECT_LT(model->at("A"), model->at("B"));
+  EXPECT_LT(model->at("B"), model->at("C"));
+}
+
+TEST(ModelTest, SymbolEquality) {
+  Conjunction conj = {Cmp(Var("D"), CmpOp::kEq, Sym("toy"))};
+  auto model = FindModel(conj);
+  ASSERT_TRUE(model.has_value());
+  EXPECT_EQ(model->at("D"), V("toy"));
+}
+
+TEST(ModelTest, VariableAboveSymbol) {
+  Conjunction conj = {Cmp(Sym("shoe"), CmpOp::kLt, Var("D"))};
+  auto model = FindModel(conj);
+  ASSERT_TRUE(model.has_value());
+  EXPECT_LT(V("shoe"), model->at("D"));
+}
+
+TEST(ModelTest, RandomizedModelsAlwaysVerify) {
+  // Any model returned must satisfy the full conjunction; sweep random
+  // satisfiable-or-not instances and check the contract both ways where
+  // decidable over integers.
+  Rng rng(808);
+  const CmpOp ops[] = {CmpOp::kLt, CmpOp::kLe, CmpOp::kEq, CmpOp::kNe,
+                       CmpOp::kGt, CmpOp::kGe};
+  for (int trial = 0; trial < 300; ++trial) {
+    Conjunction conj;
+    int n = 1 + static_cast<int>(rng.Below(5));
+    for (int i = 0; i < n; ++i) {
+      Term lhs = Term::Var("V" + std::to_string(rng.Below(4)));
+      Term rhs = rng.Chance(1, 3)
+                     ? Term::Const(Value(rng.Range(0, 2) * 10))
+                     : Term::Var("V" + std::to_string(rng.Below(4)));
+      conj.push_back(Comparison{lhs, ops[rng.Below(6)], rhs});
+    }
+    auto model = FindModel(conj);
+    if (model.has_value()) {
+      EXPECT_TRUE(IsSatisfiable(conj));
+      for (const Comparison& c : conj) {
+        Value a = c.lhs.is_const() ? c.lhs.constant() : model->at(c.lhs.var());
+        Value b = c.rhs.is_const() ? c.rhs.constant() : model->at(c.rhs.var());
+        EXPECT_TRUE(EvalCmp(a, c.op, b)) << c.ToString();
+      }
+    }
+    // (UNSAT => no model is implied by the verification contract; a
+    // missing model for a SAT instance is allowed only in dense-only
+    // corners, which spaced constants rule out here.)
+    if (IsSatisfiable(conj)) {
+      EXPECT_TRUE(model.has_value());
+    }
+  }
+}
+
+TEST(ModelTest, VerifiedAgainstAllComparisons) {
+  // Every returned model satisfies the full conjunction; spot-check a
+  // denser instance.
+  Conjunction conj = {
+      Cmp(C(0), CmpOp::kLt, Var("A")),  Cmp(Var("A"), CmpOp::kLe, Var("B")),
+      Cmp(Var("B"), CmpOp::kLt, C(10)), Cmp(Var("A"), CmpOp::kNe, Var("B")),
+      Cmp(Var("C"), CmpOp::kGe, Var("B"))};
+  auto model = FindModel(conj);
+  ASSERT_TRUE(model.has_value());
+  for (const Comparison& c : conj) {
+    Value a = c.lhs.is_const() ? c.lhs.constant() : model->at(c.lhs.var());
+    Value b = c.rhs.is_const() ? c.rhs.constant() : model->at(c.rhs.var());
+    EXPECT_TRUE(EvalCmp(a, c.op, b)) << c.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace arith
+}  // namespace ccpi

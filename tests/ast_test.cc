@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "datalog/ast.h"
+#include "datalog/parser.h"
+
+namespace ccpi {
+namespace {
+
+TEST(TermTest, FactoriesAndAccessors) {
+  Term v = Term::Var("X");
+  EXPECT_TRUE(v.is_var());
+  EXPECT_EQ(v.var(), "X");
+  Term c = Term::Const(V(5));
+  EXPECT_TRUE(c.is_const());
+  EXPECT_EQ(c.constant(), V(5));
+  EXPECT_EQ(v.ToString(), "X");
+  EXPECT_EQ(c.ToString(), "5");
+  EXPECT_NE(v, c);
+  EXPECT_EQ(Term::Var("X"), Term::Var("X"));
+  EXPECT_NE(Term::Var("X"), Term::Var("Y"));
+  EXPECT_EQ(Term::Const(V("a")), Term::Const(V("a")));
+}
+
+TEST(TermTest, OrderingIsTotal) {
+  std::vector<Term> terms = {Term::Var("A"), Term::Var("B"),
+                             Term::Const(V(1)), Term::Const(V("z"))};
+  for (const Term& a : terms) {
+    for (const Term& b : terms) {
+      // Exactly one of <, ==, > holds.
+      int count = (a < b) + (b < a) + (a == b);
+      EXPECT_EQ(count, 1) << a.ToString() << " vs " << b.ToString();
+    }
+  }
+}
+
+TEST(CmpOpTest, FlipMatrix) {
+  EXPECT_EQ(Flip(CmpOp::kLt), CmpOp::kGt);
+  EXPECT_EQ(Flip(CmpOp::kLe), CmpOp::kGe);
+  EXPECT_EQ(Flip(CmpOp::kGt), CmpOp::kLt);
+  EXPECT_EQ(Flip(CmpOp::kGe), CmpOp::kLe);
+  EXPECT_EQ(Flip(CmpOp::kEq), CmpOp::kEq);
+  EXPECT_EQ(Flip(CmpOp::kNe), CmpOp::kNe);
+}
+
+TEST(CmpOpTest, NegateMatrix) {
+  EXPECT_EQ(Negate(CmpOp::kLt), CmpOp::kGe);
+  EXPECT_EQ(Negate(CmpOp::kLe), CmpOp::kGt);
+  EXPECT_EQ(Negate(CmpOp::kGt), CmpOp::kLe);
+  EXPECT_EQ(Negate(CmpOp::kGe), CmpOp::kLt);
+  EXPECT_EQ(Negate(CmpOp::kEq), CmpOp::kNe);
+  EXPECT_EQ(Negate(CmpOp::kNe), CmpOp::kEq);
+}
+
+TEST(CmpOpTest, FlipAndNegateAreSemanticallyCorrect) {
+  const CmpOp ops[] = {CmpOp::kLt, CmpOp::kLe, CmpOp::kGt,
+                       CmpOp::kGe, CmpOp::kEq, CmpOp::kNe};
+  const Value values[] = {V(1), V(2), V("a")};
+  for (CmpOp op : ops) {
+    for (const Value& a : values) {
+      for (const Value& b : values) {
+        EXPECT_EQ(EvalCmp(a, op, b), EvalCmp(b, Flip(op), a));
+        EXPECT_EQ(EvalCmp(a, op, b), !EvalCmp(a, Negate(op), b));
+      }
+    }
+  }
+}
+
+TEST(SubstitutionTest, ApplyLeavesUnboundAlone) {
+  Substitution s;
+  s["X"] = Term::Const(V(1));
+  Atom a{"p", {Term::Var("X"), Term::Var("Y"), Term::Const(V("k"))}};
+  Atom applied = Apply(s, a);
+  EXPECT_EQ(applied.args[0], Term::Const(V(1)));
+  EXPECT_EQ(applied.args[1], Term::Var("Y"));
+  EXPECT_EQ(applied.args[2], Term::Const(V("k")));
+}
+
+TEST(SubstitutionTest, ApplyToRule) {
+  auto rule = ParseRule("panic :- p(X,Y) & X < Y");
+  ASSERT_TRUE(rule.ok());
+  Substitution s;
+  s["X"] = Term::Const(V(3));
+  Rule applied = Apply(s, *rule);
+  EXPECT_EQ(applied.ToString(), "panic :- p(3,Y) & 3 < Y");
+}
+
+TEST(RenameApartTest, AllVariablesSuffixed) {
+  auto rule = ParseRule("q(X) :- p(X,Y) & not s(Y) & X < Y");
+  ASSERT_TRUE(rule.ok());
+  Rule renamed = RenameApart(*rule, "_1");
+  EXPECT_EQ(renamed.ToString(), "q(X_1) :- p(X_1,Y_1) & not s(Y_1) & "
+                                "X_1 < Y_1");
+  // Original untouched.
+  EXPECT_EQ(rule->ToString(), "q(X) :- p(X,Y) & not s(Y) & X < Y");
+}
+
+TEST(RuleTest, VariablesInFirstOccurrenceOrder) {
+  auto rule = ParseRule("q(B) :- p(A,B) & r(C,A) & C < D & p(D,D)");
+  ASSERT_TRUE(rule.ok());
+  EXPECT_EQ(rule->Variables(),
+            (std::vector<std::string>{"B", "A", "C", "D"}));
+}
+
+TEST(ProgramTest, IdbEdbSplit) {
+  auto p = ParseProgram(
+      "panic :- helper(X) & base(X)\n"
+      "helper(X) :- other(X)\n");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->IdbPredicates(), (std::set<std::string>{"panic", "helper"}));
+  EXPECT_EQ(p->EdbPredicates(), (std::set<std::string>{"base", "other"}));
+}
+
+TEST(ProgramTest, MutualRecursionDetected) {
+  auto p = ParseProgram(
+      "a(X) :- b(X)\n"
+      "b(X) :- a(X)\n");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->IsRecursive());
+  auto q = ParseProgram(
+      "a(X) :- b(X)\n"
+      "b(X) :- c(X)\n");
+  ASSERT_TRUE(q.ok());
+  EXPECT_FALSE(q->IsRecursive());
+}
+
+TEST(ProgramTest, SelfRecursionDetected) {
+  auto p = ParseProgram("a(X) :- a(X)\n");
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->IsRecursive());
+}
+
+TEST(LiteralTest, KindsAndPrinting) {
+  Literal pos = Literal::Positive(Atom{"p", {Term::Var("X")}});
+  Literal neg = Literal::Negated(Atom{"p", {Term::Var("X")}});
+  Literal cmp = Literal::Cmp(
+      Comparison{Term::Var("X"), CmpOp::kNe, Term::Const(V("toy"))});
+  EXPECT_TRUE(pos.is_positive());
+  EXPECT_TRUE(neg.is_negated());
+  EXPECT_TRUE(cmp.is_comparison());
+  EXPECT_EQ(pos.ToString(), "p(X)");
+  EXPECT_EQ(neg.ToString(), "not p(X)");
+  EXPECT_EQ(cmp.ToString(), "X <> toy");
+  EXPECT_NE(pos, neg);
+  EXPECT_EQ(pos, Literal::Positive(Atom{"p", {Term::Var("X")}}));
+}
+
+}  // namespace
+}  // namespace ccpi

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "datalog/parser.h"
+#include "eval/engine.h"
+#include "updates/rewrite.h"
+#include "util/rng.h"
+
+namespace ccpi {
+namespace {
+
+Program MustParse(const char* text) {
+  auto p = ParseProgram(text);
+  EXPECT_TRUE(p.ok()) << p.status().ToString();
+  return *p;
+}
+
+bool MustViolated(const Program& c, const Database& db) {
+  auto v = IsViolated(c, db);
+  EXPECT_TRUE(v.ok()) << v.status().ToString();
+  return v.ok() && *v;
+}
+
+/// The defining property: C'(D) == C(D after the whole batch).
+void CheckBatchSemantics(const Program& c, const Program& rewritten,
+                         const std::string& pred,
+                         const std::vector<Tuple>& tuples, bool deletion,
+                         const Database& db) {
+  Database after = db;
+  for (const Tuple& t : tuples) {
+    Update u = deletion ? Update::Delete(pred, t) : Update::Insert(pred, t);
+    ASSERT_TRUE(u.ApplyTo(&after).ok());
+  }
+  EXPECT_EQ(MustViolated(rewritten, db), MustViolated(c, after))
+      << "rewritten:\n" << rewritten.ToString() << "db:\n" << db.ToString();
+}
+
+TEST(BatchRewriteTest, InsertBatchSemantics) {
+  Program c = MustParse("panic :- emp(E,D) & not dept(D)");
+  std::vector<Tuple> batch = {{V("toy")}, {V("shoe")}, {V("hat")}};
+  auto rewritten = RewriteAfterInsertBatch(c, "dept", batch);
+  ASSERT_TRUE(rewritten.ok());
+  // copy rule + one fact per tuple + original rule.
+  EXPECT_EQ(rewritten->rules.size(), 5u);
+
+  Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    Database db;
+    const char* depts[] = {"toy", "shoe", "hat", "cs"};
+    for (int j = 0; j < 4; ++j) {
+      if (rng.Chance(1, 2)) {
+        ASSERT_TRUE(db.Insert("emp", {V(j), V(depts[rng.Below(4)])}).ok());
+      }
+      if (rng.Chance(1, 3)) {
+        ASSERT_TRUE(db.Insert("dept", {V(depts[rng.Below(4)])}).ok());
+      }
+    }
+    CheckBatchSemantics(c, *rewritten, "dept", batch, false, db);
+  }
+}
+
+TEST(BatchRewriteTest, DeleteBatchBothEncodings) {
+  Program c = MustParse("panic :- p(X,Y) & q(Y)");
+  std::vector<Tuple> batch = {{V(1), V(2)}, {V(3), V(4)}};
+  Rng rng(9);
+  for (DeleteEncoding enc :
+       {DeleteEncoding::kComparisons, DeleteEncoding::kNegation}) {
+    auto rewritten = RewriteAfterDeleteBatch(c, "p", batch, enc);
+    ASSERT_TRUE(rewritten.ok());
+    for (int i = 0; i < 20; ++i) {
+      Database db;
+      for (int j = 0; j < 6; ++j) {
+        ASSERT_TRUE(
+            db.Insert("p", {V(rng.Range(0, 4)), V(rng.Range(0, 4))}).ok());
+        ASSERT_TRUE(db.Insert("q", {V(rng.Range(0, 4))}).ok());
+      }
+      CheckBatchSemantics(c, *rewritten, "p", batch, true, db);
+    }
+  }
+}
+
+TEST(BatchRewriteTest, ComparisonEncodingRuleCount) {
+  Program c = MustParse("panic :- p(X,Y,Z) & q(X)");
+  std::vector<Tuple> batch = {{V(1), V(2), V(3)}, {V(4), V(5), V(6)}};
+  auto rewritten =
+      RewriteAfterDeleteBatch(c, "p", batch, DeleteEncoding::kComparisons);
+  ASSERT_TRUE(rewritten.ok());
+  // arity^batch = 3^2 = 9 helper rules + original.
+  EXPECT_EQ(rewritten->rules.size(), 10u);
+  // The negated-marker form is linear: 1 rule + 2 facts + original.
+  auto neg =
+      RewriteAfterDeleteBatch(c, "p", batch, DeleteEncoding::kNegation);
+  ASSERT_TRUE(neg.ok());
+  EXPECT_EQ(neg->rules.size(), 4u);
+}
+
+TEST(BatchRewriteTest, EmptyBatchIsIdentity) {
+  Program c = MustParse("panic :- p(X)");
+  auto ins = RewriteAfterInsertBatch(c, "p", {});
+  ASSERT_TRUE(ins.ok());
+  EXPECT_EQ(ins->ToString(), c.ToString());
+  auto del = RewriteAfterDeleteBatch(c, "p", {},
+                                     DeleteEncoding::kComparisons);
+  ASSERT_TRUE(del.ok());
+  EXPECT_EQ(del->ToString(), c.ToString());
+}
+
+TEST(BatchRewriteTest, MixedArityRejected) {
+  Program c = MustParse("panic :- p(X,Y)");
+  auto bad = RewriteAfterInsertBatch(c, "p", {{V(1), V(2)}, {V(1)}});
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(BatchRewriteTest, BatchEqualsSequentialSingles) {
+  // Rewriting for a batch must equal composing single-tuple rewrites.
+  Program c = MustParse("panic :- p(X,Y) & q(Y,X)");
+  std::vector<Tuple> batch = {{V(1), V(2)}, {V(2), V(1)}};
+  auto batched = RewriteAfterInsertBatch(c, "p", batch);
+  ASSERT_TRUE(batched.ok());
+  auto step1 = RewriteAfterInsert(c, Update::Insert("p", batch[0]));
+  ASSERT_TRUE(step1.ok());
+  auto step2 = RewriteAfterInsert(*step1, Update::Insert("p", batch[1]));
+  ASSERT_TRUE(step2.ok());
+  Rng rng(5);
+  for (int i = 0; i < 15; ++i) {
+    Database db;
+    for (int j = 0; j < 5; ++j) {
+      ASSERT_TRUE(
+          db.Insert(rng.Chance(1, 2) ? "p" : "q",
+                    {V(rng.Range(0, 3)), V(rng.Range(0, 3))})
+              .ok());
+    }
+    EXPECT_EQ(MustViolated(*batched, db), MustViolated(*step2, db));
+  }
+}
+
+}  // namespace
+}  // namespace ccpi

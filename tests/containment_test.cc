@@ -1,0 +1,393 @@
+#include <gtest/gtest.h>
+
+#include "containment/cq_containment.h"
+#include "containment/cqc.h"
+#include "containment/exact.h"
+#include "containment/klug.h"
+#include "containment/linearize.h"
+#include "containment/mapping.h"
+#include "containment/witness.h"
+#include "datalog/parser.h"
+#include "eval/engine.h"
+#include "util/rng.h"
+
+namespace ccpi {
+namespace {
+
+CQ MustCQ(const char* text) {
+  auto rule = ParseRule(text);
+  EXPECT_TRUE(rule.ok()) << rule.status().ToString();
+  return RuleToCQ(*rule);
+}
+
+TEST(MappingTest, SimpleMapping) {
+  CQ from = MustCQ("panic :- r(U,V)");
+  CQ to = MustCQ("panic :- r(X,Y) & r(Y,X)");
+  auto mappings = EnumerateContainmentMappings(from, to);
+  EXPECT_EQ(mappings.size(), 2u);
+}
+
+TEST(MappingTest, PredicateMismatchNoMapping) {
+  CQ from = MustCQ("panic :- s(U,V)");
+  CQ to = MustCQ("panic :- r(X,Y)");
+  EXPECT_TRUE(EnumerateContainmentMappings(from, to).empty());
+  EXPECT_FALSE(HasContainmentMapping(from, to));
+}
+
+TEST(MappingTest, ConsistencyAcrossSubgoals) {
+  // U must map consistently in both subgoals.
+  CQ from = MustCQ("panic :- r(U,V) & s(U)");
+  CQ to = MustCQ("panic :- r(X,Y) & s(Z)");
+  EXPECT_TRUE(EnumerateContainmentMappings(from, to).empty());
+  CQ to2 = MustCQ("panic :- r(X,Y) & s(X)");
+  EXPECT_EQ(EnumerateContainmentMappings(from, to2).size(), 1u);
+}
+
+TEST(MappingTest, ConstantsMustMatch) {
+  CQ from = MustCQ("panic :- emp(E,sales)");
+  CQ to_match = MustCQ("panic :- emp(X,sales)");
+  CQ to_clash = MustCQ("panic :- emp(X,accounting)");
+  EXPECT_TRUE(HasContainmentMapping(from, to_match));
+  EXPECT_FALSE(HasContainmentMapping(from, to_clash));
+}
+
+TEST(MappingTest, HeadVariablesPinned) {
+  CQ from = MustCQ("q(X) :- r(X,Y)");
+  CQ to = MustCQ("q(A) :- r(B,A) & r(A,B)");
+  // X must map to A (the head), so r(X,Y) can only map onto r(A,B).
+  auto mappings = EnumerateContainmentMappings(from, to);
+  ASSERT_EQ(mappings.size(), 1u);
+  EXPECT_EQ(mappings[0].at("X"), Term::Var("A"));
+  EXPECT_EQ(mappings[0].at("Y"), Term::Var("B"));
+}
+
+TEST(CqContainmentTest, ClassicalExamples) {
+  // r(X,Y) & r(Y,Z) is contained in r(U,V) (drop a join).
+  CQ q1 = MustCQ("panic :- r(X,Y) & r(Y,Z)");
+  CQ q2 = MustCQ("panic :- r(U,V)");
+  auto c12 = CqContained(q1, q2);
+  ASSERT_TRUE(c12.ok());
+  EXPECT_TRUE(*c12);
+  auto c21 = CqContained(q2, q1);
+  ASSERT_TRUE(c21.ok());
+  EXPECT_FALSE(*c21);
+}
+
+TEST(CqContainmentTest, SelfJoinPattern) {
+  // path of length 2 contained in "some edge exists", and the classic
+  // square-vs-triangle noncontainment.
+  CQ square = MustCQ("panic :- e(A,B) & e(B,C) & e(C,D) & e(D,A)");
+  CQ triangle = MustCQ("panic :- e(X,Y) & e(Y,Z) & e(Z,X)");
+  auto c = CqContained(triangle, square);
+  ASSERT_TRUE(c.ok());
+  EXPECT_FALSE(*c);  // no hom from square into triangle? (4-cycle -> 3-cycle)
+  // A triangle maps into ... itself but not into the square.
+  auto c2 = CqContained(square, triangle);
+  ASSERT_TRUE(c2.ok());
+  EXPECT_FALSE(*c2);
+}
+
+TEST(CqContainmentTest, ArithmeticRejected) {
+  CQ q1 = MustCQ("panic :- r(X,Y) & X < Y");
+  CQ q2 = MustCQ("panic :- r(U,V)");
+  EXPECT_FALSE(CqContained(q1, q2).ok());
+}
+
+TEST(UcqContainmentTest, PerDisjunctReduction) {
+  UCQ u1 = {MustCQ("panic :- p(X) & q(X)")};
+  UCQ u2 = {MustCQ("panic :- p(X)"), MustCQ("panic :- q(X)")};
+  auto c = UcqContained(u1, u2);
+  ASSERT_TRUE(c.ok());
+  EXPECT_TRUE(*c);
+  auto back = UcqContained(u2, u1);
+  ASSERT_TRUE(back.ok());
+  EXPECT_FALSE(*back);
+}
+
+// --- Theorem 5.1 ----------------------------------------------------------
+
+TEST(Theorem51Test, Example51UllmanCounterexample) {
+  // Paper Example 5.1 (Ullman Example 14.7): C1 rewritten to Theorem 5.1
+  // form. C1 subset C2 even though no single containment mapping works.
+  CQ c1 = MustCQ("panic :- r(U,V) & r(S,T) & U = T & V = S");
+  CQ c2 = MustCQ("panic :- r(U,V) & U <= V");
+  auto contained = CqcContained(c1, c2);
+  ASSERT_TRUE(contained.ok()) << contained.status().ToString();
+  EXPECT_TRUE(*contained);
+  auto back = CqcContained(c2, c1);
+  ASSERT_TRUE(back.ok());
+  EXPECT_FALSE(*back);
+}
+
+TEST(Theorem51Test, Example52PreconditionsEnforced) {
+  // Repeated variable: Theorem 5.1 does not apply directly.
+  CQ repeated = MustCQ("panic :- p(X,X)");
+  auto r = CqcContained(repeated, MustCQ("panic :- p(X,Y) & X = Y"));
+  EXPECT_FALSE(r.ok());
+  // Constant in an ordinary subgoal: also rejected.
+  CQ constant = MustCQ("panic :- p(0,X)");
+  auto r2 = CqcContained(constant, MustCQ("panic :- p(Z,X) & Z = 0"));
+  EXPECT_FALSE(r2.ok());
+  // Their normalized forms ARE equivalent, as Example 5.2 notes.
+  CQ norm1 = MustCQ("panic :- p(X,Y) & X = Y");
+  CQ norm2 = MustCQ("panic :- p(Z,X) & Z = 0");
+  auto eq = CqcContained(norm1, norm1);
+  ASSERT_TRUE(eq.ok());
+  EXPECT_TRUE(*eq);
+  auto eq2 = CqcContained(norm2, norm2);
+  ASSERT_TRUE(eq2.ok());
+  EXPECT_TRUE(*eq2);
+}
+
+TEST(Theorem51Test, Example53UnionNeeded) {
+  // RED((4,8)) contained in RED((3,6)) U RED((5,10)) but in neither alone.
+  CQ red48 = MustCQ("panic :- r(Z) & 4 <= Z & Z <= 8");
+  CQ red36 = MustCQ("panic :- r(Z) & 3 <= Z & Z <= 6");
+  CQ red510 = MustCQ("panic :- r(Z) & 5 <= Z & Z <= 10");
+  auto in_union = CqcContainedInUnion(red48, {red36, red510});
+  ASSERT_TRUE(in_union.ok());
+  EXPECT_TRUE(*in_union);
+  auto in_first = CqcContained(red48, red36);
+  ASSERT_TRUE(in_first.ok());
+  EXPECT_FALSE(*in_first);
+  auto in_second = CqcContained(red48, red510);
+  ASSERT_TRUE(in_second.ok());
+  EXPECT_FALSE(*in_second);
+}
+
+TEST(Theorem51Test, EmptyMappingSetMeansUnsatPremise) {
+  // C2 has a predicate not in C1: H empty; containment only if A(C1) unsat.
+  CQ c1_sat = MustCQ("panic :- r(X,Y) & X < Y");
+  CQ c2 = MustCQ("panic :- s(U) & U < 5");
+  auto r = CqcContained(c1_sat, c2);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(*r);
+  CQ c1_unsat = MustCQ("panic :- r(X,Y) & X < Y & Y < X");
+  auto r2 = CqcContained(c1_unsat, c2);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(*r2);  // vacuously contained
+}
+
+TEST(Theorem51Test, RefutationYieldsCounterexampleDatabase) {
+  CQ c1 = MustCQ("panic :- r(Z) & 4 <= Z & Z <= 8");
+  CQ c2 = MustCQ("panic :- r(Z) & 14 <= Z & Z <= 18");
+  auto refutation = CqcRefutation(c1, {c2});
+  ASSERT_TRUE(refutation.ok());
+  ASSERT_TRUE(refutation->has_value());
+  auto witness = BuildCanonicalDatabase(c1, **refutation);
+  ASSERT_TRUE(witness.has_value());
+  // c1 fires on the witness; c2 does not.
+  Program p1;
+  p1.rules.push_back(c1.ToRule());
+  Program p2;
+  p2.rules.push_back(c2.ToRule());
+  auto v1 = IsViolated(p1, *witness);
+  ASSERT_TRUE(v1.ok());
+  EXPECT_TRUE(*v1);
+  auto v2 = IsViolated(p2, *witness);
+  ASSERT_TRUE(v2.ok());
+  EXPECT_FALSE(*v2);
+}
+
+// --- Klug baseline agrees with Theorem 5.1 --------------------------------
+
+TEST(KlugTest, AgreesOnPaperExamples) {
+  CQ c1 = MustCQ("panic :- r(U,V) & r(S,T) & U = T & V = S");
+  CQ c2 = MustCQ("panic :- r(U,V) & U <= V");
+  auto k = KlugContained(c1, c2);
+  ASSERT_TRUE(k.ok()) << k.status().ToString();
+  EXPECT_TRUE(*k);
+  auto back = KlugContained(c2, c1);
+  ASSERT_TRUE(back.ok());
+  EXPECT_FALSE(*back);
+  CQ red48 = MustCQ("panic :- r(Z) & 4 <= Z & Z <= 8");
+  CQ red36 = MustCQ("panic :- r(Z) & 3 <= Z & Z <= 6");
+  CQ red510 = MustCQ("panic :- r(Z) & 5 <= Z & Z <= 10");
+  auto u = KlugContainedInUnion(red48, {red36, red510});
+  ASSERT_TRUE(u.ok());
+  EXPECT_TRUE(*u);
+}
+
+TEST(KlugTest, ReportsLinearizationCount) {
+  CQ c1 = MustCQ("panic :- r(U,V) & U < V");
+  CQ c2 = MustCQ("panic :- r(X,Y)");
+  KlugStats stats;
+  auto k = KlugContained(c1, c2, &stats);
+  ASSERT_TRUE(k.ok());
+  EXPECT_TRUE(*k);
+  EXPECT_GT(stats.linearizations, 0u);
+}
+
+// --- Linearizations -------------------------------------------------------
+
+TEST(LinearizeTest, CountsOrderedBellNumbers) {
+  // Fubini numbers: 1, 1, 3, 13, 75 for n = 0..4 (no constraints).
+  EXPECT_EQ(CountLinearizations({}, {}, {}), 1u);
+  EXPECT_EQ(CountLinearizations({"A"}, {}, {}), 1u);
+  EXPECT_EQ(CountLinearizations({"A", "B"}, {}, {}), 3u);
+  EXPECT_EQ(CountLinearizations({"A", "B", "C"}, {}, {}), 13u);
+  EXPECT_EQ(CountLinearizations({"A", "B", "C", "D"}, {}, {}), 75u);
+}
+
+TEST(LinearizeTest, ConstraintsPrune) {
+  arith::Conjunction conj = {
+      Comparison{Term::Var("A"), CmpOp::kLt, Term::Var("B")}};
+  EXPECT_EQ(CountLinearizations({"A", "B"}, {}, conj), 1u);
+}
+
+TEST(LinearizeTest, ConstantsFormBackbone) {
+  // One variable against two constants: 5 placements (below, =c1, between,
+  // =c2, above).
+  EXPECT_EQ(CountLinearizations({"A"}, {V(1), V(2)}, {}), 5u);
+}
+
+// --- Exact oracle ---------------------------------------------------------
+
+TEST(ExactTest, AgreesOnPlainCqContainment) {
+  CQ q1 = MustCQ("panic :- r(X,Y) & r(Y,Z)");
+  CQ q2 = MustCQ("panic :- r(U,V)");
+  auto e = ExactCqContained(q1, q2);
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+  EXPECT_TRUE(*e);
+  auto back = ExactCqContained(q2, q1);
+  ASSERT_TRUE(back.ok());
+  EXPECT_FALSE(*back);
+}
+
+TEST(ExactTest, HandlesRepeatedVarsAndConstants) {
+  // Example 5.2's pairs are equivalent — the oracle can check the raw form.
+  CQ a = MustCQ("panic :- p(X,X)");
+  CQ b = MustCQ("panic :- p(X,Y) & X = Y");
+  auto ab = ExactCqContained(a, b);
+  ASSERT_TRUE(ab.ok()) << ab.status().ToString();
+  EXPECT_TRUE(*ab);
+  auto ba = ExactCqContained(b, a);
+  ASSERT_TRUE(ba.ok());
+  EXPECT_TRUE(*ba);
+  CQ c = MustCQ("panic :- p(0,X)");
+  CQ d = MustCQ("panic :- p(Z,X) & Z = 0");
+  auto cd = ExactCqContained(c, d);
+  ASSERT_TRUE(cd.ok());
+  EXPECT_TRUE(*cd);
+  auto dc = ExactCqContained(d, c);
+  ASSERT_TRUE(dc.ok());
+  EXPECT_TRUE(*dc);
+}
+
+TEST(ExactTest, NegationContainment) {
+  // p & not q is contained in p; p is not contained in p & not q.
+  CQ pq = MustCQ("panic :- p(X) & not q(X)");
+  CQ p = MustCQ("panic :- p(X)");
+  auto a = ExactCqContained(pq, p);
+  ASSERT_TRUE(a.ok());
+  EXPECT_TRUE(*a);
+  auto b = ExactCqContained(p, pq);
+  ASSERT_TRUE(b.ok());
+  EXPECT_FALSE(*b);
+}
+
+TEST(ExactTest, NegationUnionCase) {
+  // p is contained in (p & q) union (p & not q) — requires reasoning about
+  // both candidate databases; per-disjunct mapping tests cannot see it.
+  CQ p = MustCQ("panic :- p(X)");
+  UCQ u2 = {MustCQ("panic :- p(X) & q(X)"),
+            MustCQ("panic :- p(X) & not q(X)")};
+  auto e = ExactUcqContained({p}, u2);
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+  EXPECT_TRUE(*e);
+}
+
+TEST(ExactTest, AgreesWithTheorem51OnArithmetic) {
+  CQ red48 = MustCQ("panic :- r(Z) & 4 <= Z & Z <= 8");
+  CQ red36 = MustCQ("panic :- r(Z) & 3 <= Z & Z <= 6");
+  CQ red510 = MustCQ("panic :- r(Z) & 5 <= Z & Z <= 10");
+  auto e = ExactUcqContained({red48}, {red36, red510});
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+  EXPECT_TRUE(*e);
+  auto single = ExactUcqContained({red48}, {red36});
+  ASSERT_TRUE(single.ok());
+  EXPECT_FALSE(*single);
+}
+
+// --- Uniform containment (sound test with negation) -----------------------
+
+TEST(UniformTest, Example41Containment) {
+  // C3 (the rewritten constraint) is uniformly contained in C1.
+  CQ c3 = MustCQ("panic :- emp(E,D,S) & not dept(D) & D <> toy");
+  CQ c1 = MustCQ("panic :- emp(E,D,S) & not dept(D)");
+  auto o = UniformContained(c3, c1);
+  ASSERT_TRUE(o.ok());
+  EXPECT_EQ(*o, Outcome::kHolds);
+  // The reverse does not hold; uniform containment reports unknown.
+  auto back = UniformContained(c1, c3);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, Outcome::kUnknown);
+}
+
+// --- Randomized agreement sweep -------------------------------------------
+
+/// Generates a random CQC in Theorem 5.1 form: `atoms` binary r-atoms over
+/// fresh variables plus `comps` random comparisons between variables and
+/// small constants.
+CQ RandomCqc(Rng* rng, int atoms, int comps) {
+  CQ q;
+  q.head.pred = "panic";
+  int var_count = 0;
+  auto fresh = [&]() { return Term::Var("V" + std::to_string(var_count++)); };
+  for (int i = 0; i < atoms; ++i) {
+    q.positives.push_back(Atom{"r", {fresh(), fresh()}});
+  }
+  auto random_term = [&](bool allow_const) -> Term {
+    if (allow_const && rng->Chance(1, 4)) {
+      return Term::Const(Value(static_cast<int64_t>(rng->Range(0, 3)) * 10));
+    }
+    return Term::Var("V" + std::to_string(rng->Below(
+                               static_cast<uint64_t>(var_count))));
+  };
+  const CmpOp ops[] = {CmpOp::kLt, CmpOp::kLe, CmpOp::kEq, CmpOp::kNe};
+  for (int i = 0; i < comps; ++i) {
+    Term lhs = random_term(false);  // lhs var keeps instances safe
+    Term rhs = random_term(true);
+    q.comparisons.push_back(
+        Comparison{lhs, ops[rng->Below(4)], rhs});
+  }
+  return q;
+}
+
+TEST(AgreementSweep, Theorem51MatchesKlugAndExact) {
+  Rng rng(20260705);
+  int checked = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    CQ c1 = RandomCqc(&rng, 2, 2);
+    CQ c2 = RandomCqc(&rng, static_cast<int>(1 + rng.Below(2)), 2);
+    auto t51 = CqcContained(c1, c2);
+    ASSERT_TRUE(t51.ok()) << t51.status().ToString();
+    auto klug = KlugContained(c1, c2);
+    ASSERT_TRUE(klug.ok()) << klug.status().ToString();
+    EXPECT_EQ(*t51, *klug) << "C1: " << c1.ToString()
+                           << "\nC2: " << c2.ToString();
+    auto exact = ExactCqContained(c1, c2);
+    if (exact.ok()) {
+      EXPECT_EQ(*t51, *exact) << "C1: " << c1.ToString()
+                              << "\nC2: " << c2.ToString();
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 30);  // most instances fit the oracle's limits
+}
+
+TEST(AgreementSweep, UnionContainmentMatchesKlug) {
+  Rng rng(42);
+  for (int trial = 0; trial < 40; ++trial) {
+    CQ c1 = RandomCqc(&rng, 2, 2);
+    UCQ u2 = {RandomCqc(&rng, 1, 2), RandomCqc(&rng, 1, 2)};
+    auto t51 = CqcContainedInUnion(c1, u2);
+    ASSERT_TRUE(t51.ok());
+    auto klug = KlugContainedInUnion(c1, u2);
+    ASSERT_TRUE(klug.ok());
+    EXPECT_EQ(*t51, *klug) << "C1: " << c1.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace ccpi

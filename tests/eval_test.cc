@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include "datalog/parser.h"
+#include "eval/engine.h"
+#include "eval/stratify.h"
+
+namespace ccpi {
+namespace {
+
+Program MustParse(const char* text) {
+  auto p = ParseProgram(text);
+  EXPECT_TRUE(p.ok()) << p.status().ToString();
+  return *p;
+}
+
+bool MustViolated(const Program& c, const Database& db) {
+  auto v = IsViolated(c, db);
+  EXPECT_TRUE(v.ok()) << v.status().ToString();
+  return *v;
+}
+
+TEST(StratifyTest, NonrecursiveSingleStratum) {
+  auto s = Stratify(MustParse("panic :- p(X) & q(X)"));
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->strata.size(), 1u);
+}
+
+TEST(StratifyTest, NegationSplitsStrata) {
+  auto s = Stratify(MustParse(
+      "panic :- p(X) & not helper(X)\n"
+      "helper(X) :- q(X)\n"));
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->stratum_of.at("helper"), 0);
+  EXPECT_EQ(s->stratum_of.at("panic"), 1);
+}
+
+TEST(StratifyTest, RecursionThroughNegationRejected) {
+  auto s = Stratify(MustParse(
+      "win(X) :- move(X,Y) & not win(Y)"));
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EvalTest, Example21Violation) {
+  Program c = MustParse("panic :- emp(E,sales) & emp(E,accounting)");
+  Database db;
+  ASSERT_TRUE(db.Insert("emp", {V("ann"), V("sales")}).ok());
+  EXPECT_FALSE(MustViolated(c, db));
+  ASSERT_TRUE(db.Insert("emp", {V("ann"), V("accounting")}).ok());
+  EXPECT_TRUE(MustViolated(c, db));
+}
+
+TEST(EvalTest, Example22NegationAndArith) {
+  Program c = MustParse("panic :- emp(E,D,S) & not dept(D) & S < 100");
+  Database db;
+  ASSERT_TRUE(db.Insert("emp", {V("bob"), V("toy"), V(50)}).ok());
+  EXPECT_TRUE(MustViolated(c, db));  // toy not in dept, salary 50 < 100
+  ASSERT_TRUE(db.Insert("dept", {V("toy")}).ok());
+  EXPECT_FALSE(MustViolated(c, db));
+  ASSERT_TRUE(db.Insert("emp", {V("carol"), V("shoe"), V(200)}).ok());
+  EXPECT_FALSE(MustViolated(c, db));  // 200 >= 100: comparison filters it
+}
+
+TEST(EvalTest, Example23SalaryRange) {
+  Program c = MustParse(
+      "panic :- emp(E,D,S) & salRange(D,Low,High) & S < Low\n"
+      "panic :- emp(E,D,S) & salRange(D,Low,High) & S > High\n");
+  Database db;
+  ASSERT_TRUE(db.Insert("salRange", {V("toy"), V(10), V(100)}).ok());
+  ASSERT_TRUE(db.Insert("emp", {V("ann"), V("toy"), V(50)}).ok());
+  EXPECT_FALSE(MustViolated(c, db));
+  ASSERT_TRUE(db.Insert("emp", {V("bob"), V("toy"), V(5)}).ok());
+  EXPECT_TRUE(MustViolated(c, db));
+  ASSERT_TRUE(db.Erase("emp", {V("bob"), V("toy"), V(5)}).ok());
+  ASSERT_TRUE(db.Insert("emp", {V("cat"), V("toy"), V(500)}).ok());
+  EXPECT_TRUE(MustViolated(c, db));
+}
+
+TEST(EvalTest, Example24RecursiveBoss) {
+  Program c = MustParse(
+      "panic :- boss(E,E)\n"
+      "boss(E,M) :- emp(E,D,S) & manager(D,M)\n"
+      "boss(E,F) :- boss(E,G) & boss(G,F)\n");
+  Database db;
+  // ann works in toys managed by bob; bob works in shoes managed by ann.
+  ASSERT_TRUE(db.Insert("emp", {V("ann"), V("toy"), V(10)}).ok());
+  ASSERT_TRUE(db.Insert("emp", {V("bob"), V("shoe"), V(10)}).ok());
+  ASSERT_TRUE(db.Insert("manager", {V("toy"), V("bob")}).ok());
+  EXPECT_FALSE(MustViolated(c, db));
+  ASSERT_TRUE(db.Insert("manager", {V("shoe"), V("ann")}).ok());
+  // Now ann is (transitively) her own boss.
+  EXPECT_TRUE(MustViolated(c, db));
+}
+
+TEST(EvalTest, TransitiveClosure) {
+  Program p = MustParse(
+      "tc(X,Y) :- edge(X,Y)\n"
+      "tc(X,Y) :- tc(X,Z) & edge(Z,Y)\n");
+  p.goal = "tc";
+  Database db;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(db.Insert("edge", {V(i), V(i + 1)}).ok());
+  }
+  auto rel = EvaluateGoal(p, db);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel->size(), 55u);  // 10+9+...+1
+  EXPECT_TRUE(rel->Contains({V(0), V(10)}));
+}
+
+TEST(EvalTest, EqualityBindsVariable) {
+  Program c = MustParse("panic :- p(X) & Y = 5 & q(X,Y)");
+  Database db;
+  ASSERT_TRUE(db.Insert("p", {V(1)}).ok());
+  ASSERT_TRUE(db.Insert("q", {V(1), V(5)}).ok());
+  EXPECT_TRUE(MustViolated(c, db));
+  ASSERT_TRUE(db.Erase("q", {V(1), V(5)}).ok());
+  ASSERT_TRUE(db.Insert("q", {V(1), V(6)}).ok());
+  EXPECT_FALSE(MustViolated(c, db));
+}
+
+TEST(EvalTest, RepeatedVariableInAtom) {
+  Program c = MustParse("panic :- boss(E,E)");
+  Database db;
+  ASSERT_TRUE(db.Insert("boss", {V("a"), V("b")}).ok());
+  EXPECT_FALSE(MustViolated(c, db));
+  ASSERT_TRUE(db.Insert("boss", {V("c"), V("c")}).ok());
+  EXPECT_TRUE(MustViolated(c, db));
+}
+
+TEST(EvalTest, ConstantInAtom) {
+  Program c = MustParse("panic :- emp(E,sales) & emp(E,accounting)");
+  Database db;
+  ASSERT_TRUE(db.Insert("emp", {V("ann"), V("sales")}).ok());
+  ASSERT_TRUE(db.Insert("emp", {V("bob"), V("accounting")}).ok());
+  EXPECT_FALSE(MustViolated(c, db));
+}
+
+TEST(EvalTest, SymbolComparisonInBody) {
+  Program c = MustParse("panic :- emp(E,D,S) & not dept(D) & D <> toy");
+  Database db;
+  ASSERT_TRUE(db.Insert("emp", {V("e"), V("toy"), V(1)}).ok());
+  EXPECT_FALSE(MustViolated(c, db));  // D = toy is excluded
+  ASSERT_TRUE(db.Insert("emp", {V("e"), V("shoe"), V(1)}).ok());
+  EXPECT_TRUE(MustViolated(c, db));
+}
+
+TEST(EvalTest, UnsafeProgramRejected) {
+  auto v = IsViolated(MustParse("panic :- p(X) & Y < X"), Database());
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EvalTest, AccessObserverCountsEdbReads) {
+  class Counter : public AccessObserver {
+   public:
+    void OnRead(const std::string& pred, size_t count) override {
+      reads[pred] += count;
+    }
+    std::map<std::string, size_t> reads;
+  };
+  Program c = MustParse("panic :- emp(E,D,S) & not dept(D)");
+  Database db;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(db.Insert("emp", {V(i), V(100 + i), V(0)}).ok());
+  }
+  Counter counter;
+  EvalOptions options;
+  options.observer = &counter;
+  auto v = IsViolated(c, db, options);
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(*v);
+  EXPECT_EQ(counter.reads["emp"], 5u);
+  EXPECT_EQ(counter.reads["dept"], 5u);  // one membership probe per emp row
+}
+
+TEST(EvalTest, DerivationLimit) {
+  Program p = MustParse(
+      "tc(X,Y) :- edge(X,Y)\n"
+      "tc(X,Y) :- tc(X,Z) & edge(Z,Y)\n");
+  p.goal = "tc";
+  Database db;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(db.Insert("edge", {V(i), V(i + 1)}).ok());
+  }
+  EvalOptions options;
+  options.max_derived_tuples = 10;
+  auto rel = EvaluateGoal(p, db, options);
+  ASSERT_FALSE(rel.ok());
+  EXPECT_EQ(rel.status().code(), StatusCode::kInternal);
+}
+
+TEST(EvalTest, FactsDerive) {
+  Program p = MustParse(
+      "dept1(D) :- dept(D)\n"
+      "dept1(toy)\n");
+  p.goal = "dept1";
+  Database db;
+  ASSERT_TRUE(db.Insert("dept", {V("shoe")}).ok());
+  auto rel = EvaluateGoal(p, db);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel->size(), 2u);
+  EXPECT_TRUE(rel->Contains({V("toy")}));
+  EXPECT_TRUE(rel->Contains({V("shoe")}));
+}
+
+TEST(EvalTest, MultiStratumWithRecursionBelowNegation) {
+  // reach is recursive; the goal negates it — two strata.
+  Program p = MustParse(
+      "panic :- node(X) & node(Y) & not reach(X,Y)\n"
+      "reach(X,X) :- node(X)\n"
+      "reach(X,Y) :- reach(X,Z) & edge(Z,Y)\n");
+  Database db;
+  ASSERT_TRUE(db.Insert("node", {V(1)}).ok());
+  ASSERT_TRUE(db.Insert("node", {V(2)}).ok());
+  ASSERT_TRUE(db.Insert("edge", {V(1), V(2)}).ok());
+  // 2 cannot reach 1: panic.
+  EXPECT_TRUE(MustViolated(p, db));
+  ASSERT_TRUE(db.Insert("edge", {V(2), V(1)}).ok());
+  EXPECT_FALSE(MustViolated(p, db));
+}
+
+}  // namespace
+}  // namespace ccpi

@@ -1,0 +1,357 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/cqc_form.h"
+#include "core/icq.h"
+#include "core/icq_compiler.h"
+#include "core/local_test.h"
+#include "datalog/parser.h"
+#include "util/rng.h"
+
+namespace ccpi {
+namespace {
+
+Rule MustRule(const char* text) {
+  auto r = ParseRule(text);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return *r;
+}
+
+TEST(IcqDetectionTest, PaperDefinition) {
+  // Example 6.1: forbidden intervals is an ICQ.
+  auto icq = IsIndependentlyConstrained(
+      MustRule("panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y"), "l");
+  ASSERT_TRUE(icq.ok());
+  EXPECT_TRUE(*icq);
+  // Two remote variables compared with each other: not an ICQ.
+  auto not_icq = IsIndependentlyConstrained(
+      MustRule("panic :- l(X) & r(Z,W) & Z < W & X < Z"), "l");
+  ASSERT_TRUE(not_icq.ok());
+  EXPECT_FALSE(*not_icq);
+  // Two remote variables each constrained only against local terms: ICQ.
+  auto still_icq = IsIndependentlyConstrained(
+      MustRule("panic :- l(X) & r(Z,W) & X < Z & W < X"), "l");
+  ASSERT_TRUE(still_icq.ok());
+  EXPECT_TRUE(*still_icq);
+}
+
+TEST(IcqAnalysisTest, ForbiddenIntervalsBranch) {
+  auto branches = AnalyzeForbiddenIntervals(
+      MustRule("panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y"), "l");
+  ASSERT_TRUE(branches.ok()) << branches.status().ToString();
+  ASSERT_EQ(branches->size(), 1u);
+  const IcqBranch& b = (*branches)[0];
+  ASSERT_TRUE(b.remote_var.has_value());
+  EXPECT_EQ(*b.remote_var, "Z");
+  ASSERT_EQ(b.lowers.size(), 1u);
+  EXPECT_TRUE(b.lowers[0].closed);
+  ASSERT_EQ(b.uppers.size(), 1u);
+  EXPECT_TRUE(b.uppers[0].closed);
+  EXPECT_TRUE(b.key_vars.empty());
+
+  // Example 5.3 intervals.
+  auto i36 = ForbiddenInterval(b, {V(3), V(6)});
+  ASSERT_TRUE(i36.has_value());
+  EXPECT_EQ(i36->ToString(), "[3, 6]");
+}
+
+TEST(IcqAnalysisTest, NeSplitsIntoBranches) {
+  auto branches = AnalyzeForbiddenIntervals(
+      MustRule("panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y & Z <> X"), "l");
+  ASSERT_TRUE(branches.ok());
+  // Z < X branch dies against X <= Z? No — branches are kept; the Z<X one
+  // yields empty intervals at evaluation time for any tuple. Both survive
+  // syntactically.
+  EXPECT_EQ(branches->size(), 2u);
+}
+
+TEST(IcqAnalysisTest, TwoRemoteVarsUnsupported) {
+  auto branches = AnalyzeForbiddenIntervals(
+      MustRule("panic :- l(X) & r(Z,W) & X < Z & W < X"), "l");
+  ASSERT_FALSE(branches.ok());
+  EXPECT_EQ(branches.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(IcqAnalysisTest, OpennessResolution) {
+  // Strict and weak bounds on the same variable: the strict one wins ties.
+  auto branches = AnalyzeForbiddenIntervals(
+      MustRule("panic :- l(X,Y) & r(Z) & X <= Z & X < Z & Z < Y"), "l");
+  ASSERT_TRUE(branches.ok());
+  const IcqBranch& b = (*branches)[0];
+  auto interval = ForbiddenInterval(b, {V(1), V(5)});
+  ASSERT_TRUE(interval.has_value());
+  EXPECT_EQ(interval->ToString(), "(1, 5)");
+}
+
+TEST(IcqCompilerTest, Fig61EndToEnd) {
+  // The paper's running example, evaluated the paper's way (recursive
+  // datalog over L).
+  auto comp = CompileIcq(
+      MustRule("panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y"), "l");
+  ASSERT_TRUE(comp.ok()) << comp.status().ToString();
+  Database db;
+  ASSERT_TRUE(db.Insert("l", {V(3), V(6)}).ok());
+  ASSERT_TRUE(db.Insert("l", {V(5), V(10)}).ok());
+
+  auto covered = IcqLocalTestOnInsert(*comp, db, {V(4), V(8)});
+  ASSERT_TRUE(covered.ok()) << covered.status().ToString();
+  EXPECT_EQ(*covered, Outcome::kHolds);
+
+  auto uncovered = IcqLocalTestOnInsert(*comp, db, {V(4), V(12)});
+  ASSERT_TRUE(uncovered.ok());
+  EXPECT_EQ(*uncovered, Outcome::kUnknown);
+
+  // Gap case: {(3,6),(8,10)} does not cover (4,9).
+  Database gap;
+  ASSERT_TRUE(gap.Insert("l", {V(3), V(6)}).ok());
+  ASSERT_TRUE(gap.Insert("l", {V(8), V(10)}).ok());
+  auto gapped = IcqLocalTestOnInsert(*comp, gap, {V(4), V(9)});
+  ASSERT_TRUE(gapped.ok());
+  EXPECT_EQ(*gapped, Outcome::kUnknown);
+}
+
+TEST(IcqCompilerTest, ChainOfManyIntervalsNeedsRecursion) {
+  // Covering [0,100] requires merging a chain of 50 overlapping intervals —
+  // exactly why Theorem 6.1 needs recursive datalog (no RA expression
+  // works: the paper's k-tuple argument).
+  auto comp = CompileIcq(
+      MustRule("panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y"), "l");
+  ASSERT_TRUE(comp.ok());
+  Database db;
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(db.Insert("l", {V(i * 2), V(i * 2 + 3)}).ok());
+  }
+  auto covered = IcqLocalTestOnInsert(*comp, db, {V(0), V(100)});
+  ASSERT_TRUE(covered.ok());
+  EXPECT_EQ(*covered, Outcome::kHolds);
+  auto too_far = IcqLocalTestOnInsert(*comp, db, {V(0), V(102)});
+  ASSERT_TRUE(too_far.ok());
+  EXPECT_EQ(*too_far, Outcome::kUnknown);
+}
+
+TEST(IcqCompilerTest, RaysAndUnboundedIntervals) {
+  // Only a lower bound: forbidden rays [X, +inf).
+  auto comp = CompileIcq(MustRule("panic :- l(X) & r(Z) & X <= Z"), "l");
+  ASSERT_TRUE(comp.ok());
+  Database db;
+  ASSERT_TRUE(db.Insert("l", {V(5)}).ok());
+  // Inserting 7 forbids [7,inf) which is inside [5,inf).
+  auto covered = IcqLocalTestOnInsert(*comp, db, {V(7)});
+  ASSERT_TRUE(covered.ok());
+  EXPECT_EQ(*covered, Outcome::kHolds);
+  // Inserting 3 extends the ray leftward.
+  auto uncovered = IcqLocalTestOnInsert(*comp, db, {V(3)});
+  ASSERT_TRUE(uncovered.ok());
+  EXPECT_EQ(*uncovered, Outcome::kUnknown);
+}
+
+TEST(IcqCompilerTest, RayPairCoversEverything) {
+  // L = {tag le 0, tag ge 10} stored as two-column tuples? Use two
+  // constraints shapes: here a single constraint with both bound kinds:
+  // l(X,Y): forbids [X, Y] as usual; rays come from infinite branches of
+  // unbounded comparisons — covered in RaysAndUnboundedIntervals. Here we
+  // exercise ray_le + ray_ge -> all through a <>-split: Z <> X forbids
+  // (-inf,X) and (X,+inf).
+  auto comp = CompileIcq(MustRule("panic :- l(X) & r(Z) & Z <> X"), "l");
+  ASSERT_TRUE(comp.ok()) << comp.status().ToString();
+  EXPECT_EQ(comp->branches.size(), 2u);
+  Database db;
+  ASSERT_TRUE(db.Insert("l", {V(5)}).ok());
+  // Inserting 5 again (same puncture) is covered.
+  auto same = IcqLocalTestOnInsert(*comp, db, {V(5)});
+  ASSERT_TRUE(same.ok());
+  EXPECT_EQ(*same, Outcome::kHolds);
+  // Inserting 7 forbids (-inf,7) and (7,inf); the union from {5} leaves
+  // the point 5... wait: the union from {5} is everything except 5, which
+  // does not cover (-inf,7) (5 is inside it). Unknown.
+  auto other = IcqLocalTestOnInsert(*comp, db, {V(7)});
+  ASSERT_TRUE(other.ok());
+  EXPECT_EQ(*other, Outcome::kUnknown);
+}
+
+TEST(IcqCompilerTest, CrossBranchCoverageIsFound) {
+  // The subtle case: t's branch-1 interval is covered only with help from
+  // another tuple's branch-2 interval. Z <> Y with varying Y:
+  //   s = (0, 3): punctured at 3 -> (-inf,3) U (3,inf)
+  //   s' = (0, 1): punctured at 1 -> (-inf,1) U (1,inf)
+  // Insert t = (0, 2): forbids (-inf,2) U (2,inf). (-inf,2) is NOT inside
+  // (-inf,1), but (-inf,2) IS inside... hmm: union of all four rays covers
+  // everything (1 is covered by (-inf,3), 3 by (1,inf)): so ALL of t's
+  // region is covered only by mixing s and s' branches.
+  auto comp = CompileIcq(MustRule("panic :- l(X,Y) & r(Z) & Z <> Y"), "l");
+  ASSERT_TRUE(comp.ok());
+  Database db;
+  ASSERT_TRUE(db.Insert("l", {V(0), V(3)}).ok());
+  ASSERT_TRUE(db.Insert("l", {V(0), V(1)}).ok());
+  auto covered = IcqLocalTestOnInsert(*comp, db, {V(0), V(2)});
+  ASSERT_TRUE(covered.ok());
+  EXPECT_EQ(*covered, Outcome::kHolds);
+  // With only one puncture the gap at its point remains.
+  Database one;
+  ASSERT_TRUE(one.Insert("l", {V(0), V(3)}).ok());
+  auto gap = IcqLocalTestOnInsert(*comp, one, {V(0), V(2)});
+  ASSERT_TRUE(gap.ok());
+  EXPECT_EQ(*gap, Outcome::kUnknown);
+}
+
+TEST(IcqCompilerTest, KeyedJoinVariables) {
+  // The remote subgoal joins a local variable: intervals only combine for
+  // matching keys.
+  auto comp = CompileIcq(
+      MustRule("panic :- l(K,X,Y) & r(K,Z) & X <= Z & Z <= Y"), "l");
+  ASSERT_TRUE(comp.ok()) << comp.status().ToString();
+  Database db;
+  ASSERT_TRUE(db.Insert("l", {V("a"), V(0), V(10)}).ok());
+  ASSERT_TRUE(db.Insert("l", {V("b"), V(20), V(30)}).ok());
+  // Same key, nested interval: covered.
+  auto same_key = IcqLocalTestOnInsert(*comp, db, {V("a"), V(2), V(8)});
+  ASSERT_TRUE(same_key.ok());
+  EXPECT_EQ(*same_key, Outcome::kHolds);
+  // Different key, same numeric interval: NOT covered.
+  auto other_key = IcqLocalTestOnInsert(*comp, db, {V("b"), V(2), V(8)});
+  ASSERT_TRUE(other_key.ok());
+  EXPECT_EQ(*other_key, Outcome::kUnknown);
+}
+
+TEST(IcqCompilerTest, LocalFilters) {
+  // X < Y is a filter on the local tuple itself.
+  auto comp = CompileIcq(
+      MustRule("panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y & X < Y"), "l");
+  ASSERT_TRUE(comp.ok());
+  Database db;
+  // (8,2) fails the filter: contributes no interval.
+  ASSERT_TRUE(db.Insert("l", {V(8), V(2)}).ok());
+  auto uncovered = IcqLocalTestOnInsert(*comp, db, {V(3), V(5)});
+  ASSERT_TRUE(uncovered.ok());
+  EXPECT_EQ(*uncovered, Outcome::kUnknown);
+  // A tuple failing the filter is itself harmless to insert.
+  auto harmless = IcqLocalTestOnInsert(*comp, db, {V(9), V(1)});
+  ASSERT_TRUE(harmless.ok());
+  EXPECT_EQ(*harmless, Outcome::kHolds);
+}
+
+TEST(IcqCompilerTest, EqualityEliminatedBySubstitution) {
+  auto comp = CompileIcq(
+      MustRule("panic :- l(X,Y) & r(Z) & Z = X"), "l");
+  ASSERT_TRUE(comp.ok()) << comp.status().ToString();
+  // Z = X: forbidden interval is the single point [X, X].
+  Database db;
+  ASSERT_TRUE(db.Insert("l", {V(5), V(0)}).ok());
+  auto same = IcqLocalTestOnInsert(*comp, db, {V(5), V(9)});
+  ASSERT_TRUE(same.ok());
+  EXPECT_EQ(*same, Outcome::kHolds);
+  auto other = IcqLocalTestOnInsert(*comp, db, {V(6), V(9)});
+  ASSERT_TRUE(other.ok());
+  EXPECT_EQ(*other, Outcome::kUnknown);
+}
+
+TEST(IcqCompilerTest, EightIntervalPredicatesMaterialize) {
+  // "there may be as many as eight different predicates corresponding to
+  // interval in Fig 6.1": with strict and weak bounds mixed plus a
+  // <>-split, the compiled program derives bounded intervals of all four
+  // end-kind combinations and rays of both closednesses.
+  auto comp = CompileIcq(
+      MustRule("panic :- l(A,B,C,D) & r(Z) & A <= Z & B < Z & Z <= C & "
+               "Z < D & Z <> A"),
+      "l");
+  ASSERT_TRUE(comp.ok()) << comp.status().ToString();
+  std::set<std::string> heads;
+  for (const Rule& r : comp->interval_program.rules) {
+    heads.insert(r.head.pred);
+  }
+  // All four bounded kinds appear as merge-rule heads at least.
+  for (const char* kind :
+       {"fi_int_cc", "fi_int_co", "fi_int_oc", "fi_int_oo", "fi_ray_gec",
+        "fi_ray_geo", "fi_ray_lec", "fi_ray_leo", "fi_all"}) {
+    EXPECT_EQ(heads.count(kind), 1u) << kind;
+  }
+
+  // And concretely: mixed-openness bounds derive the right intervals.
+  Database db;
+  ASSERT_TRUE(db.Insert("l", {V(0), V(2), V(10), V(20)}).ok());
+  // Forbidden: max(0 closed, 2 open) = (2, min(10 closed, 20 open)] = 10],
+  // split by Z <> 0 (no effect inside (2,10]). Covered insert:
+  auto covered =
+      IcqLocalTestOnInsert(*comp, db, {V(3), V(3), V(9), V(20)});
+  ASSERT_TRUE(covered.ok());
+  EXPECT_EQ(*covered, Outcome::kHolds);
+  // The open left end at 2 is honored: t = (0,1,9,20) forbids (1,9],
+  // which reaches below s's (2,10] — not covered.
+  auto boundary =
+      IcqLocalTestOnInsert(*comp, db, {V(0), V(1), V(9), V(20)});
+  ASSERT_TRUE(boundary.ok());
+  EXPECT_EQ(*boundary, Outcome::kUnknown);
+}
+
+/// The three implementations of the complete local test — the Fig 6.1
+/// recursive datalog program, the direct IntervalSet computation, and the
+/// general Theorem 5.2 reduction containment — agree on random instances.
+TEST(IcqAgreementSweep, DatalogDirectAndTheorem52Agree) {
+  Rng rng(314159);
+  Rule rule = MustRule("panic :- l(X,Y) & r(Z) & X <= Z & Z < Y");
+  auto comp = CompileIcq(rule, "l");
+  ASSERT_TRUE(comp.ok());
+  auto cqc = MakeCqc(rule, "l");
+  ASSERT_TRUE(cqc.ok());
+
+  for (int trial = 0; trial < 50; ++trial) {
+    Database db;
+    Relation local(2);
+    size_t n = rng.Below(5);
+    for (size_t i = 0; i < n; ++i) {
+      int64_t lo = rng.Range(0, 10);
+      Tuple s = {V(lo), V(lo + rng.Range(0, 5))};
+      local.Insert(s);
+      ASSERT_TRUE(db.Insert("l", s).ok());
+    }
+    int64_t lo = rng.Range(0, 10);
+    Tuple t = {V(lo), V(lo + rng.Range(0, 6))};
+
+    auto datalog = IcqLocalTestOnInsert(*comp, db, t);
+    auto direct = IcqDirectTestOnInsert(*comp, local, t);
+    auto thm52 = CompleteLocalTestOnInsert(*cqc, t, local);
+    ASSERT_TRUE(datalog.ok()) << datalog.status().ToString();
+    ASSERT_TRUE(direct.ok());
+    ASSERT_TRUE(thm52.ok());
+    EXPECT_EQ(*datalog, *direct) << "t=" << TupleToString(t) << "\nL:\n"
+                                 << local.ToString("l");
+    EXPECT_EQ(*datalog, thm52->outcome) << "t=" << TupleToString(t)
+                                        << "\nL:\n"
+                                        << local.ToString("l");
+  }
+}
+
+TEST(IcqAgreementSweep, WithNeSplitsAgainstTheorem52) {
+  Rng rng(2718);
+  Rule rule = MustRule("panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y & Z <> X");
+  auto comp = CompileIcq(rule, "l");
+  ASSERT_TRUE(comp.ok());
+  auto cqc = MakeCqc(rule, "l");
+  ASSERT_TRUE(cqc.ok());
+  for (int trial = 0; trial < 40; ++trial) {
+    Database db;
+    Relation local(2);
+    size_t n = rng.Below(4);
+    for (size_t i = 0; i < n; ++i) {
+      int64_t lo = rng.Range(0, 8);
+      Tuple s = {V(lo), V(lo + rng.Range(0, 4))};
+      local.Insert(s);
+      ASSERT_TRUE(db.Insert("l", s).ok());
+    }
+    int64_t lo = rng.Range(0, 8);
+    Tuple t = {V(lo), V(lo + rng.Range(0, 4))};
+    auto datalog = IcqLocalTestOnInsert(*comp, db, t);
+    auto direct = IcqDirectTestOnInsert(*comp, local, t);
+    auto thm52 = CompleteLocalTestOnInsert(*cqc, t, local);
+    ASSERT_TRUE(datalog.ok());
+    ASSERT_TRUE(direct.ok());
+    ASSERT_TRUE(thm52.ok());
+    EXPECT_EQ(*datalog, *direct) << "t=" << TupleToString(t);
+    EXPECT_EQ(*direct, thm52->outcome)
+        << "t=" << TupleToString(t) << "\nL:\n" << local.ToString("l");
+  }
+}
+
+}  // namespace
+}  // namespace ccpi

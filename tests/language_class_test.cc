@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "datalog/language_class.h"
+#include "datalog/parser.h"
+
+namespace ccpi {
+namespace {
+
+Program MustParse(const char* text) {
+  auto p = ParseProgram(text);
+  EXPECT_TRUE(p.ok()) << p.status().ToString();
+  return *p;
+}
+
+TEST(LanguageClassTest, TwelveClasses) {
+  // Fig 2.1: 3 shapes x negation x arithmetic.
+  EXPECT_EQ(AllLanguageClasses().size(), 12u);
+}
+
+TEST(LanguageClassTest, Example21IsPlainCQ) {
+  LanguageClass c = SyntacticClass(
+      MustParse("panic :- emp(E,sales) & emp(E,accounting)"));
+  EXPECT_EQ(c, (LanguageClass{Shape::kSingleCQ, false, false}));
+  EXPECT_EQ(c.ToString(), "CQ");
+}
+
+TEST(LanguageClassTest, Example22IsCQNegArith) {
+  LanguageClass c = SyntacticClass(
+      MustParse("panic :- emp(E,D,S) & not dept(D) & S < 100"));
+  EXPECT_EQ(c, (LanguageClass{Shape::kSingleCQ, true, true}));
+  EXPECT_EQ(c.ToString(), "CQ+neg+arith");
+}
+
+TEST(LanguageClassTest, Example23IsUnionArith) {
+  LanguageClass c = SyntacticClass(MustParse(
+      "panic :- emp(E,D,S) & salRange(D,Low,High) & S < Low\n"
+      "panic :- emp(E,D,S) & salRange(D,Low,High) & S > High\n"));
+  EXPECT_EQ(c, (LanguageClass{Shape::kUnionCQ, false, true}));
+}
+
+TEST(LanguageClassTest, Example24IsRecursive) {
+  LanguageClass c = SyntacticClass(MustParse(
+      "panic :- boss(E,E)\n"
+      "boss(E,M) :- emp(E,D,S) & manager(D,M)\n"
+      "boss(E,F) :- boss(E,G) & boss(G,F)\n"));
+  EXPECT_EQ(c.shape, Shape::kRecursive);
+}
+
+TEST(LanguageClassTest, LatticeOrder) {
+  LanguageClass cq{Shape::kSingleCQ, false, false};
+  LanguageClass ucq_neg{Shape::kUnionCQ, true, false};
+  LanguageClass rec_all{Shape::kRecursive, true, true};
+  EXPECT_TRUE(LanguageClassLeq(cq, cq));
+  EXPECT_TRUE(LanguageClassLeq(cq, ucq_neg));
+  EXPECT_TRUE(LanguageClassLeq(ucq_neg, rec_all));
+  EXPECT_FALSE(LanguageClassLeq(ucq_neg, cq));
+  EXPECT_FALSE(LanguageClassLeq(rec_all, ucq_neg));
+  // Incomparable: CQ+arith vs UCQ (arith not available).
+  EXPECT_FALSE(LanguageClassLeq((LanguageClass{Shape::kSingleCQ, false, true}),
+                                (LanguageClass{Shape::kUnionCQ, false, false})));
+}
+
+TEST(LanguageClassTest, ExpressibleCollapsesSingleDisjunctHelper) {
+  // A helper predicate that unfolds away: syntactically UCQ-shaped,
+  // expressible as a single CQ.
+  Program p = MustParse(
+      "panic :- big(X)\n"
+      "big(X) :- p(X) & X > 100\n");
+  EXPECT_EQ(SyntacticClass(p).shape, Shape::kUnionCQ);
+  LanguageClass c = ExpressibleClass(p);
+  EXPECT_EQ(c.shape, Shape::kSingleCQ);
+  EXPECT_TRUE(c.arithmetic);
+}
+
+TEST(LanguageClassTest, ExpressibleKeepsRealUnion) {
+  LanguageClass c = ExpressibleClass(MustParse(
+      "panic :- p(X)\n"
+      "panic :- q(X)\n"));
+  EXPECT_EQ(c.shape, Shape::kUnionCQ);
+}
+
+TEST(LanguageClassTest, ExpressibleDropsVacuousArithmetic) {
+  // The helper's comparison disappears when the branch through it is dead.
+  Program p = MustParse(
+      "panic :- p(X) & not always\n"
+      "always\n");
+  LanguageClass c = ExpressibleClass(p);
+  // Unfolds to the empty union: trivially arithmetic- and negation-free.
+  EXPECT_FALSE(c.negation);
+  EXPECT_FALSE(c.arithmetic);
+}
+
+TEST(LanguageClassTest, AllClassesDistinctStrings) {
+  std::set<std::string> names;
+  for (const LanguageClass& c : AllLanguageClasses()) {
+    names.insert(c.ToString());
+  }
+  EXPECT_EQ(names.size(), 12u);
+}
+
+}  // namespace
+}  // namespace ccpi

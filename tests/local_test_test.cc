@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include "containment/cqc.h"
+#include "core/cqc_form.h"
+#include "core/local_test.h"
+#include "core/reduction.h"
+#include "datalog/parser.h"
+#include "eval/engine.h"
+#include "util/rng.h"
+
+namespace ccpi {
+namespace {
+
+Rule MustRule(const char* text) {
+  auto r = ParseRule(text);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return *r;
+}
+
+Cqc MustCqc(const char* text, const char* local) {
+  auto c = MakeCqc(MustRule(text), local);
+  EXPECT_TRUE(c.ok()) << c.status().ToString();
+  return *c;
+}
+
+TEST(CqcFormTest, ForbiddenIntervalsNormalizes) {
+  Cqc c = MustCqc("panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y", "l");
+  EXPECT_EQ(c.local_pred, "l");
+  EXPECT_EQ(c.local.pred, "l");
+  EXPECT_EQ(c.remotes.size(), 1u);
+  EXPECT_EQ(c.remotes[0].pred, "r");
+  // Already in normal form: no extra equalities needed.
+  EXPECT_EQ(c.comparisons.size(), 2u);
+}
+
+TEST(CqcFormTest, RepeatedVariablesGetEqualities) {
+  // l and r share X: normalization splits it with an equality.
+  Cqc c = MustCqc("panic :- l(X,Y) & r(X,Z) & Z < Y", "l");
+  size_t equalities = 0;
+  for (const Comparison& cmp : c.comparisons) {
+    if (cmp.op == CmpOp::kEq) ++equalities;
+  }
+  EXPECT_EQ(equalities, 1u);
+  EXPECT_EQ(c.comparisons.size(), 2u);
+}
+
+TEST(CqcFormTest, RejectsNegationAndMissingLocal) {
+  auto neg = MakeCqc(MustRule("panic :- l(X) & not r(X)"), "l");
+  EXPECT_FALSE(neg.ok());
+  auto missing = MakeCqc(MustRule("panic :- a(X) & r(X)"), "l");
+  EXPECT_FALSE(missing.ok());
+  auto twice = MakeCqc(MustRule("panic :- l(X) & l(Y) & r(X,Y)"), "l");
+  EXPECT_FALSE(twice.ok());
+}
+
+TEST(ReductionTest, Example53Reductions) {
+  Cqc c = MustCqc("panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y", "l");
+  CQ red36 = Reduce(c, {V(3), V(6)});
+  EXPECT_EQ(red36.positives.size(), 1u);
+  ASSERT_EQ(red36.comparisons.size(), 2u);
+  EXPECT_EQ(red36.comparisons[0].lhs.constant(), V(3));
+  EXPECT_EQ(red36.comparisons[1].rhs.constant(), V(6));
+
+  // The containment of Example 5.3 via the reductions.
+  CQ red48 = Reduce(c, {V(4), V(8)});
+  CQ red510 = Reduce(c, {V(5), V(10)});
+  auto contained = CqcContainedInUnion(red48, {red36, red510});
+  ASSERT_TRUE(contained.ok());
+  EXPECT_TRUE(*contained);
+}
+
+TEST(LocalTestTest, Example53EndToEnd) {
+  // "when the stated insertion occurs, we need not fear that C is
+  // violated": L = {(3,6),(5,10)}, insert (4,8).
+  Cqc c = MustCqc("panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y", "l");
+  Relation local(2);
+  local.Insert({V(3), V(6)});
+  local.Insert({V(5), V(10)});
+  auto covered = CompleteLocalTestOnInsert(c, {V(4), V(8)}, local);
+  ASSERT_TRUE(covered.ok()) << covered.status().ToString();
+  EXPECT_EQ(covered->outcome, Outcome::kHolds);
+  EXPECT_EQ(covered->reductions, 2u);
+
+  // Inserting (2, 8) extends past the union's left edge: inconclusive.
+  auto uncovered = CompleteLocalTestOnInsert(c, {V(2), V(8)}, local);
+  ASSERT_TRUE(uncovered.ok());
+  EXPECT_EQ(uncovered->outcome, Outcome::kUnknown);
+  // ... and the completeness witness materializes a remote state that
+  // really breaks the constraint after the insert and not before.
+  ASSERT_TRUE(uncovered->witness_remote.has_value());
+  const Database& witness = *uncovered->witness_remote;
+  Program constraint;
+  constraint.rules.push_back(c.ToCQ().ToRule());
+  Database before = witness;
+  for (const Tuple& s : local.rows()) {
+    ASSERT_TRUE(before.Insert("l", s).ok());
+  }
+  auto held_before = IsViolated(constraint, before);
+  ASSERT_TRUE(held_before.ok());
+  EXPECT_FALSE(*held_before);
+  Database after = before;
+  ASSERT_TRUE(after.Insert("l", {V(2), V(8)}).ok());
+  auto violated_after = IsViolated(constraint, after);
+  ASSERT_TRUE(violated_after.ok());
+  EXPECT_TRUE(*violated_after);
+}
+
+TEST(LocalTestTest, EmptyLocalRelationOnlyCoversUnsatisfiable) {
+  Cqc c = MustCqc("panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y", "l");
+  Relation local(2);
+  // (5,2) forbids nothing (empty interval): safe even with empty L.
+  auto safe = CompleteLocalTestOnInsert(c, {V(5), V(2)}, local);
+  ASSERT_TRUE(safe.ok());
+  EXPECT_EQ(safe->outcome, Outcome::kHolds);
+  // (2,5) forbids a real interval: unknown.
+  auto unsafe = CompleteLocalTestOnInsert(c, {V(2), V(5)}, local);
+  ASSERT_TRUE(unsafe.ok());
+  EXPECT_EQ(unsafe->outcome, Outcome::kUnknown);
+}
+
+TEST(LocalTestTest, PurelyLocalConstraintDecidesOutright) {
+  Cqc c = MustCqc("panic :- l(X,Y) & X > Y", "l");
+  Relation local(2);
+  auto violated = CompleteLocalTestOnInsert(c, {V(5), V(2)}, local);
+  ASSERT_TRUE(violated.ok());
+  EXPECT_EQ(violated->outcome, Outcome::kViolated);
+  auto holds = CompleteLocalTestOnInsert(c, {V(2), V(5)}, local);
+  ASSERT_TRUE(holds.ok());
+  EXPECT_EQ(holds->outcome, Outcome::kHolds);
+}
+
+TEST(LocalTestTest, AssumedConstraintExtendsTheUnion) {
+  // C forbids [X,Y]; C2 forbids [X-0..X+100] style wider intervals is
+  // modeled by a second constraint with its own comparisons. A tuple
+  // covered only thanks to C2's reductions:
+  Cqc c = MustCqc("panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y", "l");
+  Cqc wide = MustCqc("panic :- l(X,Y) & r(Z) & X <= Z", "l");  // [X, inf)
+  Relation local(2);
+  local.Insert({V(3), V(4)});
+  // [5,9] is not covered by [3,4] under C alone...
+  auto alone = CompleteLocalTestOnInsert(c, {V(5), V(9)}, local);
+  ASSERT_TRUE(alone.ok());
+  EXPECT_EQ(alone->outcome, Outcome::kUnknown);
+  // ...but C2's reduction by (3,4) forbids [3, inf), which covers it.
+  auto with_wide = CompleteLocalTestOnInsert(c, {V(5), V(9)}, local, {wide});
+  ASSERT_TRUE(with_wide.ok()) << with_wide.status().ToString();
+  EXPECT_EQ(with_wide->outcome, Outcome::kHolds);
+}
+
+/// Soundness + completeness sweep against brute-force evaluation:
+///  - kHolds must imply no remote state violates C after the insert
+///    (checked on exhaustively enumerated small remote relations);
+///  - kUnknown must come with a witness that does violate it.
+TEST(LocalTestTest, RandomizedSoundnessAndCompleteness) {
+  Rng rng(20260705);
+  Cqc c = MustCqc("panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y", "l");
+  Program constraint;
+  constraint.rules.push_back(c.ToCQ().ToRule());
+
+  for (int trial = 0; trial < 60; ++trial) {
+    Relation local(2);
+    size_t n = 1 + rng.Below(4);
+    for (size_t i = 0; i < n; ++i) {
+      int64_t lo = rng.Range(0, 12);
+      local.Insert({V(lo), V(lo + rng.Range(0, 6))});
+    }
+    Tuple t = {V(rng.Range(0, 12)), V(rng.Range(0, 18))};
+    auto result = CompleteLocalTestOnInsert(c, t, local);
+    ASSERT_TRUE(result.ok());
+
+    if (result->outcome == Outcome::kHolds) {
+      // Exhaustive point check: every remote value z in [t.lo, t.hi] that
+      // fires C after the insert must already fire it before (soundness of
+      // "holds": assuming C held before, z cannot exist).
+      for (int64_t z = -1; z <= 20; ++z) {
+        Database db;
+        ASSERT_TRUE(db.Insert("r", {V(z)}).ok());
+        for (const Tuple& s : local.rows()) {
+          ASSERT_TRUE(db.Insert("l", s).ok());
+        }
+        auto before = IsViolated(constraint, db);
+        ASSERT_TRUE(before.ok());
+        Database db_after = db;
+        ASSERT_TRUE(db_after.Insert("l", t).ok());
+        auto after = IsViolated(constraint, db_after);
+        ASSERT_TRUE(after.ok());
+        if (!*before) {
+          EXPECT_FALSE(*after)
+              << "holds-verdict broken by z=" << z << " with t "
+              << TupleToString(t);
+        }
+      }
+    } else {
+      ASSERT_EQ(result->outcome, Outcome::kUnknown);
+      // Completeness: the witness violates after, not before.
+      ASSERT_TRUE(result->witness_remote.has_value());
+      Database db = *result->witness_remote;
+      for (const Tuple& s : local.rows()) {
+        ASSERT_TRUE(db.Insert("l", s).ok());
+      }
+      auto before = IsViolated(constraint, db);
+      ASSERT_TRUE(before.ok());
+      EXPECT_FALSE(*before);
+      ASSERT_TRUE(db.Insert("l", t).ok());
+      auto after = IsViolated(constraint, db);
+      ASSERT_TRUE(after.ok());
+      EXPECT_TRUE(*after);
+    }
+  }
+}
+
+TEST(LocalTestTest, TwoRemoteSubgoals) {
+  // Violation needs matching tuples in BOTH remote relations.
+  Cqc c = MustCqc(
+      "panic :- l(X,Y) & r1(Z) & r2(W) & X <= Z & Z <= Y & W = Z", "l");
+  Relation local(2);
+  local.Insert({V(0), V(10)});
+  auto covered = CompleteLocalTestOnInsert(c, {V(2), V(8)}, local);
+  ASSERT_TRUE(covered.ok()) << covered.status().ToString();
+  EXPECT_EQ(covered->outcome, Outcome::kHolds);
+  auto uncovered = CompleteLocalTestOnInsert(c, {V(2), V(18)}, local);
+  ASSERT_TRUE(uncovered.ok());
+  EXPECT_EQ(uncovered->outcome, Outcome::kUnknown);
+}
+
+}  // namespace
+}  // namespace ccpi

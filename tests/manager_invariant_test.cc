@@ -1,0 +1,139 @@
+// Whole-system soundness fuzz: random constraint sets and update streams
+// run through the tiered ConstraintManager, with two invariants checked
+// after EVERY update against ground truth (full evaluation):
+//
+//  1. No violation ever gets through: all active constraints hold on the
+//     database the manager maintains. (Soundness of every tier at once —
+//     a bug in subsumption, independence, or any local test breaks this.)
+//  2. No false rejections: when the manager rejects an update, actually
+//     applying it would have violated some constraint.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "datalog/parser.h"
+#include "eval/engine.h"
+#include "manager/constraint_manager.h"
+#include "util/rng.h"
+
+namespace ccpi {
+namespace {
+
+Program MustParse(const std::string& text) {
+  auto p = ParseProgram(text);
+  EXPECT_TRUE(p.ok()) << p.status().ToString();
+  return *p;
+}
+
+class ManagerInvariant : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ManagerInvariant, CascadeIsSoundAndNeverOverRejects) {
+  Rng rng(GetParam());
+
+  // A pool of constraint shapes over small relations; each trial picks a
+  // few.
+  const char* pool[] = {
+      "panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y",  // forbidden intervals
+      "panic :- l(X,Y) & X > Y",                   // purely local order
+      "panic :- l(X,Y) & r(X)",                    // join, arithmetic-free
+      "panic :- r(Z) & Z > 8",                     // remote-only cap
+      "panic :- l(X,Y) & l(Y,X2) & X = X2",        // self-join via equality
+  };
+  std::vector<Program> chosen;
+  std::vector<std::string> names;
+  ConstraintManager mgr({"l"}, CostModel{});
+  size_t count = 2 + rng.Below(3);
+  for (size_t i = 0; i < count; ++i) {
+    std::string text = pool[rng.Below(5)];
+    Program p = MustParse(text);
+    std::string name = "c" + std::to_string(i);
+    auto added = mgr.AddConstraint(name, p);
+    ASSERT_TRUE(added.ok()) << added.status().ToString();
+    chosen.push_back(std::move(p));
+    names.push_back(std::move(name));
+  }
+
+  for (int step = 0; step < 60; ++step) {
+    // Random single-tuple update over l (local) or r (remote).
+    std::string pred = rng.Chance(2, 3) ? "l" : "r";
+    Tuple t = pred == "l" ? Tuple{V(rng.Range(0, 6)), V(rng.Range(0, 9))}
+                          : Tuple{V(rng.Range(0, 9))};
+    Update u = rng.Chance(3, 4) ? Update::Insert(pred, t)
+                                : Update::Delete(pred, t);
+
+    Database before = mgr.site().db();
+    auto reports = mgr.ApplyUpdate(u);
+    ASSERT_TRUE(reports.ok()) << reports.status().ToString();
+    bool rejected = false;
+    for (const CheckReport& r : *reports) {
+      rejected = rejected || r.outcome == Outcome::kViolated;
+    }
+
+    // Invariant 1: every constraint holds on the maintained database.
+    for (const Program& c : chosen) {
+      auto violated = IsViolated(c, mgr.site().db());
+      ASSERT_TRUE(violated.ok());
+      EXPECT_FALSE(*violated)
+          << "tier cascade admitted a violation of\n"
+          << c.ToString() << "after " << u.ToString() << "\ndb:\n"
+          << mgr.site().db().ToString();
+    }
+
+    if (rejected) {
+      // Invariant 2: the rejection was justified.
+      Database would_be = before;
+      ASSERT_TRUE(u.ApplyTo(&would_be).ok());
+      bool any = false;
+      for (const Program& c : chosen) {
+        auto violated = IsViolated(c, would_be);
+        ASSERT_TRUE(violated.ok());
+        any = any || *violated;
+      }
+      EXPECT_TRUE(any) << "false rejection of " << u.ToString();
+      // And the database is unchanged.
+      EXPECT_EQ(mgr.site().db().ToString(), before.ToString());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ManagerInvariant,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+TEST(ManagerInvariantTransactions, AtomicityUnderRandomBatches) {
+  Rng rng(99);
+  ConstraintManager mgr({"l"}, CostModel{});
+  ASSERT_TRUE(mgr.AddConstraint("ord", MustParse("panic :- l(X,Y) & X > Y"))
+                  .ok());
+  ASSERT_TRUE(
+      mgr.AddConstraint(
+             "fi", MustParse("panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y"))
+          .ok());
+  ASSERT_TRUE(mgr.site().db().Insert("r", {V(7)}).ok());
+
+  for (int round = 0; round < 30; ++round) {
+    Database before = mgr.site().db();
+    std::vector<Update> batch;
+    size_t len = 1 + rng.Below(4);
+    for (size_t i = 0; i < len; ++i) {
+      Tuple t = {V(rng.Range(0, 9)), V(rng.Range(0, 9))};
+      batch.push_back(rng.Chance(3, 4) ? Update::Insert("l", t)
+                                       : Update::Delete("l", t));
+    }
+    auto result = mgr.ApplyTransaction(batch);
+    ASSERT_TRUE(result.ok());
+    if (!result->committed) {
+      EXPECT_EQ(mgr.site().db().ToString(), before.ToString())
+          << "rollback left residue";
+    }
+    // Constraints hold either way.
+    auto v1 = IsViolated(MustParse("panic :- l(X,Y) & X > Y"),
+                         mgr.site().db());
+    ASSERT_TRUE(v1.ok());
+    EXPECT_FALSE(*v1);
+  }
+}
+
+}  // namespace
+}  // namespace ccpi

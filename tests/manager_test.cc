@@ -1,0 +1,265 @@
+#include <gtest/gtest.h>
+
+#include "datalog/parser.h"
+#include "manager/active_rules.h"
+#include "manager/constraint_manager.h"
+#include "manager/view_maint.h"
+
+namespace ccpi {
+namespace {
+
+Program MustParse(const char* text) {
+  auto p = ParseProgram(text);
+  EXPECT_TRUE(p.ok()) << p.status().ToString();
+  return *p;
+}
+
+Tier TierOf(const std::vector<CheckReport>& reports,
+            const std::string& name) {
+  for (const CheckReport& r : reports) {
+    if (r.constraint == name) return r.tier;
+  }
+  ADD_FAILURE() << "no report for " << name;
+  return Tier::kFullCheck;
+}
+
+Outcome OutcomeOf(const std::vector<CheckReport>& reports,
+                  const std::string& name) {
+  for (const CheckReport& r : reports) {
+    if (r.constraint == name) return r.outcome;
+  }
+  ADD_FAILURE() << "no report for " << name;
+  return Outcome::kUnknown;
+}
+
+TEST(ManagerTest, SubsumedConstraintDropped) {
+  ConstraintManager mgr({"l"}, CostModel{});
+  auto first = mgr.AddConstraint("strong", MustParse("panic :- p(X)"));
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(*first);
+  auto second =
+      mgr.AddConstraint("weak", MustParse("panic :- p(X) & q(X)"));
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(*second);  // subsumed at registration
+
+  auto reports = mgr.ApplyUpdate(Update::Insert("q", {V(1)}));
+  ASSERT_TRUE(reports.ok());
+  EXPECT_EQ(TierOf(*reports, "weak"), Tier::kSubsumed);
+}
+
+TEST(ManagerTest, UnaffectedTier) {
+  ConstraintManager mgr({"l"}, CostModel{});
+  ASSERT_TRUE(mgr.AddConstraint("c", MustParse("panic :- p(X) & q(X)")).ok());
+  auto reports = mgr.ApplyUpdate(Update::Insert("other", {V(1)}));
+  ASSERT_TRUE(reports.ok());
+  EXPECT_EQ(TierOf(*reports, "c"), Tier::kUnaffected);
+  EXPECT_EQ(OutcomeOf(*reports, "c"), Outcome::kHolds);
+}
+
+TEST(ManagerTest, IndependenceTierOnSafeInsert) {
+  ConstraintManager mgr({"emp"}, CostModel{});
+  ASSERT_TRUE(
+      mgr.AddConstraint("cap", MustParse("panic :- emp(E,D,S) & S > 100"))
+          .ok());
+  auto reports =
+      mgr.ApplyUpdate(Update::Insert("emp", {V("a"), V("d"), V(50)}));
+  ASSERT_TRUE(reports.ok());
+  EXPECT_EQ(TierOf(*reports, "cap"), Tier::kIndependence);
+  EXPECT_EQ(OutcomeOf(*reports, "cap"), Outcome::kHolds);
+}
+
+TEST(ManagerTest, LocalTestTierForForbiddenIntervals) {
+  ConstraintManager mgr({"l"}, CostModel{});
+  ASSERT_TRUE(mgr.AddConstraint(
+                     "fi",
+                     MustParse("panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y"))
+                  .ok());
+  // Seed L (each insert is itself checked; the first ones go to full
+  // evaluation since nothing covers them and remote r is empty).
+  ASSERT_TRUE(mgr.ApplyUpdate(Update::Insert("l", {V(3), V(6)})).ok());
+  ASSERT_TRUE(mgr.ApplyUpdate(Update::Insert("l", {V(5), V(10)})).ok());
+  // (4,8) is covered by local data alone: resolved at the local tier.
+  auto reports = mgr.ApplyUpdate(Update::Insert("l", {V(4), V(8)}));
+  ASSERT_TRUE(reports.ok());
+  EXPECT_EQ(TierOf(*reports, "fi"), Tier::kLocalTest);
+  EXPECT_EQ(OutcomeOf(*reports, "fi"), Outcome::kHolds);
+  EXPECT_TRUE(mgr.site().db().Contains("l", {V(4), V(8)}));
+}
+
+TEST(ManagerTest, FullCheckDetectsAndRejectsViolation) {
+  ConstraintManager mgr({"l"}, CostModel{});
+  ASSERT_TRUE(mgr.AddConstraint(
+                     "fi",
+                     MustParse("panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y"))
+                  .ok());
+  // Remote relation r lives on the other site; populate it directly.
+  ASSERT_TRUE(mgr.site().db().Insert("r", {V(7)}).ok());
+  // Inserting (5,10) forbids 7, which exists remotely: violation.
+  auto reports = mgr.ApplyUpdate(Update::Insert("l", {V(5), V(10)}));
+  ASSERT_TRUE(reports.ok());
+  EXPECT_EQ(TierOf(*reports, "fi"), Tier::kFullCheck);
+  EXPECT_EQ(OutcomeOf(*reports, "fi"), Outcome::kViolated);
+  // The update was rejected.
+  EXPECT_FALSE(mgr.site().db().Contains("l", {V(5), V(10)}));
+  EXPECT_EQ(mgr.stats().violations, 1u);
+}
+
+TEST(ManagerTest, LocalOnlyConstraintViolatedAtLocalTier) {
+  ConstraintManager mgr({"l"}, CostModel{});
+  ASSERT_TRUE(
+      mgr.AddConstraint("ord", MustParse("panic :- l(X,Y) & X > Y")).ok());
+  auto ok = mgr.ApplyUpdate(Update::Insert("l", {V(1), V(2)}));
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(OutcomeOf(*ok, "ord"), Outcome::kHolds);
+  auto bad = mgr.ApplyUpdate(Update::Insert("l", {V(5), V(2)}));
+  ASSERT_TRUE(bad.ok());
+  EXPECT_EQ(OutcomeOf(*bad, "ord"), Outcome::kViolated);
+  EXPECT_EQ(TierOf(*bad, "ord"), Tier::kLocalTest);
+  EXPECT_FALSE(mgr.site().db().Contains("l", {V(5), V(2)}));
+}
+
+TEST(ManagerTest, NoopUpdateResolvesTrivially) {
+  ConstraintManager mgr({"l"}, CostModel{});
+  ASSERT_TRUE(
+      mgr.AddConstraint("c", MustParse("panic :- l(X) & r(X)")).ok());
+  ASSERT_TRUE(mgr.ApplyUpdate(Update::Delete("l", {V(1)})).ok());  // absent
+  auto reports = mgr.ApplyUpdate(Update::Delete("l", {V(1)}));
+  ASSERT_TRUE(reports.ok());
+  EXPECT_EQ(TierOf(*reports, "c"), Tier::kUnaffected);
+}
+
+TEST(ManagerTest, DeletionOfMonotoneConstraintIndependent) {
+  ConstraintManager mgr({"l"}, CostModel{});
+  ASSERT_TRUE(
+      mgr.AddConstraint("c", MustParse("panic :- l(X) & r(X)")).ok());
+  ASSERT_TRUE(mgr.site().db().Insert("l", {V(1)}).ok());
+  auto reports = mgr.ApplyUpdate(Update::Delete("l", {V(1)}));
+  ASSERT_TRUE(reports.ok());
+  EXPECT_EQ(TierOf(*reports, "c"), Tier::kIndependence);
+  EXPECT_FALSE(mgr.site().db().Contains("l", {V(1)}));
+}
+
+TEST(ManagerTest, AccessAccountingSeparatesSites) {
+  ConstraintManager mgr({"l"}, CostModel{});
+  ASSERT_TRUE(mgr.AddConstraint(
+                     "fi",
+                     MustParse("panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y"))
+                  .ok());
+  ASSERT_TRUE(mgr.ApplyUpdate(Update::Insert("l", {V(0), V(10)})).ok());
+  AccessStats after_seed = mgr.stats().access;
+  // A covered insert resolves locally: remote counters must not move.
+  ASSERT_TRUE(mgr.ApplyUpdate(Update::Insert("l", {V(2), V(8)})).ok());
+  EXPECT_EQ(mgr.stats().access.remote_tuples, after_seed.remote_tuples);
+  EXPECT_EQ(mgr.stats().access.remote_trips, after_seed.remote_trips);
+  EXPECT_GT(mgr.stats().access.local_tuples, after_seed.local_tuples);
+}
+
+// --- Active rules (application 2) ------------------------------------------
+
+TEST(ActiveRulesTest, FiresWhenConditionBecomesTrue) {
+  Database db;
+  ActiveRuleEngine engine(&db);
+  int fired = 0;
+  ASSERT_TRUE(engine
+                  .AddRule("audit", MustParse("panic :- emp(E,D,S) & S > 100"),
+                           [&fired](Database*) { ++fired; })
+                  .ok());
+  auto r1 = engine.ProcessUpdate(
+      Update::Insert("emp", {V("a"), V("d"), V(50)}));
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(fired, 0);
+  // Below-threshold insert is provably irrelevant: not even re-evaluated.
+  EXPECT_EQ(r1->skipped_irrelevant.size(), 1u);
+  auto r2 = engine.ProcessUpdate(
+      Update::Insert("emp", {V("b"), V("d"), V(500)}));
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(r2->fired.size(), 1u);
+}
+
+TEST(ActiveRulesTest, NoPriorSatisfactionAssumed) {
+  // Unlike integrity constraints, the condition may already be true; the
+  // engine must re-fire rather than conclude "held before, still holds".
+  Database db;
+  ASSERT_TRUE(db.Insert("emp", {V("x"), V("d"), V(900)}).ok());
+  ActiveRuleEngine engine(&db);
+  int fired = 0;
+  ASSERT_TRUE(engine
+                  .AddRule("audit", MustParse("panic :- emp(E,D,S) & S > 100"),
+                           [&fired](Database*) { ++fired; })
+                  .ok());
+  auto r = engine.ProcessUpdate(
+      Update::Insert("emp", {V("y"), V("d"), V(700)}));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(ActiveRulesTest, ActionMayModifyDatabase) {
+  Database db;
+  ActiveRuleEngine engine(&db);
+  ASSERT_TRUE(engine
+                  .AddRule("log", MustParse("panic :- emp(E,D,S) & S > 100"),
+                           [](Database* d) {
+                             ASSERT_TRUE(d->Insert("flag", {V(1)}).ok());
+                           })
+                  .ok());
+  ASSERT_TRUE(
+      engine.ProcessUpdate(Update::Insert("emp", {V("a"), V("d"), V(500)}))
+          .ok());
+  EXPECT_TRUE(db.Contains("flag", {V(1)}));
+}
+
+// --- View maintenance (application 3) ---------------------------------------
+
+TEST(ViewMaintTest, IrrelevantUpdateDetected) {
+  Program view = MustParse("v(E) :- emp(E,D,S) & S > 100");
+  view.goal = "v";
+  // Inserting a low-salary employee cannot change the view.
+  auto low = IrrelevantUpdate(
+      view, Update::Insert("emp", {V("a"), V("d"), V(50)}));
+  ASSERT_TRUE(low.ok()) << low.status().ToString();
+  EXPECT_EQ(*low, Outcome::kHolds);
+  // A high-salary insert can.
+  auto high = IrrelevantUpdate(
+      view, Update::Insert("emp", {V("a"), V("d"), V(500)}));
+  ASSERT_TRUE(high.ok());
+  EXPECT_EQ(*high, Outcome::kUnknown);
+}
+
+TEST(ViewMaintTest, IrrelevantMeansViewNeverChanges) {
+  Program view = MustParse("v(E) :- emp(E,D,S) & S > 100");
+  view.goal = "v";
+  Update u = Update::Insert("emp", {V("a"), V("d"), V(50)});
+  ASSERT_EQ(*IrrelevantUpdate(view, u), Outcome::kHolds);
+  Database db;
+  ASSERT_TRUE(db.Insert("emp", {V("x"), V("d"), V(200)}).ok());
+  auto changed = ViewChanges(view, u, db);
+  ASSERT_TRUE(changed.ok());
+  EXPECT_FALSE(*changed);
+}
+
+TEST(ViewMaintTest, RelevantUpdateChangesView) {
+  Program view = MustParse("v(E) :- emp(E,D,S) & S > 100");
+  view.goal = "v";
+  Update u = Update::Insert("emp", {V("a"), V("d"), V(500)});
+  Database db;
+  auto changed = ViewChanges(view, u, db);
+  ASSERT_TRUE(changed.ok());
+  EXPECT_TRUE(*changed);
+}
+
+TEST(ViewMaintTest, DeletionIrrelevantWhenFilteredOut) {
+  Program view = MustParse("v(E) :- emp(E,D,S) & S > 100");
+  view.goal = "v";
+  auto del = IrrelevantUpdate(
+      view, Update::Delete("emp", {V("a"), V("d"), V(50)}));
+  ASSERT_TRUE(del.ok());
+  EXPECT_EQ(*del, Outcome::kHolds);
+  auto del_high = IrrelevantUpdate(
+      view, Update::Delete("emp", {V("a"), V("d"), V(500)}));
+  ASSERT_TRUE(del_high.ok());
+  EXPECT_EQ(*del_high, Outcome::kUnknown);
+}
+
+}  // namespace
+}  // namespace ccpi

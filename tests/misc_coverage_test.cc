@@ -1,0 +1,157 @@
+// Cross-cutting coverage: index-vs-scan agreement on the storage layer,
+// normalization semantics, oracle resource limits, and compiled-program
+// interop.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "containment/exact.h"
+#include "containment/normalize.h"
+#include "core/icq_compiler.h"
+#include "datalog/parser.h"
+#include "datalog/souffle_export.h"
+#include "eval/engine.h"
+#include "relational/relation.h"
+#include "util/rng.h"
+
+namespace ccpi {
+namespace {
+
+TEST(RelationFuzz, ProbeMatchesScanUnderChurn) {
+  Rng rng(12021);
+  Relation rel(2);
+  for (int step = 0; step < 2000; ++step) {
+    Tuple t = {V(rng.Range(0, 15)), V(rng.Range(0, 15))};
+    switch (rng.Below(3)) {
+      case 0:
+        rel.Insert(t);
+        break;
+      case 1:
+        rel.Erase(t);
+        break;
+      default: {
+        size_t col = rng.Below(2);
+        Value v = V(rng.Range(0, 15));
+        // Probe postings must be exactly the scan matches.
+        std::set<size_t> probe(rel.Probe(col, v).begin(),
+                               rel.Probe(col, v).end());
+        std::set<size_t> scan;
+        for (size_t i = 0; i < rel.rows().size(); ++i) {
+          if (rel.rows()[i][col] == v) scan.insert(i);
+        }
+        ASSERT_EQ(probe, scan) << "step " << step;
+        break;
+      }
+    }
+  }
+}
+
+TEST(NormalizeTest, PreservesSemanticsOnRandomDatabases) {
+  Rng rng(5150);
+  const char* constraints[] = {
+      "panic :- p(X,X) & q(X)",
+      "panic :- p(0,Y) & q(Y)",
+      "panic :- p(X,Y) & p(Y,X) & X < Y",
+      "panic :- p(X,X) & p(X,Z) & Z <> X",
+  };
+  for (const char* text : constraints) {
+    auto rule = ParseRule(text);
+    ASSERT_TRUE(rule.ok());
+    CQ original = RuleToCQ(*rule);
+    CQ normalized = NormalizeToTheorem51Form(original);
+    // Normal form achieved...
+    for (const Atom& a : normalized.positives) {
+      for (const Term& t : a.args) EXPECT_TRUE(t.is_var());
+    }
+    // ...and equivalent: same verdict on random databases.
+    Program p1;
+    p1.rules.push_back(original.ToRule());
+    Program p2;
+    p2.rules.push_back(normalized.ToRule());
+    for (int trial = 0; trial < 40; ++trial) {
+      Database db;
+      for (int i = 0; i < 6; ++i) {
+        ASSERT_TRUE(
+            db.Insert("p", {V(rng.Range(0, 3)), V(rng.Range(0, 3))}).ok());
+        ASSERT_TRUE(db.Insert("q", {V(rng.Range(0, 3))}).ok());
+      }
+      auto v1 = IsViolated(p1, db);
+      auto v2 = IsViolated(p2, db);
+      ASSERT_TRUE(v1.ok() && v2.ok());
+      EXPECT_EQ(*v1, *v2) << text << "\n" << db.ToString();
+    }
+  }
+}
+
+TEST(ExactLimitsTest, OversizeInstancesReportUnsupported) {
+  // A strict chain forces every consistent linearization to use 16
+  // distinct classes, overflowing the universe limit. (Without the chain
+  // the oracle can legitimately decide through small collapsed universes.)
+  std::string body;
+  for (int i = 0; i < 16; ++i) {
+    if (i > 0) body += " & ";
+    body += "p(X" + std::to_string(i) + ")";
+  }
+  for (int i = 0; i + 1 < 16; ++i) {
+    body += " & X" + std::to_string(i) + " < X" + std::to_string(i + 1);
+  }
+  auto rule = ParseRule("panic :- " + body);
+  ASSERT_TRUE(rule.ok());
+  CQ q1 = RuleToCQ(*rule);
+  auto q2 = ParseRule("panic :- p(X) & not q(X)");
+  ASSERT_TRUE(q2.ok());
+  ExactLimits limits;
+  limits.max_universe = 8;
+  auto r = ExactCqContained(q1, RuleToCQ(*q2), limits);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(ExactLimitsTest, SatVariableLimit) {
+  // Pin the three variables to three distinct classes so every
+  // linearization needs 3^3 optional tuples per ternary predicate.
+  auto r1 = ParseRule("panic :- p(A,B,C) & q(A,B,C) & A < B & B < C");
+  auto r2 = ParseRule("panic :- p(X,Y,Z) & not q(Z,Y,X)");
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  ExactLimits limits;
+  limits.max_sat_variables = 10;  // 2 * 3^3 optional tuples exceeds this
+  auto r = ExactCqContained(RuleToCQ(*r1), RuleToCQ(*r2), limits);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(InteropTest, CompiledIntervalProgramExportsToSouffle) {
+  auto rule = ParseRule("panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y");
+  ASSERT_TRUE(rule.ok());
+  auto comp = CompileIcq(*rule, "l");
+  ASSERT_TRUE(comp.ok());
+  Program program = comp->interval_program;
+  program.goal = "fi_int_cc";
+  Database facts;
+  ASSERT_TRUE(facts.Insert("l", {V(3), V(6)}).ok());
+  auto dl = ExportSouffle(program, &facts);
+  ASSERT_TRUE(dl.ok()) << dl.status().ToString();
+  EXPECT_NE(dl->find(".decl fi_int_cc(c0: number, c1: number)"),
+            std::string::npos)
+      << *dl;
+  EXPECT_NE(dl->find("l(3, 6)."), std::string::npos);
+}
+
+TEST(InteropTest, RewrittenConstraintExportsToSouffle) {
+  // The Example 4.1 helper encoding is plain nonrecursive datalog with
+  // negation — Souffle-ready.
+  auto program = ParseProgram(
+      "panic :- emp(E,D,S) & not dept1(D)\n"
+      "dept1(D) :- dept(D)\n"
+      "dept1(toy)\n");
+  ASSERT_TRUE(program.ok());
+  auto dl = ExportSouffle(*program);
+  ASSERT_TRUE(dl.ok()) << dl.status().ToString();
+  EXPECT_NE(dl->find("dept1(\"toy\")."), std::string::npos);
+  EXPECT_NE(dl->find("!dept1(D)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ccpi

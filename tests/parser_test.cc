@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "datalog/ast.h"
+#include "datalog/parser.h"
+
+namespace ccpi {
+namespace {
+
+TEST(ParserTest, Example21NoDualDepartments) {
+  // Example 2.1 of the paper.
+  auto program = ParseProgram(
+      "panic :- emp(E,sales) & emp(E,accounting)");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  ASSERT_EQ(program->rules.size(), 1u);
+  const Rule& rule = program->rules[0];
+  EXPECT_EQ(rule.head.pred, "panic");
+  EXPECT_TRUE(rule.head.args.empty());
+  ASSERT_EQ(rule.body.size(), 2u);
+  EXPECT_EQ(rule.body[0].atom.pred, "emp");
+  EXPECT_TRUE(rule.body[0].atom.args[0].is_var());
+  EXPECT_EQ(rule.body[0].atom.args[0].var(), "E");
+  EXPECT_TRUE(rule.body[0].atom.args[1].is_const());
+  EXPECT_EQ(rule.body[0].atom.args[1].constant(), V("sales"));
+}
+
+TEST(ParserTest, Example22NegationAndComparison) {
+  // Example 2.2: negated subgoal and arithmetic comparison.
+  auto rule = ParseRule("panic :- emp(E,D,S) & not dept(D) & S < 100");
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  ASSERT_EQ(rule->body.size(), 3u);
+  EXPECT_TRUE(rule->body[1].is_negated());
+  EXPECT_EQ(rule->body[1].atom.pred, "dept");
+  ASSERT_TRUE(rule->body[2].is_comparison());
+  EXPECT_EQ(rule->body[2].cmp.op, CmpOp::kLt);
+  EXPECT_EQ(rule->body[2].cmp.rhs.constant(), V(100));
+}
+
+TEST(ParserTest, Example23SalaryRangeUnion) {
+  // Example 2.3: two rules forming a union of CQs with arithmetic.
+  auto program = ParseProgram(
+      "panic :- emp(E,D,S) & salRange(D,Low,High) & S < Low\n"
+      "panic :- emp(E,D,S) & salRange(D,Low,High) & S > High\n");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  EXPECT_EQ(program->rules.size(), 2u);
+  EXPECT_TRUE(program->HasArithmetic());
+  EXPECT_FALSE(program->HasNegation());
+  EXPECT_FALSE(program->IsRecursive());
+}
+
+TEST(ParserTest, Example24RecursiveBoss) {
+  // Example 2.4: recursive datalog.
+  auto program = ParseProgram(
+      "panic :- boss(E,E)\n"
+      "boss(E,M) :- emp(E,D,S) & manager(D,M)\n"
+      "boss(E,F) :- boss(E,G) & boss(G,F)\n");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  EXPECT_TRUE(program->IsRecursive());
+  EXPECT_EQ(program->IdbPredicates(),
+            (std::set<std::string>{"panic", "boss"}));
+  EXPECT_EQ(program->EdbPredicates(),
+            (std::set<std::string>{"emp", "manager"}));
+}
+
+TEST(ParserTest, FactWithoutBody) {
+  auto program = ParseProgram("dept1(toy)");
+  ASSERT_TRUE(program.ok());
+  EXPECT_TRUE(program->rules[0].body.empty());
+  EXPECT_EQ(program->rules[0].head.args[0].constant(), V("toy"));
+}
+
+TEST(ParserTest, CommaSeparatorAndPeriod) {
+  auto rule = ParseRule("panic :- p(X), q(X).");
+  ASSERT_TRUE(rule.ok());
+  EXPECT_EQ(rule->body.size(), 2u);
+}
+
+TEST(ParserTest, MultiLineRuleAfterConnective) {
+  auto rule = ParseRule(
+      "panic :- emp(E,D,S) &\n"
+      "         salRange(D,Low,High) &\n"
+      "         S < Low");
+  ASSERT_TRUE(rule.ok()) << rule.status().ToString();
+  EXPECT_EQ(rule->body.size(), 3u);
+}
+
+TEST(ParserTest, AllComparisonOperators) {
+  auto rule = ParseRule(
+      "panic :- p(A,B,C,D,E,F) & A < B & B <= C & C > D & D >= E & E = F & "
+      "A <> F");
+  ASSERT_TRUE(rule.ok());
+  ASSERT_EQ(rule->body.size(), 7u);
+  EXPECT_EQ(rule->body[1].cmp.op, CmpOp::kLt);
+  EXPECT_EQ(rule->body[2].cmp.op, CmpOp::kLe);
+  EXPECT_EQ(rule->body[3].cmp.op, CmpOp::kGt);
+  EXPECT_EQ(rule->body[4].cmp.op, CmpOp::kGe);
+  EXPECT_EQ(rule->body[5].cmp.op, CmpOp::kEq);
+  EXPECT_EQ(rule->body[6].cmp.op, CmpOp::kNe);
+}
+
+TEST(ParserTest, BangEqualsAlias) {
+  auto rule = ParseRule("panic :- p(X,Y) & X != Y");
+  ASSERT_TRUE(rule.ok());
+  EXPECT_EQ(rule->body[1].cmp.op, CmpOp::kNe);
+}
+
+TEST(ParserTest, NegativeIntegerConstant) {
+  auto rule = ParseRule("panic :- p(X) & X < -5");
+  ASSERT_TRUE(rule.ok());
+  EXPECT_EQ(rule->body[1].cmp.rhs.constant(), V(-5));
+}
+
+TEST(ParserTest, ConstantOnLeftOfComparison) {
+  auto rule = ParseRule("panic :- p(X) & 5 < X");
+  ASSERT_TRUE(rule.ok());
+  EXPECT_EQ(rule->body[1].cmp.lhs.constant(), V(5));
+}
+
+TEST(ParserTest, SymbolConstantComparison) {
+  // Example 4.1's single-rule encoding uses D <> toy.
+  auto rule = ParseRule("panic :- emp(E,D,S) & not dept(D) & D <> toy");
+  ASSERT_TRUE(rule.ok());
+  EXPECT_EQ(rule->body[2].cmp.rhs.constant(), V("toy"));
+}
+
+TEST(ParserTest, CommentsIgnored) {
+  auto program = ParseProgram(
+      "% referential integrity\n"
+      "panic :- emp(E,D,S) & not dept(D)  # trailing comment\n");
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program->rules.size(), 1u);
+}
+
+TEST(ParserTest, ZeroAryGoalInBody) {
+  auto program = ParseProgram(
+      "panic :- subpanic\n"
+      "subpanic :- p(X)\n");
+  ASSERT_TRUE(program.ok());
+  EXPECT_EQ(program->rules[0].body[0].atom.pred, "subpanic");
+  EXPECT_TRUE(program->rules[0].body[0].atom.args.empty());
+}
+
+TEST(ParserTest, ErrorOnMissingParen) {
+  auto program = ParseProgram("panic :- p(X");
+  EXPECT_FALSE(program.ok());
+  EXPECT_EQ(program.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ParserTest, ErrorOnCapitalPredicate) {
+  auto program = ParseProgram("Panic :- p(X)");
+  EXPECT_FALSE(program.ok());
+}
+
+TEST(ParserTest, ErrorOnDanglingConnective) {
+  auto program = ParseProgram("panic :- p(X) &");
+  EXPECT_FALSE(program.ok());
+}
+
+TEST(ParserTest, RoundTripThroughPrinter) {
+  const char* text = "panic :- emp(E,D,S) & not dept(D) & S < 100";
+  auto rule = ParseRule(text);
+  ASSERT_TRUE(rule.ok());
+  auto again = ParseRule(rule->ToString());
+  ASSERT_TRUE(again.ok()) << "printer output did not re-parse: "
+                          << rule->ToString();
+  EXPECT_EQ(again->ToString(), rule->ToString());
+}
+
+TEST(ParserTest, ParseRuleRejectsMultiple) {
+  auto rule = ParseRule("panic :- p(X)\npanic :- q(X)\n");
+  EXPECT_FALSE(rule.ok());
+}
+
+}  // namespace
+}  // namespace ccpi

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "datalog/parser.h"
+#include "subsumption/program_containment.h"
+
+namespace ccpi {
+namespace {
+
+Program MustParse(const char* text) {
+  auto p = ParseProgram(text);
+  EXPECT_TRUE(p.ok()) << p.status().ToString();
+  return *p;
+}
+
+TEST(DispatchTest, PlainUcqPath) {
+  auto d = ProgramContainedInUnion(MustParse("panic :- p(X) & q(X)"),
+                                   {MustParse("panic :- p(X)")});
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->method, "ucq-containment");
+  EXPECT_TRUE(d->exact);
+  EXPECT_EQ(d->outcome, Outcome::kHolds);
+}
+
+TEST(DispatchTest, ArithmeticPath) {
+  auto d = ProgramContainedInUnion(MustParse("panic :- p(X) & X > 10"),
+                                   {MustParse("panic :- p(X) & X > 5")});
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->method, "theorem-5.1");
+  EXPECT_TRUE(d->exact);
+  EXPECT_EQ(d->outcome, Outcome::kHolds);
+  // Exactness means kUnknown is a real refutation:
+  auto back = ProgramContainedInUnion(MustParse("panic :- p(X) & X > 5"),
+                                      {MustParse("panic :- p(X) & X > 10")});
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->exact);
+  EXPECT_EQ(back->outcome, Outcome::kUnknown);
+}
+
+TEST(DispatchTest, NegationGoesToExactOracle) {
+  auto d = ProgramContainedInUnion(
+      MustParse("panic :- p(X) & not q(X) & r(X)"),
+      {MustParse("panic :- p(X) & not q(X)")});
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->method, "exact-oracle");
+  EXPECT_EQ(d->outcome, Outcome::kHolds);
+}
+
+TEST(DispatchTest, RecursionGoesToChase) {
+  auto d = ProgramContainedInUnion(
+      MustParse("panic :- e(X,Y) & e(Y,Z)"),
+      {MustParse("panic :- t(X,Z)\n"
+                 "t(X,Y) :- e(X,Y)\n"
+                 "t(X,Y) :- t(X,W) & t(W,Y)\n")});
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->method, "uniform-containment-chase");
+  EXPECT_EQ(d->outcome, Outcome::kHolds);
+  EXPECT_FALSE(d->exact);
+}
+
+TEST(DispatchTest, DeadDisjunctsDropBeforeDeciding) {
+  // The left side unfolds to one live and one dead disjunct (5 < 3); the
+  // dead one must not block containment.
+  auto d = ProgramContainedInUnion(
+      MustParse("panic :- p(X) & q(X)\n"
+                "panic :- p(X) & 5 < 3\n"),
+      {MustParse("panic :- p(X)")});
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->outcome, Outcome::kHolds);
+}
+
+TEST(DispatchTest, FactBranchEqualitiesAreNotArithmetic) {
+  // The rewritten insertion program contains a helper fact whose unfolding
+  // introduces equalities; after simplification the plain-UCQ path still
+  // applies when no genuine comparisons remain.
+  auto d = ProgramContainedInUnion(
+      MustParse("panic :- emp(E,D) & dept1(D)\n"
+                "dept1(D) :- dept(D)\n"
+                "dept1(toy)\n"),
+      {MustParse("panic :- emp(E,D)")});
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->method, "ucq-containment");
+  EXPECT_EQ(d->outcome, Outcome::kHolds);
+}
+
+TEST(DispatchTest, EmptyUnionNeverContainsLiveProgram) {
+  auto d = ProgramContainedInUnion(MustParse("panic :- p(X)"), {});
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->outcome, Outcome::kUnknown);
+  EXPECT_TRUE(d->exact);
+}
+
+TEST(DispatchTest, UnsatisfiableProgramContainedInAnything) {
+  auto d = ProgramContainedInUnion(
+      MustParse("panic :- p(X) & X < X"), {});
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->outcome, Outcome::kHolds);
+}
+
+}  // namespace
+}  // namespace ccpi

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "core/cqc_form.h"
+#include "core/local_test.h"
+#include "core/ra_local_test.h"
+#include "datalog/parser.h"
+#include "util/rng.h"
+
+namespace ccpi {
+namespace {
+
+Rule MustRule(const char* text) {
+  auto r = ParseRule(text);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return *r;
+}
+
+TEST(RaLocalTestTest, Example54NonUnifiableTuple) {
+  // C1: panic :- l(X,Y,Y) & r(Y,Z,X); t=(a,b,c) cannot unify with l(X,Y,Y).
+  Rule rule = MustRule("panic :- l(X,Y,Y) & r(Y,Z,X)");
+  auto test = CompileRaLocalTest(rule, "l", {V("a"), V("b"), V("c")});
+  ASSERT_TRUE(test.ok()) << test.status().ToString();
+  EXPECT_TRUE(test->trivially_holds);
+}
+
+TEST(RaLocalTestTest, Example54MatchingTuple) {
+  // s = (a,b,b): the complete local test is whether (a,b,b) is already in
+  // L — the expression sigma[#1=a & #2=b & #3=b](l) (the paper notes the
+  // pattern equality #2=#3 and the mapped constants).
+  Rule rule = MustRule("panic :- l(X,Y,Y) & r(Y,Z,X)");
+  auto test = CompileRaLocalTest(rule, "l", {V("a"), V("b"), V("b")});
+  ASSERT_TRUE(test.ok());
+  ASSERT_FALSE(test->trivially_holds);
+  ASSERT_NE(test->expr, nullptr);
+
+  Database db;
+  auto empty = RaLocalTestOnInsert(rule, "l", {V("a"), V("b"), V("b")}, db);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(*empty, Outcome::kUnknown);
+
+  ASSERT_TRUE(db.Insert("l", {V("a"), V("b"), V("b")}).ok());
+  auto present = RaLocalTestOnInsert(rule, "l", {V("a"), V("b"), V("b")}, db);
+  ASSERT_TRUE(present.ok());
+  EXPECT_EQ(*present, Outcome::kHolds);
+
+  // A different tuple in L does not help.
+  Database db2;
+  ASSERT_TRUE(db2.Insert("l", {V("x"), V("b"), V("b")}).ok());
+  auto other = RaLocalTestOnInsert(rule, "l", {V("a"), V("b"), V("b")}, db2);
+  ASSERT_TRUE(other.ok());
+  EXPECT_EQ(*other, Outcome::kUnknown);
+}
+
+TEST(RaLocalTestTest, UnconstrainedComponentAllowsAnyValue) {
+  // The local component X does not reach the remote subgoal: any L-tuple
+  // with matching second component covers the insertion.
+  Rule rule = MustRule("panic :- l(X,Y) & r(Y)");
+  Database db;
+  ASSERT_TRUE(db.Insert("l", {V(1), V(7)}).ok());
+  auto covered = RaLocalTestOnInsert(rule, "l", {V(99), V(7)}, db);
+  ASSERT_TRUE(covered.ok());
+  EXPECT_EQ(*covered, Outcome::kHolds);
+  auto uncovered = RaLocalTestOnInsert(rule, "l", {V(99), V(8)}, db);
+  ASSERT_TRUE(uncovered.ok());
+  EXPECT_EQ(*uncovered, Outcome::kUnknown);
+}
+
+TEST(RaLocalTestTest, ConstantInLocalPattern) {
+  Rule rule = MustRule("panic :- l(gold,Y) & r(Y)");
+  Database db;
+  // Tuple not matching the constant can never violate.
+  auto silver = RaLocalTestOnInsert(rule, "l", {V("silver"), V(1)}, db);
+  ASSERT_TRUE(silver.ok());
+  EXPECT_EQ(*silver, Outcome::kHolds);
+  // Matching tuple: needs coverage.
+  auto gold = RaLocalTestOnInsert(rule, "l", {V("gold"), V(1)}, db);
+  ASSERT_TRUE(gold.ok());
+  EXPECT_EQ(*gold, Outcome::kUnknown);
+  ASSERT_TRUE(db.Insert("l", {V("gold"), V(1)}).ok());
+  auto covered = RaLocalTestOnInsert(rule, "l", {V("gold"), V(1)}, db);
+  ASSERT_TRUE(covered.ok());
+  EXPECT_EQ(*covered, Outcome::kHolds);
+}
+
+TEST(RaLocalTestTest, ConstantInRemoteSubgoal) {
+  // r's first position is a constant: it does not key on L at all.
+  Rule rule = MustRule("panic :- l(X) & r(gold,X)");
+  Database db;
+  ASSERT_TRUE(db.Insert("l", {V(5)}).ok());
+  auto covered = RaLocalTestOnInsert(rule, "l", {V(5)}, db);
+  ASSERT_TRUE(covered.ok());
+  EXPECT_EQ(*covered, Outcome::kHolds);
+  auto uncovered = RaLocalTestOnInsert(rule, "l", {V(6)}, db);
+  ASSERT_TRUE(uncovered.ok());
+  EXPECT_EQ(*uncovered, Outcome::kUnknown);
+}
+
+TEST(RaLocalTestTest, PurelyLocalViolatesOutright) {
+  Rule rule = MustRule("panic :- l(X,X)");
+  Database db;
+  auto hit = CompileRaLocalTest(rule, "l", {V(3), V(3)});
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(hit->trivially_violated);
+  auto miss = CompileRaLocalTest(rule, "l", {V(3), V(4)});
+  ASSERT_TRUE(miss.ok());
+  EXPECT_TRUE(miss->trivially_holds);
+}
+
+TEST(RaLocalTestTest, ArithmeticRejected) {
+  Rule rule = MustRule("panic :- l(X,Y) & r(Z) & X <= Z");
+  auto test = CompileRaLocalTest(rule, "l", {V(1), V(2)});
+  ASSERT_FALSE(test.ok());
+  EXPECT_EQ(test.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RaLocalTestTest, ExpressionIsUnionOfSelectsOverL) {
+  Rule rule = MustRule("panic :- l(X,Y) & r(X) & r(Y)");
+  auto test = CompileRaLocalTest(rule, "l", {V(1), V(2)});
+  ASSERT_TRUE(test.ok());
+  ASSERT_NE(test->expr, nullptr);
+  std::string rendered = test->expr->ToString();
+  EXPECT_NE(rendered.find("sigma["), std::string::npos);
+  EXPECT_NE(rendered.find("(l)"), std::string::npos);
+}
+
+/// Agreement sweep with the general Theorem 5.2 machinery on arithmetic-
+/// free CQCs (shared variables re-expressed through the normalizer): the
+/// RA test and the reduction-containment test decide the same relation.
+TEST(RaLocalTestTest, AgreesWithTheorem52OnRandomInstances) {
+  Rng rng(424242);
+  Rule rule = MustRule("panic :- l(X,Y) & r(X,W) & s(W,Y)");
+  auto cqc = MakeCqc(rule, "l");
+  ASSERT_TRUE(cqc.ok()) << cqc.status().ToString();
+
+  for (int trial = 0; trial < 80; ++trial) {
+    Relation local(2);
+    Database db;
+    size_t n = rng.Below(4);
+    for (size_t i = 0; i < n; ++i) {
+      Tuple s = {V(rng.Range(0, 2)), V(rng.Range(0, 2))};
+      local.Insert(s);
+      ASSERT_TRUE(db.Insert("l", s).ok());
+    }
+    Tuple t = {V(rng.Range(0, 2)), V(rng.Range(0, 2))};
+
+    auto ra = RaLocalTestOnInsert(rule, "l", t, db);
+    ASSERT_TRUE(ra.ok()) << ra.status().ToString();
+    auto thm52 = CompleteLocalTestOnInsert(*cqc, t, local);
+    ASSERT_TRUE(thm52.ok()) << thm52.status().ToString();
+    EXPECT_EQ(*ra, thm52->outcome)
+        << "t=" << TupleToString(t) << " L:\n"
+        << local.ToString("l");
+  }
+}
+
+}  // namespace
+}  // namespace ccpi

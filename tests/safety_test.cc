@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "datalog/parser.h"
+#include "datalog/safety.h"
+
+namespace ccpi {
+namespace {
+
+Rule MustParse(const char* text) {
+  auto rule = ParseRule(text);
+  EXPECT_TRUE(rule.ok()) << rule.status().ToString();
+  return *rule;
+}
+
+TEST(SafetyTest, SafeRulePasses) {
+  EXPECT_TRUE(
+      CheckRuleSafety(MustParse("panic :- emp(E,D,S) & not dept(D) & S < 100"))
+          .ok());
+}
+
+TEST(SafetyTest, HeadVariableMustBeBound) {
+  Status st = CheckRuleSafety(MustParse("boss(E,M) :- emp(E,D,S)"));
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SafetyTest, NegatedVariableMustBeBound) {
+  Status st = CheckRuleSafety(MustParse("panic :- p(X) & not q(Y)"));
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SafetyTest, ComparisonVariableMustBeBound) {
+  Status st = CheckRuleSafety(MustParse("panic :- p(X) & Y < 10"));
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SafetyTest, EqualityToConstantGrounds) {
+  // X = 5 grounds X even though X is in no positive subgoal.
+  EXPECT_TRUE(
+      CheckRuleSafety(MustParse("panic :- p(Y) & X = 5 & not q(X)")).ok());
+}
+
+TEST(SafetyTest, EqualityChainGrounds) {
+  EXPECT_TRUE(
+      CheckRuleSafety(MustParse("panic :- p(A) & B = A & C = B & not q(C)"))
+          .ok());
+}
+
+TEST(SafetyTest, InequalityDoesNotGround) {
+  Status st = CheckRuleSafety(MustParse("panic :- p(A) & B < A & not q(B)"));
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SafetyTest, FactIsSafe) {
+  EXPECT_TRUE(CheckRuleSafety(MustParse("dept1(toy)")).ok());
+}
+
+TEST(SafetyTest, FactWithVariableIsUnsafe) {
+  Status st = CheckRuleSafety(MustParse("dept1(X)"));
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SafetyTest, ProgramSafetyChecksEveryRule) {
+  auto program = ParseProgram(
+      "panic :- p(X)\n"
+      "panic :- q(Y) & Z < Y\n");
+  ASSERT_TRUE(program.ok());
+  EXPECT_FALSE(CheckProgramSafety(*program).ok());
+}
+
+}  // namespace
+}  // namespace ccpi

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "manager/script.h"
+
+namespace ccpi {
+namespace {
+
+TEST(ScriptParseTest, FullWorkload) {
+  auto script = ParseScript(
+      "# a comment\n"
+      "local reserved emp\n"
+      "constraint no-overlap\n"
+      "panic :- reserved(P,Lo,Hi) & order(P,Q) & Lo <= Q & Q <= Hi\n"
+      "constraint sane\n"
+      "panic :- reserved(P,Lo,Hi) & Hi < Lo\n"
+      "fact order(widget, 700)\n"
+      "insert reserved(widget, 0, 400)\n"
+      "delete reserved(widget, 0, 400)\n");
+  ASSERT_TRUE(script.ok()) << script.status().ToString();
+  EXPECT_EQ(script->local_preds,
+            (std::set<std::string>{"reserved", "emp"}));
+  ASSERT_EQ(script->constraints.size(), 2u);
+  EXPECT_EQ(script->constraints[0].first, "no-overlap");
+  EXPECT_EQ(script->constraints[1].first, "sane");
+  EXPECT_TRUE(script->initial.Contains("order", {V("widget"), V(700)}));
+  ASSERT_EQ(script->updates.size(), 2u);
+  EXPECT_EQ(script->updates[0].kind, Update::Kind::kInsert);
+  EXPECT_EQ(script->updates[1].kind, Update::Kind::kDelete);
+}
+
+TEST(ScriptParseTest, MultiLineRule) {
+  auto script = ParseScript(
+      "constraint c\n"
+      "panic :- reserved(P,Lo,Hi) &\n"
+      "         order(P,Q) &\n"
+      "         Lo <= Q & Q <= Hi\n"
+      "insert reserved(a, 1, 2)\n");
+  ASSERT_TRUE(script.ok()) << script.status().ToString();
+  ASSERT_EQ(script->constraints.size(), 1u);
+  EXPECT_EQ(script->constraints[0].second.rules[0].body.size(), 4u);
+  EXPECT_EQ(script->updates.size(), 1u);
+}
+
+TEST(ScriptParseTest, MultipleRulesPerConstraint) {
+  auto script = ParseScript(
+      "constraint range\n"
+      "panic :- emp(E,D,S) & salRange(D,Lo,Hi) & S < Lo\n"
+      "panic :- emp(E,D,S) & salRange(D,Lo,Hi) & S > Hi\n");
+  ASSERT_TRUE(script.ok());
+  EXPECT_EQ(script->constraints[0].second.rules.size(), 2u);
+}
+
+TEST(ScriptParseTest, Errors) {
+  EXPECT_FALSE(ParseScript("panic :- p(X)\n").ok());  // rule outside block
+  EXPECT_FALSE(ParseScript("constraint\n").ok());     // missing name
+  EXPECT_FALSE(ParseScript("fact p(X)\n").ok());      // non-ground fact
+  EXPECT_FALSE(
+      ParseScript("insert p(X) :- q(X)\n").ok());     // rule, not a fact
+  EXPECT_FALSE(ParseScript("constraint empty\nfact p(1)\n").ok());
+}
+
+TEST(ScriptRunTest, EndToEnd) {
+  auto script = ParseScript(
+      "local l\n"
+      "constraint fi\n"
+      "panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y\n"
+      "fact r(7)\n"
+      "insert l(10, 20)\n"   // ok (7 outside)
+      "insert l(12, 18)\n"   // ok, resolved locally (covered)
+      "insert l(5, 8)\n");   // rejected: 7 in range
+  ASSERT_TRUE(script.ok()) << script.status().ToString();
+  auto report = RunScript(*script);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->updates_applied, 2u);
+  EXPECT_EQ(report->updates_rejected, 1u);
+  EXPECT_NE(report->text.find("REJECT +l(5, 8)"), std::string::npos);
+  EXPECT_NE(report->text.find("tier local-test"), std::string::npos);
+}
+
+TEST(ScriptRunTest, SubsumedConstraintReported) {
+  auto script = ParseScript(
+      "local emp\n"
+      "constraint cap-200\n"
+      "panic :- emp(E,S) & S > 200\n"
+      "constraint cap-500\n"
+      "panic :- emp(E,S) & S > 500\n"
+      "insert emp(ann, 100)\n");
+  ASSERT_TRUE(script.ok());
+  auto report = RunScript(*script);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NE(report->text.find("cap-500 (redundant"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ccpi

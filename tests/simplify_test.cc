@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "datalog/parser.h"
+#include "datalog/simplify.h"
+
+namespace ccpi {
+namespace {
+
+CQ MustCQ(const char* text) {
+  auto rule = ParseRule(text);
+  EXPECT_TRUE(rule.ok()) << rule.status().ToString();
+  return RuleToCQ(*rule);
+}
+
+TEST(SimplifyTest, SubstitutesEqualityToConstant) {
+  auto s = SimplifyCQ(MustCQ("panic :- p(X,Y) & X = 5"));
+  ASSERT_TRUE(s.has_value());
+  EXPECT_TRUE(s->comparisons.empty());
+  EXPECT_EQ(s->positives[0].args[0].constant(), V(5));
+}
+
+TEST(SimplifyTest, SubstitutesVariableEquality) {
+  auto s = SimplifyCQ(MustCQ("panic :- p(X) & q(Y) & X = Y"));
+  ASSERT_TRUE(s.has_value());
+  EXPECT_TRUE(s->comparisons.empty());
+  EXPECT_EQ(s->positives[0].args[0], s->positives[1].args[0]);
+}
+
+TEST(SimplifyTest, EvaluatesGroundComparisons) {
+  auto live = SimplifyCQ(MustCQ("panic :- p(X) & 3 < 5"));
+  ASSERT_TRUE(live.has_value());
+  EXPECT_TRUE(live->comparisons.empty());
+  auto dead = SimplifyCQ(MustCQ("panic :- p(X) & 5 < 3"));
+  EXPECT_FALSE(dead.has_value());
+}
+
+TEST(SimplifyTest, ChainOfEqualitiesToContradiction) {
+  auto dead = SimplifyCQ(MustCQ("panic :- p(X,Y) & X = 1 & Y = X & Y = 2"));
+  EXPECT_FALSE(dead.has_value());
+}
+
+TEST(SimplifyTest, ReflexiveComparisons) {
+  auto live = SimplifyCQ(MustCQ("panic :- p(X) & X <= X"));
+  ASSERT_TRUE(live.has_value());
+  EXPECT_TRUE(live->comparisons.empty());
+  EXPECT_FALSE(SimplifyCQ(MustCQ("panic :- p(X) & X < X")).has_value());
+  EXPECT_FALSE(SimplifyCQ(MustCQ("panic :- p(X) & X <> X")).has_value());
+}
+
+TEST(SimplifyTest, HeadVariablesPreserved) {
+  auto rule = ParseRule("v(E) :- emp(E,D) & E = a");
+  ASSERT_TRUE(rule.ok());
+  auto s = SimplifyCQ(RuleToCQ(*rule));
+  ASSERT_TRUE(s.has_value());
+  // E is in the head: the equality must remain, E untouched.
+  EXPECT_EQ(s->comparisons.size(), 1u);
+  EXPECT_TRUE(s->head.args[0].is_var());
+}
+
+TEST(SimplifyTest, KeepsGenuineOrderComparisons) {
+  auto s = SimplifyCQ(MustCQ("panic :- p(X,Y) & X < Y & X = 3"));
+  ASSERT_TRUE(s.has_value());
+  ASSERT_EQ(s->comparisons.size(), 1u);
+  EXPECT_EQ(s->comparisons[0].lhs.constant(), V(3));
+  EXPECT_EQ(s->comparisons[0].op, CmpOp::kLt);
+}
+
+}  // namespace
+}  // namespace ccpi

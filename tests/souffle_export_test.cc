@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "datalog/parser.h"
+#include "datalog/souffle_export.h"
+
+namespace ccpi {
+namespace {
+
+Program MustParse(const char* text) {
+  auto p = ParseProgram(text);
+  EXPECT_TRUE(p.ok()) << p.status().ToString();
+  return *p;
+}
+
+TEST(SouffleExportTest, Example22WithFacts) {
+  Program c = MustParse("panic :- emp(E,D,S) & not dept(D) & S < 100");
+  Database facts;
+  ASSERT_TRUE(facts.Insert("emp", {V("ann"), V("cs"), V(90)}).ok());
+  ASSERT_TRUE(facts.Insert("dept", {V("cs")}).ok());
+  auto dl = ExportSouffle(c, &facts);
+  ASSERT_TRUE(dl.ok()) << dl.status().ToString();
+  // Declarations with inferred types: E/D symbols (from facts), S number.
+  EXPECT_NE(dl->find(".decl emp(c0: symbol, c1: symbol, c2: number)"),
+            std::string::npos)
+      << *dl;
+  EXPECT_NE(dl->find(".decl dept(c0: symbol)"), std::string::npos);
+  EXPECT_NE(dl->find(".decl panic()"), std::string::npos);
+  EXPECT_NE(dl->find(".output panic"), std::string::npos);
+  // The rule with Souffle negation and comparison syntax.
+  EXPECT_NE(dl->find("panic() :- emp(E, D, S), !dept(D), S < 100."),
+            std::string::npos)
+      << *dl;
+  // Facts with quoted symbols.
+  EXPECT_NE(dl->find("emp(\"ann\", \"cs\", 90)."), std::string::npos);
+}
+
+TEST(SouffleExportTest, RecursiveProgram) {
+  Program c = MustParse(
+      "panic :- boss(E,E)\n"
+      "boss(E,M) :- emp(E,D,S) & manager(D,M)\n"
+      "boss(E,F) :- boss(E,G) & boss(G,F)\n");
+  auto dl = ExportSouffle(c);
+  ASSERT_TRUE(dl.ok()) << dl.status().ToString();
+  EXPECT_NE(dl->find("boss(E, F) :- boss(E, G), boss(G, F)."),
+            std::string::npos);
+}
+
+TEST(SouffleExportTest, TypeUnificationThroughVariables) {
+  // D flows from emp's 2nd column into dept's 1st: a symbol fact in one
+  // types both.
+  Program c = MustParse("panic :- emp(E,D) & dept(D)");
+  Database facts;
+  ASSERT_TRUE(facts.Insert("dept", {V("toy")}).ok());
+  auto dl = ExportSouffle(c, &facts);
+  ASSERT_TRUE(dl.ok());
+  EXPECT_NE(dl->find(".decl emp(c0: number, c1: symbol)"),
+            std::string::npos)
+      << *dl;
+}
+
+TEST(SouffleExportTest, SymbolOrderComparisonRejected) {
+  // D <> toy is fine (equality class), but D < toy would rely on symbol
+  // order and must be rejected.
+  Program neq = MustParse("panic :- emp(E,D) & D <> toy");
+  auto ok = ExportSouffle(neq);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_NE(ok->find("D != \"toy\""), std::string::npos);
+  Program lt = MustParse("panic :- emp(E,D) & D < toy");
+  auto bad = ExportSouffle(lt);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(SouffleExportTest, InconsistentArityRejected) {
+  Program c = MustParse(
+      "panic :- p(X)\n"
+      "panic :- p(X,Y)\n");
+  auto dl = ExportSouffle(c);
+  ASSERT_FALSE(dl.ok());
+  EXPECT_EQ(dl.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SouffleExportTest, Fig61ProgramExports) {
+  // The compiled interval programs are plain positive recursive datalog
+  // with numeric comparisons: they export cleanly.
+  Program fig61 = MustParse(
+      "interval(X,Y) :- l(X,Y)\n"
+      "interval(X,Y) :- interval(X,W) & interval(Z,Y) & Z <= W\n"
+      "ok(A,B) :- interval(X,Y) & X <= A & B <= Y\n");
+  fig61.goal = "ok";
+  auto dl = ExportSouffle(fig61);
+  ASSERT_TRUE(dl.ok()) << dl.status().ToString();
+  EXPECT_NE(dl->find(".output ok"), std::string::npos);
+  EXPECT_NE(
+      dl->find(
+          "interval(X, Y) :- interval(X, W), interval(Z, Y), Z <= W."),
+      std::string::npos)
+      << *dl;
+}
+
+}  // namespace
+}  // namespace ccpi

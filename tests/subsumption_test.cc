@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include "containment/cq_containment.h"
+#include "datalog/parser.h"
+#include "subsumption/reduction.h"
+#include "subsumption/subsumption.h"
+
+namespace ccpi {
+namespace {
+
+Program MustParse(const char* text) {
+  auto p = ParseProgram(text);
+  EXPECT_TRUE(p.ok()) << p.status().ToString();
+  return *p;
+}
+
+TEST(SubsumptionTest, StrongerConstraintSubsumesWeaker) {
+  // "no employee in two departments" is subsumed by "no employee in sales
+  // and any second department at all"? No — test the clear direction:
+  // C: panic :- p(X) & q(X)   is subsumed by   C1: panic :- p(X).
+  Program c = MustParse("panic :- p(X) & q(X)");
+  Program c1 = MustParse("panic :- p(X)");
+  auto d = Subsumes(c, {c1});
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->outcome, Outcome::kHolds);
+  EXPECT_TRUE(d->exact);
+  // Not the other way around.
+  auto back = Subsumes(c1, {c});
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->outcome, Outcome::kUnknown);
+}
+
+TEST(SubsumptionTest, UnionOfOthersNeeded) {
+  // C is violated only when both p and q have an element; either C1 or C2
+  // alone does not subsume, the union question is per-disjunct here.
+  Program c = MustParse(
+      "panic :- p(X) & q(Y)\n");
+  Program c1 = MustParse("panic :- p(X)");
+  Program c2 = MustParse("panic :- q(X)");
+  auto d = Subsumes(c, {c1, c2});
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->outcome, Outcome::kHolds);  // contained in c1 already
+}
+
+TEST(SubsumptionTest, ArithmeticSubsumptionViaTheorem51) {
+  // Salary cap 100 subsumes salary cap 200.
+  Program strict = MustParse("panic :- emp(E,D,S) & S > 200");
+  Program loose = MustParse("panic :- emp(E,D,S) & S > 100");
+  auto d = Subsumes(strict, {loose});
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->outcome, Outcome::kHolds);
+  EXPECT_EQ(d->method, "theorem-5.1");
+  auto back = Subsumes(loose, {strict});
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->outcome, Outcome::kUnknown);
+}
+
+TEST(SubsumptionTest, UnionOnTheRightWithArithmetic) {
+  // The Example 5.3 phenomenon at the subsumption level: [4,8] subsumed by
+  // [3,6] together with [5,10], but by neither alone.
+  Program mid = MustParse("panic :- r(Z) & 4 <= Z & Z <= 8");
+  Program left = MustParse("panic :- r(Z) & 3 <= Z & Z <= 6");
+  Program right = MustParse("panic :- r(Z) & 5 <= Z & Z <= 10");
+  auto both = Subsumes(mid, {left, right});
+  ASSERT_TRUE(both.ok());
+  EXPECT_EQ(both->outcome, Outcome::kHolds);
+  auto one = Subsumes(mid, {left});
+  ASSERT_TRUE(one.ok());
+  EXPECT_EQ(one->outcome, Outcome::kUnknown);
+}
+
+TEST(SubsumptionTest, NegationViaExactOracle) {
+  Program c = MustParse("panic :- emp(E,D,S) & not dept(D) & bad(D)");
+  Program c1 = MustParse("panic :- emp(E,D,S) & not dept(D)");
+  auto d = Subsumes(c, {c1});
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_EQ(d->outcome, Outcome::kHolds);
+}
+
+TEST(SubsumptionTest, RecursiveFallsBackToUniformContainment) {
+  // Ordinary containment with a recursive subsumed side is undecidable
+  // (Shmueli [1987]); the library answers with the SOUND uniform-
+  // containment chase instead: kUnknown here (and exact=false flags that
+  // kUnknown is not a refutation).
+  Program rec = MustParse(
+      "panic :- t(X,X)\n"
+      "t(X,Y) :- e(X,Y)\n"
+      "t(X,Y) :- t(X,Z) & e(Z,Y)\n");
+  Program c1 = MustParse("panic :- e(X,X)");
+  auto d = Subsumes(rec, {c1});
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_EQ(d->outcome, Outcome::kUnknown);
+  EXPECT_FALSE(d->exact);
+  EXPECT_EQ(d->method, "uniform-containment-chase");
+}
+
+TEST(SubsumptionTest, RecursiveSelfSubsumptionViaChase) {
+  Program rec = MustParse(
+      "panic :- boss(E,E)\n"
+      "boss(E,M) :- emp(E,D,S) & manager(D,M)\n"
+      "boss(E,F) :- boss(E,G) & boss(G,F)\n");
+  auto d = Subsumes(rec, {rec});
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_EQ(d->outcome, Outcome::kHolds);
+}
+
+TEST(SubsumptionTest, NonrecursiveInRecursiveViaChase) {
+  // "Two hops exist" is subsumed by "a t-path exists" where t is the
+  // recursive closure of e: the chase proves it.
+  Program two_hop = MustParse("panic :- e(X,Y) & e(Y,Z)");
+  Program path = MustParse(
+      "panic :- t(X,Z)\n"
+      "t(X,Y) :- e(X,Y)\n"
+      "t(X,Y) :- t(X,W) & t(W,Y)\n");
+  auto d = Subsumes(two_hop, {path});
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_EQ(d->outcome, Outcome::kHolds);
+  // The converse cannot be proved (and is false).
+  auto back = Subsumes(path, {two_hop});
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->outcome, Outcome::kUnknown);
+}
+
+TEST(SubsumptionTest, RecursiveWithArithmeticStillUnsupported) {
+  Program rec = MustParse(
+      "panic :- t(X,X)\n"
+      "t(X,Y) :- e(X,Y) & X < Y\n"
+      "t(X,Y) :- t(X,Z) & e(Z,Y)\n");
+  auto d = Subsumes(rec, {MustParse("panic :- e(X,X)")});
+  ASSERT_FALSE(d.ok());
+  EXPECT_EQ(d.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(SubsumptionTest, HelperPredicatesUnfoldBeforeSubsumption) {
+  Program c = MustParse(
+      "panic :- sub(X)\n"
+      "sub(X) :- p(X) & q(X)\n");
+  Program c1 = MustParse("panic :- p(X)");
+  auto d = Subsumes(c, {c1});
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->outcome, Outcome::kHolds);
+}
+
+TEST(FindRedundantTest, DropsSubsumedKeepsCore) {
+  std::vector<Program> constraints = {
+      MustParse("panic :- p(X)"),                  // 0: strongest
+      MustParse("panic :- p(X) & q(X)"),           // 1: subsumed by 0
+      MustParse("panic :- r(X)"),                  // 2: independent
+      MustParse("panic :- p(X) & r(Y)"),           // 3: subsumed by 0 (and 2)
+  };
+  auto redundant = FindRedundantConstraints(constraints);
+  ASSERT_TRUE(redundant.ok());
+  EXPECT_EQ(*redundant, (std::vector<size_t>{1, 3}));
+}
+
+TEST(FindRedundantTest, MutualSubsumptionKeepsOne) {
+  // Two equivalent constraints: exactly one survives.
+  std::vector<Program> constraints = {
+      MustParse("panic :- p(X) & q(Y)"),
+      MustParse("panic :- q(B) & p(A)"),
+  };
+  auto redundant = FindRedundantConstraints(constraints);
+  ASSERT_TRUE(redundant.ok());
+  EXPECT_EQ(redundant->size(), 1u);
+}
+
+// --- Theorem 3.2: containment reduces to subsumption ----------------------
+
+TEST(ReductionTest, ContainmentMatchesSubsumptionVerdict) {
+  struct Case {
+    const char* q;
+    const char* r;
+    bool contained;
+  };
+  const Case cases[] = {
+      {"ans(X) :- e(X,Y) & e(Y,Z)", "ans(X) :- e(X,Y)", true},
+      {"ans(X) :- e(X,Y)", "ans(X) :- e(X,Y) & e(Y,Z)", false},
+      {"ans(X,Y) :- e(X,Y) & e(Y,X)", "ans(X,Y) :- e(X,Y)", true},
+      {"ans(X) :- e(X,X)", "ans(X) :- e(X,Y)", true},
+      {"ans(X) :- e(X,Y)", "ans(X) :- e(X,X)", false},
+  };
+  for (const Case& c : cases) {
+    auto q = ParseRule(c.q);
+    auto r = ParseRule(c.r);
+    ASSERT_TRUE(q.ok() && r.ok());
+    CQ cq = RuleToCQ(*q);
+    CQ cr = RuleToCQ(*r);
+    auto [qp, rp] = ReducePairToSubsumption(cq, cr);
+    auto sub = Subsumes(qp, {rp});
+    ASSERT_TRUE(sub.ok()) << sub.status().ToString();
+    EXPECT_EQ(sub->outcome == Outcome::kHolds, c.contained)
+        << "q: " << c.q << "\nr: " << c.r;
+  }
+}
+
+TEST(ReductionTest, HeadPredicateInBodyGetsRenamed) {
+  // e appears in the body AND as the head predicate: the moved head must
+  // not be absorbable by a body subgoal.
+  auto q = ParseRule("e(X,Y) :- e(X,Z) & e(Z,Y)");
+  ASSERT_TRUE(q.ok());
+  Program reduced = ReduceContainmentToSubsumption(RuleToCQ(*q));
+  ASSERT_EQ(reduced.rules.size(), 1u);
+  // First body literal is the moved head with a primed predicate name.
+  const Literal& moved = reduced.rules[0].body[0];
+  EXPECT_NE(moved.atom.pred, "e");
+  EXPECT_EQ(reduced.rules[0].head.pred, kPanic);
+}
+
+}  // namespace
+}  // namespace ccpi

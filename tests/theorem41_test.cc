@@ -1,0 +1,153 @@
+// Theorem 4.1: the constraint C3 ("after inserting toy into dept, no
+// employee is in an unregistered department") cannot be expressed as a
+// single CQ over emp/dept without arithmetic comparisons, even with
+// negation.
+//
+// The theorem is about an infinite space of candidate queries, so it cannot
+// be *proved* by testing; this suite does the strongest finite check: it
+// enumerates every safe single-CQ candidate (with negation, without
+// arithmetic) up to a size bound — including candidates using the constants
+// toy/shoe, which the proof explicitly considers — and verifies that each
+// one disagrees with C3 on at least one probe database. The probe battery
+// contains the proof's own two-database construction.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "datalog/ast.h"
+#include "datalog/parser.h"
+#include "datalog/safety.h"
+#include "eval/engine.h"
+
+namespace ccpi {
+namespace {
+
+/// C3 as a program (the Example 4.1 helper encoding).
+Program MakeC3() {
+  auto p = ParseProgram(
+      "panic :- emp(E,D,S) & not dept1(D)\n"
+      "dept1(D) :- dept(D)\n"
+      "dept1(toy)\n");
+  EXPECT_TRUE(p.ok());
+  return *p;
+}
+
+/// Probe battery: every database with employees over departments
+/// {shoe, toy, hat} (same employee/salary; only the department matters to
+/// C3) and every subset of those departments registered in dept. This
+/// includes the proof's pair: {emp(e,shoe,s), emp(e,toy,s)} with dept empty
+/// and with dept = {shoe}.
+std::vector<Database> ProbeDatabases() {
+  const char* depts[] = {"shoe", "toy", "hat"};
+  std::vector<Database> probes;
+  for (int emp_mask = 0; emp_mask < 8; ++emp_mask) {
+    for (int dept_mask = 0; dept_mask < 8; ++dept_mask) {
+      Database db;
+      for (int i = 0; i < 3; ++i) {
+        if (emp_mask & (1 << i)) {
+          EXPECT_TRUE(db.Insert("emp", {V("e"), V(depts[i]), V("s")}).ok());
+        }
+        if (dept_mask & (1 << i)) {
+          EXPECT_TRUE(db.Insert("dept", {V(depts[i])}).ok());
+        }
+      }
+      probes.push_back(std::move(db));
+    }
+  }
+  return probes;
+}
+
+/// Enumerates candidate literals: emp/dept atoms, positive or negated,
+/// with arguments drawn from three variables and the constants toy/shoe.
+std::vector<Literal> CandidateLiterals() {
+  std::vector<Term> terms = {Term::Var("A"), Term::Var("B"), Term::Var("C"),
+                             Term::Const(V("toy")), Term::Const(V("shoe"))};
+  std::vector<Literal> pool;
+  for (const Term& t1 : terms) {
+    Atom dept{"dept", {t1}};
+    pool.push_back(Literal::Positive(dept));
+    pool.push_back(Literal::Negated(dept));
+    for (const Term& t2 : terms) {
+      for (const Term& t3 : terms) {
+        Atom emp{"emp", {t1, t2, t3}};
+        pool.push_back(Literal::Positive(emp));
+        pool.push_back(Literal::Negated(emp));
+      }
+    }
+  }
+  return pool;
+}
+
+/// True iff the candidate agrees with C3 on every probe.
+bool MatchesC3Everywhere(const Program& candidate, const Program& c3,
+                         const std::vector<Database>& probes) {
+  for (const Database& db : probes) {
+    auto cv = IsViolated(candidate, db);
+    if (!cv.ok()) return false;  // unsafe enumerants are filtered earlier
+    auto rv = IsViolated(c3, db);
+    EXPECT_TRUE(rv.ok());
+    if (*cv != *rv) return false;
+  }
+  return true;
+}
+
+TEST(Theorem41Test, NoSingleCqWithNegationExpressesC3) {
+  Program c3 = MakeC3();
+  std::vector<Database> probes = ProbeDatabases();
+  std::vector<Literal> pool = CandidateLiterals();
+
+  size_t candidates = 0;
+  // All 1- and 2-subgoal safe candidates.
+  for (size_t i = 0; i < pool.size(); ++i) {
+    for (size_t j = i; j <= pool.size(); ++j) {
+      Rule rule;
+      rule.head = Atom{kPanic, {}};
+      rule.body.push_back(pool[i]);
+      if (j < pool.size()) rule.body.push_back(pool[j]);
+      if (!CheckRuleSafety(rule).ok()) continue;
+      ++candidates;
+      Program candidate;
+      candidate.rules.push_back(rule);
+      EXPECT_FALSE(MatchesC3Everywhere(candidate, c3, probes))
+          << "Theorem 4.1 falsified by: " << rule.ToString();
+    }
+  }
+  // The enumeration is genuinely large (sanity check on coverage).
+  EXPECT_GT(candidates, 10000u);
+}
+
+TEST(Theorem41Test, ProofDatabasePairBehavesAsInTheText) {
+  Program c3 = MakeC3();
+  // D1 = {emp(e,shoe,s), emp(e,toy,s)}, no departments: C3 produces panic.
+  Database d1;
+  ASSERT_TRUE(d1.Insert("emp", {V("e"), V("shoe"), V("s")}).ok());
+  ASSERT_TRUE(d1.Insert("emp", {V("e"), V("toy"), V("s")}).ok());
+  auto v1 = IsViolated(c3, d1);
+  ASSERT_TRUE(v1.ok());
+  EXPECT_TRUE(*v1);
+  // D2 = D1 + dept(shoe): C3 does NOT produce panic.
+  Database d2 = d1;
+  ASSERT_TRUE(d2.Insert("dept", {V("shoe")}).ok());
+  auto v2 = IsViolated(c3, d2);
+  ASSERT_TRUE(v2.ok());
+  EXPECT_FALSE(*v2);
+}
+
+TEST(Theorem41Test, WithArithmeticTheSingleRuleWorks) {
+  // The contrast: allowing <>, the single rule from Example 4.1 expresses
+  // C3 exactly (checked on the full probe battery).
+  auto candidate =
+      ParseProgram("panic :- emp(E,D,S) & not dept(D) & D <> toy");
+  ASSERT_TRUE(candidate.ok());
+  Program c3 = MakeC3();
+  for (const Database& db : ProbeDatabases()) {
+    auto cv = IsViolated(*candidate, db);
+    auto rv = IsViolated(c3, db);
+    ASSERT_TRUE(cv.ok() && rv.ok());
+    EXPECT_EQ(*cv, *rv);
+  }
+}
+
+}  // namespace
+}  // namespace ccpi

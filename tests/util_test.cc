@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/outcome.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/strings.h"
+
+namespace ccpi {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad arity");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.message(), "bad arity");
+  EXPECT_EQ(st.ToString(), "Invalid argument: bad arity");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument,
+        StatusCode::kUnsupported, StatusCode::kNotFound,
+        StatusCode::kInternal}) {
+    EXPECT_NE(std::string(StatusCodeToString(code)), "Unknown");
+  }
+}
+
+TEST(ResultTest, ValueAndStatusPaths) {
+  Result<int> ok = 42;
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  EXPECT_TRUE(ok.status().ok());
+
+  Result<int> err = Status::NotFound("nope");
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kNotFound);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  CCPI_ASSIGN_OR_RETURN(int half, Half(x));
+  CCPI_ASSIGN_OR_RETURN(int quarter, Half(half));
+  return quarter;
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto q = Quarter(8);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(*q, 2);
+  EXPECT_FALSE(Quarter(6).ok());  // 6/2 = 3 is odd
+  EXPECT_FALSE(Quarter(5).ok());
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"a"}, ","), "a");
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+}
+
+TEST(StringsTest, VariableConvention) {
+  EXPECT_TRUE(IsVariableName("X"));
+  EXPECT_TRUE(IsVariableName("Salary"));
+  EXPECT_FALSE(IsVariableName("emp"));
+  EXPECT_FALSE(IsVariableName(""));
+  EXPECT_FALSE(IsVariableName("_x"));
+}
+
+TEST(StringsTest, Identifier) {
+  EXPECT_TRUE(IsIdentifier("emp_1"));
+  EXPECT_TRUE(IsIdentifier("_private"));
+  EXPECT_FALSE(IsIdentifier("1emp"));
+  EXPECT_FALSE(IsIdentifier("a-b"));
+  EXPECT_FALSE(IsIdentifier(""));
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(1);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    int64_t v = rng.Range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(RngTest, BelowBound) {
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_LT(rng.Below(7), 7u);
+  }
+}
+
+TEST(OutcomeTest, Names) {
+  EXPECT_STREQ(OutcomeToString(Outcome::kHolds), "holds");
+  EXPECT_STREQ(OutcomeToString(Outcome::kUnknown), "unknown");
+  EXPECT_STREQ(OutcomeToString(Outcome::kViolated), "violated");
+}
+
+}  // namespace
+}  // namespace ccpi

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "relational/database.h"
+#include "relational/relation.h"
+#include "relational/value.h"
+
+namespace ccpi {
+namespace {
+
+TEST(ValueTest, IntOrdering) {
+  EXPECT_LT(V(1), V(2));
+  EXPECT_LE(V(2), V(2));
+  EXPECT_GT(V(3), V(-5));
+  EXPECT_EQ(V(7), V(7));
+  EXPECT_NE(V(7), V(8));
+}
+
+TEST(ValueTest, SymbolOrdering) {
+  EXPECT_LT(V("accounting"), V("sales"));
+  EXPECT_EQ(V("toy"), V("toy"));
+  EXPECT_NE(V("toy"), V("shoe"));
+}
+
+TEST(ValueTest, IntsBelowSymbols) {
+  // The cross-type convention making the order total.
+  EXPECT_LT(V(1000000), V("a"));
+  EXPECT_GT(V(""), V(-1));
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(V(42).ToString(), "42");
+  EXPECT_EQ(V(-3).ToString(), "-3");
+  EXPECT_EQ(V("toy").ToString(), "toy");
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(V(5).Hash(), V(5).Hash());
+  EXPECT_EQ(V("x").Hash(), V("x").Hash());
+}
+
+TEST(RelationTest, InsertAndContains) {
+  Relation r(2);
+  EXPECT_TRUE(r.Insert({V(1), V(2)}));
+  EXPECT_FALSE(r.Insert({V(1), V(2)}));  // duplicate
+  EXPECT_TRUE(r.Contains({V(1), V(2)}));
+  EXPECT_FALSE(r.Contains({V(2), V(1)}));
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(RelationTest, Erase) {
+  Relation r(1);
+  r.Insert({V(1)});
+  r.Insert({V(2)});
+  EXPECT_TRUE(r.Erase({V(1)}));
+  EXPECT_FALSE(r.Erase({V(1)}));
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_FALSE(r.Contains({V(1)}));
+  EXPECT_TRUE(r.Contains({V(2)}));
+}
+
+TEST(RelationTest, ProbeIndex) {
+  Relation r(2);
+  r.Insert({V(1), V("a")});
+  r.Insert({V(1), V("b")});
+  r.Insert({V(2), V("a")});
+  EXPECT_EQ(r.Probe(0, V(1)).size(), 2u);
+  EXPECT_EQ(r.Probe(0, V(2)).size(), 1u);
+  EXPECT_EQ(r.Probe(0, V(3)).size(), 0u);
+  EXPECT_EQ(r.Probe(1, V("a")).size(), 2u);
+}
+
+TEST(RelationTest, ProbeAfterMutation) {
+  Relation r(1);
+  r.Insert({V(1)});
+  EXPECT_EQ(r.Probe(0, V(1)).size(), 1u);
+  r.Insert({V(1)});  // duplicate: no change
+  EXPECT_EQ(r.Probe(0, V(1)).size(), 1u);
+  r.Erase({V(1)});
+  EXPECT_EQ(r.Probe(0, V(1)).size(), 0u);
+}
+
+TEST(DatabaseTest, InsertCreatesRelation) {
+  Database db;
+  ASSERT_TRUE(db.Insert("emp", {V("jones"), V("shoe"), V(50)}).ok());
+  EXPECT_TRUE(db.Contains("emp", {V("jones"), V("shoe"), V(50)}));
+  EXPECT_EQ(db.Get("emp", 3).size(), 1u);
+}
+
+TEST(DatabaseTest, ArityMismatchRejected) {
+  Database db;
+  ASSERT_TRUE(db.Insert("p", {V(1)}).ok());
+  Status st = db.Insert("p", {V(1), V(2)});
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DatabaseTest, MissingRelationIsEmpty) {
+  Database db;
+  EXPECT_TRUE(db.Get("nothing", 2).empty());
+  EXPECT_EQ(db.Get("nothing", 2).arity(), 2u);
+}
+
+TEST(DatabaseTest, EraseMissingIsOk) {
+  Database db;
+  EXPECT_TRUE(db.Erase("ghost", {V(1)}).ok());
+}
+
+TEST(DatabaseTest, TotalTuples) {
+  Database db;
+  ASSERT_TRUE(db.Insert("p", {V(1)}).ok());
+  ASSERT_TRUE(db.Insert("p", {V(2)}).ok());
+  ASSERT_TRUE(db.Insert("q", {V(1), V(2)}).ok());
+  EXPECT_EQ(db.TotalTuples(), 3u);
+}
+
+}  // namespace
+}  // namespace ccpi

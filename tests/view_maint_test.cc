@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "datalog/parser.h"
+#include "eval/engine.h"
+#include "manager/view_maint.h"
+#include "util/rng.h"
+
+namespace ccpi {
+namespace {
+
+Program MustView(const char* text, const char* goal) {
+  auto p = ParseProgram(text);
+  EXPECT_TRUE(p.ok()) << p.status().ToString();
+  p->goal = goal;
+  return *p;
+}
+
+TEST(MaterializedViewTest, InsertAddsDerivedTuples) {
+  Program view = MustView("v(E) :- emp(E,D,S) & S > 100", "v");
+  Database db;
+  ASSERT_TRUE(db.Insert("emp", {V("ann"), V("cs"), V(150)}).ok());
+  auto mv = MaterializedView::Create(view, db);
+  ASSERT_TRUE(mv.ok());
+  EXPECT_EQ(mv->rows().size(), 1u);
+
+  auto tier = mv->Apply(Update::Insert("emp", {V("bob"), V("ee"), V(300)}));
+  ASSERT_TRUE(tier.ok()) << tier.status().ToString();
+  EXPECT_EQ(*tier, ViewRefreshTier::kIncremental);
+  EXPECT_TRUE(mv->rows().Contains({V("bob")}));
+  EXPECT_EQ(mv->rows().size(), 2u);
+}
+
+TEST(MaterializedViewTest, IrrelevantInsertSkipsWork) {
+  Program view = MustView("v(E) :- emp(E,D,S) & S > 100", "v");
+  auto mv = MaterializedView::Create(view, Database());
+  ASSERT_TRUE(mv.ok());
+  auto tier = mv->Apply(Update::Insert("emp", {V("carol"), V("cs"), V(50)}));
+  ASSERT_TRUE(tier.ok());
+  EXPECT_EQ(*tier, ViewRefreshTier::kIrrelevant);
+  EXPECT_TRUE(mv->rows().empty());
+  // The base replica still received the tuple.
+  EXPECT_TRUE(mv->base().Contains("emp", {V("carol"), V("cs"), V(50)}));
+}
+
+TEST(MaterializedViewTest, DeleteRemovesOnlyUnsupportedTuples) {
+  // A join view: v(E) = employees in audited departments. ann is audited
+  // through two departments; removing one keeps her in the view.
+  Program view = MustView("v(E) :- works(E,D) & audited(D)", "v");
+  Database db;
+  ASSERT_TRUE(db.Insert("works", {V("ann"), V("cs")}).ok());
+  ASSERT_TRUE(db.Insert("works", {V("ann"), V("ee")}).ok());
+  ASSERT_TRUE(db.Insert("works", {V("bob"), V("cs")}).ok());
+  ASSERT_TRUE(db.Insert("audited", {V("cs")}).ok());
+  ASSERT_TRUE(db.Insert("audited", {V("ee")}).ok());
+  auto mv = MaterializedView::Create(view, db);
+  ASSERT_TRUE(mv.ok());
+  EXPECT_EQ(mv->rows().size(), 2u);
+
+  auto tier = mv->Apply(Update::Delete("audited", {V("cs")}));
+  ASSERT_TRUE(tier.ok());
+  EXPECT_EQ(*tier, ViewRefreshTier::kIncremental);
+  EXPECT_TRUE(mv->rows().Contains({V("ann")}));   // still via ee
+  EXPECT_FALSE(mv->rows().Contains({V("bob")}));  // lost its only support
+}
+
+TEST(MaterializedViewTest, RecursiveViewFallsBackToFull) {
+  Program view = MustView(
+      "reach(X,Y) :- e(X,Y)\n"
+      "reach(X,Y) :- reach(X,Z) & e(Z,Y)\n",
+      "reach");
+  Database db;
+  ASSERT_TRUE(db.Insert("e", {V(1), V(2)}).ok());
+  auto mv = MaterializedView::Create(view, db);
+  ASSERT_TRUE(mv.ok());
+  auto tier = mv->Apply(Update::Insert("e", {V(2), V(3)}));
+  ASSERT_TRUE(tier.ok());
+  EXPECT_EQ(*tier, ViewRefreshTier::kFull);
+  EXPECT_TRUE(mv->rows().Contains({V(1), V(3)}));
+}
+
+TEST(MaterializedViewTest, SelfJoinInsert) {
+  // Both occurrences of e must be considered when the inserted tuple can
+  // play either role.
+  Program view = MustView("two(X,Z) :- e(X,Y) & e(Y,Z)", "two");
+  Database db;
+  ASSERT_TRUE(db.Insert("e", {V(1), V(2)}).ok());
+  auto mv = MaterializedView::Create(view, db);
+  ASSERT_TRUE(mv.ok());
+  EXPECT_TRUE(mv->rows().empty());
+  auto tier = mv->Apply(Update::Insert("e", {V(2), V(1)}));
+  ASSERT_TRUE(tier.ok());
+  EXPECT_EQ(*tier, ViewRefreshTier::kIncremental);
+  EXPECT_TRUE(mv->rows().Contains({V(1), V(1)}));
+  EXPECT_TRUE(mv->rows().Contains({V(2), V(2)}));
+}
+
+/// Randomized agreement with full recomputation across an update stream.
+TEST(MaterializedViewTest, AgreesWithRecomputationOnRandomStreams) {
+  Rng rng(20260705);
+  Program view = MustView(
+      "v(E,D) :- works(E,D) & audited(D) & E <> D\n"
+      "v(E,E) :- selfaudit(E)\n",
+      "v");
+  for (int stream = 0; stream < 10; ++stream) {
+    Database db;
+    auto mv = MaterializedView::Create(view, db);
+    ASSERT_TRUE(mv.ok());
+    Database shadow;  // maintained naively
+    for (int step = 0; step < 25; ++step) {
+      const char* preds[] = {"works", "audited", "selfaudit"};
+      std::string pred = preds[rng.Below(3)];
+      Tuple t;
+      if (pred == std::string("works")) {
+        t = {V(rng.Range(0, 3)), V(rng.Range(0, 3))};
+      } else {
+        t = {V(rng.Range(0, 3))};
+      }
+      Update u = rng.Chance(2, 3) ? Update::Insert(pred, t)
+                                  : Update::Delete(pred, t);
+      ASSERT_TRUE(mv->Apply(u).ok());
+      ASSERT_TRUE(u.ApplyTo(&shadow).ok());
+      auto expected = EvaluateGoal(view, shadow);
+      ASSERT_TRUE(expected.ok());
+      EXPECT_EQ(mv->rows().size(), expected->size())
+          << "step " << step << " after " << u.ToString();
+      for (const Tuple& row : expected->rows()) {
+        EXPECT_TRUE(mv->rows().Contains(row))
+            << TupleToString(row) << " missing after " << u.ToString();
+      }
+    }
+  }
+}
+
+TEST(MaterializedViewTest, IrrelevanceNeverLies) {
+  // Whenever Apply reports kIrrelevant, the naive recomputation agrees
+  // that nothing changed.
+  Rng rng(77);
+  Program view = MustView("v(E) :- emp(E,D,S) & S > 100 & D <> temp", "v");
+  Database db;
+  auto mv = MaterializedView::Create(view, db);
+  ASSERT_TRUE(mv.ok());
+  Database shadow;
+  for (int step = 0; step < 30; ++step) {
+    Tuple t = {V(rng.Range(0, 3)), rng.Chance(1, 3) ? V("temp") : V("cs"),
+               V(rng.Range(0, 200))};
+    Update u = rng.Chance(2, 3) ? Update::Insert("emp", t)
+                                : Update::Delete("emp", t);
+    auto before = EvaluateGoal(view, shadow);
+    ASSERT_TRUE(before.ok());
+    auto tier = mv->Apply(u);
+    ASSERT_TRUE(tier.ok());
+    ASSERT_TRUE(u.ApplyTo(&shadow).ok());
+    auto after = EvaluateGoal(view, shadow);
+    ASSERT_TRUE(after.ok());
+    if (*tier == ViewRefreshTier::kIrrelevant) {
+      EXPECT_EQ(before->size(), after->size());
+      for (const Tuple& row : before->rows()) {
+        EXPECT_TRUE(after->Contains(row));
+      }
+    }
+    // And in all cases the materialization matches.
+    EXPECT_EQ(mv->rows().size(), after->size());
+  }
+}
+
+}  // namespace
+}  // namespace ccpi

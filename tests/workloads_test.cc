@@ -1,0 +1,54 @@
+// Runs every sample workload shipped in examples/workloads through the
+// script engine and checks the headline outcomes, so the CLI samples can
+// never rot.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "manager/script.h"
+
+namespace ccpi {
+namespace {
+
+std::string ReadWorkload(const std::string& name) {
+  std::ifstream in(std::string(CCPI_WORKLOAD_DIR) + "/" + name);
+  EXPECT_TRUE(in.good()) << "missing workload " << name;
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+TEST(WorkloadsTest, Inventory) {
+  auto script = ParseScript(ReadWorkload("inventory.ccpi"));
+  ASSERT_TRUE(script.ok()) << script.status().ToString();
+  auto report = RunScript(*script);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->updates_applied, 6u);
+  EXPECT_EQ(report->updates_rejected, 2u);
+  EXPECT_NE(report->text.find("tier local-test"), std::string::npos);
+}
+
+TEST(WorkloadsTest, Salary) {
+  auto script = ParseScript(ReadWorkload("salary.ccpi"));
+  ASSERT_TRUE(script.ok()) << script.status().ToString();
+  auto report = RunScript(*script);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_NE(report->text.find("cap-500 (redundant"), std::string::npos);
+  EXPECT_EQ(report->updates_rejected, 2u);  // carol's salary + ann's dual
+}
+
+TEST(WorkloadsTest, Sensors) {
+  auto script = ParseScript(ReadWorkload("sensors.ccpi"));
+  ASSERT_TRUE(script.ok()) << script.status().ToString();
+  auto report = RunScript(*script);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->updates_applied, 4u);
+  EXPECT_EQ(report->updates_rejected, 2u);
+  // The sub-window inserts resolved without touching readings remotely.
+  EXPECT_NE(report->text.find("tier local-test"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ccpi
