@@ -65,7 +65,7 @@ void PrintCostTable() {
       auto verdict = CompleteLocalTestOnInsert(cqc, t, local);
       CCPI_CHECK(verdict.ok());
       // The local test reads L once.
-      site.OnRead("l", local.size());
+      CCPI_CHECK(site.OnRead("l", local.size()).ok());
       AccessStats local_stats = site.stats();
 
       site.ResetStats();

@@ -113,10 +113,18 @@ void PrintCascadeTable() {
     std::printf("%-16s %zu\n", TierToString(tier), count);
     total += count;
   }
-  const AccessStats& access = mgr->stats().access;
+  const ManagerStats& stats = mgr->stats();
+  const AccessStats& access = stats.access;
   std::printf("updates rejected: %zu of %zu\n", rejected, stream.size());
-  std::printf("access: %zu local tuples; %zu remote tuples in %zu trips\n",
-              access.local_tuples, access.remote_tuples, access.remote_trips);
+  std::printf("access: %zu local tuples; %zu remote tuples in %zu trips "
+              "(%zu failed)\n",
+              access.local_tuples, access.remote_tuples, access.remote_trips,
+              access.remote_failures);
+  std::printf("remote episodes: %zu attempts, %zu retries, %zu failed; "
+              "deferred %zu (recovered %zu, late violations %zu)\n",
+              stats.remote_attempts, stats.remote_retries,
+              stats.remote_failures, stats.deferred,
+              stats.deferred_recovered, stats.deferred_violations);
   std::printf("cost %.1f vs a naive baseline that pays a full remote check "
               "for all %zu constraint-checks\n\n",
               access.Cost(CostModel{}), total);

@@ -1,0 +1,60 @@
+#include "distsim/fault_injector.h"
+
+namespace ccpi {
+
+const char* FaultKindToString(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kTransient:
+      return "transient";
+    case FaultKind::kTimeout:
+      return "timeout";
+    case FaultKind::kOutage:
+      return "outage";
+  }
+  return "?";
+}
+
+FaultKind FaultInjector::NextTrip() {
+  uint64_t index = trip_++;
+  // Always consume exactly one draw so the schedule depends only on the
+  // seed and the trip index, not on which windows happen to be active.
+  double u = static_cast<double>(rng_.Next() >> 11) *
+             (1.0 / 9007199254740992.0);  // uniform in [0, 1), 53 bits
+  ++stats_.trips;
+
+  bool in_window = forced_outage_;
+  for (const OutageWindow& w : config_.outages) {
+    in_window = in_window || (index >= w.begin && index < w.end);
+  }
+  if (in_window) {
+    ++stats_.outage_faults;
+    return FaultKind::kOutage;
+  }
+  if (u < config_.timeout_rate) {
+    ++stats_.timeouts;
+    return FaultKind::kTimeout;
+  }
+  if (u < config_.timeout_rate + config_.transient_rate) {
+    ++stats_.transient_faults;
+    return FaultKind::kTransient;
+  }
+  return FaultKind::kNone;
+}
+
+Status FaultInjector::InjectOnRead(const std::string& pred) {
+  switch (NextTrip()) {
+    case FaultKind::kNone:
+      return Status::OK();
+    case FaultKind::kTransient:
+      return Status::Unavailable("transient fault reading remote " + pred);
+    case FaultKind::kTimeout:
+      return Status::DeadlineExceeded("timeout reading remote " + pred);
+    case FaultKind::kOutage:
+      return Status::Unavailable("remote site outage reading " + pred);
+  }
+  return Status::Internal("unreachable");
+}
+
+}  // namespace ccpi

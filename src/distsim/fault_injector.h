@@ -1,0 +1,100 @@
+#ifndef CCPI_DISTSIM_FAULT_INJECTOR_H_
+#define CCPI_DISTSIM_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace ccpi {
+
+/// What the injector did to one remote access episode.
+enum class FaultKind {
+  kNone,       // the access went through
+  kTransient,  // momentary error; an immediate retry may succeed
+  kTimeout,    // the site was too slow; retriable but billed differently
+  kOutage,     // the site is down (scripted window or forced outage)
+};
+
+const char* FaultKindToString(FaultKind kind);
+
+/// A scripted hard-outage window over the remote-trip counter: every
+/// remote access with trip index in [begin, end) fails with kOutage.
+struct OutageWindow {
+  uint64_t begin = 0;
+  uint64_t end = 0;
+};
+
+/// Configuration of the fault schedule. All randomness derives from `seed`
+/// through a splitmix64 stream consuming exactly one draw per remote trip,
+/// so the same seed always produces the same failure schedule regardless
+/// of what the failures are mapped to downstream.
+struct FaultConfig {
+  uint64_t seed = 1;
+  /// Per-trip probability of a transient error.
+  double transient_rate = 0.0;
+  /// Per-trip probability of a timeout (drawn before transient_rate from
+  /// the same uniform variate; the two must sum to <= 1).
+  double timeout_rate = 0.0;
+  /// Scripted hard outages over the trip counter.
+  std::vector<OutageWindow> outages;
+};
+
+/// Counters of what was injected, for reports and tests.
+struct FaultStats {
+  uint64_t trips = 0;  // remote access episodes decided (failed or not)
+  uint64_t transient_faults = 0;
+  uint64_t timeouts = 0;
+  uint64_t outage_faults = 0;
+
+  uint64_t injected() const {
+    return transient_faults + timeouts + outage_faults;
+  }
+};
+
+/// Deterministic fault source for the simulated remote site.
+///
+/// The distributed-site simulator prices remote reads; this class makes
+/// them *failable*, which is the other half of the paper's motivation
+/// ("expensive or unavailable"). Plug one into a SiteDatabase and every
+/// remote read episode consults NextTrip(); faults surface to callers as
+/// ccpi::Status (kUnavailable for transient/outage, kDeadlineExceeded for
+/// timeouts) and propagate out of the evaluation engine.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultConfig config)
+      : config_(std::move(config)), rng_(config_.seed) {
+    CCPI_CHECK(config_.transient_rate >= 0 && config_.timeout_rate >= 0 &&
+               config_.transient_rate + config_.timeout_rate <= 1.0);
+  }
+
+  /// Decides the fate of the next remote trip and advances the schedule.
+  FaultKind NextTrip();
+
+  /// NextTrip() mapped to the Status a failed read of `pred` reports;
+  /// OK when no fault fires.
+  Status InjectOnRead(const std::string& pred);
+
+  /// Manual hard-outage switch, independent of the scripted windows;
+  /// useful for tests that flip availability at exact points.
+  void ForceOutage(bool on) { forced_outage_ = on; }
+  bool forced_outage() const { return forced_outage_; }
+
+  /// Trip index the next access will be assigned.
+  uint64_t next_trip() const { return trip_; }
+  const FaultStats& stats() const { return stats_; }
+  const FaultConfig& config() const { return config_; }
+
+ private:
+  FaultConfig config_;
+  Rng rng_;
+  uint64_t trip_ = 0;
+  bool forced_outage_ = false;
+  FaultStats stats_;
+};
+
+}  // namespace ccpi
+
+#endif  // CCPI_DISTSIM_FAULT_INJECTOR_H_

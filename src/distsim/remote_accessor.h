@@ -1,0 +1,33 @@
+#ifndef CCPI_DISTSIM_REMOTE_ACCESSOR_H_
+#define CCPI_DISTSIM_REMOTE_ACCESSOR_H_
+
+#include <string>
+
+#include "util/status.h"
+
+namespace ccpi {
+
+/// Abstraction of the link to the remote site's data.
+///
+/// The paper's premise is that remote information is expensive *or
+/// unavailable*; this interface is where unavailability becomes visible.
+/// Each ReadRemote call models one remote access episode (one round trip
+/// enumerating `count` tuples); implementations may charge it, fail it, or
+/// both. A non-OK return means the episode did not complete: kUnavailable
+/// for a down or flaky site, kDeadlineExceeded for a timed-out trip.
+class RemoteAccessor {
+ public:
+  virtual ~RemoteAccessor() = default;
+
+  /// Whether `pred` would require a remote trip at all.
+  virtual bool IsRemote(const std::string& pred) const = 0;
+
+  /// Performs (or simulates) one remote read episode of `count` tuples of
+  /// `pred`. Accounting happens regardless of outcome — a failed trip
+  /// still pays the round-trip latency.
+  virtual Status ReadRemote(const std::string& pred, size_t count) = 0;
+};
+
+}  // namespace ccpi
+
+#endif  // CCPI_DISTSIM_REMOTE_ACCESSOR_H_

@@ -2,13 +2,26 @@
 
 namespace ccpi {
 
-void SiteDatabase::OnRead(const std::string& pred, size_t count) {
+Status SiteDatabase::OnRead(const std::string& pred, size_t count) {
   if (IsLocal(pred)) {
     stats_.local_tuples += count;
-  } else {
-    stats_.remote_tuples += count;
-    stats_.remote_trips += 1;
+    return Status::OK();
   }
+  return ReadRemote(pred, count);
+}
+
+Status SiteDatabase::ReadRemote(const std::string& pred, size_t count) {
+  // The round trip is paid whether or not it succeeds.
+  stats_.remote_trips += 1;
+  if (injector_ != nullptr) {
+    Status st = injector_->InjectOnRead(pred);
+    if (!st.ok()) {
+      stats_.remote_failures += 1;
+      return st;
+    }
+  }
+  stats_.remote_tuples += count;
+  return Status::OK();
 }
 
 }  // namespace ccpi

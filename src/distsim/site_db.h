@@ -5,6 +5,8 @@
 #include <string>
 
 #include "distsim/cost_model.h"
+#include "distsim/fault_injector.h"
+#include "distsim/remote_accessor.h"
 #include "eval/engine.h"
 #include "relational/database.h"
 
@@ -16,6 +18,10 @@ struct AccessStats {
   size_t local_tuples = 0;
   size_t remote_tuples = 0;
   size_t remote_trips = 0;
+  /// Remote trips that failed (injected fault). A failed trip still pays
+  /// the round-trip latency — it is included in remote_trips — but no
+  /// tuples came back, so it contributes nothing to remote_tuples.
+  size_t remote_failures = 0;
 
   double Cost(const CostModel& model) const {
     return static_cast<double>(local_tuples) * model.local_tuple_cost +
@@ -27,6 +33,7 @@ struct AccessStats {
     local_tuples += other.local_tuples;
     remote_tuples += other.remote_tuples;
     remote_trips += other.remote_trips;
+    remote_failures += other.remote_failures;
     return *this;
   }
 };
@@ -35,8 +42,11 @@ struct AccessStats {
 /// Section 5: the site applying updates holds the local relations; every
 /// read of a remote relation is charged. The class is an AccessObserver —
 /// plug it into EvalOptions (or EvalRa) and it attributes each read to the
-/// right side of the partition.
-class SiteDatabase : public AccessObserver {
+/// right side of the partition — and a RemoteAccessor: when a
+/// FaultInjector is attached, remote reads can *fail*, surfacing as
+/// kUnavailable / kDeadlineExceeded through whatever evaluation is in
+/// flight. Local reads never fail.
+class SiteDatabase : public AccessObserver, public RemoteAccessor {
  public:
   explicit SiteDatabase(std::set<std::string> local_preds)
       : local_preds_(std::move(local_preds)) {}
@@ -49,9 +59,22 @@ class SiteDatabase : public AccessObserver {
   Database& db() { return db_; }
   const Database& db() const { return db_; }
 
+  /// Attaches (or detaches, with nullptr) the fault source for remote
+  /// reads. Not owned; must outlive the site. With no injector attached
+  /// every remote read succeeds, preserving the pre-fault behaviour.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  FaultInjector* fault_injector() const { return injector_; }
+
   /// AccessObserver: attributes `count` enumerated tuples of `pred`.
-  /// Each remote read event also counts one round trip.
-  void OnRead(const std::string& pred, size_t count) override;
+  /// Each remote read event also counts one round trip; a remote read may
+  /// fail when a fault injector is attached.
+  Status OnRead(const std::string& pred, size_t count) override;
+
+  /// RemoteAccessor: one remote episode of `count` tuples of `pred`.
+  bool IsRemote(const std::string& pred) const override {
+    return !IsLocal(pred);
+  }
+  Status ReadRemote(const std::string& pred, size_t count) override;
 
   /// Statistics accumulated since the last Reset.
   const AccessStats& stats() const { return stats_; }
@@ -61,6 +84,7 @@ class SiteDatabase : public AccessObserver {
   std::set<std::string> local_preds_;
   Database db_;
   AccessStats stats_;
+  FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace ccpi

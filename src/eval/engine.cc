@@ -50,18 +50,29 @@ class RuleEval {
         edb_preds_(edb_preds),
         emit_(std::move(emit)) {}
 
-  void Run() {
+  /// Non-OK when an observed read failed mid-evaluation (e.g. the remote
+  /// site is unavailable); derived tuples emitted before the failure must
+  /// be discarded by the caller.
+  Status Run() {
     std::vector<size_t> remaining(rule_.body.size());
     for (size_t i = 0; i < remaining.size(); ++i) remaining[i] = i;
     Env env;
     Step(&env, remaining);
+    return status_;
   }
 
  private:
-  void Observe(const std::string& pred, size_t count) {
+  /// Reports a read to the observer; returns false (and latches the error
+  /// for Run) if the observer refused it.
+  bool Observe(const std::string& pred, size_t count) {
     if (observer_ != nullptr && edb_preds_->count(pred) > 0) {
-      observer_->OnRead(pred, count);
+      Status st = observer_->OnRead(pred, count);
+      if (!st.ok()) {
+        if (status_.ok()) status_ = std::move(st);
+        return false;
+      }
     }
+    return true;
   }
 
   /// Applies all currently-decidable filters and equality bindings.
@@ -102,7 +113,7 @@ class RuleEval {
           if (ground) {
             const Relation* rel =
                 lookup_(lit.atom.pred, lit.atom.args.size());
-            Observe(lit.atom.pred, 1);
+            if (!Observe(lit.atom.pred, 1)) return false;
             if (rel != nullptr && rel->Contains(t)) return false;
             remaining->erase(remaining->begin() + pos);
             --pos;
@@ -115,6 +126,7 @@ class RuleEval {
   }
 
   void Step(Env* env, std::vector<size_t> remaining) {
+    if (!status_.ok()) return;  // a read already failed: unwind
     Env saved = *env;
     if (!Propagate(env, &remaining)) {
       *env = saved;
@@ -202,15 +214,23 @@ class RuleEval {
     // rows by index so growth during the scan is harmless.
     if (probe_col < atom.args.size()) {
       std::vector<size_t> posting = rel->Probe(probe_col, probe_val);
-      Observe(atom.pred, posting.size());
+      if (!Observe(atom.pred, posting.size())) {
+        *env = saved;
+        return;
+      }
       for (size_t row : posting) {
+        if (!status_.ok()) break;
         Tuple t = rel->rows()[row];
         try_tuple(t);
       }
     } else {
       size_t limit = rel->size();
-      Observe(atom.pred, limit);
+      if (!Observe(atom.pred, limit)) {
+        *env = saved;
+        return;
+      }
       for (size_t i = 0; i < limit; ++i) {
+        if (!status_.ok()) break;
         Tuple t = rel->rows()[i];
         try_tuple(t);
       }
@@ -225,6 +245,7 @@ class RuleEval {
   bool use_index_;
   const std::set<std::string>* edb_preds_;
   std::function<void(Tuple)> emit_;
+  Status status_;  // first observer failure, returned by Run
 };
 
 }  // namespace
@@ -275,7 +296,7 @@ Result<Database> Evaluate(const Program& program, const Database& edb,
       }
     };
 
-    auto run_full_round = [&]() {
+    auto run_full_round = [&]() -> Status {
       for (const Rule& rule : stratum) {
         auto fetch = [&](const std::string& pred, size_t arity,
                          size_t) -> const Relation* {
@@ -285,12 +306,13 @@ Result<Database> Evaluate(const Program& program, const Database& edb,
             rule, fetch, lookup, options.observer, &edb_preds,
             options.use_index,
             [&](Tuple t) { emit(rule.head.pred, std::move(t)); });
-        eval.Run();
+        CCPI_RETURN_IF_ERROR(eval.Run());
       }
+      return Status::OK();
     };
 
     // Initial round: every rule against the current (pre-stratum) state.
-    run_full_round();
+    CCPI_RETURN_IF_ERROR(run_full_round());
 
     if (!options.use_seminaive) {
       // Naive fixpoint (ablation baseline): full rounds until quiescence.
@@ -300,7 +322,7 @@ Result<Database> Evaluate(const Program& program, const Database& edb,
           return Status::Internal("derivation limit exceeded");
         }
         delta = Database();
-        run_full_round();
+        CCPI_RETURN_IF_ERROR(run_full_round());
       }
       continue;
     }
@@ -330,7 +352,7 @@ Result<Database> Evaluate(const Program& program, const Database& edb,
               rule, fetch, lookup, options.observer, &edb_preds,
               options.use_index,
               [&](Tuple t) { emit(rule.head.pred, std::move(t)); });
-          eval.Run();
+          CCPI_RETURN_IF_ERROR(eval.Run());
         }
       }
     }

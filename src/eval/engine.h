@@ -13,12 +13,17 @@ namespace ccpi {
 /// simulator implements this to charge local vs. remote access costs: the
 /// paper's motivation is precisely that a test's value depends on *which*
 /// relations it reads.
+///
+/// OnRead is fallible: a simulated remote site may refuse the read
+/// (kUnavailable / kDeadlineExceeded), in which case the evaluation engine
+/// aborts and propagates the status — an evaluation that could not see all
+/// the data it asked for must not report a verdict.
 class AccessObserver {
  public:
   virtual ~AccessObserver() = default;
-  /// `count` tuples of EDB predicate `pred` were enumerated (scanned or
-  /// probed) by the engine.
-  virtual void OnRead(const std::string& pred, size_t count) = 0;
+  /// `count` tuples of EDB predicate `pred` are being enumerated (scanned
+  /// or probed) by the engine. Returning non-OK fails the read.
+  virtual Status OnRead(const std::string& pred, size_t count) = 0;
 };
 
 struct EvalOptions {

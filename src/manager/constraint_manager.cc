@@ -37,6 +37,19 @@ bool Mentions(const Program& p, const std::string& pred) {
   return false;
 }
 
+Update InverseOf(const Update& u) {
+  return u.kind == Update::Kind::kInsert ? Update::Delete(u.pred, u.tuple)
+                                         : Update::Insert(u.pred, u.tuple);
+}
+
+/// Whether the effect of `u` is still visible in `db` (nothing has undone
+/// or superseded it). Guards compensation: never "roll back" an update
+/// whose effect is already gone.
+bool EffectPresent(const Update& u, const Database& db) {
+  bool contains = db.Contains(u.pred, u.tuple);
+  return u.kind == Update::Kind::kInsert ? contains : !contains;
+}
+
 }  // namespace
 
 Result<bool> ConstraintManager::AddConstraint(const std::string& name,
@@ -124,26 +137,53 @@ Result<CheckReport> ConstraintManager::CheckOne(Registered* r,
 
   // Tier 2: complete local test with local data — insertions into a local
   // relation, single-CQ constraints (Sections 5 and 6). The compiled
-  // artifacts are cached per (constraint, predicate).
+  // artifacts are cached per (constraint, predicate). Local reads never
+  // fail: tiers 0-2 keep answering through any remote outage.
   if (u.kind == Update::Kind::kInsert && site_.IsLocal(u.pred)) {
     std::shared_ptr<const Tier2Artifacts> t2 = PrepareTier2(r, u.pred);
     if (t2 != nullptr) {
-      const Relation& local = site_.db().Get(u.pred, u.tuple.size());
+      // Tier 2 may only trust *verified* local data. A tuple applied
+      // optimistically while its own check is still deferred must not
+      // serve as evidence (e.g. interval coverage) for accepting further
+      // updates: one unverified insert could otherwise launder
+      // arbitrarily many dependents past the local test, and its late
+      // rollback would leave them standing unchecked.
+      const Relation* local = &site_.db().Get(u.pred, u.tuple.size());
+      bool has_pending = false;
+      for (const DeferredCheck& d : deferred_) {
+        has_pending = has_pending || d.update.pred == u.pred;
+      }
+      Relation verified(u.tuple.size());
+      if (has_pending) {
+        verified = *local;
+        for (const DeferredCheck& d : deferred_) {
+          if (d.update.pred != u.pred) continue;
+          if (d.update.kind == Update::Kind::kInsert) {
+            verified.Erase(d.update.tuple);
+          } else {
+            verified.Insert(d.update.tuple);
+          }
+        }
+        local = &verified;
+      }
       Outcome outcome = Outcome::kUnknown;
       bool decided = false;
 
       // Fastest applicable method first: the Fig 6.1 interval machinery,
       // then the Theorem 5.3 RA test, then the general Theorem 5.2 test.
       if (t2->icq.has_value()) {
-        Result<Outcome> o = IcqDirectTestOnInsert(*t2->icq, local, u.tuple);
+        Result<Outcome> o = IcqDirectTestOnInsert(*t2->icq, *local, u.tuple);
         if (o.ok()) {
           outcome = *o;
           decided = true;
-          site_.OnRead(u.pred, local.size());  // one pass over L
+          // One pass over L, always a local read.
+          CCPI_RETURN_IF_ERROR(site_.OnRead(u.pred, local->size()));
         }
       }
-      if (!decided && t2->arithmetic_free) {
+      if (!decided && t2->arithmetic_free && !has_pending) {
         // The RA evaluator reports its own reads through the observer.
+        // It reads L from the database directly, so it is skipped when
+        // unverified tuples would be visible there.
         Result<Outcome> o = RaLocalTestOnInsert(t2->rule, u.pred, u.tuple,
                                                 site_.db(), &site_);
         if (o.ok()) {
@@ -153,11 +193,11 @@ Result<CheckReport> ConstraintManager::CheckOne(Registered* r,
       }
       if (!decided && t2->cqc.has_value()) {
         Result<LocalTestResult> o =
-            CompleteLocalTestOnInsert(*t2->cqc, u.tuple, local);
+            CompleteLocalTestOnInsert(*t2->cqc, u.tuple, *local);
         if (o.ok()) {
           outcome = o->outcome;
           decided = true;
-          site_.OnRead(u.pred, local.size());
+          CCPI_RETURN_IF_ERROR(site_.OnRead(u.pred, local->size()));
         }
       }
       if (decided) {
@@ -175,8 +215,60 @@ Result<CheckReport> ConstraintManager::CheckOne(Registered* r,
   return report;
 }
 
+Result<bool> ConstraintManager::EvaluateRemote(const Program& program,
+                                               const Database& db,
+                                               size_t* retries_out) {
+  bool violated = false;
+  RetryOutcome episode =
+      RunWithRetry(resilience_.retry, &retry_rng_, [&]() -> Status {
+        EvalOptions options;
+        options.observer = &site_;
+        Result<bool> r = IsViolated(program, db, options);
+        if (!r.ok()) return r.status();
+        violated = *r;
+        return Status::OK();
+      });
+  stats_.remote_attempts += episode.attempts;
+  if (episode.attempts > 0) stats_.remote_retries += episode.attempts - 1;
+  if (retries_out != nullptr) {
+    *retries_out = episode.attempts > 0 ? episode.attempts - 1 : 0;
+  }
+  if (!episode.status.ok()) {
+    if (IsRetriable(episode.status.code())) {
+      ++stats_.remote_failures;
+      breaker_.RecordFailure();
+    }
+    return episode.status;
+  }
+  breaker_.RecordSuccess();
+  return violated;
+}
+
+bool ConstraintManager::UpdateRefused(
+    const std::vector<CheckReport>& reports) const {
+  for (const CheckReport& r : reports) {
+    if (r.outcome == Outcome::kViolated) return true;
+    if (r.outcome == Outcome::kDeferred &&
+        resilience_.on_unreachable == DeferredPolicy::kReject) {
+      return true;
+    }
+  }
+  return false;
+}
+
 Result<std::vector<CheckReport>> ConstraintManager::ApplyUpdate(
     const Update& u) {
+  breaker_.Tick();
+  // Opportunistically drain the deferred queue first: once the remote site
+  // answers again, earlier optimistic applies are re-verified before new
+  // work builds on them.
+  if (resilience_.auto_recheck && !deferred_.empty() &&
+      breaker_.AllowRequest()) {
+    Result<std::vector<DeferredResolution>> drained = RecheckDeferred();
+    if (!drained.ok()) return drained.status();
+  }
+
+  uint64_t sequence = update_sequence_++;
   std::vector<CheckReport> reports;
 
   // A no-op update cannot change any constraint.
@@ -214,10 +306,13 @@ Result<std::vector<CheckReport>> ConstraintManager::ApplyUpdate(
   for (const CheckReport& r : reports) {
     violated = violated || r.outcome == Outcome::kViolated;
   }
+  bool any_deferred = false;
 
   if (!need_full.empty() && !violated) {
     // Tentatively apply, evaluate the undecided constraints on the new
-    // state (remote reads charged), roll back on violation.
+    // state (remote reads charged), roll back on violation. A constraint
+    // whose evaluation cannot reach the remote site resolves as kDeferred
+    // instead of blocking or failing the whole update.
     CCPI_RETURN_IF_ERROR(u.ApplyTo(&site_.db()));
     for (size_t idx : need_full) {
       CheckReport& report = reports[idx];
@@ -225,23 +320,63 @@ Result<std::vector<CheckReport>> ConstraintManager::ApplyUpdate(
       for (const Registered& r : constraints_) {
         if (r.name == report.constraint) reg = &r;
       }
-      EvalOptions options;
-      options.observer = &site_;
-      CCPI_ASSIGN_OR_RETURN(bool bad,
-                            IsViolated(reg->program, site_.db(), options));
-      report.outcome = bad ? Outcome::kViolated : Outcome::kHolds;
+      if (!breaker_.AllowRequest()) {
+        // Circuit open: the remote site is known-dead; fail fast.
+        report.outcome = Outcome::kDeferred;
+        ++stats_.deferred;
+        ++stats_.breaker_fast_fails;
+        any_deferred = true;
+        continue;
+      }
+      size_t retries = 0;
+      Result<bool> bad = EvaluateRemote(reg->program, site_.db(), &retries);
+      report.retries = retries;
+      if (!bad.ok()) {
+        if (!IsRetriable(bad.status().code())) return bad.status();
+        // Unreachable after retries: degrade, don't error out.
+        report.outcome = Outcome::kDeferred;
+        ++stats_.deferred;
+        any_deferred = true;
+        continue;
+      }
+      report.outcome = *bad ? Outcome::kViolated : Outcome::kHolds;
       stats_.resolved_by[Tier::kFullCheck]++;
-      violated = violated || bad;
+      violated = violated || *bad;
     }
     if (violated) {
-      // Roll back.
-      Update inverse = u.kind == Update::Kind::kInsert
-                           ? Update::Delete(u.pred, u.tuple)
-                           : Update::Insert(u.pred, u.tuple);
-      CCPI_RETURN_IF_ERROR(inverse.ApplyTo(&site_.db()));
+      // Roll back: a definite violation wins over any deferral.
+      CCPI_RETURN_IF_ERROR(InverseOf(u).ApplyTo(&site_.db()));
+    } else if (any_deferred) {
+      if (resilience_.on_unreachable == DeferredPolicy::kOptimisticApply) {
+        // Keep the optimistic apply; queue each undecided constraint for
+        // re-verification once the remote site answers.
+        for (const CheckReport& r : reports) {
+          if (r.outcome == Outcome::kDeferred) {
+            deferred_.push_back(DeferredCheck{u, r.constraint, sequence});
+          }
+        }
+      } else {
+        // Conservative policy: refuse updates we cannot fully verify.
+        CCPI_RETURN_IF_ERROR(InverseOf(u).ApplyTo(&site_.db()));
+      }
     }
   } else if (!violated && !noop) {
     CCPI_RETURN_IF_ERROR(u.ApplyTo(&site_.db()));
+  }
+
+  bool kept =
+      !noop && !violated &&
+      !(any_deferred &&
+        resilience_.on_unreachable == DeferredPolicy::kReject);
+  if (kept) {
+    // An applied update supersedes any queued re-check of its exact
+    // inverse: that check's effect no longer exists, so there is nothing
+    // left to verify or roll back (and tier 2 never trusted it).
+    for (auto it = deferred_.begin(); it != deferred_.end();) {
+      bool moot = it->sequence != sequence && it->update.pred == u.pred &&
+                  it->update.tuple == u.tuple && it->update.kind != u.kind;
+      it = moot ? deferred_.erase(it) : it + 1;
+    }
   }
 
   if (violated) stats_.violations++;
@@ -249,9 +384,74 @@ Result<std::vector<CheckReport>> ConstraintManager::ApplyUpdate(
   return reports;
 }
 
+Result<std::vector<DeferredResolution>> ConstraintManager::RecheckDeferred() {
+  std::vector<DeferredResolution> resolved;
+  if (deferred_.empty()) return resolved;
+
+  // Re-verify each deferred update against the state it was checked in:
+  // a scratch copy of the database with every still-pending optimistic
+  // effect removed, then replayed in sequence order. Checking against the
+  // raw current state instead would blame the oldest queued update for a
+  // violation actually introduced by a younger one.
+  Database scratch = site_.db();
+  for (const DeferredCheck& entry : deferred_) {
+    if (EffectPresent(entry.update, scratch)) {
+      CCPI_RETURN_IF_ERROR(InverseOf(entry.update).ApplyTo(&scratch));
+    }
+  }
+
+  while (!deferred_.empty()) {
+    if (!breaker_.AllowRequest()) break;  // still failing fast
+    const DeferredCheck& entry = deferred_.front();
+    const Registered* reg = nullptr;
+    for (const Registered& r : constraints_) {
+      if (r.name == entry.constraint) reg = &r;
+    }
+    if (reg == nullptr) {  // constraint no longer registered: nothing to do
+      deferred_.pop_front();
+      continue;
+    }
+    // Replay this entry's update into the scratch pre-state (a no-op for a
+    // second constraint of the same update, or for an update a late
+    // rollback already rejected).
+    if (!EffectPresent(entry.update, scratch)) {
+      CCPI_RETURN_IF_ERROR(entry.update.ApplyTo(&scratch));
+    }
+    Result<bool> bad = EvaluateRemote(reg->program, scratch, nullptr);
+    if (!bad.ok()) {
+      if (IsRetriable(bad.status().code())) break;  // still down: keep queue
+      return bad.status();
+    }
+    DeferredResolution res;
+    res.check = entry;
+    deferred_.pop_front();
+    if (*bad) {
+      // Late-detected violation: compensate by undoing the optimistic
+      // apply — in the replay state and, unless a later update already
+      // removed its effect, in the real database.
+      res.outcome = Outcome::kViolated;
+      ++stats_.deferred_violations;
+      ++stats_.violations;
+      CCPI_RETURN_IF_ERROR(InverseOf(res.check.update).ApplyTo(&scratch));
+      if (EffectPresent(res.check.update, site_.db())) {
+        CCPI_RETURN_IF_ERROR(
+            InverseOf(res.check.update).ApplyTo(&site_.db()));
+        res.rolled_back = true;
+      }
+    } else {
+      res.outcome = Outcome::kHolds;
+      ++stats_.deferred_recovered;
+    }
+    resolved.push_back(std::move(res));
+  }
+  stats_.access = site_.stats();
+  return resolved;
+}
+
 Result<ConstraintManager::TransactionResult> ConstraintManager::ApplyTransaction(
     const std::vector<Update>& updates) {
   TransactionResult result;
+  uint64_t first_sequence = update_sequence_;
   // Remember which updates actually change state, for exact rollback.
   std::vector<Update> applied;
   for (const Update& u : updates) {
@@ -260,19 +460,17 @@ Result<ConstraintManager::TransactionResult> ConstraintManager::ApplyTransaction
                 (u.kind == Update::Kind::kDelete &&
                  !site_.db().Contains(u.pred, u.tuple));
     CCPI_ASSIGN_OR_RETURN(std::vector<CheckReport> reports, ApplyUpdate(u));
-    bool violated = false;
-    for (const CheckReport& r : reports) {
-      violated = violated || r.outcome == Outcome::kViolated;
-    }
+    bool refused = UpdateRefused(reports);
     result.reports.push_back(std::move(reports));
-    if (violated) {
+    if (refused) {
       // ApplyUpdate already refused this update; undo the earlier ones in
-      // reverse order.
+      // reverse order and drop any re-check entries this transaction
+      // enqueued (their updates no longer exist).
       for (auto it = applied.rbegin(); it != applied.rend(); ++it) {
-        Update inverse = it->kind == Update::Kind::kInsert
-                             ? Update::Delete(it->pred, it->tuple)
-                             : Update::Insert(it->pred, it->tuple);
-        CCPI_RETURN_IF_ERROR(inverse.ApplyTo(&site_.db()));
+        CCPI_RETURN_IF_ERROR(InverseOf(*it).ApplyTo(&site_.db()));
+      }
+      for (auto it = deferred_.begin(); it != deferred_.end();) {
+        it = it->sequence >= first_sequence ? deferred_.erase(it) : it + 1;
       }
       result.committed = false;
       return result;

@@ -1,6 +1,7 @@
 #ifndef CCPI_MANAGER_CONSTRAINT_MANAGER_H_
 #define CCPI_MANAGER_CONSTRAINT_MANAGER_H_
 
+#include <deque>
 #include <map>
 #include <memory>
 #include <string>
@@ -9,7 +10,9 @@
 #include "datalog/ast.h"
 #include "distsim/site_db.h"
 #include "updates/update.h"
+#include "util/circuit_breaker.h"
 #include "util/outcome.h"
+#include "util/retry.h"
 #include "util/status.h"
 
 namespace ccpi {
@@ -26,10 +29,52 @@ enum class Tier {
 
 const char* TierToString(Tier tier);
 
+/// What the manager does with an update whose tier-3 check could not reach
+/// the remote site.
+enum class DeferredPolicy {
+  /// Apply the update now and enqueue the undecided checks for automatic
+  /// re-verification once the remote site answers again; a late violation
+  /// is compensated by rolling the update back. Sound because tiers 0-2
+  /// are *complete* where they apply: anything that reaches tier 3 was
+  /// already not refutable from local information alone.
+  kOptimisticApply,
+  /// Refuse the update (database unchanged). Conservative: availability of
+  /// writes degrades with the remote link, but the database never holds
+  /// unverified data.
+  kReject,
+};
+
+/// Knobs of the fault-tolerant remote-access path (tier 3).
+struct ResilienceConfig {
+  RetryPolicy retry;
+  CircuitBreakerConfig breaker;
+  DeferredPolicy on_unreachable = DeferredPolicy::kOptimisticApply;
+  /// Seed of the jitter stream of the retry policy.
+  uint64_t retry_seed = 0x5eed;
+  /// Drain the deferred-recheck queue automatically at the start of each
+  /// ApplyUpdate once the circuit allows remote traffic again.
+  bool auto_recheck = true;
+};
+
 /// Aggregate statistics across updates.
 struct ManagerStats {
   std::map<Tier, size_t> resolved_by;
   size_t violations = 0;
+  /// Tier-3 evaluation attempts actually issued (including retries).
+  size_t remote_attempts = 0;
+  /// Attempts beyond the first of their episode.
+  size_t remote_retries = 0;
+  /// Episodes that exhausted the retry policy without an answer.
+  size_t remote_failures = 0;
+  /// Checks resolved as kDeferred because the remote site was unreachable.
+  size_t deferred = 0;
+  /// Deferred checks skipped without a remote attempt (circuit open).
+  size_t breaker_fast_fails = 0;
+  /// Deferred checks later re-verified as holding.
+  size_t deferred_recovered = 0;
+  /// Deferred checks later found violated (the optimistic apply was
+  /// compensated by rollback). Counted in `violations` too.
+  size_t deferred_violations = 0;
   AccessStats access;
 };
 
@@ -38,6 +83,27 @@ struct CheckReport {
   std::string constraint;
   Outcome outcome = Outcome::kUnknown;
   Tier tier = Tier::kFullCheck;
+  /// Remote attempts beyond the first consumed by this check (tier 3).
+  size_t retries = 0;
+};
+
+/// One enqueued re-verification: `constraint` must be re-checked because
+/// the remote site was unreachable when `update` was (optimistically)
+/// applied.
+struct DeferredCheck {
+  Update update;
+  std::string constraint;
+  /// Position in the update stream, for reports.
+  uint64_t sequence = 0;
+};
+
+/// How one deferred check was eventually resolved.
+struct DeferredResolution {
+  DeferredCheck check;
+  Outcome outcome = Outcome::kUnknown;  // kHolds or kViolated
+  /// Whether the late-detected violation was compensated by rolling the
+  /// update back (false when a later update already removed its effect).
+  bool rolled_back = false;
 };
 
 /// Integrity-constraint manager implementing the paper's tiered checking
@@ -57,10 +123,25 @@ struct CheckReport {
 ///
 /// Updates are checked BEFORE being applied; a violated update is rejected
 /// (the database is left unchanged) and reported.
+///
+/// Tier 3 is the only tier that depends on the remote site, and the remote
+/// site may be down (attach a FaultInjector to site() to simulate that).
+/// The manager degrades gracefully: T3 evaluations run under a retry
+/// policy with exponential backoff, a circuit breaker fails fast while the
+/// site is known-dead, and checks that remain unanswerable resolve as
+/// Outcome::kDeferred — the update is optimistically applied (or rejected,
+/// per DeferredPolicy) and enqueued for automatic re-verification when the
+/// circuit closes, with rollback compensation if the late check finds a
+/// violation.
 class ConstraintManager {
  public:
-  ConstraintManager(std::set<std::string> local_preds, CostModel cost_model)
-      : site_(std::move(local_preds)), cost_model_(cost_model) {}
+  ConstraintManager(std::set<std::string> local_preds, CostModel cost_model,
+                    ResilienceConfig resilience = {})
+      : site_(std::move(local_preds)),
+        cost_model_(cost_model),
+        resilience_(resilience),
+        breaker_(resilience.breaker),
+        retry_rng_(resilience.retry_seed) {}
 
   /// Registers a constraint. If the already-registered constraints subsume
   /// it, it is recorded as redundant (never checked) and `subsumed` is set
@@ -71,7 +152,9 @@ class ConstraintManager {
   const SiteDatabase& site() const { return site_; }
 
   /// Checks all active constraints against `u`, applies it if no
-  /// violation was found, and reports the verdict per constraint.
+  /// violation was found, and reports the verdict per constraint. A report
+  /// with outcome kDeferred means the remote site could not be reached;
+  /// whether the update was applied is governed by the DeferredPolicy.
   Result<std::vector<CheckReport>> ApplyUpdate(const Update& u);
 
   /// The outcome of an atomic multi-update transaction.
@@ -83,12 +166,31 @@ class ConstraintManager {
   };
 
   /// Applies a sequence of updates atomically: each is checked in order
-  /// against the constraints; if any would cause a violation, every
+  /// against the constraints; if any would cause a violation (or is
+  /// refused by DeferredPolicy::kReject during an outage), every
   /// previously applied update of the sequence is rolled back and the
   /// database is left exactly as before the call.
   Result<TransactionResult> ApplyTransaction(const std::vector<Update>& updates);
 
+  /// Attempts to re-verify every queued deferred check by full evaluation
+  /// against the current database. Entries whose remote reads still fail
+  /// stay queued (draining stops at the first unreachable entry). Returns
+  /// the entries decided by this call; late violations are compensated by
+  /// rolling the offending update back.
+  Result<std::vector<DeferredResolution>> RecheckDeferred();
+
+  /// Pending re-verifications, oldest first.
+  const std::deque<DeferredCheck>& deferred_queue() const {
+    return deferred_;
+  }
+
+  const CircuitBreaker& breaker() const { return breaker_; }
   const ManagerStats& stats() const { return stats_; }
+
+  /// Advances the failure-detector clock without applying an update (it
+  /// normally ticks once per ApplyUpdate). Lets an idle caller wait out an
+  /// open circuit's cooldown before draining the deferred queue.
+  void TickBreaker(uint64_t steps = 1) { breaker_.Tick(steps); }
 
  private:
   // Tier-2 artifacts per (constraint, updated local predicate), compiled
@@ -113,9 +215,26 @@ class ConstraintManager {
 
   Result<CheckReport> CheckOne(Registered* r, const Update& u);
 
+  /// Runs one tier-3 evaluation of `program` over `db` under the retry
+  /// policy and circuit breaker. OK Result carries the violation verdict;
+  /// a kUnavailable/kDeadlineExceeded Result means the episode gave up
+  /// (the caller defers). `retries_out` receives the extra attempts
+  /// consumed.
+  Result<bool> EvaluateRemote(const Program& program, const Database& db,
+                              size_t* retries_out);
+
+  /// Whether reports mean the update was refused (violated, or deferred
+  /// under DeferredPolicy::kReject).
+  bool UpdateRefused(const std::vector<CheckReport>& reports) const;
+
   SiteDatabase site_;
   CostModel cost_model_;
+  ResilienceConfig resilience_;
+  CircuitBreaker breaker_;
+  Rng retry_rng_;
   std::vector<Registered> constraints_;
+  std::deque<DeferredCheck> deferred_;
+  uint64_t update_sequence_ = 0;
   ManagerStats stats_;
 };
 

@@ -1,5 +1,6 @@
 #include "manager/script.h"
 
+#include <optional>
 #include <sstream>
 
 #include "datalog/parser.h"
@@ -122,7 +123,20 @@ Result<Script> ParseScript(std::string_view text) {
 }
 
 Result<ScriptReport> RunScript(const Script& script, const CostModel& costs) {
-  ConstraintManager mgr(script.local_preds, costs);
+  ScriptOptions options;
+  options.costs = costs;
+  return RunScript(script, options);
+}
+
+Result<ScriptReport> RunScript(const Script& script,
+                               const ScriptOptions& options) {
+  const CostModel& costs = options.costs;
+  ConstraintManager mgr(script.local_preds, costs, options.resilience);
+  std::optional<FaultInjector> injector;
+  if (options.enable_faults) {
+    injector.emplace(options.faults);
+    mgr.site().set_fault_injector(&*injector);
+  }
   std::ostringstream out;
   for (const auto& [name, program] : script.constraints) {
     CCPI_ASSIGN_OR_RETURN(bool subsumed, mgr.AddConstraint(name, program));
@@ -140,27 +154,61 @@ Result<ScriptReport> RunScript(const Script& script, const CostModel& costs) {
     }
   }
 
+  bool reject_on_defer =
+      options.resilience.on_unreachable == DeferredPolicy::kReject;
   ScriptReport report;
   for (const Update& u : script.updates) {
     CCPI_ASSIGN_OR_RETURN(std::vector<CheckReport> checks,
                           mgr.ApplyUpdate(u));
     bool rejected = false;
+    bool deferred = false;
     std::string detail;
     for (const CheckReport& c : checks) {
       if (c.outcome == Outcome::kViolated) {
         rejected = true;
         detail += " violates:" + c.constraint + "(" + TierToString(c.tier) +
                   ")";
+      } else if (c.outcome == Outcome::kDeferred) {
+        deferred = true;
+        detail += " deferred:" + c.constraint;
       }
     }
-    out << (rejected ? "REJECT " : "apply  ") << u.ToString() << detail
-        << "\n";
-    if (rejected) {
+    const char* verb = rejected          ? "REJECT "
+                       : !deferred       ? "apply  "
+                       : reject_on_defer ? "REFUSE "
+                                         : "DEFER  ";
+    out << verb << u.ToString() << detail << "\n";
+    if (deferred) ++report.updates_deferred;
+    if (rejected || (deferred && reject_on_defer)) {
       ++report.updates_rejected;
     } else {
       ++report.updates_applied;
     }
   }
+
+  // Shutdown drain: give the deferred queue a last chance to resolve (the
+  // outage may have ended after the final update). Simulated time is free
+  // at shutdown, so wait out the breaker cooldown between rounds; stop
+  // when a round makes no progress (the site is still unreachable).
+  while (!mgr.deferred_queue().empty()) {
+    mgr.TickBreaker(options.resilience.breaker.cooldown_ticks + 1);
+    CCPI_ASSIGN_OR_RETURN(std::vector<DeferredResolution> late,
+                          mgr.RecheckDeferred());
+    if (late.empty()) break;
+    for (const DeferredResolution& r : late) {
+      out << "recheck " << r.check.update.ToString() << " "
+          << r.check.constraint << ": " << OutcomeToString(r.outcome)
+          << (r.rolled_back ? " (rolled back)" : "") << "\n";
+    }
+  }
+  for (const DeferredCheck& d : mgr.deferred_queue()) {
+    out << "PENDING " << d.update.ToString() << " " << d.constraint
+        << " (remote site never answered)\n";
+  }
+  report.deferred_recovered = mgr.stats().deferred_recovered;
+  report.deferred_violations = mgr.stats().deferred_violations;
+  report.deferred_pending = mgr.deferred_queue().size();
+  report.violations = mgr.stats().violations;
 
   out << "---\n";
   for (const auto& [tier, count] : mgr.stats().resolved_by) {
@@ -170,6 +218,20 @@ Result<ScriptReport> RunScript(const Script& script, const CostModel& costs) {
   out << "access: " << access.local_tuples << " local tuples, "
       << access.remote_tuples << " remote tuples in " << access.remote_trips
       << " trips (cost " << access.Cost(costs) << ")\n";
+  if (options.print_stats) {
+    const ManagerStats& stats = mgr.stats();
+    out << "remote: " << stats.remote_attempts << " attempts, "
+        << stats.remote_retries << " retries, " << stats.remote_failures
+        << " failed episodes, " << access.remote_failures
+        << " failed trips\n";
+    out << "deferred: " << stats.deferred << " checks ("
+        << stats.breaker_fast_fails << " breaker fast-fails), "
+        << stats.deferred_recovered << " recovered, "
+        << stats.deferred_violations << " late violations, "
+        << report.deferred_pending << " pending\n";
+    out << "breaker: " << CircuitStateToString(mgr.breaker().state())
+        << " (opened " << mgr.breaker().times_opened() << "x)\n";
+  }
   report.text = out.str();
   return report;
 }

@@ -9,6 +9,8 @@
 
 #include "datalog/ast.h"
 #include "distsim/cost_model.h"
+#include "distsim/fault_injector.h"
+#include "manager/constraint_manager.h"
 #include "relational/database.h"
 #include "updates/update.h"
 #include "util/status.h"
@@ -39,16 +41,47 @@ struct Script {
 
 Result<Script> ParseScript(std::string_view text);
 
+/// Execution options of a script run: access pricing, fault injection on
+/// the simulated remote site, and the manager's degradation policy.
+struct ScriptOptions {
+  CostModel costs;
+  /// Remote faults to inject; used only when enable_faults is true.
+  FaultConfig faults;
+  bool enable_faults = false;
+  ResilienceConfig resilience;
+  /// Append the full ManagerStats block (retries, deferred/recovered
+  /// outcomes, breaker state) to the report text.
+  bool print_stats = false;
+};
+
 /// The outcome of running a script through the ConstraintManager.
 struct ScriptReport {
   /// Human-readable per-update log plus the tier/access summary.
   std::string text;
   size_t updates_applied = 0;
+  /// Updates refused: violations plus, under DeferredPolicy::kReject,
+  /// updates that could not be verified during an outage.
   size_t updates_rejected = 0;
+  /// Constraint violations detected (immediate or late via recheck).
+  size_t violations = 0;
+  /// Updates with at least one check deferred because the remote site was
+  /// unreachable (they were applied optimistically or refused, per the
+  /// DeferredPolicy).
+  size_t updates_deferred = 0;
+  /// Deferred checks re-verified as holding by end of run (including the
+  /// shutdown drain).
+  size_t deferred_recovered = 0;
+  /// Deferred checks found violated late and compensated by rollback.
+  size_t deferred_violations = 0;
+  /// Deferred checks still unresolved at shutdown (remote never answered).
+  size_t deferred_pending = 0;
 };
 
 Result<ScriptReport> RunScript(const Script& script,
                                const CostModel& costs = {});
+
+Result<ScriptReport> RunScript(const Script& script,
+                               const ScriptOptions& options);
 
 }  // namespace ccpi
 

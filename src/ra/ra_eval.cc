@@ -30,7 +30,9 @@ Result<Relation> EvalRa(const RaExpr& expr, const Database& db,
         return Status::InvalidArgument("scan arity mismatch on " +
                                        expr.pred());
       }
-      if (observer != nullptr) observer->OnRead(expr.pred(), rel.size());
+      if (observer != nullptr) {
+        CCPI_RETURN_IF_ERROR(observer->OnRead(expr.pred(), rel.size()));
+      }
       return rel;
     }
     case RaExpr::Kind::kConstRel: {

@@ -1,0 +1,62 @@
+#include "util/circuit_breaker.h"
+
+namespace ccpi {
+
+const char* CircuitStateToString(CircuitState state) {
+  switch (state) {
+    case CircuitState::kClosed:
+      return "closed";
+    case CircuitState::kOpen:
+      return "open";
+    case CircuitState::kHalfOpen:
+      return "half-open";
+  }
+  return "?";
+}
+
+bool CircuitBreaker::AllowRequest() {
+  switch (state_) {
+    case CircuitState::kClosed:
+    case CircuitState::kHalfOpen:
+      return true;
+    case CircuitState::kOpen:
+      if (now_ - opened_at_ >= config_.cooldown_ticks) {
+        state_ = CircuitState::kHalfOpen;
+        probe_successes_ = 0;
+        return true;
+      }
+      return false;
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  if (state_ == CircuitState::kHalfOpen) {
+    if (++probe_successes_ >= config_.half_open_successes) {
+      state_ = CircuitState::kClosed;
+      consecutive_failures_ = 0;
+    }
+    return;
+  }
+  consecutive_failures_ = 0;
+}
+
+void CircuitBreaker::RecordFailure() {
+  if (state_ == CircuitState::kHalfOpen) {
+    // A failed probe re-opens immediately and restarts the cooldown.
+    state_ = CircuitState::kOpen;
+    opened_at_ = now_;
+    ++times_opened_;
+    consecutive_failures_ = 0;
+    return;
+  }
+  if (state_ == CircuitState::kClosed &&
+      ++consecutive_failures_ >= config_.failure_threshold) {
+    state_ = CircuitState::kOpen;
+    opened_at_ = now_;
+    ++times_opened_;
+    consecutive_failures_ = 0;
+  }
+}
+
+}  // namespace ccpi

@@ -1,0 +1,67 @@
+#ifndef CCPI_UTIL_CIRCUIT_BREAKER_H_
+#define CCPI_UTIL_CIRCUIT_BREAKER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ccpi {
+
+/// State of a circuit breaker guarding a remote dependency.
+enum class CircuitState {
+  kClosed,    // healthy: requests flow
+  kOpen,      // tripped: requests fail fast without touching the remote
+  kHalfOpen,  // cooling down: a limited probe is allowed through
+};
+
+const char* CircuitStateToString(CircuitState state);
+
+struct CircuitBreakerConfig {
+  /// Consecutive failures that trip the breaker open.
+  size_t failure_threshold = 3;
+  /// Simulated ticks the breaker stays open before allowing a half-open
+  /// probe (the caller advances time with Tick, typically once per update
+  /// episode).
+  uint64_t cooldown_ticks = 8;
+  /// Consecutive probe successes needed to close again from half-open.
+  size_t half_open_successes = 1;
+};
+
+/// Classic three-state circuit breaker over a simulated clock.
+///
+/// Protocol: call AllowRequest() before each remote episode; if it returns
+/// false, fail fast (the manager degrades to a deferred verdict). After an
+/// allowed episode, report RecordSuccess() or RecordFailure(). Advance the
+/// clock with Tick() once per episode so an open breaker eventually
+/// half-opens. A failed half-open probe re-opens and restarts the cooldown.
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(CircuitBreakerConfig config = {})
+      : config_(config) {}
+
+  /// Whether a request may be issued now. May transition kOpen -> kHalfOpen
+  /// when the cooldown has elapsed.
+  bool AllowRequest();
+
+  void RecordSuccess();
+  void RecordFailure();
+
+  /// Advances the simulated clock.
+  void Tick(uint64_t ticks = 1) { now_ += ticks; }
+
+  CircuitState state() const { return state_; }
+  /// Times the breaker transitioned closed/half-open -> open.
+  size_t times_opened() const { return times_opened_; }
+
+ private:
+  CircuitBreakerConfig config_;
+  CircuitState state_ = CircuitState::kClosed;
+  size_t consecutive_failures_ = 0;
+  size_t probe_successes_ = 0;
+  uint64_t now_ = 0;
+  uint64_t opened_at_ = 0;
+  size_t times_opened_ = 0;
+};
+
+}  // namespace ccpi
+
+#endif  // CCPI_UTIL_CIRCUIT_BREAKER_H_

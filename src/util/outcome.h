@@ -12,6 +12,9 @@ enum class Outcome {
   kHolds,     // the test proved the constraint still holds
   kUnknown,   // inconclusive: a state of the unseen data could violate it
   kViolated,  // provably violated using only the visible information
+  kDeferred,  // undecidable right now: the remote information was
+              // unreachable, so the verdict is postponed to a re-check
+              // once the remote site answers again
 };
 
 inline const char* OutcomeToString(Outcome o) {
@@ -22,6 +25,8 @@ inline const char* OutcomeToString(Outcome o) {
       return "unknown";
     case Outcome::kViolated:
       return "violated";
+    case Outcome::kDeferred:
+      return "deferred";
   }
   return "?";
 }

@@ -1,0 +1,48 @@
+#include "util/retry.h"
+
+#include <algorithm>
+
+namespace ccpi {
+
+namespace {
+
+uint64_t NextBackoff(const RetryPolicy& policy, size_t retry_index,
+                     Rng* rng) {
+  // Exponential doubling from initial_backoff, capped at max_backoff.
+  uint64_t base = policy.initial_backoff;
+  for (size_t i = 0; i < retry_index && base < policy.max_backoff; ++i) {
+    base *= 2;
+  }
+  base = std::min(base, policy.max_backoff);
+  if (policy.jitter <= 0.0 || base == 0) return base;
+  // Uniform draw from [base*(1-jitter), base].
+  uint64_t spread = static_cast<uint64_t>(
+      static_cast<double>(base) * std::min(policy.jitter, 1.0));
+  if (spread == 0) return base;
+  return base - spread + rng->Below(spread + 1);
+}
+
+}  // namespace
+
+RetryOutcome RunWithRetry(const RetryPolicy& policy, Rng* rng,
+                          const std::function<Status()>& op) {
+  RetryOutcome outcome;
+  size_t max_attempts = std::max<size_t>(policy.max_attempts, 1);
+  for (size_t attempt = 0; attempt < max_attempts; ++attempt) {
+    outcome.status = op();
+    ++outcome.attempts;
+    if (outcome.status.ok() || !IsRetriable(outcome.status.code())) {
+      return outcome;
+    }
+    if (attempt + 1 == max_attempts) break;  // no budget for another try
+    uint64_t wait = NextBackoff(policy, attempt, rng);
+    if (policy.episode_budget != 0 &&
+        outcome.backoff_spent + wait > policy.episode_budget) {
+      break;  // episode timeout: give up with the last failure
+    }
+    outcome.backoff_spent += wait;
+  }
+  return outcome;
+}
+
+}  // namespace ccpi

@@ -1,0 +1,51 @@
+#ifndef CCPI_UTIL_RETRY_H_
+#define CCPI_UTIL_RETRY_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace ccpi {
+
+/// Exponential-backoff retry policy for fallible remote operations.
+///
+/// Time is simulated: backoff is measured in abstract units (the same
+/// units CostModel prices a round trip in), never in wall-clock sleeps, so
+/// tests and benchmarks stay deterministic and fast. An "episode" is one
+/// logical operation (e.g. one tier-3 constraint evaluation) together with
+/// all of its retries.
+struct RetryPolicy {
+  /// Total attempts per episode, including the first (1 = no retries).
+  size_t max_attempts = 4;
+  /// Backoff before the first retry, in simulated units.
+  uint64_t initial_backoff = 1;
+  /// Cap on a single backoff interval (exponential doubling stops here).
+  uint64_t max_backoff = 64;
+  /// Per-episode budget of total simulated backoff; once spent, the
+  /// episode fails even if attempts remain. 0 = unlimited.
+  uint64_t episode_budget = 256;
+  /// Fraction of each backoff interval randomized: the actual wait is
+  /// drawn uniformly from [b*(1-jitter), b]. 0 disables jitter.
+  double jitter = 0.5;
+};
+
+/// What one retried episode did, for statistics and reports.
+struct RetryOutcome {
+  Status status;               // final status of the episode
+  size_t attempts = 0;         // operations actually issued (>= 1)
+  uint64_t backoff_spent = 0;  // total simulated units waited
+};
+
+/// Runs `op` until it succeeds, fails with a non-retriable code, or the
+/// policy is exhausted (attempts or budget). Only kUnavailable and
+/// kDeadlineExceeded are retried; any other error is returned immediately.
+/// `rng` drives jitter and must outlive the call; pass the same seed for a
+/// reproducible schedule.
+RetryOutcome RunWithRetry(const RetryPolicy& policy, Rng* rng,
+                          const std::function<Status()>& op);
+
+}  // namespace ccpi
+
+#endif  // CCPI_UTIL_RETRY_H_

@@ -14,8 +14,17 @@ const char* StatusCodeToString(StatusCode code) {
       return "Not found";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kDeadlineExceeded:
+      return "Deadline exceeded";
   }
   return "Unknown";
+}
+
+bool IsRetriable(StatusCode code) {
+  return code == StatusCode::kUnavailable ||
+         code == StatusCode::kDeadlineExceeded;
 }
 
 std::string Status::ToString() const {

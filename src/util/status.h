@@ -26,7 +26,18 @@ enum class StatusCode {
   kNotFound,
   /// Internal invariant failure surfaced as a recoverable error.
   kInternal,
+  /// A remote site (or other dependency) did not answer; the operation may
+  /// succeed if retried later. The only code the retry layer retries.
+  kUnavailable,
+  /// The operation gave up waiting (simulated timeout). Retriable, like
+  /// kUnavailable, but distinguished so fault statistics can separate slow
+  /// links from dead ones.
+  kDeadlineExceeded,
 };
+
+/// True for the codes that signal a transient condition worth retrying
+/// (kUnavailable, kDeadlineExceeded) rather than a caller mistake.
+bool IsRetriable(StatusCode code);
 
 /// Returns the canonical spelling of a code ("OK", "Invalid argument", ...).
 const char* StatusCodeToString(StatusCode code);
@@ -55,6 +66,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -11,9 +11,9 @@ TEST(SiteDatabaseTest, PartitionsReads) {
   SiteDatabase site({"l"});
   EXPECT_TRUE(site.IsLocal("l"));
   EXPECT_FALSE(site.IsLocal("r"));
-  site.OnRead("l", 10);
-  site.OnRead("r", 5);
-  site.OnRead("r", 7);
+  EXPECT_TRUE(site.OnRead("l", 10).ok());
+  EXPECT_TRUE(site.OnRead("r", 5).ok());
+  EXPECT_TRUE(site.OnRead("r", 7).ok());
   EXPECT_EQ(site.stats().local_tuples, 10u);
   EXPECT_EQ(site.stats().remote_tuples, 12u);
   EXPECT_EQ(site.stats().remote_trips, 2u);
@@ -33,7 +33,7 @@ TEST(SiteDatabaseTest, CostModel) {
 
 TEST(SiteDatabaseTest, StatsAccumulateAndReset) {
   SiteDatabase site({"l"});
-  site.OnRead("r", 4);
+  EXPECT_TRUE(site.OnRead("r", 4).ok());
   AccessStats more;
   more.local_tuples = 1;
   AccessStats total = site.stats();

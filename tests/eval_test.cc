@@ -153,8 +153,9 @@ TEST(EvalTest, UnsafeProgramRejected) {
 TEST(EvalTest, AccessObserverCountsEdbReads) {
   class Counter : public AccessObserver {
    public:
-    void OnRead(const std::string& pred, size_t count) override {
+    Status OnRead(const std::string& pred, size_t count) override {
       reads[pred] += count;
+      return Status::OK();
     }
     std::map<std::string, size_t> reads;
   };

@@ -1,0 +1,300 @@
+// Graceful degradation of the tiered constraint manager when the remote
+// site fails: retries, circuit breaking, deferred verdicts with optimistic
+// apply, automatic re-verification, and rollback compensation for
+// late-detected violations. The acceptance property of ISSUE 1: under a
+// 100% hard outage the manager never crashes or blocks — every update
+// resolves at tiers 0-2 or returns kDeferred — and all deferred checks are
+// correctly re-verified once the outage ends.
+
+#include <gtest/gtest.h>
+
+#include "datalog/parser.h"
+#include "distsim/fault_injector.h"
+#include "manager/constraint_manager.h"
+#include "manager/script.h"
+
+namespace ccpi {
+namespace {
+
+Program MustParse(const char* text) {
+  auto p = ParseProgram(text);
+  EXPECT_TRUE(p.ok()) << p.status().ToString();
+  return *p;
+}
+
+Outcome OutcomeOf(const std::vector<CheckReport>& reports,
+                  const std::string& name) {
+  for (const CheckReport& r : reports) {
+    if (r.constraint == name) return r.outcome;
+  }
+  ADD_FAILURE() << "no report for " << name;
+  return Outcome::kUnknown;
+}
+
+/// A manager with one cross-site constraint (local l, remote r) and an
+/// attached injector owned by the fixture.
+struct Rig {
+  explicit Rig(ResilienceConfig resilience = {}, FaultConfig faults = {})
+      : injector(faults), mgr({"l", "emp"}, CostModel{}, resilience) {
+    EXPECT_TRUE(mgr.AddConstraint(
+                       "fi",
+                       MustParse(
+                           "panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y"))
+                    .ok());
+    EXPECT_TRUE(mgr.AddConstraint(
+                       "cap", MustParse("panic :- emp(E,D,S) & S > 200"))
+                    .ok());
+    mgr.site().set_fault_injector(&injector);
+  }
+  FaultInjector injector;
+  ConstraintManager mgr;
+};
+
+TEST(FaultToleranceTest, HardOutageNeverBlocksEveryUpdateResolves) {
+  Rig rig;
+  rig.injector.ForceOutage(true);
+  ASSERT_TRUE(rig.mgr.site().db().Insert("r", {V(1000)}).ok());
+
+  // A mix of updates: tier-1/2-resolvable ones and ones needing T3.
+  std::vector<Update> stream;
+  for (int i = 0; i < 20; ++i) {
+    stream.push_back(Update::Insert(
+        "emp", {V(i), V("d"), V(50 + i)}));     // independence resolves
+    stream.push_back(Update::Insert(
+        "l", {V(10 * i), V(10 * i + 5)}));      // needs the remote r
+    stream.push_back(Update::Insert(
+        "audit", {V(i)}));                      // unaffected
+  }
+  size_t deferred = 0;
+  for (const Update& u : stream) {
+    auto reports = rig.mgr.ApplyUpdate(u);
+    ASSERT_TRUE(reports.ok()) << reports.status().ToString();
+    for (const CheckReport& r : *reports) {
+      // The only verdicts possible during a hard outage: proved holding
+      // at T0-T2, or deferred. Never kViolated-by-guess, never kUnknown.
+      EXPECT_TRUE(r.outcome == Outcome::kHolds ||
+                  r.outcome == Outcome::kDeferred)
+          << OutcomeToString(r.outcome) << " for " << r.constraint;
+      if (r.outcome == Outcome::kDeferred) ++deferred;
+    }
+  }
+  EXPECT_GT(deferred, 0u);
+  EXPECT_EQ(rig.mgr.stats().deferred, deferred);
+  EXPECT_EQ(rig.mgr.deferred_queue().size(), deferred);
+  // Optimistic apply: the updates are in place pending re-check.
+  EXPECT_TRUE(rig.mgr.site().db().Contains("l", {V(0), V(5)}));
+  // The breaker tripped and saved most episodes the full retry cost.
+  EXPECT_GT(rig.mgr.stats().breaker_fast_fails, 0u);
+  EXPECT_EQ(rig.mgr.breaker().state(), CircuitState::kOpen);
+}
+
+TEST(FaultToleranceTest, DeferredChecksRecoverWhenOutageEnds) {
+  Rig rig;
+  rig.injector.ForceOutage(true);
+  // Remote r only forbids values >= 1000; the deferred inserts are fine.
+  ASSERT_TRUE(rig.mgr.site().db().Insert("r", {V(1000)}).ok());
+  ASSERT_TRUE(rig.mgr.ApplyUpdate(Update::Insert("l", {V(1), V(5)})).ok());
+  ASSERT_TRUE(rig.mgr.ApplyUpdate(Update::Insert("l", {V(6), V(9)})).ok());
+  ASSERT_GE(rig.mgr.deferred_queue().size(), 2u);
+
+  rig.injector.ForceOutage(false);
+  // Rechecks are gated by the breaker cooldown; ApplyUpdate ticks it.
+  auto resolved = rig.mgr.RecheckDeferred();
+  ASSERT_TRUE(resolved.ok()) << resolved.status().ToString();
+  for (int i = 0; i < 20 && !rig.mgr.deferred_queue().empty(); ++i) {
+    auto nop = rig.mgr.ApplyUpdate(Update::Insert("audit", {V(i)}));
+    ASSERT_TRUE(nop.ok());
+  }
+  EXPECT_TRUE(rig.mgr.deferred_queue().empty());
+  EXPECT_EQ(rig.mgr.stats().deferred_recovered, 2u);
+  EXPECT_EQ(rig.mgr.stats().deferred_violations, 0u);
+  EXPECT_TRUE(rig.mgr.site().db().Contains("l", {V(1), V(5)}));
+}
+
+TEST(FaultToleranceTest, LateViolationDetectedAndRolledBack) {
+  Rig rig;
+  // Remote r holds 7; inserting l(5,10) forbids it — a genuine violation
+  // that T3 would have caught, hidden by the outage.
+  ASSERT_TRUE(rig.mgr.site().db().Insert("r", {V(7)}).ok());
+  rig.injector.ForceOutage(true);
+  auto reports = rig.mgr.ApplyUpdate(Update::Insert("l", {V(5), V(10)}));
+  ASSERT_TRUE(reports.ok());
+  EXPECT_EQ(OutcomeOf(*reports, "fi"), Outcome::kDeferred);
+  // Optimistically applied despite the lurking violation.
+  EXPECT_TRUE(rig.mgr.site().db().Contains("l", {V(5), V(10)}));
+
+  rig.injector.ForceOutage(false);
+  // Drive updates until the breaker half-opens and the recheck runs.
+  for (int i = 0; i < 20 && !rig.mgr.deferred_queue().empty(); ++i) {
+    ASSERT_TRUE(rig.mgr.ApplyUpdate(Update::Insert("audit", {V(i)})).ok());
+  }
+  EXPECT_TRUE(rig.mgr.deferred_queue().empty());
+  EXPECT_EQ(rig.mgr.stats().deferred_violations, 1u);
+  // Compensation: the optimistic apply was rolled back.
+  EXPECT_FALSE(rig.mgr.site().db().Contains("l", {V(5), V(10)}));
+}
+
+TEST(FaultToleranceTest, DeletingAnUnverifiedTupleDropsItsRecheck) {
+  Rig rig;
+  ASSERT_TRUE(rig.mgr.site().db().Insert("r", {V(1000)}).ok());
+  rig.injector.ForceOutage(true);
+  ASSERT_TRUE(rig.mgr.ApplyUpdate(Update::Insert("l", {V(1), V(5)})).ok());
+  ASSERT_EQ(rig.mgr.deferred_queue().size(), 1u);
+  // The deletion resolves at tier 1 (monotone constraint) and removes the
+  // unverified tuple; the queued re-check is moot and must not outlive
+  // the effect it was supposed to verify.
+  ASSERT_TRUE(rig.mgr.ApplyUpdate(Update::Delete("l", {V(1), V(5)})).ok());
+  EXPECT_TRUE(rig.mgr.deferred_queue().empty());
+  EXPECT_FALSE(rig.mgr.site().db().Contains("l", {V(1), V(5)}));
+}
+
+TEST(FaultToleranceTest, RejectPolicyRefusesUnverifiableUpdates) {
+  ResilienceConfig resilience;
+  resilience.on_unreachable = DeferredPolicy::kReject;
+  Rig rig(resilience);
+  ASSERT_TRUE(rig.mgr.site().db().Insert("r", {V(1000)}).ok());
+  rig.injector.ForceOutage(true);
+  auto reports = rig.mgr.ApplyUpdate(Update::Insert("l", {V(5), V(10)}));
+  ASSERT_TRUE(reports.ok());
+  EXPECT_EQ(OutcomeOf(*reports, "fi"), Outcome::kDeferred);
+  // Refused: the database is unchanged and nothing is queued.
+  EXPECT_FALSE(rig.mgr.site().db().Contains("l", {V(5), V(10)}));
+  EXPECT_TRUE(rig.mgr.deferred_queue().empty());
+}
+
+TEST(FaultToleranceTest, BreakerOpensAndFailsFastWithoutRemoteTrips) {
+  ResilienceConfig resilience;
+  resilience.retry.max_attempts = 1;  // isolate breaker behaviour
+  resilience.breaker.failure_threshold = 2;
+  resilience.breaker.cooldown_ticks = 1000;  // stays open for the test
+  Rig rig(resilience);
+  ASSERT_TRUE(rig.mgr.site().db().Insert("r", {V(1000)}).ok());
+  rig.injector.ForceOutage(true);
+
+  ASSERT_TRUE(rig.mgr.ApplyUpdate(Update::Insert("l", {V(1), V(2)})).ok());
+  ASSERT_TRUE(rig.mgr.ApplyUpdate(Update::Insert("l", {V(4), V(5)})).ok());
+  EXPECT_EQ(rig.mgr.breaker().state(), CircuitState::kOpen);
+
+  uint64_t trips_when_opened = rig.injector.stats().trips;
+  ASSERT_TRUE(rig.mgr.ApplyUpdate(Update::Insert("l", {V(7), V(8)})).ok());
+  // Open circuit: the check deferred without touching the network.
+  EXPECT_EQ(rig.injector.stats().trips, trips_when_opened);
+  EXPECT_GT(rig.mgr.stats().breaker_fast_fails, 0u);
+}
+
+TEST(FaultToleranceTest, TransientFaultsAreAbsorbedByRetries) {
+  ResilienceConfig resilience;
+  resilience.retry.max_attempts = 10;
+  FaultConfig faults;
+  faults.seed = 7;
+  faults.transient_rate = 0.5;
+  Rig rig(resilience, faults);
+  ASSERT_TRUE(rig.mgr.site().db().Insert("r", {V(1000)}).ok());
+  // 20 cross-site checks; with 10 attempts each, a 50% transient rate is
+  // absorbed with overwhelming probability (deterministic given the seed).
+  // The matching delete resolves at tier 1 (deleting from a monotone
+  // constraint is independence-safe), so each check pays exactly one
+  // remote trip per attempt.
+  for (int i = 0; i < 20; ++i) {
+    Update ins = Update::Insert("l", {V(10 * i), V(10 * i + 3)});
+    auto reports = rig.mgr.ApplyUpdate(ins);
+    ASSERT_TRUE(reports.ok());
+    EXPECT_EQ(OutcomeOf(*reports, "fi"), Outcome::kHolds);
+    ASSERT_TRUE(
+        rig.mgr.ApplyUpdate(Update::Delete(ins.pred, ins.tuple)).ok());
+  }
+  EXPECT_GT(rig.mgr.stats().remote_retries, 0u);
+  EXPECT_EQ(rig.mgr.stats().deferred, 0u);
+  EXPECT_GT(rig.mgr.stats().access.remote_failures, 0u);
+}
+
+TEST(FaultToleranceTest, PerReportRetryCountsSurface) {
+  ResilienceConfig resilience;
+  resilience.retry.max_attempts = 16;
+  FaultConfig faults;
+  faults.seed = 3;
+  faults.transient_rate = 0.6;
+  Rig rig(resilience, faults);
+  ASSERT_TRUE(rig.mgr.site().db().Insert("r", {V(1000)}).ok());
+  size_t total_retries = 0;
+  for (int i = 0; i < 10; ++i) {
+    Update ins = Update::Insert("l", {V(10 * i), V(10 * i + 3)});
+    auto reports = rig.mgr.ApplyUpdate(ins);
+    ASSERT_TRUE(reports.ok());
+    for (const CheckReport& r : *reports) total_retries += r.retries;
+    ASSERT_TRUE(
+        rig.mgr.ApplyUpdate(Update::Delete(ins.pred, ins.tuple)).ok());
+  }
+  EXPECT_GT(total_retries, 0u);
+  EXPECT_EQ(rig.mgr.stats().remote_retries, total_retries);
+}
+
+TEST(FaultToleranceTest, TransactionAbortDropsQueuedRechecks) {
+  ResilienceConfig resilience;
+  resilience.breaker.failure_threshold = 1000;  // keep probing; no fast-fail
+  Rig rig(resilience);
+  ASSERT_TRUE(rig.mgr.site().db().Insert("r", {V(1000)}).ok());
+  // cap violates on the third update; the first needs the (dead) remote.
+  rig.injector.ForceOutage(true);
+  std::vector<Update> txn = {
+      Update::Insert("l", {V(1), V(5)}),
+      Update::Insert("emp", {V("a"), V("d"), V(100)}),
+      Update::Insert("emp", {V("b"), V("d"), V(900)}),  // violates cap
+  };
+  auto result = rig.mgr.ApplyTransaction(txn);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result->committed);
+  // Everything rolled back, including the optimistic apply, and the
+  // deferred queue holds no stale entries for the dead transaction.
+  EXPECT_FALSE(rig.mgr.site().db().Contains("l", {V(1), V(5)}));
+  EXPECT_FALSE(rig.mgr.site().db().Contains("emp", {V("a"), V("d"), V(100)}));
+  EXPECT_TRUE(rig.mgr.deferred_queue().empty());
+}
+
+TEST(FaultToleranceTest, RejectPolicyAbortsTransactionOnOutage) {
+  ResilienceConfig resilience;
+  resilience.on_unreachable = DeferredPolicy::kReject;
+  Rig rig(resilience);
+  ASSERT_TRUE(rig.mgr.site().db().Insert("r", {V(1000)}).ok());
+  rig.injector.ForceOutage(true);
+  std::vector<Update> txn = {
+      Update::Insert("emp", {V("a"), V("d"), V(100)}),
+      Update::Insert("l", {V(1), V(5)}),  // unverifiable -> refused
+  };
+  auto result = rig.mgr.ApplyTransaction(txn);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->committed);
+  EXPECT_FALSE(rig.mgr.site().db().Contains("emp", {V("a"), V("d"), V(100)}));
+}
+
+TEST(FaultToleranceTest, ScriptRunReportsDeferredAndRecovers) {
+  auto script = ParseScript(
+      "local l\n"
+      "constraint fi\n"
+      "panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y\n"
+      "fact r(7)\n"
+      "insert l(20, 30)\n"   // fine: 7 not in [20,30]
+      "insert l(5, 10)\n");  // violation hidden by the outage window
+  ASSERT_TRUE(script.ok()) << script.status().ToString();
+  ScriptOptions options;
+  options.enable_faults = true;
+  // Outage covering the whole stream's remote trips; the shutdown drain
+  // runs after it ends (trip indices past the window succeed).
+  options.faults.outages.push_back(OutageWindow{0, 3});
+  options.resilience.retry.max_attempts = 1;
+  options.resilience.breaker.cooldown_ticks = 0;
+  options.print_stats = true;
+  auto report = RunScript(*script, options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GT(report->updates_deferred, 0u);
+  // The shutdown drain re-verified everything: the hidden violation was
+  // caught late and compensated.
+  EXPECT_EQ(report->deferred_pending, 0u);
+  EXPECT_EQ(report->deferred_violations, 1u);
+  EXPECT_GE(report->deferred_recovered, 1u);
+  EXPECT_NE(report->text.find("deferred:fi"), std::string::npos);
+  EXPECT_NE(report->text.find("rolled back"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ccpi

@@ -108,8 +108,9 @@ TEST(RaTest, NonemptyTest) {
 TEST(RaTest, ObserverCountsBaseReads) {
   class Counter : public AccessObserver {
    public:
-    void OnRead(const std::string& pred, size_t count) override {
+    Status OnRead(const std::string& pred, size_t count) override {
       total[pred] += count;
+      return Status::OK();
     }
     std::map<std::string, size_t> total;
   };

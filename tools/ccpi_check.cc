@@ -2,6 +2,7 @@
 //
 //   ccpi_check workload.ccpi
 //   ccpi_check --export-souffle workload.ccpi   # emit a .dl translation
+//   ccpi_check --fault-rate=0.2 --stats workload.ccpi
 //
 // The script declares local predicates, named constraints (in the paper's
 // datalog syntax), initial facts, and an insert/delete stream; the tool
@@ -11,8 +12,23 @@
 // prints the constraints and facts as a Souffle program (one .decl/.output
 // block per constraint). See src/manager/script.h for the format and
 // examples/workloads/ for samples.
+//
+// Fault injection (simulated remote-site failures):
+//   --fault-rate=P          per-trip transient failure probability [0,1]
+//   --fault-timeout-rate=P  per-trip timeout probability [0,1]
+//   --fault-outage=A:B      hard outage for remote trips A..B-1 (repeatable)
+//   --fault-seed=N          RNG seed of the failure schedule (default 1)
+//   --fault-reject          refuse undecided updates instead of applying
+//                           them optimistically with a deferred re-check
+//   --stats                 print retry/deferred/breaker statistics
+//
+// Exit codes: 0 all updates verified; 2 usage or I/O error; 1 parse or
+// internal error; 3 at least one violation (including late-detected ones);
+// 4 no violation but checks still deferred pending the remote site.
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -20,18 +36,87 @@
 #include "datalog/souffle_export.h"
 #include "manager/script.h"
 
+namespace {
+
+bool ParseDoubleFlag(const char* arg, const char* name, double* out,
+                     bool* ok) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  const char* value = arg + len + 1;
+  char* end = nullptr;
+  *out = std::strtod(value, &end);
+  if (end == value || *end != '\0' || *out < 0.0 || *out > 1.0) {
+    std::fprintf(stderr, "%s wants a probability in [0,1], got \"%s\"\n",
+                 name, value);
+    *ok = false;
+  }
+  return true;
+}
+
+bool ParseUint64Flag(const char* arg, const char* name, uint64_t* out) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *out = std::strtoull(arg + len + 1, nullptr, 10);
+  return true;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   bool export_souffle = false;
   const char* path = nullptr;
+  ccpi::ScriptOptions options;
+  bool flags_ok = true;
   for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--export-souffle") {
+    const char* arg = argv[i];
+    double rate = 0;
+    uint64_t n = 0;
+    if (std::string(arg) == "--export-souffle") {
       export_souffle = true;
+    } else if (ParseDoubleFlag(arg, "--fault-rate", &rate, &flags_ok)) {
+      options.faults.transient_rate = rate;
+      options.enable_faults = true;
+    } else if (ParseDoubleFlag(arg, "--fault-timeout-rate", &rate,
+                               &flags_ok)) {
+      options.faults.timeout_rate = rate;
+      options.enable_faults = true;
+    } else if (ParseUint64Flag(arg, "--fault-seed", &n)) {
+      options.faults.seed = n;
+    } else if (std::strncmp(arg, "--fault-outage=", 15) == 0) {
+      uint64_t begin = 0, end = 0;
+      const char* spec = arg + 15;
+      const char* colon = std::strchr(spec, ':');
+      if (colon == nullptr) {
+        std::fprintf(stderr, "--fault-outage wants A:B, got %s\n", spec);
+        flags_ok = false;
+      } else {
+        begin = std::strtoull(spec, nullptr, 10);
+        end = std::strtoull(colon + 1, nullptr, 10);
+        options.faults.outages.push_back(ccpi::OutageWindow{begin, end});
+        options.enable_faults = true;
+      }
+    } else if (std::string(arg) == "--fault-reject") {
+      options.resilience.on_unreachable = ccpi::DeferredPolicy::kReject;
+    } else if (std::string(arg) == "--stats") {
+      options.print_stats = true;
+    } else if (arg[0] == '-' && arg[1] == '-') {
+      std::fprintf(stderr, "unknown flag %s\n", arg);
+      flags_ok = false;
     } else {
-      path = argv[i];
+      path = arg;
     }
   }
-  if (path == nullptr) {
-    std::fprintf(stderr, "usage: %s [--export-souffle] <workload.ccpi>\n",
+  if (options.faults.transient_rate + options.faults.timeout_rate > 1.0) {
+    std::fprintf(stderr,
+                 "--fault-rate and --fault-timeout-rate must sum to <= 1\n");
+    flags_ok = false;
+  }
+  if (path == nullptr || !flags_ok) {
+    std::fprintf(stderr,
+                 "usage: %s [--export-souffle] [--fault-rate=P] "
+                 "[--fault-timeout-rate=P] [--fault-outage=A:B] "
+                 "[--fault-seed=N] [--fault-reject] [--stats] "
+                 "<workload.ccpi>\n",
                  argv[0]);
     return 2;
   }
@@ -64,14 +149,20 @@ int main(int argc, char** argv) {
     }
     return 0;
   }
-  ccpi::Result<ccpi::ScriptReport> report = ccpi::RunScript(*script);
+  ccpi::Result<ccpi::ScriptReport> report = ccpi::RunScript(*script, options);
   if (!report.ok()) {
     std::fprintf(stderr, "run error: %s\n",
                  report.status().ToString().c_str());
     return 1;
   }
   std::fputs(report->text.c_str(), stdout);
-  std::printf("%zu applied, %zu rejected\n", report->updates_applied,
-              report->updates_rejected);
-  return report->updates_rejected == 0 ? 0 : 3;
+  std::printf("%zu applied, %zu rejected, %zu deferred (%zu still pending)\n",
+              report->updates_applied, report->updates_rejected,
+              report->updates_deferred, report->deferred_pending);
+  // Violations (immediate or late-detected) dominate; otherwise checks
+  // still pending on the remote site — or updates refused because it was
+  // unreachable — are their own signal.
+  if (report->violations > 0) return 3;
+  if (report->deferred_pending > 0 || report->updates_rejected > 0) return 4;
+  return 0;
 }
