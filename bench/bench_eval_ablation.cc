@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_harness.h"
+
 #include <cstdio>
 
 #include "core/icq_compiler.h"
@@ -117,8 +119,6 @@ int main(int argc, char** argv) {
       "semi-naive deltas and index probes, on transitive closure and the\n"
       "Fig 6.1 interval programs. All configurations derive identical\n"
       "results (asserted); only cost differs.\n\n");
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  ccpi::bench::Harness harness("eval_ablation");
+  return harness.RunAndWrite(argc, argv);
 }

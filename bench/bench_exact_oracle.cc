@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_harness.h"
+
 #include <cstdio>
 #include <string>
 
@@ -87,8 +89,6 @@ int main(int argc, char** argv) {
       "=== exact small-model oracle: cost envelope ===\n"
       "(the ground truth the fast deciders are property-tested against;\n"
       "see docs/semantics.md section 3 for the algorithm)\n\n");
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  ccpi::bench::Harness harness("exact_oracle");
+  return harness.RunAndWrite(argc, argv);
 }

@@ -18,6 +18,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_harness.h"
 #include "datalog/parser.h"
 #include "distsim/fault_injector.h"
 #include "manager/constraint_manager.h"
@@ -158,7 +159,7 @@ SweepRow RunSweep(const char* label, double transient_rate,
   return row;
 }
 
-void PrintDegradationTable() {
+void PrintDegradationTable(bench::Harness* harness) {
   std::printf(
       "=== FAULT-DEGRADE: 120 mixed updates vs remote-site failures ===\n");
   std::printf("%-14s %6s %5s %6s %7s %6s %6s %5s %7s %9s\n", "fault level",
@@ -175,6 +176,17 @@ void PrintDegradationTable() {
                 r.label, r.local_resolved, r.full_checks, r.deferred,
                 r.retries, r.failed_trips, r.recovered, r.late_violations,
                 r.pending, r.cost);
+    harness->Sweep(
+        std::string("fault_degradation/") + r.label,
+        {{"local_resolved", static_cast<double>(r.local_resolved)},
+         {"full_checks", static_cast<double>(r.full_checks)},
+         {"deferred", static_cast<double>(r.deferred)},
+         {"retries", static_cast<double>(r.retries)},
+         {"failed_trips", static_cast<double>(r.failed_trips)},
+         {"recovered", static_cast<double>(r.recovered)},
+         {"late_violations", static_cast<double>(r.late_violations)},
+         {"pending", static_cast<double>(r.pending)},
+         {"cost", r.cost}});
   }
   // The availability story in two invariants: the local tiers resolve
   // exactly the same checks whatever the link does (this stream's tier-2
@@ -201,6 +213,8 @@ void BM_UpdateHealthyLink(benchmark::State& state) {
     CCPI_CHECK(reports.ok());
     benchmark::DoNotOptimize(reports->size());
   }
+  state.counters["remote_trips"] =
+      static_cast<double>(mgr->site().stats().remote_trips);
 }
 BENCHMARK(BM_UpdateHealthyLink);
 
@@ -221,6 +235,8 @@ void BM_UpdateLossyLinkRetries(benchmark::State& state) {
     CCPI_CHECK(reports.ok());
     benchmark::DoNotOptimize(reports->size());
   }
+  state.counters["remote_trips"] =
+      static_cast<double>(mgr->site().stats().remote_trips);
 }
 BENCHMARK(BM_UpdateLossyLinkRetries);
 
@@ -250,6 +266,8 @@ void BM_UpdateDuringOutageFastFail(benchmark::State& state) {
     CCPI_CHECK(reports.ok());
     benchmark::DoNotOptimize(reports->size());
   }
+  state.counters["remote_trips"] =
+      static_cast<double>(mgr->site().stats().remote_trips);
 }
 BENCHMARK(BM_UpdateDuringOutageFastFail);
 
@@ -257,9 +275,7 @@ BENCHMARK(BM_UpdateDuringOutageFastFail);
 }  // namespace ccpi
 
 int main(int argc, char** argv) {
-  ccpi::PrintDegradationTable();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  ccpi::bench::Harness harness("fault_degradation");
+  ccpi::PrintDegradationTable(&harness);
+  return harness.RunAndWrite(argc, argv);
 }

@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_harness.h"
+
 #include <cstdio>
 #include <map>
 #include <string>
@@ -102,8 +104,6 @@ BENCHMARK(BM_Parse)->DenseRange(0, 11);
 
 int main(int argc, char** argv) {
   ccpi::PrintFig21();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  ccpi::bench::Harness harness("fig21_language_classes");
+  return harness.RunAndWrite(argc, argv);
 }

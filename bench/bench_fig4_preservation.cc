@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_harness.h"
+
 #include <cstdio>
 
 #include "datalog/parser.h"
@@ -96,8 +98,6 @@ BENCHMARK(BM_RewriteDeleteComparisons)->DenseRange(1, 8);
 
 int main(int argc, char** argv) {
   ccpi::PrintMatrices();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  ccpi::bench::Harness harness("fig4_preservation");
+  return harness.RunAndWrite(argc, argv);
 }

@@ -10,6 +10,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_harness.h"
+
 #include <cstdio>
 
 #include "core/cqc_form.h"
@@ -169,8 +171,6 @@ BENCHMARK(BM_CompileIcq)->DenseRange(0, 5);
 
 int main(int argc, char** argv) {
   ccpi::PrintFig61();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  ccpi::bench::Harness harness("fig61_intervals");
+  return harness.RunAndWrite(argc, argv);
 }

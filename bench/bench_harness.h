@@ -1,0 +1,198 @@
+#ifndef CCPI_BENCH_BENCH_HARNESS_H_
+#define CCPI_BENCH_BENCH_HARNESS_H_
+
+// Shared main() harness of the bench_* binaries: runs google-benchmark as
+// usual (console output unchanged) while capturing every timed run and any
+// number of "sweep" points (rows of the reproduced tables, measured outside
+// the timing loop), then writes the machine-readable artifact
+// BENCH_<name>.json. Schema documented in docs/observability.md and
+// enforced by tools/check_bench_json.py.
+//
+// Environment knobs:
+//   CCPI_BENCH_QUICK=1    append --benchmark_min_time=0.01 (CI smoke runs)
+//   CCPI_BENCH_OUT_DIR=D  write BENCH_<name>.json under D (default: cwd)
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace ccpi {
+namespace bench {
+
+/// One entry of the artifact's "points" array: either a captured
+/// google-benchmark run (kind "benchmark") or a table row recorded by the
+/// binary itself (kind "sweep"; timing fields unused).
+struct BenchPoint {
+  std::string kind;
+  std::string name;
+  int64_t iterations = 0;
+  double real_time_ns = 0;
+  double cpu_time_ns = 0;
+  /// Extra measurements: benchmark user counters, or whatever the sweep
+  /// recorded (remote trips, tuples moved, costs, ...).
+  std::vector<std::pair<std::string, double>> metrics;
+};
+
+class Harness {
+ public:
+  explicit Harness(std::string name) : name_(std::move(name)) {}
+
+  /// Records one sweep point (a row of the binary's reproduced table).
+  void Sweep(std::string point_name,
+             std::vector<std::pair<std::string, double>> metrics) {
+    BenchPoint p;
+    p.kind = "sweep";
+    p.name = std::move(point_name);
+    p.metrics = std::move(metrics);
+    points_.push_back(std::move(p));
+  }
+
+  /// Runs the registered benchmarks (honouring the usual --benchmark_*
+  /// flags plus the CCPI_BENCH_QUICK env knob) and writes the artifact.
+  /// Returns the process exit code.
+  int RunAndWrite(int argc, char** argv) {
+    std::vector<char*> args(argv, argv + argc);
+    std::string quick_flag = "--benchmark_min_time=0.01";
+    bool user_min_time = false;
+    bool color = true;
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--benchmark_min_time", 0) == 0) user_min_time = true;
+      // A hand-constructed ConsoleReporter ignores --benchmark_color, so
+      // honour it here (any value but "true"/"yes"/"1" disables colour).
+      if (arg.rfind("--benchmark_color=", 0) == 0) {
+        std::string v = arg.substr(std::string("--benchmark_color=").size());
+        color = v == "true" || v == "yes" || v == "1";
+      }
+    }
+    const char* quick = std::getenv("CCPI_BENCH_QUICK");
+    quick_ = quick != nullptr && *quick != '\0' && *quick != '0';
+    if (quick_ && !user_min_time) args.push_back(quick_flag.data());
+
+    int args_count = static_cast<int>(args.size());
+    benchmark::Initialize(&args_count, args.data());
+    CapturingReporter reporter(
+        this, color ? benchmark::ConsoleReporter::OO_Defaults
+                    : benchmark::ConsoleReporter::OO_Tabular);
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+    return WriteArtifact() ? 0 : 1;
+  }
+
+ private:
+  /// Prints the normal console report and captures each per-iteration run
+  /// (aggregates like mean/stddev are console-only) as a point.
+  class CapturingReporter : public benchmark::ConsoleReporter {
+   public:
+    CapturingReporter(Harness* harness, OutputOptions opts)
+        : benchmark::ConsoleReporter(opts), harness_(harness) {}
+
+    void ReportRuns(const std::vector<Run>& runs) override {
+      benchmark::ConsoleReporter::ReportRuns(runs);
+      for (const Run& run : runs) {
+        if (run.error_occurred) continue;
+        if (run.run_type != Run::RT_Iteration) continue;
+        BenchPoint p;
+        p.kind = "benchmark";
+        p.name = run.benchmark_name();
+        p.iterations = static_cast<int64_t>(run.iterations);
+        double iters =
+            run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+        p.real_time_ns = run.real_accumulated_time * 1e9 / iters;
+        p.cpu_time_ns = run.cpu_accumulated_time * 1e9 / iters;
+        for (const auto& [counter_name, counter] : run.counters) {
+          p.metrics.emplace_back(counter_name,
+                                 static_cast<double>(counter));
+        }
+        harness_->points_.push_back(std::move(p));
+      }
+    }
+
+   private:
+    Harness* harness_;
+  };
+
+  bool WriteArtifact() const {
+    const char* dir = std::getenv("CCPI_BENCH_OUT_DIR");
+    std::string path = (dir != nullptr && *dir != '\0')
+                           ? std::string(dir) + "/BENCH_" + name_ + ".json"
+                           : "BENCH_" + name_ + ".json";
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "bench harness: cannot open %s\n", path.c_str());
+      return false;
+    }
+    out << ToJson();
+    out.flush();
+    if (!out) {
+      std::fprintf(stderr, "bench harness: short write to %s\n",
+                   path.c_str());
+      return false;
+    }
+    std::fprintf(stderr, "bench artifact: %zu points -> %s\n",
+                 points_.size(), path.c_str());
+    return true;
+  }
+
+  std::string ToJson() const {
+    std::string j = "{\"schema_version\": 1, \"name\": ";
+    obs::AppendJsonString(name_, &j);
+    j += ", \"env\": {\"quick\": ";
+    j += quick_ ? "true" : "false";
+    j += ", \"compiler\": ";
+#if defined(__VERSION__)
+    obs::AppendJsonString(__VERSION__, &j);
+#else
+    j += "\"unknown\"";
+#endif
+    j += ", \"build\": ";
+#ifdef NDEBUG
+    j += "\"release\"";
+#else
+    j += "\"debug\"";
+#endif
+    j += "}, \"points\": [";
+    bool first = true;
+    for (const BenchPoint& p : points_) {
+      j += first ? "\n" : ",\n";
+      first = false;
+      j += "{\"kind\": ";
+      obs::AppendJsonString(p.kind, &j);
+      j += ", \"name\": ";
+      obs::AppendJsonString(p.name, &j);
+      if (p.kind == "benchmark") {
+        j += ", \"iterations\": " + std::to_string(p.iterations);
+        j += ", \"real_time_ns\": " + obs::JsonNumber(p.real_time_ns);
+        j += ", \"cpu_time_ns\": " + obs::JsonNumber(p.cpu_time_ns);
+      }
+      j += ", \"metrics\": {";
+      bool first_metric = true;
+      for (const auto& [metric_name, value] : p.metrics) {
+        if (!first_metric) j += ", ";
+        first_metric = false;
+        obs::AppendJsonString(metric_name, &j);
+        j += ": " + obs::JsonNumber(value);
+      }
+      j += "}}";
+    }
+    j += "\n]}\n";
+    return j;
+  }
+
+  std::string name_;
+  bool quick_ = false;
+  std::vector<BenchPoint> points_;
+};
+
+}  // namespace bench
+}  // namespace ccpi
+
+#endif  // CCPI_BENCH_BENCH_HARNESS_H_

@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "bench_harness.h"
 #include "core/cqc_form.h"
 #include "core/local_test.h"
 #include "datalog/parser.h"
@@ -45,7 +46,7 @@ void MakeSite(size_t n_local, size_t m_remote, SiteDatabase* site,
   }
 }
 
-void PrintCostTable() {
+void PrintCostTable(bench::Harness* harness) {
   std::printf(
       "=== THM 5.2: complete local test vs full remote check ===\n"
       "workload: insert a covered sub-interval; |R| remote readings\n"
@@ -81,6 +82,21 @@ void PrintCostTable() {
                   OutcomeToString(verdict->outcome),
                   local_stats.local_tuples, full_stats.remote_tuples,
                   full_stats.remote_trips);
+      harness->Sweep(
+          "local_vs_remote/L=" + std::to_string(n) +
+              "/R=" + std::to_string(m),
+          {{"local_tuples", static_cast<double>(n)},
+           {"remote_tuples", static_cast<double>(m)},
+           {"local_test_cost", local_stats.Cost(costs)},
+           {"local_test_local_reads",
+            static_cast<double>(local_stats.local_tuples)},
+           {"local_test_remote_trips",
+            static_cast<double>(local_stats.remote_trips)},
+           {"full_check_cost", full_stats.Cost(costs)},
+           {"full_check_remote_reads",
+            static_cast<double>(full_stats.remote_tuples)},
+           {"full_check_remote_trips",
+            static_cast<double>(full_stats.remote_trips)}});
     }
   }
   std::printf(
@@ -153,9 +169,7 @@ BENCHMARK(BM_LocalTestWitnessConstruction)->RangeMultiplier(2)->Range(2, 64);
 }  // namespace ccpi
 
 int main(int argc, char** argv) {
-  ccpi::PrintCostTable();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  ccpi::bench::Harness harness("local_vs_remote");
+  ccpi::PrintCostTable(&harness);
+  return harness.RunAndWrite(argc, argv);
 }

@@ -11,6 +11,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_harness.h"
 #include "datalog/parser.h"
 #include "eval/engine.h"
 #include "manager/constraint_manager.h"
@@ -90,7 +91,7 @@ void Seed(ConstraintManager* mgr) {
   }
 }
 
-void PrintCascadeTable() {
+void PrintCascadeTable(bench::Harness* harness) {
   auto mgr = MakeManager();
   Seed(mgr.get());
   Rng rng(99);
@@ -112,6 +113,8 @@ void PrintCascadeTable() {
   for (const auto& [tier, count] : mgr->stats().resolved_by) {
     std::printf("%-16s %zu\n", TierToString(tier), count);
     total += count;
+    harness->Sweep(std::string("cascade/tier=") + TierToString(tier),
+                   {{"checks_resolved", static_cast<double>(count)}});
   }
   const ManagerStats& stats = mgr->stats();
   const AccessStats& access = stats.access;
@@ -128,6 +131,15 @@ void PrintCascadeTable() {
   std::printf("cost %.1f vs a naive baseline that pays a full remote check "
               "for all %zu constraint-checks\n\n",
               access.Cost(CostModel{}), total);
+  harness->Sweep(
+      "cascade/stream",
+      {{"updates", static_cast<double>(stream.size())},
+       {"rejected", static_cast<double>(rejected)},
+       {"checks_resolved", static_cast<double>(total)},
+       {"local_tuples", static_cast<double>(access.local_tuples)},
+       {"remote_tuples", static_cast<double>(access.remote_tuples)},
+       {"remote_trips", static_cast<double>(access.remote_trips)},
+       {"cost", access.Cost(CostModel{})}});
 }
 
 void BM_IndependenceDominatedStream(benchmark::State& state) {
@@ -141,6 +153,8 @@ void BM_IndependenceDominatedStream(benchmark::State& state) {
     CCPI_CHECK(reports.ok());
     benchmark::DoNotOptimize(reports->size());
   }
+  state.counters["remote_trips"] =
+      static_cast<double>(mgr->site().stats().remote_trips);
 }
 BENCHMARK(BM_IndependenceDominatedStream);
 
@@ -156,6 +170,8 @@ void BM_LocalTestDominatedStream(benchmark::State& state) {
     CCPI_CHECK(reports.ok());
     benchmark::DoNotOptimize(reports->size());
   }
+  state.counters["remote_trips"] =
+      static_cast<double>(mgr->site().stats().remote_trips);
 }
 BENCHMARK(BM_LocalTestDominatedStream);
 
@@ -171,6 +187,8 @@ void BM_FullCheckDominatedStream(benchmark::State& state) {
     CCPI_CHECK(reports.ok());
     benchmark::DoNotOptimize(reports->size());
   }
+  state.counters["remote_trips"] =
+      static_cast<double>(mgr->site().stats().remote_trips);
 }
 BENCHMARK(BM_FullCheckDominatedStream);
 
@@ -178,9 +196,7 @@ BENCHMARK(BM_FullCheckDominatedStream);
 }  // namespace ccpi
 
 int main(int argc, char** argv) {
-  ccpi::PrintCascadeTable();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  ccpi::bench::Harness harness("manager_cascade");
+  ccpi::PrintCascadeTable(&harness);
+  return harness.RunAndWrite(argc, argv);
 }

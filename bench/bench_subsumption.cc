@@ -7,6 +7,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_harness.h"
+
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -144,8 +146,6 @@ BENCHMARK(BM_Theorem32Reduction);
 
 int main(int argc, char** argv) {
   ccpi::PrintSubsumptionTable();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  ccpi::bench::Harness harness("subsumption");
+  return harness.RunAndWrite(argc, argv);
 }

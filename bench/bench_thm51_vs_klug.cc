@@ -14,6 +14,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_harness.h"
+
 #include <cstdio>
 #include <string>
 
@@ -215,8 +217,6 @@ BENCHMARK(BM_Example51);
 
 int main(int argc, char** argv) {
   ccpi::PrintComparisonTable();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  ccpi::bench::Harness harness("thm51_vs_klug");
+  return harness.RunAndWrite(argc, argv);
 }

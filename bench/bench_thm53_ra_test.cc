@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_harness.h"
+
 #include <cstdio>
 #include <string>
 
@@ -127,8 +129,6 @@ BENCHMARK(BM_Theorem52OnSameInstance)->RangeMultiplier(4)->Range(16, 1024);
 
 int main(int argc, char** argv) {
   ccpi::PrintExpressionTable();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  ccpi::bench::Harness harness("thm53_ra_test");
+  return harness.RunAndWrite(argc, argv);
 }

@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_harness.h"
+
 #include <cstdio>
 
 #include "datalog/parser.h"
@@ -110,8 +112,6 @@ BENCHMARK(BM_IrrelevantUpdateDecision);
 
 int main(int argc, char** argv) {
   ccpi::PrintTierTable();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  ccpi::bench::Harness harness("view_maint");
+  return harness.RunAndWrite(argc, argv);
 }

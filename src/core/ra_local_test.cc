@@ -154,12 +154,14 @@ Result<RaLocalTest> CompileRaLocalTest(const Rule& rule,
 Result<Outcome> RaLocalTestOnInsert(const Rule& rule,
                                     const std::string& local_pred,
                                     const Tuple& t, const Database& db,
-                                    AccessObserver* observer) {
+                                    AccessObserver* observer,
+                                    obs::MetricsRegistry* metrics) {
   CCPI_ASSIGN_OR_RETURN(RaLocalTest test,
                         CompileRaLocalTest(rule, local_pred, t));
   if (test.trivially_holds) return Outcome::kHolds;
   if (test.trivially_violated) return Outcome::kViolated;
-  CCPI_ASSIGN_OR_RETURN(bool nonempty, RaNonempty(*test.expr, db, observer));
+  CCPI_ASSIGN_OR_RETURN(bool nonempty,
+                        RaNonempty(*test.expr, db, observer, metrics));
   return nonempty ? Outcome::kHolds : Outcome::kUnknown;
 }
 

@@ -47,11 +47,13 @@ Result<RaLocalTest> CompileRaLocalTest(const Rule& rule,
 
 /// Compiles and evaluates in one step: kHolds, kViolated (local-only
 /// constraint), or kUnknown. `db` must hold the local relation; only the
-/// local relation is read (observable via `observer`).
+/// local relation is read (observable via `observer`). A non-null
+/// `metrics` registry receives the underlying evaluator's `ra.*` counters.
 Result<Outcome> RaLocalTestOnInsert(const Rule& rule,
                                     const std::string& local_pred,
                                     const Tuple& t, const Database& db,
-                                    AccessObserver* observer = nullptr);
+                                    AccessObserver* observer = nullptr,
+                                    obs::MetricsRegistry* metrics = nullptr);
 
 }  // namespace ccpi
 

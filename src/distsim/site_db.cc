@@ -1,26 +1,53 @@
 #include "distsim/site_db.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace ccpi {
+
+void SiteDatabase::set_metrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    ctr_local_tuples_ = nullptr;
+    ctr_remote_tuples_ = nullptr;
+    ctr_remote_trips_ = nullptr;
+    ctr_remote_failures_ = nullptr;
+    return;
+  }
+  ctr_local_tuples_ = registry->GetCounter("distsim.local_tuples");
+  ctr_remote_tuples_ = registry->GetCounter("distsim.remote_tuples");
+  ctr_remote_trips_ = registry->GetCounter("distsim.remote_trips");
+  ctr_remote_failures_ = registry->GetCounter("distsim.remote_failures");
+}
 
 Status SiteDatabase::OnRead(const std::string& pred, size_t count) {
   if (IsLocal(pred)) {
     stats_.local_tuples += count;
+    if (ctr_local_tuples_ != nullptr) ctr_local_tuples_->Add(count);
     return Status::OK();
   }
   return ReadRemote(pred, count);
 }
 
 Status SiteDatabase::ReadRemote(const std::string& pred, size_t count) {
+  obs::Span span("distsim.remote_read", "distsim");
+  if (span.active()) {
+    span.Attr("pred", pred);
+    span.Attr("tuples", static_cast<int64_t>(count));
+  }
   // The round trip is paid whether or not it succeeds.
   stats_.remote_trips += 1;
+  if (ctr_remote_trips_ != nullptr) ctr_remote_trips_->Add(1);
   if (injector_ != nullptr) {
     Status st = injector_->InjectOnRead(pred);
     if (!st.ok()) {
       stats_.remote_failures += 1;
+      if (ctr_remote_failures_ != nullptr) ctr_remote_failures_->Add(1);
+      if (span.active()) span.Attr("fault", st.message());
       return st;
     }
   }
   stats_.remote_tuples += count;
+  if (ctr_remote_tuples_ != nullptr) ctr_remote_tuples_->Add(count);
   return Status::OK();
 }
 

@@ -12,6 +12,11 @@
 
 namespace ccpi {
 
+namespace obs {
+class Counter;
+class MetricsRegistry;
+}  // namespace obs
+
 /// Access statistics of one evaluation (or one update-checking episode)
 /// over a partitioned database.
 struct AccessStats {
@@ -65,6 +70,12 @@ class SiteDatabase : public AccessObserver, public RemoteAccessor {
   void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
   FaultInjector* fault_injector() const { return injector_; }
 
+  /// Attaches (or detaches, with nullptr) a metrics registry. Every read
+  /// then also bumps the `distsim.*` counters (see docs/observability.md)
+  /// in addition to the per-site AccessStats. Not owned; must outlive the
+  /// site.
+  void set_metrics(obs::MetricsRegistry* registry);
+
   /// AccessObserver: attributes `count` enumerated tuples of `pred`.
   /// Each remote read event also counts one round trip; a remote read may
   /// fail when a fault injector is attached.
@@ -85,6 +96,13 @@ class SiteDatabase : public AccessObserver, public RemoteAccessor {
   Database db_;
   AccessStats stats_;
   FaultInjector* injector_ = nullptr;
+  // Counter handles resolved once in set_metrics (registry handles are
+  // stable for the registry's lifetime), so the read path never does a
+  // name lookup.
+  obs::Counter* ctr_local_tuples_ = nullptr;
+  obs::Counter* ctr_remote_tuples_ = nullptr;
+  obs::Counter* ctr_remote_trips_ = nullptr;
+  obs::Counter* ctr_remote_failures_ = nullptr;
 };
 
 }  // namespace ccpi

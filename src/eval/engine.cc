@@ -9,6 +9,8 @@
 
 #include "datalog/safety.h"
 #include "eval/stratify.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace ccpi {
@@ -16,6 +18,24 @@ namespace ccpi {
 namespace {
 
 using Env = std::map<std::string, Value>;
+
+/// Accumulates engine counters locally during one Evaluate call and
+/// flushes them into the registry on scope exit (any return path). The
+/// registry lookups happen once per evaluation, never per rule or tuple.
+struct EvalMetricsFlush {
+  obs::MetricsRegistry* registry;
+  size_t rule_evals = 0;
+  size_t fixpoint_rounds = 0;
+  const size_t* derived;  // the engine's derived-tuple count
+
+  ~EvalMetricsFlush() {
+    if (registry == nullptr) return;
+    registry->GetCounter("eval.evaluations")->Add(1);
+    registry->GetCounter("eval.rule_evals")->Add(rule_evals);
+    registry->GetCounter("eval.fixpoint_rounds")->Add(fixpoint_rounds);
+    registry->GetCounter("eval.tuples_derived")->Add(*derived);
+  }
+};
 
 std::optional<Value> GroundTerm(const Term& t, const Env& env) {
   if (t.is_const()) return t.constant();
@@ -252,6 +272,11 @@ class RuleEval {
 
 Result<Database> Evaluate(const Program& program, const Database& edb,
                           const EvalOptions& options) {
+  obs::Span span("eval.evaluate");
+  if (span.active()) {
+    span.Attr("rules", static_cast<int64_t>(program.rules.size()));
+    span.Attr("goal", program.goal);
+  }
   CCPI_RETURN_IF_ERROR(CheckProgramSafety(program));
   CCPI_ASSIGN_OR_RETURN(Stratification strat, Stratify(program));
 
@@ -267,6 +292,7 @@ Result<Database> Evaluate(const Program& program, const Database& edb,
 
   Database idb;
   size_t derived = 0;
+  EvalMetricsFlush metrics{options.metrics, 0, 0, &derived};
   if (options.seed_idb != nullptr) {
     // Seed derived relations (the uniform-containment chase evaluates a
     // program over frozen facts of its own IDB predicates).
@@ -298,6 +324,7 @@ Result<Database> Evaluate(const Program& program, const Database& edb,
 
     auto run_full_round = [&]() -> Status {
       for (const Rule& rule : stratum) {
+        ++metrics.rule_evals;
         auto fetch = [&](const std::string& pred, size_t arity,
                          size_t) -> const Relation* {
           return lookup(pred, arity);
@@ -312,6 +339,7 @@ Result<Database> Evaluate(const Program& program, const Database& edb,
     };
 
     // Initial round: every rule against the current (pre-stratum) state.
+    ++metrics.fixpoint_rounds;
     CCPI_RETURN_IF_ERROR(run_full_round());
 
     if (!options.use_seminaive) {
@@ -322,6 +350,7 @@ Result<Database> Evaluate(const Program& program, const Database& edb,
           return Status::Internal("derivation limit exceeded");
         }
         delta = Database();
+        ++metrics.fixpoint_rounds;
         CCPI_RETURN_IF_ERROR(run_full_round());
       }
       continue;
@@ -336,6 +365,7 @@ Result<Database> Evaluate(const Program& program, const Database& edb,
       }
       Database prev_delta = std::move(delta);
       delta = Database();
+      ++metrics.fixpoint_rounds;
       for (const Rule& rule : stratum) {
         for (size_t k = 0; k < rule.body.size(); ++k) {
           const Literal& lit = rule.body[k];

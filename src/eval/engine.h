@@ -9,6 +9,10 @@
 
 namespace ccpi {
 
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+
 /// Observer of base-relation reads during evaluation. The distributed-site
 /// simulator implements this to charge local vs. remote access costs: the
 /// paper's motivation is precisely that a test's value depends on *which*
@@ -29,6 +33,10 @@ class AccessObserver {
 struct EvalOptions {
   /// If set, receives one callback per EDB enumeration.
   AccessObserver* observer = nullptr;
+  /// If set, the engine accounts rule evaluations, fixpoint rounds, and
+  /// derived tuples into `eval.*` counters of this registry (see
+  /// docs/observability.md for the catalog). Null costs nothing.
+  obs::MetricsRegistry* metrics = nullptr;
   /// Safety valve for runaway recursive programs (0 = unlimited).
   size_t max_derived_tuples = 0;
   /// Tuples seeded into IDB relations before evaluation begins (used by

@@ -5,6 +5,7 @@
 #include "core/local_test.h"
 #include "core/ra_local_test.h"
 #include "datalog/unfold.h"
+#include "obs/trace.h"
 #include "subsumption/subsumption.h"
 #include "updates/independence.h"
 
@@ -50,7 +51,52 @@ bool EffectPresent(const Update& u, const Database& db) {
   return u.kind == Update::Kind::kInsert ? contains : !contains;
 }
 
+constexpr Tier kAllTiers[] = {Tier::kSubsumed, Tier::kUnaffected,
+                              Tier::kIndependence, Tier::kLocalTest,
+                              Tier::kFullCheck};
+
 }  // namespace
+
+void ConstraintManager::InitObservability() {
+  site_.set_metrics(&metrics_);
+  for (Tier tier : kAllTiers) {
+    std::string suffix = TierToString(tier);
+    ctr_resolved_[TierIndex(tier)] =
+        metrics_.GetCounter("manager.resolved." + suffix);
+    hist_check_[TierIndex(tier)] =
+        metrics_.GetHistogram("manager.check_latency_ns." + suffix);
+  }
+  ctr_violations_ = metrics_.GetCounter("manager.violations");
+  ctr_remote_attempts_ = metrics_.GetCounter("manager.remote.attempts");
+  ctr_remote_retries_ = metrics_.GetCounter("manager.remote.retries");
+  ctr_remote_failures_ = metrics_.GetCounter("manager.remote.failed_episodes");
+  ctr_deferred_ = metrics_.GetCounter("manager.deferred.total");
+  ctr_fast_fails_ = metrics_.GetCounter("manager.deferred.fast_fail");
+  ctr_deferred_recovered_ = metrics_.GetCounter("manager.deferred.recovered");
+  ctr_deferred_violations_ =
+      metrics_.GetCounter("manager.deferred.violations");
+  hist_apply_ = metrics_.GetHistogram("manager.apply_latency_ns");
+  hist_remote_eval_ = metrics_.GetHistogram("manager.remote_eval_latency_ns");
+  gauge_deferred_len_ = metrics_.GetGauge("manager.deferred_queue_len");
+}
+
+ManagerStats ConstraintManager::stats() const {
+  ManagerStats s;
+  for (Tier tier : kAllTiers) {
+    uint64_t n = ctr_resolved_[TierIndex(tier)]->value();
+    if (n > 0) s.resolved_by[tier] = n;
+  }
+  s.violations = ctr_violations_->value();
+  s.remote_attempts = ctr_remote_attempts_->value();
+  s.remote_retries = ctr_remote_retries_->value();
+  s.remote_failures = ctr_remote_failures_->value();
+  s.deferred = ctr_deferred_->value();
+  s.breaker_fast_fails = ctr_fast_fails_->value();
+  s.deferred_recovered = ctr_deferred_recovered_->value();
+  s.deferred_violations = ctr_deferred_violations_->value();
+  s.access = site_.stats();
+  return s;
+}
 
 Result<bool> ConstraintManager::AddConstraint(const std::string& name,
                                               Program constraint) {
@@ -106,6 +152,22 @@ ConstraintManager::PrepareTier2(Registered* r,
 
 Result<CheckReport> ConstraintManager::CheckOne(Registered* r,
                                                 const Update& u) {
+  obs::Span span("manager.check", "manager");
+  obs::Stopwatch sw;
+  Result<CheckReport> report = CheckOneImpl(r, u);
+  if (report.ok()) {
+    if (span.active()) {
+      span.Attr("constraint", r->name);
+      span.Attr("tier", TierToString(report->tier));
+      span.Attr("outcome", OutcomeToString(report->outcome));
+    }
+    sw.RecordTo(hist_check_[TierIndex(report->tier)]);
+  }
+  return report;
+}
+
+Result<CheckReport> ConstraintManager::CheckOneImpl(Registered* r,
+                                                    const Update& u) {
   CheckReport report;
   report.constraint = r->name;
 
@@ -185,7 +247,7 @@ Result<CheckReport> ConstraintManager::CheckOne(Registered* r,
         // It reads L from the database directly, so it is skipped when
         // unverified tuples would be visible there.
         Result<Outcome> o = RaLocalTestOnInsert(t2->rule, u.pred, u.tuple,
-                                                site_.db(), &site_);
+                                                site_.db(), &site_, &metrics_);
         if (o.ok()) {
           outcome = *o;
           decided = true;
@@ -218,26 +280,36 @@ Result<CheckReport> ConstraintManager::CheckOne(Registered* r,
 Result<bool> ConstraintManager::EvaluateRemote(const Program& program,
                                                const Database& db,
                                                size_t* retries_out) {
+  obs::Span span("manager.evaluate_remote", "manager");
+  obs::Stopwatch sw;
   bool violated = false;
   RetryOutcome episode =
       RunWithRetry(resilience_.retry, &retry_rng_, [&]() -> Status {
         EvalOptions options;
         options.observer = &site_;
+        options.metrics = &metrics_;
         Result<bool> r = IsViolated(program, db, options);
         if (!r.ok()) return r.status();
         violated = *r;
         return Status::OK();
       });
-  stats_.remote_attempts += episode.attempts;
-  if (episode.attempts > 0) stats_.remote_retries += episode.attempts - 1;
+  sw.RecordTo(hist_remote_eval_);
+  ctr_remote_attempts_->Add(episode.attempts);
+  if (episode.attempts > 0) {
+    ctr_remote_retries_->Add(episode.attempts - 1);
+  }
+  if (span.active()) {
+    span.Attr("attempts", static_cast<int64_t>(episode.attempts));
+  }
   if (retries_out != nullptr) {
     *retries_out = episode.attempts > 0 ? episode.attempts - 1 : 0;
   }
   if (!episode.status.ok()) {
     if (IsRetriable(episode.status.code())) {
-      ++stats_.remote_failures;
+      ctr_remote_failures_->Add(1);
       breaker_.RecordFailure();
     }
+    if (span.active()) span.Attr("gave_up", episode.status.message());
     return episode.status;
   }
   breaker_.RecordSuccess();
@@ -257,6 +329,20 @@ bool ConstraintManager::UpdateRefused(
 }
 
 Result<std::vector<CheckReport>> ConstraintManager::ApplyUpdate(
+    const Update& u) {
+  obs::Span span("manager.apply_update", "manager");
+  if (span.active()) {
+    span.Attr("pred", u.pred);
+    span.Attr("kind", u.kind == Update::Kind::kInsert ? "insert" : "delete");
+  }
+  obs::Stopwatch sw;
+  Result<std::vector<CheckReport>> reports = ApplyUpdateImpl(u);
+  sw.RecordTo(hist_apply_);
+  gauge_deferred_len_->Set(static_cast<int64_t>(deferred_.size()));
+  return reports;
+}
+
+Result<std::vector<CheckReport>> ConstraintManager::ApplyUpdateImpl(
     const Update& u) {
   breaker_.Tick();
   // Opportunistically drain the deferred queue first: once the remote site
@@ -284,20 +370,20 @@ Result<std::vector<CheckReport>> ConstraintManager::ApplyUpdate(
     if (r.subsumed) {
       reports.push_back(
           CheckReport{r.name, Outcome::kHolds, Tier::kSubsumed});
-      stats_.resolved_by[Tier::kSubsumed]++;
+      ctr_resolved_[TierIndex(Tier::kSubsumed)]->Add(1);
       continue;
     }
     if (noop) {
       reports.push_back(
           CheckReport{r.name, Outcome::kHolds, Tier::kUnaffected});
-      stats_.resolved_by[Tier::kUnaffected]++;
+      ctr_resolved_[TierIndex(Tier::kUnaffected)]->Add(1);
       continue;
     }
     CCPI_ASSIGN_OR_RETURN(CheckReport report, CheckOne(&r, u));
     if (report.tier == Tier::kFullCheck) {
       need_full.push_back(reports.size());
     } else {
-      stats_.resolved_by[report.tier]++;
+      ctr_resolved_[TierIndex(report.tier)]->Add(1);
     }
     reports.push_back(std::move(report));
   }
@@ -323,8 +409,8 @@ Result<std::vector<CheckReport>> ConstraintManager::ApplyUpdate(
       if (!breaker_.AllowRequest()) {
         // Circuit open: the remote site is known-dead; fail fast.
         report.outcome = Outcome::kDeferred;
-        ++stats_.deferred;
-        ++stats_.breaker_fast_fails;
+        ctr_deferred_->Add(1);
+        ctr_fast_fails_->Add(1);
         any_deferred = true;
         continue;
       }
@@ -335,12 +421,12 @@ Result<std::vector<CheckReport>> ConstraintManager::ApplyUpdate(
         if (!IsRetriable(bad.status().code())) return bad.status();
         // Unreachable after retries: degrade, don't error out.
         report.outcome = Outcome::kDeferred;
-        ++stats_.deferred;
+        ctr_deferred_->Add(1);
         any_deferred = true;
         continue;
       }
       report.outcome = *bad ? Outcome::kViolated : Outcome::kHolds;
-      stats_.resolved_by[Tier::kFullCheck]++;
+      ctr_resolved_[TierIndex(Tier::kFullCheck)]->Add(1);
       violated = violated || *bad;
     }
     if (violated) {
@@ -379,14 +465,17 @@ Result<std::vector<CheckReport>> ConstraintManager::ApplyUpdate(
     }
   }
 
-  if (violated) stats_.violations++;
-  stats_.access = site_.stats();
+  if (violated) ctr_violations_->Add(1);
   return reports;
 }
 
 Result<std::vector<DeferredResolution>> ConstraintManager::RecheckDeferred() {
   std::vector<DeferredResolution> resolved;
   if (deferred_.empty()) return resolved;
+  obs::Span span("manager.recheck_deferred", "manager");
+  if (span.active()) {
+    span.Attr("queued", static_cast<int64_t>(deferred_.size()));
+  }
 
   // Re-verify each deferred update against the state it was checked in:
   // a scratch copy of the database with every still-pending optimistic
@@ -430,8 +519,8 @@ Result<std::vector<DeferredResolution>> ConstraintManager::RecheckDeferred() {
       // apply — in the replay state and, unless a later update already
       // removed its effect, in the real database.
       res.outcome = Outcome::kViolated;
-      ++stats_.deferred_violations;
-      ++stats_.violations;
+      ctr_deferred_violations_->Add(1);
+      ctr_violations_->Add(1);
       CCPI_RETURN_IF_ERROR(InverseOf(res.check.update).ApplyTo(&scratch));
       if (EffectPresent(res.check.update, site_.db())) {
         CCPI_RETURN_IF_ERROR(
@@ -440,11 +529,11 @@ Result<std::vector<DeferredResolution>> ConstraintManager::RecheckDeferred() {
       }
     } else {
       res.outcome = Outcome::kHolds;
-      ++stats_.deferred_recovered;
+      ctr_deferred_recovered_->Add(1);
     }
     resolved.push_back(std::move(res));
   }
-  stats_.access = site_.stats();
+  gauge_deferred_len_->Set(static_cast<int64_t>(deferred_.size()));
   return resolved;
 }
 

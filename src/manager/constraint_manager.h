@@ -1,6 +1,7 @@
 #ifndef CCPI_MANAGER_CONSTRAINT_MANAGER_H_
 #define CCPI_MANAGER_CONSTRAINT_MANAGER_H_
 
+#include <array>
 #include <deque>
 #include <map>
 #include <memory>
@@ -9,6 +10,7 @@
 
 #include "datalog/ast.h"
 #include "distsim/site_db.h"
+#include "obs/metrics.h"
 #include "updates/update.h"
 #include "util/circuit_breaker.h"
 #include "util/outcome.h"
@@ -56,7 +58,10 @@ struct ResilienceConfig {
   bool auto_recheck = true;
 };
 
-/// Aggregate statistics across updates.
+/// Aggregate statistics across updates. This is a *snapshot view*: the
+/// manager's source of truth is its obs::MetricsRegistry (see metrics()),
+/// and stats() materializes one of these from the registry's counters on
+/// each call.
 struct ManagerStats {
   std::map<Tier, size_t> resolved_by;
   size_t violations = 0;
@@ -141,7 +146,9 @@ class ConstraintManager {
         cost_model_(cost_model),
         resilience_(resilience),
         breaker_(resilience.breaker),
-        retry_rng_(resilience.retry_seed) {}
+        retry_rng_(resilience.retry_seed) {
+    InitObservability();
+  }
 
   /// Registers a constraint. If the already-registered constraints subsume
   /// it, it is recorded as redundant (never checked) and `subsumed` is set
@@ -185,7 +192,18 @@ class ConstraintManager {
   }
 
   const CircuitBreaker& breaker() const { return breaker_; }
-  const ManagerStats& stats() const { return stats_; }
+
+  /// Snapshot of the aggregate statistics, materialized from the metrics
+  /// registry (plus the site's AccessStats). `resolved_by` carries only
+  /// tiers that resolved at least one check.
+  ManagerStats stats() const;
+
+  /// The manager's own metrics registry — every counter behind stats(),
+  /// plus the latency histograms and the distsim/eval/ra counters of the
+  /// components this manager drives. See docs/observability.md for the
+  /// catalog.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
 
   /// Advances the failure-detector clock without applying an update (it
   /// normally ticks once per ApplyUpdate). Lets an idle caller wait out an
@@ -213,7 +231,17 @@ class ConstraintManager {
   std::shared_ptr<const Tier2Artifacts> PrepareTier2(
       Registered* r, const std::string& local_pred);
 
+  /// Resolves the metric handles (and plugs the registry into site_).
+  /// Called once from the constructor; handles are stable thereafter.
+  void InitObservability();
+
+  static size_t TierIndex(Tier tier) { return static_cast<size_t>(tier); }
+
+  /// CheckOne wraps CheckOneImpl with a span and the per-tier latency
+  /// histogram; ApplyUpdate likewise wraps ApplyUpdateImpl.
   Result<CheckReport> CheckOne(Registered* r, const Update& u);
+  Result<CheckReport> CheckOneImpl(Registered* r, const Update& u);
+  Result<std::vector<CheckReport>> ApplyUpdateImpl(const Update& u);
 
   /// Runs one tier-3 evaluation of `program` over `db` under the retry
   /// policy and circuit breaker. OK Result carries the violation verdict;
@@ -235,7 +263,27 @@ class ConstraintManager {
   std::vector<Registered> constraints_;
   std::deque<DeferredCheck> deferred_;
   uint64_t update_sequence_ = 0;
-  ManagerStats stats_;
+
+  /// Source of truth for all aggregate statistics. Per-manager, so
+  /// concurrent managers (tests, benchmarks) never share counts. site_
+  /// holds handles into this registry but only dereferences them on reads,
+  /// never in its destructor, so destruction order is harmless.
+  obs::MetricsRegistry metrics_;
+  // Handles resolved once in InitObservability; hot paths pay only the
+  // atomic increment. Indexed by TierIndex where per-tier.
+  std::array<obs::Counter*, 5> ctr_resolved_{};
+  std::array<obs::Histogram*, 5> hist_check_{};
+  obs::Counter* ctr_violations_ = nullptr;
+  obs::Counter* ctr_remote_attempts_ = nullptr;
+  obs::Counter* ctr_remote_retries_ = nullptr;
+  obs::Counter* ctr_remote_failures_ = nullptr;
+  obs::Counter* ctr_deferred_ = nullptr;
+  obs::Counter* ctr_fast_fails_ = nullptr;
+  obs::Counter* ctr_deferred_recovered_ = nullptr;
+  obs::Counter* ctr_deferred_violations_ = nullptr;
+  obs::Histogram* hist_apply_ = nullptr;
+  obs::Histogram* hist_remote_eval_ = nullptr;
+  obs::Gauge* gauge_deferred_len_ = nullptr;
 };
 
 }  // namespace ccpi

@@ -205,34 +205,41 @@ Result<ScriptReport> RunScript(const Script& script,
     out << "PENDING " << d.update.ToString() << " " << d.constraint
         << " (remote site never answered)\n";
   }
-  report.deferred_recovered = mgr.stats().deferred_recovered;
-  report.deferred_violations = mgr.stats().deferred_violations;
+  const ManagerStats stats = mgr.stats();
+  report.deferred_recovered = stats.deferred_recovered;
+  report.deferred_violations = stats.deferred_violations;
   report.deferred_pending = mgr.deferred_queue().size();
-  report.violations = mgr.stats().violations;
+  report.violations = stats.violations;
 
-  out << "---\n";
-  for (const auto& [tier, count] : mgr.stats().resolved_by) {
-    out << "tier " << TierToString(tier) << ": " << count << " checks\n";
+  std::ostringstream summary;
+  summary << "---\n";
+  for (const auto& [tier, count] : stats.resolved_by) {
+    summary << "tier " << TierToString(tier) << ": " << count << " checks\n";
   }
-  const AccessStats& access = mgr.stats().access;
-  out << "access: " << access.local_tuples << " local tuples, "
-      << access.remote_tuples << " remote tuples in " << access.remote_trips
-      << " trips (cost " << access.Cost(costs) << ")\n";
+  const AccessStats& access = stats.access;
+  summary << "access: " << access.local_tuples << " local tuples, "
+          << access.remote_tuples << " remote tuples in "
+          << access.remote_trips << " trips (cost " << access.Cost(costs)
+          << ")\n";
   if (options.print_stats) {
-    const ManagerStats& stats = mgr.stats();
-    out << "remote: " << stats.remote_attempts << " attempts, "
-        << stats.remote_retries << " retries, " << stats.remote_failures
-        << " failed episodes, " << access.remote_failures
-        << " failed trips\n";
-    out << "deferred: " << stats.deferred << " checks ("
-        << stats.breaker_fast_fails << " breaker fast-fails), "
-        << stats.deferred_recovered << " recovered, "
-        << stats.deferred_violations << " late violations, "
-        << report.deferred_pending << " pending\n";
-    out << "breaker: " << CircuitStateToString(mgr.breaker().state())
-        << " (opened " << mgr.breaker().times_opened() << "x)\n";
+    summary << "remote: " << stats.remote_attempts << " attempts, "
+            << stats.remote_retries << " retries, " << stats.remote_failures
+            << " failed episodes, " << access.remote_failures
+            << " failed trips\n";
+    summary << "deferred: " << stats.deferred << " checks ("
+            << stats.breaker_fast_fails << " breaker fast-fails), "
+            << stats.deferred_recovered << " recovered, "
+            << stats.deferred_violations << " late violations, "
+            << report.deferred_pending << " pending\n";
+    summary << "breaker: " << CircuitStateToString(mgr.breaker().state())
+            << " (opened " << mgr.breaker().times_opened() << "x)\n";
   }
-  report.text = out.str();
+  if (options.collect_metrics) {
+    report.metrics_json = mgr.metrics().ToJson();
+  }
+  report.log_text = out.str();
+  report.summary_text = summary.str();
+  report.text = report.log_text + report.summary_text;
   return report;
 }
 

@@ -52,12 +52,28 @@ struct ScriptOptions {
   /// Append the full ManagerStats block (retries, deferred/recovered
   /// outcomes, breaker state) to the report text.
   bool print_stats = false;
+  /// Fill ScriptReport::metrics_json with the manager's metrics-registry
+  /// dump (ccpi_check --metrics-out). Enable timing (SetTimingEnabled)
+  /// before the run if the latency histograms should be populated.
+  bool collect_metrics = false;
 };
 
 /// The outcome of running a script through the ConstraintManager.
 struct ScriptReport {
-  /// Human-readable per-update log plus the tier/access summary.
+  /// Human-readable per-update log plus the tier/access summary —
+  /// log_text followed by summary_text, kept whole for callers that want
+  /// the full transcript.
   std::string text;
+  /// The per-update log alone (constraint registrations, one verb line
+  /// per update, recheck/PENDING lines).
+  std::string log_text;
+  /// The closing summary alone ("---", tier table, access line, optional
+  /// stats block). `ccpi_check` routes this to stderr so stdout stays
+  /// machine-parseable.
+  std::string summary_text;
+  /// MetricsRegistry::ToJson() of the run's manager, when
+  /// ScriptOptions::collect_metrics was set; empty otherwise.
+  std::string metrics_json;
   size_t updates_applied = 0;
   /// Updates refused: violations plus, under DeferredPolicy::kReject,
   /// updates that could not be verified during an outage.

@@ -1,0 +1,64 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace ccpi {
+namespace obs {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+void AppendJsonString(std::string_view s, std::string* out) {
+  out->push_back('"');
+  *out += JsonEscape(s);
+  out->push_back('"');
+}
+
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) value = 0;
+  char buf[32];
+  // %.17g round-trips doubles but litters output; %.9g is plenty for
+  // nanosecond timings and tuple counts.
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  return buf;
+}
+
+}  // namespace obs
+}  // namespace ccpi

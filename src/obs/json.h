@@ -1,0 +1,29 @@
+#ifndef CCPI_OBS_JSON_H_
+#define CCPI_OBS_JSON_H_
+
+#include <string>
+#include <string_view>
+
+namespace ccpi {
+namespace obs {
+
+/// Escapes `s` for embedding inside a JSON string literal (quotes are NOT
+/// added): `"` and `\` are backslash-escaped, the common control
+/// characters map to their two-character forms (\n, \t, ...), and every
+/// other byte below 0x20 becomes \u00XX. Everything the observability
+/// layer writes — metric names, span attributes, bench labels — passes
+/// through here so an attacker-controlled predicate name cannot break a
+/// trace or metrics file.
+std::string JsonEscape(std::string_view s);
+
+/// Appends `"escaped(s)"` (with the quotes) to `*out`.
+void AppendJsonString(std::string_view s, std::string* out);
+
+/// Formats a double as a JSON number (no NaN/Inf — those are clamped to
+/// 0, since JSON has no spelling for them).
+std::string JsonNumber(double value);
+
+}  // namespace obs
+}  // namespace ccpi
+
+#endif  // CCPI_OBS_JSON_H_

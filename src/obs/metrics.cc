@@ -1,0 +1,220 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "obs/json.h"
+#include "util/check.h"
+
+namespace ccpi {
+namespace obs {
+
+namespace {
+
+std::atomic<bool> g_timing_enabled{false};
+
+/// Lock-free monotone update of an atomic min/max cell.
+void AtomicMin(std::atomic<uint64_t>* cell, uint64_t v) {
+  uint64_t cur = cell->load(std::memory_order_relaxed);
+  while (v < cur &&
+         !cell->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<uint64_t>* cell, uint64_t v) {
+  uint64_t cur = cell->load(std::memory_order_relaxed);
+  while (v > cur &&
+         !cell->compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+bool TimingEnabled() {
+  return g_timing_enabled.load(std::memory_order_relaxed);
+}
+
+void SetTimingEnabled(bool on) {
+  g_timing_enabled.store(on, std::memory_order_relaxed);
+}
+
+uint64_t MonotonicNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  double target = q * static_cast<double>(count);
+  if (target < 1) target = 1;  // rank of the first observation
+  uint64_t cum = 0;
+  for (size_t i = 0; i < bucket_counts.size(); ++i) {
+    uint64_t c = bucket_counts[i];
+    if (c == 0) continue;
+    cum += c;
+    if (static_cast<double>(cum) >= target) {
+      double lower = i == 0 ? 0 : static_cast<double>(bounds[i - 1]);
+      double upper = i < bounds.size() ? static_cast<double>(bounds[i])
+                                       : static_cast<double>(max);
+      if (upper < lower) upper = lower;
+      double frac =
+          (target - static_cast<double>(cum - c)) / static_cast<double>(c);
+      return lower + frac * (upper - lower);
+    }
+  }
+  return static_cast<double>(max);
+}
+
+const std::vector<uint64_t>& Histogram::DefaultLatencyBoundsNs() {
+  // 1us .. 1s in a 1-2-5 ladder; latencies are recorded in nanoseconds.
+  static const std::vector<uint64_t> kBounds = {
+      1'000,       2'000,       5'000,       10'000,      20'000,
+      50'000,      100'000,     200'000,     500'000,     1'000'000,
+      2'000'000,   5'000'000,   10'000'000,  20'000'000,  50'000'000,
+      100'000'000, 200'000'000, 500'000'000, 1'000'000'000};
+  return kBounds;
+}
+
+Histogram::Histogram(std::vector<uint64_t> bounds)
+    : bounds_(bounds.empty() ? DefaultLatencyBoundsNs() : std::move(bounds)) {
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    CCPI_CHECK(bounds_[i - 1] < bounds_[i]);
+  }
+  counts_ = std::make_unique<std::atomic<uint64_t>[]>(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) counts_[i] = 0;
+}
+
+void Histogram::Observe(uint64_t value) {
+  // First bucket whose (inclusive) upper edge admits the value; the
+  // overflow bucket catches the rest.
+  size_t idx = std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+               bounds_.begin();
+  counts_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  AtomicMin(&min_, value);
+  AtomicMax(&max_, value);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.bucket_counts.reserve(bounds_.size() + 1);
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    snap.bucket_counts.push_back(counts_[i].load(std::memory_order_relaxed));
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  uint64_t mn = min_.load(std::memory_order_relaxed);
+  snap.min = mn == UINT64_MAX ? 0 : mn;
+  snap.max = max_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* instance = new MetricsRegistry();
+  return *instance;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::vector<uint64_t> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  }
+  return it->second.get();
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendJsonString(name, &out);
+    out += ": " + std::to_string(c->value());
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendJsonString(name, &out);
+    out += ": " + std::to_string(g->value());
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot s = h->Snapshot();
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendJsonString(name, &out);
+    out += ": {\"count\": " + std::to_string(s.count) +
+           ", \"sum\": " + std::to_string(s.sum) +
+           ", \"min\": " + std::to_string(s.min) +
+           ", \"max\": " + std::to_string(s.max) +
+           ", \"p50\": " + JsonNumber(s.Quantile(0.50)) +
+           ", \"p95\": " + JsonNumber(s.Quantile(0.95)) +
+           ", \"p99\": " + JsonNumber(s.Quantile(0.99)) + ", \"buckets\": [";
+    for (size_t i = 0; i < s.bucket_counts.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "{\"le\": ";
+      out += i < s.bounds.size() ? std::to_string(s.bounds[i]) : "\"inf\"";
+      out += ", \"count\": " + std::to_string(s.bucket_counts[i]) + "}";
+    }
+    out += "]}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace obs
+}  // namespace ccpi

@@ -1,0 +1,156 @@
+#ifndef CCPI_OBS_METRICS_H_
+#define CCPI_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ccpi {
+namespace obs {
+
+/// Monotonically increasing event count. Thread-safe; increments are
+/// relaxed atomics, so a Counter in a hot path costs one uncontended
+/// fetch_add — the same order as the plain `stats_.x += 1` members it
+/// replaces.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+/// Last-value-wins instantaneous measurement (queue depths, sizes).
+class Gauge {
+ public:
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Point-in-time view of a Histogram, with quantile estimation. Bucket i
+/// counts observations v with v <= bounds[i] (and > bounds[i-1]); the
+/// final entry of `bucket_counts` is the overflow bucket holding values
+/// above every bound.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = 0;  // 0 when count == 0
+  uint64_t max = 0;
+  std::vector<uint64_t> bounds;
+  std::vector<uint64_t> bucket_counts;  // bounds.size() + 1 entries
+
+  /// Quantile estimate by linear interpolation inside the bucket holding
+  /// rank q*count: the bucket's lower edge is the previous bound (0 for
+  /// the first bucket), its upper edge the bound itself (the observed max
+  /// for the overflow bucket). Returns 0 when the histogram is empty.
+  double Quantile(double q) const;
+};
+
+/// Fixed-bucket histogram of non-negative integer values (the registry
+/// uses it for nanosecond latencies). Thread-safe: each Observe is a
+/// handful of relaxed atomic ops; Snapshot copies the counts.
+class Histogram {
+ public:
+  /// `bounds` are strictly-ascending inclusive upper bucket edges. An
+  /// empty vector selects the default latency ladder (1us..1s in 1-2-5
+  /// steps, in nanoseconds).
+  explicit Histogram(std::vector<uint64_t> bounds = {});
+
+  void Observe(uint64_t value);
+  HistogramSnapshot Snapshot() const;
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  void Reset();
+
+  static const std::vector<uint64_t>& DefaultLatencyBoundsNs();
+
+ private:
+  std::vector<uint64_t> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> counts_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+  std::atomic<uint64_t> max_{0};
+};
+
+/// Named metric registry: the single source of truth for every counter the
+/// checking pipeline maintains (ManagerStats and friends are snapshot
+/// views over it). Handles returned by Get* are stable for the registry's
+/// lifetime, so hot paths fetch them once and then pay only the atomic
+/// increment; the name lookup itself takes a mutex and belongs in setup
+/// code, not inner loops.
+///
+/// Registries are ordinary objects — each ConstraintManager owns one, so
+/// concurrent managers (tests, benchmarks) never share counts. Default()
+/// is a process-global instance for code with no owning component.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  static MetricsRegistry& Default();
+
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  /// `bounds` applies only on first creation; later callers get the
+  /// existing histogram whatever bounds they pass.
+  Histogram* GetHistogram(std::string_view name,
+                          std::vector<uint64_t> bounds = {});
+
+  /// Zeroes every metric. Handles stay valid.
+  void Reset();
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...}} — the
+  /// machine-readable dump behind `ccpi_check --metrics-out`. Histograms
+  /// carry count/sum/min/max, p50/p95/p99, and the full bucket table.
+  std::string ToJson() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Global switch for latency timing. Off (the default), instrumented
+/// sites skip the clock reads entirely — a Stopwatch costs one relaxed
+/// atomic load and a branch, which is what keeps the no-sink overhead of
+/// the instrumentation within noise. `ccpi_check --metrics-out` and the
+/// bench harness turn it on.
+bool TimingEnabled();
+void SetTimingEnabled(bool on);
+
+/// Monotonic clock in nanoseconds (steady_clock).
+uint64_t MonotonicNowNs();
+
+/// Reads the clock at construction iff timing was enabled; RecordTo then
+/// observes the elapsed nanoseconds into `h`. Inert (no clock reads, no
+/// stores) when timing is off.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(TimingEnabled() ? MonotonicNowNs() : 0) {}
+  bool running() const { return start_ != 0; }
+  void RecordTo(Histogram* h) const {
+    if (start_ != 0 && h != nullptr) h->Observe(MonotonicNowNs() - start_);
+  }
+
+ private:
+  uint64_t start_;
+};
+
+}  // namespace obs
+}  // namespace ccpi
+
+#endif  // CCPI_OBS_METRICS_H_

@@ -1,0 +1,146 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace ccpi {
+namespace obs {
+
+namespace {
+
+std::atomic<TraceRecorder*> g_recorder{nullptr};
+
+uint32_t ThreadId() {
+  static std::atomic<uint32_t> next{0};
+  thread_local uint32_t id = 0;
+  if (id == 0) id = next.fetch_add(1, std::memory_order_relaxed) + 1;
+  return id;
+}
+
+/// Per-thread stack of the open spans' events (owned by the live Span
+/// objects; entries are valid exactly while their span is open).
+thread_local std::vector<const TraceEvent*> tls_open_spans;
+
+}  // namespace
+
+TraceRecorder::TraceRecorder() : epoch_ns_(MonotonicNowNs()) {}
+
+TraceRecorder::~TraceRecorder() { Uninstall(); }
+
+void TraceRecorder::Install() {
+  g_recorder.store(this, std::memory_order_release);
+}
+
+void TraceRecorder::Uninstall() {
+  TraceRecorder* expected = this;
+  g_recorder.compare_exchange_strong(expected, nullptr,
+                                     std::memory_order_acq_rel);
+}
+
+TraceRecorder* TraceRecorder::current() {
+  return g_recorder.load(std::memory_order_relaxed);
+}
+
+uint64_t TraceRecorder::NowNs() const { return MonotonicNowNs() - epoch_ns_; }
+
+void TraceRecorder::Record(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+size_t TraceRecorder::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::string TraceRecorder::ToChromeJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  char buf[96];
+  bool first = true;
+  for (const TraceEvent& ev : events_) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "{\"name\": ";
+    AppendJsonString(ev.name, &out);
+    out += ", \"cat\": ";
+    AppendJsonString(ev.category, &out);
+    // ts/dur are microseconds in the trace-event format; three decimals
+    // keep nanosecond resolution.
+    std::snprintf(buf, sizeof(buf),
+                  ", \"ph\": \"X\", \"pid\": 1, \"tid\": %u, "
+                  "\"ts\": %.3f, \"dur\": %.3f",
+                  ev.tid, static_cast<double>(ev.ts_ns) / 1000.0,
+                  static_cast<double>(ev.dur_ns) / 1000.0);
+    out += buf;
+    out += ", \"args\": {\"depth\": " + std::to_string(ev.depth);
+    for (const auto& [key, value] : ev.args) {
+      out += ", ";
+      AppendJsonString(key, &out);
+      out += ": " + value;
+    }
+    out += "}}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+Status TraceRecorder::WriteChromeJson(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::InvalidArgument("cannot open " + path);
+  out << ToChromeJson();
+  out.flush();
+  if (!out) return Status::Internal("short write to " + path);
+  return Status::OK();
+}
+
+Span::Span(std::string_view name, std::string_view category)
+    : rec_(TraceRecorder::current()) {
+  if (rec_ == nullptr) return;
+  ev_.name = name;
+  ev_.category = category;
+  ev_.ts_ns = rec_->NowNs();
+  ev_.tid = ThreadId();
+  ev_.depth = static_cast<int>(tls_open_spans.size());
+  tls_open_spans.push_back(&ev_);
+}
+
+Span::~Span() {
+  if (rec_ == nullptr) return;
+  if (!tls_open_spans.empty() && tls_open_spans.back() == &ev_) {
+    tls_open_spans.pop_back();
+  }
+  ev_.dur_ns = rec_->NowNs() - ev_.ts_ns;
+  rec_->Record(std::move(ev_));
+}
+
+void Span::Attr(std::string_view key, std::string_view value) {
+  if (rec_ == nullptr) return;
+  std::string encoded;
+  AppendJsonString(value, &encoded);
+  ev_.args.emplace_back(std::string(key), std::move(encoded));
+}
+
+void Span::Attr(std::string_view key, int64_t value) {
+  if (rec_ == nullptr) return;
+  ev_.args.emplace_back(std::string(key), std::to_string(value));
+}
+
+int Span::CurrentDepth() { return static_cast<int>(tls_open_spans.size()); }
+
+std::string_view Span::CurrentName() {
+  if (tls_open_spans.empty()) return {};
+  return tls_open_spans.back()->name;
+}
+
+}  // namespace obs
+}  // namespace ccpi

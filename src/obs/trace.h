@@ -1,0 +1,106 @@
+#ifndef CCPI_OBS_TRACE_H_
+#define CCPI_OBS_TRACE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ccpi {
+namespace obs {
+
+/// One completed span, in Chrome trace-event terms a "complete" event
+/// (ph:"X"). Attribute values are stored pre-encoded as JSON (a quoted
+/// escaped string or a bare number) so export is a straight concatenation.
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  uint64_t ts_ns = 0;   // start, relative to the recorder's epoch
+  uint64_t dur_ns = 0;  // duration
+  uint32_t tid = 0;     // small per-thread id (1-based)
+  int depth = 0;        // nesting depth at start (0 = top level)
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+/// Collects spans and exports them as Chrome trace-event JSON, loadable in
+/// chrome://tracing and Perfetto (ui.perfetto.dev). At most one recorder
+/// is *installed* (globally visible to Span) at a time; an installed
+/// recorder must outlive every span opened while it was current — install
+/// for whole program phases (ccpi_check does it around the script run),
+/// not around individual calls.
+class TraceRecorder {
+ public:
+  TraceRecorder();
+  ~TraceRecorder();
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Makes this recorder the one Span construction sees. Replaces any
+  /// previously installed recorder (which is left intact, just no longer
+  /// receiving spans).
+  void Install();
+  /// Detaches this recorder if it is the installed one.
+  void Uninstall();
+  /// The installed recorder, or nullptr when tracing is off. A relaxed
+  /// atomic load — this is the only cost tracing adds when disabled.
+  static TraceRecorder* current();
+
+  /// Nanoseconds since this recorder was constructed.
+  uint64_t NowNs() const;
+
+  void Record(TraceEvent event);
+
+  size_t size() const;
+  /// Copy of the recorded events (tests and exporters).
+  std::vector<TraceEvent> events() const;
+
+  /// {"displayTimeUnit":"ms","traceEvents":[...]} with ts/dur in
+  /// microseconds as the format requires.
+  std::string ToChromeJson() const;
+  Status WriteChromeJson(const std::string& path) const;
+
+ private:
+  uint64_t epoch_ns_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+/// RAII scoped span. When no recorder is installed, construction is a
+/// single atomic load and the span is inert (no clock reads, no
+/// allocation, attributes ignored). Spans opened on one thread must be
+/// closed on the same thread in LIFO order (automatic with scoped
+/// locals); each thread keeps its own stack of open spans, and the
+/// nesting depth is recorded on the event.
+class Span {
+ public:
+  explicit Span(std::string_view name, std::string_view category = "ccpi");
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  bool active() const { return rec_ != nullptr; }
+
+  /// Attaches a string attribute (JSON-escaped at export) / an integer
+  /// attribute. No-ops on an inert span.
+  void Attr(std::string_view key, std::string_view value);
+  void Attr(std::string_view key, int64_t value);
+
+  /// Depth of the calling thread's open-span stack (0 when tracing is
+  /// off or no span is open).
+  static int CurrentDepth();
+  /// Name of the innermost open span on this thread, or "" if none.
+  static std::string_view CurrentName();
+
+ private:
+  TraceRecorder* rec_;  // nullptr = inert
+  TraceEvent ev_;
+};
+
+}  // namespace obs
+}  // namespace ccpi
+
+#endif  // CCPI_OBS_TRACE_H_

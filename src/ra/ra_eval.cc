@@ -1,5 +1,6 @@
 #include "ra/ra_eval.h"
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace ccpi {
@@ -19,10 +20,9 @@ bool Holds(const std::vector<RaCondition>& conds, const Tuple& t) {
   return true;
 }
 
-}  // namespace
-
-Result<Relation> EvalRa(const RaExpr& expr, const Database& db,
-                        AccessObserver* observer) {
+Result<Relation> EvalRaNode(const RaExpr& expr, const Database& db,
+                            AccessObserver* observer, obs::Counter* nodes) {
+  if (nodes != nullptr) nodes->Add(1);
   switch (expr.kind()) {
     case RaExpr::Kind::kScan: {
       const Relation& rel = db.Get(expr.pred(), expr.arity());
@@ -42,7 +42,7 @@ Result<Relation> EvalRa(const RaExpr& expr, const Database& db,
     }
     case RaExpr::Kind::kSelect: {
       CCPI_ASSIGN_OR_RETURN(Relation child,
-                            EvalRa(*expr.left(), db, observer));
+                            EvalRaNode(*expr.left(), db, observer, nodes));
       Relation out(expr.arity());
       for (const Tuple& t : child.rows()) {
         if (Holds(expr.conditions(), t)) out.Insert(t);
@@ -51,7 +51,7 @@ Result<Relation> EvalRa(const RaExpr& expr, const Database& db,
     }
     case RaExpr::Kind::kProject: {
       CCPI_ASSIGN_OR_RETURN(Relation child,
-                            EvalRa(*expr.left(), db, observer));
+                            EvalRaNode(*expr.left(), db, observer, nodes));
       Relation out(expr.arity());
       for (const Tuple& t : child.rows()) {
         Tuple projected;
@@ -62,8 +62,8 @@ Result<Relation> EvalRa(const RaExpr& expr, const Database& db,
       return out;
     }
     case RaExpr::Kind::kProduct: {
-      CCPI_ASSIGN_OR_RETURN(Relation l, EvalRa(*expr.left(), db, observer));
-      CCPI_ASSIGN_OR_RETURN(Relation r, EvalRa(*expr.right(), db, observer));
+      CCPI_ASSIGN_OR_RETURN(Relation l, EvalRaNode(*expr.left(), db, observer, nodes));
+      CCPI_ASSIGN_OR_RETURN(Relation r, EvalRaNode(*expr.right(), db, observer, nodes));
       Relation out(expr.arity());
       for (const Tuple& a : l.rows()) {
         for (const Tuple& b : r.rows()) {
@@ -75,15 +75,15 @@ Result<Relation> EvalRa(const RaExpr& expr, const Database& db,
       return out;
     }
     case RaExpr::Kind::kUnion: {
-      CCPI_ASSIGN_OR_RETURN(Relation l, EvalRa(*expr.left(), db, observer));
-      CCPI_ASSIGN_OR_RETURN(Relation r, EvalRa(*expr.right(), db, observer));
+      CCPI_ASSIGN_OR_RETURN(Relation l, EvalRaNode(*expr.left(), db, observer, nodes));
+      CCPI_ASSIGN_OR_RETURN(Relation r, EvalRaNode(*expr.right(), db, observer, nodes));
       Relation out = std::move(l);
       for (const Tuple& t : r.rows()) out.Insert(t);
       return out;
     }
     case RaExpr::Kind::kDifference: {
-      CCPI_ASSIGN_OR_RETURN(Relation l, EvalRa(*expr.left(), db, observer));
-      CCPI_ASSIGN_OR_RETURN(Relation r, EvalRa(*expr.right(), db, observer));
+      CCPI_ASSIGN_OR_RETURN(Relation l, EvalRaNode(*expr.left(), db, observer, nodes));
+      CCPI_ASSIGN_OR_RETURN(Relation r, EvalRaNode(*expr.right(), db, observer, nodes));
       Relation out(expr.arity());
       for (const Tuple& t : l.rows()) {
         if (!r.Contains(t)) out.Insert(t);
@@ -94,9 +94,23 @@ Result<Relation> EvalRa(const RaExpr& expr, const Database& db,
   return Status::Internal("unknown RA node kind");
 }
 
+}  // namespace
+
+Result<Relation> EvalRa(const RaExpr& expr, const Database& db,
+                        AccessObserver* observer,
+                        obs::MetricsRegistry* metrics) {
+  obs::Counter* nodes = nullptr;
+  if (metrics != nullptr) {
+    metrics->GetCounter("ra.evaluations")->Add(1);
+    nodes = metrics->GetCounter("ra.nodes_evaluated");
+  }
+  return EvalRaNode(expr, db, observer, nodes);
+}
+
 Result<bool> RaNonempty(const RaExpr& expr, const Database& db,
-                        AccessObserver* observer) {
-  CCPI_ASSIGN_OR_RETURN(Relation rel, EvalRa(expr, db, observer));
+                        AccessObserver* observer,
+                        obs::MetricsRegistry* metrics) {
+  CCPI_ASSIGN_OR_RETURN(Relation rel, EvalRa(expr, db, observer, metrics));
   return !rel.empty();
 }
 

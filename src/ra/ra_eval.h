@@ -8,17 +8,25 @@
 
 namespace ccpi {
 
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+
 /// Evaluates an RA expression against `db`. Scans of absent relations see
 /// the empty relation. If `observer` is non-null it is told how many tuples
 /// of each base relation were read — the complete local tests of Theorem
 /// 5.3 run entirely over the local relation, and the benchmark harness uses
-/// this hook to demonstrate it.
+/// this hook to demonstrate it. If `metrics` is non-null the evaluator
+/// accounts `ra.*` counters into it (see docs/observability.md); the
+/// counter handle is resolved once per call, not per node.
 Result<Relation> EvalRa(const RaExpr& expr, const Database& db,
-                        AccessObserver* observer = nullptr);
+                        AccessObserver* observer = nullptr,
+                        obs::MetricsRegistry* metrics = nullptr);
 
 /// Nonemptiness — the form in which Theorem 5.3 phrases its test.
 Result<bool> RaNonempty(const RaExpr& expr, const Database& db,
-                        AccessObserver* observer = nullptr);
+                        AccessObserver* observer = nullptr,
+                        obs::MetricsRegistry* metrics = nullptr);
 
 }  // namespace ccpi
 

@@ -1,0 +1,310 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ccpi {
+namespace obs {
+namespace {
+
+// ---------------------------------------------------------------- JSON
+
+TEST(JsonTest, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(JsonEscape(std::string("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonTest, AppendAddsQuotes) {
+  std::string out = "x: ";
+  AppendJsonString("he said \"hi\"", &out);
+  EXPECT_EQ(out, "x: \"he said \\\"hi\\\"\"");
+}
+
+TEST(JsonTest, NumbersClampNonFinite) {
+  EXPECT_EQ(JsonNumber(2.5), "2.5");
+  EXPECT_EQ(JsonNumber(0.0 / 0.0), "0");
+  EXPECT_EQ(JsonNumber(1.0 / 0.0), "0");
+}
+
+// ------------------------------------------------------------- counters
+
+TEST(CounterTest, AddAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Add();
+  c.Add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(CounterTest, ConcurrentIncrementsAreLossless) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c]() {
+      for (int i = 0; i < kPerThread; ++i) c.Add();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  g.Set(7);
+  EXPECT_EQ(g.value(), 7);
+  g.Add(-10);
+  EXPECT_EQ(g.value(), -3);
+  g.Reset();
+  EXPECT_EQ(g.value(), 0);
+}
+
+// ----------------------------------------------------------- histograms
+
+TEST(HistogramTest, BucketBoundariesAreInclusiveUpperEdges) {
+  Histogram h({10, 20, 40});
+  // Exactly on a bound lands in that bound's bucket; above every bound
+  // lands in the overflow bucket.
+  h.Observe(0);
+  h.Observe(10);   // first bucket (<= 10)
+  h.Observe(11);   // second bucket
+  h.Observe(20);   // second bucket (<= 20)
+  h.Observe(21);   // third bucket
+  h.Observe(40);   // third bucket (<= 40)
+  h.Observe(41);   // overflow
+  h.Observe(1000); // overflow
+  HistogramSnapshot snap = h.Snapshot();
+  ASSERT_EQ(snap.bounds.size(), 3u);
+  ASSERT_EQ(snap.bucket_counts.size(), 4u);
+  EXPECT_EQ(snap.bucket_counts[0], 2u);  // 0, 10
+  EXPECT_EQ(snap.bucket_counts[1], 2u);  // 11, 20
+  EXPECT_EQ(snap.bucket_counts[2], 2u);  // 21, 40
+  EXPECT_EQ(snap.bucket_counts[3], 2u);  // 41, 1000
+  EXPECT_EQ(snap.count, 8u);
+  EXPECT_EQ(snap.min, 0u);
+  EXPECT_EQ(snap.max, 1000u);
+  EXPECT_EQ(snap.sum, 0u + 10 + 11 + 20 + 21 + 40 + 41 + 1000);
+}
+
+TEST(HistogramTest, QuantilesInterpolateWithinBuckets) {
+  Histogram h({100});
+  // 100 observations spread uniformly through the first bucket.
+  for (uint64_t i = 0; i < 100; ++i) h.Observe(i);
+  HistogramSnapshot snap = h.Snapshot();
+  // p50's rank-50 observation sits halfway through the [0, 100] bucket.
+  EXPECT_NEAR(snap.Quantile(0.5), 50.0, 1.0);
+  EXPECT_NEAR(snap.Quantile(0.99), 99.0, 1.0);
+  // Quantiles never exceed the recorded max.
+  EXPECT_LE(snap.Quantile(1.0), 100.0);
+}
+
+TEST(HistogramTest, QuantileOfOverflowBucketUsesObservedMax) {
+  Histogram h({10});
+  h.Observe(500);
+  h.Observe(900);
+  HistogramSnapshot snap = h.Snapshot();
+  double p99 = snap.Quantile(0.99);
+  EXPECT_GE(p99, 10.0);
+  EXPECT_LE(p99, 900.0);
+}
+
+TEST(HistogramTest, EmptySnapshotIsAllZero) {
+  Histogram h;
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.min, 0u);
+  EXPECT_EQ(snap.max, 0u);
+  EXPECT_EQ(snap.Quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, DefaultBoundsAreAscending) {
+  const std::vector<uint64_t>& bounds = Histogram::DefaultLatencyBoundsNs();
+  ASSERT_GT(bounds.size(), 2u);
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+}
+
+// ------------------------------------------------------------- registry
+
+TEST(MetricsRegistryTest, HandlesAreStableAndNamed) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("x.count");
+  Counter* b = registry.GetCounter("x.count");
+  EXPECT_EQ(a, b);
+  a->Add(3);
+  EXPECT_EQ(registry.GetCounter("x.count")->value(), 3u);
+  EXPECT_NE(registry.GetCounter("y.count"), a);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesButKeepsHandles) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("c");
+  Gauge* g = registry.GetGauge("g");
+  Histogram* h = registry.GetHistogram("h");
+  c->Add(5);
+  g->Set(5);
+  h->Observe(5);
+  registry.Reset();
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_EQ(g->value(), 0);
+  EXPECT_EQ(h->count(), 0u);
+  EXPECT_EQ(registry.GetCounter("c"), c);
+}
+
+TEST(MetricsRegistryTest, ToJsonHasAllSections) {
+  MetricsRegistry registry;
+  registry.GetCounter("checks.total")->Add(7);
+  registry.GetGauge("queue.len")->Set(-2);
+  Histogram* h = registry.GetHistogram("lat", {10, 20});
+  h->Observe(5);
+  h->Observe(15);
+  std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"checks.total\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"queue.len\": -2"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"lat\""), std::string::npos);
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\""), std::string::npos);
+  EXPECT_NE(json.find("\"inf\""), std::string::npos);  // overflow bucket
+}
+
+// --------------------------------------------------------------- timing
+
+TEST(StopwatchTest, InertWhenTimingDisabled) {
+  SetTimingEnabled(false);
+  Histogram h;
+  Stopwatch sw;
+  EXPECT_FALSE(sw.running());
+  sw.RecordTo(&h);
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(StopwatchTest, RecordsWhenTimingEnabled) {
+  SetTimingEnabled(true);
+  Histogram h;
+  Stopwatch sw;
+  EXPECT_TRUE(sw.running());
+  sw.RecordTo(&h);
+  EXPECT_EQ(h.count(), 1u);
+  SetTimingEnabled(false);
+}
+
+// -------------------------------------------------------------- tracing
+
+TEST(SpanTest, InertWithoutRecorder) {
+  ASSERT_EQ(TraceRecorder::current(), nullptr);
+  Span span("noop");
+  EXPECT_FALSE(span.active());
+  EXPECT_EQ(Span::CurrentDepth(), 0);
+}
+
+TEST(SpanTest, RecordsNestingDepthAndOrder) {
+  TraceRecorder recorder;
+  recorder.Install();
+  {
+    Span outer("outer");
+    EXPECT_EQ(Span::CurrentDepth(), 1);
+    EXPECT_EQ(Span::CurrentName(), "outer");
+    {
+      Span inner("inner", "cat2");
+      EXPECT_EQ(Span::CurrentDepth(), 2);
+      EXPECT_EQ(Span::CurrentName(), "inner");
+    }
+    EXPECT_EQ(Span::CurrentDepth(), 1);
+  }
+  recorder.Uninstall();
+  std::vector<TraceEvent> events = recorder.events();
+  ASSERT_EQ(events.size(), 2u);
+  // Spans close inner-first.
+  EXPECT_EQ(events[0].name, "inner");
+  EXPECT_EQ(events[0].depth, 1);
+  EXPECT_EQ(events[0].category, "cat2");
+  EXPECT_EQ(events[1].name, "outer");
+  EXPECT_EQ(events[1].depth, 0);
+  // The outer span brackets the inner one.
+  EXPECT_LE(events[1].ts_ns, events[0].ts_ns);
+  EXPECT_GE(events[1].ts_ns + events[1].dur_ns,
+            events[0].ts_ns + events[0].dur_ns);
+}
+
+TEST(SpanTest, AttributesAreEscapedInChromeJson) {
+  TraceRecorder recorder;
+  recorder.Install();
+  {
+    Span span("check");
+    span.Attr("pred", "weird\"name\nwith\\stuff");
+    span.Attr("tuples", static_cast<int64_t>(42));
+  }
+  recorder.Uninstall();
+  std::string json = recorder.ToChromeJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"pred\": \"weird\\\"name\\nwith\\\\stuff\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"tuples\": 42"), std::string::npos);
+  // No raw newline may survive inside a string value.
+  EXPECT_EQ(json.find("weird\"name"), std::string::npos);
+}
+
+TEST(SpanTest, UninstallStopsRecording) {
+  TraceRecorder recorder;
+  recorder.Install();
+  { Span span("kept"); }
+  recorder.Uninstall();
+  { Span span("dropped"); }
+  EXPECT_EQ(recorder.size(), 1u);
+}
+
+TEST(SpanTest, InstallingSecondRecorderWins) {
+  TraceRecorder first;
+  first.Install();
+  {
+    TraceRecorder second;
+    second.Install();
+    { Span span("to-second"); }
+    EXPECT_EQ(second.size(), 1u);
+    EXPECT_EQ(first.size(), 0u);
+    // first.Uninstall() must not detach second (it is not installed).
+    first.Uninstall();
+    EXPECT_EQ(TraceRecorder::current(), &second);
+  }
+  // second's destructor uninstalled it.
+  EXPECT_EQ(TraceRecorder::current(), nullptr);
+}
+
+TEST(TraceRecorderTest, WriteChromeJsonRoundTrips) {
+  TraceRecorder recorder;
+  recorder.Install();
+  { Span span("io"); }
+  recorder.Uninstall();
+  std::string path = testing::TempDir() + "/ccpi_trace_test.json";
+  ASSERT_TRUE(recorder.WriteChromeJson(path).ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(content.str(), recorder.ToChromeJson());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace ccpi

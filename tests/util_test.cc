@@ -2,6 +2,7 @@
 
 #include <set>
 
+#include "util/circuit_breaker.h"
 #include "util/outcome.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -117,6 +118,86 @@ TEST(OutcomeTest, Names) {
   EXPECT_STREQ(OutcomeToString(Outcome::kHolds), "holds");
   EXPECT_STREQ(OutcomeToString(Outcome::kUnknown), "unknown");
   EXPECT_STREQ(OutcomeToString(Outcome::kViolated), "violated");
+}
+
+TEST(CircuitBreakerTest, OpensAfterConsecutiveFailures) {
+  CircuitBreakerConfig config;
+  config.failure_threshold = 3;
+  CircuitBreaker breaker(config);
+  EXPECT_EQ(breaker.state(), CircuitState::kClosed);
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitState::kClosed);
+  // A success in between resets the consecutive count.
+  breaker.RecordSuccess();
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitState::kClosed);
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitState::kOpen);
+  EXPECT_EQ(breaker.times_opened(), 1u);
+  EXPECT_FALSE(breaker.AllowRequest());
+}
+
+TEST(CircuitBreakerTest, HalfOpensAfterCooldown) {
+  CircuitBreakerConfig config;
+  config.failure_threshold = 1;
+  config.cooldown_ticks = 4;
+  CircuitBreaker breaker(config);
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitState::kOpen);
+  breaker.Tick(3);
+  EXPECT_FALSE(breaker.AllowRequest());  // cooldown not yet elapsed
+  EXPECT_EQ(breaker.state(), CircuitState::kOpen);
+  breaker.Tick(1);
+  EXPECT_TRUE(breaker.AllowRequest());  // transitions to half-open
+  EXPECT_EQ(breaker.state(), CircuitState::kHalfOpen);
+}
+
+TEST(CircuitBreakerTest, FailedProbeReopensAndRestartsCooldown) {
+  CircuitBreakerConfig config;
+  config.failure_threshold = 1;
+  config.cooldown_ticks = 4;
+  CircuitBreaker breaker(config);
+  breaker.RecordFailure();
+  breaker.Tick(4);
+  EXPECT_TRUE(breaker.AllowRequest());
+  EXPECT_EQ(breaker.state(), CircuitState::kHalfOpen);
+  breaker.RecordFailure();  // probe fails
+  EXPECT_EQ(breaker.state(), CircuitState::kOpen);
+  EXPECT_EQ(breaker.times_opened(), 2u);
+  // The cooldown restarted at the probe failure, not the original trip.
+  breaker.Tick(3);
+  EXPECT_FALSE(breaker.AllowRequest());
+  breaker.Tick(1);
+  EXPECT_TRUE(breaker.AllowRequest());
+}
+
+TEST(CircuitBreakerTest, ClosesAfterEnoughProbeSuccesses) {
+  CircuitBreakerConfig config;
+  config.failure_threshold = 1;
+  config.cooldown_ticks = 2;
+  config.half_open_successes = 2;
+  CircuitBreaker breaker(config);
+  breaker.RecordFailure();
+  breaker.Tick(2);
+  EXPECT_TRUE(breaker.AllowRequest());
+  EXPECT_EQ(breaker.state(), CircuitState::kHalfOpen);
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitState::kHalfOpen);  // needs 2 successes
+  EXPECT_TRUE(breaker.AllowRequest());  // half-open keeps allowing probes
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitState::kClosed);
+  // Fully recovered: failures count from zero again.
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitState::kOpen);
+  EXPECT_EQ(breaker.times_opened(), 2u);
+}
+
+TEST(CircuitBreakerTest, StateNames) {
+  EXPECT_STREQ(CircuitStateToString(CircuitState::kClosed), "closed");
+  EXPECT_STREQ(CircuitStateToString(CircuitState::kOpen), "open");
+  EXPECT_STREQ(CircuitStateToString(CircuitState::kHalfOpen), "half-open");
 }
 
 }  // namespace

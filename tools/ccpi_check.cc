@@ -3,6 +3,8 @@
 //   ccpi_check workload.ccpi
 //   ccpi_check --export-souffle workload.ccpi   # emit a .dl translation
 //   ccpi_check --fault-rate=0.2 --stats workload.ccpi
+//   ccpi_check --trace-out=run.trace.json --metrics-out=run.metrics.json \
+//              workload.ccpi
 //
 // The script declares local predicates, named constraints (in the paper's
 // datalog syntax), initial facts, and an insert/delete stream; the tool
@@ -13,18 +15,9 @@
 // block per constraint). See src/manager/script.h for the format and
 // examples/workloads/ for samples.
 //
-// Fault injection (simulated remote-site failures):
-//   --fault-rate=P          per-trip transient failure probability [0,1]
-//   --fault-timeout-rate=P  per-trip timeout probability [0,1]
-//   --fault-outage=A:B      hard outage for remote trips A..B-1 (repeatable)
-//   --fault-seed=N          RNG seed of the failure schedule (default 1)
-//   --fault-reject          refuse undecided updates instead of applying
-//                           them optimistically with a deferred re-check
-//   --stats                 print retry/deferred/breaker statistics
-//
-// Exit codes: 0 all updates verified; 2 usage or I/O error; 1 parse or
-// internal error; 3 at least one violation (including late-detected ones);
-// 4 no violation but checks still deferred pending the remote site.
+// stdout carries the machine-parseable per-update log (one verb line per
+// update plus the final counts line); the human-oriented summary (tier
+// table, access costs, --stats block) goes to stderr.
 
 #include <cstdio>
 #include <cstdlib>
@@ -35,8 +28,44 @@
 
 #include "datalog/souffle_export.h"
 #include "manager/script.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace {
+
+constexpr const char kUsage[] =
+    "usage: ccpi_check [flags] <workload.ccpi>\n"
+    "\n"
+    "  --export-souffle        print a Souffle .dl translation and exit\n"
+    "  --stats                 print retry/deferred/breaker statistics\n"
+    "                          (to stderr, with the rest of the summary)\n"
+    "\n"
+    "Fault injection (simulated remote-site failures):\n"
+    "  --fault-rate=P          per-trip transient failure probability [0,1]\n"
+    "  --fault-timeout-rate=P  per-trip timeout probability [0,1]\n"
+    "  --fault-outage=A:B      hard outage for remote trips A..B-1\n"
+    "                          (repeatable)\n"
+    "  --fault-seed=N          RNG seed of the failure schedule (default 1)\n"
+    "  --fault-reject          refuse undecided updates instead of applying\n"
+    "                          them optimistically with a deferred re-check\n"
+    "\n"
+    "Observability:\n"
+    "  --trace-out=FILE        write a Chrome trace-event JSON of the run\n"
+    "                          (load in chrome://tracing or ui.perfetto.dev)\n"
+    "  --metrics-out=FILE      write the metrics-registry dump as JSON\n"
+    "                          (counters, gauges, latency histograms)\n"
+    "\n"
+    "Output streams: stdout gets the per-update log and the final counts\n"
+    "line; stderr gets the tier/access summary and --stats block.\n"
+    "\n"
+    "Exit codes:\n"
+    "  0  all updates verified, nothing pending\n"
+    "  1  parse or internal error\n"
+    "  2  usage or I/O error\n"
+    "  3  at least one constraint violation (including late-detected\n"
+    "     violations found when a deferred check was finally re-verified)\n"
+    "  4  no violation, but some checks are still deferred pending the\n"
+    "     remote site, or updates were refused under --fault-reject\n";
 
 bool ParseDoubleFlag(const char* arg, const char* name, double* out,
                      bool* ok) {
@@ -60,18 +89,45 @@ bool ParseUint64Flag(const char* arg, const char* name, uint64_t* out) {
   return true;
 }
 
+bool ParseStringFlag(const char* arg, const char* name, std::string* out) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *out = arg + len + 1;
+  return true;
+}
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return false;
+  }
+  out << content;
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "short write to %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool export_souffle = false;
   const char* path = nullptr;
+  std::string trace_out;
+  std::string metrics_out;
   ccpi::ScriptOptions options;
   bool flags_ok = true;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     double rate = 0;
     uint64_t n = 0;
-    if (std::string(arg) == "--export-souffle") {
+    if (std::string(arg) == "--help" || std::string(arg) == "-h") {
+      std::fputs(kUsage, stdout);
+      return 0;
+    } else if (std::string(arg) == "--export-souffle") {
       export_souffle = true;
     } else if (ParseDoubleFlag(arg, "--fault-rate", &rate, &flags_ok)) {
       options.faults.transient_rate = rate;
@@ -99,6 +155,8 @@ int main(int argc, char** argv) {
       options.resilience.on_unreachable = ccpi::DeferredPolicy::kReject;
     } else if (std::string(arg) == "--stats") {
       options.print_stats = true;
+    } else if (ParseStringFlag(arg, "--trace-out", &trace_out)) {
+    } else if (ParseStringFlag(arg, "--metrics-out", &metrics_out)) {
     } else if (arg[0] == '-' && arg[1] == '-') {
       std::fprintf(stderr, "unknown flag %s\n", arg);
       flags_ok = false;
@@ -112,12 +170,7 @@ int main(int argc, char** argv) {
     flags_ok = false;
   }
   if (path == nullptr || !flags_ok) {
-    std::fprintf(stderr,
-                 "usage: %s [--export-souffle] [--fault-rate=P] "
-                 "[--fault-timeout-rate=P] [--fault-outage=A:B] "
-                 "[--fault-seed=N] [--fault-reject] [--stats] "
-                 "<workload.ccpi>\n",
-                 argv[0]);
+    std::fputs(kUsage, stderr);
     return 2;
   }
   std::ifstream in(path);
@@ -149,16 +202,45 @@ int main(int argc, char** argv) {
     }
     return 0;
   }
+
+  // Observability sinks: tracing records one span per manager/eval/distsim
+  // operation; metrics timing fills the latency histograms. Both are off
+  // (one atomic branch per site) unless requested.
+  ccpi::obs::TraceRecorder recorder;
+  if (!trace_out.empty()) recorder.Install();
+  if (!metrics_out.empty() || !trace_out.empty()) {
+    ccpi::obs::SetTimingEnabled(true);
+  }
+  options.collect_metrics = !metrics_out.empty();
+
   ccpi::Result<ccpi::ScriptReport> report = ccpi::RunScript(*script, options);
   if (!report.ok()) {
     std::fprintf(stderr, "run error: %s\n",
                  report.status().ToString().c_str());
     return 1;
   }
-  std::fputs(report->text.c_str(), stdout);
+  recorder.Uninstall();
+
+  std::fputs(report->log_text.c_str(), stdout);
+  std::fputs(report->summary_text.c_str(), stderr);
   std::printf("%zu applied, %zu rejected, %zu deferred (%zu still pending)\n",
               report->updates_applied, report->updates_rejected,
               report->updates_deferred, report->deferred_pending);
+
+  if (!trace_out.empty()) {
+    ccpi::Status st = recorder.WriteChromeJson(trace_out);
+    if (!st.ok()) {
+      std::fprintf(stderr, "trace write error: %s\n", st.ToString().c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "trace: %zu spans -> %s\n", recorder.size(),
+                 trace_out.c_str());
+  }
+  if (!metrics_out.empty()) {
+    if (!WriteFile(metrics_out, report->metrics_json)) return 2;
+    std::fprintf(stderr, "metrics -> %s\n", metrics_out.c_str());
+  }
+
   // Violations (immediate or late-detected) dominate; otherwise checks
   // still pending on the remote site — or updates refused because it was
   // unreachable — are their own signal.

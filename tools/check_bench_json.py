@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Validates BENCH_*.json artifacts emitted by bench/bench_harness.h.
+
+Usage: check_bench_json.py FILE [FILE...]
+
+Checks each file against the schema (version 1) described in
+docs/observability.md:
+
+  {
+    "schema_version": 1,
+    "name": str,
+    "env": {"quick": bool, ...},
+    "points": [
+      {"kind": "benchmark", "name": str, "iterations": int,
+       "real_time_ns": num, "cpu_time_ns": num, "metrics": {str: num}},
+      {"kind": "sweep", "name": str, "metrics": {str: num}},
+      ...
+    ]
+  }
+
+Exits 0 when every file validates, 1 otherwise (one line per problem).
+"""
+
+import json
+import numbers
+import sys
+
+
+def fail(path, msg, problems):
+    problems.append(f"{path}: {msg}")
+
+
+def check_point(path, i, point, problems):
+    where = f"points[{i}]"
+    if not isinstance(point, dict):
+        fail(path, f"{where} is not an object", problems)
+        return
+    kind = point.get("kind")
+    if kind not in ("benchmark", "sweep"):
+        fail(path, f"{where}.kind is {kind!r}, want 'benchmark' or 'sweep'",
+             problems)
+        return
+    name = point.get("name")
+    if not isinstance(name, str) or not name:
+        fail(path, f"{where}.name missing or empty", problems)
+    metrics = point.get("metrics")
+    if not isinstance(metrics, dict):
+        fail(path, f"{where}.metrics missing or not an object", problems)
+    else:
+        for key, value in metrics.items():
+            if not isinstance(value, numbers.Real) or isinstance(value, bool):
+                fail(path, f"{where}.metrics[{key!r}] is not a number",
+                     problems)
+    if kind == "benchmark":
+        iterations = point.get("iterations")
+        if not isinstance(iterations, int) or isinstance(iterations, bool) \
+                or iterations <= 0:
+            fail(path, f"{where}.iterations missing or not a positive int",
+                 problems)
+        for field in ("real_time_ns", "cpu_time_ns"):
+            value = point.get(field)
+            if not isinstance(value, numbers.Real) or isinstance(value, bool):
+                fail(path, f"{where}.{field} missing or not a number",
+                     problems)
+            elif value < 0:
+                fail(path, f"{where}.{field} is negative", problems)
+
+
+def check_file(path, problems):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(path, f"unreadable or invalid JSON: {e}", problems)
+        return
+    if not isinstance(doc, dict):
+        fail(path, "top level is not an object", problems)
+        return
+    if doc.get("schema_version") != 1:
+        fail(path, f"schema_version is {doc.get('schema_version')!r}, want 1",
+             problems)
+    if not isinstance(doc.get("name"), str) or not doc["name"]:
+        fail(path, "name missing or empty", problems)
+    env = doc.get("env")
+    if not isinstance(env, dict):
+        fail(path, "env missing or not an object", problems)
+    elif not isinstance(env.get("quick"), bool):
+        fail(path, "env.quick missing or not a bool", problems)
+    points = doc.get("points")
+    if not isinstance(points, list):
+        fail(path, "points missing or not an array", problems)
+        return
+    if not points:
+        fail(path, "points is empty (no benchmark or sweep output captured)",
+             problems)
+    for i, point in enumerate(points):
+        check_point(path, i, point, problems)
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 1
+    problems = []
+    for path in argv[1:]:
+        before = len(problems)
+        check_file(path, problems)
+        if len(problems) == before:
+            with open(path, encoding="utf-8") as f:
+                n = len(json.load(f)["points"])
+            print(f"{path}: OK ({n} points)")
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
