@@ -1,6 +1,25 @@
 #include "relational/database.h"
 
+#include <mutex>
+
 namespace ccpi {
+
+namespace {
+
+/// The shared empty relation of a given arity. Process-wide (the relations
+/// are empty and immutable, so sharing across databases is harmless) with
+/// stable addresses, which makes the const Get safe under concurrent
+/// readers — the per-database mutable cache it replaces was a data race.
+const Relation& EmptyRelation(size_t arity) {
+  static std::mutex mu;
+  static auto* cache = new std::map<size_t, Relation>();
+  std::lock_guard<std::mutex> lock(mu);
+  auto [it, inserted] = cache->try_emplace(arity, Relation(arity));
+  (void)inserted;
+  return it->second;
+}
+
+}  // namespace
 
 Status Database::Insert(const std::string& pred, Tuple t) {
   auto it = rels_.find(pred);
@@ -31,9 +50,7 @@ bool Database::Contains(const std::string& pred, const Tuple& t) const {
 const Relation& Database::Get(const std::string& pred, size_t arity) const {
   auto it = rels_.find(pred);
   if (it != rels_.end()) return it->second;
-  auto [e, inserted] = empties_.try_emplace(arity, Relation(arity));
-  (void)inserted;
-  return e->second;
+  return EmptyRelation(arity);
 }
 
 Relation* Database::GetMutable(const std::string& pred, size_t arity) {
@@ -53,6 +70,10 @@ size_t Database::TotalTuples() const {
   size_t n = 0;
   for (const auto& [name, rel] : rels_) n += rel.size();
   return n;
+}
+
+void Database::FreezeIndexes() const {
+  for (const auto& [name, rel] : rels_) rel.FreezeIndexes();
 }
 
 std::string Database::ToString() const {

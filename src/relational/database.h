@@ -16,6 +16,11 @@ namespace ccpi {
 /// subsequent mentions must agree. A predicate that was never mentioned is
 /// treated as an empty relation of the arity the reader asks for, which is
 /// exactly the paper's convention (a missing EDB relation is empty).
+///
+/// Thread safety: like Relation, the const interface (Get, Contains,
+/// PredicateNames, ...) is safe to call from any number of threads as long
+/// as no thread mutates concurrently; the empty relations handed out for
+/// absent predicates come from a process-wide cache with stable addresses.
 class Database {
  public:
   Database() = default;
@@ -45,12 +50,15 @@ class Database {
   /// Total number of tuples across all relations.
   size_t TotalTuples() const;
 
+  /// Eagerly builds every column index of every relation (see
+  /// Relation::FreezeIndexes), so a parallel read phase that follows never
+  /// contends on lazy index builds.
+  void FreezeIndexes() const;
+
   std::string ToString() const;
 
  private:
   std::map<std::string, Relation> rels_;
-  // Arity-keyed empty relations handed out by the const Get.
-  mutable std::map<size_t, Relation> empties_;
 };
 
 }  // namespace ccpi

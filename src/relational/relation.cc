@@ -1,12 +1,40 @@
 #include "relational/relation.h"
 
 #include <algorithm>
+#include <mutex>
 
 #include "util/check.h"
 
 namespace ccpi {
 
 const std::vector<size_t> Relation::kEmptyPosting;
+
+Relation::Relation(const Relation& other)
+    : arity_(other.arity_), rows_(other.rows_), set_(other.set_) {}
+
+Relation& Relation::operator=(const Relation& other) {
+  if (this == &other) return *this;
+  arity_ = other.arity_;
+  rows_ = other.rows_;
+  set_ = other.set_;
+  InvalidateIndexes();
+  return *this;
+}
+
+Relation::Relation(Relation&& other) noexcept
+    : arity_(other.arity_),
+      rows_(std::move(other.rows_)),
+      set_(std::move(other.set_)),
+      indexes_(std::move(other.indexes_)) {}
+
+Relation& Relation::operator=(Relation&& other) noexcept {
+  if (this == &other) return *this;
+  arity_ = other.arity_;
+  rows_ = std::move(other.rows_);
+  set_ = std::move(other.set_);
+  indexes_ = std::move(other.indexes_);
+  return *this;
+}
 
 bool Relation::Insert(Tuple t) {
   CCPI_CHECK(t.size() == arity_);
@@ -29,17 +57,39 @@ bool Relation::Erase(const Tuple& t) {
 
 bool Relation::Contains(const Tuple& t) const { return set_.count(t) > 0; }
 
-const std::vector<size_t>& Relation::Probe(size_t col, const Value& v) const {
-  CCPI_CHECK(col < arity_);
+const Relation::ColumnIndex& Relation::BuildIndexLocked(size_t col) const {
   auto [it, built] = indexes_.try_emplace(col);
   if (built) {
     for (size_t i = 0; i < rows_.size(); ++i) {
       it->second[rows_[i][col]].push_back(i);
     }
   }
-  auto posting = it->second.find(v);
-  if (posting == it->second.end()) return kEmptyPosting;
-  return posting->second;
+  return it->second;
+}
+
+const std::vector<size_t>& Relation::Probe(size_t col, const Value& v) const {
+  CCPI_CHECK(col < arity_);
+  // Fast path: the index already exists; a shared lock suffices because a
+  // built index is immutable until the next mutation.
+  {
+    std::shared_lock<std::shared_mutex> lock(index_mu_);
+    auto it = indexes_.find(col);
+    if (it != indexes_.end()) {
+      auto posting = it->second.find(v);
+      return posting == it->second.end() ? kEmptyPosting : posting->second;
+    }
+  }
+  // Slow path: build under the exclusive lock (another thread may have won
+  // the race; try_emplace makes that harmless).
+  std::unique_lock<std::shared_mutex> lock(index_mu_);
+  const ColumnIndex& index = BuildIndexLocked(col);
+  auto posting = index.find(v);
+  return posting == index.end() ? kEmptyPosting : posting->second;
+}
+
+void Relation::FreezeIndexes() const {
+  std::unique_lock<std::shared_mutex> lock(index_mu_);
+  for (size_t col = 0; col < arity_; ++col) BuildIndexLocked(col);
 }
 
 void Relation::Clear() {
@@ -48,7 +98,10 @@ void Relation::Clear() {
   InvalidateIndexes();
 }
 
-void Relation::InvalidateIndexes() { indexes_.clear(); }
+void Relation::InvalidateIndexes() {
+  std::unique_lock<std::shared_mutex> lock(index_mu_);
+  indexes_.clear();
+}
 
 std::string Relation::ToString(const std::string& name) const {
   std::string out;

@@ -2,6 +2,7 @@
 #define CCPI_RELATIONAL_RELATION_H_
 
 #include <cstddef>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -18,9 +19,26 @@ namespace ccpi {
 /// a hash set for O(1) duplicate elimination and membership. Column indexes
 /// are built lazily on first probe and invalidated by mutation; the
 /// evaluation engine uses them for index-nested-loop joins.
+///
+/// Thread safety: a relation that is not being mutated may be read —
+/// rows(), Contains(), Probe(), FreezeIndexes() — from any number of
+/// threads concurrently; the lazy index build behind Probe is guarded by an
+/// internal shared mutex, so `const` genuinely means "safe to share".
+/// Mutation (Insert/Erase/Clear) must still be externally serialized
+/// against every reader, which is the natural discipline of the checking
+/// pipeline: the database is frozen during a check phase and updated only
+/// between phases.
 class Relation {
  public:
   explicit Relation(size_t arity) : arity_(arity) {}
+
+  // Copying is a row-store copy; the column indexes are a cache and are
+  // deliberately not copied (they rebuild lazily on the copy), which also
+  // lets a reader copy a relation another thread is concurrently probing.
+  Relation(const Relation& other);
+  Relation& operator=(const Relation& other);
+  Relation(Relation&& other) noexcept;
+  Relation& operator=(Relation&& other) noexcept;
 
   size_t arity() const { return arity_; }
   size_t size() const { return rows_.size(); }
@@ -39,8 +57,13 @@ class Relation {
   const std::vector<Tuple>& rows() const { return rows_; }
 
   /// Row indexes whose column `col` equals `v`. Builds the column index on
-  /// first use. `col` must be < arity().
+  /// first use (thread-safe). `col` must be < arity(). The returned
+  /// reference stays valid until the next mutation.
   const std::vector<size_t>& Probe(size_t col, const Value& v) const;
+
+  /// Eagerly builds the index of every column, so a subsequent parallel
+  /// read phase probes without ever taking the exclusive build path.
+  void FreezeIndexes() const;
 
   /// Removes all tuples.
   void Clear();
@@ -48,15 +71,22 @@ class Relation {
   std::string ToString(const std::string& name) const;
 
  private:
+  using ColumnIndex =
+      std::unordered_map<Value, std::vector<size_t>, ValueHash>;
+
   void InvalidateIndexes();
+  /// Builds (if absent) and returns the index of `col`. Caller must hold
+  /// index_mu_ exclusively.
+  const ColumnIndex& BuildIndexLocked(size_t col) const;
 
   size_t arity_;
   std::vector<Tuple> rows_;
   std::unordered_set<Tuple, TupleHash> set_;
-  // indexes_[col] maps value -> row positions in rows_.
-  mutable std::unordered_map<
-      size_t, std::unordered_map<Value, std::vector<size_t>, ValueHash>>
-      indexes_;
+  // indexes_[col] maps value -> row positions in rows_. Guarded by
+  // index_mu_ (the posting vectors themselves are immutable once built
+  // until the next mutation invalidates the whole map).
+  mutable std::shared_mutex index_mu_;
+  mutable std::unordered_map<size_t, ColumnIndex> indexes_;
   static const std::vector<size_t> kEmptyPosting;
 };
 
