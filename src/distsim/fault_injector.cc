@@ -17,6 +17,7 @@ const char* FaultKindToString(FaultKind kind) {
 }
 
 FaultKind FaultInjector::NextTrip() {
+  std::lock_guard<std::mutex> lock(mu_);
   uint64_t index = trip_++;
   // Always consume exactly one draw so the schedule depends only on the
   // seed and the trip index, not on which windows happen to be active.

@@ -2,6 +2,7 @@
 #define CCPI_DISTSIM_FAULT_INJECTOR_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -62,6 +63,13 @@ struct FaultStats {
 /// remote read episode consults NextTrip(); faults surface to callers as
 /// ccpi::Status (kUnavailable for transient/outage, kDeadlineExceeded for
 /// timeouts) and propagate out of the evaluation engine.
+///
+/// Thread-safe: the RNG stream, trip counter, and stats advance under an
+/// internal mutex. Note that the schedule consumes one draw per trip in
+/// *global arrival order*, so interleaving trips from several threads
+/// changes which trip gets which fault; the manager keeps tier-3
+/// evaluation sequential whenever an injector is attached precisely so
+/// the schedule stays reproducible (see docs/concurrency.md).
 class FaultInjector {
  public:
   explicit FaultInjector(FaultConfig config)
@@ -79,16 +87,31 @@ class FaultInjector {
 
   /// Manual hard-outage switch, independent of the scripted windows;
   /// useful for tests that flip availability at exact points.
-  void ForceOutage(bool on) { forced_outage_ = on; }
-  bool forced_outage() const { return forced_outage_; }
+  void ForceOutage(bool on) {
+    std::lock_guard<std::mutex> lock(mu_);
+    forced_outage_ = on;
+  }
+  bool forced_outage() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return forced_outage_;
+  }
 
   /// Trip index the next access will be assigned.
-  uint64_t next_trip() const { return trip_; }
-  const FaultStats& stats() const { return stats_; }
+  uint64_t next_trip() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return trip_;
+  }
+  /// Snapshot of the counters (by value: the injector may be advancing
+  /// on another thread).
+  FaultStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
   const FaultConfig& config() const { return config_; }
 
  private:
-  FaultConfig config_;
+  mutable std::mutex mu_;
+  const FaultConfig config_;
   Rng rng_;
   uint64_t trip_ = 0;
   bool forced_outage_ = false;

@@ -21,7 +21,7 @@ void SiteDatabase::set_metrics(obs::MetricsRegistry* registry) {
 
 Status SiteDatabase::OnRead(const std::string& pred, size_t count) {
   if (IsLocal(pred)) {
-    stats_.local_tuples += count;
+    local_tuples_.fetch_add(count, std::memory_order_relaxed);
     if (ctr_local_tuples_ != nullptr) ctr_local_tuples_->Add(count);
     return Status::OK();
   }
@@ -35,18 +35,18 @@ Status SiteDatabase::ReadRemote(const std::string& pred, size_t count) {
     span.Attr("tuples", static_cast<int64_t>(count));
   }
   // The round trip is paid whether or not it succeeds.
-  stats_.remote_trips += 1;
+  remote_trips_.fetch_add(1, std::memory_order_relaxed);
   if (ctr_remote_trips_ != nullptr) ctr_remote_trips_->Add(1);
   if (injector_ != nullptr) {
     Status st = injector_->InjectOnRead(pred);
     if (!st.ok()) {
-      stats_.remote_failures += 1;
+      remote_failures_.fetch_add(1, std::memory_order_relaxed);
       if (ctr_remote_failures_ != nullptr) ctr_remote_failures_->Add(1);
       if (span.active()) span.Attr("fault", st.message());
       return st;
     }
   }
-  stats_.remote_tuples += count;
+  remote_tuples_.fetch_add(count, std::memory_order_relaxed);
   if (ctr_remote_tuples_ != nullptr) ctr_remote_tuples_->Add(count);
   return Status::OK();
 }

@@ -1,6 +1,7 @@
 #ifndef CCPI_DISTSIM_SITE_DB_H_
 #define CCPI_DISTSIM_SITE_DB_H_
 
+#include <atomic>
 #include <set>
 #include <string>
 
@@ -51,6 +52,13 @@ struct AccessStats {
 /// FaultInjector is attached, remote reads can *fail*, surfacing as
 /// kUnavailable / kDeadlineExceeded through whatever evaluation is in
 /// flight. Local reads never fail.
+///
+/// Thread-safety: the read path (OnRead / ReadRemote) only bumps atomic
+/// counters and may run from many checker threads at once, provided the
+/// underlying Database is not mutated concurrently (the manager freezes
+/// it for the duration of a fan-out). Configuration calls
+/// (set_fault_injector, set_metrics, ResetStats, db() mutation) must be
+/// externally serialized against reads.
 class SiteDatabase : public AccessObserver, public RemoteAccessor {
  public:
   explicit SiteDatabase(std::set<std::string> local_preds)
@@ -87,14 +95,30 @@ class SiteDatabase : public AccessObserver, public RemoteAccessor {
   }
   Status ReadRemote(const std::string& pred, size_t count) override;
 
-  /// Statistics accumulated since the last Reset.
-  const AccessStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = AccessStats{}; }
+  /// Snapshot of the statistics accumulated since the last Reset
+  /// (by value: counters may be advancing on other threads).
+  AccessStats stats() const {
+    AccessStats s;
+    s.local_tuples = local_tuples_.load(std::memory_order_relaxed);
+    s.remote_tuples = remote_tuples_.load(std::memory_order_relaxed);
+    s.remote_trips = remote_trips_.load(std::memory_order_relaxed);
+    s.remote_failures = remote_failures_.load(std::memory_order_relaxed);
+    return s;
+  }
+  void ResetStats() {
+    local_tuples_.store(0, std::memory_order_relaxed);
+    remote_tuples_.store(0, std::memory_order_relaxed);
+    remote_trips_.store(0, std::memory_order_relaxed);
+    remote_failures_.store(0, std::memory_order_relaxed);
+  }
 
  private:
   std::set<std::string> local_preds_;
   Database db_;
-  AccessStats stats_;
+  std::atomic<size_t> local_tuples_{0};
+  std::atomic<size_t> remote_tuples_{0};
+  std::atomic<size_t> remote_trips_{0};
+  std::atomic<size_t> remote_failures_{0};
   FaultInjector* injector_ = nullptr;
   // Counter handles resolved once in set_metrics (registry handles are
   // stable for the registry's lifetime), so the read path never does a

@@ -355,7 +355,6 @@ Result<std::vector<CheckReport>> ConstraintManager::ApplyUpdateImpl(
   }
 
   uint64_t sequence = update_sequence_++;
-  std::vector<CheckReport> reports;
 
   // A no-op update cannot change any constraint.
   bool noop =
@@ -364,28 +363,56 @@ Result<std::vector<CheckReport>> ConstraintManager::ApplyUpdateImpl(
       (u.kind == Update::Kind::kDelete &&
        !site_.db().Contains(u.pred, u.tuple));
 
+  // ---- Phase 1 (read-only, parallel): settle every constraint as far as
+  // local information allows. Each lane owns exactly one Registered (its
+  // tier-2 cache included), reads the frozen database, and writes its own
+  // report slot; all shared sinks on this path (AccessStats, metrics
+  // counters, Relation index builds) are atomic or internally locked, and
+  // their final values are order-independent sums — so the fan-out is
+  // report- and stats-equivalent to the sequential loop.
+  std::vector<CheckReport> reports(constraints_.size());
+  std::vector<Status> check_status(constraints_.size());
+  bool parallel_checks = pool_->thread_count() > 1 && !noop &&
+                         constraints_.size() > 1;
+  if (parallel_checks) {
+    // Build every column index up front so checker threads mostly take the
+    // shared (reader) path through Relation::Probe.
+    site_.db().FreezeIndexes();
+  }
+  CCPI_RETURN_IF_ERROR(
+      pool_->ParallelFor(constraints_.size(), [&](size_t i) -> Status {
+        Registered& r = constraints_[i];
+        if (r.subsumed) {
+          reports[i] = CheckReport{r.name, Outcome::kHolds, Tier::kSubsumed};
+          return Status::OK();
+        }
+        if (noop) {
+          reports[i] =
+              CheckReport{r.name, Outcome::kHolds, Tier::kUnaffected};
+          return Status::OK();
+        }
+        Result<CheckReport> report = CheckOne(&r, u);
+        if (!report.ok()) {
+          // Surfaced at this constraint's position in the commit phase, so
+          // error reporting matches the sequential order.
+          check_status[i] = report.status();
+          reports[i].tier = Tier::kFullCheck;  // never read; keep defined
+          return Status::OK();
+        }
+        reports[i] = std::move(*report);
+        return Status::OK();
+      }));
+
+  // ---- Phase 2 (serialized commit): counters and the tier-3 worklist,
+  // in constraint order.
   std::vector<size_t> need_full;
   for (size_t i = 0; i < constraints_.size(); ++i) {
-    Registered& r = constraints_[i];
-    if (r.subsumed) {
-      reports.push_back(
-          CheckReport{r.name, Outcome::kHolds, Tier::kSubsumed});
-      ctr_resolved_[TierIndex(Tier::kSubsumed)]->Add(1);
-      continue;
-    }
-    if (noop) {
-      reports.push_back(
-          CheckReport{r.name, Outcome::kHolds, Tier::kUnaffected});
-      ctr_resolved_[TierIndex(Tier::kUnaffected)]->Add(1);
-      continue;
-    }
-    CCPI_ASSIGN_OR_RETURN(CheckReport report, CheckOne(&r, u));
-    if (report.tier == Tier::kFullCheck) {
-      need_full.push_back(reports.size());
+    CCPI_RETURN_IF_ERROR(check_status[i]);
+    if (reports[i].tier == Tier::kFullCheck) {
+      need_full.push_back(i);
     } else {
-      ctr_resolved_[TierIndex(report.tier)]->Add(1);
+      ctr_resolved_[TierIndex(reports[i].tier)]->Add(1);
     }
-    reports.push_back(std::move(report));
   }
 
   bool violated = false;
@@ -400,34 +427,69 @@ Result<std::vector<CheckReport>> ConstraintManager::ApplyUpdateImpl(
     // whose evaluation cannot reach the remote site resolves as kDeferred
     // instead of blocking or failing the whole update.
     CCPI_RETURN_IF_ERROR(u.ApplyTo(&site_.db()));
-    for (size_t idx : need_full) {
+
+    // Tier 3 may fan out only when remote verdicts cannot depend on
+    // arrival order: the fault injector consumes one RNG draw per remote
+    // trip in global order, and an open/half-open breaker admits episodes
+    // by arrival — either would make interleaved evaluations
+    // seed-irreproducible. With neither in play, each evaluation is a pure
+    // function of (program, frozen database) and the fan-out commits
+    // verdicts in constraint order below.
+    bool parallel_t3 = pool_->thread_count() > 1 && need_full.size() > 1 &&
+                       site_.fault_injector() == nullptr &&
+                       breaker_.state() == CircuitState::kClosed;
+    std::vector<Status> eval_status(need_full.size());
+    std::vector<char> eval_bad(need_full.size(), 0);
+    std::vector<size_t> eval_retries(need_full.size(), 0);
+    if (parallel_t3) {
+      site_.db().FreezeIndexes();  // the tentative apply dirtied u.pred
+      CCPI_RETURN_IF_ERROR(
+          pool_->ParallelFor(need_full.size(), [&](size_t k) -> Status {
+            const Registered& reg = constraints_[need_full[k]];
+            Result<bool> bad =
+                EvaluateRemote(reg.program, site_.db(), &eval_retries[k]);
+            if (!bad.ok()) {
+              eval_status[k] = bad.status();
+              return Status::OK();
+            }
+            eval_bad[k] = *bad ? 1 : 0;
+            return Status::OK();
+          }));
+    }
+    for (size_t k = 0; k < need_full.size(); ++k) {
+      size_t idx = need_full[k];
       CheckReport& report = reports[idx];
-      const Registered* reg = nullptr;
-      for (const Registered& r : constraints_) {
-        if (r.name == report.constraint) reg = &r;
+      const Registered& reg = constraints_[idx];
+      if (!parallel_t3) {
+        if (!breaker_.AllowRequest()) {
+          // Circuit open: the remote site is known-dead; fail fast.
+          report.outcome = Outcome::kDeferred;
+          ctr_deferred_->Add(1);
+          ctr_fast_fails_->Add(1);
+          any_deferred = true;
+          continue;
+        }
+        Result<bool> bad =
+            EvaluateRemote(reg.program, site_.db(), &eval_retries[k]);
+        if (!bad.ok()) {
+          eval_status[k] = bad.status();
+        } else {
+          eval_bad[k] = *bad ? 1 : 0;
+        }
       }
-      if (!breaker_.AllowRequest()) {
-        // Circuit open: the remote site is known-dead; fail fast.
-        report.outcome = Outcome::kDeferred;
-        ctr_deferred_->Add(1);
-        ctr_fast_fails_->Add(1);
-        any_deferred = true;
-        continue;
-      }
-      size_t retries = 0;
-      Result<bool> bad = EvaluateRemote(reg->program, site_.db(), &retries);
-      report.retries = retries;
-      if (!bad.ok()) {
-        if (!IsRetriable(bad.status().code())) return bad.status();
+      report.retries = eval_retries[k];
+      if (!eval_status[k].ok()) {
+        if (!IsRetriable(eval_status[k].code())) return eval_status[k];
         // Unreachable after retries: degrade, don't error out.
         report.outcome = Outcome::kDeferred;
         ctr_deferred_->Add(1);
         any_deferred = true;
         continue;
       }
-      report.outcome = *bad ? Outcome::kViolated : Outcome::kHolds;
+      report.outcome =
+          eval_bad[k] != 0 ? Outcome::kViolated : Outcome::kHolds;
       ctr_resolved_[TierIndex(Tier::kFullCheck)]->Add(1);
-      violated = violated || *bad;
+      violated = violated || eval_bad[k] != 0;
     }
     if (violated) {
       // Roll back: a definite violation wins over any deferral.

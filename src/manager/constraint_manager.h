@@ -16,6 +16,7 @@
 #include "util/outcome.h"
 #include "util/retry.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace ccpi {
 
@@ -56,6 +57,22 @@ struct ResilienceConfig {
   /// Drain the deferred-recheck queue automatically at the start of each
   /// ApplyUpdate once the circuit allows remote traffic again.
   bool auto_recheck = true;
+};
+
+/// Degree of parallelism of ApplyUpdate's per-constraint check fan-out.
+///
+/// The tiered cascade makes each constraint's check for a given update a
+/// pure function of (constraint, update, frozen database), so the manager
+/// can evaluate them on a thread pool and merge verdicts afterwards. The
+/// fan-out is report-equivalent to the sequential order at any thread
+/// count: tier 1/2 checks touch only infallible local reads, and tier 3
+/// runs in parallel only when no fault injector is attached and the
+/// circuit breaker is plainly closed — the two cases where remote
+/// verdicts depend on global arrival order (see docs/concurrency.md).
+struct ParallelConfig {
+  /// Total checker lanes, counting the thread that called ApplyUpdate.
+  /// 0 and 1 both mean sequential (no worker threads are spawned).
+  size_t threads = 1;
 };
 
 /// Aggregate statistics across updates. This is a *snapshot view*: the
@@ -141,12 +158,15 @@ struct DeferredResolution {
 class ConstraintManager {
  public:
   ConstraintManager(std::set<std::string> local_preds, CostModel cost_model,
-                    ResilienceConfig resilience = {})
+                    ResilienceConfig resilience = {},
+                    ParallelConfig parallel = {})
       : site_(std::move(local_preds)),
         cost_model_(cost_model),
         resilience_(resilience),
+        parallel_(parallel),
         breaker_(resilience.breaker),
-        retry_rng_(resilience.retry_seed) {
+        retry_rng_(resilience.retry_seed),
+        pool_(std::make_unique<ThreadPool>(parallel.threads)) {
     InitObservability();
   }
 
@@ -192,6 +212,11 @@ class ConstraintManager {
   }
 
   const CircuitBreaker& breaker() const { return breaker_; }
+
+  /// The fan-out configuration this manager was built with.
+  const ParallelConfig& parallel() const { return parallel_; }
+  /// Checker lanes actually available (>= 1; the caller is one).
+  size_t check_threads() const { return pool_->thread_count(); }
 
   /// Snapshot of the aggregate statistics, materialized from the metrics
   /// registry (plus the site's AccessStats). `resolved_by` carries only
@@ -258,11 +283,16 @@ class ConstraintManager {
   SiteDatabase site_;
   CostModel cost_model_;
   ResilienceConfig resilience_;
+  ParallelConfig parallel_;
   CircuitBreaker breaker_;
+  // Only drawn from inside EvaluateRemote on a retriable failure, which
+  // requires a fault injector; the parallel tier-3 path (taken only with
+  // no injector attached) therefore never touches it concurrently.
   Rng retry_rng_;
   std::vector<Registered> constraints_;
   std::deque<DeferredCheck> deferred_;
   uint64_t update_sequence_ = 0;
+  std::unique_ptr<ThreadPool> pool_;
 
   /// Source of truth for all aggregate statistics. Per-manager, so
   /// concurrent managers (tests, benchmarks) never share counts. site_

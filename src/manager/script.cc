@@ -131,7 +131,8 @@ Result<ScriptReport> RunScript(const Script& script, const CostModel& costs) {
 Result<ScriptReport> RunScript(const Script& script,
                                const ScriptOptions& options) {
   const CostModel& costs = options.costs;
-  ConstraintManager mgr(script.local_preds, costs, options.resilience);
+  ConstraintManager mgr(script.local_preds, costs, options.resilience,
+                        options.parallel);
   std::optional<FaultInjector> injector;
   if (options.enable_faults) {
     injector.emplace(options.faults);

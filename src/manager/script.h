@@ -49,6 +49,9 @@ struct ScriptOptions {
   FaultConfig faults;
   bool enable_faults = false;
   ResilienceConfig resilience;
+  /// Checker lanes for the manager's per-constraint fan-out
+  /// (ccpi_check --threads). Reports are identical at any thread count.
+  ParallelConfig parallel;
   /// Append the full ManagerStats block (retries, deferred/recovered
   /// outcomes, breaker state) to the report text.
   bool print_stats = false;

@@ -15,6 +15,7 @@ const char* CircuitStateToString(CircuitState state) {
 }
 
 bool CircuitBreaker::AllowRequest() {
+  std::lock_guard<std::mutex> lock(mu_);
   switch (state_) {
     case CircuitState::kClosed:
     case CircuitState::kHalfOpen:
@@ -31,6 +32,7 @@ bool CircuitBreaker::AllowRequest() {
 }
 
 void CircuitBreaker::RecordSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (state_ == CircuitState::kHalfOpen) {
     if (++probe_successes_ >= config_.half_open_successes) {
       state_ = CircuitState::kClosed;
@@ -42,6 +44,7 @@ void CircuitBreaker::RecordSuccess() {
 }
 
 void CircuitBreaker::RecordFailure() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (state_ == CircuitState::kHalfOpen) {
     // A failed probe re-opens immediately and restarts the cooldown.
     state_ = CircuitState::kOpen;

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 
 namespace ccpi {
 
@@ -33,6 +34,12 @@ struct CircuitBreakerConfig {
 /// allowed episode, report RecordSuccess() or RecordFailure(). Advance the
 /// clock with Tick() once per episode so an open breaker eventually
 /// half-opens. A failed half-open probe re-opens and restarts the cooldown.
+///
+/// Thread-safe: every transition runs under an internal mutex, so
+/// concurrent tier-3 episodes may share one breaker. Note that *which*
+/// episodes an open/half-open breaker admits still depends on arrival
+/// order; the manager serializes tier-3 whenever the breaker is not
+/// plainly closed to keep verdicts deterministic (see docs/concurrency.md).
 class CircuitBreaker {
  public:
   explicit CircuitBreaker(CircuitBreakerConfig config = {})
@@ -46,13 +53,23 @@ class CircuitBreaker {
   void RecordFailure();
 
   /// Advances the simulated clock.
-  void Tick(uint64_t ticks = 1) { now_ += ticks; }
+  void Tick(uint64_t ticks = 1) {
+    std::lock_guard<std::mutex> lock(mu_);
+    now_ += ticks;
+  }
 
-  CircuitState state() const { return state_; }
+  CircuitState state() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return state_;
+  }
   /// Times the breaker transitioned closed/half-open -> open.
-  size_t times_opened() const { return times_opened_; }
+  size_t times_opened() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return times_opened_;
+  }
 
  private:
+  mutable std::mutex mu_;
   CircuitBreakerConfig config_;
   CircuitState state_ = CircuitState::kClosed;
   size_t consecutive_failures_ = 0;

@@ -1,0 +1,116 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <exception>
+
+namespace ccpi {
+
+/// One ParallelFor invocation: a shared claim counter plus per-index
+/// statuses. Indexes are claimed atomically, so each runs exactly once;
+/// statuses land in their own slot, so no two threads write the same one.
+/// The function is copied in, so a straggling worker that wakes after the
+/// caller returned never touches caller stack.
+struct ThreadPool::Batch {
+  Batch(size_t n, std::function<Status(size_t)> f)
+      : size(n), fn(std::move(f)), statuses(n) {}
+
+  const size_t size;
+  const std::function<Status(size_t)> fn;
+  std::vector<Status> statuses;
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> done{0};
+};
+
+ThreadPool::ThreadPool(size_t threads) {
+  size_t workers = threads > 1 ? threads - 1 : 0;
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this]() { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Drain(Batch* batch) {
+  for (;;) {
+    size_t i = batch->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= batch->size) return;
+    Status st;
+    try {
+      st = batch->fn(i);
+    } catch (const std::exception& e) {
+      st = Status::Internal(
+          std::string("uncaught exception in parallel task: ") + e.what());
+    } catch (...) {
+      st = Status::Internal("uncaught non-std exception in parallel task");
+    }
+    batch->statuses[i] = std::move(st);
+    batch->done.fetch_add(1, std::memory_order_release);
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen = 0;
+  for (;;) {
+    std::shared_ptr<Batch> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock, [&]() {
+        return shutdown_ || (batch_ != nullptr && generation_ != seen);
+      });
+      if (shutdown_) return;
+      batch = batch_;
+      seen = generation_;
+    }
+    Drain(batch.get());
+    if (batch->done.load(std::memory_order_acquire) >= batch->size) {
+      // This thread finished the batch's last task: wake the caller. The
+      // (empty) critical section orders the notify against the caller
+      // entering its wait, so the wakeup cannot be lost.
+      std::lock_guard<std::mutex> lock(mu_);
+      batch_done_.notify_all();
+    }
+  }
+}
+
+Status ThreadPool::ParallelFor(size_t n,
+                               const std::function<Status(size_t)>& fn) {
+  if (n == 0) return Status::OK();
+  if (workers_.empty() || n == 1) {
+    // Sequential configuration: run inline, identical to a plain loop.
+    for (size_t i = 0; i < n; ++i) {
+      CCPI_RETURN_IF_ERROR(fn(i));
+    }
+    return Status::OK();
+  }
+
+  auto batch = std::make_shared<Batch>(n, fn);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch_ = batch;
+    ++generation_;
+  }
+  work_ready_.notify_all();
+  Drain(batch.get());  // the calling thread is a lane too
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    batch_done_.wait(lock, [&]() {
+      return batch->done.load(std::memory_order_acquire) >= batch->size;
+    });
+    batch_ = nullptr;
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    if (!batch->statuses[i].ok()) return batch->statuses[i];
+  }
+  return Status::OK();
+}
+
+}  // namespace ccpi

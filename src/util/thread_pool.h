@@ -1,0 +1,79 @@
+#ifndef CCPI_UTIL_THREAD_POOL_H_
+#define CCPI_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ccpi {
+
+/// Fixed-size worker pool for the per-constraint check fan-out.
+///
+/// The pool exists because the paper's tiered cascade makes each
+/// constraint's check for a given update independent of every other
+/// constraint's: ApplyUpdate can evaluate them concurrently over the
+/// frozen database and only the verdict aggregation needs serializing.
+///
+/// Design points:
+///   - ParallelFor is the only work-distribution primitive: it runs
+///     `fn(i)` for every i in [0, n) across the workers plus the calling
+///     thread, blocks until all are done, and returns the first non-OK
+///     Status *in index order* (not completion order), so error reporting
+///     is deterministic regardless of scheduling.
+///   - Exceptions thrown by `fn` are captured and surfaced as
+///     StatusCode::kInternal — they never cross thread boundaries raw.
+///   - A pool constructed with `threads` <= 1 spawns no workers and runs
+///     ParallelFor inline on the caller, byte-for-byte the sequential
+///     loop; callers need no special casing for the single-threaded
+///     configuration.
+class ThreadPool {
+ public:
+  /// Spawns `threads - 1` workers (the calling thread is the remaining
+  /// lane). `threads` == 0 is treated as 1.
+  explicit ThreadPool(size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total lanes, counting the caller: the `threads` given at
+  /// construction (>= 1).
+  size_t thread_count() const { return workers_.size() + 1; }
+
+  /// Runs `fn(0) .. fn(n-1)`, each exactly once, distributed over the
+  /// workers and the calling thread; returns after every call finished.
+  /// The result is OK iff every call returned OK; otherwise the non-OK
+  /// Status with the smallest index. Not reentrant: `fn` must not call
+  /// ParallelFor on the same pool.
+  Status ParallelFor(size_t n, const std::function<Status(size_t)>& fn);
+
+ private:
+  struct Batch;
+
+  void WorkerLoop();
+  /// Claims indexes from `batch` and runs them until all are claimed.
+  static void Drain(Batch* batch);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;  // workers: a new batch is installed
+  std::condition_variable batch_done_;  // caller: the batch fully finished
+  // Shared ownership keeps the batch alive for any worker still inside
+  // Drain after the caller retired it; the generation counter stops a
+  // worker from draining the same batch twice.
+  std::shared_ptr<Batch> batch_;
+  uint64_t generation_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace ccpi
+
+#endif  // CCPI_UTIL_THREAD_POOL_H_

@@ -1,0 +1,232 @@
+// The parallel check fan-out must be invisible in every observable output:
+// ApplyUpdate at threads=N produces byte-identical CheckReport vectors,
+// ManagerStats, and deferred-queue contents to threads=1, on any workload
+// — including under deterministic fault injection, where the manager
+// serializes tier 3 to keep the failure schedule reproducible. These tests
+// replay randomized seeded workloads through sequentially- and
+// parallel-configured managers and diff everything.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "datalog/parser.h"
+#include "manager/constraint_manager.h"
+#include "util/rng.h"
+
+namespace ccpi {
+namespace {
+
+Program MustParse(const char* text) {
+  auto p = ParseProgram(text);
+  EXPECT_TRUE(p.ok()) << p.status().ToString();
+  return *p;
+}
+
+/// Everything ApplyUpdate lets a caller observe about one run.
+struct RunResult {
+  std::vector<std::vector<CheckReport>> reports;
+  ManagerStats stats;
+  std::vector<DeferredCheck> deferred;
+  CircuitState breaker_state = CircuitState::kClosed;
+};
+
+std::vector<Update> RandomWorkload(uint64_t seed, size_t n) {
+  Rng rng(seed);
+  std::vector<Update> out;
+  const char* emps[] = {"ann", "bob", "cho", "dee"};
+  const char* depts[] = {"cs", "ee", "toy"};
+  for (size_t i = 0; i < n; ++i) {
+    bool insert = !rng.Chance(1, 3);  // 2/3 inserts, 1/3 deletes
+    switch (rng.Below(4)) {
+      case 0:  // local l(x, y): small domain, so no-ops and violations occur
+        out.push_back(Update{
+            insert ? Update::Kind::kInsert : Update::Kind::kDelete,
+            "l",
+            {V(static_cast<int64_t>(rng.Below(12))),
+             V(static_cast<int64_t>(rng.Below(12)))}});
+        break;
+      case 1:  // local emp(e, d, s)
+        out.push_back(Update{
+            insert ? Update::Kind::kInsert : Update::Kind::kDelete,
+            "emp",
+            {V(emps[rng.Below(4)]), V(depts[rng.Below(3)]),
+             V(static_cast<int64_t>(rng.Below(150)))}});
+        break;
+      case 2:  // remote r(z): shifts which intervals are forbidden
+        out.push_back(Update{
+            insert ? Update::Kind::kInsert : Update::Kind::kDelete,
+            "r",
+            {V(static_cast<int64_t>(rng.Below(12)))}});
+        break;
+      default:  // remote dept(d): shifts referential integrity
+        out.push_back(
+            Update{insert ? Update::Kind::kInsert : Update::Kind::kDelete,
+                   "dept",
+                   {V(depts[rng.Below(3)])}});
+        break;
+    }
+  }
+  return out;
+}
+
+/// Replays the seeded workload through a fresh manager with `threads`
+/// checker lanes (and, optionally, a fresh same-seeded fault injector).
+RunResult RunWorkload(uint64_t seed, size_t threads,
+                      const std::optional<FaultConfig>& faults) {
+  ConstraintManager mgr({"l", "emp"}, CostModel{}, ResilienceConfig{},
+                        ParallelConfig{threads});
+  std::optional<FaultInjector> injector;
+  if (faults.has_value()) {
+    injector.emplace(*faults);
+    mgr.site().set_fault_injector(&*injector);
+  }
+
+  // A mix that exercises every tier: pure-local order (T1/T2, can
+  // violate), forbidden intervals over remote r (T2 when covered, else
+  // T3), referential integrity with negation (T3), a salary cap
+  // (independence for small inserts), and a local-remote join (T3).
+  EXPECT_TRUE(
+      mgr.AddConstraint("ord", MustParse("panic :- l(X,Y) & X > Y")).ok());
+  EXPECT_TRUE(
+      mgr.AddConstraint(
+             "fi", MustParse("panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y"))
+          .ok());
+  EXPECT_TRUE(mgr.AddConstraint(
+                     "ref", MustParse("panic :- emp(E,D,S) & not dept(D)"))
+                  .ok());
+  EXPECT_TRUE(
+      mgr.AddConstraint("cap", MustParse("panic :- emp(E,D,S) & S > 100"))
+          .ok());
+  EXPECT_TRUE(
+      mgr.AddConstraint("join", MustParse("panic :- l(X,Y) & r(Y)")).ok());
+
+  // Initial data, identical across runs, bypassing the checkers.
+  EXPECT_TRUE(mgr.site().db().Insert("dept", {V("cs")}).ok());
+  EXPECT_TRUE(mgr.site().db().Insert("dept", {V("ee")}).ok());
+  EXPECT_TRUE(mgr.site().db().Insert("r", {V(static_cast<int64_t>(20))}).ok());
+
+  RunResult result;
+  for (const Update& u : RandomWorkload(seed, 60)) {
+    auto reports = mgr.ApplyUpdate(u);
+    EXPECT_TRUE(reports.ok()) << reports.status().ToString();
+    if (reports.ok()) result.reports.push_back(*reports);
+  }
+  result.stats = mgr.stats();
+  result.deferred.assign(mgr.deferred_queue().begin(),
+                         mgr.deferred_queue().end());
+  result.breaker_state = mgr.breaker().state();
+  return result;
+}
+
+void ExpectSameReports(const RunResult& seq, const RunResult& par) {
+  ASSERT_EQ(seq.reports.size(), par.reports.size());
+  for (size_t u = 0; u < seq.reports.size(); ++u) {
+    ASSERT_EQ(seq.reports[u].size(), par.reports[u].size()) << "update " << u;
+    for (size_t i = 0; i < seq.reports[u].size(); ++i) {
+      const CheckReport& a = seq.reports[u][i];
+      const CheckReport& b = par.reports[u][i];
+      EXPECT_EQ(a.constraint, b.constraint) << "update " << u;
+      EXPECT_EQ(a.outcome, b.outcome)
+          << "update " << u << " constraint " << a.constraint;
+      EXPECT_EQ(a.tier, b.tier)
+          << "update " << u << " constraint " << a.constraint;
+      EXPECT_EQ(a.retries, b.retries)
+          << "update " << u << " constraint " << a.constraint;
+    }
+  }
+}
+
+void ExpectSameStats(const RunResult& seq, const RunResult& par) {
+  EXPECT_EQ(seq.stats.resolved_by, par.stats.resolved_by);
+  EXPECT_EQ(seq.stats.violations, par.stats.violations);
+  EXPECT_EQ(seq.stats.remote_attempts, par.stats.remote_attempts);
+  EXPECT_EQ(seq.stats.remote_retries, par.stats.remote_retries);
+  EXPECT_EQ(seq.stats.remote_failures, par.stats.remote_failures);
+  EXPECT_EQ(seq.stats.deferred, par.stats.deferred);
+  EXPECT_EQ(seq.stats.breaker_fast_fails, par.stats.breaker_fast_fails);
+  EXPECT_EQ(seq.stats.deferred_recovered, par.stats.deferred_recovered);
+  EXPECT_EQ(seq.stats.deferred_violations, par.stats.deferred_violations);
+  EXPECT_EQ(seq.stats.access.local_tuples, par.stats.access.local_tuples);
+  EXPECT_EQ(seq.stats.access.remote_tuples, par.stats.access.remote_tuples);
+  EXPECT_EQ(seq.stats.access.remote_trips, par.stats.access.remote_trips);
+  EXPECT_EQ(seq.stats.access.remote_failures,
+            par.stats.access.remote_failures);
+}
+
+void ExpectSameDeferred(const RunResult& seq, const RunResult& par) {
+  ASSERT_EQ(seq.deferred.size(), par.deferred.size());
+  for (size_t i = 0; i < seq.deferred.size(); ++i) {
+    EXPECT_EQ(seq.deferred[i].constraint, par.deferred[i].constraint);
+    EXPECT_EQ(seq.deferred[i].sequence, par.deferred[i].sequence);
+    EXPECT_EQ(seq.deferred[i].update.pred, par.deferred[i].update.pred);
+    EXPECT_EQ(seq.deferred[i].update.kind, par.deferred[i].update.kind);
+    EXPECT_EQ(seq.deferred[i].update.tuple, par.deferred[i].update.tuple);
+  }
+  EXPECT_EQ(seq.breaker_state, par.breaker_state);
+}
+
+void ExpectEquivalent(const RunResult& seq, const RunResult& par) {
+  ExpectSameReports(seq, par);
+  ExpectSameStats(seq, par);
+  ExpectSameDeferred(seq, par);
+}
+
+TEST(ParallelEquivalenceTest, FourThreadsMatchSequential) {
+  for (uint64_t seed : {11u, 23u, 47u}) {
+    RunResult seq = RunWorkload(seed, 1, std::nullopt);
+    RunResult par = RunWorkload(seed, 4, std::nullopt);
+    ExpectEquivalent(seq, par);
+  }
+}
+
+TEST(ParallelEquivalenceTest, SomethingActuallyHappened) {
+  // Guard against a vacuous pass: the workloads must exercise violations
+  // and the full-check tier, or the diffs above prove nothing.
+  RunResult r = RunWorkload(11, 1, std::nullopt);
+  EXPECT_GT(r.stats.violations, 0u);
+  EXPECT_GT(r.stats.resolved_by[Tier::kFullCheck], 0u);
+  EXPECT_GT(r.stats.access.remote_trips, 0u);
+}
+
+TEST(ParallelEquivalenceTest, FourThreadsMatchSequentialUnderFaults) {
+  FaultConfig faults;
+  faults.seed = 99;
+  faults.transient_rate = 0.25;
+  faults.timeout_rate = 0.1;
+  faults.outages.push_back(OutageWindow{10, 25});
+  for (uint64_t seed : {11u, 23u, 47u}) {
+    RunResult seq = RunWorkload(seed, 1, faults);
+    RunResult par = RunWorkload(seed, 4, faults);
+    ExpectEquivalent(seq, par);
+  }
+}
+
+TEST(ParallelEquivalenceTest, FaultWorkloadsActuallyDefer) {
+  FaultConfig faults;
+  faults.seed = 99;
+  faults.transient_rate = 0.25;
+  faults.timeout_rate = 0.1;
+  faults.outages.push_back(OutageWindow{10, 25});
+  RunResult r = RunWorkload(11, 1, faults);
+  // The outage window plus fault rates must push checks through the
+  // deferred/retry machinery, or the fault-equivalence test is vacuous.
+  EXPECT_GT(r.stats.deferred, 0u);
+  EXPECT_GT(r.stats.remote_retries, 0u);
+}
+
+TEST(ParallelEquivalenceTest, EightThreadsMatchSequential) {
+  RunResult seq = RunWorkload(123, 1, std::nullopt);
+  RunResult par = RunWorkload(123, 8, std::nullopt);
+  ExpectEquivalent(seq, par);
+}
+
+TEST(ParallelEquivalenceTest, ZeroThreadsMeansSequential) {
+  RunResult a = RunWorkload(7, 0, std::nullopt);
+  RunResult b = RunWorkload(7, 1, std::nullopt);
+  ExpectEquivalent(a, b);
+}
+
+}  // namespace
+}  // namespace ccpi

@@ -39,6 +39,9 @@ constexpr const char kUsage[] =
     "  --export-souffle        print a Souffle .dl translation and exit\n"
     "  --stats                 print retry/deferred/breaker statistics\n"
     "                          (to stderr, with the rest of the summary)\n"
+    "  --threads=N             checker threads for the per-constraint\n"
+    "                          fan-out (default 1 = sequential; reports\n"
+    "                          are identical at any thread count)\n"
     "\n"
     "Fault injection (simulated remote-site failures):\n"
     "  --fault-rate=P          per-trip transient failure probability [0,1]\n"
@@ -138,6 +141,8 @@ int main(int argc, char** argv) {
       options.enable_faults = true;
     } else if (ParseUint64Flag(arg, "--fault-seed", &n)) {
       options.faults.seed = n;
+    } else if (ParseUint64Flag(arg, "--threads", &n)) {
+      options.parallel.threads = static_cast<size_t>(n);
     } else if (std::strncmp(arg, "--fault-outage=", 15) == 0) {
       uint64_t begin = 0, end = 0;
       const char* spec = arg + 15;
