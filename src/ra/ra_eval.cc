@@ -1,5 +1,7 @@
 #include "ra/ra_eval.h"
 
+#include <unordered_map>
+
 #include "obs/metrics.h"
 #include "util/check.h"
 
@@ -18,6 +20,67 @@ bool Holds(const std::vector<RaCondition>& conds, const Tuple& t) {
     }
   }
   return true;
+}
+
+/// Finds a condition of `conds` usable as a hash-join key for
+/// sigma(L x R): a column-to-column equality with one side in L (column
+/// < split) and one in R. Returns the index into `conds`, or npos.
+size_t FindJoinCondition(const std::vector<RaCondition>& conds,
+                         size_t split) {
+  for (size_t i = 0; i < conds.size(); ++i) {
+    const RaCondition& c = conds[i];
+    if (c.op != CmpOp::kEq || !c.lhs.is_col || !c.rhs.is_col) continue;
+    bool lhs_left = c.lhs.col < split;
+    bool rhs_left = c.rhs.col < split;
+    if (lhs_left != rhs_left) return i;
+  }
+  return static_cast<size_t>(-1);
+}
+
+Result<Relation> EvalRaNode(const RaExpr& expr, const Database& db,
+                            AccessObserver* observer, obs::Counter* nodes);
+
+/// Evaluates sigma_conds(L x R) as a hash equi-join on `key` (an eq
+/// condition crossing the L/R boundary): build a hash table over R's key
+/// column, then probe it once per L row. Emits exactly the rows, in
+/// exactly the order, of the nested-loop product-then-filter it replaces
+/// (left-major; matching right rows in insertion order; every condition
+/// re-checked on the combined row), so only the cost changes:
+/// O(|L| + |R| + matches) instead of O(|L| * |R|).
+Result<Relation> EvalHashJoin(const RaExpr& select, const RaCondition& key,
+                              const Database& db, AccessObserver* observer,
+                              obs::Counter* nodes) {
+  const RaExpr& product = *select.left();
+  if (nodes != nullptr) nodes->Add(1);  // the product node's count
+  CCPI_ASSIGN_OR_RETURN(Relation l,
+                        EvalRaNode(*product.left(), db, observer, nodes));
+  CCPI_ASSIGN_OR_RETURN(Relation r,
+                        EvalRaNode(*product.right(), db, observer, nodes));
+  size_t split = product.left()->arity();
+  size_t left_col = key.lhs.col < split ? key.lhs.col : key.rhs.col;
+  size_t right_col = (key.lhs.col < split ? key.rhs.col : key.lhs.col) - split;
+
+  std::unordered_map<Value, std::vector<size_t>, ValueHash> table;
+  table.reserve(r.size());
+  const std::vector<Tuple>& right_rows = r.rows();
+  for (size_t i = 0; i < right_rows.size(); ++i) {
+    table[right_rows[i][right_col]].push_back(i);
+  }
+
+  Relation out(select.arity());
+  for (const Tuple& a : l.rows()) {
+    auto hit = table.find(a[left_col]);
+    if (hit == table.end()) continue;
+    for (size_t i : hit->second) {
+      Tuple combined = a;
+      const Tuple& b = right_rows[i];
+      combined.insert(combined.end(), b.begin(), b.end());
+      if (Holds(select.conditions(), combined)) {
+        out.Insert(std::move(combined));
+      }
+    }
+  }
+  return out;
 }
 
 Result<Relation> EvalRaNode(const RaExpr& expr, const Database& db,
@@ -41,6 +104,19 @@ Result<Relation> EvalRaNode(const RaExpr& expr, const Database& db,
       return out;
     }
     case RaExpr::Kind::kSelect: {
+      // A selection directly over a product whose conditions equate a
+      // left column to a right column is a join in disguise: evaluate it
+      // as a hash equi-join instead of materializing the full product.
+      // Falls through to the nested-loop path when no such condition
+      // exists (e.g. pure theta-joins on inequalities).
+      if (expr.left()->kind() == RaExpr::Kind::kProduct) {
+        size_t key = FindJoinCondition(expr.conditions(),
+                                       expr.left()->left()->arity());
+        if (key != static_cast<size_t>(-1)) {
+          return EvalHashJoin(expr, expr.conditions()[key], db, observer,
+                              nodes);
+        }
+      }
       CCPI_ASSIGN_OR_RETURN(Relation child,
                             EvalRaNode(*expr.left(), db, observer, nodes));
       Relation out(expr.arity());
