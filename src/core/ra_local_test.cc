@@ -2,6 +2,7 @@
 
 #include <map>
 #include <optional>
+#include <set>
 
 #include "containment/mapping.h"
 #include "datalog/cq.h"
@@ -160,6 +161,17 @@ Result<Outcome> RaLocalTestOnInsert(const Rule& rule,
                         CompileRaLocalTest(rule, local_pred, t));
   if (test.trivially_holds) return Outcome::kHolds;
   if (test.trivially_violated) return Outcome::kViolated;
+#ifndef NDEBUG
+  // Theorem 5.3's whole point is that the compiled test reads only the
+  // local relation; if a compiled expression ever scanned anything else,
+  // tier 2 would silently pay remote trips. Enforce locality in debug
+  // builds.
+  {
+    std::set<std::string> scans;
+    test.expr->CollectScanPreds(&scans);
+    for (const std::string& pred : scans) CCPI_CHECK(pred == local_pred);
+  }
+#endif
   CCPI_ASSIGN_OR_RETURN(bool nonempty,
                         RaNonempty(*test.expr, db, observer, metrics));
   return nonempty ? Outcome::kHolds : Outcome::kUnknown;

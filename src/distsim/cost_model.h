@@ -16,6 +16,9 @@ struct CostModel {
   double remote_tuple_cost = 0.1;
   /// Per remote access event (a batch of tuples fetched together).
   double remote_round_trip_cost = 10.0;
+  /// Per tuple served from the remote-read snapshot cache: the data is
+  /// already on this site, so a cached read prices like a local one.
+  double cached_tuple_cost = 0.001;
 };
 
 }  // namespace ccpi

@@ -5,22 +5,62 @@
 
 namespace ccpi {
 
+namespace {
+
+/// Debug-only occupancy tracking of the read path (see ResetStats).
+class ActiveReadGuard {
+ public:
+  explicit ActiveReadGuard(std::atomic<int>* count) : count_(count) {
+#ifndef NDEBUG
+    count_->fetch_add(1, std::memory_order_acq_rel);
+#endif
+  }
+  ~ActiveReadGuard() {
+#ifndef NDEBUG
+    count_->fetch_sub(1, std::memory_order_acq_rel);
+#endif
+  }
+  ActiveReadGuard(const ActiveReadGuard&) = delete;
+  ActiveReadGuard& operator=(const ActiveReadGuard&) = delete;
+
+ private:
+  [[maybe_unused]] std::atomic<int>* count_;
+};
+
+}  // namespace
+
 void SiteDatabase::set_metrics(obs::MetricsRegistry* registry) {
   if (registry == nullptr) {
     ctr_local_tuples_ = nullptr;
     ctr_remote_tuples_ = nullptr;
     ctr_remote_trips_ = nullptr;
     ctr_remote_failures_ = nullptr;
+    ctr_cache_hits_ = nullptr;
+    ctr_cache_misses_ = nullptr;
+    ctr_cache_invalidations_ = nullptr;
+    hist_fill_latency_ = nullptr;
     return;
   }
   ctr_local_tuples_ = registry->GetCounter("distsim.local_tuples");
   ctr_remote_tuples_ = registry->GetCounter("distsim.remote_tuples");
   ctr_remote_trips_ = registry->GetCounter("distsim.remote_trips");
   ctr_remote_failures_ = registry->GetCounter("distsim.remote_failures");
+  ctr_cache_hits_ = registry->GetCounter("distsim.cache_hits");
+  ctr_cache_misses_ = registry->GetCounter("distsim.cache_misses");
+  ctr_cache_invalidations_ =
+      registry->GetCounter("distsim.cache_invalidations");
+  hist_fill_latency_ =
+      registry->GetHistogram("distsim.cache_fill_latency_ns");
+}
+
+void SiteDatabase::EnableRemoteCache(bool on) {
+  cache_enabled_ = on;
+  if (!on) cache_.Clear();
 }
 
 Status SiteDatabase::OnRead(const std::string& pred, size_t count) {
   if (IsLocal(pred)) {
+    ActiveReadGuard guard(&active_reads_);
     local_tuples_.fetch_add(count, std::memory_order_relaxed);
     if (ctr_local_tuples_ != nullptr) ctr_local_tuples_->Add(count);
     return Status::OK();
@@ -29,11 +69,59 @@ Status SiteDatabase::OnRead(const std::string& pred, size_t count) {
 }
 
 Status SiteDatabase::ReadRemote(const std::string& pred, size_t count) {
+  ActiveReadGuard guard(&active_reads_);
+  if (!cache_enabled_) return FetchRemote(pred, count);
+
+  const uint64_t version = cache_source().Get(pred, 0).version();
+  switch (cache_.Find(pred, version)) {
+    case RemoteReadCache::Lookup::kHit: {
+      if (injector_ != nullptr) {
+        // Every logical remote read consumes exactly one draw of the
+        // seeded failure schedule, hit or not — otherwise the cache would
+        // shift which later reads fail and the run would diverge from the
+        // cache-off run. A fault on a cached read is billed as a failed
+        // physical trip and poisons the entry, exactly like a failed fill.
+        Status st = injector_->InjectOnRead(pred);
+        if (!st.ok()) {
+          remote_trips_.fetch_add(1, std::memory_order_relaxed);
+          if (ctr_remote_trips_ != nullptr) ctr_remote_trips_->Add(1);
+          remote_failures_.fetch_add(1, std::memory_order_relaxed);
+          if (ctr_remote_failures_ != nullptr) ctr_remote_failures_->Add(1);
+          cache_.NoteFailure(pred);
+          return st;
+        }
+      }
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      cached_tuples_.fetch_add(count, std::memory_order_relaxed);
+      if (ctr_cache_hits_ != nullptr) ctr_cache_hits_->Add(1);
+      return Status::OK();
+    }
+    case RemoteReadCache::Lookup::kMissStale:
+      if (ctr_cache_invalidations_ != nullptr) {
+        ctr_cache_invalidations_->Add(1);
+      }
+      [[fallthrough]];
+    case RemoteReadCache::Lookup::kMissCold: {
+      if (ctr_cache_misses_ != nullptr) ctr_cache_misses_->Add(1);
+      Status st = FetchRemote(pred, count);
+      if (st.ok()) {
+        cache_.NoteFill(pred, version);
+      } else {
+        cache_.NoteFailure(pred);
+      }
+      return st;
+    }
+  }
+  return Status::OK();  // unreachable: the switch above is exhaustive
+}
+
+Status SiteDatabase::FetchRemote(const std::string& pred, size_t count) {
   obs::Span span("distsim.remote_read", "distsim");
   if (span.active()) {
     span.Attr("pred", pred);
     span.Attr("tuples", static_cast<int64_t>(count));
   }
+  obs::Stopwatch fill_timer;
   // The round trip is paid whether or not it succeeds.
   remote_trips_.fetch_add(1, std::memory_order_relaxed);
   if (ctr_remote_trips_ != nullptr) ctr_remote_trips_->Add(1);
@@ -48,7 +136,28 @@ Status SiteDatabase::ReadRemote(const std::string& pred, size_t count) {
   }
   remote_tuples_.fetch_add(count, std::memory_order_relaxed);
   if (ctr_remote_tuples_ != nullptr) ctr_remote_tuples_->Add(count);
+  fill_timer.RecordTo(hist_fill_latency_);
   return Status::OK();
+}
+
+void SiteDatabase::PrefetchRemote(const std::set<std::string>& preds) {
+  // Under fault injection the per-read draw alignment forbids batching;
+  // the manager already skips prefetch then, this guard makes a direct
+  // call harmless too.
+  if (!cache_enabled_ || injector_ != nullptr) return;
+  for (const std::string& pred : preds) {
+    if (IsLocal(pred)) continue;
+    const Relation& rel = cache_source().Get(pred, 0);
+    if (cache_.Find(pred, rel.version()) == RemoteReadCache::Lookup::kHit) {
+      continue;  // already current: no logical read happened, bill nothing
+    }
+    // The fill routes through ReadRemote so miss/invalidation counters and
+    // the fill path behave exactly as an inline read of the whole relation
+    // would. Without an injector the fetch cannot fail.
+    Status st = ReadRemote(pred, rel.size());
+    CCPI_DCHECK(st.ok());
+    (void)st;
+  }
 }
 
 }  // namespace ccpi

@@ -8,13 +8,16 @@
 #include "distsim/cost_model.h"
 #include "distsim/fault_injector.h"
 #include "distsim/remote_accessor.h"
+#include "distsim/remote_cache.h"
 #include "eval/engine.h"
 #include "relational/database.h"
+#include "util/check.h"
 
 namespace ccpi {
 
 namespace obs {
 class Counter;
+class Histogram;
 class MetricsRegistry;
 }  // namespace obs
 
@@ -28,11 +31,16 @@ struct AccessStats {
   /// the round-trip latency — it is included in remote_trips — but no
   /// tuples came back, so it contributes nothing to remote_tuples.
   size_t remote_failures = 0;
+  /// Remote reads served from the snapshot cache: no round trip was paid
+  /// and the tuples are billed at cached_tuple_cost, not remote_tuple_cost.
+  size_t cache_hits = 0;
+  size_t cached_tuples = 0;
 
   double Cost(const CostModel& model) const {
     return static_cast<double>(local_tuples) * model.local_tuple_cost +
            static_cast<double>(remote_tuples) * model.remote_tuple_cost +
-           static_cast<double>(remote_trips) * model.remote_round_trip_cost;
+           static_cast<double>(remote_trips) * model.remote_round_trip_cost +
+           static_cast<double>(cached_tuples) * model.cached_tuple_cost;
   }
 
   AccessStats& operator+=(const AccessStats& other) {
@@ -40,6 +48,8 @@ struct AccessStats {
     remote_tuples += other.remote_tuples;
     remote_trips += other.remote_trips;
     remote_failures += other.remote_failures;
+    cache_hits += other.cache_hits;
+    cached_tuples += other.cached_tuples;
     return *this;
   }
 };
@@ -53,12 +63,23 @@ struct AccessStats {
 /// kUnavailable / kDeadlineExceeded through whatever evaluation is in
 /// flight. Local reads never fail.
 ///
+/// With the remote-read cache enabled (EnableRemoteCache), a read of a
+/// remote relation whose content version matches the last successful
+/// physical fetch is served as a cache hit — no round trip, tuples billed
+/// at cached_tuple_cost — while misses fall through to the physical path
+/// and refresh the cache. See docs/remote_cache.md for the keying,
+/// invalidation, and fault-interaction rules.
+///
 /// Thread-safety: the read path (OnRead / ReadRemote) only bumps atomic
-/// counters and may run from many checker threads at once, provided the
-/// underlying Database is not mutated concurrently (the manager freezes
-/// it for the duration of a fan-out). Configuration calls
-/// (set_fault_injector, set_metrics, ResetStats, db() mutation) must be
-/// externally serialized against reads.
+/// counters and takes shared-mode cache lookups, and may run from many
+/// checker threads at once, provided the underlying Database is not
+/// mutated concurrently (the manager freezes it for the duration of a
+/// fan-out). Cache fills take the cache's exclusive lock and are safe
+/// concurrently, but the manager avoids racing fills by prefetching the
+/// episode's remote relations before the parallel fan-out. Configuration
+/// calls (set_fault_injector, set_metrics, EnableRemoteCache,
+/// set_cache_db, ResetStats, db() mutation) must be externally serialized
+/// against reads.
 class SiteDatabase : public AccessObserver, public RemoteAccessor {
  public:
   explicit SiteDatabase(std::set<std::string> local_preds)
@@ -95,6 +116,30 @@ class SiteDatabase : public AccessObserver, public RemoteAccessor {
   }
   Status ReadRemote(const std::string& pred, size_t count) override;
 
+  /// Turns the remote-read snapshot cache on or off (configuration call:
+  /// serialize against reads). Off by default so a bare SiteDatabase
+  /// behaves exactly as before; the ConstraintManager enables it per its
+  /// RemoteCacheConfig. Turning the cache off also drops its entries.
+  void EnableRemoteCache(bool on);
+  bool remote_cache_enabled() const { return cache_enabled_; }
+  RemoteReadCache& remote_cache() { return cache_; }
+
+  /// Overrides (or with nullptr restores to this site's own db) the
+  /// database whose relation versions key cache decisions. The manager
+  /// points this at its scratch database while replaying deferred checks,
+  /// so a cached fill of the *live* relation is never served for a scratch
+  /// relation whose contents differ. Configuration call: the caller must
+  /// not have evaluations in flight.
+  void set_cache_db(const Database* db) { cache_db_ = db; }
+
+  /// Batched prefetch: physically fetches every cold or stale relation in
+  /// `preds` (local and already-valid entries are skipped silently) so a
+  /// following fan-out reads them as cache hits. No-op when the cache is
+  /// off or a fault injector is attached — under injection each logical
+  /// read must consume its own draw of the failure schedule in evaluation
+  /// order, which a batched pass would reorder.
+  void PrefetchRemote(const std::set<std::string>& preds);
+
   /// Snapshot of the statistics accumulated since the last Reset
   /// (by value: counters may be advancing on other threads).
   AccessStats stats() const {
@@ -103,23 +148,55 @@ class SiteDatabase : public AccessObserver, public RemoteAccessor {
     s.remote_tuples = remote_tuples_.load(std::memory_order_relaxed);
     s.remote_trips = remote_trips_.load(std::memory_order_relaxed);
     s.remote_failures = remote_failures_.load(std::memory_order_relaxed);
+    s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+    s.cached_tuples = cached_tuples_.load(std::memory_order_relaxed);
     return s;
   }
+
+  /// Zeroes the access counters. Exclusivity contract: the caller must
+  /// guarantee no read (OnRead / ReadRemote) is in flight — the fields are
+  /// zeroed one by one, so a reset concurrent with a draining fan-out
+  /// would yield a torn snapshot (some of the episode's reads surviving
+  /// the reset, others not). The manager only resets between episodes;
+  /// debug builds enforce the contract by tracking in-flight reads and
+  /// aborting if a reset races one.
   void ResetStats() {
+    CCPI_DCHECK(active_reads_.load(std::memory_order_acquire) == 0);
     local_tuples_.store(0, std::memory_order_relaxed);
     remote_tuples_.store(0, std::memory_order_relaxed);
     remote_trips_.store(0, std::memory_order_relaxed);
     remote_failures_.store(0, std::memory_order_relaxed);
+    cache_hits_.store(0, std::memory_order_relaxed);
+    cached_tuples_.store(0, std::memory_order_relaxed);
   }
 
  private:
+  /// The database whose relation versions (and sizes, for prefetch) drive
+  /// cache decisions: the override when set, this site's own db otherwise.
+  const Database& cache_source() const {
+    return cache_db_ != nullptr ? *cache_db_ : db_;
+  }
+
+  /// One physical round trip: span, trip/tuple/failure billing, fault
+  /// injection, fill-latency timing. The pre-cache ReadRemote body.
+  Status FetchRemote(const std::string& pred, size_t count);
+
   std::set<std::string> local_preds_;
   Database db_;
   std::atomic<size_t> local_tuples_{0};
   std::atomic<size_t> remote_tuples_{0};
   std::atomic<size_t> remote_trips_{0};
   std::atomic<size_t> remote_failures_{0};
+  std::atomic<size_t> cache_hits_{0};
+  std::atomic<size_t> cached_tuples_{0};
+  // Debug-only occupancy count of OnRead/ReadRemote, backing the
+  // ResetStats exclusivity assertion. Increments are compiled out in
+  // NDEBUG builds, so the release hot path is untouched.
+  std::atomic<int> active_reads_{0};
   FaultInjector* injector_ = nullptr;
+  bool cache_enabled_ = false;
+  RemoteReadCache cache_;
+  const Database* cache_db_ = nullptr;
   // Counter handles resolved once in set_metrics (registry handles are
   // stable for the registry's lifetime), so the read path never does a
   // name lookup.
@@ -127,6 +204,10 @@ class SiteDatabase : public AccessObserver, public RemoteAccessor {
   obs::Counter* ctr_remote_tuples_ = nullptr;
   obs::Counter* ctr_remote_trips_ = nullptr;
   obs::Counter* ctr_remote_failures_ = nullptr;
+  obs::Counter* ctr_cache_hits_ = nullptr;
+  obs::Counter* ctr_cache_misses_ = nullptr;
+  obs::Counter* ctr_cache_invalidations_ = nullptr;
+  obs::Histogram* hist_fill_latency_ = nullptr;
 };
 
 }  // namespace ccpi

@@ -270,6 +270,19 @@ class RuleEval {
 
 }  // namespace
 
+std::set<std::string> EdbPredicates(const Program& program) {
+  std::set<std::string> idb_preds = program.IdbPredicates();
+  std::set<std::string> edb_preds;
+  for (const Rule& r : program.rules) {
+    for (const Literal& l : r.body) {
+      if (!l.is_comparison() && idb_preds.count(l.atom.pred) == 0) {
+        edb_preds.insert(l.atom.pred);
+      }
+    }
+  }
+  return edb_preds;
+}
+
 Result<Database> Evaluate(const Program& program, const Database& edb,
                           const EvalOptions& options) {
   obs::Span span("eval.evaluate");
@@ -281,14 +294,7 @@ Result<Database> Evaluate(const Program& program, const Database& edb,
   CCPI_ASSIGN_OR_RETURN(Stratification strat, Stratify(program));
 
   std::set<std::string> idb_preds = program.IdbPredicates();
-  std::set<std::string> edb_preds;
-  for (const Rule& r : program.rules) {
-    for (const Literal& l : r.body) {
-      if (!l.is_comparison() && idb_preds.count(l.atom.pred) == 0) {
-        edb_preds.insert(l.atom.pred);
-      }
-    }
-  }
+  std::set<std::string> edb_preds = EdbPredicates(program);
 
   Database idb;
   size_t derived = 0;

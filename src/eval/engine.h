@@ -1,6 +1,7 @@
 #ifndef CCPI_EVAL_ENGINE_H_
 #define CCPI_EVAL_ENGINE_H_
 
+#include <set>
 #include <string>
 
 #include "datalog/ast.h"
@@ -49,6 +50,13 @@ struct EvalOptions {
   /// Ablation switch: false disables index probes (always scan).
   bool use_index = true;
 };
+
+/// The base (EDB) predicates `program` reads: every body predicate that is
+/// not derived by one of its own rules. These are exactly the relations an
+/// evaluation of the program may enumerate — the manager uses this to know
+/// which remote relations a tier-3 check will touch, so it can prefetch
+/// them once per episode.
+std::set<std::string> EdbPredicates(const Program& program);
 
 /// Evaluates a (possibly recursive) stratified datalog program with safe
 /// negation and arithmetic comparisons over `edb`; returns the IDB

@@ -5,6 +5,7 @@
 #include "core/local_test.h"
 #include "core/ra_local_test.h"
 #include "datalog/unfold.h"
+#include "eval/engine.h"
 #include "obs/trace.h"
 #include "subsumption/subsumption.h"
 #include "updates/independence.h"
@@ -114,6 +115,11 @@ Result<bool> ConstraintManager::AddConstraint(const std::string& name,
     }
   }
   constraints_.push_back(Registered{name, std::move(constraint), subsumed});
+  // Registration-time footprint: which remote relations a tier-3
+  // evaluation of this constraint may touch (prefetch unions them).
+  for (const std::string& pred : EdbPredicates(constraints_.back().program)) {
+    if (!site_.IsLocal(pred)) constraints_.back().remote_edb.insert(pred);
+  }
   return subsumed;
 }
 
@@ -428,6 +434,25 @@ Result<std::vector<CheckReport>> ConstraintManager::ApplyUpdateImpl(
     // instead of blocking or failing the whole update.
     CCPI_RETURN_IF_ERROR(u.ApplyTo(&site_.db()));
 
+    // Batched prefetch: fetch each distinct remote relation the worklist
+    // needs at most once, before any evaluation, so the per-constraint
+    // evaluations (parallel or not) read it as cache hits instead of each
+    // paying its own trip. Runs at every thread count — the cache's hit
+    // and trip counts must not depend on the fan-out width — but never
+    // under fault injection (each logical read must consume its own draw
+    // of the failure schedule in evaluation order) and never while the
+    // breaker is non-closed (a fast-failing episode performs no reads, so
+    // prefetching for it would pay trips the uncached path never pays).
+    if (site_.remote_cache_enabled() && site_.fault_injector() == nullptr &&
+        breaker_.state() == CircuitState::kClosed) {
+      std::set<std::string> episode_preds;
+      for (size_t idx : need_full) {
+        const std::set<std::string>& preds = constraints_[idx].remote_edb;
+        episode_preds.insert(preds.begin(), preds.end());
+      }
+      site_.PrefetchRemote(episode_preds);
+    }
+
     // Tier 3 may fan out only when remote verdicts cannot depend on
     // arrival order: the fault injector consumes one RNG draw per remote
     // trip in global order, and an open/half-open breaker admits episodes
@@ -551,6 +576,17 @@ Result<std::vector<DeferredResolution>> ConstraintManager::RecheckDeferred() {
     }
   }
 
+  // The evaluations below read `scratch`, not the live database, so cache
+  // decisions must key off scratch's relation versions: a scratch relation
+  // whose pending effects were just removed carries a fresh version and
+  // correctly misses, while untouched relations still share the live
+  // version and hit. Restored on every exit path.
+  site_.set_cache_db(&scratch);
+  struct CacheDbRestore {
+    SiteDatabase* site;
+    ~CacheDbRestore() { site->set_cache_db(nullptr); }
+  } restore_cache_db{&site_};
+
   while (!deferred_.empty()) {
     if (!breaker_.AllowRequest()) break;  // still failing fast
     const DeferredCheck& entry = deferred_.front();
@@ -568,13 +604,16 @@ Result<std::vector<DeferredResolution>> ConstraintManager::RecheckDeferred() {
     if (!EffectPresent(entry.update, scratch)) {
       CCPI_RETURN_IF_ERROR(entry.update.ApplyTo(&scratch));
     }
-    Result<bool> bad = EvaluateRemote(reg->program, scratch, nullptr);
+    size_t recheck_retries = 0;
+    Result<bool> bad =
+        EvaluateRemote(reg->program, scratch, &recheck_retries);
     if (!bad.ok()) {
       if (IsRetriable(bad.status().code())) break;  // still down: keep queue
       return bad.status();
     }
     DeferredResolution res;
     res.check = entry;
+    res.retries = recheck_retries;
     deferred_.pop_front();
     if (*bad) {
       // Late-detected violation: compensate by undoing the optimistic

@@ -75,6 +75,16 @@ struct ParallelConfig {
   size_t threads = 1;
 };
 
+/// The remote-read snapshot cache (see docs/remote_cache.md). On by
+/// default: the cache is semantically invisible — reports, verdicts, and
+/// the deferred queue are identical with it off — and only the access
+/// accounting (fewer trips, cached_tuples instead of remote_tuples)
+/// changes. `ccpi_check --remote-cache=off` and benchmarks use the switch
+/// to measure the uncached baseline.
+struct RemoteCacheConfig {
+  bool enabled = true;
+};
+
 /// Aggregate statistics across updates. This is a *snapshot view*: the
 /// manager's source of truth is its obs::MetricsRegistry (see metrics()),
 /// and stats() materializes one of these from the registry's counters on
@@ -126,6 +136,10 @@ struct DeferredResolution {
   /// Whether the late-detected violation was compensated by rolling the
   /// update back (false when a later update already removed its effect).
   bool rolled_back = false;
+  /// Remote attempts beyond the first consumed by the resolving
+  /// re-evaluation — the recheck counterpart of CheckReport::retries, so
+  /// every counted retry surfaces in exactly one per-episode record.
+  size_t retries = 0;
 };
 
 /// Integrity-constraint manager implementing the paper's tiered checking
@@ -159,14 +173,17 @@ class ConstraintManager {
  public:
   ConstraintManager(std::set<std::string> local_preds, CostModel cost_model,
                     ResilienceConfig resilience = {},
-                    ParallelConfig parallel = {})
+                    ParallelConfig parallel = {},
+                    RemoteCacheConfig remote_cache = {})
       : site_(std::move(local_preds)),
         cost_model_(cost_model),
         resilience_(resilience),
         parallel_(parallel),
+        remote_cache_(remote_cache),
         breaker_(resilience.breaker),
         retry_rng_(resilience.retry_seed),
         pool_(std::make_unique<ThreadPool>(parallel.threads)) {
+    site_.EnableRemoteCache(remote_cache.enabled);
     InitObservability();
   }
 
@@ -215,6 +232,8 @@ class ConstraintManager {
 
   /// The fan-out configuration this manager was built with.
   const ParallelConfig& parallel() const { return parallel_; }
+  /// The remote-cache configuration this manager was built with.
+  const RemoteCacheConfig& remote_cache() const { return remote_cache_; }
   /// Checker lanes actually available (>= 1; the caller is one).
   size_t check_threads() const { return pool_->thread_count(); }
 
@@ -246,6 +265,10 @@ class ConstraintManager {
     std::string name;
     Program program;
     bool subsumed = false;
+    /// The remote base relations a tier-3 evaluation of this constraint
+    /// may read, computed once at registration — the episode prefetch
+    /// unions these over the tier-3 worklist.
+    std::set<std::string> remote_edb;
     // Cache keyed by the updated predicate.
     std::map<std::string, std::shared_ptr<const Tier2Artifacts>> tier2;
   };
@@ -284,6 +307,7 @@ class ConstraintManager {
   CostModel cost_model_;
   ResilienceConfig resilience_;
   ParallelConfig parallel_;
+  RemoteCacheConfig remote_cache_;
   CircuitBreaker breaker_;
   // Only drawn from inside EvaluateRemote on a retriable failure, which
   // requires a fault injector; the parallel tier-3 path (taken only with

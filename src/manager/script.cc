@@ -5,6 +5,7 @@
 
 #include "datalog/parser.h"
 #include "manager/constraint_manager.h"
+#include "util/strings.h"
 
 namespace ccpi {
 
@@ -122,6 +123,109 @@ Result<Script> ParseScript(std::string_view text) {
   return script;
 }
 
+namespace {
+
+/// "--name=value" accessor: if `arg` starts with "--<name>=", returns the
+/// value part; otherwise nullopt.
+std::optional<std::string_view> FlagValue(std::string_view arg,
+                                          std::string_view name) {
+  if (arg.size() < name.size() + 3 || arg.substr(0, 2) != "--") {
+    return std::nullopt;
+  }
+  if (arg.substr(2, name.size()) != name) return std::nullopt;
+  if (arg[2 + name.size()] != '=') return std::nullopt;
+  return arg.substr(name.size() + 3);
+}
+
+Status BadFlag(std::string_view name, std::string_view wants,
+               std::string_view got) {
+  return Status::InvalidArgument("--" + std::string(name) + " wants " +
+                                 std::string(wants) + ", got \"" +
+                                 std::string(got) + "\"");
+}
+
+}  // namespace
+
+Status ApplyScriptFlag(std::string_view arg, ScriptOptions* options,
+                       bool* matched) {
+  *matched = true;
+  if (auto v = FlagValue(arg, "threads")) {
+    uint64_t n = 0;
+    if (!ParseUint64(*v, &n)) {
+      return BadFlag("threads", "a non-negative integer", *v);
+    }
+    options->parallel.threads = static_cast<size_t>(n);
+    return Status::OK();
+  }
+  if (auto v = FlagValue(arg, "remote-cache")) {
+    if (*v == "on") {
+      options->remote_cache.enabled = true;
+    } else if (*v == "off") {
+      options->remote_cache.enabled = false;
+    } else {
+      return BadFlag("remote-cache", "on or off", *v);
+    }
+    return Status::OK();
+  }
+  if (auto v = FlagValue(arg, "fault-rate")) {
+    double rate = 0;
+    if (!ParseProbability(*v, &rate)) {
+      return BadFlag("fault-rate", "a probability in [0,1]", *v);
+    }
+    options->faults.transient_rate = rate;
+    options->enable_faults = true;
+    return Status::OK();
+  }
+  if (auto v = FlagValue(arg, "fault-timeout-rate")) {
+    double rate = 0;
+    if (!ParseProbability(*v, &rate)) {
+      return BadFlag("fault-timeout-rate", "a probability in [0,1]", *v);
+    }
+    options->faults.timeout_rate = rate;
+    options->enable_faults = true;
+    return Status::OK();
+  }
+  if (auto v = FlagValue(arg, "fault-seed")) {
+    uint64_t n = 0;
+    if (!ParseUint64(*v, &n)) {
+      return BadFlag("fault-seed", "a non-negative integer", *v);
+    }
+    options->faults.seed = n;
+    return Status::OK();
+  }
+  if (auto v = FlagValue(arg, "fault-outage")) {
+    size_t colon = v->find(':');
+    uint64_t begin = 0, end = 0;
+    if (colon == std::string_view::npos ||
+        !ParseUint64(v->substr(0, colon), &begin) ||
+        !ParseUint64(v->substr(colon + 1), &end) || begin > end) {
+      // An inverted window would be a silent no-op, not an outage.
+      return BadFlag("fault-outage", "A:B with integer trips, A <= B", *v);
+    }
+    options->faults.outages.push_back(OutageWindow{begin, end});
+    options->enable_faults = true;
+    return Status::OK();
+  }
+  if (arg == "--fault-reject") {
+    options->resilience.on_unreachable = DeferredPolicy::kReject;
+    return Status::OK();
+  }
+  if (arg == "--stats") {
+    options->print_stats = true;
+    return Status::OK();
+  }
+  *matched = false;
+  return Status::OK();
+}
+
+Status ValidateScriptOptions(const ScriptOptions& options) {
+  if (options.faults.transient_rate + options.faults.timeout_rate > 1.0) {
+    return Status::InvalidArgument(
+        "--fault-rate and --fault-timeout-rate must sum to <= 1");
+  }
+  return Status::OK();
+}
+
 Result<ScriptReport> RunScript(const Script& script, const CostModel& costs) {
   ScriptOptions options;
   options.costs = costs;
@@ -132,7 +236,7 @@ Result<ScriptReport> RunScript(const Script& script,
                                const ScriptOptions& options) {
   const CostModel& costs = options.costs;
   ConstraintManager mgr(script.local_preds, costs, options.resilience,
-                        options.parallel);
+                        options.parallel, options.remote_cache);
   std::optional<FaultInjector> injector;
   if (options.enable_faults) {
     injector.emplace(options.faults);
@@ -222,6 +326,10 @@ Result<ScriptReport> RunScript(const Script& script,
           << access.remote_tuples << " remote tuples in "
           << access.remote_trips << " trips (cost " << access.Cost(costs)
           << ")\n";
+  if (options.remote_cache.enabled) {
+    summary << "cache: " << access.cache_hits << " remote reads served ("
+            << access.cached_tuples << " cached tuples)\n";
+  }
   if (options.print_stats) {
     summary << "remote: " << stats.remote_attempts << " attempts, "
             << stats.remote_retries << " retries, " << stats.remote_failures

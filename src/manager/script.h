@@ -52,6 +52,9 @@ struct ScriptOptions {
   /// Checker lanes for the manager's per-constraint fan-out
   /// (ccpi_check --threads). Reports are identical at any thread count.
   ParallelConfig parallel;
+  /// Remote-read snapshot cache (ccpi_check --remote-cache). On by
+  /// default; semantically invisible either way.
+  RemoteCacheConfig remote_cache;
   /// Append the full ManagerStats block (retries, deferred/recovered
   /// outcomes, breaker state) to the report text.
   bool print_stats = false;
@@ -101,6 +104,26 @@ Result<ScriptReport> RunScript(const Script& script,
 
 Result<ScriptReport> RunScript(const Script& script,
                                const ScriptOptions& options);
+
+/// Applies one `ccpi_check`-style command-line flag to `options`.
+///
+/// Recognizes every flag that configures the run itself — --threads=N,
+/// --remote-cache=on|off, --fault-rate=P, --fault-timeout-rate=P,
+/// --fault-seed=N, --fault-outage=A:B, --fault-reject, --stats — and
+/// validates values *strictly*: a malformed or out-of-range value (e.g.
+/// --threads=abc, --threads=-2, --fault-rate=1.5) is an InvalidArgument
+/// error naming the flag, never a silent fallback to a default. Flags the
+/// tool handles itself (--help, --export-souffle, --trace-out, ...) are
+/// not recognized here.
+///
+/// On return, *matched says whether `arg` was one of the recognized flags;
+/// the Status is non-OK only for a recognized flag with a bad value.
+Status ApplyScriptFlag(std::string_view arg, ScriptOptions* options,
+                       bool* matched);
+
+/// Cross-flag validation, called once after all flags are applied:
+/// the fault probabilities must sum to at most 1.
+Status ValidateScriptOptions(const ScriptOptions& options);
 
 }  // namespace ccpi
 

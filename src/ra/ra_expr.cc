@@ -111,4 +111,10 @@ std::string RaExpr::ToString() const {
   return "?";
 }
 
+void RaExpr::CollectScanPreds(std::set<std::string>* out) const {
+  if (kind_ == Kind::kScan) out->insert(pred_);
+  if (left_ != nullptr) left_->CollectScanPreds(out);
+  if (right_ != nullptr) right_->CollectScanPreds(out);
+}
+
 }  // namespace ccpi

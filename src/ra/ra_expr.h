@@ -2,6 +2,7 @@
 #define CCPI_RA_RA_EXPR_H_
 
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -80,6 +81,13 @@ class RaExpr {
 
   /// Textbook rendering, e.g. "sigma[#1=a & #2=#3](L) U sigma[#1=b](L)".
   std::string ToString() const;
+
+  /// Adds the names of every base relation this expression scans to `out`
+  /// (recursively over both children). The evaluator reads exactly these
+  /// relations, so callers can predict an evaluation's data footprint —
+  /// e.g. to verify a Theorem 5.3 test really touches only the local
+  /// relation, or to prefetch remote scans.
+  void CollectScanPreds(std::set<std::string>* out) const;
 
  private:
   RaExpr() = default;

@@ -1,20 +1,37 @@
 #include "relational/relation.h"
 
 #include <algorithm>
+#include <atomic>
 #include <mutex>
 
 #include "util/check.h"
 
 namespace ccpi {
 
+namespace {
+// Source of content-version stamps. Process-wide (not per-relation) so a
+// version value identifies one specific content state across all relations
+// and all databases, including scratch copies: equal versions imply equal
+// contents, which is exactly what a version-keyed cache needs.
+std::atomic<uint64_t> g_next_version{1};
+
+uint64_t NextVersion() {
+  return g_next_version.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace
+
 const std::vector<size_t> Relation::kEmptyPosting;
 
 Relation::Relation(const Relation& other)
-    : arity_(other.arity_), rows_(other.rows_), set_(other.set_) {}
+    : arity_(other.arity_),
+      version_(other.version_),
+      rows_(other.rows_),
+      set_(other.set_) {}
 
 Relation& Relation::operator=(const Relation& other) {
   if (this == &other) return *this;
   arity_ = other.arity_;
+  version_ = other.version_;
   rows_ = other.rows_;
   set_ = other.set_;
   InvalidateIndexes();
@@ -23,6 +40,7 @@ Relation& Relation::operator=(const Relation& other) {
 
 Relation::Relation(Relation&& other) noexcept
     : arity_(other.arity_),
+      version_(other.version_),
       rows_(std::move(other.rows_)),
       set_(std::move(other.set_)),
       indexes_(std::move(other.indexes_)) {}
@@ -30,6 +48,7 @@ Relation::Relation(Relation&& other) noexcept
 Relation& Relation::operator=(Relation&& other) noexcept {
   if (this == &other) return *this;
   arity_ = other.arity_;
+  version_ = other.version_;
   rows_ = std::move(other.rows_);
   set_ = std::move(other.set_);
   indexes_ = std::move(other.indexes_);
@@ -42,6 +61,7 @@ bool Relation::Insert(Tuple t) {
   (void)it;
   if (!inserted) return false;
   rows_.push_back(std::move(t));
+  version_ = NextVersion();
   InvalidateIndexes();
   return true;
 }
@@ -51,6 +71,7 @@ bool Relation::Erase(const Tuple& t) {
   auto pos = std::find(rows_.begin(), rows_.end(), t);
   CCPI_CHECK(pos != rows_.end());
   rows_.erase(pos);
+  version_ = NextVersion();
   InvalidateIndexes();
   return true;
 }
@@ -93,6 +114,7 @@ void Relation::FreezeIndexes() const {
 }
 
 void Relation::Clear() {
+  if (!rows_.empty()) version_ = NextVersion();
   rows_.clear();
   set_.clear();
   InvalidateIndexes();

@@ -2,6 +2,7 @@
 #define CCPI_RELATIONAL_RELATION_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <shared_mutex>
 #include <string>
 #include <unordered_map>
@@ -44,6 +45,14 @@ class Relation {
   size_t size() const { return rows_.size(); }
   bool empty() const { return rows_.empty(); }
 
+  /// Content-version stamp. Every content-changing mutation (an Insert that
+  /// added a row, an Erase that removed one, a Clear of a non-empty
+  /// relation) restamps the relation from one process-wide monotone
+  /// counter, so two relations with equal versions have equal contents —
+  /// even across copies, scratch databases, and rollbacks. Version 0 means
+  /// "never mutated" (empty). Copies and moves carry the version.
+  uint64_t version() const { return version_; }
+
   /// Adds a tuple; returns true if it was not already present.
   /// Aborts if the arity does not match (programming error).
   bool Insert(Tuple t);
@@ -80,6 +89,7 @@ class Relation {
   const ColumnIndex& BuildIndexLocked(size_t col) const;
 
   size_t arity_;
+  uint64_t version_ = 0;
   std::vector<Tuple> rows_;
   std::unordered_set<Tuple, TupleHash> set_;
   // indexes_[col] maps value -> row positions in rows_. Guarded by

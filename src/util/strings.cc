@@ -1,6 +1,8 @@
 #include "util/strings.h"
 
 #include <cctype>
+#include <cstdint>
+#include <cstdlib>
 
 namespace ccpi {
 
@@ -25,6 +27,30 @@ bool IsIdentifier(std::string_view s) {
   for (char c : s) {
     if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') return false;
   }
+  return true;
+}
+
+bool ParseUint64(std::string_view s, uint64_t* out) {
+  if (s.empty()) return false;
+  uint64_t value = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) return false;  // would overflow
+    value = value * 10 + digit;
+  }
+  *out = value;
+  return true;
+}
+
+bool ParseProbability(std::string_view s, double* out) {
+  if (s.empty()) return false;
+  std::string buf(s);
+  char* end = nullptr;
+  double value = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size()) return false;
+  if (!(value >= 0.0 && value <= 1.0)) return false;  // rejects NaN too
+  *out = value;
   return true;
 }
 

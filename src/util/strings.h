@@ -1,6 +1,7 @@
 #ifndef CCPI_UTIL_STRINGS_H_
 #define CCPI_UTIL_STRINGS_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -16,6 +17,16 @@ bool IsVariableName(std::string_view s);
 
 /// True if `s` is a lexically valid identifier ([A-Za-z_][A-Za-z0-9_]*).
 bool IsIdentifier(std::string_view s);
+
+/// Strict base-10 unsigned parse: the whole of `s` must be digits (an
+/// optional leading '+' is rejected too — flag values are never signed)
+/// and fit in uint64_t. Unlike strtoull, "abc", "", "-2", "12x", and
+/// overflowing values all fail instead of yielding 0 or wrapping.
+bool ParseUint64(std::string_view s, uint64_t* out);
+
+/// Strict double parse of a probability: the whole of `s` must be a
+/// number in [0, 1].
+bool ParseProbability(std::string_view s, double* out);
 
 }  // namespace ccpi
 

@@ -83,6 +83,162 @@ TEST(SiteDatabaseTest, FailedRemoteReadChargesTheTrip) {
   EXPECT_EQ(site.stats().remote_tuples, 0u);  // nothing came back
 }
 
+// ---- RemoteReadCache + the SiteDatabase cached read path ----------------
+
+TEST(RemoteReadCacheTest, LookupStates) {
+  RemoteReadCache cache;
+  EXPECT_EQ(cache.Find("r", 5), RemoteReadCache::Lookup::kMissCold);
+  cache.NoteFill("r", 5);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.Find("r", 5), RemoteReadCache::Lookup::kHit);
+  EXPECT_EQ(cache.Find("r", 6), RemoteReadCache::Lookup::kMissStale);
+  // A failed fetch poisons the entry: even the filled version misses.
+  cache.NoteFailure("r");
+  EXPECT_EQ(cache.Find("r", 5), RemoteReadCache::Lookup::kMissStale);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Find("r", 5), RemoteReadCache::Lookup::kMissCold);
+}
+
+TEST(SiteDatabaseTest, CachedReadSkipsTheTripUntilInvalidated) {
+  SiteDatabase site({"l"});
+  site.EnableRemoteCache(true);
+  ASSERT_TRUE(site.db().Insert("r", {V(1)}).ok());
+  ASSERT_TRUE(site.db().Insert("r", {V(2)}).ok());
+
+  ASSERT_TRUE(site.OnRead("r", 2).ok());  // cold: physical fetch + fill
+  ASSERT_TRUE(site.OnRead("r", 2).ok());  // unchanged: served locally
+  AccessStats stats = site.stats();
+  EXPECT_EQ(stats.remote_trips, 1u);
+  EXPECT_EQ(stats.remote_tuples, 2u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.cached_tuples, 2u);
+
+  // Mutating the relation bumps its version: the entry is stale and the
+  // next read pays a real trip again.
+  ASSERT_TRUE(site.db().Insert("r", {V(3)}).ok());
+  ASSERT_TRUE(site.OnRead("r", 3).ok());
+  stats = site.stats();
+  EXPECT_EQ(stats.remote_trips, 2u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+
+  // A no-op write (duplicate insert) does not invalidate.
+  Status dup = site.db().Insert("r", {V(3)});
+  ASSERT_TRUE(site.OnRead("r", 3).ok());
+  EXPECT_EQ(site.stats().remote_trips, 2u);
+  EXPECT_EQ(site.stats().cache_hits, 2u);
+  (void)dup;
+}
+
+TEST(SiteDatabaseTest, FailedFillLeavesEntryUnusable) {
+  FaultInjector injector(FaultConfig{});
+  SiteDatabase site({"l"});
+  site.set_fault_injector(&injector);
+  site.EnableRemoteCache(true);
+  ASSERT_TRUE(site.db().Insert("r", {V(1)}).ok());
+
+  injector.ForceOutage(true);
+  EXPECT_EQ(site.ReadRemote("r", 1).code(), StatusCode::kUnavailable);
+  injector.ForceOutage(false);
+  // The failed fill must not be served as a hit: this read goes physical.
+  ASSERT_TRUE(site.ReadRemote("r", 1).ok());
+  AccessStats stats = site.stats();
+  EXPECT_EQ(stats.remote_trips, 2u);
+  EXPECT_EQ(stats.remote_failures, 1u);
+  EXPECT_EQ(stats.cache_hits, 0u);
+  // Now the fill succeeded, so the next read hits — but it still consumes
+  // one draw of the failure schedule (draw alignment with cache-off runs).
+  uint64_t draws_before = injector.stats().trips;
+  ASSERT_TRUE(site.ReadRemote("r", 1).ok());
+  EXPECT_EQ(site.stats().cache_hits, 1u);
+  EXPECT_EQ(injector.stats().trips, draws_before + 1);
+}
+
+TEST(SiteDatabaseTest, FaultedCacheHitPoisonsTheEntry) {
+  FaultInjector injector(FaultConfig{});
+  SiteDatabase site({"l"});
+  site.set_fault_injector(&injector);
+  site.EnableRemoteCache(true);
+  ASSERT_TRUE(site.db().Insert("r", {V(1)}).ok());
+  ASSERT_TRUE(site.ReadRemote("r", 1).ok());  // fill
+
+  // The revalidation draw faults: billed as a failed physical trip, and
+  // the entry is no longer trusted.
+  injector.ForceOutage(true);
+  EXPECT_EQ(site.ReadRemote("r", 1).code(), StatusCode::kUnavailable);
+  injector.ForceOutage(false);
+  ASSERT_TRUE(site.ReadRemote("r", 1).ok());
+  AccessStats stats = site.stats();
+  EXPECT_EQ(stats.remote_trips, 3u);  // fill + faulted hit + refill
+  EXPECT_EQ(stats.remote_failures, 1u);
+  EXPECT_EQ(stats.cache_hits, 0u);
+}
+
+TEST(SiteDatabaseTest, PrefetchFetchesEachRelationAtMostOnce) {
+  SiteDatabase site({"l"});
+  site.EnableRemoteCache(true);
+  ASSERT_TRUE(site.db().Insert("r", {V(1)}).ok());
+  ASSERT_TRUE(site.db().Insert("r", {V(2)}).ok());
+  ASSERT_TRUE(site.db().Insert("dept", {V("cs")}).ok());
+  ASSERT_TRUE(site.db().Insert("l", {V(1), V(2)}).ok());
+
+  site.PrefetchRemote({"r", "dept", "l"});
+  AccessStats stats = site.stats();
+  EXPECT_EQ(stats.remote_trips, 2u);   // r and dept; local l skipped
+  EXPECT_EQ(stats.remote_tuples, 3u);  // whole relations fetched
+  EXPECT_EQ(stats.local_tuples, 0u);   // prefetch never bills local reads
+
+  // Already valid: a second prefetch is free, and the fan-out's own
+  // reads are hits.
+  site.PrefetchRemote({"r", "dept"});
+  EXPECT_EQ(site.stats().remote_trips, 2u);
+  ASSERT_TRUE(site.OnRead("r", 2).ok());
+  ASSERT_TRUE(site.OnRead("dept", 1).ok());
+  EXPECT_EQ(site.stats().remote_trips, 2u);
+  EXPECT_EQ(site.stats().cache_hits, 2u);
+}
+
+TEST(SiteDatabaseTest, DisablingTheCacheDropsItsEntries) {
+  SiteDatabase site({"l"});
+  site.EnableRemoteCache(true);
+  ASSERT_TRUE(site.db().Insert("r", {V(1)}).ok());
+  ASSERT_TRUE(site.ReadRemote("r", 1).ok());  // fill
+  site.EnableRemoteCache(false);
+  ASSERT_TRUE(site.ReadRemote("r", 1).ok());  // physical: cache is off
+  site.EnableRemoteCache(true);
+  // Re-enabling starts cold; the old fill must not resurface as a hit.
+  ASSERT_TRUE(site.ReadRemote("r", 1).ok());
+  AccessStats stats = site.stats();
+  EXPECT_EQ(stats.remote_trips, 3u);
+  EXPECT_EQ(stats.cache_hits, 0u);
+}
+
+TEST(AccessStatsTest, CachedTuplesArePricedBelowRemote) {
+  AccessStats cached;
+  cached.cache_hits = 1;
+  cached.cached_tuples = 100;
+  AccessStats fetched;
+  fetched.remote_trips = 1;
+  fetched.remote_tuples = 100;
+  CostModel model;
+  EXPECT_DOUBLE_EQ(cached.Cost(model), 100 * model.cached_tuple_cost);
+  EXPECT_LT(cached.Cost(model), fetched.Cost(model));
+  // Cached reads are priced like local ones: the data is already here.
+  EXPECT_DOUBLE_EQ(model.cached_tuple_cost, model.local_tuple_cost);
+}
+
+TEST(AccessStatsTest, AccumulateSumsCacheFields) {
+  AccessStats a;
+  a.cache_hits = 2;
+  a.cached_tuples = 10;
+  AccessStats b;
+  b.cache_hits = 3;
+  b.cached_tuples = 5;
+  a += b;
+  EXPECT_EQ(a.cache_hits, 5u);
+  EXPECT_EQ(a.cached_tuples, 15u);
+}
+
 TEST(FaultInjectorTest, SameSeedSameSchedule) {
   FaultConfig config;
   config.seed = 42;

@@ -229,6 +229,108 @@ TEST(FaultToleranceTest, PerReportRetryCountsSurface) {
   EXPECT_EQ(rig.mgr.stats().remote_retries, total_retries);
 }
 
+// Accounting audit: every tier-3 attempt lands in the atomic counters AND
+// in exactly one per-episode record — CheckReport::retries for ApplyUpdate
+// episodes (including ones that exhausted the policy and deferred),
+// DeferredResolution::retries for recheck episodes. The two views must
+// reconcile exactly; a retry counted twice or dropped is a bug.
+TEST(FaultToleranceTest, RetryCountersMatchPerEpisodeRecordsExactly) {
+  ResilienceConfig resilience;
+  // Generous, budget-unlimited retries: with a modest transient rate no
+  // post-outage episode ever exhausts them, so the recheck drain is
+  // guaranteed to complete and every retry lands in a surfaced record.
+  resilience.retry.max_attempts = 30;
+  resilience.retry.episode_budget = 0;
+  resilience.breaker.failure_threshold = 1000;  // no fast-fails: every
+                                                // episode really attempts
+  resilience.auto_recheck = false;  // drain explicitly so every
+                                    // DeferredResolution is captured
+  FaultConfig faults;
+  faults.seed = 11;
+  faults.transient_rate = 0.25;
+  Rig rig(resilience, faults);
+  ASSERT_TRUE(rig.mgr.site().db().Insert("r", {V(1000)}).ok());
+
+  size_t report_retries = 0;
+  size_t t3_reports = 0;
+  size_t deferred_seen = 0;
+
+  // Phase 1: hard outage — each cross-site check burns its full retry
+  // budget and defers. Those retries must surface in its CheckReport.
+  rig.injector.ForceOutage(true);
+  for (int i = 0; i < 4; ++i) {
+    auto reports =
+        rig.mgr.ApplyUpdate(Update::Insert("l", {V(10 * i), V(10 * i + 3)}));
+    ASSERT_TRUE(reports.ok()) << reports.status().ToString();
+    for (const CheckReport& r : *reports) {
+      report_retries += r.retries;
+      if (r.tier == Tier::kFullCheck) ++t3_reports;
+      if (r.outcome == Outcome::kDeferred) ++deferred_seen;
+    }
+  }
+  ASSERT_GT(deferred_seen, 0u);
+
+  // Phase 2: outage over, transient faults remain — more retried
+  // ApplyUpdate episodes, then an explicit drain whose retries must
+  // surface in the DeferredResolutions.
+  rig.injector.ForceOutage(false);
+  for (int i = 0; i < 6; ++i) {
+    auto reports = rig.mgr.ApplyUpdate(
+        Update::Insert("l", {V(1000 + 10 * i), V(1000 + 10 * i + 3)}));
+    ASSERT_TRUE(reports.ok()) << reports.status().ToString();
+    for (const CheckReport& r : *reports) {
+      report_retries += r.retries;
+      if (r.tier == Tier::kFullCheck) ++t3_reports;
+    }
+  }
+  auto resolved = rig.mgr.RecheckDeferred();
+  ASSERT_TRUE(resolved.ok()) << resolved.status().ToString();
+  ASSERT_TRUE(rig.mgr.deferred_queue().empty());  // the drain completed
+  size_t resolution_retries = 0;
+  for (const DeferredResolution& res : *resolved) {
+    resolution_retries += res.retries;
+  }
+
+  ManagerStats stats = rig.mgr.stats();
+  // Non-vacuous: both record kinds carried retries in this schedule.
+  EXPECT_GT(report_retries, 0u);
+  EXPECT_GT(resolution_retries, 0u);
+  // The audit identities. Retries: counter == sum over both record kinds.
+  EXPECT_EQ(stats.remote_retries, report_retries + resolution_retries);
+  // Attempts: one per tier-3 episode (ApplyUpdate fan-out entries that
+  // reached T3, plus recheck resolutions) plus the retries.
+  EXPECT_EQ(stats.remote_attempts,
+            t3_reports + resolved->size() + stats.remote_retries);
+}
+
+// Physical-trip audit with the remote-read cache in play: the injector
+// decides every logical remote read exactly once, so its trip counter
+// must equal billed physical trips plus revalidated cache hits — a read
+// double-billed (or served without consuming its draw) breaks this.
+TEST(FaultToleranceTest, InjectorTripsReconcileWithAccessCounters) {
+  ResilienceConfig resilience;
+  resilience.retry.max_attempts = 8;
+  resilience.breaker.failure_threshold = 1000;
+  FaultConfig faults;
+  faults.seed = 5;
+  faults.transient_rate = 0.3;
+  Rig rig(resilience, faults);
+  ASSERT_TRUE(rig.mgr.site().db().Insert("r", {V(1000)}).ok());
+  ASSERT_TRUE(rig.mgr.site().remote_cache_enabled());
+  for (int i = 0; i < 15; ++i) {
+    ASSERT_TRUE(
+        rig.mgr.ApplyUpdate(Update::Insert("l", {V(10 * i), V(10 * i + 3)}))
+            .ok());
+  }
+  AccessStats access = rig.mgr.stats().access;
+  FaultStats injected = rig.injector.stats();
+  EXPECT_GT(access.cache_hits, 0u);  // the cache actually engaged
+  EXPECT_EQ(injected.trips, access.remote_trips + access.cache_hits);
+  // Every injected fault was billed as exactly one failed read.
+  EXPECT_EQ(injected.injected(),
+            static_cast<uint64_t>(access.remote_failures));
+}
+
 TEST(FaultToleranceTest, TransactionAbortDropsQueuedRechecks) {
   ResilienceConfig resilience;
   resilience.breaker.failure_threshold = 1000;  // keep probing; no fast-fail

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include "distsim/site_db.h"
 #include "relational/database.h"
 #include "relational/relation.h"
 #include "util/rng.h"
@@ -122,6 +123,52 @@ TEST(RelationConcurrencyTest, ConstDatabaseGetAbsentFromManyThreads) {
   }
   for (std::thread& t : threads) t.join();
   EXPECT_EQ(errors.load(), 0);
+}
+
+// ResetStats exclusivity contract (see SiteDatabase::ResetStats): reads
+// may hammer the counters from many threads, but a reset runs only after
+// every reader has been joined. This is the legitimate pattern — it must
+// be clean under ThreadSanitizer and the debug in-flight-read assertion —
+// and each round's counters must come back exact, proving no read from a
+// previous round leaked past its join into the reset window.
+TEST(RelationConcurrencyTest, ResetStatsBetweenJoinedReadRounds) {
+  SiteDatabase site({"l"});
+  ASSERT_TRUE(site.db().Insert("l", {V(1), V(2)}).ok());
+  ASSERT_TRUE(site.db().Insert("r", {V(7)}).ok());
+
+  for (int round = 0; round < 4; ++round) {
+    // Alternate cache modes across rounds: both read paths (physical
+    // fetch and cache hit) must obey the same occupancy discipline.
+    site.EnableRemoteCache(round % 2 == 1);
+    std::vector<std::thread> readers;
+    for (int t = 0; t < 8; ++t) {
+      readers.emplace_back([&]() {
+        for (int i = 0; i < 500; ++i) {
+          ASSERT_TRUE(site.OnRead("l", 2).ok());
+          ASSERT_TRUE(site.ReadRemote("r", 1).ok());
+        }
+      });
+    }
+    for (std::thread& t : readers) t.join();
+
+    AccessStats stats = site.stats();
+    EXPECT_EQ(stats.local_tuples, 8u * 500 * 2);
+    // Every remote read was either a physical trip or a cache hit,
+    // whatever the interleaving of the first fill.
+    EXPECT_EQ(stats.remote_trips + stats.cache_hits, 8u * 500);
+    EXPECT_EQ(stats.remote_tuples + stats.cached_tuples, 8u * 500);
+
+    // All readers joined: the exclusivity precondition holds, so the
+    // reset is race-free and the next round starts from exact zeroes.
+    site.ResetStats();
+    AccessStats zeroed = site.stats();
+    EXPECT_EQ(zeroed.local_tuples, 0u);
+    EXPECT_EQ(zeroed.remote_tuples, 0u);
+    EXPECT_EQ(zeroed.remote_trips, 0u);
+    EXPECT_EQ(zeroed.remote_failures, 0u);
+    EXPECT_EQ(zeroed.cache_hits, 0u);
+    EXPECT_EQ(zeroed.cached_tuples, 0u);
+  }
 }
 
 TEST(RelationConcurrencyTest, DatabaseFreezeIndexes) {

@@ -91,5 +91,95 @@ TEST(ScriptRunTest, SubsumedConstraintReported) {
   EXPECT_NE(report->text.find("cap-500 (redundant"), std::string::npos);
 }
 
+// ---- ApplyScriptFlag: the strict ccpi_check flag parser -----------------
+
+/// Applies one flag expecting success, returning whether it was matched.
+bool ApplyOk(std::string_view arg, ScriptOptions* options) {
+  bool matched = false;
+  Status st = ApplyScriptFlag(arg, options, &matched);
+  EXPECT_TRUE(st.ok()) << arg << ": " << st.ToString();
+  return matched;
+}
+
+/// Applies one flag expecting a usage error that names the flag.
+void ExpectBadFlag(std::string_view arg, std::string_view flag_name) {
+  ScriptOptions options;
+  bool matched = false;
+  Status st = ApplyScriptFlag(arg, &options, &matched);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument) << arg;
+  EXPECT_NE(st.message().find(flag_name), std::string::npos)
+      << "error for " << arg << " does not name the flag: " << st.message();
+}
+
+TEST(ScriptFlagTest, ValidFlagsApply) {
+  ScriptOptions options;
+  EXPECT_TRUE(ApplyOk("--threads=8", &options));
+  EXPECT_EQ(options.parallel.threads, 8u);
+  EXPECT_TRUE(ApplyOk("--remote-cache=off", &options));
+  EXPECT_FALSE(options.remote_cache.enabled);
+  EXPECT_TRUE(ApplyOk("--remote-cache=on", &options));
+  EXPECT_TRUE(options.remote_cache.enabled);
+  EXPECT_TRUE(ApplyOk("--fault-rate=0.25", &options));
+  EXPECT_DOUBLE_EQ(options.faults.transient_rate, 0.25);
+  EXPECT_TRUE(options.enable_faults);
+  EXPECT_TRUE(ApplyOk("--fault-timeout-rate=0.5", &options));
+  EXPECT_DOUBLE_EQ(options.faults.timeout_rate, 0.5);
+  EXPECT_TRUE(ApplyOk("--fault-seed=42", &options));
+  EXPECT_EQ(options.faults.seed, 42u);
+  EXPECT_TRUE(ApplyOk("--fault-outage=10:25", &options));
+  ASSERT_EQ(options.faults.outages.size(), 1u);
+  EXPECT_EQ(options.faults.outages[0].begin, 10u);
+  EXPECT_EQ(options.faults.outages[0].end, 25u);
+  EXPECT_TRUE(ApplyOk("--fault-reject", &options));
+  EXPECT_EQ(options.resilience.on_unreachable, DeferredPolicy::kReject);
+  EXPECT_TRUE(ApplyOk("--stats", &options));
+  EXPECT_TRUE(options.print_stats);
+}
+
+TEST(ScriptFlagTest, MalformedNumericValuesAreHardErrors) {
+  // Satellite of ISSUE 4: these used to fall back silently to defaults
+  // (atoi-style parsing); now each is an InvalidArgument naming the flag.
+  ExpectBadFlag("--threads=abc", "--threads");
+  ExpectBadFlag("--threads=-2", "--threads");
+  ExpectBadFlag("--threads=", "--threads");
+  ExpectBadFlag("--threads=4x", "--threads");
+  ExpectBadFlag("--fault-rate=1.5", "--fault-rate");
+  ExpectBadFlag("--fault-rate=-0.1", "--fault-rate");
+  ExpectBadFlag("--fault-rate=nope", "--fault-rate");
+  ExpectBadFlag("--fault-timeout-rate=2", "--fault-timeout-rate");
+  ExpectBadFlag("--fault-seed=12p", "--fault-seed");
+  ExpectBadFlag("--fault-outage=10", "--fault-outage");
+  ExpectBadFlag("--fault-outage=a:b", "--fault-outage");
+  ExpectBadFlag("--fault-outage=25:10", "--fault-outage");
+  ExpectBadFlag("--remote-cache=bogus", "--remote-cache");
+}
+
+TEST(ScriptFlagTest, MalformedValueLeavesOptionsUntouched) {
+  ScriptOptions options;
+  bool matched = false;
+  Status st = ApplyScriptFlag("--threads=abc", &options, &matched);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(options.parallel.threads, ScriptOptions{}.parallel.threads);
+}
+
+TEST(ScriptFlagTest, UnrecognizedFlagsAreNotMatched) {
+  ScriptOptions options;
+  EXPECT_FALSE(ApplyOk("--no-such-flag=1", &options));
+  EXPECT_FALSE(ApplyOk("workload.ccpi", &options));
+  // Tool-level flags are deliberately not ApplyScriptFlag's business.
+  EXPECT_FALSE(ApplyOk("--export-souffle", &options));
+  EXPECT_FALSE(ApplyOk("--trace-out=x.json", &options));
+}
+
+TEST(ScriptFlagTest, ValidateRejectsRateSumAboveOne) {
+  ScriptOptions options;
+  ASSERT_TRUE(ApplyOk("--fault-rate=0.7", &options));
+  ASSERT_TRUE(ApplyOk("--fault-timeout-rate=0.4", &options));
+  Status st = ValidateScriptOptions(options);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  options.faults.timeout_rate = 0.3;
+  EXPECT_TRUE(ValidateScriptOptions(options).ok());
+}
+
 }  // namespace
 }  // namespace ccpi

@@ -79,6 +79,58 @@ TEST(RelationTest, ProbeAfterMutation) {
   EXPECT_EQ(r.Probe(0, V(1)).size(), 0u);
 }
 
+TEST(RelationTest, VersionBumpsOnContentChangeOnly) {
+  Relation r(1);
+  uint64_t v0 = r.version();
+  EXPECT_EQ(v0, 0u);  // never mutated
+
+  EXPECT_TRUE(r.Insert({V(1)}));
+  uint64_t v1 = r.version();
+  EXPECT_NE(v1, v0);
+
+  EXPECT_FALSE(r.Insert({V(1)}));  // duplicate: contents unchanged
+  EXPECT_EQ(r.version(), v1);
+  EXPECT_FALSE(r.Erase({V(2)}));  // absent: contents unchanged
+  EXPECT_EQ(r.version(), v1);
+  (void)r.Probe(0, V(1));  // reads never bump
+  EXPECT_EQ(r.version(), v1);
+
+  EXPECT_TRUE(r.Erase({V(1)}));
+  uint64_t v2 = r.version();
+  EXPECT_NE(v2, v1);
+
+  r.Clear();  // already empty: unchanged
+  EXPECT_EQ(r.version(), v2);
+  r.Insert({V(3)});
+  r.Clear();  // non-empty: a content change
+  EXPECT_NE(r.version(), v2);
+}
+
+TEST(RelationTest, VersionsAreGloballyUniquePerContentChange) {
+  // The stamp source is process-wide: two relations that went through
+  // different mutation histories never share a version, so a cache keyed
+  // on versions cannot confuse a scratch copy with the live relation.
+  Relation a(1);
+  Relation b(1);
+  a.Insert({V(1)});
+  b.Insert({V(1)});  // same contents, different histories
+  EXPECT_NE(a.version(), b.version());
+}
+
+TEST(RelationTest, CopiesCarryTheVersion) {
+  Relation r(2);
+  r.Insert({V(1), V(2)});
+  Relation copy = r;
+  // Identical contents by construction: the copy may share the stamp...
+  EXPECT_EQ(copy.version(), r.version());
+  Relation assigned(2);
+  assigned = r;
+  EXPECT_EQ(assigned.version(), r.version());
+  // ...until either side diverges.
+  copy.Insert({V(3), V(4)});
+  EXPECT_NE(copy.version(), r.version());
+}
+
 TEST(DatabaseTest, InsertCreatesRelation) {
   Database db;
   ASSERT_TRUE(db.Insert("emp", {V("jones"), V("shoe"), V(50)}).ok());

@@ -42,6 +42,9 @@ constexpr const char kUsage[] =
     "  --threads=N             checker threads for the per-constraint\n"
     "                          fan-out (default 1 = sequential; reports\n"
     "                          are identical at any thread count)\n"
+    "  --remote-cache=on|off   remote-read snapshot cache (default on;\n"
+    "                          semantically invisible — only the access\n"
+    "                          accounting changes)\n"
     "\n"
     "Fault injection (simulated remote-site failures):\n"
     "  --fault-rate=P          per-trip transient failure probability [0,1]\n"
@@ -69,28 +72,6 @@ constexpr const char kUsage[] =
     "     violations found when a deferred check was finally re-verified)\n"
     "  4  no violation, but some checks are still deferred pending the\n"
     "     remote site, or updates were refused under --fault-reject\n";
-
-bool ParseDoubleFlag(const char* arg, const char* name, double* out,
-                     bool* ok) {
-  size_t len = std::strlen(name);
-  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
-  const char* value = arg + len + 1;
-  char* end = nullptr;
-  *out = std::strtod(value, &end);
-  if (end == value || *end != '\0' || *out < 0.0 || *out > 1.0) {
-    std::fprintf(stderr, "%s wants a probability in [0,1], got \"%s\"\n",
-                 name, value);
-    *ok = false;
-  }
-  return true;
-}
-
-bool ParseUint64Flag(const char* arg, const char* name, uint64_t* out) {
-  size_t len = std::strlen(name);
-  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
-  *out = std::strtoull(arg + len + 1, nullptr, 10);
-  return true;
-}
 
 bool ParseStringFlag(const char* arg, const char* name, std::string* out) {
   size_t len = std::strlen(name);
@@ -125,54 +106,38 @@ int main(int argc, char** argv) {
   bool flags_ok = true;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
-    double rate = 0;
-    uint64_t n = 0;
     if (std::string(arg) == "--help" || std::string(arg) == "-h") {
       std::fputs(kUsage, stdout);
       return 0;
     } else if (std::string(arg) == "--export-souffle") {
       export_souffle = true;
-    } else if (ParseDoubleFlag(arg, "--fault-rate", &rate, &flags_ok)) {
-      options.faults.transient_rate = rate;
-      options.enable_faults = true;
-    } else if (ParseDoubleFlag(arg, "--fault-timeout-rate", &rate,
-                               &flags_ok)) {
-      options.faults.timeout_rate = rate;
-      options.enable_faults = true;
-    } else if (ParseUint64Flag(arg, "--fault-seed", &n)) {
-      options.faults.seed = n;
-    } else if (ParseUint64Flag(arg, "--threads", &n)) {
-      options.parallel.threads = static_cast<size_t>(n);
-    } else if (std::strncmp(arg, "--fault-outage=", 15) == 0) {
-      uint64_t begin = 0, end = 0;
-      const char* spec = arg + 15;
-      const char* colon = std::strchr(spec, ':');
-      if (colon == nullptr) {
-        std::fprintf(stderr, "--fault-outage wants A:B, got %s\n", spec);
-        flags_ok = false;
-      } else {
-        begin = std::strtoull(spec, nullptr, 10);
-        end = std::strtoull(colon + 1, nullptr, 10);
-        options.faults.outages.push_back(ccpi::OutageWindow{begin, end});
-        options.enable_faults = true;
-      }
-    } else if (std::string(arg) == "--fault-reject") {
-      options.resilience.on_unreachable = ccpi::DeferredPolicy::kReject;
-    } else if (std::string(arg) == "--stats") {
-      options.print_stats = true;
     } else if (ParseStringFlag(arg, "--trace-out", &trace_out)) {
     } else if (ParseStringFlag(arg, "--metrics-out", &metrics_out)) {
-    } else if (arg[0] == '-' && arg[1] == '-') {
-      std::fprintf(stderr, "unknown flag %s\n", arg);
-      flags_ok = false;
     } else {
-      path = arg;
+      // Everything configuring the run itself goes through the shared
+      // strict parser: a recognized flag with a malformed value (e.g.
+      // --threads=abc) is a hard usage error, never a silent default.
+      bool matched = false;
+      ccpi::Status st = ccpi::ApplyScriptFlag(arg, &options, &matched);
+      if (!st.ok()) {
+        std::fprintf(stderr, "%s\n", st.message().c_str());
+        flags_ok = false;
+      } else if (!matched) {
+        if (arg[0] == '-' && arg[1] == '-') {
+          std::fprintf(stderr, "unknown flag %s\n", arg);
+          flags_ok = false;
+        } else {
+          path = arg;
+        }
+      }
     }
   }
-  if (options.faults.transient_rate + options.faults.timeout_rate > 1.0) {
-    std::fprintf(stderr,
-                 "--fault-rate and --fault-timeout-rate must sum to <= 1\n");
-    flags_ok = false;
+  {
+    ccpi::Status st = ccpi::ValidateScriptOptions(options);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.message().c_str());
+      flags_ok = false;
+    }
   }
   if (path == nullptr || !flags_ok) {
     std::fputs(kUsage, stderr);

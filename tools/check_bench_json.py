@@ -66,6 +66,47 @@ def check_point(path, i, point, problems):
                 fail(path, f"{where}.{field} is negative", problems)
 
 
+# Artifact-specific requirements, keyed by the artifact's "name". The
+# remote_cache sweep is the acceptance evidence of the snapshot cache, so
+# its locality rows and their metric keys are part of the contract: a
+# refactor that silently drops a row or renames a metric must fail CI.
+REMOTE_CACHE_LOCALITIES = ("f0.00", "f0.10", "f0.50", "f1.00")
+REMOTE_CACHE_METRICS = (
+    "locality",
+    "constraints",
+    "updates",
+    "remote_trips_off",
+    "remote_trips_on",
+    "trip_reduction",
+    "cache_hits",
+    "cached_tuples",
+    "sim_cost_off",
+    "sim_cost_on",
+    "ns_per_update_off",
+    "ns_per_update_on",
+)
+
+
+def check_remote_cache(path, doc, problems):
+    sweeps = [p for p in doc.get("points", [])
+              if isinstance(p, dict) and p.get("kind") == "sweep"
+              and isinstance(p.get("name"), str)]
+    for locality in REMOTE_CACHE_LOCALITIES:
+        rows = [p for p in sweeps if f"/{locality}/" in p["name"]]
+        if not rows:
+            fail(path, f"remote_cache: no locality sweep row for {locality}",
+                 problems)
+    for point in sweeps:
+        metrics = point.get("metrics")
+        if not isinstance(metrics, dict):
+            continue  # already reported by check_point
+        for key in REMOTE_CACHE_METRICS:
+            if key not in metrics:
+                fail(path,
+                     f"remote_cache: sweep {point['name']!r} missing "
+                     f"metric {key!r}", problems)
+
+
 def check_file(path, problems):
     try:
         with open(path, encoding="utf-8") as f:
@@ -95,6 +136,8 @@ def check_file(path, problems):
              problems)
     for i, point in enumerate(points):
         check_point(path, i, point, problems)
+    if doc.get("name") == "remote_cache":
+        check_remote_cache(path, doc, problems)
 
 
 def main(argv):
