@@ -156,7 +156,8 @@ Result<Outcome> RaLocalTestOnInsert(const Rule& rule,
                                     const std::string& local_pred,
                                     const Tuple& t, const Database& db,
                                     AccessObserver* observer,
-                                    obs::MetricsRegistry* metrics) {
+                                    obs::MetricsRegistry* metrics,
+                                    const BudgetScope* budget) {
   CCPI_ASSIGN_OR_RETURN(RaLocalTest test,
                         CompileRaLocalTest(rule, local_pred, t));
   if (test.trivially_holds) return Outcome::kHolds;
@@ -173,7 +174,7 @@ Result<Outcome> RaLocalTestOnInsert(const Rule& rule,
   }
 #endif
   CCPI_ASSIGN_OR_RETURN(bool nonempty,
-                        RaNonempty(*test.expr, db, observer, metrics));
+                        RaNonempty(*test.expr, db, observer, metrics, budget));
   return nonempty ? Outcome::kHolds : Outcome::kUnknown;
 }
 

@@ -49,11 +49,15 @@ Result<RaLocalTest> CompileRaLocalTest(const Rule& rule,
 /// constraint), or kUnknown. `db` must hold the local relation; only the
 /// local relation is read (observable via `observer`). A non-null
 /// `metrics` registry receives the underlying evaluator's `ra.*` counters.
+/// A non-null `budget` bounds the evaluation (the manager leaves it null:
+/// tiers 0-2 are the paper's cheap complete tests and run outside the
+/// execution envelope — see docs/budgets.md).
 Result<Outcome> RaLocalTestOnInsert(const Rule& rule,
                                     const std::string& local_pred,
                                     const Tuple& t, const Database& db,
                                     AccessObserver* observer = nullptr,
-                                    obs::MetricsRegistry* metrics = nullptr);
+                                    obs::MetricsRegistry* metrics = nullptr,
+                                    const BudgetScope* budget = nullptr);
 
 }  // namespace ccpi
 

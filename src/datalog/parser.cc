@@ -65,7 +65,26 @@ class Parser {
                                    std::to_string(t.column));
   }
 
-  Result<Term> ParseTerm() {
+  /// Bound on parenthesized-term nesting: adversarially deep input (e.g.
+  /// "p(((((...x...)))))" with thousands of parens) is a parse error, not
+  /// a parser-stack overflow. 64 levels is far beyond any legitimate
+  /// grouping while keeping the recursion depth trivially safe.
+  static constexpr int kMaxTermDepth = 64;
+
+  Result<Term> ParseTerm() { return ParseTermAtDepth(0); }
+
+  Result<Term> ParseTermAtDepth(int depth) {
+    if (depth > kMaxTermDepth) return Error("term nesting too deep");
+    // Parentheses around a term are pure grouping: "((x))" parses as "x".
+    // This alternative is the parser's only unbounded self-recursion, so
+    // the depth cap above is checked here.
+    if (At(TokenKind::kLParen)) {
+      Advance();
+      CCPI_ASSIGN_OR_RETURN(Term inner, ParseTermAtDepth(depth + 1));
+      if (!At(TokenKind::kRParen)) return Error("expected ')'");
+      Advance();
+      return inner;
+    }
     if (At(TokenKind::kInt)) {
       int64_t n = Peek().number;
       Advance();

@@ -45,7 +45,17 @@ FaultKind FaultInjector::NextTrip() {
 }
 
 Status FaultInjector::InjectOnRead(const std::string& pred) {
-  switch (NextTrip()) {
+  FaultKind kind = NextTrip();
+  if (kind == FaultKind::kNone) {
+    // Per-predicate outages overlay the seeded schedule after its draw has
+    // been consumed, preserving draw alignment for every other predicate.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (down_preds_.count(pred) > 0) {
+      ++stats_.outage_faults;
+      kind = FaultKind::kOutage;
+    }
+  }
+  switch (kind) {
     case FaultKind::kNone:
       return Status::OK();
     case FaultKind::kTransient:

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -96,6 +97,24 @@ class FaultInjector {
     return forced_outage_;
   }
 
+  /// Per-predicate hard outage: while set, every read of `pred` fails with
+  /// kOutage even though other predicates' sites stay reachable — one dead
+  /// site among several. The trip still consumes its schedule draw (and
+  /// its trip index), so flipping one predicate's availability never
+  /// shifts which draws later reads of other predicates observe.
+  void ForcePredOutage(const std::string& pred, bool on) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (on) {
+      down_preds_.insert(pred);
+    } else {
+      down_preds_.erase(pred);
+    }
+  }
+  bool pred_outage(const std::string& pred) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return down_preds_.count(pred) > 0;
+  }
+
   /// Trip index the next access will be assigned.
   uint64_t next_trip() const {
     std::lock_guard<std::mutex> lock(mu_);
@@ -115,6 +134,7 @@ class FaultInjector {
   Rng rng_;
   uint64_t trip_ = 0;
   bool forced_outage_ = false;
+  std::set<std::string> down_preds_;
   FaultStats stats_;
 };
 

@@ -70,6 +70,13 @@ Status SiteDatabase::OnRead(const std::string& pred, size_t count) {
 
 Status SiteDatabase::ReadRemote(const std::string& pred, size_t count) {
   ActiveReadGuard guard(&active_reads_);
+  if (budget_ != nullptr) {
+    // Deadline/cancellation gate before any trip accounting or injector
+    // draw, so budgeted cache-on and cache-off runs refuse at the same
+    // point. The trip cap itself is charged in FetchRemote, where the
+    // physical trip would be paid.
+    CCPI_RETURN_IF_ERROR(budget_->Check());
+  }
   if (!cache_enabled_) return FetchRemote(pred, count);
 
   const uint64_t version = cache_source().Get(pred, 0).version();
@@ -122,6 +129,11 @@ Status SiteDatabase::FetchRemote(const std::string& pred, size_t count) {
     span.Attr("tuples", static_cast<int64_t>(count));
   }
   obs::Stopwatch fill_timer;
+  if (budget_ != nullptr) {
+    // A trip the budget cannot afford is refused, not paid: no trip is
+    // billed, no injector draw is consumed.
+    CCPI_RETURN_IF_ERROR(budget_->OnRemoteTrip());
+  }
   // The round trip is paid whether or not it succeeds.
   remote_trips_.fetch_add(1, std::memory_order_relaxed);
   if (ctr_remote_trips_ != nullptr) ctr_remote_trips_->Add(1);
@@ -153,10 +165,14 @@ void SiteDatabase::PrefetchRemote(const std::set<std::string>& preds) {
     }
     // The fill routes through ReadRemote so miss/invalidation counters and
     // the fill path behave exactly as an inline read of the whole relation
-    // would. Without an injector the fetch cannot fail.
+    // would. Without an injector the fetch can only fail by exhausting an
+    // attached budget; stop prefetching then — the fan-out's own reads
+    // will hit the same exhausted scope and shed.
     Status st = ReadRemote(pred, rel.size());
-    CCPI_DCHECK(st.ok());
-    (void)st;
+    if (!st.ok()) {
+      CCPI_DCHECK(st.code() == StatusCode::kResourceExhausted);
+      return;
+    }
   }
 }
 

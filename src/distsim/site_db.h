@@ -99,6 +99,18 @@ class SiteDatabase : public AccessObserver, public RemoteAccessor {
   void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
   FaultInjector* fault_injector() const { return injector_; }
 
+  /// Attaches (or detaches, with nullptr) an execution-budget scope
+  /// (configuration call: serialize against reads; not owned, must outlive
+  /// the reads it governs — the manager scopes it to one episode). Remote
+  /// reads then become deadline-aware: a read is refused with
+  /// kResourceExhausted *before* paying the round trip once the deadline
+  /// has passed, the token is cancelled, or the scope's remote-trip cap is
+  /// spent. Cache hits pay no trip and are never charged against the trip
+  /// cap (the cache genuinely stretches the budget; see docs/budgets.md).
+  /// Local reads are always free and never refused.
+  void set_budget(const BudgetScope* scope) { budget_ = scope; }
+  const BudgetScope* budget() const { return budget_; }
+
   /// Attaches (or detaches, with nullptr) a metrics registry. Every read
   /// then also bumps the `distsim.*` counters (see docs/observability.md)
   /// in addition to the per-site AccessStats. Not owned; must outlive the
@@ -194,6 +206,7 @@ class SiteDatabase : public AccessObserver, public RemoteAccessor {
   // NDEBUG builds, so the release hot path is untouched.
   std::atomic<int> active_reads_{0};
   FaultInjector* injector_ = nullptr;
+  const BudgetScope* budget_ = nullptr;
   bool cache_enabled_ = false;
   RemoteReadCache cache_;
   const Database* cache_db_ = nullptr;

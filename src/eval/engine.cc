@@ -26,6 +26,7 @@ struct EvalMetricsFlush {
   obs::MetricsRegistry* registry;
   size_t rule_evals = 0;
   size_t fixpoint_rounds = 0;
+  size_t budget_checks = 0;
   const size_t* derived;  // the engine's derived-tuple count
 
   ~EvalMetricsFlush() {
@@ -34,6 +35,7 @@ struct EvalMetricsFlush {
     registry->GetCounter("eval.rule_evals")->Add(rule_evals);
     registry->GetCounter("eval.fixpoint_rounds")->Add(fixpoint_rounds);
     registry->GetCounter("eval.tuples_derived")->Add(*derived);
+    registry->GetCounter("eval.budget_checks")->Add(budget_checks);
   }
 };
 
@@ -61,6 +63,7 @@ class RuleEval {
            std::function<const Relation*(const std::string&, size_t)> lookup,
            AccessObserver* observer,
            const std::set<std::string>* edb_preds, bool use_index,
+           const BudgetScope* budget, size_t* budget_checks,
            std::function<void(Tuple)> emit)
       : rule_(rule),
         fetch_(std::move(fetch)),
@@ -68,6 +71,8 @@ class RuleEval {
         observer_(observer),
         use_index_(use_index),
         edb_preds_(edb_preds),
+        budget_(budget),
+        budget_checks_(budget_checks),
         emit_(std::move(emit)) {}
 
   /// Non-OK when an observed read failed mid-evaluation (e.g. the remote
@@ -85,6 +90,14 @@ class RuleEval {
   /// Reports a read to the observer; returns false (and latches the error
   /// for Run) if the observer refused it.
   bool Observe(const std::string& pred, size_t count) {
+    if (budget_ != nullptr) {
+      ++*budget_checks_;
+      Status st = budget_->Check();
+      if (!st.ok()) {
+        if (status_.ok()) status_ = std::move(st);
+        return false;
+      }
+    }
     if (observer_ != nullptr && edb_preds_->count(pred) > 0) {
       Status st = observer_->OnRead(pred, count);
       if (!st.ok()) {
@@ -264,6 +277,8 @@ class RuleEval {
   AccessObserver* observer_;
   bool use_index_;
   const std::set<std::string>* edb_preds_;
+  const BudgetScope* budget_;
+  size_t* budget_checks_;
   std::function<void(Tuple)> emit_;
   Status status_;  // first observer failure, returned by Run
 };
@@ -298,7 +313,24 @@ Result<Database> Evaluate(const Program& program, const Database& edb,
 
   Database idb;
   size_t derived = 0;
-  EvalMetricsFlush metrics{options.metrics, 0, 0, &derived};
+  EvalMetricsFlush metrics{options.metrics, 0, 0, 0, &derived};
+  // Budget checkpoints: one per fixpoint round, one per round's batch of
+  // newly derived tuples (RuleEval adds one per EDB enumeration). All of
+  // this is a null-pointer branch when no budget is attached.
+  const BudgetScope* budget = options.budget;
+  size_t charged = 0;  // derived tuples already billed to the budget
+  auto budget_round = [&]() -> Status {
+    if (budget == nullptr) return Status::OK();
+    ++metrics.budget_checks;
+    return budget->OnFixpointRound();
+  };
+  auto budget_tuples = [&]() -> Status {
+    if (budget == nullptr || derived <= charged) return Status::OK();
+    ++metrics.budget_checks;
+    Status st = budget->OnDerivedTuples(derived - charged);
+    charged = derived;
+    return st;
+  };
   if (options.seed_idb != nullptr) {
     // Seed derived relations (the uniform-containment chase evaluates a
     // program over frozen facts of its own IDB predicates).
@@ -337,7 +369,7 @@ Result<Database> Evaluate(const Program& program, const Database& edb,
         };
         RuleEval eval(
             rule, fetch, lookup, options.observer, &edb_preds,
-            options.use_index,
+            options.use_index, budget, &metrics.budget_checks,
             [&](Tuple t) { emit(rule.head.pred, std::move(t)); });
         CCPI_RETURN_IF_ERROR(eval.Run());
       }
@@ -346,7 +378,9 @@ Result<Database> Evaluate(const Program& program, const Database& edb,
 
     // Initial round: every rule against the current (pre-stratum) state.
     ++metrics.fixpoint_rounds;
+    CCPI_RETURN_IF_ERROR(budget_round());
     CCPI_RETURN_IF_ERROR(run_full_round());
+    CCPI_RETURN_IF_ERROR(budget_tuples());
 
     if (!options.use_seminaive) {
       // Naive fixpoint (ablation baseline): full rounds until quiescence.
@@ -357,7 +391,9 @@ Result<Database> Evaluate(const Program& program, const Database& edb,
         }
         delta = Database();
         ++metrics.fixpoint_rounds;
+        CCPI_RETURN_IF_ERROR(budget_round());
         CCPI_RETURN_IF_ERROR(run_full_round());
+        CCPI_RETURN_IF_ERROR(budget_tuples());
       }
       continue;
     }
@@ -372,6 +408,7 @@ Result<Database> Evaluate(const Program& program, const Database& edb,
       Database prev_delta = std::move(delta);
       delta = Database();
       ++metrics.fixpoint_rounds;
+      CCPI_RETURN_IF_ERROR(budget_round());
       for (const Rule& rule : stratum) {
         for (size_t k = 0; k < rule.body.size(); ++k) {
           const Literal& lit = rule.body[k];
@@ -386,11 +423,12 @@ Result<Database> Evaluate(const Program& program, const Database& edb,
           };
           RuleEval eval(
               rule, fetch, lookup, options.observer, &edb_preds,
-              options.use_index,
+              options.use_index, budget, &metrics.budget_checks,
               [&](Tuple t) { emit(rule.head.pred, std::move(t)); });
           CCPI_RETURN_IF_ERROR(eval.Run());
         }
       }
+      CCPI_RETURN_IF_ERROR(budget_tuples());
     }
   }
   return idb;

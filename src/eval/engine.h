@@ -6,6 +6,7 @@
 
 #include "datalog/ast.h"
 #include "relational/database.h"
+#include "util/budget.h"
 #include "util/status.h"
 
 namespace ccpi {
@@ -38,8 +39,17 @@ struct EvalOptions {
   /// derived tuples into `eval.*` counters of this registry (see
   /// docs/observability.md for the catalog). Null costs nothing.
   obs::MetricsRegistry* metrics = nullptr;
-  /// Safety valve for runaway recursive programs (0 = unlimited).
+  /// Safety valve for runaway recursive programs (0 = unlimited). Predates
+  /// the budget machinery and fails with kInternal; prefer `budget` for
+  /// policy-driven limits that the manager can shed gracefully.
   size_t max_derived_tuples = 0;
+  /// Execution budget (null = unbudgeted; the check is then a single branch
+  /// and the engine reads no clocks). When set, the engine checks it at the
+  /// start of every fixpoint round, after every rule evaluation's batch of
+  /// derived tuples, and on every EDB enumeration, failing the evaluation
+  /// with kResourceExhausted once the envelope is spent. Checkpoint counts
+  /// land in the `eval.budget_checks` counter when `metrics` is set.
+  const BudgetScope* budget = nullptr;
   /// Tuples seeded into IDB relations before evaluation begins (used by
   /// the uniform-containment chase, where a program runs over frozen
   /// facts of its own derived predicates). May be null.

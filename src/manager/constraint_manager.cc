@@ -76,6 +76,16 @@ void ConstraintManager::InitObservability() {
   ctr_deferred_recovered_ = metrics_.GetCounter("manager.deferred.recovered");
   ctr_deferred_violations_ =
       metrics_.GetCounter("manager.deferred.violations");
+  ctr_t3_admitted_ = metrics_.GetCounter("manager.t3_admitted");
+  ctr_shed_ = metrics_.GetCounter("manager.shed_checks");
+  ctr_budget_exhausted_ = metrics_.GetCounter("manager.budget_exhausted");
+  ctr_deferred_dropped_ = metrics_.GetCounter("manager.deferred.dropped");
+  // Millisecond-scale bounds: the registry's default ladder is tuned for
+  // nanosecond latencies, while this histogram records wall-clock budget
+  // left when a deadlined episode completes.
+  hist_budget_remaining_ = metrics_.GetHistogram(
+      "manager.budget_remaining_ms",
+      {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000});
   hist_apply_ = metrics_.GetHistogram("manager.apply_latency_ns");
   hist_remote_eval_ = metrics_.GetHistogram("manager.remote_eval_latency_ns");
   gauge_deferred_len_ = metrics_.GetGauge("manager.deferred_queue_len");
@@ -95,6 +105,10 @@ ManagerStats ConstraintManager::stats() const {
   s.breaker_fast_fails = ctr_fast_fails_->value();
   s.deferred_recovered = ctr_deferred_recovered_->value();
   s.deferred_violations = ctr_deferred_violations_->value();
+  s.t3_admitted = ctr_t3_admitted_->value();
+  s.shed_checks = ctr_shed_->value();
+  s.budget_exhausted = ctr_budget_exhausted_->value();
+  s.deferred_dropped = ctr_deferred_dropped_->value();
   s.access = site_.stats();
   return s;
 }
@@ -285,8 +299,20 @@ Result<CheckReport> ConstraintManager::CheckOneImpl(Registered* r,
 
 Result<bool> ConstraintManager::EvaluateRemote(const Program& program,
                                                const Database& db,
-                                               size_t* retries_out) {
+                                               size_t* retries_out,
+                                               const BudgetScope* scope) {
   obs::Span span("manager.evaluate_remote", "manager");
+  if (scope != nullptr) {
+    // Admission: a check whose envelope is already spent performs no
+    // attempt at all — no retry episode, no breaker traffic, no span
+    // timing. The caller sheds it.
+    Status admit = scope->Check();
+    if (!admit.ok()) {
+      if (retries_out != nullptr) *retries_out = 0;
+      ctr_budget_exhausted_->Add(1);
+      return admit;
+    }
+  }
   obs::Stopwatch sw;
   bool violated = false;
   RetryOutcome episode =
@@ -294,6 +320,7 @@ Result<bool> ConstraintManager::EvaluateRemote(const Program& program,
         EvalOptions options;
         options.observer = &site_;
         options.metrics = &metrics_;
+        options.budget = scope;
         Result<bool> r = IsViolated(program, db, options);
         if (!r.ok()) return r.status();
         violated = *r;
@@ -314,6 +341,11 @@ Result<bool> ConstraintManager::EvaluateRemote(const Program& program,
     if (IsRetriable(episode.status.code())) {
       ctr_remote_failures_->Add(1);
       breaker_.RecordFailure();
+    } else if (episode.status.code() == StatusCode::kResourceExhausted) {
+      // The budget, not the site, stopped the episode: never retried
+      // (retrying would spend the same exhausted envelope) and never
+      // blamed on the breaker (the site did nothing wrong).
+      ctr_budget_exhausted_->Add(1);
     }
     if (span.active()) span.Attr("gave_up", episode.status.message());
     return episode.status;
@@ -326,6 +358,7 @@ bool ConstraintManager::UpdateRefused(
     const std::vector<CheckReport>& reports) const {
   for (const CheckReport& r : reports) {
     if (r.outcome == Outcome::kViolated) return true;
+    if (r.queue_overflow) return true;
     if (r.outcome == Outcome::kDeferred &&
         resilience_.on_unreachable == DeferredPolicy::kReject) {
       return true;
@@ -350,13 +383,23 @@ Result<std::vector<CheckReport>> ConstraintManager::ApplyUpdate(
 
 Result<std::vector<CheckReport>> ConstraintManager::ApplyUpdateImpl(
     const Update& u) {
+  // The episode's execution envelope, armed from configuration alone: an
+  // unbudgeted manager never reads the clock here — episode_scope stays
+  // inert and every checkpoint downstream is one branch on a null scope.
+  BudgetScope episode_scope;
+  if (budget_armed_) {
+    episode_scope = BudgetScope::Start(budget_.per_episode, budget_.cancel);
+  }
+  const BudgetScope* episode = budget_armed_ ? &episode_scope : nullptr;
+
   breaker_.Tick();
   // Opportunistically drain the deferred queue first: once the remote site
   // answers again, earlier optimistic applies are re-verified before new
   // work builds on them.
   if (resilience_.auto_recheck && !deferred_.empty() &&
       breaker_.AllowRequest()) {
-    Result<std::vector<DeferredResolution>> drained = RecheckDeferred();
+    Result<std::vector<DeferredResolution>> drained =
+        RecheckDeferredImpl(episode);
     if (!drained.ok()) return drained.status();
   }
 
@@ -426,6 +469,7 @@ Result<std::vector<CheckReport>> ConstraintManager::ApplyUpdateImpl(
     violated = violated || r.outcome == Outcome::kViolated;
   }
   bool any_deferred = false;
+  bool overflow_refused = false;
 
   if (!need_full.empty() && !violated) {
     // Tentatively apply, evaluate the undecided constraints on the new
@@ -433,6 +477,19 @@ Result<std::vector<CheckReport>> ConstraintManager::ApplyUpdateImpl(
     // whose evaluation cannot reach the remote site resolves as kDeferred
     // instead of blocking or failing the whole update.
     CCPI_RETURN_IF_ERROR(u.ApplyTo(&site_.db()));
+    ctr_t3_admitted_->Add(need_full.size());
+
+    // Route the episode's remote trips — prefetch included — through the
+    // budget for the duration of the tier-3 block, so a passed deadline
+    // refuses trips before paying them.
+    if (budget_armed_) site_.set_budget(&episode_scope);
+    struct SiteBudgetRestore {
+      SiteDatabase* site;
+      bool armed;
+      ~SiteBudgetRestore() {
+        if (armed) site->set_budget(nullptr);
+      }
+    } restore_site_budget{&site_, budget_armed_};
 
     // Batched prefetch: fetch each distinct remote relation the worklist
     // needs at most once, before any evaluation, so the per-constraint
@@ -459,10 +516,29 @@ Result<std::vector<CheckReport>> ConstraintManager::ApplyUpdateImpl(
     // by arrival — either would make interleaved evaluations
     // seed-irreproducible. With neither in play, each evaluation is a pure
     // function of (program, frozen database) and the fan-out commits
-    // verdicts in constraint order below.
+    // verdicts in constraint order below. An episode-wide remote-trip cap
+    // is arrival-order dependent for the same reason the injector is (the
+    // shared counter bills trips in global order), so it too forces the
+    // sequential path.
     bool parallel_t3 = pool_->thread_count() > 1 && need_full.size() > 1 &&
                        site_.fault_injector() == nullptr &&
-                       breaker_.state() == CircuitState::kClosed;
+                       breaker_.state() == CircuitState::kClosed &&
+                       budget_.per_episode.max_remote_trips == 0;
+
+    // Budget split: every undecided constraint gets an *identical* child
+    // scope — 1/N of each episode cap, the episode's absolute deadline and
+    // cancellation token, tightened by the per-check envelope. The split
+    // depends only on configuration and the worklist size, never on
+    // sibling progress, so verdicts cannot depend on the fan-out width.
+    std::vector<BudgetScope> check_scopes(budget_armed_ ? need_full.size()
+                                                        : 0);
+    for (BudgetScope& scope : check_scopes) {
+      scope = episode_scope.Split(need_full.size(), budget_.per_check);
+    }
+    auto scope_for = [&](size_t k) -> const BudgetScope* {
+      return budget_armed_ ? &check_scopes[k] : nullptr;
+    };
+
     std::vector<Status> eval_status(need_full.size());
     std::vector<char> eval_bad(need_full.size(), 0);
     std::vector<size_t> eval_retries(need_full.size(), 0);
@@ -471,8 +547,8 @@ Result<std::vector<CheckReport>> ConstraintManager::ApplyUpdateImpl(
       CCPI_RETURN_IF_ERROR(
           pool_->ParallelFor(need_full.size(), [&](size_t k) -> Status {
             const Registered& reg = constraints_[need_full[k]];
-            Result<bool> bad =
-                EvaluateRemote(reg.program, site_.db(), &eval_retries[k]);
+            Result<bool> bad = EvaluateRemote(reg.program, site_.db(),
+                                              &eval_retries[k], scope_for(k));
             if (!bad.ok()) {
               eval_status[k] = bad.status();
               return Status::OK();
@@ -489,13 +565,14 @@ Result<std::vector<CheckReport>> ConstraintManager::ApplyUpdateImpl(
         if (!breaker_.AllowRequest()) {
           // Circuit open: the remote site is known-dead; fail fast.
           report.outcome = Outcome::kDeferred;
+          report.reason = StatusCode::kUnavailable;
           ctr_deferred_->Add(1);
           ctr_fast_fails_->Add(1);
           any_deferred = true;
           continue;
         }
-        Result<bool> bad =
-            EvaluateRemote(reg.program, site_.db(), &eval_retries[k]);
+        Result<bool> bad = EvaluateRemote(reg.program, site_.db(),
+                                          &eval_retries[k], scope_for(k));
         if (!bad.ok()) {
           eval_status[k] = bad.status();
         } else {
@@ -504,9 +581,21 @@ Result<std::vector<CheckReport>> ConstraintManager::ApplyUpdateImpl(
       }
       report.retries = eval_retries[k];
       if (!eval_status[k].ok()) {
+        if (eval_status[k].code() == StatusCode::kResourceExhausted) {
+          // Shed: the envelope was spent before a verdict. The optimistic
+          // apply stands and the check joins the deferred queue like an
+          // unreachable-site deferral, but is counted separately — the
+          // site is fine, the budget is not.
+          report.outcome = Outcome::kDeferred;
+          report.reason = StatusCode::kResourceExhausted;
+          ctr_shed_->Add(1);
+          any_deferred = true;
+          continue;
+        }
         if (!IsRetriable(eval_status[k].code())) return eval_status[k];
         // Unreachable after retries: degrade, don't error out.
         report.outcome = Outcome::kDeferred;
+        report.reason = eval_status[k].code();
         ctr_deferred_->Add(1);
         any_deferred = true;
         continue;
@@ -522,10 +611,46 @@ Result<std::vector<CheckReport>> ConstraintManager::ApplyUpdateImpl(
     } else if (any_deferred) {
       if (resilience_.on_unreachable == DeferredPolicy::kOptimisticApply) {
         // Keep the optimistic apply; queue each undecided constraint for
-        // re-verification once the remote site answers.
+        // re-verification once the remote site answers — unless the queue
+        // cap says the backlog of unverified work is already at its bound.
+        size_t fresh = 0;
         for (const CheckReport& r : reports) {
-          if (r.outcome == Outcome::kDeferred) {
-            deferred_.push_back(DeferredCheck{u, r.constraint, sequence});
+          fresh += r.outcome == Outcome::kDeferred ? 1 : 0;
+        }
+        size_t cap = budget_.deferred_queue_cap;
+        bool over = cap != 0 && deferred_.size() + fresh > cap;
+        if (over && budget_.overflow == OverflowPolicy::kBlockRecheck &&
+            breaker_.AllowRequest()) {
+          // Block: one synchronous drain pass to make room, then re-check
+          // occupancy; falls back to refusal below if it freed nothing.
+          Result<std::vector<DeferredResolution>> drained =
+              RecheckDeferredImpl(episode);
+          if (!drained.ok()) return drained.status();
+          over = deferred_.size() + fresh > cap;
+        }
+        if (over && budget_.overflow != OverflowPolicy::kShedOldest) {
+          // The queue bounds the optimistic, still-unverified state this
+          // site carries; refuse to exceed it (kRejectUpdate, or a
+          // kBlockRecheck drain that could not make room).
+          CCPI_RETURN_IF_ERROR(InverseOf(u).ApplyTo(&site_.db()));
+          ctr_budget_exhausted_->Add(1);
+          for (CheckReport& r : reports) {
+            if (r.outcome == Outcome::kDeferred) r.queue_overflow = true;
+          }
+          overflow_refused = true;
+        } else {
+          for (const CheckReport& r : reports) {
+            if (r.outcome == Outcome::kDeferred) {
+              deferred_.push_back(DeferredCheck{u, r.constraint, sequence});
+            }
+          }
+          // Shed-oldest: admit the fresh entries and drop from the front.
+          // A dropped entry's optimistic apply stays standing, permanently
+          // unverified — availability bought with bounded, oldest-first
+          // verification debt.
+          while (cap != 0 && deferred_.size() > cap) {
+            deferred_.pop_front();
+            ctr_deferred_dropped_->Add(1);
           }
         }
       } else {
@@ -538,7 +663,7 @@ Result<std::vector<CheckReport>> ConstraintManager::ApplyUpdateImpl(
   }
 
   bool kept =
-      !noop && !violated &&
+      !noop && !violated && !overflow_refused &&
       !(any_deferred &&
         resilience_.on_unreachable == DeferredPolicy::kReject);
   if (kept) {
@@ -553,10 +678,18 @@ Result<std::vector<CheckReport>> ConstraintManager::ApplyUpdateImpl(
   }
 
   if (violated) ctr_violations_->Add(1);
+  if (episode_scope.has_deadline()) {
+    hist_budget_remaining_->Observe(episode_scope.remaining_ms());
+  }
   return reports;
 }
 
 Result<std::vector<DeferredResolution>> ConstraintManager::RecheckDeferred() {
+  return RecheckDeferredImpl(nullptr);
+}
+
+Result<std::vector<DeferredResolution>>
+ConstraintManager::RecheckDeferredImpl(const BudgetScope* episode) {
   std::vector<DeferredResolution> resolved;
   if (deferred_.empty()) return resolved;
   obs::Span span("manager.recheck_deferred", "manager");
@@ -587,52 +720,89 @@ Result<std::vector<DeferredResolution>> ConstraintManager::RecheckDeferred() {
     ~CacheDbRestore() { site->set_cache_db(nullptr); }
   } restore_cache_db{&site_};
 
-  while (!deferred_.empty()) {
-    if (!breaker_.AllowRequest()) break;  // still failing fast
-    const DeferredCheck& entry = deferred_.front();
-    const Registered* reg = nullptr;
-    for (const Registered& r : constraints_) {
-      if (r.name == entry.constraint) reg = &r;
-    }
-    if (reg == nullptr) {  // constraint no longer registered: nothing to do
-      deferred_.pop_front();
-      continue;
-    }
-    // Replay this entry's update into the scratch pre-state (a no-op for a
-    // second constraint of the same update, or for an update a late
-    // rollback already rejected).
-    if (!EffectPresent(entry.update, scratch)) {
-      CCPI_RETURN_IF_ERROR(entry.update.ApplyTo(&scratch));
-    }
-    size_t recheck_retries = 0;
-    Result<bool> bad =
-        EvaluateRemote(reg->program, scratch, &recheck_retries);
-    if (!bad.ok()) {
-      if (IsRetriable(bad.status().code())) break;  // still down: keep queue
-      return bad.status();
-    }
-    DeferredResolution res;
-    res.check = entry;
-    res.retries = recheck_retries;
-    deferred_.pop_front();
-    if (*bad) {
-      // Late-detected violation: compensate by undoing the optimistic
-      // apply — in the replay state and, unless a later update already
-      // removed its effect, in the real database.
-      res.outcome = Outcome::kViolated;
-      ctr_deferred_violations_->Add(1);
-      ctr_violations_->Add(1);
-      CCPI_RETURN_IF_ERROR(InverseOf(res.check.update).ApplyTo(&scratch));
-      if (EffectPresent(res.check.update, site_.db())) {
-        CCPI_RETURN_IF_ERROR(
-            InverseOf(res.check.update).ApplyTo(&site_.db()));
-        res.rolled_back = true;
+  // Rotation drain: an entry whose site is still down — or whose re-check
+  // budget was spent — is requeued at the back instead of pinning the
+  // head, so one dead site never blocks entries for other, reachable
+  // sites queued behind it. Each pass visits at most the entries present
+  // when it started; draining stops once a full pass resolves nothing.
+  bool progress = true;
+  while (progress && !deferred_.empty() && breaker_.AllowRequest()) {
+    progress = false;
+    size_t pass = deferred_.size();
+    for (size_t i = 0; i < pass && !deferred_.empty(); ++i) {
+      if (!breaker_.AllowRequest()) break;
+      DeferredCheck entry = deferred_.front();
+      const Registered* reg = nullptr;
+      for (const Registered& r : constraints_) {
+        if (r.name == entry.constraint) reg = &r;
       }
-    } else {
-      res.outcome = Outcome::kHolds;
-      ctr_deferred_recovered_->Add(1);
+      if (reg == nullptr) {  // constraint no longer registered
+        deferred_.pop_front();
+        progress = true;
+        continue;
+      }
+      // Replay this entry's update into the scratch pre-state before its
+      // verdict is attempted — a skipped entry keeps its effect replayed,
+      // so younger entries are still judged against the state their check
+      // originally saw. (A no-op for a second constraint of the same
+      // update, or for an update a late rollback already rejected;
+      // EffectPresent keeps the replay idempotent across passes.)
+      if (!EffectPresent(entry.update, scratch)) {
+        CCPI_RETURN_IF_ERROR(entry.update.ApplyTo(&scratch));
+      }
+      // Each re-check runs under its own envelope: the per-check budget,
+      // tightened by the enclosing episode's scope when the drain happens
+      // inside a budgeted ApplyUpdate. Routed through the site too, so
+      // the re-check's remote trips honor the trip cap and deadline.
+      BudgetScope recheck_scope;
+      if (episode != nullptr) {
+        recheck_scope = episode->Split(1, budget_.per_check);
+      } else if (budget_armed_) {
+        recheck_scope =
+            BudgetScope::Start(budget_.per_check, budget_.cancel);
+      }
+      const BudgetScope* scope =
+          recheck_scope.active() ? &recheck_scope : nullptr;
+      const BudgetScope* prev_site_budget = site_.budget();
+      if (scope != nullptr) site_.set_budget(scope);
+      size_t recheck_retries = 0;
+      Result<bool> bad =
+          EvaluateRemote(reg->program, scratch, &recheck_retries, scope);
+      if (scope != nullptr) site_.set_budget(prev_site_budget);
+      if (!bad.ok()) {
+        StatusCode code = bad.status().code();
+        if (IsRetriable(code) || code == StatusCode::kResourceExhausted) {
+          // Skip and requeue; the next entry may be reachable.
+          deferred_.pop_front();
+          deferred_.push_back(std::move(entry));
+          continue;
+        }
+        return bad.status();
+      }
+      DeferredResolution res;
+      res.check = entry;
+      res.retries = recheck_retries;
+      deferred_.pop_front();
+      progress = true;
+      if (*bad) {
+        // Late-detected violation: compensate by undoing the optimistic
+        // apply — in the replay state and, unless a later update already
+        // removed its effect, in the real database.
+        res.outcome = Outcome::kViolated;
+        ctr_deferred_violations_->Add(1);
+        ctr_violations_->Add(1);
+        CCPI_RETURN_IF_ERROR(InverseOf(res.check.update).ApplyTo(&scratch));
+        if (EffectPresent(res.check.update, site_.db())) {
+          CCPI_RETURN_IF_ERROR(
+              InverseOf(res.check.update).ApplyTo(&site_.db()));
+          res.rolled_back = true;
+        }
+      } else {
+        res.outcome = Outcome::kHolds;
+        ctr_deferred_recovered_->Add(1);
+      }
+      resolved.push_back(std::move(res));
     }
-    resolved.push_back(std::move(res));
   }
   gauge_deferred_len_->Set(static_cast<int64_t>(deferred_.size()));
   return resolved;

@@ -12,6 +12,7 @@
 #include "distsim/site_db.h"
 #include "obs/metrics.h"
 #include "updates/update.h"
+#include "util/budget.h"
 #include "util/circuit_breaker.h"
 #include "util/outcome.h"
 #include "util/retry.h"
@@ -85,6 +86,56 @@ struct RemoteCacheConfig {
   bool enabled = true;
 };
 
+/// What to do when a new deferred re-check would push the queue past
+/// BudgetConfig::deferred_queue_cap.
+enum class OverflowPolicy {
+  /// Refuse the whole update (the tentative apply is rolled back), exactly
+  /// as DeferredPolicy::kReject would: no unverified work is admitted once
+  /// the backlog is full. The refused update's deferred reports carry
+  /// CheckReport::queue_overflow.
+  kRejectUpdate,
+  /// Drop the oldest queued entries to make room. The dropped entries'
+  /// optimistic applies stay standing *unverified* — availability is
+  /// preserved at the price of bounded, oldest-first verification debt
+  /// (counted in manager.deferred.dropped / ManagerStats::deferred_dropped).
+  kShedOldest,
+  /// Try one synchronous RecheckDeferred pass to make room; if the queue is
+  /// still full afterwards (site still down, or the drain's own budget
+  /// spent), fall back to refusing the update like kRejectUpdate.
+  kBlockRecheck,
+};
+
+/// Resource governance of the checking pipeline (see docs/budgets.md).
+/// Default-constructed, everything is off and the manager behaves exactly
+/// as before budgets existed — the hot path pays one branch on a null
+/// scope, no clock reads, no allocations.
+struct BudgetConfig {
+  /// Envelope over one whole ApplyUpdate episode: the deadline is measured
+  /// from the call's entry, the caps are split evenly across the tier-3
+  /// worklist before the fan-out (each of N checks gets max(cap/N, 1), a
+  /// deterministic function of the worklist — never of sibling progress —
+  /// so reports stay byte-identical at any thread count). A nonzero
+  /// max_remote_trips forces the tier-3 fan-out sequential: the trip
+  /// counter is shared, so which lane's trip hits the cap would otherwise
+  /// depend on arrival order.
+  ExecutionBudget per_episode;
+  /// Envelope over each single tier-3 evaluation (and each deferred
+  /// re-check), folded into the per-episode slice; tightest limit wins.
+  ExecutionBudget per_check;
+  /// Optional cooperative cancellation honored at every budget checkpoint.
+  /// Not owned; must outlive the manager's episodes.
+  const CancellationToken* cancel = nullptr;
+  /// Bound on the deferred re-check queue (0 = unbounded, the pre-budget
+  /// behavior).
+  size_t deferred_queue_cap = 0;
+  /// Applied when an enqueue would exceed deferred_queue_cap.
+  OverflowPolicy overflow = OverflowPolicy::kRejectUpdate;
+
+  bool armed() const {
+    return per_episode.armed() || per_check.armed() || cancel != nullptr;
+  }
+};
+
 /// Aggregate statistics across updates. This is a *snapshot view*: the
 /// manager's source of truth is its obs::MetricsRegistry (see metrics()),
 /// and stats() materializes one of these from the registry's counters on
@@ -107,6 +158,18 @@ struct ManagerStats {
   /// Deferred checks later found violated (the optimistic apply was
   /// compensated by rollback). Counted in `violations` too.
   size_t deferred_violations = 0;
+  /// Tier-3 checks admitted to the resolution loop. Accounting invariant
+  /// (absent hard errors): t3_admitted == resolved_by[kFullCheck] +
+  /// deferred + shed_checks.
+  size_t t3_admitted = 0;
+  /// Tier-3 checks shed with kResourceExhausted (execution budget spent) —
+  /// disjoint from `deferred`, which counts unreachable-site deferrals.
+  size_t shed_checks = 0;
+  /// Budget-exhaustion events observed anywhere in the pipeline (fan-out
+  /// sheds, exhausted deferred re-checks, queue-overflow refusals).
+  size_t budget_exhausted = 0;
+  /// Queue entries dropped by OverflowPolicy::kShedOldest.
+  size_t deferred_dropped = 0;
   AccessStats access;
 };
 
@@ -117,6 +180,14 @@ struct CheckReport {
   Tier tier = Tier::kFullCheck;
   /// Remote attempts beyond the first consumed by this check (tier 3).
   size_t retries = 0;
+  /// Why a kDeferred outcome was deferred: kUnavailable/kDeadlineExceeded
+  /// when the remote site was unreachable, kResourceExhausted when the
+  /// execution budget shed the check. kOk for any other outcome.
+  StatusCode reason = StatusCode::kOk;
+  /// Set on the deferred reports of an update that was refused because the
+  /// deferred queue was full (OverflowPolicy::kRejectUpdate, or
+  /// kBlockRecheck whose drain could not make room).
+  bool queue_overflow = false;
 };
 
 /// One enqueued re-verification: `constraint` must be re-checked because
@@ -174,12 +245,15 @@ class ConstraintManager {
   ConstraintManager(std::set<std::string> local_preds, CostModel cost_model,
                     ResilienceConfig resilience = {},
                     ParallelConfig parallel = {},
-                    RemoteCacheConfig remote_cache = {})
+                    RemoteCacheConfig remote_cache = {},
+                    BudgetConfig budget = {})
       : site_(std::move(local_preds)),
         cost_model_(cost_model),
         resilience_(resilience),
         parallel_(parallel),
         remote_cache_(remote_cache),
+        budget_(budget),
+        budget_armed_(budget.armed()),
         breaker_(resilience.breaker),
         retry_rng_(resilience.retry_seed),
         pool_(std::make_unique<ThreadPool>(parallel.threads)) {
@@ -217,10 +291,12 @@ class ConstraintManager {
   Result<TransactionResult> ApplyTransaction(const std::vector<Update>& updates);
 
   /// Attempts to re-verify every queued deferred check by full evaluation
-  /// against the current database. Entries whose remote reads still fail
-  /// stay queued (draining stops at the first unreachable entry). Returns
-  /// the entries decided by this call; late violations are compensated by
-  /// rolling the offending update back.
+  /// against the current database. An entry whose remote reads still fail
+  /// (or whose re-check budget is exhausted) is skipped and re-queued at
+  /// the back, so one dead site never pins entries for other, reachable
+  /// sites behind it; draining makes bounded passes over the queue until a
+  /// pass resolves nothing. Returns the entries decided by this call; late
+  /// violations are compensated by rolling the offending update back.
   Result<std::vector<DeferredResolution>> RecheckDeferred();
 
   /// Pending re-verifications, oldest first.
@@ -234,6 +310,8 @@ class ConstraintManager {
   const ParallelConfig& parallel() const { return parallel_; }
   /// The remote-cache configuration this manager was built with.
   const RemoteCacheConfig& remote_cache() const { return remote_cache_; }
+  /// The budget configuration this manager was built with.
+  const BudgetConfig& budget() const { return budget_; }
   /// Checker lanes actually available (>= 1; the caller is one).
   size_t check_threads() const { return pool_->thread_count(); }
 
@@ -290,14 +368,21 @@ class ConstraintManager {
   Result<CheckReport> CheckOne(Registered* r, const Update& u);
   Result<CheckReport> CheckOneImpl(Registered* r, const Update& u);
   Result<std::vector<CheckReport>> ApplyUpdateImpl(const Update& u);
+  /// RecheckDeferred body; `episode` (may be null) is the enclosing
+  /// ApplyUpdate's budget scope, folded into each re-check's envelope.
+  Result<std::vector<DeferredResolution>> RecheckDeferredImpl(
+      const BudgetScope* episode);
 
   /// Runs one tier-3 evaluation of `program` over `db` under the retry
   /// policy and circuit breaker. OK Result carries the violation verdict;
   /// a kUnavailable/kDeadlineExceeded Result means the episode gave up
-  /// (the caller defers). `retries_out` receives the extra attempts
-  /// consumed.
+  /// (the caller defers); kResourceExhausted means the budget `scope`
+  /// (null = unbudgeted) was spent — never retried, never counted against
+  /// the breaker (the site did nothing wrong). `retries_out` receives the
+  /// extra attempts consumed.
   Result<bool> EvaluateRemote(const Program& program, const Database& db,
-                              size_t* retries_out);
+                              size_t* retries_out,
+                              const BudgetScope* scope = nullptr);
 
   /// Whether reports mean the update was refused (violated, or deferred
   /// under DeferredPolicy::kReject).
@@ -308,6 +393,10 @@ class ConstraintManager {
   ResilienceConfig resilience_;
   ParallelConfig parallel_;
   RemoteCacheConfig remote_cache_;
+  BudgetConfig budget_;
+  /// budget_.armed(), precomputed: the unbudgeted hot path pays exactly
+  /// one branch on this flag.
+  bool budget_armed_ = false;
   CircuitBreaker breaker_;
   // Only drawn from inside EvaluateRemote on a retriable failure, which
   // requires a fault injector; the parallel tier-3 path (taken only with
@@ -335,6 +424,11 @@ class ConstraintManager {
   obs::Counter* ctr_fast_fails_ = nullptr;
   obs::Counter* ctr_deferred_recovered_ = nullptr;
   obs::Counter* ctr_deferred_violations_ = nullptr;
+  obs::Counter* ctr_t3_admitted_ = nullptr;
+  obs::Counter* ctr_shed_ = nullptr;
+  obs::Counter* ctr_budget_exhausted_ = nullptr;
+  obs::Counter* ctr_deferred_dropped_ = nullptr;
+  obs::Histogram* hist_budget_remaining_ = nullptr;
   obs::Histogram* hist_apply_ = nullptr;
   obs::Histogram* hist_remote_eval_ = nullptr;
   obs::Gauge* gauge_deferred_len_ = nullptr;

@@ -206,6 +206,54 @@ Status ApplyScriptFlag(std::string_view arg, ScriptOptions* options,
     options->enable_faults = true;
     return Status::OK();
   }
+  if (auto v = FlagValue(arg, "deadline-ms")) {
+    uint64_t n = 0;
+    if (!ParseUint64(*v, &n)) {
+      return BadFlag("deadline-ms", "a non-negative integer (0 = none)", *v);
+    }
+    options->budget.per_episode.deadline_ms = n;
+    return Status::OK();
+  }
+  if (auto v = FlagValue(arg, "max-fixpoint-rounds")) {
+    uint64_t n = 0;
+    if (!ParseUint64(*v, &n)) {
+      return BadFlag("max-fixpoint-rounds",
+                     "a non-negative integer (0 = unlimited)", *v);
+    }
+    options->budget.per_check.max_fixpoint_rounds = n;
+    return Status::OK();
+  }
+  if (auto v = FlagValue(arg, "max-derived-tuples")) {
+    uint64_t n = 0;
+    if (!ParseUint64(*v, &n)) {
+      return BadFlag("max-derived-tuples",
+                     "a non-negative integer (0 = unlimited)", *v);
+    }
+    options->budget.per_check.max_derived_tuples = n;
+    return Status::OK();
+  }
+  if (auto v = FlagValue(arg, "deferred-queue-cap")) {
+    uint64_t n = 0;
+    if (!ParseUint64(*v, &n)) {
+      return BadFlag("deferred-queue-cap",
+                     "a non-negative integer (0 = unbounded)", *v);
+    }
+    options->budget.deferred_queue_cap = static_cast<size_t>(n);
+    return Status::OK();
+  }
+  if (auto v = FlagValue(arg, "overflow-policy")) {
+    if (*v == "reject-update") {
+      options->budget.overflow = OverflowPolicy::kRejectUpdate;
+    } else if (*v == "shed-oldest") {
+      options->budget.overflow = OverflowPolicy::kShedOldest;
+    } else if (*v == "block-recheck") {
+      options->budget.overflow = OverflowPolicy::kBlockRecheck;
+    } else {
+      return BadFlag("overflow-policy",
+                     "reject-update, shed-oldest or block-recheck", *v);
+    }
+    return Status::OK();
+  }
   if (arg == "--fault-reject") {
     options->resilience.on_unreachable = DeferredPolicy::kReject;
     return Status::OK();
@@ -236,7 +284,8 @@ Result<ScriptReport> RunScript(const Script& script,
                                const ScriptOptions& options) {
   const CostModel& costs = options.costs;
   ConstraintManager mgr(script.local_preds, costs, options.resilience,
-                        options.parallel, options.remote_cache);
+                        options.parallel, options.remote_cache,
+                        options.budget);
   std::optional<FaultInjector> injector;
   if (options.enable_faults) {
     injector.emplace(options.faults);
@@ -267,6 +316,7 @@ Result<ScriptReport> RunScript(const Script& script,
                           mgr.ApplyUpdate(u));
     bool rejected = false;
     bool deferred = false;
+    bool overflow = false;
     std::string detail;
     for (const CheckReport& c : checks) {
       if (c.outcome == Outcome::kViolated) {
@@ -275,16 +325,22 @@ Result<ScriptReport> RunScript(const Script& script,
                   ")";
       } else if (c.outcome == Outcome::kDeferred) {
         deferred = true;
-        detail += " deferred:" + c.constraint;
+        overflow = overflow || c.queue_overflow;
+        // A budget-shed check reads "shed:", an unreachable-site deferral
+        // "deferred:" — unbudgeted runs can never print the former.
+        detail += (c.reason == StatusCode::kResourceExhausted ? " shed:"
+                                                              : " deferred:") +
+                  c.constraint;
       }
     }
-    const char* verb = rejected          ? "REJECT "
-                       : !deferred       ? "apply  "
-                       : reject_on_defer ? "REFUSE "
-                                         : "DEFER  ";
+    bool refused = deferred && (reject_on_defer || overflow);
+    const char* verb = rejected   ? "REJECT "
+                       : !deferred ? "apply  "
+                       : refused   ? "REFUSE "
+                                   : "DEFER  ";
     out << verb << u.ToString() << detail << "\n";
     if (deferred) ++report.updates_deferred;
-    if (rejected || (deferred && reject_on_defer)) {
+    if (rejected || refused) {
       ++report.updates_rejected;
     } else {
       ++report.updates_applied;
@@ -315,6 +371,11 @@ Result<ScriptReport> RunScript(const Script& script,
   report.deferred_violations = stats.deferred_violations;
   report.deferred_pending = mgr.deferred_queue().size();
   report.violations = stats.violations;
+  report.budget_armed =
+      options.budget.armed() || options.budget.deferred_queue_cap != 0;
+  report.shed_checks = stats.shed_checks;
+  report.budget_exhausted = stats.budget_exhausted;
+  report.deferred_dropped = stats.deferred_dropped;
 
   std::ostringstream summary;
   summary << "---\n";
@@ -342,6 +403,11 @@ Result<ScriptReport> RunScript(const Script& script,
             << report.deferred_pending << " pending\n";
     summary << "breaker: " << CircuitStateToString(mgr.breaker().state())
             << " (opened " << mgr.breaker().times_opened() << "x)\n";
+    if (report.budget_armed) {
+      summary << "budget: " << stats.t3_admitted << " admitted, "
+              << stats.shed_checks << " shed, " << stats.budget_exhausted
+              << " exhausted, " << stats.deferred_dropped << " dropped\n";
+    }
   }
   if (options.collect_metrics) {
     report.metrics_json = mgr.metrics().ToJson();

@@ -55,6 +55,11 @@ struct ScriptOptions {
   /// Remote-read snapshot cache (ccpi_check --remote-cache). On by
   /// default; semantically invisible either way.
   RemoteCacheConfig remote_cache;
+  /// Execution budgets and overload control (ccpi_check --deadline-ms,
+  /// --max-fixpoint-rounds, --max-derived-tuples, --deferred-queue-cap,
+  /// --overflow-policy). Off by default: an unbudgeted run is bit-identical
+  /// to one before budgets existed.
+  BudgetConfig budget;
   /// Append the full ManagerStats block (retries, deferred/recovered
   /// outcomes, breaker state) to the report text.
   bool print_stats = false;
@@ -97,6 +102,19 @@ struct ScriptReport {
   size_t deferred_violations = 0;
   /// Deferred checks still unresolved at shutdown (remote never answered).
   size_t deferred_pending = 0;
+  /// Whether any budget or queue bound was configured for this run; the
+  /// three counters below can only be nonzero when it is, and `ccpi_check`
+  /// prints its "budget:" stdout line (and uses the budget exit code) only
+  /// then.
+  bool budget_armed = false;
+  /// Tier-3 checks shed with kResourceExhausted (ManagerStats::shed_checks).
+  size_t shed_checks = 0;
+  /// Budget-exhaustion events anywhere in the pipeline
+  /// (ManagerStats::budget_exhausted).
+  size_t budget_exhausted = 0;
+  /// Queue entries dropped by OverflowPolicy::kShedOldest
+  /// (ManagerStats::deferred_dropped).
+  size_t deferred_dropped = 0;
 };
 
 Result<ScriptReport> RunScript(const Script& script,
@@ -109,7 +127,9 @@ Result<ScriptReport> RunScript(const Script& script,
 ///
 /// Recognizes every flag that configures the run itself — --threads=N,
 /// --remote-cache=on|off, --fault-rate=P, --fault-timeout-rate=P,
-/// --fault-seed=N, --fault-outage=A:B, --fault-reject, --stats — and
+/// --fault-seed=N, --fault-outage=A:B, --fault-reject, --stats,
+/// --deadline-ms=N, --max-fixpoint-rounds=N, --max-derived-tuples=N,
+/// --deferred-queue-cap=N, --overflow-policy=POLICY — and
 /// validates values *strictly*: a malformed or out-of-range value (e.g.
 /// --threads=abc, --threads=-2, --fault-rate=1.5) is an InvalidArgument
 /// error naming the flag, never a silent fallback to a default. Flags the

@@ -38,7 +38,8 @@ size_t FindJoinCondition(const std::vector<RaCondition>& conds,
 }
 
 Result<Relation> EvalRaNode(const RaExpr& expr, const Database& db,
-                            AccessObserver* observer, obs::Counter* nodes);
+                            AccessObserver* observer, obs::Counter* nodes,
+                            const BudgetScope* budget);
 
 /// Evaluates sigma_conds(L x R) as a hash equi-join on `key` (an eq
 /// condition crossing the L/R boundary): build a hash table over R's key
@@ -49,13 +50,14 @@ Result<Relation> EvalRaNode(const RaExpr& expr, const Database& db,
 /// O(|L| + |R| + matches) instead of O(|L| * |R|).
 Result<Relation> EvalHashJoin(const RaExpr& select, const RaCondition& key,
                               const Database& db, AccessObserver* observer,
-                              obs::Counter* nodes) {
+                              obs::Counter* nodes,
+                              const BudgetScope* budget) {
   const RaExpr& product = *select.left();
   if (nodes != nullptr) nodes->Add(1);  // the product node's count
   CCPI_ASSIGN_OR_RETURN(Relation l,
-                        EvalRaNode(*product.left(), db, observer, nodes));
+                        EvalRaNode(*product.left(), db, observer, nodes, budget));
   CCPI_ASSIGN_OR_RETURN(Relation r,
-                        EvalRaNode(*product.right(), db, observer, nodes));
+                        EvalRaNode(*product.right(), db, observer, nodes, budget));
   size_t split = product.left()->arity();
   size_t left_col = key.lhs.col < split ? key.lhs.col : key.rhs.col;
   size_t right_col = (key.lhs.col < split ? key.rhs.col : key.lhs.col) - split;
@@ -84,8 +86,12 @@ Result<Relation> EvalHashJoin(const RaExpr& select, const RaCondition& key,
 }
 
 Result<Relation> EvalRaNode(const RaExpr& expr, const Database& db,
-                            AccessObserver* observer, obs::Counter* nodes) {
+                            AccessObserver* observer, obs::Counter* nodes,
+                            const BudgetScope* budget) {
   if (nodes != nullptr) nodes->Add(1);
+  // Per-node budget checkpoint: bounds the work between two deadline
+  // observations by one operator's evaluation.
+  if (budget != nullptr) CCPI_RETURN_IF_ERROR(budget->Check());
   switch (expr.kind()) {
     case RaExpr::Kind::kScan: {
       const Relation& rel = db.Get(expr.pred(), expr.arity());
@@ -114,11 +120,11 @@ Result<Relation> EvalRaNode(const RaExpr& expr, const Database& db,
                                        expr.left()->left()->arity());
         if (key != static_cast<size_t>(-1)) {
           return EvalHashJoin(expr, expr.conditions()[key], db, observer,
-                              nodes);
+                              nodes, budget);
         }
       }
       CCPI_ASSIGN_OR_RETURN(Relation child,
-                            EvalRaNode(*expr.left(), db, observer, nodes));
+                            EvalRaNode(*expr.left(), db, observer, nodes, budget));
       Relation out(expr.arity());
       for (const Tuple& t : child.rows()) {
         if (Holds(expr.conditions(), t)) out.Insert(t);
@@ -127,7 +133,7 @@ Result<Relation> EvalRaNode(const RaExpr& expr, const Database& db,
     }
     case RaExpr::Kind::kProject: {
       CCPI_ASSIGN_OR_RETURN(Relation child,
-                            EvalRaNode(*expr.left(), db, observer, nodes));
+                            EvalRaNode(*expr.left(), db, observer, nodes, budget));
       Relation out(expr.arity());
       for (const Tuple& t : child.rows()) {
         Tuple projected;
@@ -138,8 +144,8 @@ Result<Relation> EvalRaNode(const RaExpr& expr, const Database& db,
       return out;
     }
     case RaExpr::Kind::kProduct: {
-      CCPI_ASSIGN_OR_RETURN(Relation l, EvalRaNode(*expr.left(), db, observer, nodes));
-      CCPI_ASSIGN_OR_RETURN(Relation r, EvalRaNode(*expr.right(), db, observer, nodes));
+      CCPI_ASSIGN_OR_RETURN(Relation l, EvalRaNode(*expr.left(), db, observer, nodes, budget));
+      CCPI_ASSIGN_OR_RETURN(Relation r, EvalRaNode(*expr.right(), db, observer, nodes, budget));
       Relation out(expr.arity());
       for (const Tuple& a : l.rows()) {
         for (const Tuple& b : r.rows()) {
@@ -151,15 +157,15 @@ Result<Relation> EvalRaNode(const RaExpr& expr, const Database& db,
       return out;
     }
     case RaExpr::Kind::kUnion: {
-      CCPI_ASSIGN_OR_RETURN(Relation l, EvalRaNode(*expr.left(), db, observer, nodes));
-      CCPI_ASSIGN_OR_RETURN(Relation r, EvalRaNode(*expr.right(), db, observer, nodes));
+      CCPI_ASSIGN_OR_RETURN(Relation l, EvalRaNode(*expr.left(), db, observer, nodes, budget));
+      CCPI_ASSIGN_OR_RETURN(Relation r, EvalRaNode(*expr.right(), db, observer, nodes, budget));
       Relation out = std::move(l);
       for (const Tuple& t : r.rows()) out.Insert(t);
       return out;
     }
     case RaExpr::Kind::kDifference: {
-      CCPI_ASSIGN_OR_RETURN(Relation l, EvalRaNode(*expr.left(), db, observer, nodes));
-      CCPI_ASSIGN_OR_RETURN(Relation r, EvalRaNode(*expr.right(), db, observer, nodes));
+      CCPI_ASSIGN_OR_RETURN(Relation l, EvalRaNode(*expr.left(), db, observer, nodes, budget));
+      CCPI_ASSIGN_OR_RETURN(Relation r, EvalRaNode(*expr.right(), db, observer, nodes, budget));
       Relation out(expr.arity());
       for (const Tuple& t : l.rows()) {
         if (!r.Contains(t)) out.Insert(t);
@@ -174,19 +180,22 @@ Result<Relation> EvalRaNode(const RaExpr& expr, const Database& db,
 
 Result<Relation> EvalRa(const RaExpr& expr, const Database& db,
                         AccessObserver* observer,
-                        obs::MetricsRegistry* metrics) {
+                        obs::MetricsRegistry* metrics,
+                        const BudgetScope* budget) {
   obs::Counter* nodes = nullptr;
   if (metrics != nullptr) {
     metrics->GetCounter("ra.evaluations")->Add(1);
     nodes = metrics->GetCounter("ra.nodes_evaluated");
   }
-  return EvalRaNode(expr, db, observer, nodes);
+  return EvalRaNode(expr, db, observer, nodes, budget);
 }
 
 Result<bool> RaNonempty(const RaExpr& expr, const Database& db,
                         AccessObserver* observer,
-                        obs::MetricsRegistry* metrics) {
-  CCPI_ASSIGN_OR_RETURN(Relation rel, EvalRa(expr, db, observer, metrics));
+                        obs::MetricsRegistry* metrics,
+                        const BudgetScope* budget) {
+  CCPI_ASSIGN_OR_RETURN(Relation rel,
+                        EvalRa(expr, db, observer, metrics, budget));
   return !rel.empty();
 }
 

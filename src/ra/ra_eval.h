@@ -18,15 +18,20 @@ class MetricsRegistry;
 /// 5.3 run entirely over the local relation, and the benchmark harness uses
 /// this hook to demonstrate it. If `metrics` is non-null the evaluator
 /// accounts `ra.*` counters into it (see docs/observability.md); the
-/// counter handle is resolved once per call, not per node.
+/// counter handle is resolved once per call, not per node. If `budget` is
+/// non-null the evaluator checks the deadline / cancellation at every
+/// operator node and fails with kResourceExhausted once the envelope is
+/// spent (see docs/budgets.md); null costs a single branch.
 Result<Relation> EvalRa(const RaExpr& expr, const Database& db,
                         AccessObserver* observer = nullptr,
-                        obs::MetricsRegistry* metrics = nullptr);
+                        obs::MetricsRegistry* metrics = nullptr,
+                        const BudgetScope* budget = nullptr);
 
 /// Nonemptiness — the form in which Theorem 5.3 phrases its test.
 Result<bool> RaNonempty(const RaExpr& expr, const Database& db,
                         AccessObserver* observer = nullptr,
-                        obs::MetricsRegistry* metrics = nullptr);
+                        obs::MetricsRegistry* metrics = nullptr,
+                        const BudgetScope* budget = nullptr);
 
 }  // namespace ccpi
 

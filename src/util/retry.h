@@ -24,7 +24,15 @@ struct RetryPolicy {
   /// Cap on a single backoff interval (exponential doubling stops here).
   uint64_t max_backoff = 64;
   /// Per-episode budget of total simulated backoff; once spent, the
-  /// episode fails even if attempts remain. 0 = unlimited.
+  /// episode fails even if attempts remain.
+  ///
+  /// 0 means *unlimited*, not "no budget to spend": with episode_budget == 0
+  /// an episode may retry up to max_attempts times no matter how much
+  /// simulated backoff accumulates. A retry is skipped only when the budget
+  /// is nonzero and already-spent backoff plus the next wait would exceed
+  /// it — so a tiny nonzero budget (smaller than initial_backoff) permits
+  /// the first attempt but never a retry. Covered by
+  /// RetryTest.ZeroEpisodeBudgetMeansUnlimited in tests/util_test.cc.
   uint64_t episode_budget = 256;
   /// Fraction of each backoff interval randomized: the actual wait is
   /// drawn uniformly from [b*(1-jitter), b]. 0 disables jitter.

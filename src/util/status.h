@@ -33,6 +33,13 @@ enum class StatusCode {
   /// kUnavailable, but distinguished so fault statistics can separate slow
   /// links from dead ones.
   kDeadlineExceeded,
+  /// The operation ran out of its execution budget (wall-clock deadline,
+  /// fixpoint-round / derived-tuple / remote-trip cap, or cooperative
+  /// cancellation — see util/budget.h). NOT retriable: retrying would spend
+  /// the same exhausted envelope again. The manager sheds such checks to
+  /// the deferred queue instead; see docs/budgets.md for how this differs
+  /// from kUnavailable.
+  kResourceExhausted,
 };
 
 /// True for the codes that signal a transient condition worth retrying
@@ -72,6 +79,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -3,6 +3,8 @@
 #include "datalog/parser.h"
 #include "eval/engine.h"
 #include "eval/stratify.h"
+#include "obs/metrics.h"
+#include "util/budget.h"
 
 namespace ccpi {
 namespace {
@@ -188,6 +190,85 @@ TEST(EvalTest, DerivationLimit) {
   auto rel = EvaluateGoal(p, db, options);
   ASSERT_FALSE(rel.ok());
   EXPECT_EQ(rel.status().code(), StatusCode::kInternal);
+}
+
+TEST(EvalTest, BudgetFixpointRoundCutoffIsExact) {
+  Program p = MustParse(
+      "tc(X,Y) :- edge(X,Y)\n"
+      "tc(X,Y) :- tc(X,Z) & edge(Z,Y)\n");
+  p.goal = "tc";
+  Database db;
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(db.Insert("edge", {V(i), V(i + 1)}).ok());
+  }
+  // Measure the rounds an unbudgeted evaluation actually takes...
+  obs::MetricsRegistry registry;
+  EvalOptions counted;
+  counted.metrics = &registry;
+  ASSERT_TRUE(EvaluateGoal(p, db, counted).ok());
+  const uint64_t rounds = registry.GetCounter("eval.fixpoint_rounds")->value();
+  ASSERT_GT(rounds, 2u);
+
+  // ...then a cap of exactly that many rounds succeeds with the identical
+  // result, and one round fewer fails with kResourceExhausted: the cutoff
+  // is exact, not approximate.
+  ExecutionBudget enough;
+  enough.max_fixpoint_rounds = rounds;
+  BudgetScope enough_scope = BudgetScope::Start(enough);
+  EvalOptions budgeted;
+  budgeted.budget = &enough_scope;
+  auto full = EvaluateGoal(p, db, budgeted);
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+  EXPECT_EQ(full->size(), 210u);  // 20+19+...+1
+
+  ExecutionBudget short_one;
+  short_one.max_fixpoint_rounds = rounds - 1;
+  BudgetScope short_scope = BudgetScope::Start(short_one);
+  EvalOptions starved;
+  starved.budget = &short_scope;
+  auto cut = EvaluateGoal(p, db, starved);
+  ASSERT_FALSE(cut.ok());
+  EXPECT_EQ(cut.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(EvalTest, BudgetDerivedTupleCap) {
+  Program p = MustParse(
+      "tc(X,Y) :- edge(X,Y)\n"
+      "tc(X,Y) :- tc(X,Z) & edge(Z,Y)\n");
+  p.goal = "tc";
+  Database db;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(db.Insert("edge", {V(i), V(i + 1)}).ok());
+  }
+  ExecutionBudget budget;
+  budget.max_derived_tuples = 50;
+  BudgetScope scope = BudgetScope::Start(budget);
+  EvalOptions options;
+  options.budget = &scope;
+  auto rel = EvaluateGoal(p, db, options);
+  ASSERT_FALSE(rel.ok());
+  // Budget exhaustion is the manager-sheddable kResourceExhausted, unlike
+  // the legacy max_derived_tuples safety valve's kInternal below.
+  EXPECT_EQ(rel.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(EvalTest, CancelledTokenAbortsEvaluation) {
+  Program p = MustParse(
+      "tc(X,Y) :- edge(X,Y)\n"
+      "tc(X,Y) :- tc(X,Z) & edge(Z,Y)\n");
+  p.goal = "tc";
+  Database db;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(db.Insert("edge", {V(i), V(i + 1)}).ok());
+  }
+  CancellationToken token;
+  token.Cancel();  // pre-cancelled: the evaluation must not run to fixpoint
+  BudgetScope scope = BudgetScope::Start(ExecutionBudget{}, &token);
+  EvalOptions options;
+  options.budget = &scope;
+  auto rel = EvaluateGoal(p, db, options);
+  ASSERT_FALSE(rel.ok());
+  EXPECT_EQ(rel.status().code(), StatusCode::kResourceExhausted);
 }
 
 TEST(EvalTest, FactsDerive) {

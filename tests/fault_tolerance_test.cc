@@ -369,6 +369,182 @@ TEST(FaultToleranceTest, RejectPolicyAbortsTransactionOnOutage) {
   EXPECT_FALSE(rig.mgr.site().db().Contains("emp", {V("a"), V("d"), V(100)}));
 }
 
+/// A Rig variant that also takes the budget configuration (queue cap,
+/// overflow policy, execution budgets).
+struct BudgetRig {
+  explicit BudgetRig(BudgetConfig budget, ResilienceConfig resilience = {})
+      : injector(FaultConfig{}),
+        mgr({"l", "l2"}, CostModel{}, resilience, ParallelConfig{},
+            RemoteCacheConfig{}, budget) {
+    EXPECT_TRUE(mgr.AddConstraint(
+                       "fi",
+                       MustParse(
+                           "panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y"))
+                    .ok());
+    mgr.site().set_fault_injector(&injector);
+    EXPECT_TRUE(mgr.site().db().Insert("r", {V(1000)}).ok());
+  }
+  FaultInjector injector;
+  ConstraintManager mgr;
+};
+
+TEST(FaultToleranceTest, OverflowRejectUpdateRefusesAtQueueCap) {
+  BudgetConfig budget;
+  budget.deferred_queue_cap = 2;
+  budget.overflow = OverflowPolicy::kRejectUpdate;
+  ResilienceConfig resilience;
+  resilience.breaker.failure_threshold = 1000;  // isolate the queue cap
+  BudgetRig rig(budget, resilience);
+  rig.injector.ForceOutage(true);
+
+  ASSERT_TRUE(rig.mgr.ApplyUpdate(Update::Insert("l", {V(1), V(2)})).ok());
+  ASSERT_TRUE(rig.mgr.ApplyUpdate(Update::Insert("l", {V(4), V(5)})).ok());
+  ASSERT_EQ(rig.mgr.deferred_queue().size(), 2u);
+
+  // The third deferral would exceed the cap: the whole update is refused,
+  // its optimistic apply rolled back, and the report says why.
+  auto reports = rig.mgr.ApplyUpdate(Update::Insert("l", {V(7), V(8)}));
+  ASSERT_TRUE(reports.ok());
+  EXPECT_EQ(OutcomeOf(*reports, "fi"), Outcome::kDeferred);
+  bool flagged = false;
+  for (const CheckReport& r : *reports) flagged = flagged || r.queue_overflow;
+  EXPECT_TRUE(flagged);
+  EXPECT_FALSE(rig.mgr.site().db().Contains("l", {V(7), V(8)}));
+  EXPECT_EQ(rig.mgr.deferred_queue().size(), 2u);
+  EXPECT_GE(rig.mgr.stats().budget_exhausted, 1u);
+  EXPECT_EQ(rig.mgr.stats().deferred_dropped, 0u);
+  // The first two optimistic applies stand untouched.
+  EXPECT_TRUE(rig.mgr.site().db().Contains("l", {V(1), V(2)}));
+  EXPECT_TRUE(rig.mgr.site().db().Contains("l", {V(4), V(5)}));
+}
+
+TEST(FaultToleranceTest, OverflowShedOldestDropsFromTheFront) {
+  BudgetConfig budget;
+  budget.deferred_queue_cap = 2;
+  budget.overflow = OverflowPolicy::kShedOldest;
+  ResilienceConfig resilience;
+  resilience.breaker.failure_threshold = 1000;
+  BudgetRig rig(budget, resilience);
+  rig.injector.ForceOutage(true);
+
+  ASSERT_TRUE(rig.mgr.ApplyUpdate(Update::Insert("l", {V(1), V(2)})).ok());
+  ASSERT_TRUE(rig.mgr.ApplyUpdate(Update::Insert("l", {V(4), V(5)})).ok());
+  auto reports = rig.mgr.ApplyUpdate(Update::Insert("l", {V(7), V(8)}));
+  ASSERT_TRUE(reports.ok());
+  EXPECT_EQ(OutcomeOf(*reports, "fi"), Outcome::kDeferred);
+
+  // The newest update was admitted; the *oldest* queue entry was dropped,
+  // its optimistic apply left standing, permanently unverified.
+  EXPECT_TRUE(rig.mgr.site().db().Contains("l", {V(7), V(8)}));
+  EXPECT_TRUE(rig.mgr.site().db().Contains("l", {V(1), V(2)}));
+  ASSERT_EQ(rig.mgr.deferred_queue().size(), 2u);
+  EXPECT_EQ(rig.mgr.deferred_queue()[0].update.tuple,
+            (std::vector<Value>{V(4), V(5)}));
+  EXPECT_EQ(rig.mgr.deferred_queue()[1].update.tuple,
+            (std::vector<Value>{V(7), V(8)}));
+  EXPECT_EQ(rig.mgr.stats().deferred_dropped, 1u);
+}
+
+TEST(FaultToleranceTest, OverflowBlockRecheckDrainsToMakeRoom) {
+  BudgetConfig budget;
+  budget.deferred_queue_cap = 2;
+  budget.overflow = OverflowPolicy::kBlockRecheck;
+  // A per-check tuple cap that only bites on the recursive constraint:
+  // "deep" derives 55 path tuples, "fi" at most one panic tuple.
+  budget.per_check.max_derived_tuples = 5;
+  ResilienceConfig resilience;
+  resilience.breaker.failure_threshold = 1000;
+  resilience.auto_recheck = false;  // the only drain is the overflow's own
+  BudgetRig rig(budget, resilience);
+  ASSERT_TRUE(rig.mgr.AddConstraint(
+                     "deep",
+                     MustParse("panic :- l2(X) & path(X,Y) & bad(Y)\n"
+                               "path(X,Y) :- edge2(X,Y)\n"
+                               "path(X,Y) :- edge2(X,Z) & path(Z,Y)"))
+                  .ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(rig.mgr.site().db().Insert("edge2", {V(i), V(i + 1)}).ok());
+  }
+
+  rig.injector.ForceOutage(true);
+  ASSERT_TRUE(rig.mgr.ApplyUpdate(Update::Insert("l", {V(1), V(2)})).ok());
+  ASSERT_TRUE(rig.mgr.ApplyUpdate(Update::Insert("l", {V(4), V(5)})).ok());
+  ASSERT_EQ(rig.mgr.deferred_queue().size(), 2u);
+
+  // Site still down: the blocking drain frees nothing, so the policy falls
+  // back to refusing like kRejectUpdate.
+  auto refused = rig.mgr.ApplyUpdate(Update::Insert("l2", {V(99)}));
+  ASSERT_TRUE(refused.ok());
+  EXPECT_FALSE(rig.mgr.site().db().Contains("l2", {V(99)}));
+  EXPECT_EQ(rig.mgr.deferred_queue().size(), 2u);
+
+  // Site back up: the shed "deep" check still defers (its tuple cap is
+  // spent mid-recursion), but now the blocking drain resolves both queued
+  // "fi" entries and the fresh entry fits.
+  rig.injector.ForceOutage(false);
+  auto reports = rig.mgr.ApplyUpdate(Update::Insert("l2", {V(5)}));
+  ASSERT_TRUE(reports.ok());
+  EXPECT_EQ(OutcomeOf(*reports, "deep"), Outcome::kDeferred);
+  for (const CheckReport& r : *reports) {
+    if (r.constraint == "deep") {
+      EXPECT_EQ(r.reason, StatusCode::kResourceExhausted);
+      EXPECT_FALSE(r.queue_overflow);
+    }
+  }
+  EXPECT_TRUE(rig.mgr.site().db().Contains("l2", {V(5)}));
+  ASSERT_EQ(rig.mgr.deferred_queue().size(), 1u);
+  EXPECT_EQ(rig.mgr.deferred_queue()[0].constraint, "deep");
+  EXPECT_EQ(rig.mgr.stats().deferred_recovered, 2u);
+  EXPECT_GE(rig.mgr.stats().shed_checks, 1u);
+}
+
+// Regression for deferred-drain head-of-line blocking: one dead remote
+// predicate must not pin re-checks that only need other, reachable
+// predicates behind it in the queue.
+TEST(FaultToleranceTest, DeadPredDoesNotBlockOtherRechecksBehindIt) {
+  ResilienceConfig resilience;
+  resilience.breaker.failure_threshold = 1000;
+  resilience.auto_recheck = false;  // drain explicitly, assert precisely
+  FaultInjector injector{FaultConfig{}};
+  ConstraintManager mgr({"l"}, CostModel{}, resilience);
+  mgr.site().set_fault_injector(&injector);
+  ASSERT_TRUE(mgr.AddConstraint(
+                     "a", MustParse("panic :- l(X,Y) & r1(Z) & X <= Z & Z <= Y"))
+                  .ok());
+  ASSERT_TRUE(mgr.AddConstraint(
+                     "b", MustParse("panic :- l(X,Y) & r2(Z) & X <= Z & Z <= Y"))
+                  .ok());
+  ASSERT_TRUE(mgr.site().db().Insert("r1", {V(1000)}).ok());
+  ASSERT_TRUE(mgr.site().db().Insert("r2", {V(1000)}).ok());
+
+  injector.ForceOutage(true);
+  ASSERT_TRUE(mgr.ApplyUpdate(Update::Insert("l", {V(1), V(5)})).ok());
+  ASSERT_EQ(mgr.deferred_queue().size(), 2u);  // "a" queued ahead of "b"
+  ASSERT_EQ(mgr.deferred_queue()[0].constraint, "a");
+
+  // Outage over — except r1, constraint "a"'s remote relation. "a" sits at
+  // the head of the queue; the drain must skip past it, resolve "b", and
+  // terminate (bounded passes, no spin on the dead entry).
+  injector.ForceOutage(false);
+  injector.ForcePredOutage("r1", true);
+  auto resolved = mgr.RecheckDeferred();
+  ASSERT_TRUE(resolved.ok()) << resolved.status().ToString();
+  ASSERT_EQ(resolved->size(), 1u);
+  EXPECT_EQ((*resolved)[0].check.constraint, "b");
+  EXPECT_EQ((*resolved)[0].outcome, Outcome::kHolds);
+  ASSERT_EQ(mgr.deferred_queue().size(), 1u);
+  EXPECT_EQ(mgr.deferred_queue()[0].constraint, "a");
+
+  // r1 recovers: the skipped entry resolves on the next drain.
+  injector.ForcePredOutage("r1", false);
+  resolved = mgr.RecheckDeferred();
+  ASSERT_TRUE(resolved.ok());
+  ASSERT_EQ(resolved->size(), 1u);
+  EXPECT_EQ((*resolved)[0].check.constraint, "a");
+  EXPECT_TRUE(mgr.deferred_queue().empty());
+  EXPECT_EQ(mgr.stats().deferred_recovered, 2u);
+}
+
 TEST(FaultToleranceTest, ScriptRunReportsDeferredAndRecovers) {
   auto script = ParseScript(
       "local l\n"

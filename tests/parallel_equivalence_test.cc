@@ -142,6 +142,10 @@ void ExpectSameReports(const RunResult& seq, const RunResult& par) {
           << "update " << u << " constraint " << a.constraint;
       EXPECT_EQ(a.retries, b.retries)
           << "update " << u << " constraint " << a.constraint;
+      EXPECT_EQ(a.reason, b.reason)
+          << "update " << u << " constraint " << a.constraint;
+      EXPECT_EQ(a.queue_overflow, b.queue_overflow)
+          << "update " << u << " constraint " << a.constraint;
     }
   }
 }
@@ -156,6 +160,10 @@ void ExpectSameStats(const RunResult& seq, const RunResult& par) {
   EXPECT_EQ(seq.stats.breaker_fast_fails, par.stats.breaker_fast_fails);
   EXPECT_EQ(seq.stats.deferred_recovered, par.stats.deferred_recovered);
   EXPECT_EQ(seq.stats.deferred_violations, par.stats.deferred_violations);
+  EXPECT_EQ(seq.stats.t3_admitted, par.stats.t3_admitted);
+  EXPECT_EQ(seq.stats.shed_checks, par.stats.shed_checks);
+  EXPECT_EQ(seq.stats.budget_exhausted, par.stats.budget_exhausted);
+  EXPECT_EQ(seq.stats.deferred_dropped, par.stats.deferred_dropped);
   EXPECT_EQ(seq.stats.access.local_tuples, par.stats.access.local_tuples);
   EXPECT_EQ(seq.stats.access.remote_tuples, par.stats.access.remote_tuples);
   EXPECT_EQ(seq.stats.access.remote_trips, par.stats.access.remote_trips);
@@ -324,6 +332,112 @@ TEST(ParallelEquivalenceTest, CacheOffThreadsStillMatchSequential) {
     RunResult seq = RunWorkload(seed, 1, std::nullopt, false);
     RunResult par = RunWorkload(seed, 4, std::nullopt, false);
     ExpectEquivalent(seq, par);
+  }
+}
+
+// ---- Execution budgets: thread-count invariance --------------------------
+//
+// Budgeted shedding must also be invisible to the lane count: the
+// per-episode caps are split deterministically across the tier-3 worklist
+// before the fan-out, so which checks shed — and every report field,
+// including reason — is identical at 1, 4, and 8 threads. Access
+// accounting is deliberately NOT compared here: how much remote data a
+// check managed to read before its deadline fired is timing-dependent by
+// nature; the verdicts must not be.
+
+/// The thread-count-independent half of ManagerStats under budgets.
+void ExpectSameBudgetStats(const RunResult& seq, const RunResult& par) {
+  EXPECT_EQ(seq.stats.resolved_by, par.stats.resolved_by);
+  EXPECT_EQ(seq.stats.violations, par.stats.violations);
+  EXPECT_EQ(seq.stats.deferred, par.stats.deferred);
+  EXPECT_EQ(seq.stats.t3_admitted, par.stats.t3_admitted);
+  EXPECT_EQ(seq.stats.shed_checks, par.stats.shed_checks);
+  EXPECT_EQ(seq.stats.budget_exhausted, par.stats.budget_exhausted);
+  EXPECT_EQ(seq.stats.deferred_dropped, par.stats.deferred_dropped);
+}
+
+/// Two deliberately heavy recursive constraints — a tier-3 evaluation of
+/// either walks the transitive closure of a 128-edge remote chain, tens of
+/// milliseconds of work — next to a pure-local ordering constraint. Every
+/// constraint that can reach tier 3 here is heavy, so a millisecond-scale
+/// per-check budget sheds all of them robustly at any machine speed and
+/// any lane count; the local constraint keeps resolving (and violating)
+/// outside the budget envelope.
+RunResult RunBudgetWorkload(size_t threads, BudgetConfig budget) {
+  ConstraintManager mgr({"lq", "l"}, CostModel{}, ResilienceConfig{},
+                        ParallelConfig{threads}, RemoteCacheConfig{}, budget);
+  EXPECT_TRUE(mgr.AddConstraint(
+                     "deep1",
+                     MustParse("panic :- lq(X) & path(X,Y) & bad(Y)\n"
+                               "path(X,Y) :- edge(X,Y)\n"
+                               "path(X,Y) :- edge(X,Z) & path(Z,Y)"))
+                  .ok());
+  EXPECT_TRUE(mgr.AddConstraint(
+                     "deep2",
+                     MustParse("panic :- lq(X) & rpath(X,Y) & bad2(Y)\n"
+                               "rpath(X,Y) :- edge(X,Y)\n"
+                               "rpath(X,Y) :- rpath(X,Z) & edge(Z,Y)"))
+                  .ok());
+  EXPECT_TRUE(
+      mgr.AddConstraint("ord", MustParse("panic :- l(X,Y) & X > Y")).ok());
+  for (int i = 0; i < 128; ++i) {
+    EXPECT_TRUE(mgr.site().db().Insert("edge", {V(i), V(i + 1)}).ok());
+  }
+
+  RunResult result;
+  std::vector<Update> stream;
+  for (int i = 0; i < 5; ++i) {
+    stream.push_back(Update::Insert("lq", {V(i)}));         // T3 both deeps
+    stream.push_back(Update::Insert("l", {V(i), V(i + 1)}));  // local, holds
+    stream.push_back(Update::Insert("l", {V(i + 1), V(i)}));  // local, violates
+  }
+  for (const Update& u : stream) {
+    auto reports = mgr.ApplyUpdate(u);
+    EXPECT_TRUE(reports.ok()) << reports.status().ToString();
+    if (reports.ok()) result.reports.push_back(*reports);
+  }
+  result.stats = mgr.stats();
+  result.deferred.assign(mgr.deferred_queue().begin(),
+                         mgr.deferred_queue().end());
+  result.breaker_state = mgr.breaker().state();
+  return result;
+}
+
+TEST(ParallelEquivalenceTest, DeadlineShedsIdenticallyAtAnyThreadCount) {
+  BudgetConfig budget;
+  budget.per_check.deadline_ms = 1;
+  RunResult seq = RunBudgetWorkload(1, budget);
+  // Non-vacuous: the deadline really shed the heavy checks mid-stream, the
+  // local constraint kept firing, and the accounting balances.
+  EXPECT_GT(seq.stats.shed_checks, 0u);
+  EXPECT_GT(seq.stats.violations, 0u);
+  auto completed = seq.stats.resolved_by.find(Tier::kFullCheck);
+  EXPECT_EQ(seq.stats.t3_admitted,
+            (completed != seq.stats.resolved_by.end() ? completed->second
+                                                      : 0) +
+                seq.stats.deferred + seq.stats.shed_checks);
+  for (size_t threads : {size_t{4}, size_t{8}}) {
+    RunResult par = RunBudgetWorkload(threads, budget);
+    ExpectSameReports(seq, par);
+    ExpectSameDeferred(seq, par);
+    ExpectSameBudgetStats(seq, par);
+  }
+}
+
+TEST(ParallelEquivalenceTest, CancelledEpisodesShedIdenticallyAtAnyThreadCount) {
+  CancellationToken token;
+  token.Cancel();  // cancelled before the stream: every T3 check sheds
+  BudgetConfig budget;
+  budget.cancel = &token;
+  RunResult seq = RunBudgetWorkload(1, budget);
+  EXPECT_GT(seq.stats.shed_checks, 0u);
+  EXPECT_EQ(seq.stats.resolved_by.count(Tier::kFullCheck), 0u);
+  EXPECT_GT(seq.stats.violations, 0u);  // local tiers ignore the token
+  for (size_t threads : {size_t{4}, size_t{8}}) {
+    RunResult par = RunBudgetWorkload(threads, budget);
+    ExpectSameReports(seq, par);
+    ExpectSameDeferred(seq, par);
+    ExpectSameBudgetStats(seq, par);
   }
 }
 

@@ -95,5 +95,38 @@ TEST(ParserRobustness, HugeIntegerBoundary) {
   EXPECT_TRUE(ok.ok());
 }
 
+TEST(ParserRobustness, ParenGroupingAroundTerms) {
+  // Parentheses around a term are pure grouping: "((x))" parses as "x".
+  auto p = ParseProgram("panic :- emp((E), ((42)))");
+  ASSERT_TRUE(p.ok());
+  auto plain = ParseProgram("panic :- emp(E, 42)");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(p->ToString(), plain->ToString());
+}
+
+TEST(ParserRobustness, TermNestingDepthCapped) {
+  // Adversarially deep paren nesting is a parse error naming the cap, not
+  // a parser-stack overflow. 50k levels would smash the stack without the
+  // recursion-depth guard.
+  std::string input = "panic :- p(";
+  input.append(50000, '(');
+  input += "X";
+  input.append(50000, ')');
+  input += ")";
+  auto p = ParseProgram(input);
+  ASSERT_FALSE(p.ok());
+  EXPECT_NE(p.status().message().find("term nesting too deep"),
+            std::string::npos)
+      << p.status().ToString();
+
+  // Moderate nesting (below the cap) still parses fine.
+  std::string shallow = "panic :- p(";
+  shallow.append(32, '(');
+  shallow += "X";
+  shallow.append(32, ')');
+  shallow += ")";
+  EXPECT_TRUE(ParseProgram(shallow).ok());
+}
+
 }  // namespace
 }  // namespace ccpi

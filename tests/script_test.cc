@@ -77,6 +77,72 @@ TEST(ScriptRunTest, EndToEnd) {
   EXPECT_NE(report->text.find("tier local-test"), std::string::npos);
 }
 
+/// A miniature of examples/workloads/overload.ccpi: every insert into the
+/// local request relation forces a recursive tier-3 fixpoint over a remote
+/// edge chain, so a one-round budget must shed it.
+const char* kOverloadScript =
+    "local request\n"
+    "constraint no-path-to-blocked\n"
+    "path(X,Y) :- edge(X,Y)\n"
+    "path(X,Y) :- edge(X,Z) & path(Z,Y)\n"
+    "panic :- request(U,N) & path(N,M) & blocked(M)\n"
+    "fact edge(a, b)\n"
+    "fact edge(b, c)\n"
+    "fact edge(c, d)\n"
+    "fact edge(d, e)\n"
+    "fact blocked(z)\n"
+    "insert request(u1, a)\n"
+    "insert request(u2, b)\n";
+
+TEST(ScriptRunTest, BudgetShedsAreReportedDistinctlyFromDeferrals) {
+  auto script = ParseScript(kOverloadScript);
+  ASSERT_TRUE(script.ok()) << script.status().ToString();
+  ScriptOptions options;
+  options.budget.per_check.max_fixpoint_rounds = 1;
+  options.print_stats = true;
+  auto report = RunScript(*script, options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->budget_armed);
+  EXPECT_GT(report->shed_checks, 0u);
+  EXPECT_GT(report->budget_exhausted, 0u);
+  EXPECT_EQ(report->deferred_dropped, 0u);
+  // A shed check reads "shed:", never "deferred:" (no site was down), and
+  // stays pending: the shutdown drain re-attempts it under the same budget.
+  EXPECT_NE(report->text.find(" shed:no-path-to-blocked"), std::string::npos)
+      << report->text;
+  EXPECT_EQ(report->text.find(" deferred:"), std::string::npos);
+  EXPECT_NE(report->text.find("PENDING"), std::string::npos);
+  EXPECT_NE(report->summary_text.find("budget: "), std::string::npos);
+}
+
+TEST(ScriptRunTest, UnbudgetedRunNeverMentionsBudgets) {
+  auto script = ParseScript(kOverloadScript);
+  ASSERT_TRUE(script.ok()) << script.status().ToString();
+  ScriptOptions options;
+  options.print_stats = true;
+  auto report = RunScript(*script, options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_FALSE(report->budget_armed);
+  EXPECT_EQ(report->shed_checks, 0u);
+  EXPECT_EQ(report->updates_applied, 2u);
+  EXPECT_EQ(report->text.find(" shed:"), std::string::npos);
+  EXPECT_EQ(report->summary_text.find("budget: "), std::string::npos);
+}
+
+TEST(ScriptRunTest, QueueCapAloneArmsBudgetReporting) {
+  // --deferred-queue-cap with no other budget still arms the report (the
+  // cap can drop or refuse work, so the run must disclose its counters).
+  auto script = ParseScript(kOverloadScript);
+  ASSERT_TRUE(script.ok());
+  ScriptOptions options;
+  options.budget.deferred_queue_cap = 4;
+  auto report = RunScript(*script, options);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->budget_armed);
+  EXPECT_EQ(report->shed_checks, 0u);
+  EXPECT_EQ(report->updates_applied, 2u);
+}
+
 TEST(ScriptRunTest, SubsumedConstraintReported) {
   auto script = ParseScript(
       "local emp\n"
@@ -169,6 +235,43 @@ TEST(ScriptFlagTest, UnrecognizedFlagsAreNotMatched) {
   // Tool-level flags are deliberately not ApplyScriptFlag's business.
   EXPECT_FALSE(ApplyOk("--export-souffle", &options));
   EXPECT_FALSE(ApplyOk("--trace-out=x.json", &options));
+}
+
+TEST(ScriptFlagTest, BudgetFlagsApply) {
+  ScriptOptions options;
+  EXPECT_FALSE(options.budget.armed());
+  EXPECT_TRUE(ApplyOk("--deadline-ms=750", &options));
+  EXPECT_EQ(options.budget.per_episode.deadline_ms, 750u);
+  EXPECT_TRUE(ApplyOk("--max-fixpoint-rounds=6", &options));
+  EXPECT_EQ(options.budget.per_check.max_fixpoint_rounds, 6u);
+  EXPECT_TRUE(ApplyOk("--max-derived-tuples=10000", &options));
+  EXPECT_EQ(options.budget.per_check.max_derived_tuples, 10000u);
+  EXPECT_TRUE(ApplyOk("--deferred-queue-cap=32", &options));
+  EXPECT_EQ(options.budget.deferred_queue_cap, 32u);
+  EXPECT_TRUE(ApplyOk("--overflow-policy=shed-oldest", &options));
+  EXPECT_EQ(options.budget.overflow, OverflowPolicy::kShedOldest);
+  EXPECT_TRUE(ApplyOk("--overflow-policy=block-recheck", &options));
+  EXPECT_EQ(options.budget.overflow, OverflowPolicy::kBlockRecheck);
+  EXPECT_TRUE(ApplyOk("--overflow-policy=reject-update", &options));
+  EXPECT_EQ(options.budget.overflow, OverflowPolicy::kRejectUpdate);
+  EXPECT_TRUE(options.budget.armed());
+}
+
+TEST(ScriptFlagTest, MalformedBudgetValuesAreHardErrors) {
+  ExpectBadFlag("--deadline-ms=abc", "--deadline-ms");
+  ExpectBadFlag("--deadline-ms=-5", "--deadline-ms");
+  ExpectBadFlag("--deadline-ms=", "--deadline-ms");
+  ExpectBadFlag("--max-fixpoint-rounds=2.5", "--max-fixpoint-rounds");
+  ExpectBadFlag("--max-derived-tuples=lots", "--max-derived-tuples");
+  ExpectBadFlag("--deferred-queue-cap=-1", "--deferred-queue-cap");
+  ExpectBadFlag("--overflow-policy=panic", "--overflow-policy");
+  ExpectBadFlag("--overflow-policy=", "--overflow-policy");
+  // A bad value must not half-apply.
+  ScriptOptions options;
+  bool matched = false;
+  Status st = ApplyScriptFlag("--deadline-ms=abc", &options, &matched);
+  EXPECT_FALSE(st.ok());
+  EXPECT_FALSE(options.budget.armed());
 }
 
 TEST(ScriptFlagTest, ValidateRejectsRateSumAboveOne) {

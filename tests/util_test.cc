@@ -1,9 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <set>
+#include <thread>
 
+#include "util/budget.h"
 #include "util/circuit_breaker.h"
 #include "util/outcome.h"
+#include "util/retry.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/strings.h"
@@ -30,9 +34,18 @@ TEST(StatusTest, AllCodesHaveNames) {
   for (StatusCode code :
        {StatusCode::kOk, StatusCode::kInvalidArgument,
         StatusCode::kUnsupported, StatusCode::kNotFound,
-        StatusCode::kInternal}) {
+        StatusCode::kInternal, StatusCode::kResourceExhausted}) {
     EXPECT_NE(std::string(StatusCodeToString(code)), "Unknown");
   }
+}
+
+TEST(StatusTest, ResourceExhaustedIsNotRetriable) {
+  // Retrying a budget-exhausted operation would spend the same exhausted
+  // envelope again; the caller must shed or re-budget instead.
+  EXPECT_FALSE(IsRetriable(StatusCode::kResourceExhausted));
+  Status st = Status::ResourceExhausted("deadline");
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(st.ToString(), "Resource exhausted: deadline");
 }
 
 TEST(ResultTest, ValueAndStatusPaths) {
@@ -192,6 +205,157 @@ TEST(CircuitBreakerTest, ClosesAfterEnoughProbeSuccesses) {
   breaker.RecordFailure();
   EXPECT_EQ(breaker.state(), CircuitState::kOpen);
   EXPECT_EQ(breaker.times_opened(), 2u);
+}
+
+TEST(RetryTest, ZeroEpisodeBudgetMeansUnlimited) {
+  // episode_budget == 0 is documented as *unlimited*, not "no budget to
+  // spend": all max_attempts tries run no matter how much simulated
+  // backoff accumulates.
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.initial_backoff = 1000;  // would instantly blow any small budget
+  policy.max_backoff = 1000;
+  policy.episode_budget = 0;
+  policy.jitter = 0;
+  Rng rng(1);
+  size_t calls = 0;
+  RetryOutcome out = RunWithRetry(policy, &rng, [&] {
+    ++calls;
+    return Status::Unavailable("down");
+  });
+  EXPECT_EQ(calls, 5u);
+  EXPECT_EQ(out.attempts, 5u);
+  EXPECT_EQ(out.backoff_spent, 4000u);
+
+  // Contrast: a tiny nonzero budget (smaller than initial_backoff) permits
+  // the first attempt but never a retry.
+  policy.episode_budget = 1;
+  calls = 0;
+  out = RunWithRetry(policy, &rng, [&] {
+    ++calls;
+    return Status::Unavailable("down");
+  });
+  EXPECT_EQ(calls, 1u);
+  EXPECT_EQ(out.attempts, 1u);
+  EXPECT_EQ(out.backoff_spent, 0u);
+}
+
+TEST(BudgetTest, InertScopePassesEveryCheckpoint) {
+  BudgetScope scope;
+  EXPECT_FALSE(scope.active());
+  EXPECT_FALSE(scope.has_deadline());
+  EXPECT_TRUE(scope.OnFixpointRound().ok());
+  EXPECT_TRUE(scope.OnDerivedTuples(1u << 20).ok());
+  EXPECT_TRUE(scope.OnRemoteTrip().ok());
+  EXPECT_TRUE(scope.Check().ok());
+  EXPECT_EQ(scope.checkpoints(), 0u);  // inert scopes count nothing
+}
+
+TEST(BudgetTest, UnarmedBudgetImposesNothing) {
+  ExecutionBudget none;
+  EXPECT_FALSE(none.armed());
+  BudgetScope scope = BudgetScope::Start(none);
+  EXPECT_FALSE(scope.active());
+  EXPECT_TRUE(scope.OnFixpointRound().ok());
+}
+
+TEST(BudgetTest, FixpointRoundCap) {
+  ExecutionBudget budget;
+  budget.max_fixpoint_rounds = 3;
+  BudgetScope scope = BudgetScope::Start(budget);
+  EXPECT_TRUE(scope.active());
+  EXPECT_TRUE(scope.OnFixpointRound().ok());
+  EXPECT_TRUE(scope.OnFixpointRound().ok());
+  EXPECT_TRUE(scope.OnFixpointRound().ok());
+  Status st = scope.OnFixpointRound();  // round 4 exceeds the cap
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+  // Exhaustion is sticky: the counter only grows.
+  EXPECT_EQ(scope.OnFixpointRound().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(BudgetTest, DerivedTupleCapCountsBatches) {
+  ExecutionBudget budget;
+  budget.max_derived_tuples = 100;
+  BudgetScope scope = BudgetScope::Start(budget);
+  EXPECT_TRUE(scope.OnDerivedTuples(60).ok());
+  EXPECT_TRUE(scope.OnDerivedTuples(40).ok());  // exactly at the cap is fine
+  EXPECT_EQ(scope.OnDerivedTuples(1).code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(BudgetTest, RemoteTripCapRefusesBeforePaying) {
+  ExecutionBudget budget;
+  budget.max_remote_trips = 2;
+  BudgetScope scope = BudgetScope::Start(budget);
+  EXPECT_TRUE(scope.OnRemoteTrip().ok());
+  EXPECT_TRUE(scope.OnRemoteTrip().ok());
+  EXPECT_EQ(scope.OnRemoteTrip().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(BudgetTest, ExpiredDeadlineFailsEveryCheckpoint) {
+  ExecutionBudget budget;
+  budget.deadline_ms = 1;
+  BudgetScope scope = BudgetScope::Start(budget);
+  EXPECT_TRUE(scope.has_deadline());
+  // The deadline is an absolute instant: sleeping comfortably past it is
+  // deterministic at any machine speed or sanitizer slowdown.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(scope.Check().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(scope.OnFixpointRound().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(scope.OnDerivedTuples(1).code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(scope.OnRemoteTrip().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(scope.remaining_ms(), 0u);
+}
+
+TEST(BudgetTest, CancellationTripsEveryCheckpoint) {
+  CancellationToken token;
+  BudgetScope scope = BudgetScope::Start(ExecutionBudget{}, &token);
+  EXPECT_TRUE(scope.active());  // armed by the token alone
+  EXPECT_TRUE(scope.Check().ok());
+  token.Cancel();
+  EXPECT_EQ(scope.Check().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(scope.OnFixpointRound().code(), StatusCode::kResourceExhausted);
+  token.Reset();
+  EXPECT_TRUE(scope.Check().ok());
+}
+
+TEST(BudgetTest, SplitDividesCapsDeterministically) {
+  ExecutionBudget budget;
+  budget.max_fixpoint_rounds = 10;
+  budget.max_remote_trips = 3;
+  BudgetScope parent = BudgetScope::Start(budget);
+  BudgetScope a = parent.Split(4);
+  BudgetScope b = parent.Split(4);
+  // Children depend only on (budget, ways, extra), never sibling progress.
+  EXPECT_EQ(a.budget().max_fixpoint_rounds, 2u);  // 10 / 4
+  EXPECT_EQ(b.budget().max_fixpoint_rounds, 2u);
+  EXPECT_EQ(a.budget().max_remote_trips, 1u);  // max(3 / 4, 1)
+  EXPECT_EQ(a.budget().max_derived_tuples, 0u);  // unlimited stays unlimited
+  // Spending one child leaves the other untouched.
+  EXPECT_TRUE(a.OnFixpointRound().ok());
+  EXPECT_TRUE(a.OnFixpointRound().ok());
+  EXPECT_EQ(a.OnFixpointRound().code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(b.OnFixpointRound().ok());
+}
+
+TEST(BudgetTest, SplitFoldsInPerCheckExtraTightestWins) {
+  ExecutionBudget episode;
+  episode.max_fixpoint_rounds = 100;
+  ExecutionBudget extra;
+  extra.max_fixpoint_rounds = 2;  // tighter than 100 / 4 = 25
+  BudgetScope parent = BudgetScope::Start(episode);
+  BudgetScope child = parent.Split(4, extra);
+  EXPECT_EQ(child.budget().max_fixpoint_rounds, 2u);
+
+  // An inert parent split with a per-check budget is armed by it alone.
+  BudgetScope inert;
+  BudgetScope solo = inert.Split(1, extra);
+  EXPECT_TRUE(solo.active());
+  EXPECT_TRUE(solo.OnFixpointRound().ok());
+  EXPECT_TRUE(solo.OnFixpointRound().ok());
+  EXPECT_EQ(solo.OnFixpointRound().code(),
+            StatusCode::kResourceExhausted);
 }
 
 TEST(CircuitBreakerTest, StateNames) {

@@ -55,6 +55,20 @@ constexpr const char kUsage[] =
     "  --fault-reject          refuse undecided updates instead of applying\n"
     "                          them optimistically with a deferred re-check\n"
     "\n"
+    "Execution budgets and overload control (see docs/budgets.md):\n"
+    "  --deadline-ms=N         wall-clock budget per update episode; checks\n"
+    "                          that would run past it are shed to the\n"
+    "                          deferred queue (0 = no deadline, default)\n"
+    "  --max-fixpoint-rounds=N per-check cap on fixpoint rounds\n"
+    "                          (0 = unlimited, default)\n"
+    "  --max-derived-tuples=N  per-check cap on derived tuples\n"
+    "                          (0 = unlimited, default)\n"
+    "  --deferred-queue-cap=N  bound on queued deferred re-checks\n"
+    "                          (0 = unbounded, default)\n"
+    "  --overflow-policy=P     reject-update | shed-oldest | block-recheck:\n"
+    "                          what to do when the queue cap is hit\n"
+    "                          (default reject-update)\n"
+    "\n"
     "Observability:\n"
     "  --trace-out=FILE        write a Chrome trace-event JSON of the run\n"
     "                          (load in chrome://tracing or ui.perfetto.dev)\n"
@@ -71,7 +85,10 @@ constexpr const char kUsage[] =
     "  3  at least one constraint violation (including late-detected\n"
     "     violations found when a deferred check was finally re-verified)\n"
     "  4  no violation, but some checks are still deferred pending the\n"
-    "     remote site, or updates were refused under --fault-reject\n";
+    "     remote site, or updates were refused under --fault-reject\n"
+    "  5  no violation, but the execution budget shed checks, refused an\n"
+    "     update at the queue cap, or dropped queued entries (only possible\n"
+    "     when a budget flag is set)\n";
 
 bool ParseStringFlag(const char* arg, const char* name, std::string* out) {
   size_t len = std::strlen(name);
@@ -196,6 +213,13 @@ int main(int argc, char** argv) {
   std::printf("%zu applied, %zu rejected, %zu deferred (%zu still pending)\n",
               report->updates_applied, report->updates_rejected,
               report->updates_deferred, report->deferred_pending);
+  if (report->budget_armed) {
+    // Machine-parseable budget accounting, printed only for budgeted runs
+    // so unbudgeted stdout stays byte-identical to earlier releases.
+    std::printf("budget: %zu shed, %zu exhausted, %zu dropped\n",
+                report->shed_checks, report->budget_exhausted,
+                report->deferred_dropped);
+  }
 
   if (!trace_out.empty()) {
     ccpi::Status st = recorder.WriteChromeJson(trace_out);
@@ -211,10 +235,15 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "metrics -> %s\n", metrics_out.c_str());
   }
 
-  // Violations (immediate or late-detected) dominate; otherwise checks
-  // still pending on the remote site — or updates refused because it was
-  // unreachable — are their own signal.
+  // Violations (immediate or late-detected) dominate; then budget
+  // exhaustion (the run was cut short, so "no violation" is qualified);
+  // then checks still pending on the remote site — or updates refused
+  // because it was unreachable — as their own signal.
   if (report->violations > 0) return 3;
+  if (report->shed_checks > 0 || report->budget_exhausted > 0 ||
+      report->deferred_dropped > 0) {
+    return 5;
+  }
   if (report->deferred_pending > 0 || report->updates_rejected > 0) return 4;
   return 0;
 }

@@ -87,6 +87,59 @@ REMOTE_CACHE_METRICS = (
 )
 
 
+# The overload sweep is the acceptance evidence of execution budgets:
+# budgeted rows must exist next to their unbudgeted baselines, each
+# carrying the full accounting so a regression that stops shedding (or
+# stops completing) is visible in CI.
+OVERLOAD_ROWS = (
+    "overload/L8/d0",
+    "overload/L8/d2",
+    "overload/L32/d0",
+    "overload/L32/d2",
+    "overload/L32/rounds4",
+)
+OVERLOAD_METRICS = (
+    "load",
+    "deadline_ms",
+    "admitted",
+    "completed",
+    "shed",
+    "goodput_per_sec",
+    "shed_rate",
+    "p50_check_ns",
+    "p99_check_ns",
+)
+
+
+def check_overload(path, doc, problems):
+    sweeps = [p for p in doc.get("points", [])
+              if isinstance(p, dict) and p.get("kind") == "sweep"
+              and isinstance(p.get("name"), str)]
+    names = {p["name"] for p in sweeps}
+    for row in OVERLOAD_ROWS:
+        if row not in names:
+            fail(path, f"overload: missing sweep row {row!r}", problems)
+    for point in sweeps:
+        metrics = point.get("metrics")
+        if not isinstance(metrics, dict):
+            continue  # already reported by check_point
+        for key in OVERLOAD_METRICS:
+            if key not in metrics:
+                fail(path,
+                     f"overload: sweep {point['name']!r} missing "
+                     f"metric {key!r}", problems)
+        admitted = metrics.get("admitted")
+        completed = metrics.get("completed")
+        shed = metrics.get("shed")
+        if all(isinstance(v, numbers.Real) and not isinstance(v, bool)
+               for v in (admitted, completed, shed)):
+            if admitted != completed + shed:
+                fail(path,
+                     f"overload: sweep {point['name']!r} accounting does "
+                     f"not balance (admitted {admitted} != completed "
+                     f"{completed} + shed {shed})", problems)
+
+
 def check_remote_cache(path, doc, problems):
     sweeps = [p for p in doc.get("points", [])
               if isinstance(p, dict) and p.get("kind") == "sweep"
@@ -138,6 +191,8 @@ def check_file(path, problems):
         check_point(path, i, point, problems)
     if doc.get("name") == "remote_cache":
         check_remote_cache(path, doc, problems)
+    if doc.get("name") == "overload":
+        check_overload(path, doc, problems)
 
 
 def main(argv):
