@@ -2,6 +2,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/thread_pool.h"
 
 namespace ccpi {
 
@@ -39,6 +40,11 @@ void SiteDatabase::set_metrics(obs::MetricsRegistry* registry) {
     ctr_cache_misses_ = nullptr;
     ctr_cache_invalidations_ = nullptr;
     hist_fill_latency_ = nullptr;
+    for (auto& st : site_states_) {
+      st->ctr_trips = nullptr;
+      st->ctr_failures = nullptr;
+      st->ctr_cache_hits = nullptr;
+    }
     return;
   }
   ctr_local_tuples_ = registry->GetCounter("distsim.local_tuples");
@@ -51,11 +57,26 @@ void SiteDatabase::set_metrics(obs::MetricsRegistry* registry) {
       registry->GetCounter("distsim.cache_invalidations");
   hist_fill_latency_ =
       registry->GetHistogram("distsim.cache_fill_latency_ns");
+  // Per-site counters only when there is more than one site: a 1-site
+  // registry dump stays byte-identical to the pre-topology catalog.
+  if (site_states_.size() > 1) {
+    for (size_t s = 0; s < site_states_.size(); ++s) {
+      std::string prefix = "distsim.site" + std::to_string(s);
+      site_states_[s]->ctr_trips =
+          registry->GetCounter(prefix + ".remote_trips");
+      site_states_[s]->ctr_failures =
+          registry->GetCounter(prefix + ".remote_failures");
+      site_states_[s]->ctr_cache_hits =
+          registry->GetCounter(prefix + ".cache_hits");
+    }
+  }
 }
 
 void SiteDatabase::EnableRemoteCache(bool on) {
   cache_enabled_ = on;
-  if (!on) cache_.Clear();
+  if (!on) {
+    for (auto& st : site_states_) st->cache.Clear();
+  }
 }
 
 Status SiteDatabase::OnRead(const std::string& pred, size_t count) {
@@ -70,37 +91,47 @@ Status SiteDatabase::OnRead(const std::string& pred, size_t count) {
 
 Status SiteDatabase::ReadRemote(const std::string& pred, size_t count) {
   ActiveReadGuard guard(&active_reads_);
-  if (budget_ != nullptr) {
+  const size_t site = topology_.SiteOf(pred);
+  SiteState& st = *site_states_[site];
+  if (st.budget != nullptr) {
     // Deadline/cancellation gate before any trip accounting or injector
     // draw, so budgeted cache-on and cache-off runs refuse at the same
     // point. The trip cap itself is charged in FetchRemote, where the
     // physical trip would be paid.
-    CCPI_RETURN_IF_ERROR(budget_->Check());
+    CCPI_RETURN_IF_ERROR(st.budget->Check());
   }
-  if (!cache_enabled_) return FetchRemote(pred, count);
+  if (!cache_enabled_) return FetchRemote(site, pred, count);
 
   const uint64_t version = cache_source().Get(pred, 0).version();
-  switch (cache_.Find(pred, version)) {
+  switch (st.cache.Find(pred, version)) {
     case RemoteReadCache::Lookup::kHit: {
-      if (injector_ != nullptr) {
+      if (st.injector != nullptr) {
         // Every logical remote read consumes exactly one draw of the
-        // seeded failure schedule, hit or not — otherwise the cache would
-        // shift which later reads fail and the run would diverge from the
-        // cache-off run. A fault on a cached read is billed as a failed
-        // physical trip and poisons the entry, exactly like a failed fill.
-        Status st = injector_->InjectOnRead(pred);
-        if (!st.ok()) {
+        // site's seeded failure schedule, hit or not — otherwise the cache
+        // would shift which later reads fail and the run would diverge
+        // from the cache-off run. A fault on a cached read is billed as a
+        // failed physical trip and poisons the entry, exactly like a
+        // failed fill.
+        Status fault = st.injector->InjectOnRead(pred);
+        if (!fault.ok()) {
           remote_trips_.fetch_add(1, std::memory_order_relaxed);
+          st.remote_trips.fetch_add(1, std::memory_order_relaxed);
           if (ctr_remote_trips_ != nullptr) ctr_remote_trips_->Add(1);
+          if (st.ctr_trips != nullptr) st.ctr_trips->Add(1);
           remote_failures_.fetch_add(1, std::memory_order_relaxed);
+          st.remote_failures.fetch_add(1, std::memory_order_relaxed);
           if (ctr_remote_failures_ != nullptr) ctr_remote_failures_->Add(1);
-          cache_.NoteFailure(pred);
-          return st;
+          if (st.ctr_failures != nullptr) st.ctr_failures->Add(1);
+          st.cache.NoteFailure(pred);
+          return fault;
         }
       }
       cache_hits_.fetch_add(1, std::memory_order_relaxed);
       cached_tuples_.fetch_add(count, std::memory_order_relaxed);
+      st.cache_hits.fetch_add(1, std::memory_order_relaxed);
+      st.cached_tuples.fetch_add(count, std::memory_order_relaxed);
       if (ctr_cache_hits_ != nullptr) ctr_cache_hits_->Add(1);
+      if (st.ctr_cache_hits != nullptr) st.ctr_cache_hits->Add(1);
       return Status::OK();
     }
     case RemoteReadCache::Lookup::kMissStale:
@@ -110,43 +141,51 @@ Status SiteDatabase::ReadRemote(const std::string& pred, size_t count) {
       [[fallthrough]];
     case RemoteReadCache::Lookup::kMissCold: {
       if (ctr_cache_misses_ != nullptr) ctr_cache_misses_->Add(1);
-      Status st = FetchRemote(pred, count);
-      if (st.ok()) {
-        cache_.NoteFill(pred, version);
+      Status fetched = FetchRemote(site, pred, count);
+      if (fetched.ok()) {
+        st.cache.NoteFill(pred, version);
       } else {
-        cache_.NoteFailure(pred);
+        st.cache.NoteFailure(pred);
       }
-      return st;
+      return fetched;
     }
   }
   return Status::OK();  // unreachable: the switch above is exhaustive
 }
 
-Status SiteDatabase::FetchRemote(const std::string& pred, size_t count) {
+Status SiteDatabase::FetchRemote(size_t site, const std::string& pred,
+                                 size_t count) {
+  SiteState& st = *site_states_[site];
   obs::Span span("distsim.remote_read", "distsim");
   if (span.active()) {
     span.Attr("pred", pred);
+    span.Attr("site", static_cast<int64_t>(site));
     span.Attr("tuples", static_cast<int64_t>(count));
   }
   obs::Stopwatch fill_timer;
-  if (budget_ != nullptr) {
+  if (st.budget != nullptr) {
     // A trip the budget cannot afford is refused, not paid: no trip is
     // billed, no injector draw is consumed.
-    CCPI_RETURN_IF_ERROR(budget_->OnRemoteTrip());
+    CCPI_RETURN_IF_ERROR(st.budget->OnRemoteTrip());
   }
   // The round trip is paid whether or not it succeeds.
   remote_trips_.fetch_add(1, std::memory_order_relaxed);
+  st.remote_trips.fetch_add(1, std::memory_order_relaxed);
   if (ctr_remote_trips_ != nullptr) ctr_remote_trips_->Add(1);
-  if (injector_ != nullptr) {
-    Status st = injector_->InjectOnRead(pred);
-    if (!st.ok()) {
+  if (st.ctr_trips != nullptr) st.ctr_trips->Add(1);
+  if (st.injector != nullptr) {
+    Status fault = st.injector->InjectOnRead(pred);
+    if (!fault.ok()) {
       remote_failures_.fetch_add(1, std::memory_order_relaxed);
+      st.remote_failures.fetch_add(1, std::memory_order_relaxed);
       if (ctr_remote_failures_ != nullptr) ctr_remote_failures_->Add(1);
-      if (span.active()) span.Attr("fault", st.message());
-      return st;
+      if (st.ctr_failures != nullptr) st.ctr_failures->Add(1);
+      if (span.active()) span.Attr("fault", fault.message());
+      return fault;
     }
   }
   remote_tuples_.fetch_add(count, std::memory_order_relaxed);
+  st.remote_tuples.fetch_add(count, std::memory_order_relaxed);
   if (ctr_remote_tuples_ != nullptr) ctr_remote_tuples_->Add(count);
   fill_timer.RecordTo(hist_fill_latency_);
   return Status::OK();
@@ -156,11 +195,12 @@ void SiteDatabase::PrefetchRemote(const std::set<std::string>& preds) {
   // Under fault injection the per-read draw alignment forbids batching;
   // the manager already skips prefetch then, this guard makes a direct
   // call harmless too.
-  if (!cache_enabled_ || injector_ != nullptr) return;
+  if (!cache_enabled_ || any_fault_injector()) return;
   for (const std::string& pred : preds) {
     if (IsLocal(pred)) continue;
     const Relation& rel = cache_source().Get(pred, 0);
-    if (cache_.Find(pred, rel.version()) == RemoteReadCache::Lookup::kHit) {
+    const RemoteReadCache& cache = site_states_[SiteOf(pred)]->cache;
+    if (cache.Find(pred, rel.version()) == RemoteReadCache::Lookup::kHit) {
       continue;  // already current: no logical read happened, bill nothing
     }
     // The fill routes through ReadRemote so miss/invalidation counters and
@@ -174,6 +214,99 @@ void SiteDatabase::PrefetchRemote(const std::set<std::string>& preds) {
       return;
     }
   }
+}
+
+void SiteDatabase::PrefetchRemoteBatched(const std::set<std::string>& preds,
+                                         ThreadPool* pool) {
+  if (!cache_enabled_ || any_fault_injector()) return;
+  // Group the cold/stale relations by owning site: each site's batch is
+  // one coalesced round trip however many relations it carries.
+  std::vector<std::vector<std::string>> batches(site_states_.size());
+  for (const std::string& pred : preds) {
+    if (IsLocal(pred)) continue;
+    const size_t site = SiteOf(pred);
+    const Relation& rel = cache_source().Get(pred, 0);
+    if (site_states_[site]->cache.Find(pred, rel.version()) ==
+        RemoteReadCache::Lookup::kHit) {
+      continue;
+    }
+    batches[site].push_back(pred);
+  }
+  std::vector<size_t> work;
+  for (size_t s = 0; s < batches.size(); ++s) {
+    if (!batches[s].empty()) work.push_back(s);
+  }
+  if (work.empty()) return;
+
+  auto fetch_batch = [&](size_t k) -> Status {
+    ActiveReadGuard guard(&active_reads_);
+    const size_t site = work[k];
+    SiteState& st = *site_states_[site];
+    obs::Span span("distsim.remote_batch", "distsim");
+    if (span.active()) {
+      span.Attr("site", static_cast<int64_t>(site));
+      span.Attr("relations", static_cast<int64_t>(batches[site].size()));
+    }
+    if (st.budget != nullptr) {
+      CCPI_RETURN_IF_ERROR(st.budget->Check());
+      // One budgeted trip buys the whole batch; a refusal leaves the
+      // site's entries unfilled and the fan-out's own reads will shed
+      // against the same exhausted scope.
+      CCPI_RETURN_IF_ERROR(st.budget->OnRemoteTrip());
+    }
+    remote_trips_.fetch_add(1, std::memory_order_relaxed);
+    st.remote_trips.fetch_add(1, std::memory_order_relaxed);
+    if (ctr_remote_trips_ != nullptr) ctr_remote_trips_->Add(1);
+    if (st.ctr_trips != nullptr) st.ctr_trips->Add(1);
+    for (const std::string& pred : batches[site]) {
+      const Relation& rel = cache_source().Get(pred, 0);
+      if (ctr_cache_misses_ != nullptr) ctr_cache_misses_->Add(1);
+      remote_tuples_.fetch_add(rel.size(), std::memory_order_relaxed);
+      st.remote_tuples.fetch_add(rel.size(), std::memory_order_relaxed);
+      if (ctr_remote_tuples_ != nullptr) ctr_remote_tuples_->Add(rel.size());
+      st.cache.NoteFill(pred, rel.version());
+    }
+    return Status::OK();
+  };
+  if (pool != nullptr && pool->thread_count() > 1 && work.size() > 1) {
+    // Concurrent per-site round trips. Budget refusals surface per site;
+    // the fan-out that follows re-encounters the same exhausted scopes,
+    // so swallowing the status here loses nothing.
+    (void)pool->ParallelFor(work.size(), fetch_batch);
+  } else {
+    for (size_t k = 0; k < work.size(); ++k) {
+      (void)fetch_batch(k);
+    }
+  }
+}
+
+size_t SiteDatabase::RecoverSiteCache(size_t site,
+                                      const std::set<std::string>& preds) {
+  CCPI_CHECK(site < site_states_.size());
+  if (!cache_enabled_) return 0;
+  SiteState& st = *site_states_[site];
+  size_t revalidated = 0;
+  for (const std::string& pred : preds) {
+    if (IsLocal(pred) || SiteOf(pred) != site) continue;
+    const Relation& rel = cache_source().Get(pred, 0);
+    // Only entries the outage left behind (poisoned fills, versions that
+    // moved while the site was dark) are reconciled; never-fetched
+    // relations stay cold until a check actually needs them.
+    if (st.cache.Find(pred, rel.version()) !=
+        RemoteReadCache::Lookup::kMissStale) {
+      continue;
+    }
+    obs::Span span("distsim.site_recover", "distsim");
+    if (span.active()) {
+      span.Attr("pred", pred);
+      span.Attr("site", static_cast<int64_t>(site));
+    }
+    // The normal read path: the trip is billed, the site's schedule draw
+    // is consumed, and a fetch that still faults leaves the entry
+    // poisoned for the next recovery pass.
+    if (ReadRemote(pred, rel.size()).ok()) ++revalidated;
+  }
+  return revalidated;
 }
 
 }  // namespace ccpi

@@ -2,13 +2,16 @@
 #define CCPI_DISTSIM_SITE_DB_H_
 
 #include <atomic>
+#include <memory>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "distsim/cost_model.h"
 #include "distsim/fault_injector.h"
 #include "distsim/remote_accessor.h"
 #include "distsim/remote_cache.h"
+#include "distsim/topology.h"
 #include "eval/engine.h"
 #include "relational/database.h"
 #include "util/check.h"
@@ -20,6 +23,8 @@ class Counter;
 class Histogram;
 class MetricsRegistry;
 }  // namespace obs
+
+class ThreadPool;
 
 /// Access statistics of one evaluation (or one update-checking episode)
 /// over a partitioned database.
@@ -63,12 +68,22 @@ struct AccessStats {
 /// kUnavailable / kDeadlineExceeded through whatever evaluation is in
 /// flight. Local reads never fail.
 ///
+/// The remote side is a Topology of N independent sites (default one, the
+/// original split): each remote predicate lives at exactly one site
+/// (placement map or hash), and each site owns its own fault injector,
+/// snapshot cache, cost model, and budget-scope hook, so one site's outage
+/// or spent budget never touches reads bound for another. The aggregate
+/// counters keep their pre-topology meaning — per-site counters are summed
+/// into them at the same program points — so a 1-site topology is
+/// byte-identical to the old behavior.
+///
 /// With the remote-read cache enabled (EnableRemoteCache), a read of a
 /// remote relation whose content version matches the last successful
 /// physical fetch is served as a cache hit — no round trip, tuples billed
 /// at cached_tuple_cost — while misses fall through to the physical path
-/// and refresh the cache. See docs/remote_cache.md for the keying,
-/// invalidation, and fault-interaction rules.
+/// and refresh that site's cache. See docs/remote_cache.md for the keying,
+/// invalidation, and fault-interaction rules, and docs/distsim.md for the
+/// topology semantics.
 ///
 /// Thread-safety: the read path (OnRead / ReadRemote) only bumps atomic
 /// counters and takes shared-mode cache lookups, and may run from many
@@ -82,39 +97,101 @@ struct AccessStats {
 /// against reads.
 class SiteDatabase : public AccessObserver, public RemoteAccessor {
  public:
-  explicit SiteDatabase(std::set<std::string> local_preds)
-      : local_preds_(std::move(local_preds)) {}
+  explicit SiteDatabase(std::set<std::string> local_preds,
+                        TopologyConfig topology = {})
+      : local_preds_(std::move(local_preds)), topology_(std::move(topology)) {
+    site_states_.reserve(topology_.sites());
+    for (size_t s = 0; s < topology_.sites(); ++s) {
+      site_states_.push_back(std::make_unique<SiteState>());
+    }
+  }
 
   bool IsLocal(const std::string& pred) const {
     return local_preds_.count(pred) > 0;
   }
   const std::set<std::string>& local_preds() const { return local_preds_; }
 
+  const Topology& topology() const { return topology_; }
+  size_t sites() const { return topology_.sites(); }
+  /// The site owning a remote `pred` (callers check IsLocal first).
+  size_t SiteOf(const std::string& pred) const {
+    return topology_.SiteOf(pred);
+  }
+
   Database& db() { return db_; }
   const Database& db() const { return db_; }
 
   /// Attaches (or detaches, with nullptr) the fault source for remote
-  /// reads. Not owned; must outlive the site. With no injector attached
-  /// every remote read succeeds, preserving the pre-fault behaviour.
-  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
-  FaultInjector* fault_injector() const { return injector_; }
+  /// reads of site 0 — the whole remote side of a 1-site topology, which
+  /// keeps the pre-topology call sites working unchanged. Not owned; must
+  /// outlive the site.
+  void set_fault_injector(FaultInjector* injector) {
+    site_states_[0]->injector = injector;
+  }
+  FaultInjector* fault_injector() const { return site_states_[0]->injector; }
 
-  /// Attaches (or detaches, with nullptr) an execution-budget scope
-  /// (configuration call: serialize against reads; not owned, must outlive
-  /// the reads it governs — the manager scopes it to one episode). Remote
-  /// reads then become deadline-aware: a read is refused with
-  /// kResourceExhausted *before* paying the round trip once the deadline
-  /// has passed, the token is cancelled, or the scope's remote-trip cap is
-  /// spent. Cache hits pay no trip and are never charged against the trip
-  /// cap (the cache genuinely stretches the budget; see docs/budgets.md).
-  /// Local reads are always free and never refused.
-  void set_budget(const BudgetScope* scope) { budget_ = scope; }
-  const BudgetScope* budget() const { return budget_; }
+  /// Per-site fault domains: each remote site may carry its own injector
+  /// (its own seed, rates, and outage windows).
+  void set_site_fault_injector(size_t site, FaultInjector* injector) {
+    CCPI_CHECK(site < site_states_.size());
+    site_states_[site]->injector = injector;
+  }
+  FaultInjector* site_fault_injector(size_t site) const {
+    CCPI_CHECK(site < site_states_.size());
+    return site_states_[site]->injector;
+  }
+  /// Whether any site has an injector attached — the gate the manager uses
+  /// to keep tier-3 sequential (draw alignment is per-site, but verdict
+  /// order is global).
+  bool any_fault_injector() const {
+    for (const auto& st : site_states_) {
+      if (st->injector != nullptr) return true;
+    }
+    return false;
+  }
+
+  /// Attaches (or detaches, with nullptr) an execution-budget scope to
+  /// *every* site (configuration call: serialize against reads; not owned,
+  /// must outlive the reads it governs — the manager scopes it to one
+  /// episode). Remote reads then become deadline-aware: a read is refused
+  /// with kResourceExhausted *before* paying the round trip once the
+  /// deadline has passed, the token is cancelled, or the scope's
+  /// remote-trip cap is spent. Cache hits pay no trip and are never
+  /// charged against the trip cap (the cache genuinely stretches the
+  /// budget; see docs/budgets.md). Local reads are always free and never
+  /// refused.
+  void set_budget(const BudgetScope* scope) {
+    for (auto& st : site_states_) st->budget = scope;
+  }
+  const BudgetScope* budget() const { return site_states_[0]->budget; }
+
+  /// Per-site budget scopes: with N sites the manager splits the episode's
+  /// trip cap into per-site slices so one chatty site cannot starve the
+  /// others (see docs/budgets.md).
+  void set_site_budget(size_t site, const BudgetScope* scope) {
+    CCPI_CHECK(site < site_states_.size());
+    site_states_[site]->budget = scope;
+  }
+  const BudgetScope* site_budget(size_t site) const {
+    CCPI_CHECK(site < site_states_.size());
+    return site_states_[site]->budget;
+  }
+
+  /// Per-site access pricing (default: every site shares CostModel{}).
+  void set_site_cost_model(size_t site, const CostModel& model) {
+    CCPI_CHECK(site < site_states_.size());
+    site_states_[site]->costs = model;
+  }
+  const CostModel& site_cost_model(size_t site) const {
+    CCPI_CHECK(site < site_states_.size());
+    return site_states_[site]->costs;
+  }
 
   /// Attaches (or detaches, with nullptr) a metrics registry. Every read
   /// then also bumps the `distsim.*` counters (see docs/observability.md)
-  /// in addition to the per-site AccessStats. Not owned; must outlive the
-  /// site.
+  /// in addition to the per-site AccessStats; topologies with more than
+  /// one site additionally get `distsim.site<k>.*` counters. Not owned;
+  /// must outlive the site.
   void set_metrics(obs::MetricsRegistry* registry);
 
   /// AccessObserver: attributes `count` enumerated tuples of `pred`.
@@ -128,13 +205,18 @@ class SiteDatabase : public AccessObserver, public RemoteAccessor {
   }
   Status ReadRemote(const std::string& pred, size_t count) override;
 
-  /// Turns the remote-read snapshot cache on or off (configuration call:
-  /// serialize against reads). Off by default so a bare SiteDatabase
-  /// behaves exactly as before; the ConstraintManager enables it per its
-  /// RemoteCacheConfig. Turning the cache off also drops its entries.
+  /// Turns the remote-read snapshot cache on or off for every site
+  /// (configuration call: serialize against reads). Off by default so a
+  /// bare SiteDatabase behaves exactly as before; the ConstraintManager
+  /// enables it per its RemoteCacheConfig. Turning the cache off also
+  /// drops every site's entries.
   void EnableRemoteCache(bool on);
   bool remote_cache_enabled() const { return cache_enabled_; }
-  RemoteReadCache& remote_cache() { return cache_; }
+  RemoteReadCache& remote_cache() { return site_states_[0]->cache; }
+  RemoteReadCache& site_remote_cache(size_t site) {
+    CCPI_CHECK(site < site_states_.size());
+    return site_states_[site]->cache;
+  }
 
   /// Overrides (or with nullptr restores to this site's own db) the
   /// database whose relation versions key cache decisions. The manager
@@ -147,10 +229,31 @@ class SiteDatabase : public AccessObserver, public RemoteAccessor {
   /// Batched prefetch: physically fetches every cold or stale relation in
   /// `preds` (local and already-valid entries are skipped silently) so a
   /// following fan-out reads them as cache hits. No-op when the cache is
-  /// off or a fault injector is attached — under injection each logical
+  /// off or any fault injector is attached — under injection each logical
   /// read must consume its own draw of the failure schedule in evaluation
   /// order, which a batched pass would reorder.
   void PrefetchRemote(const std::set<std::string>& preds);
+
+  /// Coalesced multi-site prefetch: groups `preds` by owning site, pays
+  /// ONE round trip per site that has at least one cold or stale relation
+  /// (instead of one per relation), and issues the per-site batches
+  /// concurrently on `pool` (sequentially when pool is null or single
+  /// threaded). Tuples are billed per relation as usual; the saved trips
+  /// are the point of the batch. Same gates as PrefetchRemote, and the
+  /// per-site trip is charged against that site's budget scope. The
+  /// manager uses this only for multi-site topologies, so single-site
+  /// accounting is untouched.
+  void PrefetchRemoteBatched(const std::set<std::string>& preds,
+                             ThreadPool* pool);
+
+  /// Catch-up reconciliation for a site returning from outage: re-fetches
+  /// every relation of `site` among `preds` whose cache entry went stale
+  /// or was poisoned while the site was dark (cold, never-fetched
+  /// relations are left to demand fetching). Reads route through the
+  /// normal ReadRemote path, so trips are billed, draws consumed, and a
+  /// still-faulting fetch simply leaves the entry poisoned. Returns how
+  /// many entries were revalidated. No-op with the cache off.
+  size_t RecoverSiteCache(size_t site, const std::set<std::string>& preds);
 
   /// Snapshot of the statistics accumulated since the last Reset
   /// (by value: counters may be advancing on other threads).
@@ -162,6 +265,20 @@ class SiteDatabase : public AccessObserver, public RemoteAccessor {
     s.remote_failures = remote_failures_.load(std::memory_order_relaxed);
     s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
     s.cached_tuples = cached_tuples_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  /// Per-site slice of the remote counters (local_tuples is always 0:
+  /// local reads belong to the checking site, not a remote one).
+  AccessStats site_stats(size_t site) const {
+    CCPI_CHECK(site < site_states_.size());
+    const SiteState& st = *site_states_[site];
+    AccessStats s;
+    s.remote_tuples = st.remote_tuples.load(std::memory_order_relaxed);
+    s.remote_trips = st.remote_trips.load(std::memory_order_relaxed);
+    s.remote_failures = st.remote_failures.load(std::memory_order_relaxed);
+    s.cache_hits = st.cache_hits.load(std::memory_order_relaxed);
+    s.cached_tuples = st.cached_tuples.load(std::memory_order_relaxed);
     return s;
   }
 
@@ -180,20 +297,47 @@ class SiteDatabase : public AccessObserver, public RemoteAccessor {
     remote_failures_.store(0, std::memory_order_relaxed);
     cache_hits_.store(0, std::memory_order_relaxed);
     cached_tuples_.store(0, std::memory_order_relaxed);
+    for (auto& st : site_states_) {
+      st->remote_tuples.store(0, std::memory_order_relaxed);
+      st->remote_trips.store(0, std::memory_order_relaxed);
+      st->remote_failures.store(0, std::memory_order_relaxed);
+      st->cache_hits.store(0, std::memory_order_relaxed);
+      st->cached_tuples.store(0, std::memory_order_relaxed);
+    }
   }
 
  private:
+  /// Everything one remote site owns. Heap-allocated (the atomics and the
+  /// cache's mutex are not movable) and stable for the SiteDatabase's
+  /// lifetime.
+  struct SiteState {
+    std::atomic<size_t> remote_tuples{0};
+    std::atomic<size_t> remote_trips{0};
+    std::atomic<size_t> remote_failures{0};
+    std::atomic<size_t> cache_hits{0};
+    std::atomic<size_t> cached_tuples{0};
+    FaultInjector* injector = nullptr;
+    const BudgetScope* budget = nullptr;
+    RemoteReadCache cache;
+    CostModel costs;
+    // Per-site obs handles; resolved only for multi-site topologies.
+    obs::Counter* ctr_trips = nullptr;
+    obs::Counter* ctr_failures = nullptr;
+    obs::Counter* ctr_cache_hits = nullptr;
+  };
+
   /// The database whose relation versions (and sizes, for prefetch) drive
   /// cache decisions: the override when set, this site's own db otherwise.
   const Database& cache_source() const {
     return cache_db_ != nullptr ? *cache_db_ : db_;
   }
 
-  /// One physical round trip: span, trip/tuple/failure billing, fault
-  /// injection, fill-latency timing. The pre-cache ReadRemote body.
-  Status FetchRemote(const std::string& pred, size_t count);
+  /// One physical round trip to `site`: span, trip/tuple/failure billing,
+  /// fault injection, fill-latency timing. The pre-cache ReadRemote body.
+  Status FetchRemote(size_t site, const std::string& pred, size_t count);
 
   std::set<std::string> local_preds_;
+  Topology topology_;
   Database db_;
   std::atomic<size_t> local_tuples_{0};
   std::atomic<size_t> remote_tuples_{0};
@@ -205,10 +349,8 @@ class SiteDatabase : public AccessObserver, public RemoteAccessor {
   // ResetStats exclusivity assertion. Increments are compiled out in
   // NDEBUG builds, so the release hot path is untouched.
   std::atomic<int> active_reads_{0};
-  FaultInjector* injector_ = nullptr;
-  const BudgetScope* budget_ = nullptr;
+  std::vector<std::unique_ptr<SiteState>> site_states_;
   bool cache_enabled_ = false;
-  RemoteReadCache cache_;
   const Database* cache_db_ = nullptr;
   // Counter handles resolved once in set_metrics (registry handles are
   // stable for the registry's lifetime), so the read path never does a

@@ -1,0 +1,32 @@
+#include "distsim/topology.h"
+
+#include "util/check.h"
+
+namespace ccpi {
+
+Topology::Topology(TopologyConfig config) : config_(std::move(config)) {
+  CCPI_CHECK(config_.sites >= 1);
+  for (const auto& [pred, site] : config_.placement) {
+    (void)pred;
+    CCPI_CHECK(site < config_.sites);
+  }
+}
+
+uint64_t Topology::HashPred(const std::string& pred) {
+  // FNV-1a, 64-bit.
+  uint64_t h = 14695981039346656037ull;
+  for (char c : pred) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+size_t Topology::SiteOf(const std::string& pred) const {
+  if (config_.sites == 1) return 0;
+  auto it = config_.placement.find(pred);
+  if (it != config_.placement.end()) return it->second;
+  return static_cast<size_t>(HashPred(pred) % config_.sites);
+}
+
+}  // namespace ccpi

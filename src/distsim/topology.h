@@ -1,0 +1,54 @@
+#ifndef CCPI_DISTSIM_TOPOLOGY_H_
+#define CCPI_DISTSIM_TOPOLOGY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace ccpi {
+
+/// Shape of the simulated remote side: how many independent sites there
+/// are and which remote predicate lives where. The default — one site, no
+/// explicit placement — reproduces the original single local/remote split
+/// exactly: every remote predicate maps to site 0.
+struct TopologyConfig {
+  /// Number of remote sites (>= 1). With one site every fault domain,
+  /// cache, breaker, and budget collapses to the pre-topology behavior.
+  size_t sites = 1;
+  /// Explicit predicate -> site assignments (ccpi_check --placement, or
+  /// the script's `site K p q ...` directive). Predicates not listed are
+  /// placed by hash. Every assigned site index must be < `sites`.
+  std::map<std::string, size_t> placement;
+};
+
+/// Predicate -> site resolution over a TopologyConfig.
+///
+/// Placement is a pure function of (config, predicate name): explicit
+/// assignments win, everything else lands on FNV-1a(pred) mod sites — so
+/// two runs with the same config shard identically, and a single-site
+/// topology maps everything to site 0 whatever the hash says.
+///
+/// Immutable after construction and therefore freely shared across
+/// checker threads.
+class Topology {
+ public:
+  explicit Topology(TopologyConfig config = {});
+
+  size_t sites() const { return config_.sites; }
+  const TopologyConfig& config() const { return config_; }
+
+  /// The site owning `pred`. Local predicates are not the topology's
+  /// business — callers resolve locality first (SiteDatabase::IsLocal).
+  size_t SiteOf(const std::string& pred) const;
+
+  /// FNV-1a over the predicate name; the hash behind default placement.
+  static uint64_t HashPred(const std::string& pred);
+
+ private:
+  TopologyConfig config_;
+};
+
+}  // namespace ccpi
+
+#endif  // CCPI_DISTSIM_TOPOLOGY_H_

@@ -80,6 +80,19 @@ void ConstraintManager::InitObservability() {
   ctr_shed_ = metrics_.GetCounter("manager.shed_checks");
   ctr_budget_exhausted_ = metrics_.GetCounter("manager.budget_exhausted");
   ctr_deferred_dropped_ = metrics_.GetCounter("manager.deferred.dropped");
+  // Recovery counters exist only for multi-site topologies, so a 1-site
+  // manager's metrics dump stays byte-identical to the pre-topology
+  // catalog.
+  if (site_.sites() > 1) {
+    ctr_sites_recovered_ = metrics_.GetCounter("manager.recovery.sites");
+    ctr_cache_revalidated_ =
+        metrics_.GetCounter("manager.recovery.revalidated");
+    ctr_site_recovered_.resize(site_.sites());
+    for (size_t s = 0; s < site_.sites(); ++s) {
+      ctr_site_recovered_[s] =
+          metrics_.GetCounter("manager.recovery.site" + std::to_string(s));
+    }
+  }
   // Millisecond-scale bounds: the registry's default ladder is tuned for
   // nanosecond latencies, while this histogram records wall-clock budget
   // left when a deadlined episode completes.
@@ -109,6 +122,10 @@ ManagerStats ConstraintManager::stats() const {
   s.shed_checks = ctr_shed_->value();
   s.budget_exhausted = ctr_budget_exhausted_->value();
   s.deferred_dropped = ctr_deferred_dropped_->value();
+  s.sites_recovered =
+      ctr_sites_recovered_ != nullptr ? ctr_sites_recovered_->value() : 0;
+  s.cache_revalidated =
+      ctr_cache_revalidated_ != nullptr ? ctr_cache_revalidated_->value() : 0;
   s.access = site_.stats();
   return s;
 }
@@ -133,6 +150,18 @@ Result<bool> ConstraintManager::AddConstraint(const std::string& name,
   // evaluation of this constraint may touch (prefetch unions them).
   for (const std::string& pred : EdbPredicates(constraints_.back().program)) {
     if (!site_.IsLocal(pred)) constraints_.back().remote_edb.insert(pred);
+  }
+  // Site footprint for breaker gating. With one site every constraint
+  // names it (even with an empty remote_edb) so gating degenerates to the
+  // single global breaker; with N sites the footprint is exactly the
+  // placement of the remote relations, and a constraint with no remote
+  // reads is never gated at all.
+  if (site_.sites() == 1) {
+    constraints_.back().remote_sites.insert(0);
+  } else {
+    for (const std::string& pred : constraints_.back().remote_edb) {
+      constraints_.back().remote_sites.insert(site_.SiteOf(pred));
+    }
   }
   return subsumed;
 }
@@ -297,8 +326,34 @@ Result<CheckReport> ConstraintManager::CheckOneImpl(Registered* r,
   return report;
 }
 
+bool ConstraintManager::SitesWouldAllow(
+    const std::set<size_t>& gsites) const {
+  for (size_t s : gsites) {
+    if (!breakers_[s]->WouldAllow()) return false;
+  }
+  return true;
+}
+
+void ConstraintManager::ClaimSites(const std::set<size_t>& gsites) {
+  for (size_t s : gsites) {
+    bool admitted = breakers_[s]->AllowRequest();
+    // The caller gated on SitesWouldAllow with no breaker traffic in
+    // between, so the claim cannot be refused.
+    CCPI_DCHECK(admitted);
+    (void)admitted;
+  }
+}
+
+bool ConstraintManager::AllBreakersClosed() const {
+  for (const std::unique_ptr<CircuitBreaker>& b : breakers_) {
+    if (b->state() != CircuitState::kClosed) return false;
+  }
+  return true;
+}
+
 Result<bool> ConstraintManager::EvaluateRemote(const Program& program,
                                                const Database& db,
+                                               const std::set<size_t>& gsites,
                                                size_t* retries_out,
                                                const BudgetScope* scope) {
   obs::Span span("manager.evaluate_remote", "manager");
@@ -310,7 +365,20 @@ Result<bool> ConstraintManager::EvaluateRemote(const Program& program,
     if (!admit.ok()) {
       if (retries_out != nullptr) *retries_out = 0;
       ctr_budget_exhausted_->Add(1);
+      for (size_t s : gsites) breakers_[s]->CancelProbe();
       return admit;
+    }
+  }
+  // Per-site blame needs to know which sites actually failed during this
+  // episode. The snapshot/delta read is race-free because the retriable
+  // path below only exists under fault injection, which forces tier 3
+  // sequential.
+  const bool multi = site_.sites() > 1;
+  std::vector<size_t> failures_before;
+  if (multi) {
+    failures_before.reserve(gsites.size());
+    for (size_t s : gsites) {
+      failures_before.push_back(site_.site_stats(s).remote_failures);
     }
   }
   obs::Stopwatch sw;
@@ -340,17 +408,40 @@ Result<bool> ConstraintManager::EvaluateRemote(const Program& program,
   if (!episode.status.ok()) {
     if (IsRetriable(episode.status.code())) {
       ctr_remote_failures_->Add(1);
-      breaker_.RecordFailure();
+      if (!multi) {
+        breakers_[0]->RecordFailure();
+      } else {
+        // Blame exactly the sites whose trips failed during this episode;
+        // a gated site that happened not to fail releases its probe claim
+        // without a verdict.
+        size_t i = 0;
+        for (size_t s : gsites) {
+          bool failed =
+              site_.site_stats(s).remote_failures > failures_before[i++];
+          if (failed) {
+            breakers_[s]->RecordFailure();
+          } else {
+            breakers_[s]->CancelProbe();
+          }
+        }
+      }
     } else if (episode.status.code() == StatusCode::kResourceExhausted) {
       // The budget, not the site, stopped the episode: never retried
       // (retrying would spend the same exhausted envelope) and never
       // blamed on the breaker (the site did nothing wrong).
       ctr_budget_exhausted_->Add(1);
+      for (size_t s : gsites) breakers_[s]->CancelProbe();
+    } else {
+      for (size_t s : gsites) breakers_[s]->CancelProbe();
     }
     if (span.active()) span.Attr("gave_up", episode.status.message());
     return episode.status;
   }
-  breaker_.RecordSuccess();
+  // Success feeds every gated site unconditionally — not only the sites
+  // whose cached reads happened to pay a trip this time. Delta-gating
+  // would read racy per-site counters under the tier-3 fan-out and make
+  // breaker state depend on thread count.
+  for (size_t s : gsites) breakers_[s]->RecordSuccess();
   return violated;
 }
 
@@ -392,12 +483,16 @@ Result<std::vector<CheckReport>> ConstraintManager::ApplyUpdateImpl(
   }
   const BudgetScope* episode = budget_armed_ ? &episode_scope : nullptr;
 
-  breaker_.Tick();
-  // Opportunistically drain the deferred queue first: once the remote site
+  for (std::unique_ptr<CircuitBreaker>& b : breakers_) b->Tick();
+  // Opportunistically drain the deferred queue first: once a remote site
   // answers again, earlier optimistic applies are re-verified before new
-  // work builds on them.
-  if (resilience_.auto_recheck && !deferred_.empty() &&
-      breaker_.AllowRequest()) {
+  // work builds on them. Any reachable site is reason enough to try — the
+  // drain itself skips entries whose own sites are still dark.
+  bool any_would_allow = false;
+  for (const std::unique_ptr<CircuitBreaker>& b : breakers_) {
+    any_would_allow = any_would_allow || b->WouldAllow();
+  }
+  if (resilience_.auto_recheck && !deferred_.empty() && any_would_allow) {
     Result<std::vector<DeferredResolution>> drained =
         RecheckDeferredImpl(episode);
     if (!drained.ok()) return drained.status();
@@ -481,8 +576,22 @@ Result<std::vector<CheckReport>> ConstraintManager::ApplyUpdateImpl(
 
     // Route the episode's remote trips — prefetch included — through the
     // budget for the duration of the tier-3 block, so a passed deadline
-    // refuses trips before paying them.
-    if (budget_armed_) site_.set_budget(&episode_scope);
+    // refuses trips before paying them. With one site the episode scope
+    // itself is installed (exactly the pre-topology behavior); with N
+    // sites each site gets an equal child scope so one hot site cannot
+    // starve the trips of the others.
+    std::vector<BudgetScope> site_scopes;
+    if (budget_armed_) {
+      if (site_.sites() == 1) {
+        site_.set_budget(&episode_scope);
+      } else {
+        site_scopes.resize(site_.sites());
+        for (size_t s = 0; s < site_scopes.size(); ++s) {
+          site_scopes[s] = episode_scope.Split(site_.sites(), {});
+          site_.set_site_budget(s, &site_scopes[s]);
+        }
+      }
+    }
     struct SiteBudgetRestore {
       SiteDatabase* site;
       bool armed;
@@ -500,14 +609,34 @@ Result<std::vector<CheckReport>> ConstraintManager::ApplyUpdateImpl(
     // of the failure schedule in evaluation order) and never while the
     // breaker is non-closed (a fast-failing episode performs no reads, so
     // prefetching for it would pay trips the uncached path never pays).
-    if (site_.remote_cache_enabled() && site_.fault_injector() == nullptr &&
-        breaker_.state() == CircuitState::kClosed) {
-      std::set<std::string> episode_preds;
-      for (size_t idx : need_full) {
-        const std::set<std::string>& preds = constraints_[idx].remote_edb;
-        episode_preds.insert(preds.begin(), preds.end());
+    if (site_.remote_cache_enabled() && !site_.any_fault_injector()) {
+      if (site_.sites() == 1) {
+        if (breakers_[0]->state() == CircuitState::kClosed) {
+          std::set<std::string> episode_preds;
+          for (size_t idx : need_full) {
+            const std::set<std::string>& preds = constraints_[idx].remote_edb;
+            episode_preds.insert(preds.begin(), preds.end());
+          }
+          site_.PrefetchRemote(episode_preds);
+        }
+      } else {
+        // N sites: coalesce the worklist's remote relations into per-site
+        // batches and fetch the batches concurrently — one round trip per
+        // site — skipping any site whose breaker is not closed (its
+        // episodes fast-fail without reading, so prefetching for it would
+        // pay trips the uncached path never pays). Runs before the tier-3
+        // fan-out, so the pool is free to carry the batch fan-out here.
+        std::set<std::string> batched;
+        for (size_t idx : need_full) {
+          for (const std::string& pred : constraints_[idx].remote_edb) {
+            if (breakers_[site_.SiteOf(pred)]->state() ==
+                CircuitState::kClosed) {
+              batched.insert(pred);
+            }
+          }
+        }
+        site_.PrefetchRemoteBatched(batched, pool_.get());
       }
-      site_.PrefetchRemote(episode_preds);
     }
 
     // Tier 3 may fan out only when remote verdicts cannot depend on
@@ -521,8 +650,7 @@ Result<std::vector<CheckReport>> ConstraintManager::ApplyUpdateImpl(
     // shared counter bills trips in global order), so it too forces the
     // sequential path.
     bool parallel_t3 = pool_->thread_count() > 1 && need_full.size() > 1 &&
-                       site_.fault_injector() == nullptr &&
-                       breaker_.state() == CircuitState::kClosed &&
+                       !site_.any_fault_injector() && AllBreakersClosed() &&
                        budget_.per_episode.max_remote_trips == 0;
 
     // Budget split: every undecided constraint gets an *identical* child
@@ -547,8 +675,9 @@ Result<std::vector<CheckReport>> ConstraintManager::ApplyUpdateImpl(
       CCPI_RETURN_IF_ERROR(
           pool_->ParallelFor(need_full.size(), [&](size_t k) -> Status {
             const Registered& reg = constraints_[need_full[k]];
-            Result<bool> bad = EvaluateRemote(reg.program, site_.db(),
-                                              &eval_retries[k], scope_for(k));
+            Result<bool> bad =
+                EvaluateRemote(reg.program, site_.db(), reg.remote_sites,
+                               &eval_retries[k], scope_for(k));
             if (!bad.ok()) {
               eval_status[k] = bad.status();
               return Status::OK();
@@ -562,8 +691,10 @@ Result<std::vector<CheckReport>> ConstraintManager::ApplyUpdateImpl(
       CheckReport& report = reports[idx];
       const Registered& reg = constraints_[idx];
       if (!parallel_t3) {
-        if (!breaker_.AllowRequest()) {
-          // Circuit open: the remote site is known-dead; fail fast.
+        if (!SitesWouldAllow(reg.remote_sites)) {
+          // Circuit open: a site this check needs is known-dead; fail
+          // fast. Checks whose sites are all healthy still run — tier-3
+          // degradation is partial, per fault domain.
           report.outcome = Outcome::kDeferred;
           report.reason = StatusCode::kUnavailable;
           ctr_deferred_->Add(1);
@@ -571,8 +702,10 @@ Result<std::vector<CheckReport>> ConstraintManager::ApplyUpdateImpl(
           any_deferred = true;
           continue;
         }
-        Result<bool> bad = EvaluateRemote(reg.program, site_.db(),
-                                          &eval_retries[k], scope_for(k));
+        ClaimSites(reg.remote_sites);
+        Result<bool> bad =
+            EvaluateRemote(reg.program, site_.db(), reg.remote_sites,
+                           &eval_retries[k], scope_for(k));
         if (!bad.ok()) {
           eval_status[k] = bad.status();
         } else {
@@ -619,8 +752,12 @@ Result<std::vector<CheckReport>> ConstraintManager::ApplyUpdateImpl(
         }
         size_t cap = budget_.deferred_queue_cap;
         bool over = cap != 0 && deferred_.size() + fresh > cap;
+        bool drain_reachable = false;
+        for (const std::unique_ptr<CircuitBreaker>& b : breakers_) {
+          drain_reachable = drain_reachable || b->WouldAllow();
+        }
         if (over && budget_.overflow == OverflowPolicy::kBlockRecheck &&
-            breaker_.AllowRequest()) {
+            drain_reachable) {
           // Block: one synchronous drain pass to make room, then re-check
           // occupancy; falls back to refusal below if it freed nothing.
           Result<std::vector<DeferredResolution>> drained =
@@ -681,11 +818,49 @@ Result<std::vector<CheckReport>> ConstraintManager::ApplyUpdateImpl(
   if (episode_scope.has_deadline()) {
     hist_budget_remaining_->Observe(episode_scope.remaining_ms());
   }
+  DetectRecoveries();
   return reports;
 }
 
+void ConstraintManager::DetectRecoveries() {
+  if (site_.sites() <= 1) return;
+  for (size_t s = 0; s < breakers_.size(); ++s) {
+    if (breakers_[s]->state() != CircuitState::kClosed) {
+      site_was_dark_[s] = true;
+      continue;
+    }
+    if (!site_was_dark_[s]) continue;
+    // Outage→closed edge: the site is answering again. Deferred entries
+    // naming it drain through the normal auto-recheck rotation; what must
+    // happen here is cache reconciliation — entries poisoned by failed
+    // reads during the outage are refetched so the first post-recovery
+    // checks do not pay surprise misses (or trust nothing).
+    site_was_dark_[s] = false;
+    obs::Span span("manager.site_recovery", "manager");
+    if (span.active()) span.Attr("site", static_cast<int64_t>(s));
+    ctr_sites_recovered_->Add(1);
+    if (ctr_site_recovered_[s] != nullptr) ctr_site_recovered_[s]->Add(1);
+    std::set<std::string> preds;
+    for (const Registered& r : constraints_) {
+      for (const std::string& pred : r.remote_edb) {
+        if (site_.SiteOf(pred) == s) preds.insert(pred);
+      }
+    }
+    size_t revalidated = site_.RecoverSiteCache(s, preds);
+    if (revalidated > 0) ctr_cache_revalidated_->Add(revalidated);
+    if (span.active()) {
+      span.Attr("revalidated", static_cast<int64_t>(revalidated));
+    }
+  }
+}
+
 Result<std::vector<DeferredResolution>> ConstraintManager::RecheckDeferred() {
-  return RecheckDeferredImpl(nullptr);
+  Result<std::vector<DeferredResolution>> resolved = RecheckDeferredImpl(nullptr);
+  // An explicit drain is also a recovery observation point: the caller is
+  // typically polling after an outage, often with no further updates
+  // flowing through ApplyUpdate.
+  if (resolved.ok()) DetectRecoveries();
+  return resolved;
 }
 
 Result<std::vector<DeferredResolution>>
@@ -725,12 +900,18 @@ ConstraintManager::RecheckDeferredImpl(const BudgetScope* episode) {
   // head, so one dead site never blocks entries for other, reachable
   // sites queued behind it. Each pass visits at most the entries present
   // when it started; draining stops once a full pass resolves nothing.
+  auto any_reachable = [&]() {
+    for (const std::unique_ptr<CircuitBreaker>& b : breakers_) {
+      if (b->WouldAllow()) return true;
+    }
+    return false;
+  };
   bool progress = true;
-  while (progress && !deferred_.empty() && breaker_.AllowRequest()) {
+  while (progress && !deferred_.empty() && any_reachable()) {
     progress = false;
     size_t pass = deferred_.size();
     for (size_t i = 0; i < pass && !deferred_.empty(); ++i) {
-      if (!breaker_.AllowRequest()) break;
+      if (!any_reachable()) break;
       DeferredCheck entry = deferred_.front();
       const Registered* reg = nullptr;
       for (const Registered& r : constraints_) {
@@ -761,14 +942,34 @@ ConstraintManager::RecheckDeferredImpl(const BudgetScope* episode) {
         recheck_scope =
             BudgetScope::Start(budget_.per_check, budget_.cancel);
       }
+      // A named site still dark: requeue without evaluating (and without
+      // touching `progress`, so a queue of only-dark entries terminates
+      // the pass). With one site this is unreachable — any_reachable()
+      // above is the same predicate.
+      if (!SitesWouldAllow(reg->remote_sites)) {
+        deferred_.pop_front();
+        deferred_.push_back(std::move(entry));
+        continue;
+      }
+      ClaimSites(reg->remote_sites);
       const BudgetScope* scope =
           recheck_scope.active() ? &recheck_scope : nullptr;
-      const BudgetScope* prev_site_budget = site_.budget();
-      if (scope != nullptr) site_.set_budget(scope);
+      std::vector<const BudgetScope*> prev_budgets(site_.sites());
+      if (scope != nullptr) {
+        for (size_t s = 0; s < site_.sites(); ++s) {
+          prev_budgets[s] = site_.site_budget(s);
+        }
+        site_.set_budget(scope);
+      }
       size_t recheck_retries = 0;
-      Result<bool> bad =
-          EvaluateRemote(reg->program, scratch, &recheck_retries, scope);
-      if (scope != nullptr) site_.set_budget(prev_site_budget);
+      Result<bool> bad = EvaluateRemote(reg->program, scratch,
+                                        reg->remote_sites, &recheck_retries,
+                                        scope);
+      if (scope != nullptr) {
+        for (size_t s = 0; s < site_.sites(); ++s) {
+          site_.set_site_budget(s, prev_budgets[s]);
+        }
+      }
       if (!bad.ok()) {
         StatusCode code = bad.status().code();
         if (IsRetriable(code) || code == StatusCode::kResourceExhausted) {

@@ -170,6 +170,12 @@ struct ManagerStats {
   size_t budget_exhausted = 0;
   /// Queue entries dropped by OverflowPolicy::kShedOldest.
   size_t deferred_dropped = 0;
+  /// Catch-up recoveries observed: a site's breaker re-closing after an
+  /// outage (multi-site topologies only; a 1-site manager never counts
+  /// these).
+  size_t sites_recovered = 0;
+  /// Cache entries revalidated by recovery reconciliation passes.
+  size_t cache_revalidated = 0;
   AccessStats access;
 };
 
@@ -246,17 +252,23 @@ class ConstraintManager {
                     ResilienceConfig resilience = {},
                     ParallelConfig parallel = {},
                     RemoteCacheConfig remote_cache = {},
-                    BudgetConfig budget = {})
-      : site_(std::move(local_preds)),
+                    BudgetConfig budget = {}, TopologyConfig topology = {})
+      : site_(std::move(local_preds), std::move(topology)),
         cost_model_(cost_model),
         resilience_(resilience),
         parallel_(parallel),
         remote_cache_(remote_cache),
         budget_(budget),
         budget_armed_(budget.armed()),
-        breaker_(resilience.breaker),
         retry_rng_(resilience.retry_seed),
         pool_(std::make_unique<ThreadPool>(parallel.threads)) {
+    // One independent fault domain per site: each gets its own breaker
+    // (same config) and its own recovery bookkeeping.
+    breakers_.reserve(site_.sites());
+    for (size_t s = 0; s < site_.sites(); ++s) {
+      breakers_.push_back(std::make_unique<CircuitBreaker>(resilience.breaker));
+    }
+    site_was_dark_.assign(site_.sites(), false);
     site_.EnableRemoteCache(remote_cache.enabled);
     InitObservability();
   }
@@ -304,7 +316,15 @@ class ConstraintManager {
     return deferred_;
   }
 
-  const CircuitBreaker& breaker() const { return breaker_; }
+  /// Site 0's breaker — the whole remote side of a 1-site topology, which
+  /// keeps the pre-topology call sites working unchanged.
+  const CircuitBreaker& breaker() const { return *breakers_[0]; }
+  /// Per-site breakers of an N-site topology.
+  const CircuitBreaker& site_breaker(size_t site) const {
+    return *breakers_[site];
+  }
+  /// Number of remote sites (>= 1).
+  size_t sites() const { return site_.sites(); }
 
   /// The fan-out configuration this manager was built with.
   const ParallelConfig& parallel() const { return parallel_; }
@@ -327,10 +347,13 @@ class ConstraintManager {
   obs::MetricsRegistry& metrics() { return metrics_; }
   const obs::MetricsRegistry& metrics() const { return metrics_; }
 
-  /// Advances the failure-detector clock without applying an update (it
-  /// normally ticks once per ApplyUpdate). Lets an idle caller wait out an
-  /// open circuit's cooldown before draining the deferred queue.
-  void TickBreaker(uint64_t steps = 1) { breaker_.Tick(steps); }
+  /// Advances the failure-detector clocks (every site's) without applying
+  /// an update (they normally tick once per ApplyUpdate). Lets an idle
+  /// caller wait out an open circuit's cooldown before draining the
+  /// deferred queue.
+  void TickBreaker(uint64_t steps = 1) {
+    for (auto& b : breakers_) b->Tick(steps);
+  }
 
  private:
   // Tier-2 artifacts per (constraint, updated local predicate), compiled
@@ -347,6 +370,14 @@ class ConstraintManager {
     /// may read, computed once at registration — the episode prefetch
     /// unions these over the tier-3 worklist.
     std::set<std::string> remote_edb;
+    /// The sites those relations live at. In a 1-site topology this is
+    /// always {0} — even for a constraint with no remote relations — so
+    /// the breaker gating below that set drives is literally the
+    /// pre-topology single-breaker behavior. With N sites it is the true
+    /// placement footprint, and a constraint touching no dark site checks
+    /// normally while the rest of the topology burns (partial
+    /// degradation).
+    std::set<size_t> remote_sites;
     // Cache keyed by the updated predicate.
     std::map<std::string, std::shared_ptr<const Tier2Artifacts>> tier2;
   };
@@ -374,15 +405,34 @@ class ConstraintManager {
       const BudgetScope* episode);
 
   /// Runs one tier-3 evaluation of `program` over `db` under the retry
-  /// policy and circuit breaker. OK Result carries the violation verdict;
-  /// a kUnavailable/kDeadlineExceeded Result means the episode gave up
-  /// (the caller defers); kResourceExhausted means the budget `scope`
-  /// (null = unbudgeted) was spent — never retried, never counted against
-  /// the breaker (the site did nothing wrong). `retries_out` receives the
+  /// policy and the breakers of `gsites` — the sites the constraint may
+  /// touch, whose probe slots the caller has already claimed via
+  /// AllowRequest (no-op claims while closed). Exactly one of
+  /// RecordSuccess / RecordFailure / CancelProbe is issued per site on
+  /// every exit path. OK Result carries the violation verdict; a
+  /// kUnavailable/kDeadlineExceeded Result means the episode gave up (the
+  /// caller defers); kResourceExhausted means the budget `scope` (null =
+  /// unbudgeted) was spent — never retried, never counted against any
+  /// breaker (the sites did nothing wrong). `retries_out` receives the
   /// extra attempts consumed.
   Result<bool> EvaluateRemote(const Program& program, const Database& db,
+                              const std::set<size_t>& gsites,
                               size_t* retries_out,
                               const BudgetScope* scope = nullptr);
+
+  /// Whether every breaker in `gsites` would currently admit a request
+  /// (pure gate: claims nothing, transitions nothing).
+  bool SitesWouldAllow(const std::set<size_t>& gsites) const;
+  /// Claims every breaker in `gsites` (sequential paths only: the caller
+  /// has just seen SitesWouldAllow succeed).
+  void ClaimSites(const std::set<size_t>& gsites);
+  bool AllBreakersClosed() const;
+  /// End-of-episode catch-up hook (multi-site only): detects sites whose
+  /// breaker re-closed after being observed dark, reconciles their cache
+  /// entries poisoned during the outage, and emits recovery metrics. The
+  /// queued deferred entries naming the site drain through the normal
+  /// auto-recheck on the next update.
+  void DetectRecoveries();
 
   /// Whether reports mean the update was refused (violated, or deferred
   /// under DeferredPolicy::kReject).
@@ -397,7 +447,13 @@ class ConstraintManager {
   /// budget_.armed(), precomputed: the unbudgeted hot path pays exactly
   /// one branch on this flag.
   bool budget_armed_ = false;
-  CircuitBreaker breaker_;
+  /// One breaker per remote site (heap-allocated: a breaker owns a mutex
+  /// and is not movable). breakers_[0] doubles as the legacy single
+  /// breaker.
+  std::vector<std::unique_ptr<CircuitBreaker>> breakers_;
+  /// Recovery bookkeeping: whether site s was observed non-closed at a
+  /// detection point since it last recovered (see DetectRecoveries).
+  std::vector<bool> site_was_dark_;
   // Only drawn from inside EvaluateRemote on a retriable failure, which
   // requires a fault injector; the parallel tier-3 path (taken only with
   // no injector attached) therefore never touches it concurrently.
@@ -428,6 +484,11 @@ class ConstraintManager {
   obs::Counter* ctr_shed_ = nullptr;
   obs::Counter* ctr_budget_exhausted_ = nullptr;
   obs::Counter* ctr_deferred_dropped_ = nullptr;
+  obs::Counter* ctr_sites_recovered_ = nullptr;
+  obs::Counter* ctr_cache_revalidated_ = nullptr;
+  /// Per-site recovery counters ("manager.recovery.site<k>"), resolved
+  /// only for multi-site topologies.
+  std::vector<obs::Counter*> ctr_site_recovered_;
   obs::Histogram* hist_budget_remaining_ = nullptr;
   obs::Histogram* hist_apply_ = nullptr;
   obs::Histogram* hist_remote_eval_ = nullptr;

@@ -1,5 +1,6 @@
 #include "manager/script.h"
 
+#include <memory>
 #include <optional>
 #include <sstream>
 
@@ -90,6 +91,37 @@ Result<Script> ParseScript(std::string_view text) {
       CCPI_RETURN_IF_ERROR(flush_constraint());
       std::string pred;
       while (ls >> pred) script.local_preds.insert(pred);
+    } else if (keyword == "sites") {
+      CCPI_RETURN_IF_ERROR(flush_constraint());
+      uint64_t n = 0;
+      if (!ParseUint64(rest, &n) || n == 0) {
+        return Status::InvalidArgument(
+            "line " + std::to_string(line_number) +
+            ": sites wants a positive integer, got \"" + rest + "\"");
+      }
+      script.topology.sites = static_cast<size_t>(n);
+    } else if (keyword == "site") {
+      // "site K p q ..." pins remote predicates p, q to site K.
+      CCPI_RETURN_IF_ERROR(flush_constraint());
+      std::string index_text;
+      ls >> index_text;
+      uint64_t index = 0;
+      if (!ParseUint64(index_text, &index)) {
+        return Status::InvalidArgument(
+            "line " + std::to_string(line_number) +
+            ": site wants an index then predicates, got \"" + rest + "\"");
+      }
+      std::string pred;
+      size_t pinned = 0;
+      while (ls >> pred) {
+        script.topology.placement[pred] = static_cast<size_t>(index);
+        ++pinned;
+      }
+      if (pinned == 0) {
+        return Status::InvalidArgument(
+            "line " + std::to_string(line_number) +
+            ": site " + index_text + " pins no predicates");
+      }
     } else if (keyword == "constraint") {
       CCPI_RETURN_IF_ERROR(flush_constraint());
       if (rest.empty()) {
@@ -120,6 +152,14 @@ Result<Script> ParseScript(std::string_view text) {
     }
   }
   CCPI_RETURN_IF_ERROR(flush_constraint());
+  for (const auto& [pred, s] : script.topology.placement) {
+    if (s >= script.topology.sites) {
+      return Status::InvalidArgument(
+          "site " + std::to_string(s) + " pins predicate " + pred +
+          " but the script declares only " +
+          std::to_string(script.topology.sites) + " site(s)");
+    }
+  }
   return script;
 }
 
@@ -142,6 +182,19 @@ Status BadFlag(std::string_view name, std::string_view wants,
   return Status::InvalidArgument("--" + std::string(name) + " wants " +
                                  std::string(wants) + ", got \"" +
                                  std::string(got) + "\"");
+}
+
+/// Splits "S:rest" into a site index and the remainder; the --site-fault-*
+/// flags all use this prefix.
+bool SplitSitePrefix(std::string_view value, size_t* site,
+                     std::string_view* rest) {
+  size_t colon = value.find(':');
+  if (colon == std::string_view::npos) return false;
+  uint64_t s = 0;
+  if (!ParseUint64(value.substr(0, colon), &s)) return false;
+  *site = static_cast<size_t>(s);
+  *rest = value.substr(colon + 1);
+  return true;
 }
 
 }  // namespace
@@ -254,6 +307,87 @@ Status ApplyScriptFlag(std::string_view arg, ScriptOptions* options,
     }
     return Status::OK();
   }
+  if (auto v = FlagValue(arg, "sites")) {
+    uint64_t n = 0;
+    if (!ParseUint64(*v, &n) || n == 0) {
+      return BadFlag("sites", "a positive integer", *v);
+    }
+    options->topology.sites = static_cast<size_t>(n);
+    options->topology_from_flags = true;
+    return Status::OK();
+  }
+  if (auto v = FlagValue(arg, "placement")) {
+    // "p:0,q:1" — comma-separated predicate:site pairs.
+    std::string_view remaining = *v;
+    while (!remaining.empty()) {
+      size_t comma = remaining.find(',');
+      std::string_view pair = remaining.substr(0, comma);
+      remaining = comma == std::string_view::npos
+                      ? std::string_view{}
+                      : remaining.substr(comma + 1);
+      size_t colon = pair.find(':');
+      uint64_t s = 0;
+      if (colon == std::string_view::npos || colon == 0 ||
+          !ParseUint64(pair.substr(colon + 1), &s)) {
+        return BadFlag("placement", "pred:site pairs like p:0,q:1", *v);
+      }
+      options->topology.placement[std::string(pair.substr(0, colon))] =
+          static_cast<size_t>(s);
+    }
+    return Status::OK();
+  }
+  if (auto v = FlagValue(arg, "site-fault-rate")) {
+    size_t site = 0;
+    std::string_view rest;
+    double rate = 0;
+    if (!SplitSitePrefix(*v, &site, &rest) ||
+        !ParseProbability(rest, &rate)) {
+      return BadFlag("site-fault-rate", "SITE:PROBABILITY", *v);
+    }
+    options->site_faults[site].transient_rate = rate;
+    options->enable_faults = true;
+    return Status::OK();
+  }
+  if (auto v = FlagValue(arg, "site-fault-timeout-rate")) {
+    size_t site = 0;
+    std::string_view rest;
+    double rate = 0;
+    if (!SplitSitePrefix(*v, &site, &rest) ||
+        !ParseProbability(rest, &rate)) {
+      return BadFlag("site-fault-timeout-rate", "SITE:PROBABILITY", *v);
+    }
+    options->site_faults[site].timeout_rate = rate;
+    options->enable_faults = true;
+    return Status::OK();
+  }
+  if (auto v = FlagValue(arg, "site-fault-seed")) {
+    size_t site = 0;
+    std::string_view rest;
+    uint64_t n = 0;
+    if (!SplitSitePrefix(*v, &site, &rest) || !ParseUint64(rest, &n)) {
+      return BadFlag("site-fault-seed", "SITE:SEED", *v);
+    }
+    options->site_faults[site].seed = n;
+    options->enable_faults = true;
+    return Status::OK();
+  }
+  if (auto v = FlagValue(arg, "site-fault-outage")) {
+    size_t site = 0;
+    std::string_view rest;
+    if (!SplitSitePrefix(*v, &site, &rest)) {
+      return BadFlag("site-fault-outage", "SITE:A:B with trips A <= B", *v);
+    }
+    size_t colon = rest.find(':');
+    uint64_t begin = 0, end = 0;
+    if (colon == std::string_view::npos ||
+        !ParseUint64(rest.substr(0, colon), &begin) ||
+        !ParseUint64(rest.substr(colon + 1), &end) || begin > end) {
+      return BadFlag("site-fault-outage", "SITE:A:B with trips A <= B", *v);
+    }
+    options->site_faults[site].outages.push_back(OutageWindow{begin, end});
+    options->enable_faults = true;
+    return Status::OK();
+  }
   if (arg == "--fault-reject") {
     options->resilience.on_unreachable = DeferredPolicy::kReject;
     return Status::OK();
@@ -271,6 +405,33 @@ Status ValidateScriptOptions(const ScriptOptions& options) {
     return Status::InvalidArgument(
         "--fault-rate and --fault-timeout-rate must sum to <= 1");
   }
+  for (const auto& [site, o] : options.site_faults) {
+    double transient =
+        o.transient_rate.value_or(options.faults.transient_rate);
+    double timeout = o.timeout_rate.value_or(options.faults.timeout_rate);
+    if (transient + timeout > 1.0) {
+      return Status::InvalidArgument(
+          "site " + std::to_string(site) +
+          ": effective fault rates must sum to <= 1");
+    }
+  }
+  if (options.topology_from_flags) {
+    for (const auto& [pred, s] : options.topology.placement) {
+      if (s >= options.topology.sites) {
+        return Status::InvalidArgument(
+            "--placement pins " + pred + " to site " + std::to_string(s) +
+            " but --sites=" + std::to_string(options.topology.sites));
+      }
+    }
+    for (const auto& [site, o] : options.site_faults) {
+      (void)o;
+      if (site >= options.topology.sites) {
+        return Status::InvalidArgument(
+            "--site-fault-* names site " + std::to_string(site) +
+            " but --sites=" + std::to_string(options.topology.sites));
+      }
+    }
+  }
   return Status::OK();
 }
 
@@ -283,13 +444,57 @@ Result<ScriptReport> RunScript(const Script& script, const CostModel& costs) {
 Result<ScriptReport> RunScript(const Script& script,
                                const ScriptOptions& options) {
   const CostModel& costs = options.costs;
+  // Effective topology: the script's directives, overridden field-wise by
+  // the command line (--sites replaces the count; --placement entries win
+  // per predicate).
+  TopologyConfig topology = script.topology;
+  if (options.topology_from_flags) topology.sites = options.topology.sites;
+  for (const auto& [pred, s] : options.topology.placement) {
+    topology.placement[pred] = s;
+  }
+  for (const auto& [pred, s] : topology.placement) {
+    if (s >= topology.sites) {
+      return Status::InvalidArgument(
+          "placement pins " + pred + " to site " + std::to_string(s) +
+          " but the topology has " + std::to_string(topology.sites) +
+          " site(s)");
+    }
+  }
+  for (const auto& [site, o] : options.site_faults) {
+    (void)o;
+    if (site >= topology.sites) {
+      return Status::InvalidArgument(
+          "--site-fault-* names site " + std::to_string(site) +
+          " but the topology has " + std::to_string(topology.sites) +
+          " site(s)");
+    }
+  }
+
   ConstraintManager mgr(script.local_preds, costs, options.resilience,
                         options.parallel, options.remote_cache,
-                        options.budget);
-  std::optional<FaultInjector> injector;
+                        options.budget, topology);
+  // One injector per site, each with its own schedule. Site 0 inherits
+  // the base config (and seed) verbatim — a 1-site faulted run is
+  // bit-identical to the pre-topology tool — while site s>0 derives
+  // seed + s * golden-ratio so sites fail independently unless a
+  // --site-fault-seed pins them together.
+  std::vector<std::unique_ptr<FaultInjector>> injectors;
   if (options.enable_faults) {
-    injector.emplace(options.faults);
-    mgr.site().set_fault_injector(&*injector);
+    for (size_t s = 0; s < topology.sites; ++s) {
+      FaultConfig cfg = options.faults;
+      if (s > 0) cfg.seed = cfg.seed + s * 0x9e3779b97f4a7c15ull;
+      auto it = options.site_faults.find(s);
+      if (it != options.site_faults.end()) {
+        const SiteFaultOverride& o = it->second;
+        if (o.transient_rate) cfg.transient_rate = *o.transient_rate;
+        if (o.timeout_rate) cfg.timeout_rate = *o.timeout_rate;
+        if (o.seed) cfg.seed = *o.seed;
+        cfg.outages.insert(cfg.outages.end(), o.outages.begin(),
+                           o.outages.end());
+      }
+      injectors.push_back(std::make_unique<FaultInjector>(cfg));
+      mgr.site().set_site_fault_injector(s, injectors.back().get());
+    }
   }
   std::ostringstream out;
   for (const auto& [name, program] : script.constraints) {
@@ -376,6 +581,8 @@ Result<ScriptReport> RunScript(const Script& script,
   report.shed_checks = stats.shed_checks;
   report.budget_exhausted = stats.budget_exhausted;
   report.deferred_dropped = stats.deferred_dropped;
+  report.sites_recovered = stats.sites_recovered;
+  report.cache_revalidated = stats.cache_revalidated;
 
   std::ostringstream summary;
   summary << "---\n";
@@ -403,6 +610,20 @@ Result<ScriptReport> RunScript(const Script& script,
             << report.deferred_pending << " pending\n";
     summary << "breaker: " << CircuitStateToString(mgr.breaker().state())
             << " (opened " << mgr.breaker().times_opened() << "x)\n";
+    if (mgr.sites() > 1) {
+      for (size_t s = 0; s < mgr.sites(); ++s) {
+        const AccessStats& ss = mgr.site().site_stats(s);
+        const CircuitBreaker& b = mgr.site_breaker(s);
+        summary << "site" << s << ": breaker "
+                << CircuitStateToString(b.state()) << " (opened "
+                << b.times_opened() << "x), " << ss.remote_trips
+                << " trips, " << ss.remote_failures << " failed, "
+                << ss.cache_hits << " cache hits\n";
+      }
+      summary << "recovery: " << stats.sites_recovered
+              << " site recoveries, " << stats.cache_revalidated
+              << " cache entries revalidated\n";
+    }
     if (report.budget_armed) {
       summary << "budget: " << stats.t3_admitted << " admitted, "
               << stats.shed_checks << " shed, " << stats.budget_exhausted

@@ -1,6 +1,8 @@
 #ifndef CCPI_MANAGER_SCRIPT_H_
 #define CCPI_MANAGER_SCRIPT_H_
 
+#include <map>
+#include <optional>
 #include <set>
 #include <string>
 #include <string_view>
@@ -10,6 +12,7 @@
 #include "datalog/ast.h"
 #include "distsim/cost_model.h"
 #include "distsim/fault_injector.h"
+#include "distsim/topology.h"
 #include "manager/constraint_manager.h"
 #include "relational/database.h"
 #include "updates/update.h"
@@ -29,6 +32,9 @@ namespace ccpi {
 ///     fact emp(ann, cs, 120)        # initial data (not checked)
 ///     insert emp(bob, ee, 90)       # update stream, checked in order
 ///     delete emp(ann, cs, 120)
+///     sites 3                       # remote fault domains (default 1)
+///     site 1 dept assign            # pin remote preds to a site; unpinned
+///                                   # ones hash to a site deterministically
 ///
 /// Rules may span lines exactly as in ParseProgram (break after `:-`, `&`
 /// or `,`).
@@ -37,17 +43,40 @@ struct Script {
   std::vector<std::pair<std::string, Program>> constraints;
   Database initial;
   std::vector<Update> updates;
+  /// Remote-site topology from `sites` / `site` directives; command-line
+  /// flags (--sites, --placement) override it field-wise.
+  TopologyConfig topology;
 };
 
 Result<Script> ParseScript(std::string_view text);
 
 /// Execution options of a script run: access pricing, fault injection on
 /// the simulated remote site, and the manager's degradation policy.
+/// Per-site overrides of the base FaultConfig, from the --site-fault-*
+/// flags. Unset fields inherit the base (global) fault flags; outage
+/// windows are appended to the inherited ones.
+struct SiteFaultOverride {
+  std::optional<double> transient_rate;
+  std::optional<double> timeout_rate;
+  std::optional<uint64_t> seed;
+  std::vector<OutageWindow> outages;
+};
+
 struct ScriptOptions {
   CostModel costs;
-  /// Remote faults to inject; used only when enable_faults is true.
+  /// Remote faults to inject; used only when enable_faults is true. With
+  /// N sites this is the base config every site inherits: site 0 keeps
+  /// the seed verbatim, site s derives seed + s * golden-ratio so the
+  /// sites draw independent schedules by default.
   FaultConfig faults;
   bool enable_faults = false;
+  /// Remote-site topology from --sites / --placement; overrides the
+  /// script's own directives field-wise (flags win).
+  TopologyConfig topology;
+  bool topology_from_flags = false;
+  /// Per-site fault overrides from --site-fault-rate=S:P and friends;
+  /// any entry implies enable_faults.
+  std::map<size_t, SiteFaultOverride> site_faults;
   ResilienceConfig resilience;
   /// Checker lanes for the manager's per-constraint fan-out
   /// (ccpi_check --threads). Reports are identical at any thread count.
@@ -102,6 +131,12 @@ struct ScriptReport {
   size_t deferred_violations = 0;
   /// Deferred checks still unresolved at shutdown (remote never answered).
   size_t deferred_pending = 0;
+  /// Outage→closed recovery events observed across all sites
+  /// (ManagerStats::sites_recovered); always 0 with one site.
+  size_t sites_recovered = 0;
+  /// Poisoned cache entries revalidated during recoveries
+  /// (ManagerStats::cache_revalidated).
+  size_t cache_revalidated = 0;
   /// Whether any budget or queue bound was configured for this run; the
   /// three counters below can only be nonzero when it is, and `ccpi_check`
   /// prints its "budget:" stdout line (and uses the budget exit code) only
@@ -128,8 +163,11 @@ Result<ScriptReport> RunScript(const Script& script,
 /// Recognizes every flag that configures the run itself — --threads=N,
 /// --remote-cache=on|off, --fault-rate=P, --fault-timeout-rate=P,
 /// --fault-seed=N, --fault-outage=A:B, --fault-reject, --stats,
-/// --deadline-ms=N, --max-fixpoint-rounds=N, --max-derived-tuples=N,
-/// --deferred-queue-cap=N, --overflow-policy=POLICY — and
+/// --sites=N, --placement=p:0,q:1, --site-fault-rate=S:P,
+/// --site-fault-timeout-rate=S:P, --site-fault-seed=S:N,
+/// --site-fault-outage=S:A:B, --deadline-ms=N, --max-fixpoint-rounds=N,
+/// --max-derived-tuples=N, --deferred-queue-cap=N,
+/// --overflow-policy=POLICY — and
 /// validates values *strictly*: a malformed or out-of-range value (e.g.
 /// --threads=abc, --threads=-2, --fault-rate=1.5) is an InvalidArgument
 /// error naming the flag, never a silent fallback to a default. Flags the
@@ -142,7 +180,9 @@ Status ApplyScriptFlag(std::string_view arg, ScriptOptions* options,
                        bool* matched);
 
 /// Cross-flag validation, called once after all flags are applied:
-/// the fault probabilities must sum to at most 1.
+/// the fault probabilities (global and per-site effective) must sum to at
+/// most 1, and every site index named by --placement or --site-fault-*
+/// must be < --sites.
 Status ValidateScriptOptions(const ScriptOptions& options);
 
 }  // namespace ccpi

@@ -18,12 +18,18 @@ bool CircuitBreaker::AllowRequest() {
   std::lock_guard<std::mutex> lock(mu_);
   switch (state_) {
     case CircuitState::kClosed:
+      return true;
     case CircuitState::kHalfOpen:
+      // Exactly one probe in flight at a time: a second caller is refused
+      // until the first reports its verdict or cancels.
+      if (probe_in_flight_) return false;
+      probe_in_flight_ = true;
       return true;
     case CircuitState::kOpen:
       if (now_ - opened_at_ >= config_.cooldown_ticks) {
         state_ = CircuitState::kHalfOpen;
         probe_successes_ = 0;
+        probe_in_flight_ = true;
         return true;
       }
       return false;
@@ -31,9 +37,23 @@ bool CircuitBreaker::AllowRequest() {
   return true;
 }
 
+bool CircuitBreaker::WouldAllow() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case CircuitState::kClosed:
+      return true;
+    case CircuitState::kHalfOpen:
+      return !probe_in_flight_;
+    case CircuitState::kOpen:
+      return now_ - opened_at_ >= config_.cooldown_ticks;
+  }
+  return true;
+}
+
 void CircuitBreaker::RecordSuccess() {
   std::lock_guard<std::mutex> lock(mu_);
   if (state_ == CircuitState::kHalfOpen) {
+    probe_in_flight_ = false;
     if (++probe_successes_ >= config_.half_open_successes) {
       state_ = CircuitState::kClosed;
       consecutive_failures_ = 0;
@@ -51,6 +71,7 @@ void CircuitBreaker::RecordFailure() {
     opened_at_ = now_;
     ++times_opened_;
     consecutive_failures_ = 0;
+    probe_in_flight_ = false;
     return;
   }
   if (state_ == CircuitState::kClosed &&
@@ -60,6 +81,11 @@ void CircuitBreaker::RecordFailure() {
     ++times_opened_;
     consecutive_failures_ = 0;
   }
+}
+
+void CircuitBreaker::CancelProbe() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == CircuitState::kHalfOpen) probe_in_flight_ = false;
 }
 
 }  // namespace ccpi

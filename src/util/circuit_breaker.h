@@ -31,26 +31,49 @@ struct CircuitBreakerConfig {
 ///
 /// Protocol: call AllowRequest() before each remote episode; if it returns
 /// false, fail fast (the manager degrades to a deferred verdict). After an
-/// allowed episode, report RecordSuccess() or RecordFailure(). Advance the
-/// clock with Tick() once per episode so an open breaker eventually
-/// half-opens. A failed half-open probe re-opens and restarts the cooldown.
+/// allowed episode, report RecordSuccess() or RecordFailure() — or, when
+/// the episode was abandoned before it could exercise the remote side
+/// (budget spent, hard error), CancelProbe(). Advance the clock with
+/// Tick() once per episode so an open breaker eventually half-opens. A
+/// failed half-open probe re-opens and restarts the cooldown.
+///
+/// Half-open admits exactly one probe at a time: the first AllowRequest()
+/// claims the probe slot and every further caller is refused until the
+/// probe's verdict (RecordSuccess / RecordFailure) or cancellation
+/// releases it. Use WouldAllow() for pure gating — "is remote traffic
+/// possible right now?" — without claiming the slot or transitioning
+/// state.
 ///
 /// Thread-safe: every transition runs under an internal mutex, so
 /// concurrent tier-3 episodes may share one breaker. Note that *which*
-/// episodes an open/half-open breaker admits still depends on arrival
-/// order; the manager serializes tier-3 whenever the breaker is not
-/// plainly closed to keep verdicts deterministic (see docs/concurrency.md).
+/// episode an open/half-open breaker admits as its probe still depends on
+/// arrival order; the manager serializes tier-3 whenever the breaker is
+/// not plainly closed to keep verdicts deterministic (see
+/// docs/concurrency.md).
 class CircuitBreaker {
  public:
   explicit CircuitBreaker(CircuitBreakerConfig config = {})
       : config_(config) {}
 
   /// Whether a request may be issued now. May transition kOpen -> kHalfOpen
-  /// when the cooldown has elapsed.
+  /// when the cooldown has elapsed. In half-open state this *claims* the
+  /// single probe slot; the caller must balance every true return with
+  /// exactly one RecordSuccess / RecordFailure / CancelProbe.
   bool AllowRequest();
+
+  /// Non-mutating gate: whether AllowRequest() would currently return
+  /// true. Never transitions state and never claims the probe slot, so it
+  /// is safe to call speculatively (the manager's drain loops gate on it).
+  bool WouldAllow() const;
 
   void RecordSuccess();
   void RecordFailure();
+
+  /// Releases a claimed half-open probe slot without recording a verdict:
+  /// the admitted episode never exercised the remote side (its budget was
+  /// already spent, or it died on a non-remote error), so the site earned
+  /// neither credit nor blame. No-op outside half-open.
+  void CancelProbe();
 
   /// Advances the simulated clock.
   void Tick(uint64_t ticks = 1) {
@@ -74,6 +97,8 @@ class CircuitBreaker {
   CircuitState state_ = CircuitState::kClosed;
   size_t consecutive_failures_ = 0;
   size_t probe_successes_ = 0;
+  /// Whether the half-open probe slot is currently claimed.
+  bool probe_in_flight_ = false;
   uint64_t now_ = 0;
   uint64_t opened_at_ = 0;
   size_t times_opened_ = 0;

@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "datalog/parser.h"
 #include "distsim/fault_injector.h"
 #include "manager/constraint_manager.h"
@@ -20,6 +22,17 @@ Program MustParse(const char* text) {
   auto p = ParseProgram(text);
   EXPECT_TRUE(p.ok()) << p.status().ToString();
   return *p;
+}
+
+/// CI's seed sweep (.github/workflows/ci.yml) reruns the suite with
+/// CCPI_FAULT_SEED exported; only tests asserting seed-independent
+/// *identities* (accounting reconciliations, never "this seed produces N
+/// faults") read it, so the sweep widens coverage without flaking the
+/// schedule-sensitive tests.
+uint64_t FaultSeedOr(uint64_t fallback) {
+  const char* env = std::getenv("CCPI_FAULT_SEED");
+  if (env == nullptr || *env == '\0') return fallback;
+  return std::strtoull(env, nullptr, 10);
 }
 
 Outcome OutcomeOf(const std::vector<CheckReport>& reports,
@@ -245,6 +258,10 @@ TEST(FaultToleranceTest, RetryCountersMatchPerEpisodeRecordsExactly) {
                                                 // episode really attempts
   resilience.auto_recheck = false;  // drain explicitly so every
                                     // DeferredResolution is captured
+  // Pinned seed, NOT the CCPI_FAULT_SEED sweep: the identity only holds
+  // when no recheck episode exhausts its retries mid-drain (an episode
+  // that gives up and requeues surfaces no record for its retries), which
+  // this schedule guarantees and an arbitrary one does not.
   FaultConfig faults;
   faults.seed = 11;
   faults.transient_rate = 0.25;
@@ -312,7 +329,7 @@ TEST(FaultToleranceTest, InjectorTripsReconcileWithAccessCounters) {
   resilience.retry.max_attempts = 8;
   resilience.breaker.failure_threshold = 1000;
   FaultConfig faults;
-  faults.seed = 5;
+  faults.seed = FaultSeedOr(5);
   faults.transient_rate = 0.3;
   Rig rig(resilience, faults);
   ASSERT_TRUE(rig.mgr.site().db().Insert("r", {V(1000)}).ok());
@@ -572,6 +589,247 @@ TEST(FaultToleranceTest, ScriptRunReportsDeferredAndRecovers) {
   EXPECT_GE(report->deferred_recovered, 1u);
   EXPECT_NE(report->text.find("deferred:fi"), std::string::npos);
   EXPECT_NE(report->text.find("rolled back"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Outage-window edge cases. Windows are half-open intervals over the trip
+// counter in *draw space*: [begin, end) with begin inclusive, end
+// exclusive, and a trip inside several windows fails once, not once per
+// window. These pins matter because per-site schedules index windows
+// independently — an off-by-one here silently shifts every multi-site
+// outage experiment.
+
+TEST(OutageWindowTest, ZeroLengthWindowNeverFires) {
+  FaultConfig config;
+  config.outages.push_back(OutageWindow{3, 3});
+  FaultInjector injector(config);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(injector.NextTrip(), FaultKind::kNone) << "trip " << i;
+  }
+  EXPECT_EQ(injector.stats().outage_faults, 0u);
+  EXPECT_EQ(injector.stats().trips, 8u);
+}
+
+TEST(OutageWindowTest, BoundariesAreHalfOpen) {
+  FaultConfig config;
+  config.outages.push_back(OutageWindow{2, 4});
+  FaultInjector injector(config);
+  EXPECT_EQ(injector.NextTrip(), FaultKind::kNone);    // trip 0
+  EXPECT_EQ(injector.NextTrip(), FaultKind::kNone);    // trip 1
+  EXPECT_EQ(injector.NextTrip(), FaultKind::kOutage);  // trip 2: begin is in
+  EXPECT_EQ(injector.NextTrip(), FaultKind::kOutage);  // trip 3
+  EXPECT_EQ(injector.NextTrip(), FaultKind::kNone);    // trip 4: end is out
+  EXPECT_EQ(injector.stats().outage_faults, 2u);
+}
+
+TEST(OutageWindowTest, AdjacentWindowsAreContiguous) {
+  FaultConfig config;
+  config.outages.push_back(OutageWindow{0, 3});
+  config.outages.push_back(OutageWindow{3, 6});
+  FaultInjector injector(config);
+  // [0,3) and [3,6) tile [0,6) exactly: no seam at trip 3, no spill past 5.
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(injector.NextTrip(), FaultKind::kOutage) << "trip " << i;
+  }
+  EXPECT_EQ(injector.NextTrip(), FaultKind::kNone);  // trip 6
+  EXPECT_EQ(injector.stats().outage_faults, 6u);
+}
+
+TEST(OutageWindowTest, OverlappingWindowsCountEachTripOnce) {
+  FaultConfig config;
+  config.outages.push_back(OutageWindow{1, 5});
+  config.outages.push_back(OutageWindow{3, 8});
+  FaultInjector injector(config);
+  for (int i = 0; i < 10; ++i) injector.NextTrip();
+  // Trips 1..7 fall in the union; the doubly-covered trips 3 and 4 fail
+  // once each, so the fault count is the union size, not the sum of sizes.
+  EXPECT_EQ(injector.stats().outage_faults, 7u);
+  EXPECT_EQ(injector.stats().trips, 10u);
+}
+
+TEST(OutageWindowTest, WindowsConsumeDrawsLikeHealthyTrips) {
+  // The schedule draws exactly one variate per trip whether or not a
+  // window swallows the trip, so the post-window schedule is identical to
+  // an injector that never had the window. Compare trip-by-trip.
+  FaultConfig with_window;
+  with_window.seed = 42;
+  with_window.transient_rate = 0.5;
+  with_window.outages.push_back(OutageWindow{2, 5});
+  FaultConfig without_window;
+  without_window.seed = 42;
+  without_window.transient_rate = 0.5;
+  FaultInjector a(with_window);
+  FaultInjector b(without_window);
+  for (int i = 0; i < 20; ++i) {
+    FaultKind ka = a.NextTrip();
+    FaultKind kb = b.NextTrip();
+    if (i >= 2 && i < 5) {
+      EXPECT_EQ(ka, FaultKind::kOutage) << "trip " << i;
+    } else {
+      EXPECT_EQ(ka, kb) << "trip " << i;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-site fault domains: one dark site must not take down checks that
+// only touch the others, and a returning site must be caught up —
+// deferred replay plus poisoned-cache reconciliation.
+
+/// Two remote sites with explicit placement: r1/x1 at site 0, r2/x2 at
+/// site 1. Each site gets its own injector (same config shape), so one
+/// site's outage is invisible to the other's schedule.
+struct TopologyRig {
+  explicit TopologyRig(ResilienceConfig resilience)
+      : injector0(FaultConfig{}), injector1(FaultConfig{}), mgr([&] {
+          TopologyConfig topology;
+          topology.sites = 2;
+          topology.placement["r1"] = 0;
+          topology.placement["r2"] = 1;
+          topology.placement["x2"] = 1;
+          return ConstraintManager({"l", "lx"}, CostModel{}, resilience,
+                                   ParallelConfig{}, RemoteCacheConfig{},
+                                   BudgetConfig{}, topology);
+        }()) {
+    EXPECT_TRUE(mgr.AddConstraint(
+                       "a",
+                       MustParse("panic :- l(X,Y) & r1(Z) & X <= Z & Z <= Y"))
+                    .ok());
+    EXPECT_TRUE(mgr.AddConstraint(
+                       "b",
+                       MustParse("panic :- l(X,Y) & r2(Z) & X <= Z & Z <= Y"))
+                    .ok());
+    EXPECT_TRUE(mgr.AddConstraint("c", MustParse("panic :- lx(X) & x2(X)"))
+                    .ok());
+    mgr.site().set_site_fault_injector(0, &injector0);
+    mgr.site().set_site_fault_injector(1, &injector1);
+    EXPECT_TRUE(mgr.site().db().Insert("r1", {V(1000)}).ok());
+    EXPECT_TRUE(mgr.site().db().Insert("r2", {V(1000)}).ok());
+    EXPECT_TRUE(mgr.site().db().Insert("x2", {V(5)}).ok());
+  }
+  FaultInjector injector0;
+  FaultInjector injector1;
+  ConstraintManager mgr;
+};
+
+TEST(FaultToleranceTest, DarkSiteDegradesOnlyChecksThatTouchIt) {
+  ResilienceConfig resilience;
+  resilience.retry.max_attempts = 1;
+  resilience.breaker.failure_threshold = 2;
+  resilience.breaker.cooldown_ticks = 2;
+  resilience.auto_recheck = false;  // keep the queue inspectable
+  TopologyRig rig(resilience);
+
+  rig.injector1.ForceOutage(true);
+  // One update fanning out to both sites: the site-0 check completes with
+  // a real tier-3 verdict while the site-1 check defers — partial
+  // degradation within a single update, the tentpole property.
+  auto reports = rig.mgr.ApplyUpdate(Update::Insert("l", {V(1), V(5)}));
+  ASSERT_TRUE(reports.ok()) << reports.status().ToString();
+  EXPECT_EQ(OutcomeOf(*reports, "a"), Outcome::kHolds);
+  EXPECT_EQ(OutcomeOf(*reports, "b"), Outcome::kDeferred);
+  ASSERT_EQ(rig.mgr.deferred_queue().size(), 1u);
+  EXPECT_EQ(rig.mgr.deferred_queue()[0].constraint, "b");
+
+  // A second cross-site update opens site 1's breaker; site 0's stays
+  // closed and its checks keep resolving at full fidelity.
+  ASSERT_TRUE(rig.mgr.ApplyUpdate(Update::Insert("l", {V(6), V(9)})).ok());
+  EXPECT_EQ(rig.mgr.site_breaker(1).state(), CircuitState::kOpen);
+  EXPECT_EQ(rig.mgr.site_breaker(0).state(), CircuitState::kClosed);
+  reports = rig.mgr.ApplyUpdate(Update::Insert("l", {V(11), V(14)}));
+  ASSERT_TRUE(reports.ok());
+  EXPECT_EQ(OutcomeOf(*reports, "a"), Outcome::kHolds);
+  EXPECT_EQ(OutcomeOf(*reports, "b"), Outcome::kDeferred);
+  // The dark site cost no trips once its breaker opened (fast-fail), and
+  // site 0 kept paying real trips: per-site accounting stayed separate.
+  EXPECT_GT(rig.mgr.stats().breaker_fast_fails, 0u);
+  EXPECT_EQ(rig.mgr.site().site_stats(0).remote_failures, 0u);
+  EXPECT_GT(rig.mgr.site().site_stats(1).remote_failures, 0u);
+}
+
+TEST(FaultToleranceTest, ReturningSiteIsCaughtUpDeferredAndCache) {
+  ResilienceConfig resilience;
+  resilience.retry.max_attempts = 1;
+  resilience.breaker.failure_threshold = 2;
+  resilience.breaker.cooldown_ticks = 2;
+  TopologyRig rig(resilience);
+
+  // Warm site 1's cache for x2 while everything is healthy (constraint
+  // "c" reads it; lx(1) does not join x2's contents, so it holds).
+  ASSERT_TRUE(rig.mgr.ApplyUpdate(Update::Insert("lx", {V(1)})).ok());
+  EXPECT_GT(rig.mgr.site().site_stats(1).remote_trips, 0u);
+
+  // Site 1 goes dark; cross-site updates defer and open its breaker.
+  rig.injector1.ForceOutage(true);
+  ASSERT_TRUE(rig.mgr.ApplyUpdate(Update::Insert("l", {V(1), V(5)})).ok());
+  ASSERT_TRUE(rig.mgr.ApplyUpdate(Update::Insert("l", {V(6), V(9)})).ok());
+  ASSERT_TRUE(rig.mgr.ApplyUpdate(Update::Insert("l", {V(11), V(14)})).ok());
+  ASSERT_EQ(rig.mgr.site_breaker(1).state(), CircuitState::kOpen);
+  size_t deferred = rig.mgr.deferred_queue().size();
+  ASSERT_GT(deferred, 0u);
+
+  // While the site is dark its x2 relation moves (a write applied at the
+  // remote site, invisible to the checker): the cached snapshot is now
+  // outdated, and nothing in the deferred queue reads x2, so only the
+  // catch-up protocol can reconcile it.
+  ASSERT_TRUE(rig.mgr.site().db().Insert("x2", {V(77)}).ok());
+
+  // The site returns. Neutral updates tick the cooldown; the auto drain
+  // probes the half-open breaker, replays the deferred checks, closes the
+  // breaker, and the dark->closed edge triggers catch-up recovery.
+  rig.injector1.ForceOutage(false);
+  for (int i = 0; i < 20 && !rig.mgr.deferred_queue().empty(); ++i) {
+    ASSERT_TRUE(rig.mgr.ApplyUpdate(Update::Insert("audit", {V(i)})).ok());
+  }
+  EXPECT_TRUE(rig.mgr.deferred_queue().empty());
+  EXPECT_EQ(rig.mgr.site_breaker(1).state(), CircuitState::kClosed);
+  ManagerStats stats = rig.mgr.stats();
+  EXPECT_EQ(stats.deferred_recovered, deferred);
+  EXPECT_EQ(stats.deferred_violations, 0u);
+  EXPECT_EQ(stats.sites_recovered, 1u);
+  // The outdated x2 snapshot was revalidated by recovery, not by a check:
+  // a subsequent read is a warm hit at the post-outage version.
+  EXPECT_GE(stats.cache_revalidated, 1u);
+  size_t trips_after_recovery = rig.mgr.site().site_stats(1).remote_trips;
+  ASSERT_TRUE(rig.mgr.ApplyUpdate(Update::Insert("lx", {V(2)})).ok());
+  EXPECT_EQ(rig.mgr.site().site_stats(1).remote_trips, trips_after_recovery);
+}
+
+TEST(FaultToleranceTest, SimultaneousOutagesRecoverIndependently) {
+  ResilienceConfig resilience;
+  resilience.retry.max_attempts = 1;
+  resilience.breaker.failure_threshold = 1;
+  resilience.breaker.cooldown_ticks = 2;
+  TopologyRig rig(resilience);
+
+  rig.injector0.ForceOutage(true);
+  rig.injector1.ForceOutage(true);
+  auto reports = rig.mgr.ApplyUpdate(Update::Insert("l", {V(1), V(5)}));
+  ASSERT_TRUE(reports.ok());
+  EXPECT_EQ(OutcomeOf(*reports, "a"), Outcome::kDeferred);
+  EXPECT_EQ(OutcomeOf(*reports, "b"), Outcome::kDeferred);
+
+  // Site 0 returns first: its deferred check drains and it alone is
+  // recovered; site 1's entry stays queued.
+  rig.injector0.ForceOutage(false);
+  for (int i = 0; i < 20 && rig.mgr.deferred_queue().size() > 1; ++i) {
+    ASSERT_TRUE(rig.mgr.ApplyUpdate(Update::Insert("audit", {V(i)})).ok());
+  }
+  ASSERT_EQ(rig.mgr.deferred_queue().size(), 1u);
+  EXPECT_EQ(rig.mgr.deferred_queue()[0].constraint, "b");
+  EXPECT_EQ(rig.mgr.stats().sites_recovered, 1u);
+  EXPECT_EQ(rig.mgr.site_breaker(0).state(), CircuitState::kClosed);
+  EXPECT_NE(rig.mgr.site_breaker(1).state(), CircuitState::kClosed);
+
+  // Then site 1: the remaining entry drains and the second recovery fires.
+  rig.injector1.ForceOutage(false);
+  for (int i = 0; i < 20 && !rig.mgr.deferred_queue().empty(); ++i) {
+    ASSERT_TRUE(
+        rig.mgr.ApplyUpdate(Update::Insert("audit", {V(100 + i)})).ok());
+  }
+  EXPECT_TRUE(rig.mgr.deferred_queue().empty());
+  EXPECT_EQ(rig.mgr.stats().sites_recovered, 2u);
+  EXPECT_EQ(rig.mgr.stats().deferred_recovered, 2u);
 }
 
 }  // namespace

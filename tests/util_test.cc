@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <set>
 #include <thread>
+#include <vector>
 
 #include "util/budget.h"
 #include "util/circuit_breaker.h"
@@ -205,6 +207,95 @@ TEST(CircuitBreakerTest, ClosesAfterEnoughProbeSuccesses) {
   breaker.RecordFailure();
   EXPECT_EQ(breaker.state(), CircuitState::kOpen);
   EXPECT_EQ(breaker.times_opened(), 2u);
+}
+
+TEST(CircuitBreakerTest, HalfOpenAdmitsExactlyOneProbe) {
+  CircuitBreakerConfig config;
+  config.failure_threshold = 1;
+  config.cooldown_ticks = 1;
+  CircuitBreaker breaker(config);
+  breaker.RecordFailure();
+  breaker.Tick(1);
+  EXPECT_TRUE(breaker.AllowRequest());  // claims the probe slot
+  EXPECT_EQ(breaker.state(), CircuitState::kHalfOpen);
+  EXPECT_FALSE(breaker.AllowRequest());  // slot taken: no second probe
+  EXPECT_FALSE(breaker.WouldAllow());
+  breaker.RecordSuccess();  // verdict releases the slot
+  EXPECT_TRUE(breaker.WouldAllow());
+  EXPECT_TRUE(breaker.AllowRequest());
+  breaker.RecordFailure();  // failed probe also releases (and reopens)
+  EXPECT_EQ(breaker.state(), CircuitState::kOpen);
+}
+
+TEST(CircuitBreakerTest, CancelProbeReleasesWithoutVerdict) {
+  CircuitBreakerConfig config;
+  config.failure_threshold = 1;
+  config.cooldown_ticks = 1;
+  config.half_open_successes = 2;
+  CircuitBreaker breaker(config);
+  breaker.RecordFailure();
+  breaker.Tick(1);
+  EXPECT_TRUE(breaker.AllowRequest());
+  EXPECT_FALSE(breaker.AllowRequest());
+  breaker.CancelProbe();  // e.g. the admitted episode was shed by budget
+  EXPECT_EQ(breaker.state(), CircuitState::kHalfOpen);  // no verdict counted
+  EXPECT_TRUE(breaker.AllowRequest());  // slot free again
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitState::kHalfOpen);  // still needs 2
+  EXPECT_TRUE(breaker.AllowRequest());
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitState::kClosed);
+  // Outside half-open the cancel is a no-op.
+  breaker.CancelProbe();
+  EXPECT_TRUE(breaker.AllowRequest());
+  EXPECT_EQ(breaker.state(), CircuitState::kClosed);
+}
+
+TEST(CircuitBreakerTest, WouldAllowIsPure) {
+  CircuitBreakerConfig config;
+  config.failure_threshold = 1;
+  config.cooldown_ticks = 2;
+  CircuitBreaker breaker(config);
+  EXPECT_TRUE(breaker.WouldAllow());
+  breaker.RecordFailure();
+  EXPECT_FALSE(breaker.WouldAllow());
+  breaker.Tick(2);
+  // Cooldown elapsed: the gate answers yes but does NOT transition — the
+  // open->half-open edge belongs to the claiming AllowRequest.
+  EXPECT_TRUE(breaker.WouldAllow());
+  EXPECT_EQ(breaker.state(), CircuitState::kOpen);
+  EXPECT_TRUE(breaker.AllowRequest());
+  EXPECT_EQ(breaker.state(), CircuitState::kHalfOpen);
+}
+
+TEST(CircuitBreakerTest, HalfOpenSingleProbeUnderConcurrentRequests) {
+  // N threads race AllowRequest() against a half-open breaker: exactly
+  // one may claim the probe slot. Run under TSan in CI.
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 50;
+  for (int round = 0; round < kRounds; ++round) {
+    CircuitBreakerConfig config;
+    config.failure_threshold = 1;
+    config.cooldown_ticks = 1;
+    CircuitBreaker breaker(config);
+    breaker.RecordFailure();
+    breaker.Tick(1);
+    EXPECT_TRUE(breaker.AllowRequest());
+    EXPECT_EQ(breaker.state(), CircuitState::kHalfOpen);
+    breaker.CancelProbe();  // half-open, slot free, probes may race
+    std::atomic<int> admitted{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&breaker, &admitted] {
+        if (breaker.AllowRequest()) admitted.fetch_add(1);
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    EXPECT_EQ(admitted.load(), 1);
+    EXPECT_EQ(breaker.state(), CircuitState::kHalfOpen);
+    breaker.RecordSuccess();  // release so the next round starts clean
+  }
 }
 
 TEST(RetryTest, ZeroEpisodeBudgetMeansUnlimited) {

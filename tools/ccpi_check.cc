@@ -55,6 +55,21 @@ constexpr const char kUsage[] =
     "  --fault-reject          refuse undecided updates instead of applying\n"
     "                          them optimistically with a deferred re-check\n"
     "\n"
+    "Topology (N remote sites, see docs/distsim.md):\n"
+    "  --sites=N               number of remote fault domains (default 1);\n"
+    "                          each site owns its own breaker, cache, and\n"
+    "                          failure schedule, and checks touching only\n"
+    "                          healthy sites keep completing during a\n"
+    "                          single-site outage\n"
+    "  --placement=p:0,q:1     pin remote predicates to sites; unpinned\n"
+    "                          predicates hash to a site deterministically\n"
+    "  --site-fault-rate=S:P   per-site override of --fault-rate\n"
+    "  --site-fault-timeout-rate=S:P\n"
+    "                          per-site override of --fault-timeout-rate\n"
+    "  --site-fault-outage=S:A:B\n"
+    "                          outage for site S's trips A..B-1 (repeatable)\n"
+    "  --site-fault-seed=S:N   per-site override of the derived seed\n"
+    "\n"
     "Execution budgets and overload control (see docs/budgets.md):\n"
     "  --deadline-ms=N         wall-clock budget per update episode; checks\n"
     "                          that would run past it are shed to the\n"

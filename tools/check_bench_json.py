@@ -160,6 +160,79 @@ def check_remote_cache(path, doc, problems):
                      f"metric {key!r}", problems)
 
 
+# The topology sweep is the acceptance evidence of the N-site sharded
+# distsim: batching rows pin the per-site trip coalescing, outage rows pin
+# partial degradation and the recovery protocol (deferred drain, site
+# recovery events, poisoned-cache revalidation, nothing pending).
+TOPOLOGY_ROWS = (
+    "topology/batch/s1",
+    "topology/batch/s2",
+    "topology/batch/s4",
+    "topology/outage/s1/c0",
+    "topology/outage/s1/c1",
+    "topology/outage/s2/c0",
+    "topology/outage/s2/c1",
+    "topology/outage/s4/c0",
+    "topology/outage/s4/c1",
+)
+TOPOLOGY_BATCH_METRICS = (
+    "sites",
+    "remote_trips",
+    "cache_hits",
+    "remote_tuples",
+    "cost",
+)
+TOPOLOGY_OUTAGE_METRICS = (
+    "sites",
+    "correlation",
+    "deferred",
+    "fast_fails",
+    "recovered",
+    "late_violations",
+    "sites_recovered",
+    "revalidated",
+    "pending",
+    "partial_updates",
+    "blocked_updates",
+)
+
+
+def check_topology(path, doc, problems):
+    sweeps = [p for p in doc.get("points", [])
+              if isinstance(p, dict) and p.get("kind") == "sweep"
+              and isinstance(p.get("name"), str)]
+    names = {p["name"] for p in sweeps}
+    for row in TOPOLOGY_ROWS:
+        if row not in names:
+            fail(path, f"topology: missing sweep row {row!r}", problems)
+    for point in sweeps:
+        metrics = point.get("metrics")
+        if not isinstance(metrics, dict):
+            continue  # already reported by check_point
+        wanted = (TOPOLOGY_BATCH_METRICS
+                  if point["name"].startswith("topology/batch/")
+                  else TOPOLOGY_OUTAGE_METRICS)
+        for key in wanted:
+            if key not in metrics:
+                fail(path,
+                     f"topology: sweep {point['name']!r} missing "
+                     f"metric {key!r}", problems)
+        if point["name"].startswith("topology/outage/"):
+            pending = metrics.get("pending")
+            if isinstance(pending, numbers.Real) and pending != 0:
+                fail(path,
+                     f"topology: sweep {point['name']!r} left {pending} "
+                     f"deferred checks pending after recovery", problems)
+            sites = metrics.get("sites")
+            recovered = metrics.get("sites_recovered")
+            if (isinstance(sites, numbers.Real)
+                    and isinstance(recovered, numbers.Real)
+                    and sites > 1 and recovered == 0):
+                fail(path,
+                     f"topology: sweep {point['name']!r} observed no site "
+                     f"recoveries in a multi-site outage run", problems)
+
+
 def check_file(path, problems):
     try:
         with open(path, encoding="utf-8") as f:
@@ -193,6 +266,8 @@ def check_file(path, problems):
         check_remote_cache(path, doc, problems)
     if doc.get("name") == "overload":
         check_overload(path, doc, problems)
+    if doc.get("name") == "topology":
+        check_topology(path, doc, problems)
 
 
 def main(argv):
