@@ -218,6 +218,11 @@ Result<bool> CounterexampleUnderLinearization(
     }
     std::vector<std::string> vars2 = q2.Variables();
     size_t n2 = vars2.size();
+    // A member with variables has no instantiations over an empty universe
+    // (which arises when q1 is ground/empty-bodied and neither side mentions
+    // a constant), so it contributes no clauses; entering the enumeration
+    // anyway would build facts with rank 0 that the tuple table cannot hold.
+    if (universe == 0 && n2 > 0) continue;
     std::vector<size_t> counter(n2, 0);
     bool overflow = false;
     while (!overflow) {

@@ -298,18 +298,30 @@ std::set<std::string> EdbPredicates(const Program& program) {
   return edb_preds;
 }
 
-Result<Database> Evaluate(const Program& program, const Database& edb,
+Result<CompiledProgram> CompileProgram(Program program) {
+  CCPI_RETURN_IF_ERROR(CheckProgramSafety(program));
+  CompiledProgram plan;
+  CCPI_ASSIGN_OR_RETURN(plan.strat, Stratify(program));
+  plan.idb_preds = program.IdbPredicates();
+  plan.edb_preds = EdbPredicates(program);
+  for (const Rule& r : program.rules) {
+    if (r.head.pred == program.goal) plan.goal_arity = r.head.args.size();
+  }
+  plan.program = std::move(program);
+  return plan;
+}
+
+Result<Database> Evaluate(const CompiledProgram& plan, const Database& edb,
                           const EvalOptions& options) {
+  const Program& program = plan.program;
   obs::Span span("eval.evaluate");
   if (span.active()) {
     span.Attr("rules", static_cast<int64_t>(program.rules.size()));
     span.Attr("goal", program.goal);
   }
-  CCPI_RETURN_IF_ERROR(CheckProgramSafety(program));
-  CCPI_ASSIGN_OR_RETURN(Stratification strat, Stratify(program));
-
-  std::set<std::string> idb_preds = program.IdbPredicates();
-  std::set<std::string> edb_preds = EdbPredicates(program);
+  const Stratification& strat = plan.strat;
+  const std::set<std::string>& idb_preds = plan.idb_preds;
+  const std::set<std::string>& edb_preds = plan.edb_preds;
 
   Database idb;
   size_t derived = 0;
@@ -434,20 +446,34 @@ Result<Database> Evaluate(const Program& program, const Database& edb,
   return idb;
 }
 
+Result<Relation> EvaluateGoal(const CompiledProgram& plan, const Database& edb,
+                              const EvalOptions& options) {
+  CCPI_ASSIGN_OR_RETURN(Database idb, Evaluate(plan, edb, options));
+  return idb.Get(plan.program.goal, plan.goal_arity);
+}
+
+Result<bool> IsViolated(const CompiledProgram& plan, const Database& edb,
+                        const EvalOptions& options) {
+  CCPI_ASSIGN_OR_RETURN(Relation goal, EvaluateGoal(plan, edb, options));
+  return !goal.empty();
+}
+
+Result<Database> Evaluate(const Program& program, const Database& edb,
+                          const EvalOptions& options) {
+  CCPI_ASSIGN_OR_RETURN(CompiledProgram plan, CompileProgram(program));
+  return Evaluate(plan, edb, options);
+}
+
 Result<Relation> EvaluateGoal(const Program& program, const Database& edb,
                               const EvalOptions& options) {
-  CCPI_ASSIGN_OR_RETURN(Database idb, Evaluate(program, edb, options));
-  size_t arity = 0;
-  for (const Rule& r : program.rules) {
-    if (r.head.pred == program.goal) arity = r.head.args.size();
-  }
-  return idb.Get(program.goal, arity);
+  CCPI_ASSIGN_OR_RETURN(CompiledProgram plan, CompileProgram(program));
+  return EvaluateGoal(plan, edb, options);
 }
 
 Result<bool> IsViolated(const Program& constraint, const Database& edb,
                         const EvalOptions& options) {
-  CCPI_ASSIGN_OR_RETURN(Relation goal, EvaluateGoal(constraint, edb, options));
-  return !goal.empty();
+  CCPI_ASSIGN_OR_RETURN(CompiledProgram plan, CompileProgram(constraint));
+  return IsViolated(plan, edb, options);
 }
 
 }  // namespace ccpi

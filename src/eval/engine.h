@@ -5,6 +5,7 @@
 #include <string>
 
 #include "datalog/ast.h"
+#include "eval/stratify.h"
 #include "relational/database.h"
 #include "util/budget.h"
 #include "util/status.h"
@@ -67,6 +68,37 @@ struct EvalOptions {
 /// which remote relations a tier-3 check will touch, so it can prefetch
 /// them once per episode.
 std::set<std::string> EdbPredicates(const Program& program);
+
+/// A program's evaluation-independent analysis, computed once and reusable
+/// across any number of evaluations: the safety check has passed, the
+/// stratification is fixed, and the IDB/EDB predicate partition and goal
+/// arity are precomputed. Everything in here is a pure function of the
+/// program text — never of the data — so a CompiledProgram cached at
+/// constraint-registration time stays valid for the constraint's lifetime
+/// (the plan cache holds these for tier-3 checks; see docs/plan_cache.md).
+struct CompiledProgram {
+  Program program;
+  Stratification strat;
+  std::set<std::string> idb_preds;
+  std::set<std::string> edb_preds;
+  /// Arity of the goal predicate's head (0 when no rule derives the goal).
+  size_t goal_arity = 0;
+};
+
+/// Runs the per-program analysis (safety, stratification, predicate
+/// partition) without evaluating anything. Fails exactly where
+/// Evaluate(program, ...) would: unsafe or unstratifiable programs.
+Result<CompiledProgram> CompileProgram(Program program);
+
+/// Evaluates a precompiled program. Identical observable behavior to the
+/// Program overloads below — same reads, same metrics, same budget
+/// checkpoints — minus the per-call safety/stratification analysis.
+Result<Database> Evaluate(const CompiledProgram& plan, const Database& edb,
+                          const EvalOptions& options = {});
+Result<Relation> EvaluateGoal(const CompiledProgram& plan, const Database& edb,
+                              const EvalOptions& options = {});
+Result<bool> IsViolated(const CompiledProgram& plan, const Database& edb,
+                        const EvalOptions& options = {});
 
 /// Evaluates a (possibly recursive) stratified datalog program with safe
 /// negation and arithmetic comparisons over `edb`; returns the IDB

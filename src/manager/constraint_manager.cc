@@ -7,6 +7,7 @@
 #include "datalog/unfold.h"
 #include "eval/engine.h"
 #include "obs/trace.h"
+#include "ra/ra_eval.h"
 #include "subsumption/subsumption.h"
 #include "updates/independence.h"
 
@@ -56,6 +57,21 @@ constexpr Tier kAllTiers[] = {Tier::kSubsumed, Tier::kUnaffected,
                               Tier::kIndependence, Tier::kLocalTest,
                               Tier::kFullCheck};
 
+/// Forwards every read to the real observer unchanged (so access
+/// accounting is identical to an unrecorded evaluation) while keeping the
+/// (pred, count) sequence for the bound-result memo: a later same-version
+/// hit replays exactly these charges instead of re-evaluating.
+struct RecordingObserver : AccessObserver {
+  AccessObserver* inner;
+  std::vector<std::pair<std::string, size_t>> reads;
+  explicit RecordingObserver(AccessObserver* observer) : inner(observer) {}
+  Status OnRead(const std::string& pred, size_t count) override {
+    CCPI_RETURN_IF_ERROR(inner->OnRead(pred, count));
+    reads.emplace_back(pred, count);
+    return Status::OK();
+  }
+};
+
 }  // namespace
 
 void ConstraintManager::InitObservability() {
@@ -78,6 +94,16 @@ void ConstraintManager::InitObservability() {
       metrics_.GetCounter("manager.deferred.violations");
   ctr_t3_admitted_ = metrics_.GetCounter("manager.t3_admitted");
   ctr_shed_ = metrics_.GetCounter("manager.shed_checks");
+  // Plan-cache instrumentation exists only while the cache is on, so a
+  // --plan-cache=off metrics dump stays byte-identical to the pre-cache
+  // catalog. Every increment site sits on a cache-only path, so the null
+  // handles are never dereferenced while disabled.
+  if (plan_cache_.enabled) {
+    ctr_plan_compiles_ = metrics_.GetCounter("plan.compiles");
+    ctr_plan_hits_ = metrics_.GetCounter("plan.hits");
+    ctr_plan_delta_ = metrics_.GetCounter("plan.delta_tuples");
+    hist_plan_compile_ = metrics_.GetHistogram("plan.compile_latency_ns");
+  }
   ctr_budget_exhausted_ = metrics_.GetCounter("manager.budget_exhausted");
   ctr_deferred_dropped_ = metrics_.GetCounter("manager.deferred.dropped");
   // Recovery counters exist only for multi-site topologies, so a 1-site
@@ -163,6 +189,21 @@ Result<bool> ConstraintManager::AddConstraint(const std::string& name,
       constraints_.back().remote_sites.insert(site_.SiteOf(pred));
     }
   }
+  // Registration is a plan-cache epoch: the tier-1 memo quantifies over
+  // the set of active constraints, which just changed, so every cached
+  // decision (and, wholesale for simplicity, every plan) is dropped. The
+  // signature inputs are refreshed too — the distinguished-constant pool
+  // and whether every active program is comparison-free, the soundness
+  // gate of shape-keyed decision memoization (see docs/plan_cache.md).
+  plans_.Invalidate();
+  std::vector<const Program*> active_programs;
+  plan_sig_safe_ = true;
+  for (const Registered& r : constraints_) {
+    if (r.subsumed) continue;
+    active_programs.push_back(&r.program);
+    plan_sig_safe_ = plan_sig_safe_ && SignatureSafe(r.program);
+  }
+  plan_constants_ = CollectProgramConstants(active_programs);
   return subsumed;
 }
 
@@ -199,11 +240,11 @@ ConstraintManager::PrepareTier2(Registered* r,
   return artifacts;
 }
 
-Result<CheckReport> ConstraintManager::CheckOne(Registered* r,
-                                                const Update& u) {
+Result<CheckReport> ConstraintManager::CheckOne(Registered* r, const Update& u,
+                                                const UpdateSignature* sig) {
   obs::Span span("manager.check", "manager");
   obs::Stopwatch sw;
-  Result<CheckReport> report = CheckOneImpl(r, u);
+  Result<CheckReport> report = CheckOneImpl(r, u, sig);
   if (report.ok()) {
     if (span.active()) {
       span.Attr("constraint", r->name);
@@ -215,8 +256,8 @@ Result<CheckReport> ConstraintManager::CheckOne(Registered* r,
   return report;
 }
 
-Result<CheckReport> ConstraintManager::CheckOneImpl(Registered* r,
-                                                    const Update& u) {
+Result<CheckReport> ConstraintManager::CheckOneImpl(
+    Registered* r, const Update& u, const UpdateSignature* sig) {
   CheckReport report;
   report.constraint = r->name;
 
@@ -227,23 +268,59 @@ Result<CheckReport> ConstraintManager::CheckOneImpl(Registered* r,
     return report;
   }
 
-  // Tier 1: constraints + update only (Section 4).
-  std::vector<Program> assumed;
-  for (const Registered& other : constraints_) {
-    if (!other.subsumed && other.name != r->name) {
-      assumed.push_back(other.program);
+  // The plan-cache key for this (constraint, update pattern). Keys embed
+  // the constraint id, so under the phase-1 fan-out each lane touches a
+  // disjoint key family and cache contents stay thread-count independent.
+  const std::string plan_key =
+      sig != nullptr ? r->name + '\x1f' + sig->Key() : std::string();
+
+  // Tier 1: constraints + update only (Section 4). The decision is a pure
+  // function of (constraint, update pattern, active constraint set): it
+  // compares the constraint against the update via equality reasoning
+  // alone, so two updates with the same shape signature get the same
+  // verdict — memoizable per pattern, as long as no active program carries
+  // an order comparison (those can distinguish same-shape tuples; see
+  // docs/plan_cache.md). AddConstraint invalidates the memo wholesale.
+  const bool tier1_memo = sig != nullptr && plan_sig_safe_;
+  bool tier1_known = false;
+  bool tier1_holds = false;
+  if (tier1_memo) {
+    if (std::optional<PlanCache::Tier1Decision> memo =
+            plans_.FindTier1(plan_key)) {
+      ctr_plan_hits_->Add(1);
+      tier1_known = true;
+      tier1_holds = memo->holds;
     }
   }
-  Result<ContainmentDecision> independent =
-      HoldsAfterUpdate(r->program, u, assumed);
-  if (independent.ok() && independent->outcome == Outcome::kHolds) {
+  if (!tier1_known) {
+    obs::Stopwatch compile_sw;
+    std::vector<Program> assumed;
+    for (const Registered& other : constraints_) {
+      if (!other.subsumed && other.name != r->name) {
+        assumed.push_back(other.program);
+      }
+    }
+    Result<ContainmentDecision> independent =
+        HoldsAfterUpdate(r->program, u, assumed);
+    if (!independent.ok() &&
+        independent.status().code() != StatusCode::kUnsupported) {
+      return independent.status();
+    }
+    tier1_holds =
+        independent.ok() && independent->outcome == Outcome::kHolds;
+    // Memoize both verdicts — holds and falls-through — but never an
+    // error path (kUnsupported falls through cold every time, exactly
+    // like the uncached code).
+    if (tier1_memo) {
+      plans_.StoreTier1(plan_key, PlanCache::Tier1Decision{tier1_holds});
+      ctr_plan_compiles_->Add(1);
+      compile_sw.RecordTo(hist_plan_compile_);
+    }
+  }
+  if (tier1_holds) {
     report.outcome = Outcome::kHolds;
     report.tier = Tier::kIndependence;
     return report;
-  }
-  if (!independent.ok() &&
-      independent.status().code() != StatusCode::kUnsupported) {
-    return independent.status();
   }
 
   // Tier 2: complete local test with local data — insertions into a local
@@ -295,11 +372,48 @@ Result<CheckReport> ConstraintManager::CheckOneImpl(Registered* r,
         // The RA evaluator reports its own reads through the observer.
         // It reads L from the database directly, so it is skipped when
         // unverified tuples would be visible there.
-        Result<Outcome> o = RaLocalTestOnInsert(t2->rule, u.pred, u.tuple,
-                                                site_.db(), &site_, &metrics_);
-        if (o.ok()) {
-          outcome = *o;
-          decided = true;
+        //
+        // With the plan cache on, the Theorem 5.3 compilation happens once
+        // per update pattern: the compiled template is cached and later
+        // same-shape tuples are *bound* into it (delta evaluation) instead
+        // of recompiling. The evaluation itself is never skipped — except
+        // by the bound-result memo, which replays an identical recorded
+        // read sequence — so reports and access accounting match the cold
+        // path byte for byte.
+        std::shared_ptr<const RaPlanTemplate> tpl;
+        if (sig != nullptr) {
+          tpl = plans_.FindTemplate(plan_key);
+          if (tpl != nullptr) {
+            ctr_plan_hits_->Add(1);
+          } else {
+            obs::Stopwatch compile_sw;
+            Result<RaPlanTemplate> built =
+                CompileRaPlan(t2->rule, u.pred, u.tuple);
+            if (built.ok()) {
+              tpl = plans_.StoreTemplate(
+                  plan_key,
+                  std::make_shared<const RaPlanTemplate>(std::move(*built)));
+              ctr_plan_compiles_->Add(1);
+              compile_sw.RecordTo(hist_plan_compile_);
+            }
+            // A failed compile falls through undecided, exactly like a
+            // failed RaLocalTestOnInsert below — and is not cached, so
+            // error behavior stays per-update.
+          }
+        }
+        if (tpl != nullptr) {
+          Result<Outcome> o = EvalPlannedRa(*tpl, u, plan_key);
+          if (o.ok()) {
+            outcome = *o;
+            decided = true;
+          }
+        } else if (sig == nullptr) {
+          Result<Outcome> o = RaLocalTestOnInsert(
+              t2->rule, u.pred, u.tuple, site_.db(), &site_, &metrics_);
+          if (o.ok()) {
+            outcome = *o;
+            decided = true;
+          }
         }
       }
       if (!decided && t2->cqc.has_value()) {
@@ -324,6 +438,50 @@ Result<CheckReport> ConstraintManager::CheckOneImpl(Registered* r,
   report.outcome = Outcome::kUnknown;  // needs the full (remote) check
   report.tier = Tier::kFullCheck;
   return report;
+}
+
+Result<Outcome> ConstraintManager::EvalPlannedRa(const RaPlanTemplate& tpl,
+                                                 const Update& u,
+                                                 const std::string& plan_key) {
+  // Mirror of RaLocalTestOnInsert over a prebuilt template: trivial
+  // outcomes are shape-stable, so they transfer to every bound tuple.
+  if (tpl.trivially_holds) return Outcome::kHolds;
+  if (tpl.trivially_violated) return Outcome::kViolated;
+  RaExprPtr bound = tpl.Bind(u.tuple);
+  ctr_plan_delta_->Add(1);
+#ifndef NDEBUG
+  // Same locality guarantee the cold path enforces: a bound Theorem 5.3
+  // test reads only the updated local relation.
+  {
+    std::set<std::string> scans;
+    bound->CollectScanPreds(&scans);
+    for (const std::string& pred : scans) CCPI_CHECK(pred == u.pred);
+  }
+#endif
+  // Bound-result memo, valid while the relation's content-version stamp
+  // matches (equal version => equal contents, so the skipped evaluation
+  // would have produced this outcome and charged exactly these reads).
+  const Relation& local = site_.db().Get(u.pred, u.tuple.size());
+  std::string result_key = plan_key;
+  result_key += '\x1f';
+  result_key += TupleToString(u.tuple);
+  result_key += '\x1f';
+  result_key += std::to_string(local.version());
+  if (std::optional<PlanCache::BoundResult> memo =
+          plans_.FindResult(result_key)) {
+    ctr_plan_hits_->Add(1);
+    for (const auto& [pred, count] : memo->reads) {
+      CCPI_RETURN_IF_ERROR(site_.OnRead(pred, count));
+    }
+    return memo->outcome;
+  }
+  RecordingObserver recorder(&site_);
+  CCPI_ASSIGN_OR_RETURN(bool nonempty,
+                        RaNonempty(*bound, site_.db(), &recorder, &metrics_));
+  Outcome outcome = nonempty ? Outcome::kHolds : Outcome::kUnknown;
+  plans_.StoreResult(result_key,
+                     PlanCache::BoundResult{outcome, std::move(recorder.reads)});
+  return outcome;
 }
 
 bool ConstraintManager::SitesWouldAllow(
@@ -355,7 +513,8 @@ Result<bool> ConstraintManager::EvaluateRemote(const Program& program,
                                                const Database& db,
                                                const std::set<size_t>& gsites,
                                                size_t* retries_out,
-                                               const BudgetScope* scope) {
+                                               const BudgetScope* scope,
+                                               const std::string* plan_key) {
   obs::Span span("manager.evaluate_remote", "manager");
   if (scope != nullptr) {
     // Admission: a check whose envelope is already spent performs no
@@ -389,7 +548,33 @@ Result<bool> ConstraintManager::EvaluateRemote(const Program& program,
         options.observer = &site_;
         options.metrics = &metrics_;
         options.budget = scope;
-        Result<bool> r = IsViolated(program, db, options);
+        // With the plan cache on, the program's evaluation-independent
+        // analysis (safety, stratification, predicate partition) runs once
+        // per constraint instead of once per attempt. Only successful
+        // compiles are cached: a failing program surfaces the identical
+        // status on every attempt, cold or cached. Evaluation of a
+        // compiled plan issues the same reads, metrics, and budget
+        // checkpoints as the uncompiled overload.
+        Result<bool> r = [&]() -> Result<bool> {
+          if (plan_cache_.enabled && plan_key != nullptr) {
+            std::shared_ptr<const CompiledProgram> plan =
+                plans_.FindProgram(*plan_key);
+            if (plan == nullptr) {
+              obs::Stopwatch compile_sw;
+              Result<CompiledProgram> built = CompileProgram(program);
+              if (!built.ok()) return built.status();
+              plan = plans_.StoreProgram(
+                  *plan_key,
+                  std::make_shared<const CompiledProgram>(std::move(*built)));
+              ctr_plan_compiles_->Add(1);
+              compile_sw.RecordTo(hist_plan_compile_);
+            } else {
+              ctr_plan_hits_->Add(1);
+            }
+            return IsViolated(*plan, db, options);
+          }
+          return IsViolated(program, db, options);
+        }();
         if (!r.ok()) return r.status();
         violated = *r;
         return Status::OK();
@@ -507,6 +692,16 @@ Result<std::vector<CheckReport>> ConstraintManager::ApplyUpdateImpl(
       (u.kind == Update::Kind::kDelete &&
        !site_.db().Contains(u.pred, u.tuple));
 
+  // The episode's update signature — the per-pattern plan-cache key
+  // component shared by every constraint's check below. Null when the
+  // cache is off (or the update is a no-op, which skips checking): every
+  // cached path downstream is then bypassed.
+  std::optional<UpdateSignature> plan_sig;
+  if (plan_cache_.enabled && !noop) {
+    plan_sig = MakeUpdateSignature(u, plan_constants_);
+  }
+  const UpdateSignature* sig = plan_sig.has_value() ? &*plan_sig : nullptr;
+
   // ---- Phase 1 (read-only, parallel): settle every constraint as far as
   // local information allows. Each lane owns exactly one Registered (its
   // tier-2 cache included), reads the frozen database, and writes its own
@@ -535,7 +730,7 @@ Result<std::vector<CheckReport>> ConstraintManager::ApplyUpdateImpl(
               CheckReport{r.name, Outcome::kHolds, Tier::kUnaffected};
           return Status::OK();
         }
-        Result<CheckReport> report = CheckOne(&r, u);
+        Result<CheckReport> report = CheckOne(&r, u, sig);
         if (!report.ok()) {
           // Surfaced at this constraint's position in the commit phase, so
           // error reporting matches the sequential order.
@@ -572,6 +767,12 @@ Result<std::vector<CheckReport>> ConstraintManager::ApplyUpdateImpl(
     // whose evaluation cannot reach the remote site resolves as kDeferred
     // instead of blocking or failing the whole update.
     CCPI_RETURN_IF_ERROR(u.ApplyTo(&site_.db()));
+    // Admission accounting is cache-invariant by construction: a plan-
+    // cache hit changes how a tier's verdict was computed, never the
+    // verdict, so `need_full` — and with it every Split below, the
+    // prefetch union, and the t3_admitted == resolved_by[kFullCheck] +
+    // deferred + shed_checks invariant — is identical cache on or off
+    // (regression-tested in plan_cache_test).
     ctr_t3_admitted_->Add(need_full.size());
 
     // Route the episode's remote trips — prefetch included — through the
@@ -677,7 +878,7 @@ Result<std::vector<CheckReport>> ConstraintManager::ApplyUpdateImpl(
             const Registered& reg = constraints_[need_full[k]];
             Result<bool> bad =
                 EvaluateRemote(reg.program, site_.db(), reg.remote_sites,
-                               &eval_retries[k], scope_for(k));
+                               &eval_retries[k], scope_for(k), &reg.name);
             if (!bad.ok()) {
               eval_status[k] = bad.status();
               return Status::OK();
@@ -705,7 +906,7 @@ Result<std::vector<CheckReport>> ConstraintManager::ApplyUpdateImpl(
         ClaimSites(reg.remote_sites);
         Result<bool> bad =
             EvaluateRemote(reg.program, site_.db(), reg.remote_sites,
-                           &eval_retries[k], scope_for(k));
+                           &eval_retries[k], scope_for(k), &reg.name);
         if (!bad.ok()) {
           eval_status[k] = bad.status();
         } else {
@@ -964,7 +1165,7 @@ ConstraintManager::RecheckDeferredImpl(const BudgetScope* episode) {
       size_t recheck_retries = 0;
       Result<bool> bad = EvaluateRemote(reg->program, scratch,
                                         reg->remote_sites, &recheck_retries,
-                                        scope);
+                                        scope, &reg->name);
       if (scope != nullptr) {
         for (size_t s = 0; s < site_.sites(); ++s) {
           site_.set_site_budget(s, prev_budgets[s]);

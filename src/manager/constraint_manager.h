@@ -11,6 +11,8 @@
 #include "datalog/ast.h"
 #include "distsim/site_db.h"
 #include "obs/metrics.h"
+#include "plan/plan_cache.h"
+#include "plan/update_signature.h"
 #include "updates/update.h"
 #include "util/budget.h"
 #include "util/circuit_breaker.h"
@@ -83,6 +85,18 @@ struct ParallelConfig {
 /// changes. `ccpi_check --remote-cache=off` and benchmarks use the switch
 /// to measure the uncached baseline.
 struct RemoteCacheConfig {
+  bool enabled = true;
+};
+
+/// The compiled local-test plan cache (see docs/plan_cache.md). On by
+/// default: like the remote cache it is semantically invisible — reports,
+/// ManagerStats (access accounting included) and the deferred queue are
+/// byte-identical with it off at any thread count — it only removes
+/// repeated per-update *analysis* work (tier-1 independence decisions,
+/// Theorem 5.3 compilations, tier-3 safety/stratification) by keying it on
+/// the update's pattern. `ccpi_check --plan-cache=off` and benchmarks use
+/// the switch to measure the cold-compile baseline.
+struct PlanCacheConfig {
   bool enabled = true;
 };
 
@@ -252,12 +266,14 @@ class ConstraintManager {
                     ResilienceConfig resilience = {},
                     ParallelConfig parallel = {},
                     RemoteCacheConfig remote_cache = {},
-                    BudgetConfig budget = {}, TopologyConfig topology = {})
+                    BudgetConfig budget = {}, TopologyConfig topology = {},
+                    PlanCacheConfig plan_cache = {})
       : site_(std::move(local_preds), std::move(topology)),
         cost_model_(cost_model),
         resilience_(resilience),
         parallel_(parallel),
         remote_cache_(remote_cache),
+        plan_cache_(plan_cache),
         budget_(budget),
         budget_armed_(budget.armed()),
         retry_rng_(resilience.retry_seed),
@@ -330,6 +346,8 @@ class ConstraintManager {
   const ParallelConfig& parallel() const { return parallel_; }
   /// The remote-cache configuration this manager was built with.
   const RemoteCacheConfig& remote_cache() const { return remote_cache_; }
+  /// The plan-cache configuration this manager was built with.
+  const PlanCacheConfig& plan_cache() const { return plan_cache_; }
   /// The budget configuration this manager was built with.
   const BudgetConfig& budget() const { return budget_; }
   /// Checker lanes actually available (>= 1; the caller is one).
@@ -395,9 +413,14 @@ class ConstraintManager {
   static size_t TierIndex(Tier tier) { return static_cast<size_t>(tier); }
 
   /// CheckOne wraps CheckOneImpl with a span and the per-tier latency
-  /// histogram; ApplyUpdate likewise wraps ApplyUpdateImpl.
-  Result<CheckReport> CheckOne(Registered* r, const Update& u);
-  Result<CheckReport> CheckOneImpl(Registered* r, const Update& u);
+  /// histogram; ApplyUpdate likewise wraps ApplyUpdateImpl. `sig` is the
+  /// episode's update signature — the per-pattern plan-cache key component
+  /// — or null when the plan cache is off (every cached path is then
+  /// bypassed and the tiers run their original cold code).
+  Result<CheckReport> CheckOne(Registered* r, const Update& u,
+                               const UpdateSignature* sig);
+  Result<CheckReport> CheckOneImpl(Registered* r, const Update& u,
+                                   const UpdateSignature* sig);
   Result<std::vector<CheckReport>> ApplyUpdateImpl(const Update& u);
   /// RecheckDeferred body; `episode` (may be null) is the enclosing
   /// ApplyUpdate's budget scope, folded into each re-check's envelope.
@@ -415,10 +438,24 @@ class ConstraintManager {
   /// unbudgeted) was spent — never retried, never counted against any
   /// breaker (the sites did nothing wrong). `retries_out` receives the
   /// extra attempts consumed.
+  /// `plan_key` (null = uncached) names the plan-cache slot holding the
+  /// program's CompiledProgram — the constraint name suffices, since a
+  /// constraint's program never changes after registration. The cached and
+  /// cold paths are attempt-for-attempt identical: CompileProgram fails
+  /// exactly where IsViolated(Program, ...) would, and evaluation of a
+  /// compiled plan issues the same reads, metrics, and budget checkpoints.
   Result<bool> EvaluateRemote(const Program& program, const Database& db,
                               const std::set<size_t>& gsites,
                               size_t* retries_out,
-                              const BudgetScope* scope = nullptr);
+                              const BudgetScope* scope = nullptr,
+                              const std::string* plan_key = nullptr);
+
+  /// Tier-2 evaluation through a cached RA plan template: binds the
+  /// update's tuple into the template and evaluates (or replays a memoized
+  /// same-version result). Mirrors RaLocalTestOnInsert's observable
+  /// behavior exactly — see docs/plan_cache.md.
+  Result<Outcome> EvalPlannedRa(const RaPlanTemplate& tpl, const Update& u,
+                                const std::string& plan_key);
 
   /// Whether every breaker in `gsites` would currently admit a request
   /// (pure gate: claims nothing, transitions nothing).
@@ -443,6 +480,7 @@ class ConstraintManager {
   ResilienceConfig resilience_;
   ParallelConfig parallel_;
   RemoteCacheConfig remote_cache_;
+  PlanCacheConfig plan_cache_;
   BudgetConfig budget_;
   /// budget_.armed(), precomputed: the unbudgeted hot path pays exactly
   /// one branch on this flag.
@@ -459,6 +497,19 @@ class ConstraintManager {
   // no injector attached) therefore never touches it concurrently.
   Rng retry_rng_;
   std::vector<Registered> constraints_;
+  /// The compiled-plan cache (see docs/plan_cache.md). Wholesale
+  /// invalidated on AddConstraint: registration changes the active set
+  /// that tier-1 decisions quantify over and the signature constant pool.
+  PlanCache plans_;
+  /// The distinguished-constant pool of the active constraint set, sorted
+  /// and deduped — input to ShapeSignature. Rebuilt on AddConstraint.
+  std::vector<Value> plan_constants_;
+  /// True iff every active program is comparison-free (SignatureSafe).
+  /// Order comparisons can distinguish same-shape tuples, so the tier-1
+  /// decision memo is disabled unless this holds; the RA template and
+  /// tier-3 caches need no such gate (they cache structure, not verdicts
+  /// quantified over tuples of a shape).
+  bool plan_sig_safe_ = true;
   std::deque<DeferredCheck> deferred_;
   uint64_t update_sequence_ = 0;
   std::unique_ptr<ThreadPool> pool_;
@@ -489,6 +540,14 @@ class ConstraintManager {
   /// Per-site recovery counters ("manager.recovery.site<k>"), resolved
   /// only for multi-site topologies.
   std::vector<obs::Counter*> ctr_site_recovered_;
+  /// Plan-cache instrumentation, resolved only when the cache is enabled
+  /// (every increment site is gated on a cache path, so the handles are
+  /// never dereferenced while disabled). Deliberately NOT part of stats():
+  /// ManagerStats must stay byte-identical cache on/off.
+  obs::Counter* ctr_plan_compiles_ = nullptr;
+  obs::Counter* ctr_plan_hits_ = nullptr;
+  obs::Counter* ctr_plan_delta_ = nullptr;
+  obs::Histogram* hist_plan_compile_ = nullptr;
   obs::Histogram* hist_budget_remaining_ = nullptr;
   obs::Histogram* hist_apply_ = nullptr;
   obs::Histogram* hist_remote_eval_ = nullptr;

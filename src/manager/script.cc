@@ -122,6 +122,17 @@ Result<Script> ParseScript(std::string_view text) {
             "line " + std::to_string(line_number) +
             ": site " + index_text + " pins no predicates");
       }
+    } else if (keyword == "plan_cache") {
+      CCPI_RETURN_IF_ERROR(flush_constraint());
+      if (rest == "on") {
+        script.plan_cache = true;
+      } else if (rest == "off") {
+        script.plan_cache = false;
+      } else {
+        return Status::InvalidArgument(
+            "line " + std::to_string(line_number) +
+            ": plan_cache wants on or off, got \"" + rest + "\"");
+      }
     } else if (keyword == "constraint") {
       CCPI_RETURN_IF_ERROR(flush_constraint());
       if (rest.empty()) {
@@ -218,6 +229,17 @@ Status ApplyScriptFlag(std::string_view arg, ScriptOptions* options,
     } else {
       return BadFlag("remote-cache", "on or off", *v);
     }
+    return Status::OK();
+  }
+  if (auto v = FlagValue(arg, "plan-cache")) {
+    if (*v == "on") {
+      options->plan_cache.enabled = true;
+    } else if (*v == "off") {
+      options->plan_cache.enabled = false;
+    } else {
+      return BadFlag("plan-cache", "on or off", *v);
+    }
+    options->plan_cache_from_flags = true;
     return Status::OK();
   }
   if (auto v = FlagValue(arg, "fault-rate")) {
@@ -470,9 +492,16 @@ Result<ScriptReport> RunScript(const Script& script,
     }
   }
 
+  // Effective plan-cache switch: an explicit --plan-cache flag wins over
+  // the script's own directive, which wins over the default (on).
+  PlanCacheConfig plan_cache = options.plan_cache;
+  if (!options.plan_cache_from_flags && script.plan_cache.has_value()) {
+    plan_cache.enabled = *script.plan_cache;
+  }
+
   ConstraintManager mgr(script.local_preds, costs, options.resilience,
                         options.parallel, options.remote_cache,
-                        options.budget, topology);
+                        options.budget, topology, plan_cache);
   // One injector per site, each with its own schedule. Site 0 inherits
   // the base config (and seed) verbatim — a 1-site faulted run is
   // bit-identical to the pre-topology tool — while site s>0 derives
@@ -597,6 +626,16 @@ Result<ScriptReport> RunScript(const Script& script,
   if (options.remote_cache.enabled) {
     summary << "cache: " << access.cache_hits << " remote reads served ("
             << access.cached_tuples << " cached tuples)\n";
+  }
+  if (plan_cache.enabled && options.print_stats) {
+    // Diagnostics only: plan.* counters live outside ManagerStats, so the
+    // report proper stays byte-identical cache on/off; this line exists
+    // only when the cache does.
+    summary << "plans: " << mgr.metrics().GetCounter("plan.compiles")->value()
+            << " compiles, " << mgr.metrics().GetCounter("plan.hits")->value()
+            << " hits, "
+            << mgr.metrics().GetCounter("plan.delta_tuples")->value()
+            << " delta bindings\n";
   }
   if (options.print_stats) {
     summary << "remote: " << stats.remote_attempts << " attempts, "

@@ -35,6 +35,7 @@ namespace ccpi {
 ///     sites 3                       # remote fault domains (default 1)
 ///     site 1 dept assign            # pin remote preds to a site; unpinned
 ///                                   # ones hash to a site deterministically
+///     plan_cache off                # compiled-plan cache (default on)
 ///
 /// Rules may span lines exactly as in ParseProgram (break after `:-`, `&`
 /// or `,`).
@@ -46,6 +47,9 @@ struct Script {
   /// Remote-site topology from `sites` / `site` directives; command-line
   /// flags (--sites, --placement) override it field-wise.
   TopologyConfig topology;
+  /// `plan_cache on|off` directive; unset means the default (on). The
+  /// --plan-cache flag overrides it (flags win).
+  std::optional<bool> plan_cache;
 };
 
 Result<Script> ParseScript(std::string_view text);
@@ -84,6 +88,13 @@ struct ScriptOptions {
   /// Remote-read snapshot cache (ccpi_check --remote-cache). On by
   /// default; semantically invisible either way.
   RemoteCacheConfig remote_cache;
+  /// Compiled-plan cache (ccpi_check --plan-cache). On by default;
+  /// semantically invisible either way — reports and ManagerStats are
+  /// byte-identical on or off.
+  PlanCacheConfig plan_cache;
+  /// Whether --plan-cache was given explicitly; when set it overrides the
+  /// script's own `plan_cache` directive (flags win, like topology).
+  bool plan_cache_from_flags = false;
   /// Execution budgets and overload control (ccpi_check --deadline-ms,
   /// --max-fixpoint-rounds, --max-derived-tuples, --deferred-queue-cap,
   /// --overflow-policy). Off by default: an unbudgeted run is bit-identical
@@ -161,7 +172,8 @@ Result<ScriptReport> RunScript(const Script& script,
 /// Applies one `ccpi_check`-style command-line flag to `options`.
 ///
 /// Recognizes every flag that configures the run itself — --threads=N,
-/// --remote-cache=on|off, --fault-rate=P, --fault-timeout-rate=P,
+/// --remote-cache=on|off, --plan-cache=on|off, --fault-rate=P,
+/// --fault-timeout-rate=P,
 /// --fault-seed=N, --fault-outage=A:B, --fault-reject, --stats,
 /// --sites=N, --placement=p:0,q:1, --site-fault-rate=S:P,
 /// --site-fault-timeout-rate=S:P, --site-fault-seed=S:N,

@@ -1,0 +1,75 @@
+#include "plan/plan_cache.h"
+
+#include <mutex>
+
+namespace ccpi {
+
+std::optional<PlanCache::Tier1Decision> PlanCache::FindTier1(
+    const std::string& key) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = tier1_.find(key);
+  if (it == tier1_.end()) return std::nullopt;
+  return it->second;
+}
+
+void PlanCache::StoreTier1(const std::string& key, Tier1Decision decision) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  tier1_.emplace(key, decision);  // first insert wins
+}
+
+std::shared_ptr<const RaPlanTemplate> PlanCache::FindTemplate(
+    const std::string& key) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = templates_.find(key);
+  return it == templates_.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<const RaPlanTemplate> PlanCache::StoreTemplate(
+    const std::string& key, std::shared_ptr<const RaPlanTemplate> tpl) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto [it, inserted] = templates_.emplace(key, std::move(tpl));
+  return it->second;
+}
+
+std::optional<PlanCache::BoundResult> PlanCache::FindResult(
+    const std::string& key) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = results_.find(key);
+  if (it == results_.end()) return std::nullopt;
+  return it->second;
+}
+
+void PlanCache::StoreResult(const std::string& key, BoundResult result) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  results_.emplace(key, std::move(result));
+}
+
+std::shared_ptr<const CompiledProgram> PlanCache::FindProgram(
+    const std::string& key) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = programs_.find(key);
+  return it == programs_.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<const CompiledProgram> PlanCache::StoreProgram(
+    const std::string& key, std::shared_ptr<const CompiledProgram> program) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto [it, inserted] = programs_.emplace(key, std::move(program));
+  return it->second;
+}
+
+void PlanCache::Invalidate() {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  tier1_.clear();
+  templates_.clear();
+  results_.clear();
+  programs_.clear();
+}
+
+size_t PlanCache::size() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return tier1_.size() + templates_.size() + results_.size() +
+         programs_.size();
+}
+
+}  // namespace ccpi

@@ -1,0 +1,91 @@
+#ifndef CCPI_PLAN_PLAN_CACHE_H_
+#define CCPI_PLAN_PLAN_CACHE_H_
+
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "eval/engine.h"
+#include "plan/ra_plan.h"
+#include "util/outcome.h"
+
+namespace ccpi {
+
+/// Thread-safe store of compiled checking plans, keyed by strings the
+/// manager derives from (constraint id, update pattern) — see
+/// docs/plan_cache.md for the keying discipline. Four entry families:
+///
+///   tier-1 memo      (constraint, pattern) -> the independence decision
+///   RA templates     (constraint, pattern) -> RaPlanTemplate (Theorem 5.3)
+///   bound results    (constraint, pattern, tuple, relation version) ->
+///                    a tier-2 evaluation's outcome plus its exact observed
+///                    reads, replayable while the version stamp still
+///                    matches (PR 4 stamps: equal version => equal contents)
+///   compiled programs (constraint) -> the tier-3 CompiledProgram
+///
+/// Lookups take the shared lock, stores the exclusive lock; compilation
+/// always happens outside any lock. Store is first-insert-wins: when two
+/// lanes compile the same key concurrently, the loser adopts the winner's
+/// entry, so every reader of a key sees one plan. (Under the manager's
+/// phase-1 fan-out keys embed the constraint id and each lane owns one
+/// constraint, so the race is theoretical there — but the cache does not
+/// rely on that.)
+class PlanCache {
+ public:
+  /// The memoized tier-1 verdict for an update pattern: holds (resolve at
+  /// kIndependence) or falls through to tier 2.
+  struct Tier1Decision {
+    bool holds = false;
+  };
+
+  /// A memoized tier-2 evaluation: the outcome plus the exact (pred, count)
+  /// read sequence the evaluation charged, replayed verbatim on a hit so
+  /// access accounting is byte-identical to re-evaluating.
+  struct BoundResult {
+    Outcome outcome = Outcome::kUnknown;
+    std::vector<std::pair<std::string, size_t>> reads;
+  };
+
+  std::optional<Tier1Decision> FindTier1(const std::string& key) const;
+  void StoreTier1(const std::string& key, Tier1Decision decision);
+
+  std::shared_ptr<const RaPlanTemplate> FindTemplate(
+      const std::string& key) const;
+  /// Returns the winning entry (the argument, or a concurrent first
+  /// inserter's).
+  std::shared_ptr<const RaPlanTemplate> StoreTemplate(
+      const std::string& key, std::shared_ptr<const RaPlanTemplate> tpl);
+
+  std::optional<BoundResult> FindResult(const std::string& key) const;
+  void StoreResult(const std::string& key, BoundResult result);
+
+  std::shared_ptr<const CompiledProgram> FindProgram(
+      const std::string& key) const;
+  std::shared_ptr<const CompiledProgram> StoreProgram(
+      const std::string& key, std::shared_ptr<const CompiledProgram> program);
+
+  /// Drops every entry. The manager calls this when the constraint set
+  /// changes (AddConstraint): tier-1 decisions quantify over the *other*
+  /// active constraints, so registration is a cache epoch.
+  void Invalidate();
+
+  /// Total entries across all families (tests/diagnostics).
+  size_t size() const;
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::unordered_map<std::string, Tier1Decision> tier1_;
+  std::unordered_map<std::string, std::shared_ptr<const RaPlanTemplate>>
+      templates_;
+  std::unordered_map<std::string, BoundResult> results_;
+  std::unordered_map<std::string, std::shared_ptr<const CompiledProgram>>
+      programs_;
+};
+
+}  // namespace ccpi
+
+#endif  // CCPI_PLAN_PLAN_CACHE_H_

@@ -1,0 +1,96 @@
+#include "plan/ra_plan.h"
+
+#include <vector>
+
+#include "core/ra_local_test.h"
+#include "util/check.h"
+
+namespace ccpi {
+
+namespace {
+
+/// The component of `rep` a constant value binds to, or rep.size() when it
+/// is a constraint constant (no component matches). With same-shape
+/// tuples any matching component works — equal representative components
+/// stay equal in the bound tuple — so the smallest index is as good as
+/// remembering the compiler's actual source.
+size_t DeltaIndex(const Value& v, const Tuple& rep) {
+  for (size_t i = 0; i < rep.size(); ++i) {
+    if (rep[i] == v) return i;
+  }
+  return rep.size();
+}
+
+Value BindValue(const Value& v, const Tuple& rep, const Tuple& t) {
+  size_t i = DeltaIndex(v, rep);
+  return i < rep.size() ? t[i] : v;
+}
+
+RaOperand BindOperand(const RaOperand& op, const Tuple& rep, const Tuple& t) {
+  if (op.is_col) return op;
+  return RaOperand::Const(BindValue(op.constant, rep, t));
+}
+
+RaExprPtr BindExpr(const RaExprPtr& e, const Tuple& rep, const Tuple& t) {
+  switch (e->kind()) {
+    case RaExpr::Kind::kScan:
+      return e;  // no constants; sharing the node keeps the bound
+                 // expression's structure identical to a fresh compile
+    case RaExpr::Kind::kConstRel: {
+      std::vector<Tuple> tuples;
+      tuples.reserve(e->tuples().size());
+      for (const Tuple& row : e->tuples()) {
+        Tuple bound;
+        bound.reserve(row.size());
+        for (const Value& v : row) bound.push_back(BindValue(v, rep, t));
+        tuples.push_back(std::move(bound));
+      }
+      return RaExpr::ConstRel(e->arity(), std::move(tuples));
+    }
+    case RaExpr::Kind::kSelect: {
+      std::vector<RaCondition> conds;
+      conds.reserve(e->conditions().size());
+      for (const RaCondition& c : e->conditions()) {
+        conds.push_back(RaCondition{BindOperand(c.lhs, rep, t), c.op,
+                                    BindOperand(c.rhs, rep, t)});
+      }
+      return RaExpr::Select(BindExpr(e->left(), rep, t), std::move(conds));
+    }
+    case RaExpr::Kind::kProject:
+      return RaExpr::Project(BindExpr(e->left(), rep, t), e->columns());
+    case RaExpr::Kind::kProduct:
+      return RaExpr::Product(BindExpr(e->left(), rep, t),
+                             BindExpr(e->right(), rep, t));
+    case RaExpr::Kind::kUnion:
+      return RaExpr::Union(BindExpr(e->left(), rep, t),
+                           BindExpr(e->right(), rep, t));
+    case RaExpr::Kind::kDifference:
+      return RaExpr::Difference(BindExpr(e->left(), rep, t),
+                                BindExpr(e->right(), rep, t));
+  }
+  CCPI_CHECK(false);
+  return e;
+}
+
+}  // namespace
+
+RaExprPtr RaPlanTemplate::Bind(const Tuple& t) const {
+  CCPI_CHECK(expr != nullptr);
+  CCPI_CHECK(t.size() == representative.size());
+  return BindExpr(expr, representative, t);
+}
+
+Result<RaPlanTemplate> CompileRaPlan(const Rule& rule,
+                                     const std::string& local_pred,
+                                     const Tuple& t) {
+  CCPI_ASSIGN_OR_RETURN(RaLocalTest base,
+                        CompileRaLocalTest(rule, local_pred, t));
+  RaPlanTemplate out;
+  out.trivially_holds = base.trivially_holds;
+  out.trivially_violated = base.trivially_violated;
+  out.expr = base.expr;
+  out.representative = t;
+  return out;
+}
+
+}  // namespace ccpi

@@ -1,0 +1,51 @@
+#ifndef CCPI_PLAN_RA_PLAN_H_
+#define CCPI_PLAN_RA_PLAN_H_
+
+#include <string>
+
+#include "datalog/ast.h"
+#include "ra/ra_expr.h"
+#include "relational/tuple.h"
+#include "util/status.h"
+
+namespace ccpi {
+
+/// A Theorem 5.3 local test compiled once per *update pattern* instead of
+/// once per update. The template is the test compiled for one
+/// representative tuple; Bind substitutes a later same-shape tuple's values
+/// for the representative's, producing exactly the expression a fresh
+/// CompileRaLocalTest would build for it (property-tested in
+/// plan_cache_test).
+///
+/// Why that works: the compiler's control flow — pattern match, trivial
+/// outcomes, the containment-mapping enumeration — branches only on
+/// equality comparisons among the tuple's components and the constraint's
+/// constants, all of which the shape key (see update_signature.h) holds
+/// fixed. Two same-shape tuples therefore compile to structurally identical
+/// expressions differing only at the constant operands carrying tuple
+/// components, and those are exactly the operands Bind rewrites.
+struct RaPlanTemplate {
+  /// Same meaning as RaLocalTest's flags; shape-stable, so they transfer
+  /// to every bound tuple.
+  bool trivially_holds = false;
+  bool trivially_violated = false;
+  /// The representative compile; null iff a trivial flag is set.
+  RaExprPtr expr;
+  /// The tuple `expr` was compiled for.
+  Tuple representative;
+
+  /// Rewrites `expr` for a same-shape tuple `t`: every constant operand
+  /// equal to a representative component becomes the corresponding
+  /// component of `t`. Requires expr != null and matching arity.
+  RaExprPtr Bind(const Tuple& t) const;
+};
+
+/// Compiles the Theorem 5.3 test for `t` and packages it as a reusable
+/// template. Same applicability conditions as CompileRaLocalTest.
+Result<RaPlanTemplate> CompileRaPlan(const Rule& rule,
+                                     const std::string& local_pred,
+                                     const Tuple& t);
+
+}  // namespace ccpi
+
+#endif  // CCPI_PLAN_RA_PLAN_H_

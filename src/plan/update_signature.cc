@@ -1,0 +1,72 @@
+#include "plan/update_signature.h"
+
+#include <algorithm>
+#include <set>
+
+namespace ccpi {
+
+std::string ShapeSignature(const Tuple& t,
+                           const std::vector<Value>& constants) {
+  std::string shape;
+  shape.reserve(t.size() * 3);
+  // Non-constant values in first-appearance order; a component's class id
+  // is its value's index here.
+  std::vector<Value> classes;
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (i > 0) shape += '.';
+    auto it = std::lower_bound(constants.begin(), constants.end(), t[i]);
+    if (it != constants.end() && *it == t[i]) {
+      shape += 'C';
+      shape += std::to_string(it - constants.begin());
+      continue;
+    }
+    size_t cls = 0;
+    while (cls < classes.size() && !(classes[cls] == t[i])) ++cls;
+    if (cls == classes.size()) classes.push_back(t[i]);
+    shape += 'N';
+    shape += std::to_string(cls);
+  }
+  return shape;
+}
+
+UpdateSignature MakeUpdateSignature(const Update& u,
+                                    const std::vector<Value>& constants) {
+  UpdateSignature sig;
+  sig.pred = u.pred;
+  sig.is_insert = u.kind == Update::Kind::kInsert;
+  sig.shape = ShapeSignature(u.tuple, constants);
+  return sig;
+}
+
+std::vector<Value> CollectProgramConstants(
+    const std::vector<const Program*>& programs) {
+  std::set<Value> out;
+  auto add_term = [&](const Term& term) {
+    if (term.is_const()) out.insert(term.constant());
+  };
+  for (const Program* p : programs) {
+    for (const Rule& r : p->rules) {
+      for (const Term& arg : r.head.args) add_term(arg);
+      for (const Literal& l : r.body) {
+        if (l.is_comparison()) {
+          add_term(l.cmp.lhs);
+          add_term(l.cmp.rhs);
+        } else {
+          for (const Term& arg : l.atom.args) add_term(arg);
+        }
+      }
+    }
+  }
+  return std::vector<Value>(out.begin(), out.end());
+}
+
+bool SignatureSafe(const Program& program) {
+  for (const Rule& r : program.rules) {
+    for (const Literal& l : r.body) {
+      if (l.is_comparison()) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ccpi

@@ -1,0 +1,60 @@
+#ifndef CCPI_PLAN_UPDATE_SIGNATURE_H_
+#define CCPI_PLAN_UPDATE_SIGNATURE_H_
+
+#include <string>
+#include <vector>
+
+#include "datalog/ast.h"
+#include "relational/tuple.h"
+#include "updates/update.h"
+
+namespace ccpi {
+
+/// The *update pattern* a compiled plan is keyed by: the updated predicate,
+/// the update kind, and the tuple's shape relative to a distinguished set
+/// of constants (in the manager: every constant appearing in any active
+/// constraint program).
+///
+/// The shape records, per component, which distinguished constant it equals
+/// (if any) and otherwise which earlier component it repeats — e.g. with
+/// constants {a}, the tuple (a, b, b) has shape "C0.N0.N0" while (x, y, z)
+/// has "N0.N1.N2". Two same-shape tuples admit a bijective value renaming
+/// that fixes every distinguished constant, so any analysis that only
+/// *compares values for equality* (unification, containment mappings,
+/// Theorem 5.3 plan construction) decides identically for both: the shape
+/// is a sound cache key for those analyses. Analyses that consult the value
+/// *order* (arithmetic comparisons) are not shape-invariant — callers gate
+/// those caches on SignatureSafe.
+struct UpdateSignature {
+  std::string pred;
+  bool is_insert = true;
+  std::string shape;
+
+  /// The cache-key rendering, e.g. "emp/+/C0.N0.N0".
+  std::string Key() const {
+    return pred + (is_insert ? "/+/" : "/-/") + shape;
+  }
+};
+
+/// Shape of `t` relative to `constants` (must be sorted and deduplicated so
+/// indices are stable across calls).
+std::string ShapeSignature(const Tuple& t, const std::vector<Value>& constants);
+
+UpdateSignature MakeUpdateSignature(const Update& u,
+                                    const std::vector<Value>& constants);
+
+/// Every constant appearing in `programs` — rule heads, subgoal arguments
+/// and comparison operands — sorted and deduplicated, ready for
+/// ShapeSignature.
+std::vector<Value> CollectProgramConstants(
+    const std::vector<const Program*>& programs);
+
+/// True when `program` contains no comparison literals at all. Equality-only
+/// analyses over such programs are invariant under the shape renaming above;
+/// a program with comparisons can distinguish same-shape tuples by order
+/// (e.g. S > 200), so shape-keyed *decision* caches must be disabled for it.
+bool SignatureSafe(const Program& program);
+
+}  // namespace ccpi
+
+#endif  // CCPI_PLAN_UPDATE_SIGNATURE_H_

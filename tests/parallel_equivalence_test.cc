@@ -50,6 +50,10 @@ struct RunResult {
   /// access-counter slice; both must be thread-count invariant too.
   std::vector<CircuitState> site_breaker_states;
   std::vector<AccessStats> site_access;
+  /// plan.hits / plan.compiles, captured when the plan cache was enabled
+  /// (0 otherwise) — used only for non-vacuity guards, never diffed.
+  uint64_t plan_hits = 0;
+  uint64_t plan_compiles = 0;
 };
 
 std::vector<Update> RandomWorkload(uint64_t seed, size_t n) {
@@ -95,11 +99,15 @@ std::vector<Update> RandomWorkload(uint64_t seed, size_t n) {
 /// checker lanes (and, optionally, a fresh same-seeded fault injector).
 /// `cache` toggles the remote-read snapshot cache, which must be
 /// semantically invisible: only the access accounting may change.
+/// `plan_cache` toggles the compiled-plan cache, which must be invisible
+/// even in the access accounting.
 RunResult RunWorkload(uint64_t seed, size_t threads,
                       const std::optional<FaultConfig>& faults,
-                      bool cache = true) {
+                      bool cache = true, bool plan_cache = true) {
   ConstraintManager mgr({"l", "emp"}, CostModel{}, ResilienceConfig{},
-                        ParallelConfig{threads}, RemoteCacheConfig{cache});
+                        ParallelConfig{threads}, RemoteCacheConfig{cache},
+                        BudgetConfig{}, TopologyConfig{},
+                        PlanCacheConfig{plan_cache});
   std::optional<FaultInjector> injector;
   if (faults.has_value()) {
     injector.emplace(*faults);
@@ -141,6 +149,10 @@ RunResult RunWorkload(uint64_t seed, size_t threads,
                          mgr.deferred_queue().end());
   result.breaker_state = mgr.breaker().state();
   if (injector.has_value()) result.injector_trips = injector->stats().trips;
+  if (plan_cache) {
+    result.plan_hits = mgr.metrics().GetCounter("plan.hits")->value();
+    result.plan_compiles = mgr.metrics().GetCounter("plan.compiles")->value();
+  }
   return result;
 }
 
@@ -348,6 +360,65 @@ TEST(ParallelEquivalenceTest, CacheOffThreadsStillMatchSequential) {
     RunResult seq = RunWorkload(seed, 1, std::nullopt, false);
     RunResult par = RunWorkload(seed, 4, std::nullopt, false);
     ExpectEquivalent(seq, par);
+  }
+}
+
+// ---- Compiled-plan cache: on/off equivalence -----------------------------
+//
+// The plan cache is held to a stronger standard than the remote cache: it
+// must be invisible in EVERY field of ManagerStats, access accounting
+// included — a cached plan changes how a verdict was computed, never which
+// reads the evaluation charged. So the on/off diff here uses the full
+// ExpectSameStats, at threads 1/4/8, with and without faults.
+
+TEST(ParallelEquivalenceTest, PlanCacheOnMatchesOff) {
+  uint64_t hits = 0;
+  for (size_t threads : {size_t{1}, size_t{4}, size_t{8}}) {
+    for (uint64_t seed : {11u, 23u, 47u}) {
+      RunResult off = RunWorkload(seed, threads, std::nullopt, true, false);
+      RunResult on = RunWorkload(seed, threads, std::nullopt, true, true);
+      ExpectSameReports(off, on);
+      ExpectSameStats(off, on);
+      ExpectSameDeferred(off, on);
+      hits += on.plan_hits;
+    }
+  }
+  // Non-vacuous: the repeated update patterns really served cached plans.
+  EXPECT_GT(hits, 0u);
+}
+
+TEST(ParallelEquivalenceTest, PlanCacheOnMatchesOffUnderFaults) {
+  FaultConfig faults;
+  faults.seed = FaultSeedOr(99);
+  faults.transient_rate = 0.25;
+  faults.timeout_rate = 0.1;
+  faults.outages.push_back(OutageWindow{10, 25});
+  uint64_t hits = 0;
+  for (size_t threads : {size_t{1}, size_t{4}, size_t{8}}) {
+    for (uint64_t seed : {11u, 23u, 47u}) {
+      RunResult off = RunWorkload(seed, threads, faults, true, false);
+      RunResult on = RunWorkload(seed, threads, faults, true, true);
+      ExpectSameReports(off, on);
+      ExpectSameStats(off, on);
+      ExpectSameDeferred(off, on);
+      // Cached analysis never skips a remote trip, so the injector's
+      // failure schedule advances identically.
+      EXPECT_EQ(on.injector_trips, off.injector_trips);
+      hits += on.plan_hits;
+    }
+  }
+  EXPECT_GT(hits, 0u);
+}
+
+TEST(ParallelEquivalenceTest, PlanCacheThreadsStillMatchSequential) {
+  // Cache state must be thread-count deterministic too: keys embed the
+  // constraint id, so phase-1 lanes touch disjoint key families.
+  for (uint64_t seed : {11u, 47u}) {
+    RunResult seq = RunWorkload(seed, 1, std::nullopt, true, true);
+    RunResult par = RunWorkload(seed, 8, std::nullopt, true, true);
+    ExpectEquivalent(seq, par);
+    EXPECT_EQ(seq.plan_hits, par.plan_hits);
+    EXPECT_EQ(seq.plan_compiles, par.plan_compiles);
   }
 }
 

@@ -45,6 +45,10 @@ constexpr const char kUsage[] =
     "  --remote-cache=on|off   remote-read snapshot cache (default on;\n"
     "                          semantically invisible — only the access\n"
     "                          accounting changes)\n"
+    "  --plan-cache=on|off     compiled local-test plan cache (default on;\n"
+    "                          semantically invisible — reports and stats\n"
+    "                          are byte-identical either way); overrides\n"
+    "                          the script's plan_cache directive\n"
     "\n"
     "Fault injection (simulated remote-site failures):\n"
     "  --fault-rate=P          per-trip transient failure probability [0,1]\n"

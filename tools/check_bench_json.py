@@ -233,6 +233,79 @@ def check_topology(path, doc, problems):
                      f"recoveries in a multi-site outage run", problems)
 
 
+# The plan_cache sweep is the acceptance evidence of the compiled-plan
+# cache: the recheck rows must show the cached re-check episodes beating
+# the cold-compile path (both within the warm run and against the
+# cache-off run), and the locality rows must carry hit/compile counts so
+# a cache that silently stops serving hits fails CI.
+PLAN_CACHE_LOCALITIES = ("f0.00", "f0.50", "f0.90", "f1.00")
+PLAN_CACHE_RECHECK_METRICS = (
+    "constraints",
+    "episodes",
+    "ns_per_update_off",
+    "ns_per_update_on",
+    "run_speedup",
+    "ns_first_episode_on",
+    "ns_recheck_episode_on",
+    "episode_speedup",
+    "plan_hits",
+    "plan_compiles",
+)
+PLAN_CACHE_LOCALITY_METRICS = (
+    "locality",
+    "constraints",
+    "updates",
+    "ns_per_update_off",
+    "ns_per_update_on",
+    "plan_hits",
+    "plan_compiles",
+    "hit_rate",
+)
+
+
+def check_plan_cache(path, doc, problems):
+    sweeps = [p for p in doc.get("points", [])
+              if isinstance(p, dict) and p.get("kind") == "sweep"
+              and isinstance(p.get("name"), str)]
+    recheck = [p for p in sweeps if p["name"].startswith("recheck/")]
+    if not recheck:
+        fail(path, "plan_cache: no recheck sweep rows", problems)
+    for locality in PLAN_CACHE_LOCALITIES:
+        if not any(f"/{locality}/" in p["name"] for p in sweeps):
+            fail(path, f"plan_cache: no locality sweep row for {locality}",
+                 problems)
+    for point in sweeps:
+        metrics = point.get("metrics")
+        if not isinstance(metrics, dict):
+            continue  # already reported by check_point
+        wanted = (PLAN_CACHE_RECHECK_METRICS
+                  if point["name"].startswith("recheck/")
+                  else PLAN_CACHE_LOCALITY_METRICS)
+        for key in wanted:
+            if key not in metrics:
+                fail(path,
+                     f"plan_cache: sweep {point['name']!r} missing "
+                     f"metric {key!r}", problems)
+        if not point["name"].startswith("recheck/"):
+            continue
+        hits = metrics.get("plan_hits")
+        if isinstance(hits, numbers.Real) and hits <= 0:
+            fail(path,
+                 f"plan_cache: sweep {point['name']!r} served no cache "
+                 f"hits", problems)
+        run_speedup = metrics.get("run_speedup")
+        if isinstance(run_speedup, numbers.Real) and run_speedup <= 1.0:
+            fail(path,
+                 f"plan_cache: sweep {point['name']!r} cached run did not "
+                 f"beat the cache-off run (speedup {run_speedup})", problems)
+        episode_speedup = metrics.get("episode_speedup")
+        if isinstance(episode_speedup, numbers.Real) and episode_speedup < 5.0:
+            fail(path,
+                 f"plan_cache: sweep {point['name']!r} cached re-check "
+                 f"episodes are less than 5x faster than the compile "
+                 f"episode (got {episode_speedup})", problems)
+
+
 def check_file(path, problems):
     try:
         with open(path, encoding="utf-8") as f:
@@ -268,6 +341,8 @@ def check_file(path, problems):
         check_overload(path, doc, problems)
     if doc.get("name") == "topology":
         check_topology(path, doc, problems)
+    if doc.get("name") == "plan_cache":
+        check_plan_cache(path, doc, problems)
 
 
 def main(argv):
