@@ -19,6 +19,14 @@ struct CostModel {
   /// Per tuple served from the remote-read snapshot cache: the data is
   /// already on this site, so a cached read prices like a local one.
   double cached_tuple_cost = 0.001;
+  /// Simulated wall-clock latency of one physical round trip to this
+  /// site, in microseconds. 0 (the default) keeps the pre-existing
+  /// behavior: trips are billed but take no real time. A nonzero value
+  /// makes the simulator *block* for that long per trip — the lever that
+  /// lets latency-hiding machinery (episode pipelining, batched prefetch)
+  /// show real wall-clock wins in benchmarks. Accounting is unaffected
+  /// either way.
+  uint64_t trip_latency_us = 0;
 };
 
 }  // namespace ccpi

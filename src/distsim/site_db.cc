@@ -1,5 +1,8 @@
 #include "distsim/site_db.h"
 
+#include <chrono>
+#include <thread>
+
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/thread_pool.h"
@@ -153,6 +156,11 @@ Status SiteDatabase::ReadRemote(const std::string& pred, size_t count) {
   return Status::OK();  // unreachable: the switch above is exhaustive
 }
 
+void SiteDatabase::SimulateTripLatency(size_t site) const {
+  const uint64_t us = site_states_[site]->costs.trip_latency_us;
+  if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
 Status SiteDatabase::FetchRemote(size_t site, const std::string& pred,
                                  size_t count) {
   SiteState& st = *site_states_[site];
@@ -168,6 +176,7 @@ Status SiteDatabase::FetchRemote(size_t site, const std::string& pred,
     // billed, no injector draw is consumed.
     CCPI_RETURN_IF_ERROR(st.budget->OnRemoteTrip());
   }
+  SimulateTripLatency(site);
   // The round trip is paid whether or not it succeeds.
   remote_trips_.fetch_add(1, std::memory_order_relaxed);
   st.remote_trips.fetch_add(1, std::memory_order_relaxed);
@@ -254,6 +263,7 @@ void SiteDatabase::PrefetchRemoteBatched(const std::set<std::string>& preds,
       // against the same exhausted scope.
       CCPI_RETURN_IF_ERROR(st.budget->OnRemoteTrip());
     }
+    SimulateTripLatency(site);
     remote_trips_.fetch_add(1, std::memory_order_relaxed);
     st.remote_trips.fetch_add(1, std::memory_order_relaxed);
     if (ctr_remote_trips_ != nullptr) ctr_remote_trips_->Add(1);
@@ -278,6 +288,72 @@ void SiteDatabase::PrefetchRemoteBatched(const std::set<std::string>& preds,
       (void)fetch_batch(k);
     }
   }
+}
+
+SiteDatabase::StagedFetch SiteDatabase::StageRemoteFetch(
+    const std::string& pred, const Database& snapshot) const {
+  StagedFetch staged;
+  staged.pred = pred;
+  staged.site = SiteOf(pred);
+  const Relation& rel = snapshot.Get(pred, 0);
+  staged.version = rel.version();
+  staged.count = rel.size();
+  // The round trip's wall-clock cost is paid here, on the speculation
+  // thread, where it overlaps other episodes' work; everything observable
+  // waits for CommitStagedFetch.
+  SimulateTripLatency(staged.site);
+  return staged;
+}
+
+bool SiteDatabase::CommitStagedFetch(const StagedFetch& staged) {
+  if (!cache_enabled_) return false;
+  ActiveReadGuard guard(&active_reads_);
+  SiteState& st = *site_states_[staged.site];
+  const uint64_t live_version = cache_source().Get(staged.pred, 0).version();
+  if (live_version != staged.version) {
+    // An intervening commit mutated the relation: the staged fetch
+    // observed contents the serial path would not fetch here. Discard
+    // without a trace; the caller's normal prefetch pays the (now
+    // differently-versioned) trip itself.
+    return false;
+  }
+  switch (st.cache.Find(staged.pred, live_version)) {
+    case RemoteReadCache::Lookup::kHit:
+      // Another episode's commit already filled the entry at this version;
+      // the serial path would skip the fetch, so the staged one vanishes.
+      return false;
+    case RemoteReadCache::Lookup::kMissStale:
+      if (ctr_cache_invalidations_ != nullptr) {
+        ctr_cache_invalidations_->Add(1);
+      }
+      [[fallthrough]];
+    case RemoteReadCache::Lookup::kMissCold:
+      break;
+  }
+  // From here this is ReadRemote's miss path minus the already-slept
+  // latency: miss counter, successful physical trip (the caller gates
+  // staging on no-injector and no-budget, so the trip cannot fail or be
+  // refused), tuples, cache fill. Equal versions imply equal contents, so
+  // staged.count is exactly the live relation's size.
+  CCPI_DCHECK(st.injector == nullptr && st.budget == nullptr);
+  if (ctr_cache_misses_ != nullptr) ctr_cache_misses_->Add(1);
+  obs::Span span("distsim.remote_read", "distsim");
+  if (span.active()) {
+    span.Attr("pred", staged.pred);
+    span.Attr("site", static_cast<int64_t>(staged.site));
+    span.Attr("tuples", static_cast<int64_t>(staged.count));
+  }
+  obs::Stopwatch fill_timer;
+  remote_trips_.fetch_add(1, std::memory_order_relaxed);
+  st.remote_trips.fetch_add(1, std::memory_order_relaxed);
+  if (ctr_remote_trips_ != nullptr) ctr_remote_trips_->Add(1);
+  if (st.ctr_trips != nullptr) st.ctr_trips->Add(1);
+  remote_tuples_.fetch_add(staged.count, std::memory_order_relaxed);
+  st.remote_tuples.fetch_add(staged.count, std::memory_order_relaxed);
+  if (ctr_remote_tuples_ != nullptr) ctr_remote_tuples_->Add(staged.count);
+  fill_timer.RecordTo(hist_fill_latency_);
+  st.cache.NoteFill(staged.pred, live_version);
+  return true;
 }
 
 size_t SiteDatabase::RecoverSiteCache(size_t site,

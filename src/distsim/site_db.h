@@ -246,6 +246,42 @@ class SiteDatabase : public AccessObserver, public RemoteAccessor {
   void PrefetchRemoteBatched(const std::set<std::string>& preds,
                              ThreadPool* pool);
 
+  /// One speculative remote fetch, staged by a pipelined episode's
+  /// read-only phase (see docs/concurrency.md): the simulated round-trip
+  /// latency has already been *paid* (slept) at speculation time, but none
+  /// of its observable effects — counters, cache fill, metrics — have
+  /// happened yet. CommitStagedFetch applies them at the episode's commit
+  /// turn iff the fetch is still exactly what the serial path would do.
+  struct StagedFetch {
+    std::string pred;
+    size_t site = 0;
+    /// The relation's content version in the episode's snapshot: the
+    /// commit-time validity condition (equal version => equal contents, so
+    /// the staged fetch observed exactly what a commit-time fetch would).
+    uint64_t version = 0;
+    /// Tuples the fetch carried (the snapshot relation's size).
+    size_t count = 0;
+  };
+
+  /// Speculatively fetches remote `pred` as seen in `snapshot`: sleeps the
+  /// owning site's simulated trip latency and records what was observed.
+  /// No counter, cache, budget, or injector interaction — safe to call
+  /// from a speculation thread concurrently with commits. The caller gates
+  /// on cache_enabled && !any_fault_injector (same as prefetch).
+  StagedFetch StageRemoteFetch(const std::string& pred,
+                               const Database& snapshot) const;
+
+  /// Applies a staged fetch at commit time, iff the site's cache entry is
+  /// still cold/stale AND the relation's live version equals the staged
+  /// one — i.e. iff the serial prefetch path would perform this exact
+  /// fetch here. Then bills the trip and tuples and fills the cache
+  /// precisely as ReadRemote's miss path would (minus the already-paid
+  /// latency), so accounting is byte-identical to unpipelined execution.
+  /// Returns whether the fetch was committed; a false return means the
+  /// staged work is discarded without any observable trace (the caller's
+  /// normal prefetch covers the relation if it still needs fetching).
+  bool CommitStagedFetch(const StagedFetch& staged);
+
   /// Catch-up reconciliation for a site returning from outage: re-fetches
   /// every relation of `site` among `preds` whose cache entry went stale
   /// or was poisoned while the site was dark (cold, never-fetched
@@ -335,6 +371,10 @@ class SiteDatabase : public AccessObserver, public RemoteAccessor {
   /// One physical round trip to `site`: span, trip/tuple/failure billing,
   /// fault injection, fill-latency timing. The pre-cache ReadRemote body.
   Status FetchRemote(size_t site, const std::string& pred, size_t count);
+
+  /// Blocks for the site's simulated per-trip latency (CostModel::
+  /// trip_latency_us); no-op at the default of 0.
+  void SimulateTripLatency(size_t site) const;
 
   std::set<std::string> local_preds_;
   Topology topology_;

@@ -72,7 +72,70 @@ struct RecordingObserver : AccessObserver {
   }
 };
 
+/// Observer of a speculative phase 1: charges nothing, records everything.
+/// A committed episode replays the buffer through the site observer in
+/// recorded order, so AccessStats end up byte-identical to an unpipelined
+/// run; a conflicted episode's buffer is dropped without a trace.
+struct BufferingObserver : AccessObserver {
+  std::vector<std::pair<std::string, size_t>> reads;
+  Status OnRead(const std::string& pred, size_t count) override {
+    reads.emplace_back(pred, count);
+    return Status::OK();
+  }
+};
+
 }  // namespace
+
+/// Read routing of one constraint check. The serial path reads the live
+/// database, charges the site observer directly, and consults the live
+/// deferred queue; a speculative phase 1 reads its episode's admission
+/// snapshot, buffers its charges, and consults the queue as of admission.
+struct ConstraintManager::CheckContext {
+  const Database* db;
+  AccessObserver* observer;
+  const std::deque<DeferredCheck>* deferred;
+};
+
+/// One pipelined update episode. Admission state is written by the
+/// admitting thread before the speculation task is launched; speculation
+/// outputs are written only by the task; the done/cv handshake publishes
+/// them back to the committing (admitting) thread. After `done`, the
+/// episode is owned by the committer again.
+struct ConstraintManager::Episode {
+  Update update;
+  uint64_t sequence = 0;
+  /// Admission-time MVCC snapshot (copy-on-write Database copy).
+  Database snapshot;
+  /// The deferred queue as of admission; tier 2's verified-data adjustment
+  /// reads it.
+  std::deque<DeferredCheck> deferred_snapshot;
+  /// deferred_epoch_ at admission: any structural queue change since then
+  /// invalidates the speculation wholesale.
+  uint64_t deferred_epoch = 0;
+  /// commit_writes_ length at admission: the validation suffix.
+  size_t write_mark = 0;
+  /// False for a serial-fallback admission: no snapshot, no task, the
+  /// commit runs the episode from scratch.
+  bool speculated = false;
+
+  // ---- Speculation outputs (valid once `done`).
+  bool noop = false;
+  std::vector<CheckReport> reports;
+  std::vector<Status> check_status;
+  /// Local-read charges of phase 1, in charge order.
+  std::vector<std::pair<std::string, size_t>> buffered_reads;
+  /// Every predicate phase 1 read (always includes update.pred: the noop
+  /// probe and tier 2 read it).
+  std::set<std::string> read_preds;
+  /// Remote fetches staged for the tier-3 worklist (latency already
+  /// slept); committed or silently discarded at the commit turn.
+  std::vector<SiteDatabase::StagedFetch> staged;
+
+  // ---- Retire handshake.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+};
 
 void ConstraintManager::InitObservability() {
   site_.set_metrics(&metrics_);
@@ -128,6 +191,84 @@ void ConstraintManager::InitObservability() {
   hist_apply_ = metrics_.GetHistogram("manager.apply_latency_ns");
   hist_remote_eval_ = metrics_.GetHistogram("manager.remote_eval_latency_ns");
   gauge_deferred_len_ = metrics_.GetGauge("manager.deferred_queue_len");
+  // Pipeline instrumentation exists only at an effective depth > 1, so a
+  // depth-1 (or budget-armed, which forces depth 1) manager's metrics
+  // dump stays byte-identical to the pre-pipeline catalog. Every
+  // increment site sits on a pipelined path, so the null handles are
+  // never dereferenced otherwise.
+  if (pipeline_.depth > 1 && !budget_armed_) {
+    ctr_pipe_admitted_ = metrics_.GetCounter("manager.pipeline.admitted");
+    ctr_pipe_committed_ = metrics_.GetCounter("manager.pipeline.committed");
+    ctr_pipe_conflicts_ = metrics_.GetCounter("manager.pipeline.conflicts");
+    ctr_pipe_retries_ = metrics_.GetCounter("manager.pipeline.retries");
+    ctr_pipe_unspeculated_ =
+        metrics_.GetCounter("manager.pipeline.unspeculated");
+    gauge_pipe_in_flight_ = metrics_.GetGauge("manager.pipeline.in_flight");
+    hist_pipe_commit_wait_ =
+        metrics_.GetHistogram("manager.pipeline.commit_wait_ns");
+  }
+}
+
+ConstraintManager::ConstraintManager(
+    std::set<std::string> local_preds, CostModel cost_model,
+    ResilienceConfig resilience, ParallelConfig parallel,
+    RemoteCacheConfig remote_cache, BudgetConfig budget,
+    TopologyConfig topology, PlanCacheConfig plan_cache,
+    PipelineConfig pipeline)
+    : site_(std::move(local_preds), std::move(topology)),
+      cost_model_(cost_model),
+      resilience_(resilience),
+      parallel_(parallel),
+      remote_cache_(remote_cache),
+      plan_cache_(plan_cache),
+      budget_(budget),
+      budget_armed_(budget.armed()),
+      retry_rng_(resilience.retry_seed),
+      pipeline_(pipeline),
+      pool_(std::make_unique<ThreadPool>(parallel.threads)) {
+  // One independent fault domain per site: each gets its own breaker
+  // (same config) and its own recovery bookkeeping.
+  breakers_.reserve(site_.sites());
+  for (size_t s = 0; s < site_.sites(); ++s) {
+    breakers_.push_back(std::make_unique<CircuitBreaker>(resilience.breaker));
+  }
+  site_was_dark_.assign(site_.sites(), false);
+  site_.EnableRemoteCache(remote_cache.enabled);
+  // Price every site with the manager's cost model. Without this the
+  // sites keep the default CostModel{}, which silently zeroes
+  // trip_latency_us — the simulated round trips would be billed but never
+  // block, and latency-hiding machinery could not be measured.
+  for (size_t s = 0; s < site_.sites(); ++s) {
+    site_.set_site_cost_model(s, cost_model_);
+  }
+  InitObservability();
+}
+
+ConstraintManager::~ConstraintManager() { AbandonInflight(); }
+
+void ConstraintManager::ResetStats() {
+  // Resetting mid-flight would split one episode's counts across the
+  // boundary; retire everything first.
+  DrainInflightInternal();
+  CCPI_DCHECK(inflight_.empty());
+  for (obs::Counter* c : ctr_resolved_) c->Reset();
+  ctr_violations_->Reset();
+  ctr_remote_attempts_->Reset();
+  ctr_remote_retries_->Reset();
+  ctr_remote_failures_->Reset();
+  ctr_deferred_->Reset();
+  ctr_fast_fails_->Reset();
+  ctr_deferred_recovered_->Reset();
+  ctr_deferred_violations_->Reset();
+  ctr_t3_admitted_->Reset();
+  ctr_shed_->Reset();
+  ctr_budget_exhausted_->Reset();
+  ctr_deferred_dropped_->Reset();
+  if (ctr_sites_recovered_ != nullptr) ctr_sites_recovered_->Reset();
+  if (ctr_cache_revalidated_ != nullptr) ctr_cache_revalidated_->Reset();
+  for (obs::Counter* c : ctr_site_recovered_) {
+    if (c != nullptr) c->Reset();
+  }
 }
 
 ManagerStats ConstraintManager::stats() const {
@@ -158,6 +299,11 @@ ManagerStats ConstraintManager::stats() const {
 
 Result<bool> ConstraintManager::AddConstraint(const std::string& name,
                                               Program constraint) {
+  // Registration changes the active set every speculation quantifies over
+  // (tier-1 assumptions, the signature constant pool): retire in-flight
+  // episodes before touching it.
+  DrainInflightInternal();
+  CCPI_DCHECK(inflight_.empty());
   std::vector<Program> active;
   for (const Registered& r : constraints_) {
     if (!r.subsumed) active.push_back(r.program);
@@ -217,8 +363,16 @@ struct ConstraintManager::Tier2Artifacts {
 std::shared_ptr<const ConstraintManager::Tier2Artifacts>
 ConstraintManager::PrepareTier2(Registered* r,
                                 const std::string& local_pred) {
-  auto it = r->tier2.find(local_pred);
-  if (it != r->tier2.end()) return it->second;
+  // tier2_mu_ makes the lazy per-(constraint, predicate) cache safe under
+  // concurrent episode speculation: within one episode each lane owns its
+  // Registered, but two in-flight episodes may touch the same one. Two
+  // racing builders compile identical artifacts (pure function of the
+  // program and predicate); the first insert wins.
+  {
+    std::lock_guard<std::mutex> lock(tier2_mu_);
+    auto it = r->tier2.find(local_pred);
+    if (it != r->tier2.end()) return it->second;
+  }
 
   std::shared_ptr<const Tier2Artifacts> artifacts;  // null = inapplicable
   Result<UCQ> unfolded = UnfoldToUCQ(r->program);
@@ -236,15 +390,16 @@ ConstraintManager::PrepareTier2(Registered* r,
       artifacts = std::move(built);
     }
   }
-  r->tier2.emplace(local_pred, artifacts);
-  return artifacts;
+  std::lock_guard<std::mutex> lock(tier2_mu_);
+  return r->tier2.emplace(local_pred, artifacts).first->second;
 }
 
 Result<CheckReport> ConstraintManager::CheckOne(Registered* r, const Update& u,
-                                                const UpdateSignature* sig) {
+                                                const UpdateSignature* sig,
+                                                const CheckContext& ctx) {
   obs::Span span("manager.check", "manager");
   obs::Stopwatch sw;
-  Result<CheckReport> report = CheckOneImpl(r, u, sig);
+  Result<CheckReport> report = CheckOneImpl(r, u, sig, ctx);
   if (report.ok()) {
     if (span.active()) {
       span.Attr("constraint", r->name);
@@ -257,7 +412,8 @@ Result<CheckReport> ConstraintManager::CheckOne(Registered* r, const Update& u,
 }
 
 Result<CheckReport> ConstraintManager::CheckOneImpl(
-    Registered* r, const Update& u, const UpdateSignature* sig) {
+    Registered* r, const Update& u, const UpdateSignature* sig,
+    const CheckContext& ctx) {
   CheckReport report;
   report.constraint = r->name;
 
@@ -336,15 +492,15 @@ Result<CheckReport> ConstraintManager::CheckOneImpl(
       // updates: one unverified insert could otherwise launder
       // arbitrarily many dependents past the local test, and its late
       // rollback would leave them standing unchecked.
-      const Relation* local = &site_.db().Get(u.pred, u.tuple.size());
+      const Relation* local = &ctx.db->Get(u.pred, u.tuple.size());
       bool has_pending = false;
-      for (const DeferredCheck& d : deferred_) {
+      for (const DeferredCheck& d : *ctx.deferred) {
         has_pending = has_pending || d.update.pred == u.pred;
       }
       Relation verified(u.tuple.size());
       if (has_pending) {
         verified = *local;
-        for (const DeferredCheck& d : deferred_) {
+        for (const DeferredCheck& d : *ctx.deferred) {
           if (d.update.pred != u.pred) continue;
           if (d.update.kind == Update::Kind::kInsert) {
             verified.Erase(d.update.tuple);
@@ -365,7 +521,7 @@ Result<CheckReport> ConstraintManager::CheckOneImpl(
           outcome = *o;
           decided = true;
           // One pass over L, always a local read.
-          CCPI_RETURN_IF_ERROR(site_.OnRead(u.pred, local->size()));
+          CCPI_RETURN_IF_ERROR(ctx.observer->OnRead(u.pred, local->size()));
         }
       }
       if (!decided && t2->arithmetic_free && !has_pending) {
@@ -402,14 +558,14 @@ Result<CheckReport> ConstraintManager::CheckOneImpl(
           }
         }
         if (tpl != nullptr) {
-          Result<Outcome> o = EvalPlannedRa(*tpl, u, plan_key);
+          Result<Outcome> o = EvalPlannedRa(*tpl, u, plan_key, ctx);
           if (o.ok()) {
             outcome = *o;
             decided = true;
           }
         } else if (sig == nullptr) {
           Result<Outcome> o = RaLocalTestOnInsert(
-              t2->rule, u.pred, u.tuple, site_.db(), &site_, &metrics_);
+              t2->rule, u.pred, u.tuple, *ctx.db, ctx.observer, &metrics_);
           if (o.ok()) {
             outcome = *o;
             decided = true;
@@ -422,7 +578,7 @@ Result<CheckReport> ConstraintManager::CheckOneImpl(
         if (o.ok()) {
           outcome = o->outcome;
           decided = true;
-          CCPI_RETURN_IF_ERROR(site_.OnRead(u.pred, local->size()));
+          CCPI_RETURN_IF_ERROR(ctx.observer->OnRead(u.pred, local->size()));
         }
       }
       if (decided) {
@@ -442,7 +598,8 @@ Result<CheckReport> ConstraintManager::CheckOneImpl(
 
 Result<Outcome> ConstraintManager::EvalPlannedRa(const RaPlanTemplate& tpl,
                                                  const Update& u,
-                                                 const std::string& plan_key) {
+                                                 const std::string& plan_key,
+                                                 const CheckContext& ctx) {
   // Mirror of RaLocalTestOnInsert over a prebuilt template: trivial
   // outcomes are shape-stable, so they transfer to every bound tuple.
   if (tpl.trivially_holds) return Outcome::kHolds;
@@ -461,7 +618,11 @@ Result<Outcome> ConstraintManager::EvalPlannedRa(const RaPlanTemplate& tpl,
   // Bound-result memo, valid while the relation's content-version stamp
   // matches (equal version => equal contents, so the skipped evaluation
   // would have produced this outcome and charged exactly these reads).
-  const Relation& local = site_.db().Get(u.pred, u.tuple.size());
+  // Version stamps name *content*, not a database handle, so the memo is
+  // shared across episodes: a speculative check over a snapshot whose
+  // relation carries the same version as an earlier episode's hits — and
+  // a hit recorded from a snapshot replays identically on the live path.
+  const Relation& local = ctx.db->Get(u.pred, u.tuple.size());
   std::string result_key = plan_key;
   result_key += '\x1f';
   result_key += TupleToString(u.tuple);
@@ -471,13 +632,13 @@ Result<Outcome> ConstraintManager::EvalPlannedRa(const RaPlanTemplate& tpl,
           plans_.FindResult(result_key)) {
     ctr_plan_hits_->Add(1);
     for (const auto& [pred, count] : memo->reads) {
-      CCPI_RETURN_IF_ERROR(site_.OnRead(pred, count));
+      CCPI_RETURN_IF_ERROR(ctx.observer->OnRead(pred, count));
     }
     return memo->outcome;
   }
-  RecordingObserver recorder(&site_);
+  RecordingObserver recorder(ctx.observer);
   CCPI_ASSIGN_OR_RETURN(bool nonempty,
-                        RaNonempty(*bound, site_.db(), &recorder, &metrics_));
+                        RaNonempty(*bound, *ctx.db, &recorder, &metrics_));
   Outcome outcome = nonempty ? Outcome::kHolds : Outcome::kUnknown;
   plans_.StoreResult(result_key,
                      PlanCache::BoundResult{outcome, std::move(recorder.reads)});
@@ -645,20 +806,28 @@ bool ConstraintManager::UpdateRefused(
 
 Result<std::vector<CheckReport>> ConstraintManager::ApplyUpdate(
     const Update& u) {
+  // The synchronous and asynchronous entry points share one serial order:
+  // everything admitted earlier commits first.
+  DrainInflightInternal();
+  return RunEpisode(u, nullptr);
+}
+
+Result<std::vector<CheckReport>> ConstraintManager::RunEpisode(
+    const Update& u, Episode* spec) {
   obs::Span span("manager.apply_update", "manager");
   if (span.active()) {
     span.Attr("pred", u.pred);
     span.Attr("kind", u.kind == Update::Kind::kInsert ? "insert" : "delete");
   }
   obs::Stopwatch sw;
-  Result<std::vector<CheckReport>> reports = ApplyUpdateImpl(u);
+  Result<std::vector<CheckReport>> reports = ApplyUpdateImpl(u, spec);
   sw.RecordTo(hist_apply_);
   gauge_deferred_len_->Set(static_cast<int64_t>(deferred_.size()));
   return reports;
 }
 
 Result<std::vector<CheckReport>> ConstraintManager::ApplyUpdateImpl(
-    const Update& u) {
+    const Update& u, Episode* spec) {
   // The episode's execution envelope, armed from configuration alone: an
   // unbudgeted manager never reads the clock here — episode_scope stays
   // inert and every checkpoint downstream is one branch on a null scope.
@@ -683,7 +852,10 @@ Result<std::vector<CheckReport>> ConstraintManager::ApplyUpdateImpl(
     if (!drained.ok()) return drained.status();
   }
 
-  uint64_t sequence = update_sequence_++;
+  // The episode's serial position. A pipelined episode was numbered at
+  // admission (admission order == commit order == the serial order), so
+  // its conflict re-run must not draw a fresh number.
+  uint64_t sequence = spec != nullptr ? spec->sequence : update_sequence_++;
 
   // A no-op update cannot change any constraint.
   bool noop =
@@ -692,6 +864,47 @@ Result<std::vector<CheckReport>> ConstraintManager::ApplyUpdateImpl(
       (u.kind == Update::Kind::kDelete &&
        !site_.db().Contains(u.pred, u.tuple));
 
+  // Commit-map validation, after the prelude above: the breaker ticks and
+  // the auto-recheck drain are part of THIS episode's commit turn, so a
+  // drain that just mutated the database or the queue correctly
+  // invalidates this episode's own speculation. A valid speculation's
+  // phase 1 is reused wholesale (reports + replayed read charges); a
+  // conflicted one is re-run inline on the live database — and because
+  // commits are serialized, that single re-run cannot be invalidated
+  // again. An unspeculated (serial-fallback) admission just runs cold.
+  bool use_spec = false;
+  if (spec != nullptr && spec->speculated) {
+    use_spec = SpecStillValid(*spec);
+    if (use_spec) {
+      conflict_streak_ = 0;
+      ctr_pipe_committed_->Add(1);
+    } else {
+      ctr_pipe_conflicts_->Add(1);
+      ctr_pipe_retries_->Add(1);
+      if (++conflict_streak_ >= pipeline_.max_conflict_streak) {
+        // Sustained conflicts: stop speculating for a window of
+        // admissions, then probe again.
+        serial_fallback_remaining_ = pipeline_.depth;
+        conflict_streak_ = 0;
+      }
+    }
+  } else if (spec != nullptr) {
+    ctr_pipe_unspeculated_->Add(1);
+  }
+
+  std::vector<CheckReport> reports;
+  std::vector<Status> check_status;
+  if (use_spec) {
+    CCPI_DCHECK(noop == spec->noop);
+    reports = std::move(spec->reports);
+    check_status = std::move(spec->check_status);
+    // Replay the buffered phase-1 charges in recorded order, so
+    // AccessStats advance exactly as the serial phase 1 would have
+    // advanced them here.
+    for (const auto& [pred, count] : spec->buffered_reads) {
+      CCPI_RETURN_IF_ERROR(site_.OnRead(pred, count));
+    }
+  } else {
   // The episode's update signature — the per-pattern plan-cache key
   // component shared by every constraint's check below. Null when the
   // cache is off (or the update is a no-op, which skips checking): every
@@ -709,8 +922,9 @@ Result<std::vector<CheckReport>> ConstraintManager::ApplyUpdateImpl(
   // counters, Relation index builds) are atomic or internally locked, and
   // their final values are order-independent sums — so the fan-out is
   // report- and stats-equivalent to the sequential loop.
-  std::vector<CheckReport> reports(constraints_.size());
-  std::vector<Status> check_status(constraints_.size());
+  const CheckContext live_ctx{&site_.db(), &site_, &deferred_};
+  reports.resize(constraints_.size());
+  check_status.resize(constraints_.size());
   bool parallel_checks = pool_->thread_count() > 1 && !noop &&
                          constraints_.size() > 1;
   if (parallel_checks) {
@@ -730,7 +944,7 @@ Result<std::vector<CheckReport>> ConstraintManager::ApplyUpdateImpl(
               CheckReport{r.name, Outcome::kHolds, Tier::kUnaffected};
           return Status::OK();
         }
-        Result<CheckReport> report = CheckOne(&r, u, sig);
+        Result<CheckReport> report = CheckOne(&r, u, sig, live_ctx);
         if (!report.ok()) {
           // Surfaced at this constraint's position in the commit phase, so
           // error reporting matches the sequential order.
@@ -741,6 +955,7 @@ Result<std::vector<CheckReport>> ConstraintManager::ApplyUpdateImpl(
         reports[i] = std::move(*report);
         return Status::OK();
       }));
+  }
 
   // ---- Phase 2 (serialized commit): counters and the tier-3 worklist,
   // in constraint order.
@@ -767,6 +982,7 @@ Result<std::vector<CheckReport>> ConstraintManager::ApplyUpdateImpl(
     // whose evaluation cannot reach the remote site resolves as kDeferred
     // instead of blocking or failing the whole update.
     CCPI_RETURN_IF_ERROR(u.ApplyTo(&site_.db()));
+    LogCommitWrite(u.pred);
     // Admission accounting is cache-invariant by construction: a plan-
     // cache hit changes how a tier's verdict was computed, never the
     // verdict, so `need_full` — and with it every Split below, the
@@ -817,6 +1033,17 @@ Result<std::vector<CheckReport>> ConstraintManager::ApplyUpdateImpl(
           for (size_t idx : need_full) {
             const std::set<std::string>& preds = constraints_[idx].remote_edb;
             episode_preds.insert(preds.begin(), preds.end());
+          }
+          // A valid speculation already slept the round trips for (a
+          // subset of) these relations at speculation time; commit the
+          // staged fetches that are still exactly what the serial path
+          // would fetch here and let the normal prefetch cover whatever
+          // was not staged or was discarded (version moved, entry already
+          // filled by an intervening commit, breaker opened since).
+          if (use_spec) {
+            for (const SiteDatabase::StagedFetch& sf : spec->staged) {
+              if (site_.CommitStagedFetch(sf)) episode_preds.erase(sf.pred);
+            }
           }
           site_.PrefetchRemote(episode_preds);
         }
@@ -942,6 +1169,7 @@ Result<std::vector<CheckReport>> ConstraintManager::ApplyUpdateImpl(
     if (violated) {
       // Roll back: a definite violation wins over any deferral.
       CCPI_RETURN_IF_ERROR(InverseOf(u).ApplyTo(&site_.db()));
+      LogCommitWrite(u.pred);
     } else if (any_deferred) {
       if (resilience_.on_unreachable == DeferredPolicy::kOptimisticApply) {
         // Keep the optimistic apply; queue each undecided constraint for
@@ -971,6 +1199,7 @@ Result<std::vector<CheckReport>> ConstraintManager::ApplyUpdateImpl(
           // site carries; refuse to exceed it (kRejectUpdate, or a
           // kBlockRecheck drain that could not make room).
           CCPI_RETURN_IF_ERROR(InverseOf(u).ApplyTo(&site_.db()));
+          LogCommitWrite(u.pred);
           ctr_budget_exhausted_->Add(1);
           for (CheckReport& r : reports) {
             if (r.outcome == Outcome::kDeferred) r.queue_overflow = true;
@@ -990,14 +1219,17 @@ Result<std::vector<CheckReport>> ConstraintManager::ApplyUpdateImpl(
             deferred_.pop_front();
             ctr_deferred_dropped_->Add(1);
           }
+          ++deferred_epoch_;
         }
       } else {
         // Conservative policy: refuse updates we cannot fully verify.
         CCPI_RETURN_IF_ERROR(InverseOf(u).ApplyTo(&site_.db()));
+        LogCommitWrite(u.pred);
       }
     }
   } else if (!violated && !noop) {
     CCPI_RETURN_IF_ERROR(u.ApplyTo(&site_.db()));
+    LogCommitWrite(u.pred);
   }
 
   bool kept =
@@ -1011,7 +1243,12 @@ Result<std::vector<CheckReport>> ConstraintManager::ApplyUpdateImpl(
     for (auto it = deferred_.begin(); it != deferred_.end();) {
       bool moot = it->sequence != sequence && it->update.pred == u.pred &&
                   it->update.tuple == u.tuple && it->update.kind != u.kind;
-      it = moot ? deferred_.erase(it) : it + 1;
+      if (moot) {
+        it = deferred_.erase(it);
+        ++deferred_epoch_;
+      } else {
+        ++it;
+      }
     }
   }
 
@@ -1056,6 +1293,9 @@ void ConstraintManager::DetectRecoveries() {
 }
 
 Result<std::vector<DeferredResolution>> ConstraintManager::RecheckDeferred() {
+  // The queue is order-sensitive shared state; retire in-flight episodes
+  // before draining it.
+  DrainInflightInternal();
   Result<std::vector<DeferredResolution>> resolved = RecheckDeferredImpl(nullptr);
   // An explicit drain is also a recovery observation point: the caller is
   // typically polling after an outage, often with no further updates
@@ -1107,6 +1347,10 @@ ConstraintManager::RecheckDeferredImpl(const BudgetScope* episode) {
     }
     return false;
   };
+  // The drain below reorders or resolves queue entries either way, so any
+  // in-flight episode's speculation (which captured the queue at its
+  // admission) is invalidated wholesale.
+  if (!deferred_.empty() && any_reachable()) ++deferred_epoch_;
   bool progress = true;
   while (progress && !deferred_.empty() && any_reachable()) {
     progress = false;
@@ -1197,6 +1441,7 @@ ConstraintManager::RecheckDeferredImpl(const BudgetScope* episode) {
         if (EffectPresent(res.check.update, site_.db())) {
           CCPI_RETURN_IF_ERROR(
               InverseOf(res.check.update).ApplyTo(&site_.db()));
+          LogCommitWrite(res.check.update.pred);
           res.rolled_back = true;
         }
       } else {
@@ -1212,6 +1457,9 @@ ConstraintManager::RecheckDeferredImpl(const BudgetScope* episode) {
 
 Result<ConstraintManager::TransactionResult> ConstraintManager::ApplyTransaction(
     const std::vector<Update>& updates) {
+  // Transactions are serial by definition; retire in-flight episodes so
+  // first_sequence below really is the first sequence this call draws.
+  DrainInflightInternal();
   TransactionResult result;
   uint64_t first_sequence = update_sequence_;
   // Remember which updates actually change state, for exact rollback.
@@ -1230,9 +1478,15 @@ Result<ConstraintManager::TransactionResult> ConstraintManager::ApplyTransaction
       // enqueued (their updates no longer exist).
       for (auto it = applied.rbegin(); it != applied.rend(); ++it) {
         CCPI_RETURN_IF_ERROR(InverseOf(*it).ApplyTo(&site_.db()));
+        LogCommitWrite(it->pred);
       }
       for (auto it = deferred_.begin(); it != deferred_.end();) {
-        it = it->sequence >= first_sequence ? deferred_.erase(it) : it + 1;
+        if (it->sequence >= first_sequence) {
+          it = deferred_.erase(it);
+          ++deferred_epoch_;
+        } else {
+          ++it;
+        }
       }
       result.committed = false;
       return result;
@@ -1241,6 +1495,204 @@ Result<ConstraintManager::TransactionResult> ConstraintManager::ApplyTransaction
   }
   result.committed = true;
   return result;
+}
+
+// ---------------------------------------------------------------------------
+// Episode scheduler: ApplyUpdateAsync admissions, speculative phase 1, and
+// the serialized commit map. All scheduler state is owned by the admitting
+// thread; speculation tasks touch only their own Episode (plus internally
+// thread-safe shared components) and publish through the done/cv handshake.
+
+void ConstraintManager::ApplyUpdateAsync(const Update& u) {
+  // Budget-armed managers never pipeline: wall-clock deadlines are
+  // admission-order sensitive, so speculation could change which checks a
+  // deadline sheds.
+  const size_t depth = budget_armed_ ? 1 : pipeline_.depth;
+  if (depth <= 1) {
+    // Degenerate pipeline: exactly ApplyUpdate, result parked for Drain.
+    pending_results_.push_back(RunEpisode(u, nullptr));
+    return;
+  }
+  // Full pipeline: retire the oldest episode through the commit map to
+  // make room before admitting.
+  while (inflight_.size() >= depth) CommitHeadToPending();
+
+  auto e = std::make_unique<Episode>();
+  e->update = u;
+  // Numbered at admission: admission order == commit order == the serial
+  // order, so sequences match depth-1 execution exactly.
+  e->sequence = update_sequence_++;
+  e->deferred_epoch = deferred_epoch_;
+  e->write_mark = commit_writes_.size();
+  ctr_pipe_admitted_->Add(1);
+  if (serial_fallback_remaining_ > 0) {
+    // Serial fallback window after sustained conflicts: admit without
+    // speculating; the commit turn runs the episode cold.
+    --serial_fallback_remaining_;
+    e->speculated = false;
+    e->done = true;
+  } else {
+    e->speculated = true;
+    // The MVCC admission snapshot: a copy-on-write Database copy —
+    // O(#relations) shared_ptr bumps, no tuple copying.
+    e->snapshot = site_.db();
+    e->deferred_snapshot = deferred_;
+  }
+  Episode* raw = e.get();
+  inflight_.push_back(std::move(e));
+  gauge_pipe_in_flight_->Set(static_cast<int64_t>(inflight_.size()));
+  if (raw->speculated) SpeculateEpisode(raw);
+}
+
+std::vector<Result<std::vector<CheckReport>>> ConstraintManager::Drain() {
+  DrainInflightInternal();
+  std::vector<Result<std::vector<CheckReport>>> out;
+  out.swap(pending_results_);
+  return out;
+}
+
+void ConstraintManager::SpeculateEpisode(Episode* e) {
+  pool_->Submit([this, e]() {
+    try {
+      SpeculatePhase1(e);
+    } catch (...) {
+      // Never expected (the checking code reports through Status); a
+      // stray exception just downgrades the episode to a cold run.
+      e->speculated = false;
+    }
+    {
+      std::lock_guard<std::mutex> lock(e->mu);
+      e->done = true;
+    }
+    e->cv.notify_all();
+  });
+}
+
+void ConstraintManager::SpeculatePhase1(Episode* e) {
+  const Update& u = e->update;
+  BufferingObserver buffer;
+  const CheckContext ctx{&e->snapshot, &buffer, &e->deferred_snapshot};
+  e->noop = (u.kind == Update::Kind::kInsert &&
+             e->snapshot.Contains(u.pred, u.tuple)) ||
+            (u.kind == Update::Kind::kDelete &&
+             !e->snapshot.Contains(u.pred, u.tuple));
+
+  std::optional<UpdateSignature> plan_sig;
+  if (plan_cache_.enabled && !e->noop) {
+    plan_sig = MakeUpdateSignature(u, plan_constants_);
+  }
+  const UpdateSignature* sig = plan_sig.has_value() ? &*plan_sig : nullptr;
+
+  // Phase 1 against the snapshot, sequentially on this worker: the
+  // parallelism of the pipeline is across episodes, not within one.
+  e->reports.resize(constraints_.size());
+  e->check_status.resize(constraints_.size());
+  bool all_ok = true;
+  bool violated = false;
+  for (size_t i = 0; i < constraints_.size(); ++i) {
+    Registered& r = constraints_[i];
+    if (r.subsumed) {
+      e->reports[i] = CheckReport{r.name, Outcome::kHolds, Tier::kSubsumed};
+      continue;
+    }
+    if (e->noop) {
+      e->reports[i] = CheckReport{r.name, Outcome::kHolds, Tier::kUnaffected};
+      continue;
+    }
+    Result<CheckReport> report = CheckOne(&r, u, sig, ctx);
+    if (!report.ok()) {
+      e->check_status[i] = report.status();
+      e->reports[i].tier = Tier::kFullCheck;  // never read; keep defined
+      all_ok = false;
+      continue;
+    }
+    violated = violated || report->outcome == Outcome::kViolated;
+    e->reports[i] = std::move(*report);
+  }
+
+  // The validation read set. Tier 1 is db-free and tier 2 reads only the
+  // updated local relation, so in practice this is {u.pred}; recording
+  // the buffered reads keeps it correct by construction either way.
+  e->read_preds.insert(u.pred);
+  for (const auto& [pred, count] : buffer.reads) e->read_preds.insert(pred);
+  e->buffered_reads = std::move(buffer.reads);
+
+  // Staged remote prefetch: pay the tier-3 worklist's simulated round
+  // trips NOW, on this worker, where they overlap other episodes' stages —
+  // the latency-hiding that makes the pipeline beat depth 1 in wall-clock.
+  // Only where the serial path would itself batch-prefetch (cache on, no
+  // injector, breaker closed; single-site — the multi-site batcher has its
+  // own coalescing) and never under budgets (staged commits bypass budget
+  // scopes; budget-armed managers do not pipeline at all). The updated
+  // relation itself is skipped: the commit-time tentative apply re-stamps
+  // its version, so a staged fetch of it could never commit.
+  if (all_ok && !violated && !e->noop && site_.sites() == 1 &&
+      site_.remote_cache_enabled() && !site_.any_fault_injector() &&
+      breakers_[0]->state() == CircuitState::kClosed) {
+    std::set<std::string> preds;
+    for (size_t i = 0; i < constraints_.size(); ++i) {
+      if (!constraints_[i].subsumed && e->check_status[i].ok() &&
+          e->reports[i].tier == Tier::kFullCheck) {
+        preds.insert(constraints_[i].remote_edb.begin(),
+                     constraints_[i].remote_edb.end());
+      }
+    }
+    for (const std::string& pred : preds) {
+      if (pred == u.pred) continue;
+      e->staged.push_back(site_.StageRemoteFetch(pred, e->snapshot));
+    }
+  }
+}
+
+void ConstraintManager::CommitHeadToPending() {
+  if (inflight_.empty()) return;
+  Episode* e = inflight_.front().get();
+  {
+    // Wait for the speculation to publish (immediate for unspeculated
+    // admissions). The wait is the pipeline's only synchronization point.
+    obs::Stopwatch sw;
+    std::unique_lock<std::mutex> lock(e->mu);
+    e->cv.wait(lock, [e]() { return e->done; });
+    sw.RecordTo(hist_pipe_commit_wait_);
+  }
+  pending_results_.push_back(RunEpisode(e->update, e));
+  inflight_.pop_front();
+  // The write log only exists to validate in-flight speculation; with
+  // nothing in flight it restarts empty (and write marks restart at 0).
+  if (inflight_.empty()) commit_writes_.clear();
+  gauge_pipe_in_flight_->Set(static_cast<int64_t>(inflight_.size()));
+}
+
+void ConstraintManager::DrainInflightInternal() {
+  while (!inflight_.empty()) CommitHeadToPending();
+}
+
+void ConstraintManager::AbandonInflight() {
+  // Destructor path: wait for speculation tasks (they touch this
+  // manager's members) but commit nothing — uncommitted episodes are
+  // discarded, never applied.
+  for (std::unique_ptr<Episode>& ep : inflight_) {
+    std::unique_lock<std::mutex> lock(ep->mu);
+    ep->cv.wait(lock, [&ep]() { return ep->done; });
+  }
+  inflight_.clear();
+  commit_writes_.clear();
+}
+
+bool ConstraintManager::SpecStillValid(const Episode& e) const {
+  // The queue changed shape since admission: tier 2's verified-data
+  // adjustment and the moot-erase pass saw a queue that no longer exists.
+  if (e.deferred_epoch != deferred_epoch_) return false;
+  // Read-write conflict: an intervening commit wrote a relation this
+  // episode's phase 1 read.
+  for (size_t i = e.write_mark; i < commit_writes_.size(); ++i) {
+    if (e.read_preds.count(commit_writes_[i]) > 0) return false;
+  }
+  return true;
+}
+
+void ConstraintManager::LogCommitWrite(const std::string& pred) {
+  if (!inflight_.empty()) commit_writes_.push_back(pred);
 }
 
 }  // namespace ccpi

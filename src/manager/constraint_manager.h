@@ -2,9 +2,11 @@
 #define CCPI_MANAGER_CONSTRAINT_MANAGER_H_
 
 #include <array>
+#include <condition_variable>
 #include <deque>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -98,6 +100,35 @@ struct RemoteCacheConfig {
 /// the switch to measure the cold-compile baseline.
 struct PlanCacheConfig {
   bool enabled = true;
+};
+
+/// The pipelined episode scheduler (see docs/concurrency.md). With depth
+/// D > 1, ApplyUpdateAsync admits up to D update episodes at once: each
+/// admission takes an immutable MVCC snapshot of the database (a cheap
+/// copy-on-write Database copy) and speculates the episode's read-only
+/// phases — the tier-0/1 signature checks, the tier-2 local tests, and
+/// the remote prefetch — on the thread pool against that snapshot, while
+/// commits retire strictly in admission order through a serialized commit
+/// map. A commit first validates its speculation against the writes of
+/// intervening commits (read-set vs write-log) and re-runs the episode's
+/// phase 1 inline on the live database when conflicted; because commits
+/// are serialized, that single retry can never be invalidated again.
+/// Sustained conflicts trip a serial fallback: admission stops speculating
+/// for a window of episodes, then probes again. Reports, ManagerStats,
+/// the deferred queue, breaker admissions, and fault-schedule draws are
+/// byte-identical to depth-1 execution per seed at any depth and thread
+/// count — everything order-sensitive (tier 3, breakers, injector draws,
+/// budgets, the deferred queue) stays in the serialized commit phase.
+struct PipelineConfig {
+  /// Maximum episodes in flight; 1 (the default) disables pipelining and
+  /// is byte-for-byte the pre-pipeline manager. Budget-armed managers
+  /// always run at depth 1: wall-clock deadlines are admission-order
+  /// sensitive, so speculation is never attempted under budgets.
+  size_t depth = 1;
+  /// Consecutive conflicted commits that trip the serial fallback
+  /// (admission stops speculating for `depth` episodes, then probes
+  /// speculation again).
+  size_t max_conflict_streak = 4;
 };
 
 /// What to do when a new deferred re-check would push the queue past
@@ -262,36 +293,29 @@ struct DeferredResolution {
 /// violation.
 class ConstraintManager {
  public:
+  // Defined in the .cc: the body (and unwind paths) needs the complete
+  // Episode type behind inflight_.
   ConstraintManager(std::set<std::string> local_preds, CostModel cost_model,
                     ResilienceConfig resilience = {},
                     ParallelConfig parallel = {},
                     RemoteCacheConfig remote_cache = {},
                     BudgetConfig budget = {}, TopologyConfig topology = {},
-                    PlanCacheConfig plan_cache = {})
-      : site_(std::move(local_preds), std::move(topology)),
-        cost_model_(cost_model),
-        resilience_(resilience),
-        parallel_(parallel),
-        remote_cache_(remote_cache),
-        plan_cache_(plan_cache),
-        budget_(budget),
-        budget_armed_(budget.armed()),
-        retry_rng_(resilience.retry_seed),
-        pool_(std::make_unique<ThreadPool>(parallel.threads)) {
-    // One independent fault domain per site: each gets its own breaker
-    // (same config) and its own recovery bookkeeping.
-    breakers_.reserve(site_.sites());
-    for (size_t s = 0; s < site_.sites(); ++s) {
-      breakers_.push_back(std::make_unique<CircuitBreaker>(resilience.breaker));
-    }
-    site_was_dark_.assign(site_.sites(), false);
-    site_.EnableRemoteCache(remote_cache.enabled);
-    InitObservability();
-  }
+                    PlanCacheConfig plan_cache = {},
+                    PipelineConfig pipeline = {});
+
+  /// Drains any in-flight pipelined episodes (uncommitted speculation is
+  /// discarded, never applied) before tearing down the thread pool.
+  ~ConstraintManager();
 
   /// Registers a constraint. If the already-registered constraints subsume
   /// it, it is recorded as redundant (never checked) and `subsumed` is set
   /// in the returned flag.
+  ///
+  /// Drain-first precondition: must not be called with episodes in flight
+  /// (registration changes the active set every speculation quantifies
+  /// over). The manager drains the pipeline itself on entry, so callers
+  /// mixing ApplyUpdateAsync with AddConstraint observe the registration
+  /// strictly after every admitted episode.
   Result<bool> AddConstraint(const std::string& name, Program constraint);
 
   SiteDatabase& site() { return site_; }
@@ -301,7 +325,34 @@ class ConstraintManager {
   /// violation was found, and reports the verdict per constraint. A report
   /// with outcome kDeferred means the remote site could not be reached;
   /// whether the update was applied is governed by the DeferredPolicy.
+  ///
+  /// Drains any in-flight pipelined episodes first, so the synchronous and
+  /// asynchronous entry points interleave safely (the serial order is
+  /// admission order either way).
   Result<std::vector<CheckReport>> ApplyUpdate(const Update& u);
+
+  /// Admits `u` into the episode pipeline. With PipelineConfig::depth 1
+  /// (or a budget-armed manager) this is ApplyUpdate with the result
+  /// parked for Drain(). With depth D > 1, up to D episodes are in flight
+  /// at once: admission snapshots the database and speculates the
+  /// episode's read-only phases on the thread pool, and when the pipeline
+  /// is full the oldest episode is retired through the serialized commit
+  /// map (validating its speculation against intervening writes) to make
+  /// room. Results are produced in admission order and collected by
+  /// Drain(). See PipelineConfig for the equivalence guarantee.
+  void ApplyUpdateAsync(const Update& u);
+
+  /// Retires every in-flight episode in admission order and returns the
+  /// accumulated per-update results (one entry per ApplyUpdateAsync call
+  /// since the last Drain, in admission order). Idempotent; an empty
+  /// pipeline yields an empty vector.
+  std::vector<Result<std::vector<CheckReport>>> Drain();
+
+  /// Zeroes every counter behind stats() (histograms/gauges and the
+  /// site's cumulative AccessStats cost are untouched). Drains the
+  /// pipeline first: resetting mid-episode would split one episode's
+  /// counts across the boundary.
+  void ResetStats();
 
   /// The outcome of an atomic multi-update transaction.
   struct TransactionResult {
@@ -315,7 +366,8 @@ class ConstraintManager {
   /// against the constraints; if any would cause a violation (or is
   /// refused by DeferredPolicy::kReject during an outage), every
   /// previously applied update of the sequence is rolled back and the
-  /// database is left exactly as before the call.
+  /// database is left exactly as before the call. Drains any in-flight
+  /// pipelined episodes first (transactions are serial by definition).
   Result<TransactionResult> ApplyTransaction(const std::vector<Update>& updates);
 
   /// Attempts to re-verify every queued deferred check by full evaluation
@@ -325,6 +377,8 @@ class ConstraintManager {
   /// sites behind it; draining makes bounded passes over the queue until a
   /// pass resolves nothing. Returns the entries decided by this call; late
   /// violations are compensated by rolling the offending update back.
+  /// Drains any in-flight pipelined episodes first (the queue is
+  /// order-sensitive shared state).
   Result<std::vector<DeferredResolution>> RecheckDeferred();
 
   /// Pending re-verifications, oldest first.
@@ -350,6 +404,10 @@ class ConstraintManager {
   const PlanCacheConfig& plan_cache() const { return plan_cache_; }
   /// The budget configuration this manager was built with.
   const BudgetConfig& budget() const { return budget_; }
+  /// The pipeline configuration this manager was built with.
+  const PipelineConfig& pipeline() const { return pipeline_; }
+  /// Episodes currently admitted but not yet retired.
+  size_t in_flight() const { return inflight_.size(); }
   /// Checker lanes actually available (>= 1; the caller is one).
   size_t check_threads() const { return pool_->thread_count(); }
 
@@ -412,16 +470,35 @@ class ConstraintManager {
 
   static size_t TierIndex(Tier tier) { return static_cast<size_t>(tier); }
 
+  /// One pipelined update episode: the admission snapshot, the buffered
+  /// speculation results, and the retire handshake. Defined in the .cc.
+  struct Episode;
+
+  /// Where a check reads from and who observes the reads: the live
+  /// database + the site observer + the live deferred queue on the serial
+  /// path, or an episode's admission snapshot + a buffering observer + the
+  /// queue as-of-admission on the speculative path. Defined in the .cc.
+  struct CheckContext;
+
   /// CheckOne wraps CheckOneImpl with a span and the per-tier latency
   /// histogram; ApplyUpdate likewise wraps ApplyUpdateImpl. `sig` is the
   /// episode's update signature — the per-pattern plan-cache key component
   /// — or null when the plan cache is off (every cached path is then
-  /// bypassed and the tiers run their original cold code).
+  /// bypassed and the tiers run their original cold code). `ctx` routes
+  /// every tier-1/2 read (see CheckContext).
   Result<CheckReport> CheckOne(Registered* r, const Update& u,
-                               const UpdateSignature* sig);
+                               const UpdateSignature* sig,
+                               const CheckContext& ctx);
   Result<CheckReport> CheckOneImpl(Registered* r, const Update& u,
-                                   const UpdateSignature* sig);
-  Result<std::vector<CheckReport>> ApplyUpdateImpl(const Update& u);
+                                   const UpdateSignature* sig,
+                                   const CheckContext& ctx);
+  /// `spec` is the episode whose speculation to reuse (commit path), or
+  /// null for a fully serial run. When non-null and the speculation is
+  /// still valid against intervening commits, phase 1 replays the buffered
+  /// reads and reports instead of re-running; when invalidated, phase 1
+  /// re-runs inline on the live database (counted as a conflict retry).
+  Result<std::vector<CheckReport>> ApplyUpdateImpl(const Update& u,
+                                                   Episode* spec);
   /// RecheckDeferred body; `episode` (may be null) is the enclosing
   /// ApplyUpdate's budget scope, folded into each re-check's envelope.
   Result<std::vector<DeferredResolution>> RecheckDeferredImpl(
@@ -453,9 +530,43 @@ class ConstraintManager {
   /// Tier-2 evaluation through a cached RA plan template: binds the
   /// update's tuple into the template and evaluates (or replays a memoized
   /// same-version result). Mirrors RaLocalTestOnInsert's observable
-  /// behavior exactly — see docs/plan_cache.md.
+  /// behavior exactly — see docs/plan_cache.md. Reads through `ctx`; the
+  /// version-keyed memo is shared across episodes (relation versions name
+  /// content, so a snapshot hit is exactly a live hit).
   Result<Outcome> EvalPlannedRa(const RaPlanTemplate& tpl, const Update& u,
-                                const std::string& plan_key);
+                                const std::string& plan_key,
+                                const CheckContext& ctx);
+
+  /// --- Episode scheduler (PipelineConfig; all private state below is
+  /// --- touched only by the admitting thread except Episode internals).
+
+  /// The ApplyUpdate wrapper body (span, latency histogram, queue gauge)
+  /// around ApplyUpdateImpl — shared by the synchronous path and the
+  /// commit map so a committed pipelined episode emits the identical
+  /// per-episode instrumentation.
+  Result<std::vector<CheckReport>> RunEpisode(const Update& u, Episode* spec);
+  /// Launches the episode's speculative phase 1 on the thread pool.
+  void SpeculateEpisode(Episode* e);
+  /// The speculation body: phase 1 against the admission snapshot with
+  /// buffered reads, plus the staged remote prefetch. Runs on a pool
+  /// worker (or inline on sequential pools).
+  void SpeculatePhase1(Episode* e);
+  /// Retires inflight_.front() through the commit map: waits for its
+  /// speculation, validates it, runs ApplyUpdateImpl (reusing or
+  /// discarding the speculation), and appends the result to
+  /// pending_results_.
+  void CommitHeadToPending();
+  /// Retires every in-flight episode in admission order.
+  void DrainInflightInternal();
+  /// Waits for in-flight speculations and discards them uncommitted
+  /// (destructor path only).
+  void AbandonInflight();
+  /// Whether `e`'s speculation survives the writes committed since its
+  /// admission (read-set vs commit_writes_[mark..], deferred-queue epoch).
+  bool SpecStillValid(const Episode& e) const;
+  /// Records `pred` as written by a committed episode; no-op while the
+  /// pipeline is empty (the log exists only to validate speculation).
+  void LogCommitWrite(const std::string& pred);
 
   /// Whether every breaker in `gsites` would currently admit a request
   /// (pure gate: claims nothing, transitions nothing).
@@ -512,6 +623,30 @@ class ConstraintManager {
   bool plan_sig_safe_ = true;
   std::deque<DeferredCheck> deferred_;
   uint64_t update_sequence_ = 0;
+
+  PipelineConfig pipeline_;
+  /// Admitted, not yet retired, in admission order (== commit order).
+  std::deque<std::unique_ptr<Episode>> inflight_;
+  /// Results of retired episodes since the last Drain, admission order.
+  std::vector<Result<std::vector<CheckReport>>> pending_results_;
+  /// Predicates written by committed episodes while the pipeline was
+  /// non-empty; an episode validates against the suffix from its
+  /// admission mark. Cleared whenever the pipeline empties.
+  std::vector<std::string> commit_writes_;
+  /// Bumped on every structural mutation of deferred_; an episode whose
+  /// admission epoch is stale speculated against a queue that no longer
+  /// exists and must re-run.
+  uint64_t deferred_epoch_ = 0;
+  /// Consecutive conflicted commits; >= max_conflict_streak trips the
+  /// serial fallback below. Reset by any clean commit.
+  size_t conflict_streak_ = 0;
+  /// Episodes left to admit without speculation before probing again.
+  size_t serial_fallback_remaining_ = 0;
+  /// Guards Registered::tier2 (the only lazily-built shared state the
+  /// speculative phase 1 can write): concurrent episodes may compile the
+  /// same artifacts; first insert wins, identical by construction.
+  std::mutex tier2_mu_;
+
   std::unique_ptr<ThreadPool> pool_;
 
   /// Source of truth for all aggregate statistics. Per-manager, so
@@ -552,6 +687,17 @@ class ConstraintManager {
   obs::Histogram* hist_apply_ = nullptr;
   obs::Histogram* hist_remote_eval_ = nullptr;
   obs::Gauge* gauge_deferred_len_ = nullptr;
+  /// Pipeline instrumentation, resolved only when depth > 1 (every
+  /// increment site is gated on a pipelined path, so the handles are
+  /// never dereferenced at depth 1 — the depth-1 metrics catalog is
+  /// byte-identical to the pre-pipeline manager). NOT part of stats().
+  obs::Counter* ctr_pipe_admitted_ = nullptr;
+  obs::Counter* ctr_pipe_committed_ = nullptr;
+  obs::Counter* ctr_pipe_conflicts_ = nullptr;
+  obs::Counter* ctr_pipe_retries_ = nullptr;
+  obs::Counter* ctr_pipe_unspeculated_ = nullptr;
+  obs::Gauge* gauge_pipe_in_flight_ = nullptr;
+  obs::Histogram* hist_pipe_commit_wait_ = nullptr;
 };
 
 }  // namespace ccpi

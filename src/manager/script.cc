@@ -133,6 +133,15 @@ Result<Script> ParseScript(std::string_view text) {
             "line " + std::to_string(line_number) +
             ": plan_cache wants on or off, got \"" + rest + "\"");
       }
+    } else if (keyword == "pipeline") {
+      CCPI_RETURN_IF_ERROR(flush_constraint());
+      uint64_t n = 0;
+      if (!ParseUint64(rest, &n) || n == 0) {
+        return Status::InvalidArgument(
+            "line " + std::to_string(line_number) +
+            ": pipeline wants a positive depth, got \"" + rest + "\"");
+      }
+      script.pipeline_depth = static_cast<size_t>(n);
     } else if (keyword == "constraint") {
       CCPI_RETURN_IF_ERROR(flush_constraint());
       if (rest.empty()) {
@@ -240,6 +249,15 @@ Status ApplyScriptFlag(std::string_view arg, ScriptOptions* options,
       return BadFlag("plan-cache", "on or off", *v);
     }
     options->plan_cache_from_flags = true;
+    return Status::OK();
+  }
+  if (auto v = FlagValue(arg, "pipeline-depth")) {
+    uint64_t n = 0;
+    if (!ParseUint64(*v, &n) || n == 0) {
+      return BadFlag("pipeline-depth", "a positive integer", *v);
+    }
+    options->pipeline.depth = static_cast<size_t>(n);
+    options->pipeline_from_flags = true;
     return Status::OK();
   }
   if (auto v = FlagValue(arg, "fault-rate")) {
@@ -499,9 +517,17 @@ Result<ScriptReport> RunScript(const Script& script,
     plan_cache.enabled = *script.plan_cache;
   }
 
+  // Effective pipeline depth: an explicit --pipeline-depth flag wins over
+  // the script's own `pipeline` directive, which wins over the default
+  // (1 = serial).
+  PipelineConfig pipeline = options.pipeline;
+  if (!options.pipeline_from_flags && script.pipeline_depth.has_value()) {
+    pipeline.depth = *script.pipeline_depth;
+  }
+
   ConstraintManager mgr(script.local_preds, costs, options.resilience,
                         options.parallel, options.remote_cache,
-                        options.budget, topology, plan_cache);
+                        options.budget, topology, plan_cache, pipeline);
   // One injector per site, each with its own schedule. Site 0 inherits
   // the base config (and seed) verbatim — a 1-site faulted run is
   // bit-identical to the pre-topology tool — while site s>0 derives
@@ -545,9 +571,8 @@ Result<ScriptReport> RunScript(const Script& script,
   bool reject_on_defer =
       options.resilience.on_unreachable == DeferredPolicy::kReject;
   ScriptReport report;
-  for (const Update& u : script.updates) {
-    CCPI_ASSIGN_OR_RETURN(std::vector<CheckReport> checks,
-                          mgr.ApplyUpdate(u));
+  auto log_update = [&](const Update& u,
+                        const std::vector<CheckReport>& checks) {
     bool rejected = false;
     bool deferred = false;
     bool overflow = false;
@@ -578,6 +603,25 @@ Result<ScriptReport> RunScript(const Script& script,
       ++report.updates_rejected;
     } else {
       ++report.updates_applied;
+    }
+  };
+  if (pipeline.depth > 1) {
+    // Pipelined drive: admit the whole stream, then read results back in
+    // admission order. Commits are serialized inside the manager, so the
+    // verb lines below are byte-identical to the serial loop; the first
+    // errored result aborts the run exactly where the serial
+    // ASSIGN_OR_RETURN would have.
+    for (const Update& u : script.updates) mgr.ApplyUpdateAsync(u);
+    std::vector<Result<std::vector<CheckReport>>> results = mgr.Drain();
+    for (size_t i = 0; i < results.size(); ++i) {
+      CCPI_RETURN_IF_ERROR(results[i].status());
+      log_update(script.updates[i], *results[i]);
+    }
+  } else {
+    for (const Update& u : script.updates) {
+      CCPI_ASSIGN_OR_RETURN(std::vector<CheckReport> checks,
+                            mgr.ApplyUpdate(u));
+      log_update(u, checks);
     }
   }
 

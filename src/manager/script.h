@@ -36,6 +36,7 @@ namespace ccpi {
 ///     site 1 dept assign            # pin remote preds to a site; unpinned
 ///                                   # ones hash to a site deterministically
 ///     plan_cache off                # compiled-plan cache (default on)
+///     pipeline 4                    # episode pipeline depth (default 1)
 ///
 /// Rules may span lines exactly as in ParseProgram (break after `:-`, `&`
 /// or `,`).
@@ -50,6 +51,10 @@ struct Script {
   /// `plan_cache on|off` directive; unset means the default (on). The
   /// --plan-cache flag overrides it (flags win).
   std::optional<bool> plan_cache;
+  /// `pipeline N` directive: episode pipeline depth; unset means the
+  /// default (1 = serial). The --pipeline-depth flag overrides it
+  /// (flags win).
+  std::optional<size_t> pipeline_depth;
 };
 
 Result<Script> ParseScript(std::string_view text);
@@ -95,6 +100,14 @@ struct ScriptOptions {
   /// Whether --plan-cache was given explicitly; when set it overrides the
   /// script's own `plan_cache` directive (flags win, like topology).
   bool plan_cache_from_flags = false;
+  /// Episode pipeline (ccpi_check --pipeline-depth). Depth 1 (the
+  /// default) is the serial checker; depth N>1 overlaps speculative
+  /// check phases while commits stay serialized in admission order, so
+  /// the per-update log is byte-identical at any depth.
+  PipelineConfig pipeline;
+  /// Whether --pipeline-depth was given explicitly; when set it overrides
+  /// the script's own `pipeline` directive (flags win, like plan_cache).
+  bool pipeline_from_flags = false;
   /// Execution budgets and overload control (ccpi_check --deadline-ms,
   /// --max-fixpoint-rounds, --max-derived-tuples, --deferred-queue-cap,
   /// --overflow-policy). Off by default: an unbudgeted run is bit-identical
@@ -172,7 +185,8 @@ Result<ScriptReport> RunScript(const Script& script,
 /// Applies one `ccpi_check`-style command-line flag to `options`.
 ///
 /// Recognizes every flag that configures the run itself — --threads=N,
-/// --remote-cache=on|off, --plan-cache=on|off, --fault-rate=P,
+/// --remote-cache=on|off, --plan-cache=on|off, --pipeline-depth=N,
+/// --fault-rate=P,
 /// --fault-timeout-rate=P,
 /// --fault-seed=N, --fault-outage=A:B, --fault-reject, --stats,
 /// --sites=N, --placement=p:0,q:1, --site-fault-rate=S:P,

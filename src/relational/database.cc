@@ -1,6 +1,7 @@
 #include "relational/database.h"
 
 #include <mutex>
+#include <utility>
 
 namespace ccpi {
 
@@ -21,42 +22,57 @@ const Relation& EmptyRelation(size_t arity) {
 
 }  // namespace
 
+Relation* Database::Own(std::shared_ptr<Relation>* slot) {
+  // Copy-on-write: a relation still shared with a snapshot is cloned
+  // before the write, so the snapshot keeps the pre-write contents (and
+  // version stamp) it pinned. The use_count check is race-free because
+  // copies of this handle are taken on the mutating thread: a count of 1
+  // here proves no snapshot can appear concurrently, and a stale count > 1
+  // (another handle released just now) merely clones once more.
+  if (slot->use_count() > 1) {
+    *slot = std::make_shared<Relation>(**slot);
+  }
+  return slot->get();
+}
+
 Status Database::Insert(const std::string& pred, Tuple t) {
   auto it = rels_.find(pred);
   if (it == rels_.end()) {
-    it = rels_.emplace(pred, Relation(t.size())).first;
-  } else if (it->second.arity() != t.size()) {
+    it = rels_.emplace(pred, std::make_shared<Relation>(t.size())).first;
+  } else if (it->second->arity() != t.size()) {
     return Status::InvalidArgument("arity mismatch inserting into " + pred);
   }
-  it->second.Insert(std::move(t));
+  Own(&it->second)->Insert(std::move(t));
   return Status::OK();
 }
 
 Status Database::Erase(const std::string& pred, const Tuple& t) {
   auto it = rels_.find(pred);
   if (it == rels_.end()) return Status::OK();
-  if (it->second.arity() != t.size()) {
+  if (it->second->arity() != t.size()) {
     return Status::InvalidArgument("arity mismatch erasing from " + pred);
   }
-  it->second.Erase(t);
+  Own(&it->second)->Erase(t);
   return Status::OK();
 }
 
 bool Database::Contains(const std::string& pred, const Tuple& t) const {
   auto it = rels_.find(pred);
-  return it != rels_.end() && it->second.Contains(t);
+  return it != rels_.end() && it->second->Contains(t);
 }
 
 const Relation& Database::Get(const std::string& pred, size_t arity) const {
   auto it = rels_.find(pred);
-  if (it != rels_.end()) return it->second;
+  if (it != rels_.end()) return *it->second;
   return EmptyRelation(arity);
 }
 
 Relation* Database::GetMutable(const std::string& pred, size_t arity) {
   auto it = rels_.find(pred);
-  if (it == rels_.end()) it = rels_.emplace(pred, Relation(arity)).first;
-  return &it->second;
+  if (it == rels_.end()) {
+    it = rels_.emplace(pred, std::make_shared<Relation>(arity)).first;
+  }
+  return Own(&it->second);
 }
 
 std::vector<std::string> Database::PredicateNames() const {
@@ -68,17 +84,17 @@ std::vector<std::string> Database::PredicateNames() const {
 
 size_t Database::TotalTuples() const {
   size_t n = 0;
-  for (const auto& [name, rel] : rels_) n += rel.size();
+  for (const auto& [name, rel] : rels_) n += rel->size();
   return n;
 }
 
 void Database::FreezeIndexes() const {
-  for (const auto& [name, rel] : rels_) rel.FreezeIndexes();
+  for (const auto& [name, rel] : rels_) rel->FreezeIndexes();
 }
 
 std::string Database::ToString() const {
   std::string out;
-  for (const auto& [name, rel] : rels_) out += rel.ToString(name);
+  for (const auto& [name, rel] : rels_) out += rel->ToString(name);
   return out;
 }
 

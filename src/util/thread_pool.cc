@@ -36,6 +36,35 @@ ThreadPool::~ThreadPool() {
   }
   work_ready_.notify_all();
   for (std::thread& w : workers_) w.join();
+  // No workers (threads <= 1): Submit ran everything inline, but drain
+  // defensively in case shutdown raced a queued task in a 0-worker pool.
+  while (!tasks_.empty()) {
+    RunTask(tasks_.front());
+    tasks_.pop_front();
+  }
+}
+
+void ThreadPool::RunTask(const std::function<void()>& task) {
+  try {
+    task();
+  } catch (...) {
+    // Tasks communicate through their own captured state; an escaped
+    // exception has nowhere sound to surface, so it is dropped rather
+    // than taking the worker (and the process) down.
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    // Sequential configuration: run inline, identical to a plain call.
+    RunTask(task);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push_back(std::move(task));
+  }
+  work_ready_.notify_one();
 }
 
 void ThreadPool::Drain(Batch* batch) {
@@ -63,9 +92,24 @@ void ThreadPool::WorkerLoop() {
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_ready_.wait(lock, [&]() {
-        return shutdown_ || (batch_ != nullptr && generation_ != seen);
+        return shutdown_ || (batch_ != nullptr && generation_ != seen) ||
+               !tasks_.empty();
       });
-      if (shutdown_) return;
+      // Batches first: a blocking ParallelFor caller is waiting on them,
+      // while Submit callers are not waiting on anyone.
+      if (batch_ == nullptr || generation_ == seen) {
+        if (!tasks_.empty()) {
+          std::function<void()> task = std::move(tasks_.front());
+          tasks_.pop_front();
+          lock.unlock();
+          RunTask(task);
+          continue;
+        }
+        // Shutdown only once the task queue is drained, so every
+        // submitted task runs exactly once.
+        if (shutdown_) return;
+        continue;
+      }
       batch = batch_;
       seen = generation_;
     }

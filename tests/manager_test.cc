@@ -154,6 +154,96 @@ TEST(ManagerTest, AccessAccountingSeparatesSites) {
   EXPECT_GT(mgr.stats().access.local_tuples, after_seed.local_tuples);
 }
 
+// --- Episode pipeline scheduler --------------------------------------------
+
+/// A depth-4 pipelined manager over one local and one remote predicate.
+ConstraintManager MakePipelinedManager(size_t depth) {
+  return ConstraintManager({"l"}, CostModel{}, ResilienceConfig{},
+                           ParallelConfig{2}, RemoteCacheConfig{},
+                           BudgetConfig{}, TopologyConfig{},
+                           PlanCacheConfig{}, PipelineConfig{depth});
+}
+
+TEST(ManagerTest, AsyncDrainMatchesApplyUpdate) {
+  std::vector<Update> stream = {
+      Update::Insert("l", {V(1), V(2)}),
+      Update::Insert("r", {V(2)}),
+      Update::Insert("l", {V(5), V(3)}),  // violates ord
+      Update::Insert("l", {V(4), V(2)}),  // joins with remote r(2)
+  };
+  auto setup = [](ConstraintManager* mgr) {
+    ASSERT_TRUE(
+        mgr->AddConstraint("ord", MustParse("panic :- l(X,Y) & X > Y")).ok());
+    ASSERT_TRUE(
+        mgr->AddConstraint("join", MustParse("panic :- l(X,Y) & r(Y)")).ok());
+  };
+  ConstraintManager serial = MakePipelinedManager(1);
+  setup(&serial);
+  std::vector<std::vector<CheckReport>> expected;
+  for (const Update& u : stream) {
+    auto reports = serial.ApplyUpdate(u);
+    ASSERT_TRUE(reports.ok());
+    expected.push_back(*reports);
+  }
+
+  ConstraintManager piped = MakePipelinedManager(4);
+  setup(&piped);
+  for (const Update& u : stream) piped.ApplyUpdateAsync(u);
+  auto results = piped.Drain();
+  ASSERT_EQ(results.size(), expected.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].ok()) << results[i].status().ToString();
+    ASSERT_EQ(results[i]->size(), expected[i].size()) << "update " << i;
+    for (size_t c = 0; c < expected[i].size(); ++c) {
+      EXPECT_EQ((*results[i])[c].constraint, expected[i][c].constraint);
+      EXPECT_EQ((*results[i])[c].outcome, expected[i][c].outcome);
+      EXPECT_EQ((*results[i])[c].tier, expected[i][c].tier);
+    }
+  }
+  EXPECT_EQ(piped.site().db().ToString(), serial.site().db().ToString());
+  // Drain is destructive: a second call returns nothing new.
+  EXPECT_TRUE(piped.Drain().empty());
+}
+
+TEST(ManagerTest, AddConstraintDrainsInFlightEpisodes) {
+  ConstraintManager mgr = MakePipelinedManager(4);
+  ASSERT_TRUE(
+      mgr.AddConstraint("ord", MustParse("panic :- l(X,Y) & X > Y")).ok());
+  mgr.ApplyUpdateAsync(Update::Insert("l", {V(1), V(2)}));
+  mgr.ApplyUpdateAsync(Update::Insert("l", {V(5), V(3)}));
+  // Registering a constraint mid-stream retires every in-flight episode
+  // first (documented precondition): the new constraint only ever checks
+  // updates admitted after it, and never races a speculation.
+  ASSERT_TRUE(
+      mgr.AddConstraint("cap", MustParse("panic :- l(X,Y) & Y > 90")).ok());
+  EXPECT_EQ(mgr.in_flight(), 0u);
+  auto results = mgr.Drain();
+  ASSERT_EQ(results.size(), 2u);
+  ASSERT_TRUE(results[0].ok());
+  ASSERT_TRUE(results[1].ok());
+  EXPECT_EQ(OutcomeOf(*results[0], "ord"), Outcome::kHolds);
+  EXPECT_EQ(OutcomeOf(*results[1], "ord"), Outcome::kViolated);
+}
+
+TEST(ManagerTest, ResetStatsDrainsAndZeroesCounters) {
+  ConstraintManager mgr = MakePipelinedManager(4);
+  ASSERT_TRUE(
+      mgr.AddConstraint("ord", MustParse("panic :- l(X,Y) & X > Y")).ok());
+  mgr.ApplyUpdateAsync(Update::Insert("l", {V(5), V(3)}));
+  mgr.ResetStats();
+  // ResetStats drains first, so the in-flight episode's violation was
+  // fully booked — and then wiped with everything else.
+  EXPECT_EQ(mgr.in_flight(), 0u);
+  ManagerStats s = mgr.stats();
+  EXPECT_EQ(s.violations, 0u);
+  EXPECT_TRUE(s.resolved_by.empty());
+  // The episode's *result* survives: only statistics were reset.
+  auto results = mgr.Drain();
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_TRUE(results[0].ok());
+  EXPECT_EQ(OutcomeOf(*results[0], "ord"), Outcome::kViolated);
+}
+
 // --- Active rules (application 2) ------------------------------------------
 
 TEST(ActiveRulesTest, FiresWhenConditionBecomesTrue) {

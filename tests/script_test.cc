@@ -211,6 +211,85 @@ TEST(ScriptRunTest, PlanCacheFlagOverridesScriptDirective) {
   EXPECT_EQ(off->log_text, on->log_text);
 }
 
+// ---- pipeline directive and --pipeline-depth flag -------------------------
+
+TEST(ScriptParseTest, PipelineDirective) {
+  auto four = ParseScript("pipeline 4\nlocal l\n");
+  ASSERT_TRUE(four.ok());
+  ASSERT_TRUE(four->pipeline_depth.has_value());
+  EXPECT_EQ(*four->pipeline_depth, 4u);
+  auto unset = ParseScript("local l\n");
+  ASSERT_TRUE(unset.ok());
+  EXPECT_FALSE(unset->pipeline_depth.has_value());
+}
+
+TEST(ScriptParseTest, PipelineDirectiveRejectsBadValue) {
+  for (const char* text : {"local l\npipeline 0\n", "local l\npipeline abc\n",
+                           "local l\npipeline\n", "local l\npipeline -3\n"}) {
+    auto bad = ParseScript(text);
+    EXPECT_FALSE(bad.ok()) << text;
+    EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument) << text;
+    EXPECT_NE(bad.status().message().find("line 2"), std::string::npos)
+        << bad.status().message();
+    EXPECT_NE(bad.status().message().find("pipeline"), std::string::npos)
+        << bad.status().message();
+  }
+}
+
+TEST(ScriptRunTest, PipelinedRunMatchesSerialByteForByte) {
+  // The whole point of the serialized commit map: the report — log and
+  // summary both — is byte-identical at any pipeline depth.
+  const char* text =
+      "local l\n"
+      "constraint ord\n"
+      "panic :- l(X,Y) & X > Y\n"
+      "constraint join\n"
+      "panic :- l(X,Y) & r(Y)\n"
+      "fact r(7)\n"
+      "insert l(1, 2)\n"
+      "insert l(5, 3)\n"
+      "insert l(4, 7)\n"
+      "insert l(2, 9)\n";
+  auto script = ParseScript(text);
+  ASSERT_TRUE(script.ok());
+  ScriptOptions options;
+  options.print_stats = true;
+  auto serial = RunScript(*script, options);
+  ASSERT_TRUE(serial.ok());
+  options.pipeline.depth = 8;
+  options.pipeline_from_flags = true;
+  auto piped = RunScript(*script, options);
+  ASSERT_TRUE(piped.ok());
+  EXPECT_EQ(serial->text, piped->text);
+}
+
+TEST(ScriptRunTest, PipelineFlagOverridesScriptDirective) {
+  // The manager.pipeline.* metric family exists exactly when the
+  // *effective* depth is > 1, so the metrics dump observes which knob won.
+  const char* text =
+      "pipeline 4\n"
+      "local l\n"
+      "constraint ord\n"
+      "panic :- l(X,Y) & X > Y\n"
+      "insert l(1, 2)\n";
+  auto script = ParseScript(text);
+  ASSERT_TRUE(script.ok());
+  ScriptOptions options;
+  options.collect_metrics = true;
+  auto from_directive = RunScript(*script, options);
+  ASSERT_TRUE(from_directive.ok());
+  EXPECT_NE(from_directive->metrics_json.find("manager.pipeline.admitted"),
+            std::string::npos);
+  // An explicit --pipeline-depth=1 must win over the directive.
+  options.pipeline.depth = 1;
+  options.pipeline_from_flags = true;
+  auto from_flag = RunScript(*script, options);
+  ASSERT_TRUE(from_flag.ok());
+  EXPECT_EQ(from_flag->metrics_json.find("manager.pipeline.admitted"),
+            std::string::npos);
+  EXPECT_EQ(from_directive->log_text, from_flag->log_text);
+}
+
 // ---- ApplyScriptFlag: the strict ccpi_check flag parser -----------------
 
 /// Applies one flag expecting success, returning whether it was matched.
@@ -245,6 +324,10 @@ TEST(ScriptFlagTest, ValidFlagsApply) {
   EXPECT_TRUE(options.plan_cache_from_flags);
   EXPECT_TRUE(ApplyOk("--plan-cache=on", &options));
   EXPECT_TRUE(options.plan_cache.enabled);
+  EXPECT_FALSE(options.pipeline_from_flags);
+  EXPECT_TRUE(ApplyOk("--pipeline-depth=8", &options));
+  EXPECT_EQ(options.pipeline.depth, 8u);
+  EXPECT_TRUE(options.pipeline_from_flags);
   EXPECT_TRUE(ApplyOk("--fault-rate=0.25", &options));
   EXPECT_DOUBLE_EQ(options.faults.transient_rate, 0.25);
   EXPECT_TRUE(options.enable_faults);
@@ -281,6 +364,11 @@ TEST(ScriptFlagTest, MalformedNumericValuesAreHardErrors) {
   ExpectBadFlag("--plan-cache=bogus", "--plan-cache");
   ExpectBadFlag("--plan-cache=", "--plan-cache");
   ExpectBadFlag("--plan-cache=ON", "--plan-cache");
+  ExpectBadFlag("--pipeline-depth=bogus", "--pipeline-depth");
+  ExpectBadFlag("--pipeline-depth=0", "--pipeline-depth");
+  ExpectBadFlag("--pipeline-depth=-2", "--pipeline-depth");
+  ExpectBadFlag("--pipeline-depth=", "--pipeline-depth");
+  ExpectBadFlag("--pipeline-depth=4x", "--pipeline-depth");
 }
 
 TEST(ScriptFlagTest, MalformedValueLeavesOptionsUntouched) {

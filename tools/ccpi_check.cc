@@ -49,6 +49,11 @@ constexpr const char kUsage[] =
     "                          semantically invisible — reports and stats\n"
     "                          are byte-identical either way); overrides\n"
     "                          the script's plan_cache directive\n"
+    "  --pipeline-depth=N      episode pipeline depth (default 1 = serial;\n"
+    "                          N>1 speculates check phases ahead while\n"
+    "                          commits stay serialized in admission order,\n"
+    "                          so stdout is byte-identical at any depth);\n"
+    "                          overrides the script's pipeline directive\n"
     "\n"
     "Fault injection (simulated remote-site failures):\n"
     "  --fault-rate=P          per-trip transient failure probability [0,1]\n"

@@ -306,6 +306,76 @@ def check_plan_cache(path, doc, problems):
                  f"episode (got {episode_speedup})", problems)
 
 
+# The episode_pipeline sweep is the acceptance evidence of the pipelined
+# episode scheduler: low-conflict re-check rows must show the pipeline
+# beating depth 1 (at least break-even at depth 2, at least 2x from depth
+# 4 up), and every row's pipeline accounting must balance — an admitted
+# episode either committed from speculation or was retried (conflict
+# re-run or serial-fallback admission).
+EPISODE_PIPELINE_ROWS = tuple(
+    f"pipeline/{regime}/t{threads}/d{depth}"
+    for regime in ("low", "high")
+    for threads in (4, 8)
+    for depth in (1, 2, 4, 8))
+EPISODE_PIPELINE_METRICS = (
+    "depth",
+    "threads",
+    "high_conflict",
+    "episodes",
+    "trip_latency_us",
+    "ns_total",
+    "episodes_per_sec",
+    "speedup_vs_depth1",
+    "admitted",
+    "committed",
+    "conflicts",
+    "retried_commits",
+)
+
+
+def check_episode_pipeline(path, doc, problems):
+    sweeps = [p for p in doc.get("points", [])
+              if isinstance(p, dict) and p.get("kind") == "sweep"
+              and isinstance(p.get("name"), str)]
+    names = {p["name"] for p in sweeps}
+    for row in EPISODE_PIPELINE_ROWS:
+        if row not in names:
+            fail(path, f"episode_pipeline: missing sweep row {row!r}",
+                 problems)
+    for point in sweeps:
+        metrics = point.get("metrics")
+        if not isinstance(metrics, dict):
+            continue  # already reported by check_point
+        for key in EPISODE_PIPELINE_METRICS:
+            if key not in metrics:
+                fail(path,
+                     f"episode_pipeline: sweep {point['name']!r} missing "
+                     f"metric {key!r}", problems)
+        admitted = metrics.get("admitted")
+        committed = metrics.get("committed")
+        retried = metrics.get("retried_commits")
+        if all(isinstance(v, numbers.Real) and not isinstance(v, bool)
+               for v in (admitted, committed, retried)):
+            if admitted != committed + retried:
+                fail(path,
+                     f"episode_pipeline: sweep {point['name']!r} accounting "
+                     f"does not balance (admitted {admitted} != committed "
+                     f"{committed} + retried {retried})", problems)
+        depth = metrics.get("depth")
+        high = metrics.get("high_conflict")
+        speedup = metrics.get("speedup_vs_depth1")
+        if not all(isinstance(v, numbers.Real) and not isinstance(v, bool)
+                   for v in (depth, high, speedup)):
+            continue
+        if high != 0 or depth <= 1:
+            continue
+        floor = 2.0 if depth >= 4 else 1.0
+        if speedup < floor:
+            fail(path,
+                 f"episode_pipeline: sweep {point['name']!r} low-conflict "
+                 f"speedup_vs_depth1 is {speedup}, want >= {floor}", problems)
+
+
 def check_file(path, problems):
     try:
         with open(path, encoding="utf-8") as f:
@@ -343,6 +413,8 @@ def check_file(path, problems):
         check_topology(path, doc, problems)
     if doc.get("name") == "plan_cache":
         check_plan_cache(path, doc, problems)
+    if doc.get("name") == "episode_pipeline":
+        check_episode_pipeline(path, doc, problems)
 
 
 def main(argv):
