@@ -245,16 +245,37 @@ class RuleEval {
     // predicate can occur in its own body), which invalidates index
     // postings and may reallocate the row store. Copy postings and access
     // rows by index so growth during the scan is harmless.
+    //
+    // A columnar segment is the exception that skips all of that: only
+    // frozen relations carry one (FreezeIndexes builds it, any mutation
+    // drops it), and only EDB relations are frozen — the IDB relations a
+    // recursive rule grows never have a segment. Holding the segment
+    // pins an immutable snapshot, so postings bind by reference and rows
+    // enumerate without a single per-row Tuple copy.
+    std::shared_ptr<const ColumnarSegment> seg = rel->columnar_segment();
     if (probe_col < atom.args.size()) {
-      std::vector<size_t> posting = rel->Probe(probe_col, probe_val);
-      if (!Observe(atom.pred, posting.size())) {
-        *env = saved;
-        return;
-      }
-      for (size_t row : posting) {
-        if (!status_.ok()) break;
-        Tuple t = rel->rows()[row];
-        try_tuple(t);
+      if (seg != nullptr) {
+        const std::vector<size_t>& posting =
+            rel->Probe(probe_col, probe_val);
+        if (!Observe(atom.pred, posting.size())) {
+          *env = saved;
+          return;
+        }
+        for (size_t row : posting) {
+          if (!status_.ok()) break;
+          try_tuple(rel->rows()[row]);
+        }
+      } else {
+        std::vector<size_t> posting = rel->Probe(probe_col, probe_val);
+        if (!Observe(atom.pred, posting.size())) {
+          *env = saved;
+          return;
+        }
+        for (size_t row : posting) {
+          if (!status_.ok()) break;
+          Tuple t = rel->rows()[row];
+          try_tuple(t);
+        }
       }
     } else {
       size_t limit = rel->size();
@@ -262,10 +283,18 @@ class RuleEval {
         *env = saved;
         return;
       }
-      for (size_t i = 0; i < limit; ++i) {
-        if (!status_.ok()) break;
-        Tuple t = rel->rows()[i];
-        try_tuple(t);
+      if (seg != nullptr) {
+        const std::vector<Tuple>& rows = rel->rows();
+        for (size_t i = 0; i < limit; ++i) {
+          if (!status_.ok()) break;
+          try_tuple(rows[i]);
+        }
+      } else {
+        for (size_t i = 0; i < limit; ++i) {
+          if (!status_.ok()) break;
+          Tuple t = rel->rows()[i];
+          try_tuple(t);
+        }
       }
     }
     *env = saved;

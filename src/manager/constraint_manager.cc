@@ -927,9 +927,12 @@ Result<std::vector<CheckReport>> ConstraintManager::ApplyUpdateImpl(
   check_status.resize(constraints_.size());
   bool parallel_checks = pool_->thread_count() > 1 && !noop &&
                          constraints_.size() > 1;
-  if (parallel_checks) {
+  if (parallel_checks || Relation::ColumnarEnabled()) {
     // Build every column index up front so checker threads mostly take the
-    // shared (reader) path through Relation::Probe.
+    // shared (reader) path through Relation::Probe. With the columnar path
+    // on, freezing also builds the segments the scan/join kernels dispatch
+    // on — sequential runs want that too (freezing is stats-invisible:
+    // it charges no accesses and draws no faults).
     site_.db().FreezeIndexes();
   }
   CCPI_RETURN_IF_ERROR(
@@ -1098,8 +1101,12 @@ Result<std::vector<CheckReport>> ConstraintManager::ApplyUpdateImpl(
     std::vector<Status> eval_status(need_full.size());
     std::vector<char> eval_bad(need_full.size(), 0);
     std::vector<size_t> eval_retries(need_full.size(), 0);
+    if (parallel_t3 || Relation::ColumnarEnabled()) {
+      // The tentative apply dirtied u.pred; re-freeze so tier 3 reads
+      // built indexes (and, columnar on, fresh segments).
+      site_.db().FreezeIndexes();
+    }
     if (parallel_t3) {
-      site_.db().FreezeIndexes();  // the tentative apply dirtied u.pred
       CCPI_RETURN_IF_ERROR(
           pool_->ParallelFor(need_full.size(), [&](size_t k) -> Status {
             const Registered& reg = constraints_[need_full[k]];

@@ -251,6 +251,16 @@ Status ApplyScriptFlag(std::string_view arg, ScriptOptions* options,
     options->plan_cache_from_flags = true;
     return Status::OK();
   }
+  if (auto v = FlagValue(arg, "columnar")) {
+    if (*v == "on") {
+      options->columnar = true;
+    } else if (*v == "off") {
+      options->columnar = false;
+    } else {
+      return BadFlag("columnar", "on or off", *v);
+    }
+    return Status::OK();
+  }
   if (auto v = FlagValue(arg, "pipeline-depth")) {
     uint64_t n = 0;
     if (!ParseUint64(*v, &n) || n == 0) {
@@ -524,6 +534,12 @@ Result<ScriptReport> RunScript(const Script& script,
   if (!options.pipeline_from_flags && script.pipeline_depth.has_value()) {
     pipeline.depth = *script.pipeline_depth;
   }
+
+  // Columnar read path: a process-wide switch on Relation, applied before
+  // the manager freezes anything. Semantically invisible (byte-identical
+  // reports either way); off forces every evaluator down the
+  // row-at-a-time path.
+  Relation::SetColumnarEnabled(options.columnar);
 
   ConstraintManager mgr(script.local_preds, costs, options.resilience,
                         options.parallel, options.remote_cache,

@@ -108,6 +108,11 @@ struct ScriptOptions {
   /// Whether --pipeline-depth was given explicitly; when set it overrides
   /// the script's own `pipeline` directive (flags win, like plan_cache).
   bool pipeline_from_flags = false;
+  /// Columnar read path (ccpi_check --columnar). On by default;
+  /// semantically invisible either way — freezing a relation additionally
+  /// builds a columnar segment that the RA evaluator's scan/join kernels
+  /// use, with byte-identical reports and stats on or off.
+  bool columnar = true;
   /// Execution budgets and overload control (ccpi_check --deadline-ms,
   /// --max-fixpoint-rounds, --max-derived-tuples, --deferred-queue-cap,
   /// --overflow-policy). Off by default: an unbudgeted run is bit-identical
@@ -185,7 +190,8 @@ Result<ScriptReport> RunScript(const Script& script,
 /// Applies one `ccpi_check`-style command-line flag to `options`.
 ///
 /// Recognizes every flag that configures the run itself — --threads=N,
-/// --remote-cache=on|off, --plan-cache=on|off, --pipeline-depth=N,
+/// --remote-cache=on|off, --plan-cache=on|off, --columnar=on|off,
+/// --pipeline-depth=N,
 /// --fault-rate=P,
 /// --fault-timeout-rate=P,
 /// --fault-seed=N, --fault-outage=A:B, --fault-reject, --stats,

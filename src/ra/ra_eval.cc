@@ -1,8 +1,10 @@
 #include "ra/ra_eval.h"
 
 #include <unordered_map>
+#include <utility>
 
 #include "obs/metrics.h"
+#include "relational/columnar.h"
 #include "util/check.h"
 
 namespace ccpi {
@@ -22,6 +24,26 @@ bool Holds(const std::vector<RaCondition>& conds, const Tuple& t) {
   return true;
 }
 
+/// CmpOp (datalog layer) -> ScanOp (relational layer). The enums mirror
+/// each other; the relational layer cannot see the datalog AST.
+ScanOp ToScanOp(CmpOp op) {
+  switch (op) {
+    case CmpOp::kLt:
+      return ScanOp::kLt;
+    case CmpOp::kLe:
+      return ScanOp::kLe;
+    case CmpOp::kGt:
+      return ScanOp::kGt;
+    case CmpOp::kGe:
+      return ScanOp::kGe;
+    case CmpOp::kEq:
+      return ScanOp::kEq;
+    case CmpOp::kNe:
+      return ScanOp::kNe;
+  }
+  return ScanOp::kEq;
+}
+
 /// Finds a condition of `conds` usable as a hash-join key for
 /// sigma(L x R): a column-to-column equality with one side in L (column
 /// < split) and one in R. Returns the index into `conds`, or npos.
@@ -37,9 +59,67 @@ size_t FindJoinCondition(const std::vector<RaCondition>& conds,
   return static_cast<size_t>(-1);
 }
 
-Result<Relation> EvalRaNode(const RaExpr& expr, const Database& db,
-                            AccessObserver* observer, obs::Counter* nodes,
-                            const BudgetScope* budget);
+/// `const op col` rewritten as `col op' const`.
+ScanOp FlipScanOp(ScanOp op) {
+  switch (op) {
+    case ScanOp::kLt:
+      return ScanOp::kGt;
+    case ScanOp::kLe:
+      return ScanOp::kGe;
+    case ScanOp::kGt:
+      return ScanOp::kLt;
+    case ScanOp::kGe:
+      return ScanOp::kLe;
+    case ScanOp::kEq:
+    case ScanOp::kNe:
+      return op;
+  }
+  return op;
+}
+
+/// An evaluation result that is either owned by the evaluator or borrowed
+/// from the database. kScan borrows — returning the stored relation by
+/// value would be a full O(|R|) row+hashset copy per scan node that also
+/// drops the lazy indexes and the columnar segment. Read-only parents
+/// (select, project, product, difference, nonemptiness) evaluate against
+/// the borrow in place; the single copy, when a caller genuinely needs an
+/// owned Relation of a bare scan, happens once at the public EvalRa
+/// boundary via IntoRelation().
+class RelView {
+ public:
+  RelView(RelView&&) noexcept = default;
+  RelView& operator=(RelView&&) noexcept = default;
+
+  static RelView Borrow(const Relation* rel) {
+    RelView v;
+    v.borrowed_ = rel;
+    return v;
+  }
+  static RelView Own(Relation rel) {
+    RelView v;
+    v.owned_ = std::move(rel);
+    return v;
+  }
+
+  const Relation& get() const {
+    return borrowed_ != nullptr ? *borrowed_ : owned_;
+  }
+
+  Relation IntoRelation() && {
+    if (borrowed_ != nullptr) return *borrowed_;
+    return std::move(owned_);
+  }
+
+ private:
+  RelView() = default;
+
+  const Relation* borrowed_ = nullptr;
+  Relation owned_{0};
+};
+
+Result<RelView> EvalRaNode(const RaExpr& expr, const Database& db,
+                           AccessObserver* observer, obs::Counter* nodes,
+                           const BudgetScope* budget);
 
 /// Evaluates sigma_conds(L x R) as a hash equi-join on `key` (an eq
 /// condition crossing the L/R boundary): build a hash table over R's key
@@ -47,30 +127,59 @@ Result<Relation> EvalRaNode(const RaExpr& expr, const Database& db,
 /// exactly the order, of the nested-loop product-then-filter it replaces
 /// (left-major; matching right rows in insertion order; every condition
 /// re-checked on the combined row), so only the cost changes:
-/// O(|L| + |R| + matches) instead of O(|L| * |R|).
-Result<Relation> EvalHashJoin(const RaExpr& select, const RaCondition& key,
-                              const Database& db, AccessObserver* observer,
-                              obs::Counter* nodes,
-                              const BudgetScope* budget) {
+/// O(|L| + |R| + matches) instead of O(|L| * |R|). When both inputs carry
+/// columnar segments (frozen base relations) the build and probe run
+/// column-at-a-time over integer key ids instead of hashing Values.
+Result<RelView> EvalHashJoin(const RaExpr& select, const RaCondition& key,
+                             const Database& db, AccessObserver* observer,
+                             obs::Counter* nodes, const BudgetScope* budget) {
   const RaExpr& product = *select.left();
-  if (nodes != nullptr) nodes->Add(1);  // the product node's count
-  CCPI_ASSIGN_OR_RETURN(Relation l,
-                        EvalRaNode(*product.left(), db, observer, nodes, budget));
-  CCPI_ASSIGN_OR_RETURN(Relation r,
-                        EvalRaNode(*product.right(), db, observer, nodes, budget));
+  // The product node this join replaces: same node count AND the same
+  // budget checkpoint as the nested-loop path, so a deadline-budgeted run
+  // sheds identically whichever plan shape the evaluator picks.
+  if (nodes != nullptr) nodes->Add(1);
+  if (budget != nullptr) CCPI_RETURN_IF_ERROR(budget->Check());
+  CCPI_ASSIGN_OR_RETURN(
+      RelView l, EvalRaNode(*product.left(), db, observer, nodes, budget));
+  CCPI_ASSIGN_OR_RETURN(
+      RelView r, EvalRaNode(*product.right(), db, observer, nodes, budget));
   size_t split = product.left()->arity();
   size_t left_col = key.lhs.col < split ? key.lhs.col : key.rhs.col;
   size_t right_col = (key.lhs.col < split ? key.rhs.col : key.lhs.col) - split;
 
+  Relation out(select.arity());
+  std::shared_ptr<const ColumnarSegment> lseg = l.get().columnar_segment();
+  std::shared_ptr<const ColumnarSegment> rseg = r.get().columnar_segment();
+  if (lseg != nullptr && rseg != nullptr) {
+    ColumnarJoinTable table(*rseg, right_col);
+    std::vector<int32_t> ids;
+    table.TranslateProbeColumn(*lseg, left_col, &ids);
+    // With the key as the only condition, a probe hit already proves the
+    // combined row passes; residual conditions re-check the whole row.
+    const bool residual = select.conditions().size() > 1;
+    for (size_t i = 0; i < ids.size(); ++i) {
+      if (ids[i] < 0) continue;
+      Tuple a = lseg->GatherRow(i);
+      for (uint32_t j : table.Posting(ids[i])) {
+        Tuple combined = a;
+        Tuple b = rseg->GatherRow(j);
+        combined.insert(combined.end(), b.begin(), b.end());
+        if (!residual || Holds(select.conditions(), combined)) {
+          out.Insert(std::move(combined));
+        }
+      }
+    }
+    return RelView::Own(std::move(out));
+  }
+
   std::unordered_map<Value, std::vector<size_t>, ValueHash> table;
-  table.reserve(r.size());
-  const std::vector<Tuple>& right_rows = r.rows();
+  table.reserve(r.get().size());
+  const std::vector<Tuple>& right_rows = r.get().rows();
   for (size_t i = 0; i < right_rows.size(); ++i) {
     table[right_rows[i][right_col]].push_back(i);
   }
 
-  Relation out(select.arity());
-  for (const Tuple& a : l.rows()) {
+  for (const Tuple& a : l.get().rows()) {
     auto hit = table.find(a[left_col]);
     if (hit == table.end()) continue;
     for (size_t i : hit->second) {
@@ -82,12 +191,12 @@ Result<Relation> EvalHashJoin(const RaExpr& select, const RaCondition& key,
       }
     }
   }
-  return out;
+  return RelView::Own(std::move(out));
 }
 
-Result<Relation> EvalRaNode(const RaExpr& expr, const Database& db,
-                            AccessObserver* observer, obs::Counter* nodes,
-                            const BudgetScope* budget) {
+Result<RelView> EvalRaNode(const RaExpr& expr, const Database& db,
+                           AccessObserver* observer, obs::Counter* nodes,
+                           const BudgetScope* budget) {
   if (nodes != nullptr) nodes->Add(1);
   // Per-node budget checkpoint: bounds the work between two deadline
   // observations by one operator's evaluation.
@@ -102,12 +211,12 @@ Result<Relation> EvalRaNode(const RaExpr& expr, const Database& db,
       if (observer != nullptr) {
         CCPI_RETURN_IF_ERROR(observer->OnRead(expr.pred(), rel.size()));
       }
-      return rel;
+      return RelView::Borrow(&rel);
     }
     case RaExpr::Kind::kConstRel: {
       Relation out(expr.arity());
       for (const Tuple& t : expr.tuples()) out.Insert(t);
-      return out;
+      return RelView::Own(std::move(out));
     }
     case RaExpr::Kind::kSelect: {
       // A selection directly over a product whose conditions equate a
@@ -123,54 +232,130 @@ Result<Relation> EvalRaNode(const RaExpr& expr, const Database& db,
                               nodes, budget);
         }
       }
-      CCPI_ASSIGN_OR_RETURN(Relation child,
-                            EvalRaNode(*expr.left(), db, observer, nodes, budget));
+      CCPI_ASSIGN_OR_RETURN(
+          RelView child, EvalRaNode(*expr.left(), db, observer, nodes, budget));
       Relation out(expr.arity());
-      for (const Tuple& t : child.rows()) {
+      std::shared_ptr<const ColumnarSegment> seg =
+          child.get().columnar_segment();
+      if (seg != nullptr) {
+        // Vectorized path: compile each condition onto a scan kernel. The
+        // first column condition scans the segment into a position list;
+        // the rest refine it in place. Positions are ascending (insertion
+        // order), so the gathered output is row-for-row identical to the
+        // tuple loop below.
+        PositionList pos;
+        bool have = false;
+        bool never = false;
+        for (const RaCondition& c : expr.conditions()) {
+          if (!c.lhs.is_col && !c.rhs.is_col) {
+            if (!EvalCmp(c.lhs.constant, c.op, c.rhs.constant)) {
+              never = true;
+              break;
+            }
+            continue;
+          }
+          if (c.lhs.is_col && c.rhs.is_col) {
+            if (!have) {
+              seg->ScanColCmp(c.lhs.col, ToScanOp(c.op), c.rhs.col, &pos);
+              have = true;
+            } else {
+              seg->FilterColCmp(c.lhs.col, ToScanOp(c.op), c.rhs.col, &pos);
+            }
+            continue;
+          }
+          size_t col = c.lhs.is_col ? c.lhs.col : c.rhs.col;
+          const Value& v = c.lhs.is_col ? c.rhs.constant : c.lhs.constant;
+          ScanOp op = c.lhs.is_col ? ToScanOp(c.op)
+                                   : FlipScanOp(ToScanOp(c.op));
+          if (!have) {
+            seg->ScanCmp(col, op, v, &pos);
+            have = true;
+          } else {
+            seg->FilterCmp(col, op, v, &pos);
+          }
+        }
+        if (!never) {
+          if (!have) {
+            for (const Tuple& t : child.get().rows()) out.Insert(t);
+          } else {
+            for (uint32_t p : pos) out.Insert(seg->GatherRow(p));
+          }
+        }
+        return RelView::Own(std::move(out));
+      }
+      for (const Tuple& t : child.get().rows()) {
         if (Holds(expr.conditions(), t)) out.Insert(t);
       }
-      return out;
+      return RelView::Own(std::move(out));
     }
     case RaExpr::Kind::kProject: {
-      CCPI_ASSIGN_OR_RETURN(Relation child,
-                            EvalRaNode(*expr.left(), db, observer, nodes, budget));
+      CCPI_ASSIGN_OR_RETURN(
+          RelView child, EvalRaNode(*expr.left(), db, observer, nodes, budget));
       Relation out(expr.arity());
-      for (const Tuple& t : child.rows()) {
+      std::shared_ptr<const ColumnarSegment> seg =
+          child.get().columnar_segment();
+      if (seg != nullptr) {
+        // Gather only the projected columns; untouched columns are never
+        // decoded.
+        for (size_t row = 0; row < seg->size(); ++row) {
+          Tuple projected;
+          projected.reserve(expr.columns().size());
+          for (size_t c : expr.columns()) {
+            projected.push_back(seg->ValueAt(row, c));
+          }
+          out.Insert(std::move(projected));
+        }
+        return RelView::Own(std::move(out));
+      }
+      for (const Tuple& t : child.get().rows()) {
         Tuple projected;
         projected.reserve(expr.columns().size());
         for (size_t c : expr.columns()) projected.push_back(t[c]);
         out.Insert(std::move(projected));
       }
-      return out;
+      return RelView::Own(std::move(out));
     }
     case RaExpr::Kind::kProduct: {
-      CCPI_ASSIGN_OR_RETURN(Relation l, EvalRaNode(*expr.left(), db, observer, nodes, budget));
-      CCPI_ASSIGN_OR_RETURN(Relation r, EvalRaNode(*expr.right(), db, observer, nodes, budget));
+      CCPI_ASSIGN_OR_RETURN(
+          RelView l, EvalRaNode(*expr.left(), db, observer, nodes, budget));
+      CCPI_ASSIGN_OR_RETURN(
+          RelView r, EvalRaNode(*expr.right(), db, observer, nodes, budget));
       Relation out(expr.arity());
-      for (const Tuple& a : l.rows()) {
-        for (const Tuple& b : r.rows()) {
+      for (const Tuple& a : l.get().rows()) {
+        for (const Tuple& b : r.get().rows()) {
           Tuple combined = a;
           combined.insert(combined.end(), b.begin(), b.end());
           out.Insert(std::move(combined));
         }
       }
-      return out;
+      return RelView::Own(std::move(out));
     }
     case RaExpr::Kind::kUnion: {
-      CCPI_ASSIGN_OR_RETURN(Relation l, EvalRaNode(*expr.left(), db, observer, nodes, budget));
-      CCPI_ASSIGN_OR_RETURN(Relation r, EvalRaNode(*expr.right(), db, observer, nodes, budget));
-      Relation out = std::move(l);
-      for (const Tuple& t : r.rows()) out.Insert(t);
-      return out;
+      CCPI_ASSIGN_OR_RETURN(
+          RelView l, EvalRaNode(*expr.left(), db, observer, nodes, budget));
+      CCPI_ASSIGN_OR_RETURN(
+          RelView r, EvalRaNode(*expr.right(), db, observer, nodes, budget));
+      // Version-stamp audit: moving `l` in carries l's content version.
+      // If every insert below is a duplicate the version stays l's —
+      // correct, because the contents then ARE l's (equal version ⟹ equal
+      // contents holds). Any insert that lands restamps the result with a
+      // fresh process-wide version, so a version-keyed cache can never
+      // alias the union with its left input. Pinned by the
+      // RaEvalHotpathTest.Union*Version* tests.
+      Relation out = std::move(l).IntoRelation();
+      for (const Tuple& t : r.get().rows()) out.Insert(t);
+      return RelView::Own(std::move(out));
     }
     case RaExpr::Kind::kDifference: {
-      CCPI_ASSIGN_OR_RETURN(Relation l, EvalRaNode(*expr.left(), db, observer, nodes, budget));
-      CCPI_ASSIGN_OR_RETURN(Relation r, EvalRaNode(*expr.right(), db, observer, nodes, budget));
+      CCPI_ASSIGN_OR_RETURN(
+          RelView l, EvalRaNode(*expr.left(), db, observer, nodes, budget));
+      CCPI_ASSIGN_OR_RETURN(
+          RelView r, EvalRaNode(*expr.right(), db, observer, nodes, budget));
       Relation out(expr.arity());
-      for (const Tuple& t : l.rows()) {
-        if (!r.Contains(t)) out.Insert(t);
+      for (const Tuple& t : l.get().rows()) {
+        if (!r.get().Contains(t)) out.Insert(t);
       }
-      return out;
+      return RelView::Own(std::move(out));
     }
   }
   return Status::Internal("unknown RA node kind");
@@ -187,16 +372,25 @@ Result<Relation> EvalRa(const RaExpr& expr, const Database& db,
     metrics->GetCounter("ra.evaluations")->Add(1);
     nodes = metrics->GetCounter("ra.nodes_evaluated");
   }
-  return EvalRaNode(expr, db, observer, nodes, budget);
+  CCPI_ASSIGN_OR_RETURN(RelView view,
+                        EvalRaNode(expr, db, observer, nodes, budget));
+  return std::move(view).IntoRelation();
 }
 
 Result<bool> RaNonempty(const RaExpr& expr, const Database& db,
                         AccessObserver* observer,
                         obs::MetricsRegistry* metrics,
                         const BudgetScope* budget) {
-  CCPI_ASSIGN_OR_RETURN(Relation rel,
-                        EvalRa(expr, db, observer, metrics, budget));
-  return !rel.empty();
+  obs::Counter* nodes = nullptr;
+  if (metrics != nullptr) {
+    metrics->GetCounter("ra.evaluations")->Add(1);
+    nodes = metrics->GetCounter("ra.nodes_evaluated");
+  }
+  // Evaluates through the view so a bare scan (or any borrowed result)
+  // answers nonemptiness with zero Relation copies.
+  CCPI_ASSIGN_OR_RETURN(RelView view,
+                        EvalRaNode(expr, db, observer, nodes, budget));
+  return !view.get().empty();
 }
 
 }  // namespace ccpi

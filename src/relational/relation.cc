@@ -18,6 +18,11 @@ std::atomic<uint64_t> g_next_version{1};
 uint64_t NextVersion() {
   return g_next_version.fetch_add(1, std::memory_order_relaxed);
 }
+
+std::atomic<bool> g_columnar_enabled{true};
+std::atomic<uint64_t> g_copy_count{0};
+std::atomic<uint64_t> g_index_build_count{0};
+std::atomic<uint64_t> g_segment_build_count{0};
 }  // namespace
 
 const std::vector<size_t> Relation::kEmptyPosting;
@@ -26,7 +31,9 @@ Relation::Relation(const Relation& other)
     : arity_(other.arity_),
       version_(other.version_),
       rows_(other.rows_),
-      set_(other.set_) {}
+      set_(other.set_) {
+  g_copy_count.fetch_add(1, std::memory_order_relaxed);
+}
 
 Relation& Relation::operator=(const Relation& other) {
   if (this == &other) return *this;
@@ -35,6 +42,7 @@ Relation& Relation::operator=(const Relation& other) {
   rows_ = other.rows_;
   set_ = other.set_;
   InvalidateIndexes();
+  g_copy_count.fetch_add(1, std::memory_order_relaxed);
   return *this;
 }
 
@@ -43,7 +51,8 @@ Relation::Relation(Relation&& other) noexcept
       version_(other.version_),
       rows_(std::move(other.rows_)),
       set_(std::move(other.set_)),
-      indexes_(std::move(other.indexes_)) {}
+      indexes_(std::move(other.indexes_)),
+      segment_(std::move(other.segment_)) {}
 
 Relation& Relation::operator=(Relation&& other) noexcept {
   if (this == &other) return *this;
@@ -52,6 +61,7 @@ Relation& Relation::operator=(Relation&& other) noexcept {
   rows_ = std::move(other.rows_);
   set_ = std::move(other.set_);
   indexes_ = std::move(other.indexes_);
+  segment_ = std::move(other.segment_);
   return *this;
 }
 
@@ -84,6 +94,7 @@ const Relation::ColumnIndex& Relation::BuildIndexLocked(size_t col) const {
     for (size_t i = 0; i < rows_.size(); ++i) {
       it->second[rows_[i][col]].push_back(i);
     }
+    g_index_build_count.fetch_add(1, std::memory_order_relaxed);
   }
   return it->second;
 }
@@ -111,6 +122,39 @@ const std::vector<size_t>& Relation::Probe(size_t col, const Value& v) const {
 void Relation::FreezeIndexes() const {
   std::unique_lock<std::shared_mutex> lock(index_mu_);
   for (size_t col = 0; col < arity_; ++col) BuildIndexLocked(col);
+  if (segment_ == nullptr && ColumnarEnabled()) {
+    segment_ = ColumnarSegment::Build(rows_, arity_);
+    g_segment_build_count.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::shared_ptr<const ColumnarSegment> Relation::columnar_segment() const {
+  std::shared_lock<std::shared_mutex> lock(index_mu_);
+  return segment_;
+}
+
+void Relation::SetColumnarEnabled(bool enabled) {
+  g_columnar_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool Relation::ColumnarEnabled() {
+  return g_columnar_enabled.load(std::memory_order_relaxed);
+}
+
+uint64_t Relation::DebugCopyCount() {
+  return g_copy_count.load(std::memory_order_relaxed);
+}
+
+uint64_t Relation::DebugIndexBuildCount() {
+  return g_index_build_count.load(std::memory_order_relaxed);
+}
+
+uint64_t Relation::DebugVersionCounter() {
+  return g_next_version.load(std::memory_order_relaxed);
+}
+
+uint64_t Relation::DebugSegmentBuildCount() {
+  return g_segment_build_count.load(std::memory_order_relaxed);
 }
 
 void Relation::Clear() {
@@ -123,6 +167,7 @@ void Relation::Clear() {
 void Relation::InvalidateIndexes() {
   std::unique_lock<std::shared_mutex> lock(index_mu_);
   indexes_.clear();
+  segment_.reset();
 }
 
 std::string Relation::ToString(const std::string& name) const {

@@ -3,12 +3,14 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "relational/columnar.h"
 #include "relational/tuple.h"
 #include "util/status.h"
 
@@ -71,13 +73,42 @@ class Relation {
   const std::vector<size_t>& Probe(size_t col, const Value& v) const;
 
   /// Eagerly builds the index of every column, so a subsequent parallel
-  /// read phase probes without ever taking the exclusive build path.
+  /// read phase probes without ever taking the exclusive build path. When
+  /// the columnar path is enabled this also builds the columnar segment,
+  /// so freezing is the single "now read-optimized" transition.
   void FreezeIndexes() const;
+
+  /// The columnar image built by the last FreezeIndexes(), or null if the
+  /// relation has not been frozen (or was mutated since, or the columnar
+  /// path is disabled). The segment is immutable; holders may keep
+  /// scanning it after the relation mutates (snapshot semantics, same as
+  /// a copied Probe posting).
+  std::shared_ptr<const ColumnarSegment> columnar_segment() const;
+
+  /// Process-wide switch for the columnar read path (default on). Off, a
+  /// freeze builds only the hash indexes and columnar_segment() returns
+  /// null everywhere, forcing every consumer down the row-at-a-time path —
+  /// the lever the row-vs-columnar equivalence tests and the --columnar
+  /// flag pull.
+  static void SetColumnarEnabled(bool enabled);
+  static bool ColumnarEnabled();
 
   /// Removes all tuples.
   void Clear();
 
   std::string ToString(const std::string& name) const;
+
+  /// Observability counters for regression tests (process-wide, racy-read
+  /// tolerant). DebugCopyCount counts Relation copy-constructions and
+  /// copy-assignments; DebugIndexBuildCount counts per-column hash-index
+  /// builds; DebugVersionCounter exposes the content-version counter so a
+  /// test can assert an operation produced zero version churn;
+  /// DebugSegmentBuildCount counts columnar-segment builds, the non-vacuity
+  /// witness that a columnar-on run really exercised the columnar kernels.
+  static uint64_t DebugCopyCount();
+  static uint64_t DebugIndexBuildCount();
+  static uint64_t DebugVersionCounter();
+  static uint64_t DebugSegmentBuildCount();
 
  private:
   using ColumnIndex =
@@ -97,6 +128,10 @@ class Relation {
   // until the next mutation invalidates the whole map).
   mutable std::shared_mutex index_mu_;
   mutable std::unordered_map<size_t, ColumnIndex> indexes_;
+  // Built by FreezeIndexes when the columnar path is on; dropped by the
+  // same mutations that drop the hash indexes. Guarded by index_mu_ (the
+  // pointee is immutable).
+  mutable std::shared_ptr<const ColumnarSegment> segment_;
   static const std::vector<size_t> kEmptyPosting;
 };
 

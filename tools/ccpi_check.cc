@@ -49,6 +49,11 @@ constexpr const char kUsage[] =
     "                          semantically invisible — reports and stats\n"
     "                          are byte-identical either way); overrides\n"
     "                          the script's plan_cache directive\n"
+    "  --columnar=on|off       columnar read path: frozen relations carry\n"
+    "                          a columnar segment that the RA scan/join\n"
+    "                          kernels use (default on; semantically\n"
+    "                          invisible — reports and stats are\n"
+    "                          byte-identical either way)\n"
     "  --pipeline-depth=N      episode pipeline depth (default 1 = serial;\n"
     "                          N>1 speculates check phases ahead while\n"
     "                          commits stay serialized in admission order,\n"
