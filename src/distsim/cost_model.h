@@ -1,9 +1,32 @@
 #ifndef CCPI_DISTSIM_COST_MODEL_H_
 #define CCPI_DISTSIM_COST_MODEL_H_
 
+#include <cstdint>
+
 namespace ccpi {
 
-/// Cost weights for data access in the simulated two-site deployment.
+/// Shape of a site's simulated trip-latency distribution.
+///
+/// kFixed is the historical behavior: every trip takes exactly
+/// `trip_latency_us` (0 = no sleep at all) and the latency path consumes
+/// no randomness whatsoever — which is what keeps default-config runs
+/// byte-identical to the pre-latency-model simulator. The non-fixed
+/// models draw one deterministic value per trip from a counter-keyed
+/// splitmix64 stream (see SiteDatabase::DrawTripLatencyUs), so a run is
+/// reproducible per (seed, site, trip index) regardless of thread
+/// interleaving.
+enum class LatencyModel {
+  /// Every trip costs trip_latency_us. No RNG draws.
+  kFixed,
+  /// Uniform in [latency_lo_us, latency_hi_us].
+  kUniform,
+  /// Two-point "fast/slow" mix approximating a lognormal-ish tail:
+  /// latency_hi_us with probability latency_slow_share, else
+  /// latency_lo_us.
+  kTwoPoint,
+};
+
+/// Cost weights for data access in the simulated N-site deployment.
 ///
 /// The paper motivates local tests by the expense (or impossibility) of
 /// touching remote data; this model makes that expense measurable. Units
@@ -20,13 +43,28 @@ struct CostModel {
   /// already on this site, so a cached read prices like a local one.
   double cached_tuple_cost = 0.001;
   /// Simulated wall-clock latency of one physical round trip to this
-  /// site, in microseconds. 0 (the default) keeps the pre-existing
-  /// behavior: trips are billed but take no real time. A nonzero value
-  /// makes the simulator *block* for that long per trip — the lever that
-  /// lets latency-hiding machinery (episode pipelining, batched prefetch)
-  /// show real wall-clock wins in benchmarks. Accounting is unaffected
-  /// either way.
+  /// site, in microseconds, when latency_model == kFixed. 0 (the
+  /// default) keeps the pre-existing behavior: trips are billed but take
+  /// no real time. A nonzero value makes the simulator *block* for that
+  /// long per trip — the lever that lets latency-hiding machinery
+  /// (episode pipelining, batched prefetch, hedged reads) show real
+  /// wall-clock wins in benchmarks. Accounting is unaffected either way.
   uint64_t trip_latency_us = 0;
+  /// Distribution of the per-trip latency. kFixed uses trip_latency_us
+  /// and draws nothing; the other models draw per trip from
+  /// [latency_lo_us, latency_hi_us] (see LatencyModel).
+  LatencyModel latency_model = LatencyModel::kFixed;
+  /// Lower edge (kUniform) / fast mode (kTwoPoint), microseconds >= 1.
+  uint64_t latency_lo_us = 0;
+  /// Upper edge (kUniform) / slow mode (kTwoPoint), microseconds >= lo.
+  uint64_t latency_hi_us = 0;
+  /// kTwoPoint only: probability of the slow mode, in [0, 1].
+  double latency_slow_share = 0.0;
+  /// Base seed of the latency stream. Sites derive their own stream by
+  /// the same golden-ratio stride used for fault-injector seeds, so two
+  /// sites with identical configs still see different (but reproducible)
+  /// latency schedules.
+  uint64_t latency_seed = 1;
 };
 
 }  // namespace ccpi

@@ -5,11 +5,24 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/rng.h"
 #include "util/thread_pool.h"
 
 namespace ccpi {
 
 namespace {
+
+void SleepUs(uint64_t us) {
+  if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+/// Bucket edges of the per-site latency histograms, in microseconds
+/// (1us..100ms in 1-2-5 steps); the default registry ladder is scaled for
+/// nanoseconds and would crush every realistic trip into one bucket.
+std::vector<uint64_t> LatencyBoundsUs() {
+  return {1,    2,    5,    10,    20,    50,    100,   200,
+          500,  1000, 2000, 5000,  10000, 20000, 50000, 100000};
+}
 
 /// Debug-only occupancy tracking of the read path (see ResetStats).
 class ActiveReadGuard {
@@ -47,6 +60,7 @@ void SiteDatabase::set_metrics(obs::MetricsRegistry* registry) {
       st->ctr_trips = nullptr;
       st->ctr_failures = nullptr;
       st->ctr_cache_hits = nullptr;
+      st->hist_latency = nullptr;
     }
     return;
   }
@@ -72,6 +86,17 @@ void SiteDatabase::set_metrics(obs::MetricsRegistry* registry) {
       site_states_[s]->ctr_cache_hits =
           registry->GetCounter(prefix + ".cache_hits");
     }
+  }
+  // Latency histograms only for sites running a non-fixed model: the
+  // default (fixed) configuration must leave the metric catalog — and so
+  // the --metrics-out dump — byte-identical to the pre-latency-model one.
+  for (size_t s = 0; s < site_states_.size(); ++s) {
+    if (site_states_[s]->costs.latency_model == LatencyModel::kFixed) {
+      continue;
+    }
+    site_states_[s]->hist_latency = registry->GetHistogram(
+        "distsim.site" + std::to_string(s) + ".latency_us",
+        LatencyBoundsUs());
   }
 }
 
@@ -157,8 +182,95 @@ Status SiteDatabase::ReadRemote(const std::string& pred, size_t count) {
 }
 
 void SiteDatabase::SimulateTripLatency(size_t site) const {
-  const uint64_t us = site_states_[site]->costs.trip_latency_us;
-  if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
+  const SiteState& st = *site_states_[site];
+  if (st.costs.latency_model == LatencyModel::kFixed) {
+    // The historical path: constant cost, no randomness consumed.
+    SleepUs(st.costs.trip_latency_us);
+    return;
+  }
+  SleepUs(DrawTripLatencyUs(site));
+}
+
+uint64_t SiteDatabase::DrawTripLatencyUs(size_t site) const {
+  SiteState& st = *site_states_[site];
+  const CostModel& cm = st.costs;
+  CCPI_DCHECK(cm.latency_model != LatencyModel::kFixed);
+  // Counter-keyed draw: each trip seeds its own splitmix64 from
+  // (seed, site, draw index), so the multiset of latencies a site sees is
+  // a pure function of the seed — whichever thread happens to pay which
+  // trip. The site stride is the golden-ratio constant the fault
+  // injectors already use for per-site seed derivation.
+  const uint64_t index =
+      st.latency_draws.fetch_add(1, std::memory_order_relaxed);
+  Rng rng(cm.latency_seed + static_cast<uint64_t>(site) *
+                                0x9e3779b97f4a7c15ull +
+          index * 0xbf58476d1ce4e5b9ull);
+  uint64_t us = cm.latency_lo_us;
+  switch (cm.latency_model) {
+    case LatencyModel::kFixed:
+      us = cm.trip_latency_us;  // unreachable: gated above
+      break;
+    case LatencyModel::kUniform:
+      us = cm.latency_lo_us +
+           rng.Below(cm.latency_hi_us - cm.latency_lo_us + 1);
+      break;
+    case LatencyModel::kTwoPoint: {
+      const uint64_t slow_per_million =
+          static_cast<uint64_t>(cm.latency_slow_share * 1e6);
+      us = rng.Below(1000000) < slow_per_million ? cm.latency_hi_us
+                                                 : cm.latency_lo_us;
+      break;
+    }
+  }
+  // EWMA update, alpha 1/4, fixed-point us << 8. The first observation
+  // seeds the average directly (0 is the no-observation sentinel; real
+  // latencies are >= 1us so it cannot occur naturally).
+  const uint64_t sample_q8 = us << 8;
+  uint64_t cur = st.latency_ewma_q8.load(std::memory_order_relaxed);
+  uint64_t next;
+  do {
+    next = cur == 0 ? sample_q8 : cur - (cur >> 2) + (sample_q8 >> 2);
+  } while (!st.latency_ewma_q8.compare_exchange_weak(
+      cur, next, std::memory_order_relaxed));
+  if (st.hist_latency != nullptr) st.hist_latency->Observe(us);
+  return us;
+}
+
+size_t SiteDatabase::SimulateHedgedTripLatency(size_t site) const {
+  SiteState& st = *site_states_[site];
+  if (hedge_after_ == 0 || st.costs.latency_model == LatencyModel::kFixed) {
+    // Hedging off, or a deterministic site (a backup could never beat the
+    // primary): the plain trip, zero extra billing.
+    SimulateTripLatency(site);
+    return 0;
+  }
+  // Read the EWMA *before* drawing, so the threshold reflects past trips
+  // only; the primary draw itself then feeds the average as usual.
+  const uint64_t ewma = site_latency_ewma_us(site);
+  const uint64_t primary = DrawTripLatencyUs(site);
+  if (ewma == 0 || primary <= hedge_after_ * ewma) {
+    SleepUs(primary);
+    return 0;
+  }
+  // The primary overshot: launch the deterministic single backup at the
+  // threshold instant and take whichever attempt lands first. The backup
+  // is a real physical trip whatever happens — the caller bills exactly
+  // one extra trip per issued hedge, won or wasted.
+  const uint64_t threshold = hedge_after_ * ewma;
+  const uint64_t backup = DrawTripLatencyUs(site);
+  const uint64_t hedged = threshold + backup;
+  hedges_issued_.fetch_add(1, std::memory_order_relaxed);
+  if (ctr_hedge_issued_ != nullptr) ctr_hedge_issued_->Add(1);
+  if (hedged < primary) {
+    hedges_won_.fetch_add(1, std::memory_order_relaxed);
+    if (ctr_hedge_won_ != nullptr) ctr_hedge_won_->Add(1);
+    SleepUs(hedged);
+  } else {
+    hedges_wasted_.fetch_add(1, std::memory_order_relaxed);
+    if (ctr_hedge_wasted_ != nullptr) ctr_hedge_wasted_->Add(1);
+    SleepUs(primary);
+  }
+  return 1;
 }
 
 Status SiteDatabase::FetchRemote(size_t site, const std::string& pred,
@@ -263,11 +375,18 @@ void SiteDatabase::PrefetchRemoteBatched(const std::set<std::string>& preds,
       // against the same exhausted scope.
       CCPI_RETURN_IF_ERROR(st.budget->OnRemoteTrip());
     }
-    SimulateTripLatency(site);
-    remote_trips_.fetch_add(1, std::memory_order_relaxed);
-    st.remote_trips.fetch_add(1, std::memory_order_relaxed);
-    if (ctr_remote_trips_ != nullptr) ctr_remote_trips_->Add(1);
-    if (st.ctr_trips != nullptr) st.ctr_trips->Add(1);
+    // The batched trip is the hedging point: with hedging armed and a
+    // slow draw, a single backup attempt races the primary. An issued
+    // hedge bills exactly one extra physical trip (the tuples are billed
+    // once — both attempts carry the same payload); the budget's trip cap
+    // was charged once above, before paying, per the refuse-before-pay
+    // rule — the backup is the simulator's own recovery of an
+    // already-approved trip, not a second logical fetch.
+    const size_t trips = 1 + SimulateHedgedTripLatency(site);
+    remote_trips_.fetch_add(trips, std::memory_order_relaxed);
+    st.remote_trips.fetch_add(trips, std::memory_order_relaxed);
+    if (ctr_remote_trips_ != nullptr) ctr_remote_trips_->Add(trips);
+    if (st.ctr_trips != nullptr) st.ctr_trips->Add(trips);
     for (const std::string& pred : batches[site]) {
       const Relation& rel = cache_source().Get(pred, 0);
       if (ctr_cache_misses_ != nullptr) ctr_cache_misses_->Add(1);
@@ -300,8 +419,17 @@ SiteDatabase::StagedFetch SiteDatabase::StageRemoteFetch(
   staged.count = rel.size();
   // The round trip's wall-clock cost is paid here, on the speculation
   // thread, where it overlaps other episodes' work; everything observable
-  // waits for CommitStagedFetch.
-  SimulateTripLatency(staged.site);
+  // waits for CommitStagedFetch. Under a non-fixed latency model the
+  // speculation sleeps a draw-free hint (the distribution's fast mode):
+  // consuming a real draw here would let speculation-thread interleaving
+  // reorder the site's deterministic latency stream. The real draw is
+  // consumed at commit time, in commit order.
+  const SiteState& st = *site_states_[staged.site];
+  if (st.costs.latency_model == LatencyModel::kFixed) {
+    SimulateTripLatency(staged.site);
+  } else {
+    SleepUs(st.costs.latency_lo_us);
+  }
   return staged;
 }
 
@@ -336,6 +464,13 @@ bool SiteDatabase::CommitStagedFetch(const StagedFetch& staged) {
   // refused), tuples, cache fill. Equal versions imply equal contents, so
   // staged.count is exactly the live relation's size.
   CCPI_DCHECK(st.injector == nullptr && st.budget == nullptr);
+  if (st.costs.latency_model != LatencyModel::kFixed) {
+    // Consume the trip's latency draw here, in commit order, so the
+    // site's deterministic stream (and its EWMA/histogram) advances
+    // exactly as the serial prefetch path would. The sleep already
+    // happened at staging time, so the drawn value is discarded.
+    (void)DrawTripLatencyUs(staged.site);
+  }
   if (ctr_cache_misses_ != nullptr) ctr_cache_misses_->Add(1);
   obs::Span span("distsim.remote_read", "distsim");
   if (span.active()) {

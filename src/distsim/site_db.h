@@ -59,6 +59,16 @@ struct AccessStats {
   }
 };
 
+/// Hedged-read accounting (see docs/distsim.md "Hedged reads"). The
+/// identity `issued == won + wasted` always holds, and every issued hedge
+/// billed exactly one extra remote trip to its site — which is how the
+/// trip-accounting identities keep balancing with hedging on.
+struct HedgeStats {
+  uint64_t issued = 0;
+  uint64_t won = 0;
+  uint64_t wasted = 0;
+};
+
 /// A database split into "local" and "remote" predicates, in the sense of
 /// Section 5: the site applying updates holds the local relations; every
 /// read of a remote relation is charged. The class is an AccessObserver —
@@ -185,6 +195,44 @@ class SiteDatabase : public AccessObserver, public RemoteAccessor {
   const CostModel& site_cost_model(size_t site) const {
     CCPI_CHECK(site < site_states_.size());
     return site_states_[site]->costs;
+  }
+
+  /// Arms hedged batched reads: when a batched per-site prefetch's drawn
+  /// latency exceeds `after` times that site's observed EWMA, one backup
+  /// attempt is issued (billing one extra trip) and the faster of the two
+  /// wins the wall clock. 0 (the default) disables hedging entirely —
+  /// no extra trips, no counters, byte-identical accounting. The counter
+  /// handles (may be null) receive the manager's conditionally registered
+  /// `manager.hedge.*` series. Configuration call: serialize against
+  /// reads.
+  void set_hedge(uint64_t after, obs::Counter* issued, obs::Counter* won,
+                 obs::Counter* wasted) {
+    hedge_after_ = after;
+    ctr_hedge_issued_ = issued;
+    ctr_hedge_won_ = won;
+    ctr_hedge_wasted_ = wasted;
+  }
+  uint64_t hedge_after() const { return hedge_after_; }
+
+  /// Snapshot of the hedged-read counters since the last ResetStats.
+  HedgeStats hedge_stats() const {
+    HedgeStats h;
+    h.issued = hedges_issued_.load(std::memory_order_relaxed);
+    h.won = hedges_won_.load(std::memory_order_relaxed);
+    h.wasted = hedges_wasted_.load(std::memory_order_relaxed);
+    return h;
+  }
+
+  /// Exponentially weighted moving average (alpha 1/4) of the site's
+  /// observed per-trip latency, in microseconds. 0 until the site's first
+  /// non-fixed-model trip — kFixed sites never feed the EWMA, which is
+  /// part of the default-config byte-identity guarantee (the latency
+  /// machinery is pure dead weight unless a distribution is configured).
+  uint64_t site_latency_ewma_us(size_t site) const {
+    CCPI_CHECK(site < site_states_.size());
+    return site_states_[site]->latency_ewma_q8.load(
+               std::memory_order_relaxed) >>
+           8;
   }
 
   /// Attaches (or detaches, with nullptr) a metrics registry. Every read
@@ -333,6 +381,12 @@ class SiteDatabase : public AccessObserver, public RemoteAccessor {
     remote_failures_.store(0, std::memory_order_relaxed);
     cache_hits_.store(0, std::memory_order_relaxed);
     cached_tuples_.store(0, std::memory_order_relaxed);
+    hedges_issued_.store(0, std::memory_order_relaxed);
+    hedges_won_.store(0, std::memory_order_relaxed);
+    hedges_wasted_.store(0, std::memory_order_relaxed);
+    // Latency draw counters and EWMAs survive a stats reset on purpose:
+    // they are simulation state (the position in the deterministic
+    // latency schedule), not observability.
     for (auto& st : site_states_) {
       st->remote_tuples.store(0, std::memory_order_relaxed);
       st->remote_trips.store(0, std::memory_order_relaxed);
@@ -356,10 +410,21 @@ class SiteDatabase : public AccessObserver, public RemoteAccessor {
     const BudgetScope* budget = nullptr;
     RemoteReadCache cache;
     CostModel costs;
+    // Index of the site's next latency draw. Counter-keyed (each draw
+    // seeds a fresh splitmix64 from (latency_seed, site, index)) so the
+    // drawn multiset per site is deterministic per seed regardless of
+    // which thread pays which trip. kFixed consumes none.
+    std::atomic<uint64_t> latency_draws{0};
+    // EWMA of observed trip latency, fixed-point microseconds << 8.
+    // 0 = no observation yet (real latencies are >= 1us, so 0 is free
+    // as the sentinel).
+    std::atomic<uint64_t> latency_ewma_q8{0};
     // Per-site obs handles; resolved only for multi-site topologies.
     obs::Counter* ctr_trips = nullptr;
     obs::Counter* ctr_failures = nullptr;
     obs::Counter* ctr_cache_hits = nullptr;
+    // Registered iff this site's latency model is non-fixed.
+    obs::Histogram* hist_latency = nullptr;
   };
 
   /// The database whose relation versions (and sizes, for prefetch) drive
@@ -372,9 +437,27 @@ class SiteDatabase : public AccessObserver, public RemoteAccessor {
   /// fault injection, fill-latency timing. The pre-cache ReadRemote body.
   Status FetchRemote(size_t site, const std::string& pred, size_t count);
 
-  /// Blocks for the site's simulated per-trip latency (CostModel::
-  /// trip_latency_us); no-op at the default of 0.
+  /// Blocks for the site's simulated per-trip latency. kFixed: sleeps
+  /// CostModel::trip_latency_us (no-op at the default of 0) and consumes
+  /// no randomness. Non-fixed models: consumes one latency draw, feeds
+  /// the EWMA/histogram, and sleeps the drawn value.
   void SimulateTripLatency(size_t site) const;
+
+  /// One deterministic latency draw for `site` (non-fixed models only):
+  /// advances the site's draw counter, samples the configured
+  /// distribution, and observes the sample into the EWMA and the
+  /// `distsim.site<k>.latency_us` histogram. Returns microseconds.
+  uint64_t DrawTripLatencyUs(size_t site) const;
+
+  /// The batched-prefetch trip with hedging armed: reads the EWMA first,
+  /// draws the primary latency, and — when the primary overshoots
+  /// hedge_after_ x EWMA — draws a deterministic single backup (launched
+  /// at the threshold instant) and sleeps min(primary, threshold +
+  /// backup) instead of the full primary. Returns how many *extra*
+  /// physical trips the caller must bill (0 or 1) and bumps the hedge
+  /// counters. Falls back to SimulateTripLatency semantics when hedging
+  /// cannot apply (hedging off, fixed model, or no EWMA yet).
+  size_t SimulateHedgedTripLatency(size_t site) const;
 
   std::set<std::string> local_preds_;
   Topology topology_;
@@ -392,6 +475,14 @@ class SiteDatabase : public AccessObserver, public RemoteAccessor {
   std::vector<std::unique_ptr<SiteState>> site_states_;
   bool cache_enabled_ = false;
   const Database* cache_db_ = nullptr;
+  // Hedged-read knob and accounting (set_hedge / hedge_stats). 0 = off.
+  uint64_t hedge_after_ = 0;
+  mutable std::atomic<uint64_t> hedges_issued_{0};
+  mutable std::atomic<uint64_t> hedges_won_{0};
+  mutable std::atomic<uint64_t> hedges_wasted_{0};
+  obs::Counter* ctr_hedge_issued_ = nullptr;
+  obs::Counter* ctr_hedge_won_ = nullptr;
+  obs::Counter* ctr_hedge_wasted_ = nullptr;
   // Counter handles resolved once in set_metrics (registry handles are
   // stable for the registry's lifetime), so the read path never does a
   // name lookup.

@@ -1,5 +1,7 @@
 #include "distsim/topology.h"
 
+#include <set>
+
 #include "util/check.h"
 
 namespace ccpi {
@@ -8,6 +10,23 @@ Topology::Topology(TopologyConfig config) : config_(std::move(config)) {
   CCPI_CHECK(config_.sites >= 1);
   for (const auto& [pred, site] : config_.placement) {
     (void)pred;
+    CCPI_CHECK(site < config_.sites);
+  }
+  // Backstop validation of the domain layer (the CLI/script layer rejects
+  // bad input with a friendly message before ever getting here): members
+  // in range, no site in two domains, windows not inverted.
+  std::set<size_t> claimed;
+  for (const FailureDomain& domain : config_.domains) {
+    for (size_t member : domain.members) {
+      CCPI_CHECK(member < config_.sites);
+      CCPI_CHECK(claimed.insert(member).second);
+    }
+    for (const OutageWindow& window : domain.outages) {
+      CCPI_CHECK(window.begin <= window.end);
+    }
+  }
+  for (const auto& [site, override] : config_.site_latency) {
+    (void)override;
     CCPI_CHECK(site < config_.sites);
   }
 }
@@ -27,6 +46,21 @@ size_t Topology::SiteOf(const std::string& pred) const {
   auto it = config_.placement.find(pred);
   if (it != config_.placement.end()) return it->second;
   return static_cast<size_t>(HashPred(pred) % config_.sites);
+}
+
+std::vector<std::vector<OutageWindow>> ExpandDomainOutages(
+    const TopologyConfig& config) {
+  std::vector<std::vector<OutageWindow>> per_site(config.sites);
+  for (const FailureDomain& domain : config.domains) {
+    if (domain.outages.empty()) continue;
+    for (size_t member : domain.members) {
+      CCPI_CHECK(member < config.sites);
+      for (const OutageWindow& window : domain.outages) {
+        per_site[member].push_back(window);
+      }
+    }
+  }
+  return per_site;
 }
 
 }  // namespace ccpi

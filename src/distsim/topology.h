@@ -5,13 +5,49 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
+
+#include "distsim/cost_model.h"
+#include "distsim/fault_injector.h"
 
 namespace ccpi {
 
+/// A correlated failure domain: a named group of sites (a rack, a region)
+/// whose outages are scripted *together*. A domain-level outage window is
+/// expanded into one identical per-site OutageWindow for every member, so
+/// the whole group goes dark and recovers over the same trip-count span —
+/// the correlated-failure generalization of the per-site windows that
+/// `--site-fault-outage` scripts individually.
+struct FailureDomain {
+  /// Domain name (`rack0`, `eu-west`); keys the `--domain-outage` flag
+  /// and the `domain_outage` script directive.
+  std::string name;
+  /// Member site indices, each < TopologyConfig::sites. A site belongs
+  /// to at most one domain (overlap is a config error).
+  std::vector<size_t> members;
+  /// Domain-level outage windows, half-open [begin, end) over each
+  /// member site's own remote-trip counter.
+  std::vector<OutageWindow> outages;
+};
+
+/// Per-site overrides of the latency fields of the site's CostModel
+/// (`--site-latency=S:...`). Only the latency-distribution fields are
+/// overridden; the billing weights stay uniform across sites.
+struct SiteLatencyOverride {
+  LatencyModel model = LatencyModel::kFixed;
+  /// kFixed: the fixed per-trip cost. Other models: ignored.
+  uint64_t fixed_us = 0;
+  uint64_t lo_us = 0;
+  uint64_t hi_us = 0;
+  double slow_share = 0.0;
+};
+
 /// Shape of the simulated remote side: how many independent sites there
-/// are and which remote predicate lives where. The default — one site, no
-/// explicit placement — reproduces the original single local/remote split
-/// exactly: every remote predicate maps to site 0.
+/// are, which remote predicate lives where, how sites are grouped into
+/// correlated failure domains, and which sites deviate from the global
+/// latency model. The default — one site, no explicit placement, no
+/// domains, no latency overrides — reproduces the original single
+/// local/remote split exactly: every remote predicate maps to site 0.
 struct TopologyConfig {
   /// Number of remote sites (>= 1). With one site every fault domain,
   /// cache, breaker, and budget collapses to the pre-topology behavior.
@@ -20,6 +56,12 @@ struct TopologyConfig {
   /// the script's `site K p q ...` directive). Predicates not listed are
   /// placed by hash. Every assigned site index must be < `sites`.
   std::map<std::string, size_t> placement;
+  /// Correlated failure domains (ccpi_check --domains / the script's
+  /// `domain` directive). Membership must not overlap across domains.
+  std::vector<FailureDomain> domains;
+  /// Per-site latency model overrides (ccpi_check --site-latency / the
+  /// script's `site_latency` directive), keyed by site index < sites.
+  std::map<size_t, SiteLatencyOverride> site_latency;
 };
 
 /// Predicate -> site resolution over a TopologyConfig.
@@ -48,6 +90,14 @@ class Topology {
  private:
   TopologyConfig config_;
 };
+
+/// Expands every domain-level outage window of `config.domains` into
+/// per-site windows: the returned vector has `config.sites` entries, and
+/// entry s holds one copy of each window of the domain containing site s
+/// (empty for sites in no domain). This is the correlated-outage
+/// generator: all members of a domain share the exact same windows.
+std::vector<std::vector<OutageWindow>> ExpandDomainOutages(
+    const TopologyConfig& config);
 
 }  // namespace ccpi
 

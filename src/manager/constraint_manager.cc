@@ -1,5 +1,7 @@
 #include "manager/constraint_manager.h"
 
+#include <algorithm>
+
 #include "core/cqc_form.h"
 #include "core/icq_compiler.h"
 #include "core/local_test.h"
@@ -169,6 +171,17 @@ void ConstraintManager::InitObservability() {
   }
   ctr_budget_exhausted_ = metrics_.GetCounter("manager.budget_exhausted");
   ctr_deferred_dropped_ = metrics_.GetCounter("manager.deferred.dropped");
+  // Hedge counters exist only with hedging armed, and the latency-shed
+  // counter only when some site actually draws latency, so the default
+  // metrics dump stays byte-identical to the pre-hedging catalog.
+  if (remote_cache_.hedge_after > 0) {
+    ctr_hedge_issued_ = metrics_.GetCounter("manager.hedge.issued");
+    ctr_hedge_won_ = metrics_.GetCounter("manager.hedge.won");
+    ctr_hedge_wasted_ = metrics_.GetCounter("manager.hedge.wasted");
+  }
+  if (latency_aware_) {
+    ctr_latency_shed_ = metrics_.GetCounter("manager.latency_shed");
+  }
   // Recovery counters exist only for multi-site topologies, so a 1-site
   // manager's metrics dump stays byte-identical to the pre-topology
   // catalog.
@@ -234,14 +247,32 @@ ConstraintManager::ConstraintManager(
   }
   site_was_dark_.assign(site_.sites(), false);
   site_.EnableRemoteCache(remote_cache.enabled);
-  // Price every site with the manager's cost model. Without this the
+  // Price every site with the manager's cost model, folding in the
+  // topology's per-site latency overrides (the billing weights stay
+  // uniform; only the latency distribution is per-site). Without this the
   // sites keep the default CostModel{}, which silently zeroes
   // trip_latency_us — the simulated round trips would be billed but never
-  // block, and latency-hiding machinery could not be measured.
+  // block, and latency-hiding machinery could not be measured. Pricing
+  // must precede InitObservability: the per-site latency histograms are
+  // registered off the priced models.
+  const auto& latency_overrides = site_.topology().config().site_latency;
   for (size_t s = 0; s < site_.sites(); ++s) {
-    site_.set_site_cost_model(s, cost_model_);
+    CostModel priced = cost_model_;
+    auto it = latency_overrides.find(s);
+    if (it != latency_overrides.end()) {
+      const SiteLatencyOverride& o = it->second;
+      priced.latency_model = o.model;
+      if (o.model == LatencyModel::kFixed) priced.trip_latency_us = o.fixed_us;
+      priced.latency_lo_us = o.lo_us;
+      priced.latency_hi_us = o.hi_us;
+      priced.latency_slow_share = o.slow_share;
+    }
+    if (priced.latency_model != LatencyModel::kFixed) latency_aware_ = true;
+    site_.set_site_cost_model(s, priced);
   }
   InitObservability();
+  site_.set_hedge(remote_cache_.hedge_after, ctr_hedge_issued_,
+                  ctr_hedge_won_, ctr_hedge_wasted_);
 }
 
 ConstraintManager::~ConstraintManager() { AbandonInflight(); }
@@ -269,6 +300,10 @@ void ConstraintManager::ResetStats() {
   for (obs::Counter* c : ctr_site_recovered_) {
     if (c != nullptr) c->Reset();
   }
+  if (ctr_hedge_issued_ != nullptr) ctr_hedge_issued_->Reset();
+  if (ctr_hedge_won_ != nullptr) ctr_hedge_won_->Reset();
+  if (ctr_hedge_wasted_ != nullptr) ctr_hedge_wasted_->Reset();
+  if (ctr_latency_shed_ != nullptr) ctr_latency_shed_->Reset();
 }
 
 ManagerStats ConstraintManager::stats() const {
@@ -293,6 +328,13 @@ ManagerStats ConstraintManager::stats() const {
       ctr_sites_recovered_ != nullptr ? ctr_sites_recovered_->value() : 0;
   s.cache_revalidated =
       ctr_cache_revalidated_ != nullptr ? ctr_cache_revalidated_->value() : 0;
+  s.hedges_issued =
+      ctr_hedge_issued_ != nullptr ? ctr_hedge_issued_->value() : 0;
+  s.hedges_won = ctr_hedge_won_ != nullptr ? ctr_hedge_won_->value() : 0;
+  s.hedges_wasted =
+      ctr_hedge_wasted_ != nullptr ? ctr_hedge_wasted_->value() : 0;
+  s.latency_shed =
+      ctr_latency_shed_ != nullptr ? ctr_latency_shed_->value() : 0;
   s.access = site_.stats();
   return s;
 }
@@ -1101,6 +1143,24 @@ Result<std::vector<CheckReport>> ConstraintManager::ApplyUpdateImpl(
     std::vector<Status> eval_status(need_full.size());
     std::vector<char> eval_bad(need_full.size(), 0);
     std::vector<size_t> eval_retries(need_full.size(), 0);
+    // Latency-aware shed — the refuse-before-pay rule extended from spent
+    // budgets to projected latency: when a member site's observed-latency
+    // EWMA already says one round trip cannot finish inside the check's
+    // remaining deadline, the check is shed to kDeferred *before* paying
+    // the trip (no draw consumed, no trip billed), instead of paying the
+    // trip and shedding at the next checkpoint anyway.
+    std::vector<char> lat_shed(need_full.size(), 0);
+    auto latency_projects_over = [&](size_t k) -> bool {
+      if (!latency_aware_) return false;
+      const BudgetScope* scope = scope_for(k);
+      if (scope == nullptr || !scope->has_deadline()) return false;
+      uint64_t worst_us = 0;
+      for (size_t s : constraints_[need_full[k]].remote_sites) {
+        worst_us = std::max(worst_us, site_.site_latency_ewma_us(s));
+      }
+      if (worst_us == 0) return false;  // no observation yet: try the trip
+      return worst_us / 1000 >= scope->remaining_ms();
+    };
     if (parallel_t3 || Relation::ColumnarEnabled()) {
       // The tentative apply dirtied u.pred; re-freeze so tier 3 reads
       // built indexes (and, columnar on, fresh segments).
@@ -1110,6 +1170,12 @@ Result<std::vector<CheckReport>> ConstraintManager::ApplyUpdateImpl(
       CCPI_RETURN_IF_ERROR(
           pool_->ParallelFor(need_full.size(), [&](size_t k) -> Status {
             const Registered& reg = constraints_[need_full[k]];
+            if (latency_projects_over(k)) {
+              lat_shed[k] = 1;
+              eval_status[k] = Status::ResourceExhausted(
+                  "projected trip latency exceeds remaining deadline");
+              return Status::OK();
+            }
             Result<bool> bad =
                 EvaluateRemote(reg.program, site_.db(), reg.remote_sites,
                                &eval_retries[k], scope_for(k), &reg.name);
@@ -1137,14 +1203,20 @@ Result<std::vector<CheckReport>> ConstraintManager::ApplyUpdateImpl(
           any_deferred = true;
           continue;
         }
-        ClaimSites(reg.remote_sites);
-        Result<bool> bad =
-            EvaluateRemote(reg.program, site_.db(), reg.remote_sites,
-                           &eval_retries[k], scope_for(k), &reg.name);
-        if (!bad.ok()) {
-          eval_status[k] = bad.status();
+        if (latency_projects_over(k)) {
+          lat_shed[k] = 1;
+          eval_status[k] = Status::ResourceExhausted(
+              "projected trip latency exceeds remaining deadline");
         } else {
-          eval_bad[k] = *bad ? 1 : 0;
+          ClaimSites(reg.remote_sites);
+          Result<bool> bad =
+              EvaluateRemote(reg.program, site_.db(), reg.remote_sites,
+                             &eval_retries[k], scope_for(k), &reg.name);
+          if (!bad.ok()) {
+            eval_status[k] = bad.status();
+          } else {
+            eval_bad[k] = *bad ? 1 : 0;
+          }
         }
       }
       report.retries = eval_retries[k];
@@ -1157,6 +1229,9 @@ Result<std::vector<CheckReport>> ConstraintManager::ApplyUpdateImpl(
           report.outcome = Outcome::kDeferred;
           report.reason = StatusCode::kResourceExhausted;
           ctr_shed_->Add(1);
+          if (lat_shed[k] != 0 && ctr_latency_shed_ != nullptr) {
+            ctr_latency_shed_->Add(1);
+          }
           any_deferred = true;
           continue;
         }

@@ -88,6 +88,15 @@ struct ParallelConfig {
 /// to measure the uncached baseline.
 struct RemoteCacheConfig {
   bool enabled = true;
+  /// Hedged batched reads (`ccpi_check --hedge-after=N`): when a batched
+  /// per-site prefetch's drawn latency exceeds `hedge_after` times that
+  /// site's observed latency EWMA, the simulator issues one deterministic
+  /// backup attempt and takes the faster of the two, billing exactly one
+  /// extra remote trip per issued hedge (see docs/distsim.md "Hedged
+  /// reads"). 0 (the default) disables hedging: no extra trips, no
+  /// `manager.hedge.*` counters, byte-identical behavior. Hedging only
+  /// ever engages on sites with a non-fixed latency model.
+  uint64_t hedge_after = 0;
 };
 
 /// The compiled local-test plan cache (see docs/plan_cache.md). On by
@@ -221,6 +230,17 @@ struct ManagerStats {
   size_t sites_recovered = 0;
   /// Cache entries revalidated by recovery reconciliation passes.
   size_t cache_revalidated = 0;
+  /// Hedged batched reads issued / won / wasted (hedging on only; each
+  /// issued hedge billed one extra remote trip, and issued == won +
+  /// wasted always holds).
+  size_t hedges_issued = 0;
+  size_t hedges_won = 0;
+  size_t hedges_wasted = 0;
+  /// Tier-3 checks shed because a member site's latency EWMA said the
+  /// trip could not finish inside the episode's remaining deadline — the
+  /// refuse-before-pay rule extended to latency: the trip is never paid.
+  /// A subset of shed_checks (the t3 accounting invariant is unchanged).
+  size_t latency_shed = 0;
   AccessStats access;
 };
 
@@ -675,6 +695,18 @@ class ConstraintManager {
   /// Per-site recovery counters ("manager.recovery.site<k>"), resolved
   /// only for multi-site topologies.
   std::vector<obs::Counter*> ctr_site_recovered_;
+  /// Hedged-read counters ("manager.hedge.*"), resolved only when
+  /// RemoteCacheConfig::hedge_after > 0 so the default metric catalog is
+  /// untouched; handed to the SiteDatabase which does the counting.
+  obs::Counter* ctr_hedge_issued_ = nullptr;
+  obs::Counter* ctr_hedge_won_ = nullptr;
+  obs::Counter* ctr_hedge_wasted_ = nullptr;
+  /// Latency-aware shed counter ("manager.latency_shed"), resolved only
+  /// when some site runs a non-fixed latency model (latency_aware_).
+  obs::Counter* ctr_latency_shed_ = nullptr;
+  /// True iff any site's effective cost model draws latency (non-fixed):
+  /// the gate on the EWMA-projection shed and its counter.
+  bool latency_aware_ = false;
   /// Plan-cache instrumentation, resolved only when the cache is enabled
   /// (every increment site is gated on a cache path, so the handles are
   /// never dereferenced while disabled). Deliberately NOT part of stats():

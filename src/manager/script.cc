@@ -26,6 +26,44 @@ bool EndsWithContinuation(const std::string& line) {
   return line.size() >= 2 && line.substr(line.size() - 2) == ":-";
 }
 
+/// Parses a latency-model spec — "fixed:U", "uniform:LO:HI" or
+/// "twopoint:LO:HI:P" — shared by the `site_latency` directive and the
+/// --site-latency flag. Microsecond parameters must be >= 1 (a zero or
+/// negative latency is a config error, not a free network) and LO <= HI;
+/// P is a probability in [0,1].
+bool ParseLatencySpec(std::string_view spec, SiteLatencyOverride* out) {
+  std::vector<std::string_view> parts;
+  while (true) {
+    size_t colon = spec.find(':');
+    parts.push_back(spec.substr(0, colon));
+    if (colon == std::string_view::npos) break;
+    spec = spec.substr(colon + 1);
+  }
+  SiteLatencyOverride o;
+  if (parts[0] == "fixed" && parts.size() == 2) {
+    o.model = LatencyModel::kFixed;
+    if (!ParseUint64(parts[1], &o.fixed_us) || o.fixed_us == 0) return false;
+  } else if (parts[0] == "uniform" && parts.size() == 3) {
+    o.model = LatencyModel::kUniform;
+    if (!ParseUint64(parts[1], &o.lo_us) ||
+        !ParseUint64(parts[2], &o.hi_us) || o.lo_us == 0 ||
+        o.lo_us > o.hi_us) {
+      return false;
+    }
+  } else if (parts[0] == "twopoint" && parts.size() == 4) {
+    o.model = LatencyModel::kTwoPoint;
+    if (!ParseUint64(parts[1], &o.lo_us) ||
+        !ParseUint64(parts[2], &o.hi_us) || o.lo_us == 0 ||
+        o.lo_us > o.hi_us || !ParseProbability(parts[3], &o.slow_share)) {
+      return false;
+    }
+  } else {
+    return false;
+  }
+  *out = o;
+  return true;
+}
+
 /// Parses "pred(c1, c2, ...)" into a ground atom.
 Result<std::pair<std::string, Tuple>> ParseGroundAtom(
     const std::string& text) {
@@ -122,6 +160,85 @@ Result<Script> ParseScript(std::string_view text) {
             "line " + std::to_string(line_number) +
             ": site " + index_text + " pins no predicates");
       }
+    } else if (keyword == "site_latency") {
+      // "site_latency K SPEC" gives site K its own latency model.
+      CCPI_RETURN_IF_ERROR(flush_constraint());
+      std::string index_text, spec;
+      ls >> index_text >> spec;
+      uint64_t index = 0;
+      SiteLatencyOverride o;
+      if (!ParseUint64(index_text, &index) || spec.empty() ||
+          !ParseLatencySpec(spec, &o)) {
+        return Status::InvalidArgument(
+            "line " + std::to_string(line_number) +
+            ": site_latency wants SITE then fixed:U, uniform:LO:HI or "
+            "twopoint:LO:HI:P (microseconds >= 1, LO <= HI), got \"" +
+            rest + "\"");
+      }
+      script.topology.site_latency[static_cast<size_t>(index)] = o;
+    } else if (keyword == "domain") {
+      // "domain NAME S1 S2 ..." declares a correlated failure domain.
+      CCPI_RETURN_IF_ERROR(flush_constraint());
+      std::string name;
+      ls >> name;
+      FailureDomain dom;
+      dom.name = name;
+      std::string member_text;
+      while (ls >> member_text) {
+        uint64_t m = 0;
+        if (!ParseUint64(member_text, &m)) {
+          return Status::InvalidArgument(
+              "line " + std::to_string(line_number) +
+              ": domain wants NAME then member site indices, got \"" +
+              rest + "\"");
+        }
+        dom.members.push_back(static_cast<size_t>(m));
+      }
+      if (name.empty() || dom.members.empty()) {
+        return Status::InvalidArgument(
+            "line " + std::to_string(line_number) +
+            ": domain wants NAME then at least one member site, got \"" +
+            rest + "\"");
+      }
+      script.topology.domains.push_back(std::move(dom));
+    } else if (keyword == "domain_outage") {
+      // "domain_outage NAME A B" darkens every member of NAME for the
+      // half-open trip window [A, B), same convention as --fault-outage.
+      // The domain must be declared above.
+      CCPI_RETURN_IF_ERROR(flush_constraint());
+      std::string name, begin_text, end_text;
+      ls >> name >> begin_text >> end_text;
+      uint64_t begin = 0, end = 0;
+      if (name.empty() || !ParseUint64(begin_text, &begin) ||
+          !ParseUint64(end_text, &end) || begin > end) {
+        // An inverted window would be a silent no-op, not an outage.
+        return Status::InvalidArgument(
+            "line " + std::to_string(line_number) +
+            ": domain_outage wants NAME A B with trips A <= B, got \"" +
+            rest + "\"");
+      }
+      bool found = false;
+      for (FailureDomain& dom : script.topology.domains) {
+        if (dom.name != name) continue;
+        dom.outages.push_back(OutageWindow{begin, end});
+        found = true;
+        break;
+      }
+      if (!found) {
+        return Status::InvalidArgument(
+            "line " + std::to_string(line_number) +
+            ": domain_outage names undefined domain \"" + name + "\"");
+      }
+    } else if (keyword == "hedge_after") {
+      CCPI_RETURN_IF_ERROR(flush_constraint());
+      uint64_t n = 0;
+      if (!ParseUint64(rest, &n)) {
+        return Status::InvalidArgument(
+            "line " + std::to_string(line_number) +
+            ": hedge_after wants a non-negative EWMA multiple (0 = off), "
+            "got \"" + rest + "\"");
+      }
+      script.hedge_after = n;
     } else if (keyword == "plan_cache") {
       CCPI_RETURN_IF_ERROR(flush_constraint());
       if (rest == "on") {
@@ -176,6 +293,38 @@ Result<Script> ParseScript(std::string_view text) {
     if (s >= script.topology.sites) {
       return Status::InvalidArgument(
           "site " + std::to_string(s) + " pins predicate " + pred +
+          " but the script declares only " +
+          std::to_string(script.topology.sites) + " site(s)");
+    }
+  }
+  // Directive order is free (`sites` may follow `domain`), so domain and
+  // latency site indices are checked here, like placement above.
+  std::set<std::string> domain_names;
+  std::set<size_t> claimed;
+  for (const FailureDomain& dom : script.topology.domains) {
+    if (!domain_names.insert(dom.name).second) {
+      return Status::InvalidArgument("domain \"" + dom.name +
+                                     "\" is declared twice");
+    }
+    for (size_t member : dom.members) {
+      if (member >= script.topology.sites) {
+        return Status::InvalidArgument(
+            "domain \"" + dom.name + "\" claims site " +
+            std::to_string(member) + " but the script declares only " +
+            std::to_string(script.topology.sites) + " site(s)");
+      }
+      if (!claimed.insert(member).second) {
+        return Status::InvalidArgument(
+            "site " + std::to_string(member) +
+            " is a member of two failure domains");
+      }
+    }
+  }
+  for (const auto& [site, o] : script.topology.site_latency) {
+    (void)o;
+    if (site >= script.topology.sites) {
+      return Status::InvalidArgument(
+          "site_latency names site " + std::to_string(site) +
           " but the script declares only " +
           std::to_string(script.topology.sites) + " site(s)");
     }
@@ -438,6 +587,88 @@ Status ApplyScriptFlag(std::string_view arg, ScriptOptions* options,
     options->enable_faults = true;
     return Status::OK();
   }
+  if (auto v = FlagValue(arg, "site-latency")) {
+    size_t site = 0;
+    std::string_view rest;
+    SiteLatencyOverride o;
+    if (!SplitSitePrefix(*v, &site, &rest) || !ParseLatencySpec(rest, &o)) {
+      return BadFlag("site-latency",
+                     "SITE:fixed:U, SITE:uniform:LO:HI or "
+                     "SITE:twopoint:LO:HI:P (microseconds >= 1, LO <= HI)",
+                     *v);
+    }
+    options->topology.site_latency[site] = o;
+    options->site_latency_from_flags = true;
+    return Status::OK();
+  }
+  if (auto v = FlagValue(arg, "hedge-after")) {
+    uint64_t n = 0;
+    if (!ParseUint64(*v, &n)) {
+      return BadFlag("hedge-after", "a non-negative EWMA multiple (0 = off)",
+                     *v);
+    }
+    options->remote_cache.hedge_after = n;
+    options->hedge_from_flags = true;
+    return Status::OK();
+  }
+  if (auto v = FlagValue(arg, "domains")) {
+    // "NAME:S0+S1,NAME2:S2" — comma-separated domains, '+'-separated
+    // member sites. Replaces the script's `domain` directives wholesale.
+    std::vector<FailureDomain> domains;
+    std::string_view remaining = *v;
+    while (!remaining.empty()) {
+      size_t comma = remaining.find(',');
+      std::string_view spec = remaining.substr(0, comma);
+      remaining = comma == std::string_view::npos
+                      ? std::string_view{}
+                      : remaining.substr(comma + 1);
+      size_t colon = spec.find(':');
+      if (colon == std::string_view::npos || colon == 0) {
+        return BadFlag("domains", "NAME:S0+S1,... domain specs", *v);
+      }
+      FailureDomain dom;
+      dom.name = std::string(spec.substr(0, colon));
+      std::string_view members = spec.substr(colon + 1);
+      while (!members.empty()) {
+        size_t plus = members.find('+');
+        uint64_t m = 0;
+        if (!ParseUint64(members.substr(0, plus), &m)) {
+          return BadFlag("domains", "NAME:S0+S1,... domain specs", *v);
+        }
+        dom.members.push_back(static_cast<size_t>(m));
+        members = plus == std::string_view::npos ? std::string_view{}
+                                                 : members.substr(plus + 1);
+      }
+      if (dom.members.empty()) {
+        return BadFlag("domains", "NAME:S0+S1,... domain specs", *v);
+      }
+      domains.push_back(std::move(dom));
+    }
+    if (domains.empty()) {
+      return BadFlag("domains", "NAME:S0+S1,... domain specs", *v);
+    }
+    options->topology.domains = std::move(domains);
+    options->domains_from_flags = true;
+    return Status::OK();
+  }
+  if (auto v = FlagValue(arg, "domain-outage")) {
+    size_t colon = v->find(':');
+    uint64_t begin = 0, end = 0;
+    if (colon == std::string_view::npos || colon == 0) {
+      return BadFlag("domain-outage", "NAME:A:B with trips A <= B", *v);
+    }
+    std::string_view rest = v->substr(colon + 1);
+    size_t colon2 = rest.find(':');
+    if (colon2 == std::string_view::npos ||
+        !ParseUint64(rest.substr(0, colon2), &begin) ||
+        !ParseUint64(rest.substr(colon2 + 1), &end) || begin > end) {
+      // An inverted window would be a silent no-op, not an outage.
+      return BadFlag("domain-outage", "NAME:A:B with trips A <= B", *v);
+    }
+    options->domain_outages[std::string(v->substr(0, colon))].push_back(
+        OutageWindow{begin, end});
+    return Status::OK();
+  }
   if (arg == "--fault-reject") {
     options->resilience.on_unreachable = DeferredPolicy::kReject;
     return Status::OK();
@@ -481,6 +712,44 @@ Status ValidateScriptOptions(const ScriptOptions& options) {
             " but --sites=" + std::to_string(options.topology.sites));
       }
     }
+    for (const auto& [site, o] : options.topology.site_latency) {
+      (void)o;
+      if (site >= options.topology.sites) {
+        return Status::InvalidArgument(
+            "--site-latency names site " + std::to_string(site) +
+            " but --sites=" + std::to_string(options.topology.sites));
+      }
+    }
+  }
+  std::set<std::string> domain_names;
+  std::set<size_t> claimed;
+  for (const FailureDomain& dom : options.topology.domains) {
+    if (!domain_names.insert(dom.name).second) {
+      return Status::InvalidArgument("--domains defines domain \"" +
+                                     dom.name + "\" twice");
+    }
+    for (size_t member : dom.members) {
+      if (!claimed.insert(member).second) {
+        return Status::InvalidArgument(
+            "--domains puts site " + std::to_string(member) +
+            " in two failure domains");
+      }
+      if (options.topology_from_flags && member >= options.topology.sites) {
+        return Status::InvalidArgument(
+            "--domains claims site " + std::to_string(member) +
+            " but --sites=" + std::to_string(options.topology.sites));
+      }
+    }
+  }
+  if (options.domains_from_flags) {
+    for (const auto& [name, windows] : options.domain_outages) {
+      (void)windows;
+      if (domain_names.find(name) == domain_names.end()) {
+        return Status::InvalidArgument(
+            "--domain-outage names domain \"" + name +
+            "\" but --domains does not define it");
+      }
+    }
   }
   return Status::OK();
 }
@@ -519,6 +788,64 @@ Result<ScriptReport> RunScript(const Script& script,
           " site(s)");
     }
   }
+  // Per-site latency models: flag entries override the script's
+  // site-wise. Failure domains: --domains replaces the script's
+  // wholesale, then --domain-outage windows attach to the effective
+  // domains by name.
+  for (const auto& [site, o] : options.topology.site_latency) {
+    topology.site_latency[site] = o;
+  }
+  if (options.domains_from_flags) topology.domains = options.topology.domains;
+  for (const auto& [name, windows] : options.domain_outages) {
+    FailureDomain* dom = nullptr;
+    for (FailureDomain& d : topology.domains) {
+      if (d.name == name) {
+        dom = &d;
+        break;
+      }
+    }
+    if (dom == nullptr) {
+      return Status::InvalidArgument(
+          "--domain-outage names domain \"" + name +
+          "\" but the effective topology does not define it");
+    }
+    dom->outages.insert(dom->outages.end(), windows.begin(), windows.end());
+  }
+  // Re-validate the merged topology (script domains may now pair with
+  // --sites, or vice versa) so a bad combination is a graceful error,
+  // not a Topology-constructor CHECK failure.
+  {
+    std::set<std::string> names;
+    std::set<size_t> claimed;
+    for (const FailureDomain& dom : topology.domains) {
+      if (!names.insert(dom.name).second) {
+        return Status::InvalidArgument("failure domain \"" + dom.name +
+                                       "\" is defined twice");
+      }
+      for (size_t member : dom.members) {
+        if (member >= topology.sites) {
+          return Status::InvalidArgument(
+              "failure domain \"" + dom.name + "\" claims site " +
+              std::to_string(member) + " but the topology has " +
+              std::to_string(topology.sites) + " site(s)");
+        }
+        if (!claimed.insert(member).second) {
+          return Status::InvalidArgument(
+              "site " + std::to_string(member) +
+              " is a member of two failure domains");
+        }
+      }
+    }
+  }
+  for (const auto& [site, o] : topology.site_latency) {
+    (void)o;
+    if (site >= topology.sites) {
+      return Status::InvalidArgument(
+          "site_latency names site " + std::to_string(site) +
+          " but the topology has " + std::to_string(topology.sites) +
+          " site(s)");
+    }
+  }
 
   // Effective plan-cache switch: an explicit --plan-cache flag wins over
   // the script's own directive, which wins over the default (on).
@@ -535,6 +862,14 @@ Result<ScriptReport> RunScript(const Script& script,
     pipeline.depth = *script.pipeline_depth;
   }
 
+  // Effective hedging threshold: an explicit --hedge-after flag wins over
+  // the script's own `hedge_after` directive, which wins over the default
+  // (0 = off).
+  RemoteCacheConfig remote_cache = options.remote_cache;
+  if (!options.hedge_from_flags && script.hedge_after.has_value()) {
+    remote_cache.hedge_after = *script.hedge_after;
+  }
+
   // Columnar read path: a process-wide switch on Relation, applied before
   // the manager freezes anything. Semantically invisible (byte-identical
   // reports either way); off forces every evaluator down the
@@ -542,15 +877,25 @@ Result<ScriptReport> RunScript(const Script& script,
   Relation::SetColumnarEnabled(options.columnar);
 
   ConstraintManager mgr(script.local_preds, costs, options.resilience,
-                        options.parallel, options.remote_cache,
+                        options.parallel, remote_cache,
                         options.budget, topology, plan_cache, pipeline);
+  // Correlated failure domains ride the per-site injectors: each domain's
+  // outage windows are copied to every member site, so the whole domain
+  // goes dark (and recovers) together. Any expanded window arms fault
+  // injection even without --fault-* flags.
+  std::vector<std::vector<OutageWindow>> domain_windows =
+      ExpandDomainOutages(topology);
+  bool any_domain_outage = false;
+  for (const std::vector<OutageWindow>& windows : domain_windows) {
+    if (!windows.empty()) any_domain_outage = true;
+  }
   // One injector per site, each with its own schedule. Site 0 inherits
   // the base config (and seed) verbatim — a 1-site faulted run is
   // bit-identical to the pre-topology tool — while site s>0 derives
   // seed + s * golden-ratio so sites fail independently unless a
   // --site-fault-seed pins them together.
   std::vector<std::unique_ptr<FaultInjector>> injectors;
-  if (options.enable_faults) {
+  if (options.enable_faults || any_domain_outage) {
     for (size_t s = 0; s < topology.sites; ++s) {
       FaultConfig cfg = options.faults;
       if (s > 0) cfg.seed = cfg.seed + s * 0x9e3779b97f4a7c15ull;
@@ -562,6 +907,10 @@ Result<ScriptReport> RunScript(const Script& script,
         if (o.seed) cfg.seed = *o.seed;
         cfg.outages.insert(cfg.outages.end(), o.outages.begin(),
                            o.outages.end());
+      }
+      if (s < domain_windows.size()) {
+        cfg.outages.insert(cfg.outages.end(), domain_windows[s].begin(),
+                           domain_windows[s].end());
       }
       injectors.push_back(std::make_unique<FaultInjector>(cfg));
       mgr.site().set_site_fault_injector(s, injectors.back().get());
@@ -672,6 +1021,10 @@ Result<ScriptReport> RunScript(const Script& script,
   report.deferred_dropped = stats.deferred_dropped;
   report.sites_recovered = stats.sites_recovered;
   report.cache_revalidated = stats.cache_revalidated;
+  report.hedges_issued = stats.hedges_issued;
+  report.hedges_won = stats.hedges_won;
+  report.hedges_wasted = stats.hedges_wasted;
+  report.latency_shed = stats.latency_shed;
 
   std::ostringstream summary;
   summary << "---\n";
@@ -722,6 +1075,22 @@ Result<ScriptReport> RunScript(const Script& script,
       summary << "recovery: " << stats.sites_recovered
               << " site recoveries, " << stats.cache_revalidated
               << " cache entries revalidated\n";
+    }
+    // The hedge and latency lines exist only when their feature does, so
+    // a default-config --stats block is byte-identical to earlier tools.
+    if (remote_cache.hedge_after > 0) {
+      summary << "hedge: " << stats.hedges_issued << " issued, "
+              << stats.hedges_won << " won, " << stats.hedges_wasted
+              << " wasted\n";
+    }
+    bool latency_models = costs.latency_model != LatencyModel::kFixed;
+    for (const auto& [site, o] : topology.site_latency) {
+      (void)site;
+      if (o.model != LatencyModel::kFixed) latency_models = true;
+    }
+    if (latency_models) {
+      summary << "latency: " << stats.latency_shed
+              << " checks shed by EWMA projection\n";
     }
     if (report.budget_armed) {
       summary << "budget: " << stats.t3_admitted << " admitted, "

@@ -35,6 +35,10 @@ namespace ccpi {
 ///     sites 3                       # remote fault domains (default 1)
 ///     site 1 dept assign            # pin remote preds to a site; unpinned
 ///                                   # ones hash to a site deterministically
+///     site_latency 1 twopoint:100:5000:0.1   # per-site latency model
+///     domain rack0 0 1              # correlated failure domain
+///     domain_outage rack0 4 10      # whole domain dark for trips 4..9
+///     hedge_after 3                 # hedge batched reads past 3x EWMA
 ///     plan_cache off                # compiled-plan cache (default on)
 ///     pipeline 4                    # episode pipeline depth (default 1)
 ///
@@ -45,8 +49,10 @@ struct Script {
   std::vector<std::pair<std::string, Program>> constraints;
   Database initial;
   std::vector<Update> updates;
-  /// Remote-site topology from `sites` / `site` directives; command-line
-  /// flags (--sites, --placement) override it field-wise.
+  /// Remote-site topology from `sites` / `site` / `site_latency` /
+  /// `domain` / `domain_outage` directives; command-line flags (--sites,
+  /// --placement, --site-latency, --domains, --domain-outage) override it
+  /// field-wise.
   TopologyConfig topology;
   /// `plan_cache on|off` directive; unset means the default (on). The
   /// --plan-cache flag overrides it (flags win).
@@ -55,6 +61,10 @@ struct Script {
   /// default (1 = serial). The --pipeline-depth flag overrides it
   /// (flags win).
   std::optional<size_t> pipeline_depth;
+  /// `hedge_after N` directive: hedged batched reads past N x the site's
+  /// latency EWMA; unset means the default (0 = off). The --hedge-after
+  /// flag overrides it (flags win).
+  std::optional<uint64_t> hedge_after;
 };
 
 Result<Script> ParseScript(std::string_view text);
@@ -79,10 +89,23 @@ struct ScriptOptions {
   /// sites draw independent schedules by default.
   FaultConfig faults;
   bool enable_faults = false;
-  /// Remote-site topology from --sites / --placement; overrides the
-  /// script's own directives field-wise (flags win).
+  /// Remote-site topology from --sites / --placement / --site-latency /
+  /// --domains; overrides the script's own directives field-wise (flags
+  /// win).
   TopologyConfig topology;
   bool topology_from_flags = false;
+  /// Whether --domains was given: the flag's domain list replaces the
+  /// script's `domain` directives wholesale.
+  bool domains_from_flags = false;
+  /// Whether any --site-latency was given; flag entries override the
+  /// script's `site_latency` directives site-wise.
+  bool site_latency_from_flags = false;
+  /// Correlated-outage windows from --domain-outage=NAME:A:B, attached by
+  /// name to the effective (post-merge) failure domains. A window naming a
+  /// domain that does not exist after the merge fails the run. Any entry
+  /// implies fault injection (the expanded windows ride the per-site
+  /// FaultInjectors).
+  std::map<std::string, std::vector<OutageWindow>> domain_outages;
   /// Per-site fault overrides from --site-fault-rate=S:P and friends;
   /// any entry implies enable_faults.
   std::map<size_t, SiteFaultOverride> site_faults;
@@ -91,8 +114,12 @@ struct ScriptOptions {
   /// (ccpi_check --threads). Reports are identical at any thread count.
   ParallelConfig parallel;
   /// Remote-read snapshot cache (ccpi_check --remote-cache). On by
-  /// default; semantically invisible either way.
+  /// default; semantically invisible either way. Its hedge_after field
+  /// (ccpi_check --hedge-after) arms hedged batched reads.
   RemoteCacheConfig remote_cache;
+  /// Whether --hedge-after was given explicitly; when set it overrides
+  /// the script's own `hedge_after` directive (flags win).
+  bool hedge_from_flags = false;
   /// Compiled-plan cache (ccpi_check --plan-cache). On by default;
   /// semantically invisible either way — reports and ManagerStats are
   /// byte-identical on or off.
@@ -179,6 +206,15 @@ struct ScriptReport {
   /// Queue entries dropped by OverflowPolicy::kShedOldest
   /// (ManagerStats::deferred_dropped).
   size_t deferred_dropped = 0;
+  /// Hedged-read accounting (ManagerStats::hedges_*); all zero unless the
+  /// effective hedge_after threshold is nonzero. issued == won + wasted.
+  size_t hedges_issued = 0;
+  size_t hedges_won = 0;
+  size_t hedges_wasted = 0;
+  /// Tier-3 checks shed because the worst member site's latency EWMA
+  /// projected past the remaining episode deadline — a labeled subset of
+  /// shed_checks (ManagerStats::latency_shed).
+  size_t latency_shed = 0;
 };
 
 Result<ScriptReport> RunScript(const Script& script,
@@ -197,7 +233,10 @@ Result<ScriptReport> RunScript(const Script& script,
 /// --fault-seed=N, --fault-outage=A:B, --fault-reject, --stats,
 /// --sites=N, --placement=p:0,q:1, --site-fault-rate=S:P,
 /// --site-fault-timeout-rate=S:P, --site-fault-seed=S:N,
-/// --site-fault-outage=S:A:B, --deadline-ms=N, --max-fixpoint-rounds=N,
+/// --site-fault-outage=S:A:B,
+/// --site-latency=S:fixed:U | S:uniform:LO:HI | S:twopoint:LO:HI:P,
+/// --hedge-after=N, --domains=NAME:S0+S1,NAME2:S2,
+/// --domain-outage=NAME:A:B, --deadline-ms=N, --max-fixpoint-rounds=N,
 /// --max-derived-tuples=N, --deferred-queue-cap=N,
 /// --overflow-policy=POLICY — and
 /// validates values *strictly*: a malformed or out-of-range value (e.g.
@@ -213,8 +252,11 @@ Status ApplyScriptFlag(std::string_view arg, ScriptOptions* options,
 
 /// Cross-flag validation, called once after all flags are applied:
 /// the fault probabilities (global and per-site effective) must sum to at
-/// most 1, and every site index named by --placement or --site-fault-*
-/// must be < --sites.
+/// most 1; every site index named by --placement, --site-fault-* or
+/// --site-latency must be < --sites; --domains names must be unique with
+/// no site in two domains and (when --sites was given) members < sites;
+/// and every --domain-outage must name a --domains domain when --domains
+/// was given.
 Status ValidateScriptOptions(const ScriptOptions& options);
 
 }  // namespace ccpi

@@ -575,13 +575,31 @@ TEST(ParallelEquivalenceTest, CancelledEpisodesShedIdenticallyAtAnyThreadCount) 
 /// seeds the same way the script layer does (site 0 verbatim, then the
 /// golden-ratio stride).
 RunResult RunTopologyWorkload(uint64_t seed, size_t threads, size_t sites,
-                              const std::optional<FaultConfig>& faults) {
+                              const std::optional<FaultConfig>& faults,
+                              bool neutral_latency = false,
+                              uint64_t hedge_after = 0) {
   TopologyConfig topology;
   topology.sites = sites;
   topology.placement["r"] = 0;
   topology.placement["dept"] = sites - 1;
+  if (neutral_latency) {
+    // A maximally-spelled-out-but-inert config: every site carries an
+    // explicit kFixed/0us latency override (identical to the default
+    // pricing) and all sites are grouped into one failure domain with no
+    // outage windows (pure membership). Neither may perturb a single
+    // observable.
+    for (size_t s = 0; s < sites; ++s) {
+      topology.site_latency[s] = SiteLatencyOverride{};
+    }
+    FailureDomain quiet;
+    quiet.name = "quiet";
+    for (size_t s = 0; s < sites; ++s) quiet.members.push_back(s);
+    topology.domains.push_back(quiet);
+  }
+  RemoteCacheConfig remote_cache;
+  remote_cache.hedge_after = hedge_after;
   ConstraintManager mgr({"l", "emp"}, CostModel{}, ResilienceConfig{},
-                        ParallelConfig{threads}, RemoteCacheConfig{},
+                        ParallelConfig{threads}, remote_cache,
                         BudgetConfig{}, topology);
   std::vector<std::unique_ptr<FaultInjector>> injectors;
   if (faults.has_value()) {
@@ -710,6 +728,42 @@ TEST(ParallelEquivalenceTest, SingleSiteTopologyIsExactlyLegacy) {
       ExpectSameStats(legacy, one_site);
       ExpectSameDeferred(legacy, one_site);
       EXPECT_EQ(legacy.injector_trips, one_site.injector_trips);
+    }
+  }
+}
+
+TEST(ParallelEquivalenceTest, NeutralLatencyConfigIsExactlyBaseline) {
+  // The latency/hedging layer must be pay-for-what-you-use: a topology
+  // that spells out kFixed/0us overrides for every site, wraps all sites
+  // in a windowless failure domain, AND arms hedge_after must diff clean
+  // against the plain topology run on every observable, at every thread
+  // count — healthy and under per-site fault injection alike. (Hedging
+  // is structurally inert here: kFixed sites consume no latency draws,
+  // so the EWMA stays at the no-observation sentinel and no hedge can
+  // ever be issued.)
+  FaultConfig faults;
+  faults.seed = FaultSeedOr(99);
+  faults.transient_rate = 0.25;
+  faults.timeout_rate = 0.1;
+  faults.outages.push_back(OutageWindow{10, 25});
+  for (size_t sites : {size_t{2}, size_t{4}}) {
+    for (uint64_t seed : {11u, 47u}) {
+      for (size_t threads : {size_t{1}, size_t{4}, size_t{8}}) {
+        for (const std::optional<FaultConfig>& f :
+             {std::optional<FaultConfig>{}, std::optional<FaultConfig>{faults}}) {
+          RunResult plain = RunTopologyWorkload(seed, threads, sites, f);
+          RunResult neutral = RunTopologyWorkload(
+              seed, threads, sites, f, /*neutral_latency=*/true,
+              /*hedge_after=*/3);
+          ExpectSameReports(plain, neutral);
+          ExpectSameStats(plain, neutral);
+          ExpectSameDeferred(plain, neutral);
+          ExpectSameSiteState(plain, neutral);
+          EXPECT_EQ(plain.injector_trips, neutral.injector_trips);
+          EXPECT_EQ(neutral.stats.hedges_issued, 0u);
+          EXPECT_EQ(neutral.stats.latency_shed, 0u);
+        }
+      }
     }
   }
 }

@@ -435,5 +435,233 @@ TEST(ScriptFlagTest, ValidateRejectsRateSumAboveOne) {
   EXPECT_TRUE(ValidateScriptOptions(options).ok());
 }
 
+// ---- ISSUE 10: latency models, failure domains, hedged reads ------------
+
+TEST(ScriptParseTest, LatencyAndDomainDirectives) {
+  auto script = ParseScript(
+      "local l\n"
+      "constraint fi\n"
+      "panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y\n"
+      "sites 4\n"
+      "site_latency 0 fixed:250\n"
+      "site_latency 1 uniform:10:50\n"
+      "site_latency 2 twopoint:100:5000:0.1\n"
+      "domain rack0 0 1\n"
+      "domain rack1 2 3\n"
+      "domain_outage rack0 4 10\n"
+      "hedge_after 3\n");
+  ASSERT_TRUE(script.ok()) << script.status().ToString();
+  const TopologyConfig& t = script->topology;
+  ASSERT_EQ(t.site_latency.size(), 3u);
+  EXPECT_EQ(t.site_latency.at(0).model, LatencyModel::kFixed);
+  EXPECT_EQ(t.site_latency.at(0).fixed_us, 250u);
+  EXPECT_EQ(t.site_latency.at(1).model, LatencyModel::kUniform);
+  EXPECT_EQ(t.site_latency.at(1).lo_us, 10u);
+  EXPECT_EQ(t.site_latency.at(1).hi_us, 50u);
+  EXPECT_EQ(t.site_latency.at(2).model, LatencyModel::kTwoPoint);
+  EXPECT_DOUBLE_EQ(t.site_latency.at(2).slow_share, 0.1);
+  ASSERT_EQ(t.domains.size(), 2u);
+  EXPECT_EQ(t.domains[0].name, "rack0");
+  EXPECT_EQ(t.domains[0].members, (std::vector<size_t>{0, 1}));
+  // "domain_outage rack0 4 10" darkens the half-open window [4, 10) on
+  // each member's trip counter — the same convention as --fault-outage.
+  ASSERT_EQ(t.domains[0].outages.size(), 1u);
+  EXPECT_EQ(t.domains[0].outages[0].begin, 4u);
+  EXPECT_EQ(t.domains[0].outages[0].end, 10u);
+  EXPECT_TRUE(t.domains[1].outages.empty());
+  ASSERT_TRUE(script->hedge_after.has_value());
+  EXPECT_EQ(*script->hedge_after, 3u);
+}
+
+/// Expects ParseScript to fail with a message containing `needle`.
+void ExpectParseError(std::string_view text, std::string_view needle) {
+  auto script = ParseScript(text);
+  ASSERT_FALSE(script.ok()) << "parsed: " << text;
+  EXPECT_NE(script.status().message().find(needle), std::string::npos)
+      << "error for \"" << text
+      << "\" missing \"" << needle << "\": " << script.status().message();
+}
+
+TEST(ScriptParseTest, LatencyAndDomainDirectivesRejectBadValues) {
+  ExpectParseError("site_latency 0 gaussian:5\n", "site_latency");
+  ExpectParseError("site_latency 0 fixed:0\n", "site_latency");
+  ExpectParseError("site_latency 0 uniform:50:10\n", "site_latency");
+  ExpectParseError("site_latency 0 twopoint:10:50:1.5\n", "site_latency");
+  ExpectParseError("site_latency x fixed:10\n", "site_latency");
+  ExpectParseError("domain rack0\n", "domain");
+  ExpectParseError("domain rack0 0 x\n", "domain");
+  ExpectParseError("sites 2\ndomain rack0 0\ndomain_outage rack0 9 4\n",
+                   "domain_outage");
+  ExpectParseError("domain_outage ghost 4 10\n", "undefined domain");
+  // Cross-directive validation at end of parse: duplicate names,
+  // overlapping membership, out-of-range sites.
+  ExpectParseError("sites 4\ndomain rack0 0\ndomain rack0 1\n",
+                   "declared twice");
+  ExpectParseError("sites 4\ndomain rack0 0 1\ndomain rack1 1 2\n",
+                   "member of two failure domains");
+  ExpectParseError("sites 2\ndomain rack0 0 5\n", "claims site 5");
+  ExpectParseError("sites 2\nsite_latency 7 fixed:10\n", "names site 7");
+  ExpectParseError("hedge_after x\n", "hedge_after");
+}
+
+TEST(ScriptFlagTest, LatencyAndDomainFlagsApply) {
+  ScriptOptions options;
+  EXPECT_FALSE(options.site_latency_from_flags);
+  EXPECT_TRUE(ApplyOk("--site-latency=1:twopoint:100:5000:0.1", &options));
+  EXPECT_TRUE(options.site_latency_from_flags);
+  ASSERT_EQ(options.topology.site_latency.count(1), 1u);
+  EXPECT_EQ(options.topology.site_latency.at(1).model, LatencyModel::kTwoPoint);
+  EXPECT_EQ(options.topology.site_latency.at(1).lo_us, 100u);
+  EXPECT_EQ(options.topology.site_latency.at(1).hi_us, 5000u);
+  EXPECT_FALSE(options.hedge_from_flags);
+  EXPECT_TRUE(ApplyOk("--hedge-after=3", &options));
+  EXPECT_EQ(options.remote_cache.hedge_after, 3u);
+  EXPECT_TRUE(options.hedge_from_flags);
+  EXPECT_FALSE(options.domains_from_flags);
+  EXPECT_TRUE(ApplyOk("--domains=rack0:0+1,rack1:2", &options));
+  EXPECT_TRUE(options.domains_from_flags);
+  ASSERT_EQ(options.topology.domains.size(), 2u);
+  EXPECT_EQ(options.topology.domains[0].name, "rack0");
+  EXPECT_EQ(options.topology.domains[0].members, (std::vector<size_t>{0, 1}));
+  EXPECT_EQ(options.topology.domains[1].members, (std::vector<size_t>{2}));
+  EXPECT_TRUE(ApplyOk("--domain-outage=rack0:4:10", &options));
+  ASSERT_EQ(options.domain_outages.count("rack0"), 1u);
+  ASSERT_EQ(options.domain_outages.at("rack0").size(), 1u);
+  EXPECT_EQ(options.domain_outages.at("rack0")[0].begin, 4u);
+  EXPECT_EQ(options.domain_outages.at("rack0")[0].end, 10u);
+}
+
+TEST(ScriptFlagTest, MalformedLatencyAndDomainValuesAreHardErrors) {
+  ExpectBadFlag("--site-latency=1", "--site-latency");
+  ExpectBadFlag("--site-latency=1:gaussian:5", "--site-latency");
+  ExpectBadFlag("--site-latency=1:fixed:0", "--site-latency");
+  ExpectBadFlag("--site-latency=1:uniform:50:10", "--site-latency");
+  ExpectBadFlag("--site-latency=1:twopoint:10:50:2", "--site-latency");
+  ExpectBadFlag("--site-latency=x:fixed:10", "--site-latency");
+  ExpectBadFlag("--hedge-after=abc", "--hedge-after");
+  ExpectBadFlag("--hedge-after=", "--hedge-after");
+  ExpectBadFlag("--hedge-after=-1", "--hedge-after");
+  ExpectBadFlag("--domains=", "--domains");
+  ExpectBadFlag("--domains=rack0", "--domains");
+  ExpectBadFlag("--domains=rack0:", "--domains");
+  ExpectBadFlag("--domains=rack0:a+b", "--domains");
+  ExpectBadFlag("--domains=:0+1", "--domains");
+  ExpectBadFlag("--domain-outage=rack0", "--domain-outage");
+  ExpectBadFlag("--domain-outage=rack0:9:4", "--domain-outage");
+  ExpectBadFlag("--domain-outage=rack0:a:b", "--domain-outage");
+}
+
+TEST(ScriptFlagTest, ValidateRejectsInconsistentDomainAndLatencyFlags) {
+  {
+    // --site-latency must name a site < --sites.
+    ScriptOptions options;
+    ASSERT_TRUE(ApplyOk("--sites=2", &options));
+    ASSERT_TRUE(ApplyOk("--site-latency=5:fixed:10", &options));
+    EXPECT_EQ(ValidateScriptOptions(options).code(),
+              StatusCode::kInvalidArgument);
+  }
+  {
+    // --domains membership must not overlap.
+    ScriptOptions options;
+    ASSERT_TRUE(ApplyOk("--domains=rack0:0+1,rack1:1+2", &options));
+    EXPECT_EQ(ValidateScriptOptions(options).code(),
+              StatusCode::kInvalidArgument);
+  }
+  {
+    // Duplicate domain names.
+    ScriptOptions options;
+    ASSERT_TRUE(ApplyOk("--domains=rack0:0,rack0:1", &options));
+    EXPECT_EQ(ValidateScriptOptions(options).code(),
+              StatusCode::kInvalidArgument);
+  }
+  {
+    // Domain members must be < --sites when --sites was given.
+    ScriptOptions options;
+    ASSERT_TRUE(ApplyOk("--sites=2", &options));
+    ASSERT_TRUE(ApplyOk("--domains=rack0:0+7", &options));
+    EXPECT_EQ(ValidateScriptOptions(options).code(),
+              StatusCode::kInvalidArgument);
+  }
+  {
+    // --domain-outage must name a --domains domain when --domains was
+    // given (otherwise it resolves against the script's domains at run
+    // time).
+    ScriptOptions options;
+    ASSERT_TRUE(ApplyOk("--domains=rack0:0", &options));
+    ASSERT_TRUE(ApplyOk("--domain-outage=ghost:4:10", &options));
+    EXPECT_EQ(ValidateScriptOptions(options).code(),
+              StatusCode::kInvalidArgument);
+  }
+  {
+    // All of the above together, well-formed, validates clean.
+    ScriptOptions options;
+    ASSERT_TRUE(ApplyOk("--sites=4", &options));
+    ASSERT_TRUE(ApplyOk("--site-latency=1:uniform:10:50", &options));
+    ASSERT_TRUE(ApplyOk("--domains=rack0:0+1,rack1:2+3", &options));
+    ASSERT_TRUE(ApplyOk("--domain-outage=rack1:4:10", &options));
+    ASSERT_TRUE(ApplyOk("--hedge-after=3", &options));
+    EXPECT_TRUE(ValidateScriptOptions(options).ok());
+  }
+}
+
+TEST(ScriptRunTest, HedgeFlagOverridesScriptDirective) {
+  // The script pins hedge_after 7; the flag says 0 (off). Flags win: the
+  // run must report zero hedging and print no hedge stats line.
+  auto script = ParseScript(
+      "local l\n"
+      "constraint fi\n"
+      "panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y\n"
+      "hedge_after 7\n"
+      "fact r(7)\n"
+      "insert l(10, 20)\n");
+  ASSERT_TRUE(script.ok()) << script.status().ToString();
+  ASSERT_TRUE(script->hedge_after.has_value());
+  ScriptOptions options;
+  options.print_stats = true;
+  options.remote_cache.hedge_after = 0;
+  options.hedge_from_flags = true;
+  auto report = RunScript(*script, options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->hedges_issued, 0u);
+  EXPECT_EQ(report->summary_text.find("hedge:"), std::string::npos);
+  // Without the flag the directive takes effect: the stats block now
+  // carries the hedge accounting line (all zeros on this tiny workload —
+  // arming alone must not fabricate hedges).
+  ScriptOptions directive_only;
+  directive_only.print_stats = true;
+  auto armed = RunScript(*script, directive_only);
+  ASSERT_TRUE(armed.ok()) << armed.status().ToString();
+  EXPECT_NE(armed->summary_text.find("hedge: 0 issued"), std::string::npos);
+}
+
+TEST(ScriptRunTest, DomainOutageFlagAttachesToScriptDomains) {
+  // --domain-outage without --domains resolves against the script's own
+  // `domain` directives; naming a domain the script does not define is a
+  // run-time InvalidArgument, not a crash.
+  auto script = ParseScript(
+      "local l\n"
+      "constraint fi\n"
+      "panic :- l(X,Y) & r(Z) & X <= Z & Z <= Y\n"
+      "sites 2\n"
+      "site 0 r\n"
+      "domain rackA 0 1\n"
+      "fact r(7)\n"
+      "insert l(10, 20)\n");
+  ASSERT_TRUE(script.ok()) << script.status().ToString();
+  ScriptOptions options;
+  options.domain_outages["ghost"].push_back(OutageWindow{0, 4});
+  auto report = RunScript(*script, options);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(report.status().message().find("ghost"), std::string::npos);
+  // Named correctly it applies: the whole run happens inside the window,
+  // so the remote check defers instead of resolving.
+  ScriptOptions dark;
+  dark.domain_outages["rackA"].push_back(OutageWindow{0, 100});
+  auto deferred = RunScript(*script, dark);
+  ASSERT_TRUE(deferred.ok()) << deferred.status().ToString();
+  EXPECT_EQ(deferred->updates_deferred, 1u);
+}
+
 }  // namespace
 }  // namespace ccpi

@@ -83,6 +83,24 @@ constexpr const char kUsage[] =
     "  --site-fault-outage=S:A:B\n"
     "                          outage for site S's trips A..B-1 (repeatable)\n"
     "  --site-fault-seed=S:N   per-site override of the derived seed\n"
+    "  --site-latency=S:fixed:U | S:uniform:LO:HI | S:twopoint:LO:HI:P\n"
+    "                          per-site trip-latency model (microseconds,\n"
+    "                          all >= 1, LO <= HI; twopoint draws HI with\n"
+    "                          probability P, else LO; draws are\n"
+    "                          deterministic per seed; repeatable)\n"
+    "  --hedge-after=N         hedge a batched remote read whose drawn\n"
+    "                          latency exceeds N x the site's observed\n"
+    "                          EWMA with one deterministic backup trip\n"
+    "                          (0 = off, default; each issued hedge bills\n"
+    "                          one extra trip, tuples are counted once)\n"
+    "  --domains=NAME:S0+S1,...\n"
+    "                          correlated failure domains; a site may\n"
+    "                          belong to at most one (replaces the\n"
+    "                          script's domain directives wholesale)\n"
+    "  --domain-outage=NAME:A:B\n"
+    "                          outage for trips A..B of every member site\n"
+    "                          of NAME (repeatable; implies fault\n"
+    "                          injection)\n"
     "\n"
     "Execution budgets and overload control (see docs/budgets.md):\n"
     "  --deadline-ms=N         wall-clock budget per update episode; checks\n"

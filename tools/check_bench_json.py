@@ -174,6 +174,9 @@ TOPOLOGY_ROWS = (
     "topology/outage/s2/c1",
     "topology/outage/s4/c0",
     "topology/outage/s4/c1",
+    "topology/latency/s4/neutral",
+    "topology/latency/s4/skew/unhedged",
+    "topology/latency/s4/skew/hedged",
 )
 TOPOLOGY_BATCH_METRICS = (
     "sites",
@@ -195,6 +198,18 @@ TOPOLOGY_OUTAGE_METRICS = (
     "partial_updates",
     "blocked_updates",
 )
+# Latency rows pin hedged batched reads: hedging must engage (and win)
+# only on the armed slow-tail config, bill exactly one extra trip per
+# issued hedge (issued == won + wasted), and flatten the tail — the
+# hedged p99 may never exceed the unhedged p99 of the same skew.
+TOPOLOGY_LATENCY_METRICS = (
+    "p50_us",
+    "p99_us",
+    "remote_trips",
+    "hedges_issued",
+    "hedges_won",
+    "hedges_wasted",
+)
 
 
 def check_topology(path, doc, problems):
@@ -209,14 +224,32 @@ def check_topology(path, doc, problems):
         metrics = point.get("metrics")
         if not isinstance(metrics, dict):
             continue  # already reported by check_point
-        wanted = (TOPOLOGY_BATCH_METRICS
-                  if point["name"].startswith("topology/batch/")
-                  else TOPOLOGY_OUTAGE_METRICS)
+        if point["name"].startswith("topology/batch/"):
+            wanted = TOPOLOGY_BATCH_METRICS
+        elif point["name"].startswith("topology/latency/"):
+            wanted = TOPOLOGY_LATENCY_METRICS
+        else:
+            wanted = TOPOLOGY_OUTAGE_METRICS
         for key in wanted:
             if key not in metrics:
                 fail(path,
                      f"topology: sweep {point['name']!r} missing "
                      f"metric {key!r}", problems)
+        if point["name"].startswith("topology/latency/"):
+            issued = metrics.get("hedges_issued")
+            won = metrics.get("hedges_won")
+            wasted = metrics.get("hedges_wasted")
+            if all(isinstance(v, numbers.Real) and not isinstance(v, bool)
+                   for v in (issued, won, wasted)):
+                if issued != won + wasted:
+                    fail(path,
+                         f"topology: sweep {point['name']!r} hedge "
+                         f"accounting does not balance (issued {issued} != "
+                         f"won {won} + wasted {wasted})", problems)
+                if not point["name"].endswith("/skew/hedged") and issued != 0:
+                    fail(path,
+                         f"topology: sweep {point['name']!r} issued "
+                         f"{issued} hedges with hedging off", problems)
         if point["name"].startswith("topology/outage/"):
             pending = metrics.get("pending")
             if isinstance(pending, numbers.Real) and pending != 0:
@@ -231,6 +264,28 @@ def check_topology(path, doc, problems):
                 fail(path,
                      f"topology: sweep {point['name']!r} observed no site "
                      f"recoveries in a multi-site outage run", problems)
+    by_name = {p["name"]: p.get("metrics") for p in sweeps
+               if isinstance(p.get("metrics"), dict)}
+    hedged = by_name.get("topology/latency/s4/skew/hedged")
+    unhedged = by_name.get("topology/latency/s4/skew/unhedged")
+    if hedged and unhedged:
+        issued = hedged.get("hedges_issued")
+        won = hedged.get("hedges_won")
+        if isinstance(issued, numbers.Real) and issued <= 0:
+            fail(path,
+                 "topology: hedged slow-tail row issued no hedges "
+                 "(hedging never engaged)", problems)
+        if isinstance(won, numbers.Real) and won <= 0:
+            fail(path,
+                 "topology: hedged slow-tail row won no hedges "
+                 "(backup trips never beat the slow primary)", problems)
+        p99_h = hedged.get("p99_us")
+        p99_u = unhedged.get("p99_us")
+        if (isinstance(p99_h, numbers.Real)
+                and isinstance(p99_u, numbers.Real) and p99_h > p99_u):
+            fail(path,
+                 f"topology: hedged p99 ({p99_h}us) exceeds unhedged p99 "
+                 f"({p99_u}us) on the slow-tail config", problems)
 
 
 # The plan_cache sweep is the acceptance evidence of the compiled-plan
